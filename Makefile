@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -fuzz=FuzzRoute -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzPC -fuzztime=30s ./internal/gtree/
+
+# Regenerate every paper figure as tables, CSV, SVG and a markdown report.
+figures:
+	$(GO) run ./cmd/gcbench -svg charts -csv data -report report.md
+
+clean:
+	rm -rf charts data report.md test_output.txt bench_output.txt

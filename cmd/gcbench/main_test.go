@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestStaticFigures(t *testing.T) {
+	if out := runOK(t, "-fig", "1"); !strings.Contains(out, "G_8") {
+		t.Error("figure 1 missing")
+	}
+	if out := runOK(t, "-fig", "2"); !strings.Contains(out, "fig2") {
+		t.Error("figure 2 missing")
+	}
+	if out := runOK(t, "-fig", "3"); !strings.Contains(out, "branches at") {
+		t.Error("figure 3 missing branch points")
+	}
+	if out := runOK(t, "-fig", "4", "-max", "15"); !strings.Contains(out, "alpha=3") {
+		t.Error("figure 4 missing")
+	}
+}
+
+func TestSimulationFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	out := runOK(t, "-quick", "-fig", "5", "-par", "2")
+	if !strings.Contains(out, "fig5") || !strings.Contains(out, "M=4") {
+		t.Errorf("figure 5 output wrong:\n%s", out)
+	}
+	out = runOK(t, "-quick", "-fig", "7", "-par", "2")
+	if !strings.Contains(out, "one fault") {
+		t.Errorf("figure 7 output wrong:\n%s", out)
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	out := runOK(t, "-quick", "-fig", "1", "-wormhole")
+	if !strings.Contains(out, "wormhole") {
+		t.Errorf("wormhole extension missing:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fig", "9"}, &b); err == nil {
+		t.Error("figure 9 must fail")
+	}
+	if err := run([]string{"-fig", "-1"}, &b); err == nil {
+		t.Error("negative figure must fail")
+	}
+}

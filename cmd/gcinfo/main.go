@@ -1,0 +1,126 @@
+// Command gcinfo inspects Gaussian Cube and Gaussian Tree topologies:
+// link structure, ending classes, tree shape, diameters and the
+// tolerable-fault bound.
+//
+// Usage:
+//
+//	gcinfo -n 8 -alpha 2           # summarize GC(8, 4)
+//	gcinfo -n 8 -alpha 2 -node 37  # per-node detail
+//	gcinfo -n 8 -alpha 2 -tree     # draw the Gaussian Tree
+//	gcinfo -n 8 -alpha 2 -stats    # diameter/availability profile
+//	gcinfo -fig1                   # Figure 1 edge lists
+//	gcinfo -fig2 -max 14           # Figure 2 diameter table
+//	gcinfo -fig4 -max 25           # Figure 4 fault-bound table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/experiments"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gcinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gcinfo", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n     = fs.Uint("n", 8, "network dimension n")
+		alpha = fs.Uint("alpha", 2, "modulus exponent: M = 2^alpha")
+		node  = fs.Int("node", -1, "describe this node's links and class")
+		fig1  = fs.Bool("fig1", false, "print the Figure 1 Gaussian Graph edge lists")
+		fig2  = fs.Bool("fig2", false, "print the Figure 2 tree diameter table")
+		fig4  = fs.Bool("fig4", false, "print the Figure 4 tolerable-fault table")
+		max   = fs.Uint("max", 14, "upper bound of the -fig2/-fig4 sweeps")
+		tree  = fs.Bool("tree", false, "draw the Gaussian Tree of the cube")
+		stats = fs.Bool("stats", false, "measure diameter/availability/average distance")
+		dot   = fs.Bool("dot", false, "emit the cube as a GraphViz graph")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 || *n > 26 {
+		return fmt.Errorf("dimension n=%d out of range [1,26]", *n)
+	}
+	if *alpha > *n {
+		return fmt.Errorf("alpha=%d exceeds n=%d", *alpha, *n)
+	}
+
+	switch {
+	case *fig1:
+		fmt.Fprint(out, experiments.Figure1())
+	case *fig2:
+		fmt.Fprint(out, experiments.Figure2(*max).Table())
+	case *fig4:
+		fmt.Fprint(out, experiments.Figure4(*max).Table())
+	case *dot:
+		fmt.Fprint(out, gc.New(*n, *alpha).DOT())
+	case *tree:
+		c := gc.New(*n, *alpha)
+		fmt.Fprintf(out, "Gaussian Tree T_%d of GC(%d, %d):\n", c.M(), *n, c.M())
+		fmt.Fprint(out, c.Tree().Render())
+	case *stats:
+		s := gc.New(*n, *alpha).ComputeStats()
+		fmt.Fprintf(out, "GC(%d, %d) structural profile:\n", s.N, 1<<s.Alpha)
+		fmt.Fprintf(out, "  nodes / links:     %d / %d\n", s.Nodes, s.Links)
+		fmt.Fprintf(out, "  degree (min/avg/max): %d / %.2f / %d\n", s.MinDegree, s.AvgDegree, s.MaxDegree)
+		fmt.Fprintf(out, "  node availability: %d\n", s.Availability)
+		fmt.Fprintf(out, "  diameter:          %d\n", s.Diameter)
+		fmt.Fprintf(out, "  average distance:  %.3f\n", s.AvgDistance)
+	case *node >= 0:
+		return describeNode(out, *n, *alpha, gc.NodeID(*node))
+	default:
+		summarize(out, *n, *alpha)
+	}
+	return nil
+}
+
+func summarize(out io.Writer, n, alpha uint) {
+	c := gc.New(n, alpha)
+	fmt.Fprintf(out, "GC(%d, %d): %d nodes, %d links\n", n, c.M(), c.Nodes(), c.EdgeCount())
+	fmt.Fprintf(out, "Gaussian Tree T_%d: diameter %d\n", c.M(), c.Tree().Diameter())
+	fmt.Fprintf(out, "tolerable A-category faults (Theorem 3 worst case): %d\n",
+		fault.TolerableBound(n, alpha))
+	fmt.Fprintln(out, "\nending classes:")
+	for k := gc.NodeID(0); k < gc.NodeID(c.M()); k++ {
+		dims := c.Dim(k)
+		fmt.Fprintf(out, "  EC(%s): |Dim|=%d Dim=%v  GEEC slices=%d\n",
+			bitutil.BinaryString(uint64(k), alpha), len(dims), dims, c.FrameCount(k))
+	}
+	fmt.Fprintln(out, "\nlink count per dimension:")
+	for d := uint(0); d < n; d++ {
+		fmt.Fprintf(out, "  dim %2d: %d links\n", d, c.EdgeCountDim(d))
+	}
+}
+
+func describeNode(out io.Writer, n, alpha uint, v gc.NodeID) error {
+	c := gc.New(n, alpha)
+	if int(v) >= c.Nodes() {
+		return fmt.Errorf("node %d out of range for GC(%d,%d)", v, n, c.M())
+	}
+	fmt.Fprintf(out, "node %d = %s in GC(%d, %d)\n", v, bitutil.BinaryString(uint64(v), n), n, c.M())
+	fmt.Fprintf(out, "ending class: %d (tree vertex)\n", c.EndingClass(v))
+	g := c.GEECOf(v)
+	fmt.Fprintf(out, "GEEC slice: class %d, frame %d, subcube Q%d over dims %v\n",
+		g.Class(), g.Frame(), g.Dim(), g.Dims())
+	fmt.Fprintln(out, "links:")
+	for _, d := range c.LinkDims(v) {
+		kind := "tree (class-changing)"
+		if d >= alpha {
+			kind = "hypercube (within class)"
+		}
+		fmt.Fprintf(out, "  dim %2d -> node %d  [%s]\n", d, v^(1<<d), kind)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestSummary(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2")
+	for _, want := range []string{
+		"GC(8, 4): 256 nodes, 384 links",
+		"Gaussian Tree T_4: diameter 3",
+		"EC(10): |Dim|=2 Dim=[2 6]",
+		"dim  0: 128 links",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNodeDescription(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2", "-node", "37")
+	if !strings.Contains(out, "node 37 = 00100101") {
+		t.Errorf("node view wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "ending class: 1") {
+		t.Errorf("class wrong:\n%s", out)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	if out := runOK(t, "-fig1"); !strings.Contains(out, "G_8") {
+		t.Error("fig1 missing G_8")
+	}
+	if out := runOK(t, "-fig2", "-max", "5"); !strings.Contains(out, "fig2") {
+		t.Error("fig2 header missing")
+	}
+	if out := runOK(t, "-fig4", "-max", "12"); !strings.Contains(out, "alpha=2") {
+		t.Error("fig4 series missing")
+	}
+}
+
+func TestTreeAndStats(t *testing.T) {
+	if out := runOK(t, "-n", "6", "-alpha", "3", "-tree"); !strings.Contains(out, "└──") {
+		t.Error("tree rendering missing connectors")
+	}
+	out := runOK(t, "-n", "7", "-alpha", "1", "-stats")
+	if !strings.Contains(out, "node availability") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "40"}, &b); err == nil {
+		t.Error("n out of range must fail")
+	}
+	if err := run([]string{"-n", "4", "-alpha", "9"}, &b); err == nil {
+		t.Error("alpha > n must fail")
+	}
+	if err := run([]string{"-n", "6", "-alpha", "1", "-node", "999"}, &b); err == nil {
+		t.Error("node out of range must fail")
+	}
+	if err := run([]string{"-bogusflag"}, &b); err == nil {
+		t.Error("unknown flag must fail")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestFaultFreeRoute(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2", "-from", "5", "-to", "201")
+	if !strings.Contains(out, "route 5 -> 201 in GC(8, 4): 8 hops (fault-free optimal 8, +0 detour)") {
+		t.Errorf("route header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "tree walk") || !strings.Contains(out, "cube hops") {
+		t.Errorf("breakdown missing:\n%s", out)
+	}
+	if !strings.Contains(out, "00000101") {
+		t.Errorf("binary hop trace missing:\n%s", out)
+	}
+}
+
+func TestFaultyRoute(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2", "-from", "5", "-to", "201",
+		"-faultnodes", "17")
+	if !strings.Contains(out, "node 17  [category C]") {
+		t.Errorf("fault analysis missing:\n%s", out)
+	}
+}
+
+func TestLinkFaultRoute(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2", "-from", "0", "-to", "16",
+		"-faultlinks", "0:4")
+	if !strings.Contains(out, "category A") {
+		t.Errorf("A-category link fault missing:\n%s", out)
+	}
+	if !strings.Contains(out, "detour") {
+		t.Errorf("detour report missing:\n%s", out)
+	}
+}
+
+func TestSafetySubstrate(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "1", "-from", "3", "-to", "200",
+		"-substrate", "safety", "-faultnodes", "9")
+	if !strings.Contains(out, "route 3 -> 200") {
+		t.Errorf("safety substrate route failed:\n%s", out)
+	}
+}
+
+func TestDistributedMode(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2", "-from", "5", "-to", "201", "-distributed")
+	if !strings.Contains(out, "distributed route 5 -> 201: 8 hops") {
+		t.Errorf("distributed route wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{"-n", "40"},
+		{"-n", "8", "-alpha", "2", "-substrate", "nope"},
+		{"-n", "8", "-alpha", "2", "-faultnodes", "zzz"},
+		{"-n", "8", "-alpha", "2", "-faultlinks", "0:1"}, // node 0 lacks dim-1
+		{"-n", "8", "-alpha", "2", "-from", "5", "-to", "5000"},
+		{"-n", "8", "-alpha", "2", "-distributed", "-faultnodes", "3"},
+		{"-n", "8", "-alpha", "2", "-from", "17", "-to", "3", "-faultnodes", "17"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Command gcsim runs one simulation of routing traffic on a Gaussian
+// Cube and prints the Section 6 metrics. Three network models are
+// available: the paper's eager-readership packet switching (default),
+// bounded-buffer store-and-forward ("stepped"), and flit-level
+// wormhole.
+//
+// Usage:
+//
+//	gcsim -n 10 -alpha 1 -arrival 0.01 -cycles 100
+//	gcsim -n 10 -alpha 1 -faults 3 -pattern transpose
+//	gcsim -n 8 -alpha 1 -mode wormhole -flits 4 -vcs 2
+//	gcsim -n 10 -alpha 1 -faults 3 -save scenario.json
+//	gcsim -load scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/simnet"
+	"gaussiancube/internal/snapshot"
+	"gaussiancube/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n        = fs.Uint("n", 9, "network dimension n")
+		alpha    = fs.Uint("alpha", 1, "modulus exponent: M = 2^alpha")
+		arrival  = fs.Float64("arrival", 0.01, "per-node per-cycle packet probability")
+		cycles   = fs.Int("cycles", 100, "generation window, cycles")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		faults   = fs.Int("faults", 0, "number of random faulty nodes")
+		pattern  = fs.String("pattern", "uniform", "traffic: uniform|complement|transpose|hotspot|permutation")
+		mode     = fs.String("mode", "eager", "network model: eager|stepped|wormhole")
+		flits    = fs.Int("flits", 4, "flits per packet (wormhole mode)")
+		buffers  = fs.Int("buffers", 2, "buffer capacity per link/VC (stepped: packets, wormhole: flits)")
+		vcs      = fs.Int("vcs", 2, "virtual channels per link (stepped/wormhole modes)")
+		savePath = fs.String("save", "", "write the scenario to this JSON file")
+		loadPath = fs.String("load", "", "replay a scenario from this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scn *snapshot.Scenario
+	var faultSet *fault.Set
+	if *loadPath != "" {
+		var err error
+		scn, err = snapshot.Load(*loadPath)
+		if err != nil {
+			return err
+		}
+		faultSet, err = scn.BuildFaultSet()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "replaying scenario %s\n", *loadPath)
+	} else {
+		if *n < 1 || *n > 26 || *alpha > *n {
+			return fmt.Errorf("bad cube parameters n=%d alpha=%d", *n, *alpha)
+		}
+		scn = &snapshot.Scenario{
+			Version: snapshot.CurrentVersion,
+			N:       *n, Alpha: *alpha,
+			Arrival: *arrival, GenCycles: *cycles, Seed: *seed,
+			Pattern: *pattern,
+		}
+		if *faults > 0 {
+			cube := gc.New(*n, *alpha)
+			set := fault.NewSet(cube)
+			set.InjectRandomNodes(rand.New(rand.NewSource(*seed*31)), *faults)
+			faultSet = set
+			scn.FromFaultSet(faultSet)
+		}
+	}
+
+	pat, err := patternByName(scn.Pattern, scn.N, scn.Seed)
+	if err != nil {
+		return err
+	}
+	if faultSet != nil {
+		counts := faultSet.CategoryCounts()
+		fmt.Fprintf(out, "faults: %d components (categories: A=%d B=%d C=%d)\n",
+			faultSet.Count(), counts[fault.CategoryA], counts[fault.CategoryB], counts[fault.CategoryC])
+	}
+
+	switch *mode {
+	case "eager":
+		return runEager(out, scn, pat, faultSet, *savePath)
+	case "stepped":
+		return runStepped(out, scn, pat, faultSet, *buffers, *vcs)
+	case "wormhole":
+		return runWormhole(out, scn, pat, *flits, *buffers, *vcs)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+}
+
+func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, savePath string) error {
+	stats, err := simnet.Run(simnet.Config{
+		N: scn.N, Alpha: scn.Alpha,
+		Arrival: scn.Arrival, GenCycles: scn.GenCycles, Seed: scn.Seed,
+		Pattern: pat, Faults: faultSet,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "GC(%d, %d), arrival %.4f, %d generation cycles, %s traffic\n",
+		scn.N, 1<<scn.Alpha, scn.Arrival, scn.GenCycles, pat.Name())
+	fmt.Fprintf(out, "  generated:       %d packets\n", stats.Generated)
+	fmt.Fprintf(out, "  delivered:       %d packets\n", stats.Delivered)
+	fmt.Fprintf(out, "  undeliverable:   %d\n", stats.Undeliverable)
+	fmt.Fprintf(out, "  fallback routes: %d\n", stats.FallbackRoutes)
+	fmt.Fprintf(out, "  avg latency:     %.3f cycles (min %.0f, max %.0f)\n",
+		stats.AvgLatency(), stats.Latency.Min(), stats.Latency.Max())
+	fmt.Fprintf(out, "  avg hops:        %.3f\n", stats.Hops.Mean())
+	fmt.Fprintf(out, "  makespan:        %d cycles\n", stats.Makespan)
+	fmt.Fprintf(out, "  throughput:      %.4f pkt/cycle (log2 = %.3f)\n",
+		stats.Throughput(), stats.Log2Throughput())
+	fmt.Fprintf(out, "  work efficiency: %.5f pkt per node-cycle\n", stats.Efficiency())
+	if savePath != "" {
+		if err := snapshot.Save(savePath, scn); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scenario saved to %s\n", savePath)
+	}
+	return nil
+}
+
+// buildTrace materializes the scenario's Bernoulli offered load so the
+// bounded-buffer modes see the same traffic shape as the eager model.
+func buildTrace(scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set) []simnet.Packet {
+	rng := rand.New(rand.NewSource(scn.Seed))
+	nodes := 1 << scn.N
+	var trace []simnet.Packet
+	for t := 0; t < scn.GenCycles; t++ {
+		for v := 0; v < nodes; v++ {
+			if rng.Float64() >= scn.Arrival {
+				continue
+			}
+			src := gc.NodeID(v)
+			if faultSet != nil && faultSet.NodeFaulty(src) {
+				continue
+			}
+			dst := pat.Dest(rng, src)
+			if dst == src || int(dst) >= nodes {
+				continue
+			}
+			if faultSet != nil && faultSet.NodeFaulty(dst) {
+				continue
+			}
+			trace = append(trace, simnet.Packet{Src: src, Dst: dst, Time: t})
+		}
+	}
+	return trace
+}
+
+func runStepped(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, buffers, vcs int) error {
+	stats, err := simnet.RunStepped(simnet.SteppedConfig{
+		N: scn.N, Alpha: scn.Alpha,
+		Trace:       buildTrace(scn, pat, faultSet),
+		BufferSlots: buffers,
+		VCs:         vcs,
+		Policy:      func(hop int, _ []gc.NodeID) uint8 { return uint8(hop % vcs) },
+		Faults:      faultSet,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "GC(%d, %d), stepped store-and-forward, buffers=%d vcs=%d\n",
+		scn.N, 1<<scn.Alpha, buffers, vcs)
+	fmt.Fprintf(out, "  generated:  %d packets\n", stats.Generated)
+	fmt.Fprintf(out, "  delivered:  %d packets\n", stats.Delivered)
+	fmt.Fprintf(out, "  deadlocked: %v (in flight: %d)\n", stats.Deadlocked, stats.InFlight)
+	fmt.Fprintf(out, "  cycles:     %d\n", stats.Cycles)
+	fmt.Fprintf(out, "  avg latency: %.3f cycles\n", stats.Latency.Mean())
+	return nil
+}
+
+func runWormhole(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, flits, buffers, vcs int) error {
+	stats, err := simnet.RunWormhole(simnet.WormholeConfig{
+		N: scn.N, Alpha: scn.Alpha,
+		Trace:          buildTrace(scn, pat, nil),
+		FlitsPerPacket: flits,
+		BufferFlits:    buffers,
+		VCs:            vcs,
+		Policy:         func(hop int, _ []gc.NodeID) uint8 { return uint8(hop % vcs) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "GC(%d, %d), wormhole, %d flits/packet, buffers=%d vcs=%d\n",
+		scn.N, 1<<scn.Alpha, flits, buffers, vcs)
+	fmt.Fprintf(out, "  generated:  %d worms\n", stats.Generated)
+	fmt.Fprintf(out, "  delivered:  %d worms\n", stats.Delivered)
+	fmt.Fprintf(out, "  deadlocked: %v (in flight: %d)\n", stats.Deadlocked, stats.InFlight)
+	fmt.Fprintf(out, "  cycles:     %d\n", stats.Cycles)
+	fmt.Fprintf(out, "  avg latency: %.3f cycles\n", stats.Latency.Mean())
+	return nil
+}
+
+func patternByName(name string, bits uint, seed int64) (workload.Pattern, error) {
+	switch name {
+	case "", "uniform":
+		return workload.Uniform{Bits: bits}, nil
+	case "complement":
+		return workload.BitComplement{Bits: bits}, nil
+	case "transpose":
+		return workload.Transpose{Bits: bits}, nil
+	case "hotspot":
+		return workload.HotSpot{Bits: bits, Hot: 0, Fraction: 0.2}, nil
+	case "permutation":
+		return workload.NewPermutation(bits, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestEagerRun(t *testing.T) {
+	out := runOK(t, "-n", "7", "-alpha", "1", "-cycles", "30", "-arrival", "0.02")
+	for _, want := range []string{"GC(7, 2)", "generated:", "avg latency:", "throughput:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "undeliverable:   0\n") == false {
+		t.Errorf("fault-free run should deliver all:\n%s", out)
+	}
+}
+
+func TestFaultyRun(t *testing.T) {
+	out := runOK(t, "-n", "7", "-alpha", "1", "-cycles", "30", "-faults", "2")
+	if !strings.Contains(out, "faults: 2 components") {
+		t.Errorf("fault report missing:\n%s", out)
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	for _, p := range []string{"uniform", "complement", "transpose", "hotspot", "permutation"} {
+		out := runOK(t, "-n", "6", "-alpha", "1", "-cycles", "20", "-pattern", p)
+		if !strings.Contains(out, "delivered:") {
+			t.Errorf("pattern %s: no delivery report:\n%s", p, out)
+		}
+	}
+}
+
+func TestSteppedMode(t *testing.T) {
+	out := runOK(t, "-n", "6", "-alpha", "1", "-cycles", "20", "-mode", "stepped",
+		"-buffers", "4", "-vcs", "2")
+	if !strings.Contains(out, "stepped store-and-forward") {
+		t.Errorf("stepped header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "deadlocked: false") {
+		t.Errorf("light stepped run must not deadlock:\n%s", out)
+	}
+}
+
+func TestWormholeMode(t *testing.T) {
+	out := runOK(t, "-n", "6", "-alpha", "1", "-cycles", "20", "-mode", "wormhole",
+		"-flits", "3")
+	if !strings.Contains(out, "wormhole, 3 flits/packet") {
+		t.Errorf("wormhole header missing:\n%s", out)
+	}
+}
+
+func TestSaveAndLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scn.json")
+	first := runOK(t, "-n", "7", "-alpha", "1", "-cycles", "25", "-faults", "2",
+		"-save", path)
+	if !strings.Contains(first, "scenario saved") {
+		t.Fatalf("save confirmation missing:\n%s", first)
+	}
+	replay := runOK(t, "-load", path)
+	if !strings.Contains(replay, "replaying scenario") {
+		t.Fatalf("replay header missing:\n%s", replay)
+	}
+	// The replay must reproduce the exact same statistics block.
+	strip := func(s string) string {
+		i := strings.Index(s, "GC(")
+		j := strings.Index(s, "scenario saved")
+		if j == -1 {
+			j = len(s)
+		}
+		return s[i:j]
+	}
+	if strip(first) != strip(replay) {
+		t.Errorf("replay differs:\n--- first\n%s\n--- replay\n%s", strip(first), strip(replay))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	cases := [][]string{
+		{"-n", "40"},
+		{"-mode", "quantum"},
+		{"-pattern", "nope"},
+		{"-load", "/nonexistent/file.json"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Class traversal: use the paper's CT algorithm to visit a set of
+// ending classes and return — the primitive behind multi-destination
+// delivery (gather/multicast) on the Gaussian Cube.
+package main
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/gtree"
+)
+
+func main() {
+	// The Gaussian Tree of a modulus-32 cube.
+	tree := gtree.New(5)
+	fmt.Printf("T_32: %d vertices, diameter %d\n", tree.Nodes(), tree.Diameter())
+
+	root := gtree.Node(0)
+	dests := []gtree.Node{7, 21, 12, 30, 9}
+
+	// PC builds the unique path to each destination.
+	for _, d := range dests {
+		fmt.Printf("PC(%d -> %2d): %v\n", root, d, tree.PC(root, d))
+	}
+
+	// CT visits all of them in one closed walk. The walk crosses each
+	// edge of the Steiner subtree exactly twice — the optimum.
+	walk := tree.CT(root, dests)
+	steiner := tree.SteinerEdges(root, dests)
+	fmt.Printf("\nCT closed walk (%d hops, Steiner subtree has %d edges):\n%v\n",
+		len(walk)-1, len(steiner), walk)
+	if len(walk)-1 != 2*len(steiner) {
+		panic("CT walk is not optimal")
+	}
+
+	// The branch-point machinery: where does each destination's path
+	// leave the trunk to the first destination?
+	trunk := tree.PC(root, dests[0])
+	onTrunk := gtree.NewNodeSet(trunk...)
+	fmt.Printf("\ntrunk to %d: %v\n", dests[0], trunk)
+	for _, d := range dests[1:] {
+		if onTrunk[d] {
+			fmt.Printf("destination %2d lies on the trunk\n", d)
+			continue
+		}
+		fmt.Printf("destination %2d branches at %d\n", d, tree.FindBP(onTrunk, root, d))
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a Gaussian Cube, look at its Gaussian Tree, and
+// route a packet with the paper's strategy.
+package main
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+)
+
+func main() {
+	// GC(8, 4): 256 nodes, modulus M = 4 (alpha = 2). Every node keeps
+	// its dimension-0 link; higher dimensions are diluted by the
+	// congruence rule, which is what makes the topology cheaper than a
+	// hypercube and routing harder.
+	cube := gc.New(8, 2)
+	fmt.Printf("GC(8,4): %d nodes, %d links (a full Q8 would have %d)\n",
+		cube.Nodes(), cube.EdgeCount(), 8*256/2)
+
+	// The low alpha bits of a label name its ending class — a vertex of
+	// the Gaussian Tree. All routing between classes happens on this
+	// tree.
+	tree := cube.Tree()
+	fmt.Printf("Gaussian Tree T_4 edges: ")
+	for v := gc.NodeID(0); v < gc.NodeID(tree.Nodes()); v++ {
+		for _, w := range tree.Neighbors(v) {
+			if v < w {
+				fmt.Printf("%d-%d ", v, w)
+			}
+		}
+	}
+	fmt.Println()
+
+	// Route a packet. The router plans on the tree (which classes must
+	// be visited to fix which high bits) and the result is
+	// distance-optimal.
+	router := core.NewRouter(cube)
+	src, dst := gc.NodeID(0b00000101), gc.NodeID(0b11001001)
+	res, err := router.Route(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nroute %s -> %s: %d hops (optimal)\n",
+		bitutil.BinaryString(uint64(src), 8), bitutil.BinaryString(uint64(dst), 8), res.Hops())
+	fmt.Printf("class walk on the tree: %v\n", res.TreeWalk)
+	for i, v := range res.Path {
+		fmt.Printf("  hop %d: %s (class %d)\n",
+			i, bitutil.BinaryString(uint64(v), 8), cube.EndingClass(v))
+	}
+}

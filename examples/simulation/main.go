@@ -1,0 +1,47 @@
+// Simulation: a small end-to-end latency/throughput study in the style
+// of the paper's Section 6, comparing moduli and the effect of a fault.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/simnet"
+)
+
+func main() {
+	fmt.Println("fault-free GC(n, M), uniform traffic, arrival 0.02, 80 cycles")
+	fmt.Printf("%4s %4s %12s %14s %10s\n", "n", "M", "avg latency", "log2 thruput", "avg hops")
+	for _, n := range []uint{7, 8, 9, 10} {
+		for _, alpha := range []uint{0, 1, 2} {
+			stats, err := simnet.Run(simnet.Config{
+				N: n, Alpha: alpha, Arrival: 0.02, GenCycles: 80, Seed: 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%4d %4d %12.3f %14.3f %10.3f\n",
+				n, 1<<alpha, stats.AvgLatency(), stats.Log2Throughput(), stats.Hops.Mean())
+		}
+	}
+
+	fmt.Println("\nGC(9, 2) with increasing faulty nodes (same offered traffic shape)")
+	fmt.Printf("%7s %12s %14s %10s\n", "faults", "avg latency", "log2 thruput", "fallbacks")
+	for _, k := range []int{0, 1, 4, 8} {
+		cfg := simnet.Config{N: 9, Alpha: 1, Arrival: 0.02, GenCycles: 80, Seed: 1}
+		if k > 0 {
+			cube := gc.New(9, 1)
+			fs := fault.NewSet(cube)
+			fs.InjectRandomNodes(rand.New(rand.NewSource(42)), k)
+			cfg.Faults = fs
+		}
+		stats, err := simnet.Run(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%7d %12.3f %14.3f %10d\n",
+			k, stats.AvgLatency(), stats.Log2Throughput(), stats.FallbackRoutes)
+	}
+}

@@ -1,0 +1,3 @@
+module gaussiancube
+
+go 1.22

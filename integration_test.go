@@ -1,0 +1,181 @@
+package gaussiancube_bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/hypercube"
+	"gaussiancube/internal/simnet"
+	"gaussiancube/internal/workload"
+)
+
+// TestEndToEndPipeline drives the whole stack the way a deployment
+// would: build the network, verify its structure, inject a bounded
+// fault pattern, run the distributed fault-status exchange, route
+// traffic, and simulate it — asserting cross-module consistency at
+// every stage.
+func TestEndToEndPipeline(t *testing.T) {
+	const n, alpha = 9, 2
+	cube := gc.New(n, alpha)
+	rng := rand.New(rand.NewSource(2024))
+
+	// Stage 1: structural sanity straight from the closed forms.
+	stats := cube.ComputeStats()
+	if stats.Links != cube.EdgeCount() || stats.Nodes != cube.Nodes() {
+		t.Fatal("stats disagree with the topology")
+	}
+	if !graph.Connected(cube) {
+		t.Fatal("cube must be connected")
+	}
+
+	// Stage 2: a Theorem-3-bounded A-category fault pattern.
+	fs := fault.NewSet(cube)
+	for i := 0; i < 10; i++ {
+		k := gc.NodeID(rng.Intn(int(cube.M())))
+		if cube.DimCount(k) == 0 {
+			continue
+		}
+		g := cube.GEEC(k, uint64(rng.Intn(cube.FrameCount(k))))
+		member := g.ToGC(hypercube.Node(rng.Intn(1 << g.Dim())))
+		d := g.Dims()[rng.Intn(len(g.Dims()))]
+		trial := fs.Clone()
+		trial.AddLink(member, d)
+		if trial.Theorem3Holds() {
+			fs = trial
+		}
+	}
+	if !fs.Theorem3Holds() {
+		t.Fatal("fault construction broke the invariant")
+	}
+	if got := uint64(fs.Count()); got > fault.TolerableBound(n, alpha) {
+		t.Fatalf("injected %d faults beyond the worst-case bound %d",
+			got, fault.TolerableBound(n, alpha))
+	}
+
+	// Stage 3: the distributed knowledge protocol must converge within
+	// the paper's round bound and stay within the storage bound.
+	report := fs.ExchangeFaultStatus()
+	if !report.Complete {
+		t.Fatal("fault-status exchange incomplete under Theorem 3 faults")
+	}
+	if report.Rounds > fault.RoundBound(n, alpha) {
+		t.Fatalf("exchange took %d rounds, bound is %d",
+			report.Rounds, fault.RoundBound(n, alpha))
+	}
+
+	// Stage 4: the bare strategy routes every pair without fallback.
+	router := core.NewRouter(cube, core.WithFaults(fs), core.WithoutFallback())
+	for trial := 0; trial < 300; trial++ {
+		s := gc.NodeID(rng.Intn(cube.Nodes()))
+		d := gc.NodeID(rng.Intn(cube.Nodes()))
+		res, err := router.Route(s, d)
+		if err != nil {
+			t.Fatalf("route %d->%d failed: %v", s, d, err)
+		}
+		if err := core.ValidatePath(cube, fs, res.Path, s, d); err != nil {
+			t.Fatal(err)
+		}
+		if !core.LivelockFree(res.Path) {
+			t.Fatalf("route %d->%d repeats a directed hop", s, d)
+		}
+	}
+
+	// Stage 5: simulated traffic over the same faults delivers
+	// everything it routes and reports consistent accounting.
+	simStats, err := simnet.Run(simnet.Config{
+		N: n, Alpha: alpha,
+		Arrival: 0.02, GenCycles: 60, Seed: 7,
+		Faults:      fs,
+		Warmup:      10,
+		HistBuckets: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simStats.Delivered+simStats.Undeliverable != simStats.Generated {
+		t.Fatal("simulator packet accounting broken")
+	}
+	if simStats.Undeliverable != 0 {
+		t.Fatalf("%d undeliverable packets under Theorem 3 faults", simStats.Undeliverable)
+	}
+	if simStats.AvgLatency() < 2 {
+		t.Fatalf("implausible latency %v", simStats.AvgLatency())
+	}
+	if simStats.LatencyHist.Stats().Count() != int64(simStats.Measured) {
+		t.Fatal("histogram and measured counts disagree")
+	}
+}
+
+// TestCollectivePipeline: broadcast and multidrop compose with the
+// fault layer and deliver everything the unicast layer can reach.
+func TestCollectivePipeline(t *testing.T) {
+	cube := gc.New(8, 1)
+	rng := rand.New(rand.NewSource(5))
+	fs := fault.NewSet(cube)
+	fs.InjectRandomNodes(rng, 3, 0)
+	router := core.NewRouter(cube, core.WithFaults(fs))
+
+	bt, err := router.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node reached by broadcast must also be unicast-reachable,
+	// and vice versa.
+	for v := 0; v < cube.Nodes(); v++ {
+		d := gc.NodeID(v)
+		if fs.NodeFaulty(d) || d == 0 {
+			continue
+		}
+		_, unicastErr := router.Route(0, d)
+		broadcastReached := bt.Parent[v] != -1
+		if broadcastReached != (unicastErr == nil) {
+			t.Fatalf("node %d: broadcast reached=%v but unicast err=%v",
+				v, broadcastReached, unicastErr)
+		}
+	}
+
+	// Multidrop across healthy destinations.
+	var dests []gc.NodeID
+	for len(dests) < 5 {
+		d := gc.NodeID(rng.Intn(cube.Nodes()))
+		if !fs.NodeFaulty(d) && d != 0 {
+			dests = append(dests, d)
+		}
+	}
+	walk, _, err := router.Multidrop(0, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ValidatePath(cube, fs, walk, 0, walk[len(walk)-1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPermutationTrafficEndToEnd: structured (permutation) workloads
+// run through the simulator with route caching and full delivery.
+func TestPermutationTrafficEndToEnd(t *testing.T) {
+	for _, p := range []workload.Pattern{
+		workload.BitComplement{Bits: 8},
+		workload.Transpose{Bits: 8},
+	} {
+		stats, err := simnet.Run(simnet.Config{
+			N: 8, Alpha: 1,
+			Arrival: 0.05, GenCycles: 40, Seed: 3,
+			Pattern:     p,
+			CacheRoutes: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Delivered != stats.Generated {
+			t.Errorf("%s: delivered %d of %d", p.Name(), stats.Delivered, stats.Generated)
+		}
+		if stats.RouteCacheHits == 0 {
+			t.Errorf("%s: permutation traffic should hit the route cache", p.Name())
+		}
+	}
+}

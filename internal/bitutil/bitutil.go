@@ -1,0 +1,134 @@
+// Package bitutil provides the bit-pattern primitives shared by every
+// topology in this repository.
+//
+// All node labels in Gaussian Cubes, Gaussian Trees, hypercubes and
+// exchanged hypercubes are plain bit strings, so the link-existence rules
+// of the paper reduce to masking and comparing bit fields. The helpers
+// here follow the paper's notation: for a label v, v[x:y] denotes the bit
+// pattern of v between dimensions y and x inclusive (x >= y), and bit 0 is
+// the least significant bit.
+package bitutil
+
+import "math/bits"
+
+// Mask returns a value whose low w bits are set. Mask(0) == 0.
+// w must be in [0, 64].
+func Mask(w uint) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// Bit reports the value (0 or 1) of bit i of v.
+func Bit(v uint64, i uint) uint64 {
+	return (v >> i) & 1
+}
+
+// HasBit reports whether bit i of v is set.
+func HasBit(v uint64, i uint) bool {
+	return (v>>i)&1 == 1
+}
+
+// Flip returns v with bit i inverted.
+func Flip(v uint64, i uint) uint64 {
+	return v ^ (uint64(1) << i)
+}
+
+// Set returns v with bit i forced to 1.
+func Set(v uint64, i uint) uint64 {
+	return v | (uint64(1) << i)
+}
+
+// Clear returns v with bit i forced to 0.
+func Clear(v uint64, i uint) uint64 {
+	return v &^ (uint64(1) << i)
+}
+
+// Field extracts v[hi:lo], the bits of v between dimensions lo and hi
+// inclusive, right-aligned. It is the paper's v[x:y] notation.
+// hi must be >= lo; both must be < 64.
+func Field(v uint64, hi, lo uint) uint64 {
+	return (v >> lo) & Mask(hi-lo+1)
+}
+
+// WithField returns v with bits [hi:lo] replaced by the low bits of f.
+func WithField(v uint64, hi, lo uint, f uint64) uint64 {
+	m := Mask(hi-lo+1) << lo
+	return (v &^ m) | ((f << lo) & m)
+}
+
+// Low returns the low w bits of v (v mod 2^w).
+func Low(v uint64, w uint) uint64 {
+	return v & Mask(w)
+}
+
+// Hamming returns the Hamming distance between x and y.
+func Hamming(x, y uint64) int {
+	return bits.OnesCount64(x ^ y)
+}
+
+// OnesCount returns the number of set bits in v.
+func OnesCount(v uint64) int {
+	return bits.OnesCount64(v)
+}
+
+// HighestBit returns the index of the most significant set bit of v,
+// or -1 if v == 0. It is the "dimension corresponding to the leftmost 1"
+// used throughout the PC algorithm.
+func HighestBit(v uint64) int {
+	if v == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(v)
+}
+
+// LowestBit returns the index of the least significant set bit of v,
+// or -1 if v == 0.
+func LowestBit(v uint64) int {
+	if v == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(v)
+}
+
+// BitsSet returns the indices of all set bits of v in increasing order.
+func BitsSet(v uint64) []uint {
+	out := make([]uint, 0, bits.OnesCount64(v))
+	for v != 0 {
+		i := uint(bits.TrailingZeros64(v))
+		out = append(out, i)
+		v &= v - 1
+	}
+	return out
+}
+
+// BinaryString formats the low width bits of v as a binary string,
+// most significant bit first, e.g. BinaryString(5, 4) == "0101".
+func BinaryString(v uint64, width uint) string {
+	if width == 0 {
+		return ""
+	}
+	b := make([]byte, width)
+	for i := uint(0); i < width; i++ {
+		if HasBit(v, width-1-i) {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// Log2 returns log2(v) for a power of two v, and -1 otherwise.
+func Log2(v uint64) int {
+	if v == 0 || v&(v-1) != 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(v)
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v uint64) bool {
+	return v != 0 && v&(v-1) == 0
+}

@@ -1,0 +1,246 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		w    uint
+		want uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 7},
+		{8, 0xff},
+		{16, 0xffff},
+		{63, ^uint64(0) >> 1},
+		{64, ^uint64(0)},
+		{70, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.w); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.w, got, c.want)
+		}
+	}
+}
+
+func TestBitOps(t *testing.T) {
+	v := uint64(0b1010_1100)
+	if Bit(v, 2) != 1 || Bit(v, 0) != 0 {
+		t.Errorf("Bit: got bit2=%d bit0=%d", Bit(v, 2), Bit(v, 0))
+	}
+	if !HasBit(v, 3) || HasBit(v, 4) {
+		t.Errorf("HasBit wrong for %#b", v)
+	}
+	if Flip(v, 0) != 0b1010_1101 {
+		t.Errorf("Flip(%#b,0) = %#b", v, Flip(v, 0))
+	}
+	if Set(v, 0) != 0b1010_1101 {
+		t.Errorf("Set(%#b,0) = %#b", v, Set(v, 0))
+	}
+	if Set(v, 2) != v {
+		t.Errorf("Set should be idempotent on set bit")
+	}
+	if Clear(v, 2) != 0b1010_1000 {
+		t.Errorf("Clear(%#b,2) = %#b", v, Clear(v, 2))
+	}
+	if Clear(v, 0) != v {
+		t.Errorf("Clear should be idempotent on clear bit")
+	}
+}
+
+func TestField(t *testing.T) {
+	v := uint64(0b1101_0110)
+	cases := []struct {
+		hi, lo uint
+		want   uint64
+	}{
+		{0, 0, 0},
+		{1, 0, 0b10},
+		{2, 1, 0b11},
+		{7, 4, 0b1101},
+		{7, 0, v},
+		{3, 3, 0},
+		{4, 4, 1},
+	}
+	for _, c := range cases {
+		if got := Field(v, c.hi, c.lo); got != c.want {
+			t.Errorf("Field(%#b, %d, %d) = %#b, want %#b", v, c.hi, c.lo, got, c.want)
+		}
+	}
+}
+
+func TestWithField(t *testing.T) {
+	v := uint64(0b1111_1111)
+	if got := WithField(v, 3, 0, 0b0101); got != 0b1111_0101 {
+		t.Errorf("WithField = %#b", got)
+	}
+	if got := WithField(uint64(0), 5, 2, 0b1111); got != 0b11_1100 {
+		t.Errorf("WithField on zero = %#b", got)
+	}
+	// Extra high bits of f must be ignored.
+	if got := WithField(uint64(0), 2, 1, 0xff); got != 0b110 {
+		t.Errorf("WithField must mask f: got %#b", got)
+	}
+}
+
+func TestWithFieldFieldRoundTrip(t *testing.T) {
+	f := func(v uint64, hiRaw, loRaw uint8, val uint64) bool {
+		hi := uint(hiRaw % 60)
+		lo := uint(loRaw % 60)
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		w := WithField(v, hi, lo, val)
+		return Field(w, hi, lo) == Low(val, hi-lo+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLow(t *testing.T) {
+	if Low(0b110101, 3) != 0b101 {
+		t.Errorf("Low(0b110101,3) = %#b", Low(0b110101, 3))
+	}
+	if Low(0xff, 0) != 0 {
+		t.Errorf("Low(v,0) should be 0")
+	}
+}
+
+func TestHamming(t *testing.T) {
+	if Hamming(0, 0) != 0 {
+		t.Error("Hamming(0,0) != 0")
+	}
+	if Hamming(0b1010, 0b0101) != 4 {
+		t.Error("Hamming(1010,0101) != 4")
+	}
+	if Hamming(0xff, 0xfe) != 1 {
+		t.Error("Hamming(ff,fe) != 1")
+	}
+}
+
+func TestHighestLowestBit(t *testing.T) {
+	if HighestBit(0) != -1 || LowestBit(0) != -1 {
+		t.Error("zero should report -1")
+	}
+	cases := []struct {
+		v        uint64
+		high, lo int
+	}{
+		{1, 0, 0},
+		{0b1000, 3, 3},
+		{0b1010, 3, 1},
+		{^uint64(0), 63, 0},
+	}
+	for _, c := range cases {
+		if HighestBit(c.v) != c.high {
+			t.Errorf("HighestBit(%#b) = %d, want %d", c.v, HighestBit(c.v), c.high)
+		}
+		if LowestBit(c.v) != c.lo {
+			t.Errorf("LowestBit(%#b) = %d, want %d", c.v, LowestBit(c.v), c.lo)
+		}
+	}
+}
+
+func TestBitsSet(t *testing.T) {
+	got := BitsSet(0b1011_0001)
+	want := []uint{0, 4, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("BitsSet = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("BitsSet = %v, want %v", got, want)
+		}
+	}
+	if len(BitsSet(0)) != 0 {
+		t.Error("BitsSet(0) should be empty")
+	}
+}
+
+func TestBitsSetMatchesOnesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		v := rng.Uint64()
+		if len(BitsSet(v)) != OnesCount(v) {
+			t.Fatalf("BitsSet length mismatch for %#x", v)
+		}
+		// Reconstruct the value from its set bits.
+		var r uint64
+		for _, b := range BitsSet(v) {
+			r |= 1 << b
+		}
+		if r != v {
+			t.Fatalf("BitsSet does not reconstruct %#x", v)
+		}
+	}
+}
+
+func TestBinaryString(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		w    uint
+		want string
+	}{
+		{5, 4, "0101"},
+		{0, 3, "000"},
+		{7, 3, "111"},
+		{0b10, 2, "10"},
+		{1, 1, "1"},
+		{3, 0, ""},
+	}
+	for _, c := range cases {
+		if got := BinaryString(c.v, c.w); got != c.want {
+			t.Errorf("BinaryString(%d, %d) = %q, want %q", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestLog2IsPow2(t *testing.T) {
+	if Log2(0) != -1 || Log2(3) != -1 || Log2(6) != -1 {
+		t.Error("Log2 must reject non-powers")
+	}
+	for i := 0; i < 30; i++ {
+		v := uint64(1) << i
+		if Log2(v) != i {
+			t.Errorf("Log2(%d) = %d, want %d", v, Log2(v), i)
+		}
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	if IsPow2(0) || IsPow2(12) {
+		t.Error("IsPow2 wrong on non-powers")
+	}
+}
+
+func TestFlipInvolution(t *testing.T) {
+	f := func(v uint64, iRaw uint8) bool {
+		i := uint(iRaw % 64)
+		return Flip(Flip(v, i), i) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingIsMetric(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		// Symmetry, identity, triangle inequality.
+		if Hamming(x, y) != Hamming(y, x) {
+			return false
+		}
+		if (Hamming(x, y) == 0) != (x == y) {
+			return false
+		}
+		return Hamming(x, z) <= Hamming(x, y)+Hamming(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

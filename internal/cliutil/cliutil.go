@@ -1,0 +1,79 @@
+// Package cliutil holds the flag-parsing helpers shared by the command
+// line tools, kept separate so they are unit-testable.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// ParseNodeList parses a comma-separated list of node labels (decimal,
+// 0x hex or 0b binary).
+func ParseNodeList(s string) ([]gc.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []gc.NodeID
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(tok), 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad node %q: %v", tok, err)
+		}
+		out = append(out, gc.NodeID(v))
+	}
+	return out, nil
+}
+
+// Link is a parsed node:dimension pair.
+type Link struct {
+	Node gc.NodeID
+	Dim  uint
+}
+
+// ParseLinkList parses a comma-separated list of node:dim link
+// specifications.
+func ParseLinkList(s string) ([]Link, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Link
+	for _, tok := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(tok), ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad link %q (want node:dim)", tok)
+		}
+		v, err1 := strconv.ParseUint(parts[0], 0, 32)
+		d, err2 := strconv.ParseUint(parts[1], 0, 8)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad link %q (want node:dim)", tok)
+		}
+		out = append(out, Link{Node: gc.NodeID(v), Dim: uint(d)})
+	}
+	return out, nil
+}
+
+// BuildFaultSet assembles a fault set for cube c from parsed node and
+// link lists, validating ranges and link existence.
+func BuildFaultSet(c *gc.Cube, nodes []gc.NodeID, links []Link) (*fault.Set, error) {
+	fs := fault.NewSet(c)
+	for _, v := range nodes {
+		if int(v) >= c.Nodes() {
+			return nil, fmt.Errorf("fault node %d out of range for GC(%d,%d)", v, c.N(), c.M())
+		}
+		fs.AddNode(v)
+	}
+	for _, l := range links {
+		if int(l.Node) >= c.Nodes() {
+			return nil, fmt.Errorf("fault link node %d out of range", l.Node)
+		}
+		if !c.HasLinkDim(l.Node, l.Dim) {
+			return nil, fmt.Errorf("node %d has no link in dimension %d", l.Node, l.Dim)
+		}
+		fs.AddLink(l.Node, l.Dim)
+	}
+	return fs, nil
+}

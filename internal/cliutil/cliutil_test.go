@@ -1,0 +1,71 @@
+package cliutil
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+func TestParseNodeList(t *testing.T) {
+	nodes, err := ParseNodeList("1, 0x10,0b101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []gc.NodeID{1, 16, 5}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+	if n, err := ParseNodeList("  "); err != nil || n != nil {
+		t.Error("empty list must parse to nil")
+	}
+	if _, err := ParseNodeList("1,x"); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := ParseNodeList("-3"); err == nil {
+		t.Error("negative must fail")
+	}
+}
+
+func TestParseLinkList(t *testing.T) {
+	links, err := ParseLinkList("4:0, 0x8:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 || links[0] != (Link{4, 0}) || links[1] != (Link{8, 2}) {
+		t.Fatalf("links = %v", links)
+	}
+	if l, err := ParseLinkList(""); err != nil || l != nil {
+		t.Error("empty list must parse to nil")
+	}
+	for _, bad := range []string{"4", "a:b", "4:", ":1", "4:999"} {
+		if _, err := ParseLinkList(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+}
+
+func TestBuildFaultSet(t *testing.T) {
+	c := gc.New(6, 1)
+	fs, err := BuildFaultSet(c, []gc.NodeID{3}, []Link{{Node: 0, Dim: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.NodeFaulty(3) || !fs.LinkFaulty(0, 0) {
+		t.Error("fault set incomplete")
+	}
+	if _, err := BuildFaultSet(c, []gc.NodeID{200}, nil); err == nil {
+		t.Error("out-of-range node must fail")
+	}
+	if _, err := BuildFaultSet(c, nil, []Link{{Node: 200, Dim: 0}}); err == nil {
+		t.Error("out-of-range link node must fail")
+	}
+	// Node 0 in GC(6,2) has no dimension-1 link.
+	if _, err := BuildFaultSet(c, nil, []Link{{Node: 0, Dim: 1}}); err == nil {
+		t.Error("nonexistent link must fail")
+	}
+}

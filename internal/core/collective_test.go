@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+)
+
+func TestBroadcastCoversEverything(t *testing.T) {
+	c := gc.New(8, 2)
+	r := NewRouter(c)
+	bt, err := r.Broadcast(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Reached != c.Nodes() {
+		t.Fatalf("broadcast reached %d of %d", bt.Reached, c.Nodes())
+	}
+	if bt.Steps != r.Eccentricity(37) {
+		t.Errorf("broadcast steps %d, eccentricity %d", bt.Steps, r.Eccentricity(37))
+	}
+	// Parents are neighbors and depths are consistent.
+	for v := 0; v < c.Nodes(); v++ {
+		p := bt.Parent[v]
+		if gc.NodeID(v) == bt.Root {
+			if p != int32(bt.Root) || bt.Depth[v] != 0 {
+				t.Fatal("root bookkeeping wrong")
+			}
+			continue
+		}
+		if !graph.Adjacent(c, gc.NodeID(v), gc.NodeID(p)) {
+			t.Fatalf("parent of %d is not adjacent", v)
+		}
+		if bt.Depth[v] != bt.Depth[p]+1 {
+			t.Fatalf("depth of %d inconsistent", v)
+		}
+	}
+}
+
+func TestBroadcastAroundFaults(t *testing.T) {
+	c := gc.New(8, 1)
+	fs := fault.NewSet(c)
+	rng := rand.New(rand.NewSource(3))
+	fs.InjectRandomNodes(rng, 5, 0)
+	r := NewRouter(c, WithFaults(fs))
+	bt, err := r.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faulty nodes are never reached; everything else connected is.
+	for v := 0; v < c.Nodes(); v++ {
+		if fs.NodeFaulty(gc.NodeID(v)) && bt.Parent[v] != -1 {
+			t.Fatalf("broadcast reached faulty node %d", v)
+		}
+	}
+	if bt.Reached < c.Nodes()-5-10 {
+		t.Errorf("broadcast reached only %d nodes", bt.Reached)
+	}
+}
+
+func TestBroadcastFaultyRoot(t *testing.T) {
+	c := gc.New(6, 1)
+	fs := fault.NewSet(c)
+	fs.AddNode(9)
+	r := NewRouter(c, WithFaults(fs))
+	if _, err := r.Broadcast(9); err != ErrFaultyEndpoint {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := r.Broadcast(gc.NodeID(c.Nodes())); err == nil {
+		t.Error("out-of-range root must fail")
+	}
+}
+
+func TestChildrenAndGatherSchedule(t *testing.T) {
+	c := gc.New(6, 1)
+	r := NewRouter(c)
+	bt, err := r.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Children lists must partition the non-root nodes.
+	count := 0
+	for v := 0; v < c.Nodes(); v++ {
+		count += len(bt.Children(gc.NodeID(v)))
+	}
+	if count != c.Nodes()-1 {
+		t.Errorf("children total %d, want %d", count, c.Nodes()-1)
+	}
+	rounds := bt.GatherSchedule()
+	if len(rounds) != bt.Steps {
+		t.Fatalf("gather rounds %d, want %d", len(rounds), bt.Steps)
+	}
+	// Every non-root node sends exactly once, to its parent, and only
+	// after all its children have sent.
+	sentRound := make(map[gc.NodeID]int)
+	total := 0
+	for i, round := range rounds {
+		for _, msg := range round {
+			child, parent := msg[0], msg[1]
+			if bt.Parent[child] != int32(parent) {
+				t.Fatalf("gather message %d->%d is not a tree edge", child, parent)
+			}
+			sentRound[child] = i
+			total++
+		}
+	}
+	if total != c.Nodes()-1 {
+		t.Fatalf("gather sent %d messages, want %d", total, c.Nodes()-1)
+	}
+	for v := 0; v < c.Nodes(); v++ {
+		for _, ch := range bt.Children(gc.NodeID(v)) {
+			if gc.NodeID(v) != bt.Root && sentRound[ch] >= sentRound[gc.NodeID(v)] {
+				t.Fatalf("node %d sent before its child %d", v, ch)
+			}
+		}
+	}
+}
+
+func TestMultidropVisitsAll(t *testing.T) {
+	c := gc.New(9, 2)
+	r := NewRouter(c)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		src := gc.NodeID(rng.Intn(c.Nodes()))
+		dests := make([]gc.NodeID, 1+rng.Intn(6))
+		for i := range dests {
+			dests[i] = gc.NodeID(rng.Intn(c.Nodes()))
+		}
+		walk, order, err := r.Multidrop(src, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if walk[0] != src {
+			t.Fatal("walk must start at the source")
+		}
+		if len(order) == 0 && len(dests) > 0 && dests[0] != src {
+			t.Fatal("drop order must not be empty")
+		}
+		if err := ValidatePath(c, nil, walk, src, walk[len(walk)-1]); err != nil {
+			t.Fatal(err)
+		}
+		visited := map[gc.NodeID]bool{}
+		for _, v := range walk {
+			visited[v] = true
+		}
+		for _, d := range dests {
+			if !visited[d] {
+				t.Fatalf("multidrop missed destination %d", d)
+			}
+		}
+	}
+}
+
+func TestMultidropEdgeCases(t *testing.T) {
+	c := gc.New(6, 1)
+	r := NewRouter(c)
+	w, _, err := r.Multidrop(3, nil)
+	if err != nil || len(w) != 1 {
+		t.Errorf("empty multidrop = %v, %v", w, err)
+	}
+	// Destinations equal to the source are dropped.
+	w, _, err = r.Multidrop(3, []gc.NodeID{3, 3})
+	if err != nil || len(w) != 1 {
+		t.Errorf("self multidrop = %v, %v", w, err)
+	}
+	if _, _, err := r.Multidrop(3, []gc.NodeID{gc.NodeID(c.Nodes())}); err == nil {
+		t.Error("out-of-range destination must fail")
+	}
+}
+
+// TestMultidropGroupsClasses: the planned drop order must keep
+// destinations of the same ending class contiguous (the CT ordering
+// property that keeps the walk near the Steiner bound).
+func TestMultidropGroupsClasses(t *testing.T) {
+	c := gc.New(8, 2)
+	r := NewRouter(c)
+	dests := []gc.NodeID{0b11, 0b100 | 0b11, 0b10, 0b1000 | 0b10, 0b10000 | 0b11}
+	_, order, err := r.Multidrop(1, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(dests) {
+		t.Fatalf("drop order has %d entries, want %d", len(order), len(dests))
+	}
+	// Once a class's block ends, it must never reappear.
+	done := map[gc.NodeID]bool{}
+	var cur gc.NodeID
+	for i, d := range order {
+		k := c.EndingClass(d)
+		if i == 0 || k != cur {
+			if done[k] {
+				t.Fatalf("class %d drops are not contiguous: %v", k, order)
+			}
+			done[cur] = true
+			cur = k
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// TestRouterConcurrentUse: one Router instance driven from many
+// goroutines must produce valid routes (run under -race in CI).
+func TestRouterConcurrentUse(t *testing.T) {
+	cube := gc.New(9, 2)
+	fs := fault.NewSet(cube)
+	fs.InjectRandomNodes(rand.New(rand.NewSource(77)), 3)
+	r := NewRouter(cube, WithFaults(fs))
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 100; i++ {
+				s := gc.NodeID(rng.Intn(cube.Nodes()))
+				d := gc.NodeID(rng.Intn(cube.Nodes()))
+				if fs.NodeFaulty(s) || fs.NodeFaulty(d) {
+					continue
+				}
+				res, err := r.Route(s, d)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := ValidatePath(cube, fs, res.Path, s, d); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/gc"
+)
+
+// Deadlock analysis. The paper claims its routes are deadlock-free; in
+// its simulation model (eager readership: service strictly faster than
+// arrival, unbounded acceptance) store-and-forward deadlock cannot
+// arise by construction. For bounded-buffer operation the classical
+// criterion (Dally–Seitz) is acyclicity of the channel dependency
+// graph (CDG): one vertex per directed link, an arc c1 -> c2 whenever
+// some route may hold c1 while requesting c2. This file builds the CDG
+// of a route set so that claim can be checked mechanically.
+//
+// Two results are pinned by tests:
+//
+//   - pure e-cube traffic inside any single GEEC slice yields an
+//     acyclic CDG (the classical dimension-order result);
+//   - full FFGCR traffic is cyclic in the plain one-channel-per-link
+//     CDG (tree walks descend and re-ascend dimensions), which is why
+//     the paper leans on the eager-readership assumption; the
+//     CDGWithUpDownChannels variant splits every link into an "up" and
+//     "down" virtual channel keyed by the tree-walk direction and
+//     restores acyclicity for tree-only traffic.
+
+// Channel identifies a directed link with a virtual-channel index.
+type Channel struct {
+	From, To gc.NodeID
+	VC       uint8
+}
+
+// CDG is a channel dependency graph.
+type CDG struct {
+	next map[Channel]map[Channel]bool
+}
+
+// NewCDG returns an empty dependency graph.
+func NewCDG() *CDG {
+	return &CDG{next: make(map[Channel]map[Channel]bool)}
+}
+
+// AddRoute inserts the dependencies of one path, assigning every hop
+// virtual channel 0.
+func (g *CDG) AddRoute(path []gc.NodeID) {
+	g.AddRouteVC(path, func(int, []gc.NodeID) uint8 { return 0 })
+}
+
+// AddRouteVC inserts the dependencies of one path with a caller-chosen
+// virtual channel per hop (hop i is path[i] -> path[i+1]).
+func (g *CDG) AddRouteVC(path []gc.NodeID, vc func(hop int, path []gc.NodeID) uint8) {
+	var prev Channel
+	for i := 0; i+1 < len(path); i++ {
+		ch := Channel{From: path[i], To: path[i+1], VC: vc(i, path)}
+		if _, ok := g.next[ch]; !ok {
+			g.next[ch] = make(map[Channel]bool)
+		}
+		if i > 0 {
+			g.next[prev][ch] = true
+		}
+		prev = ch
+	}
+}
+
+// Channels returns the number of channels seen.
+func (g *CDG) Channels() int { return len(g.next) }
+
+// Acyclic reports whether the dependency graph has no directed cycle.
+func (g *CDG) Acyclic() bool {
+	const (
+		unseen = 0
+		active = 1
+		done   = 2
+	)
+	state := make(map[Channel]int, len(g.next))
+	var visit func(c Channel) bool
+	visit = func(c Channel) bool {
+		switch state[c] {
+		case active:
+			return false
+		case done:
+			return true
+		}
+		state[c] = active
+		for w := range g.next[c] {
+			if !visit(w) {
+				return false
+			}
+		}
+		state[c] = done
+		return true
+	}
+	for c := range g.next {
+		if !visit(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// TreeHopVC assigns virtual channels for Gaussian-Cube paths: hops in
+// high dimensions (within a class) take VC 0; tree-edge hops take VC 1
+// while the walk moves "away" from vertex 0 of the tree (depth
+// increasing) and VC 2 on the way back. For traffic whose tree walks
+// are monotone segments (up then down, as PC trunks are), this is the
+// classical up*/down* split that breaks dependency cycles on the tree.
+func TreeHopVC(c *gc.Cube) func(hop int, path []gc.NodeID) uint8 {
+	tr := c.Tree()
+	return func(hop int, path []gc.NodeID) uint8 {
+		u, v := path[hop], path[hop+1]
+		dim := uint(bitutil.LowestBit(uint64(u ^ v)))
+		if dim >= c.Alpha() {
+			return 0
+		}
+		ku, kv := c.EndingClass(u), c.EndingClass(v)
+		if tr.Depth(kv) > tr.Depth(ku) {
+			return 1
+		}
+		return 2
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+)
+
+func TestDisjointRoutesHypercube(t *testing.T) {
+	// In GC(5,1) = Q5 every pair has exactly 5 edge-disjoint paths.
+	c := gc.New(5, 0)
+	r := NewRouter(c)
+	paths, err := r.DisjointRoutes(0, 31, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("Q5 disjoint paths = %d, want 5", len(paths))
+	}
+	seen := make(map[graph.Edge]bool)
+	for _, p := range paths {
+		if err := ValidatePath(c, nil, p, 0, 31); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(p); i++ {
+			e := graph.Edge{U: p[i-1], V: p[i]}.Normalize()
+			if seen[e] {
+				t.Fatal("edge reused")
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestDisjointRoutesBoundedByDegree(t *testing.T) {
+	c := gc.New(9, 2)
+	r := NewRouter(c)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		s := gc.NodeID(rng.Intn(c.Nodes()))
+		d := gc.NodeID(rng.Intn(c.Nodes()))
+		if s == d {
+			continue
+		}
+		paths, err := r.DisjointRoutes(s, d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := c.Degree(s)
+		if dd := c.Degree(d); dd < bound {
+			bound = dd
+		}
+		if len(paths) < 1 || len(paths) > bound {
+			t.Fatalf("%d->%d: %d paths, degree bound %d", s, d, len(paths), bound)
+		}
+		for _, p := range paths {
+			if err := ValidatePath(c, nil, p, s, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDisjointRoutesAvoidFaults(t *testing.T) {
+	c := gc.New(8, 1)
+	fs := fault.NewSet(c)
+	rng := rand.New(rand.NewSource(9))
+	fs.InjectRandomNodes(rng, 4, 0, 255)
+	r := NewRouter(c, WithFaults(fs))
+	paths, err := r.DisjointRoutes(0, 255, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("healthy subgraph should still connect the pair")
+	}
+	for _, p := range paths {
+		if err := ValidatePath(c, fs, p, 0, 255); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fault set can only reduce the path count.
+	clean := NewRouter(c)
+	cleanPaths, err := clean.DisjointRoutes(0, 255, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) > len(cleanPaths) {
+		t.Errorf("faults increased disjoint path count: %d > %d",
+			len(paths), len(cleanPaths))
+	}
+}
+
+func TestDisjointRoutesErrors(t *testing.T) {
+	c := gc.New(6, 1)
+	fs := fault.NewSet(c)
+	fs.AddNode(3)
+	r := NewRouter(c, WithFaults(fs))
+	if _, err := r.DisjointRoutes(3, 0, 0); err != ErrFaultyEndpoint {
+		t.Errorf("faulty endpoint: %v", err)
+	}
+	if _, err := r.DisjointRoutes(0, 1<<10, 0); err == nil {
+		t.Error("out-of-range must fail")
+	}
+	paths, err := r.DisjointRoutes(5, 5, 0)
+	if err != nil || paths != nil {
+		t.Errorf("self pair: %v, %v", paths, err)
+	}
+}

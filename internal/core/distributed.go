@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+// The distributed engine realizes the paper's claim that the strategy
+// needs only O(n) message overhead: a packet carries nothing but its
+// destination, and every node derives the next hop locally.
+//
+// The derivation: the pending high dimensions are the set bits of
+// cur XOR dest at positions >= alpha — recomputable anywhere — and the
+// remaining class walk can be replanned from the current class at every
+// hop. Replanning is consistent: the minimal covering walk length
+// W(k) = 2·|Steiner edges| − dist(k, kd) drops by exactly 1 with every
+// tree hop along an optimal walk (the remaining suffix is a candidate
+// walk, and prefixing the reverse hop bounds the other direction), and
+// every in-class hop clears a pending bit, so the potential
+// W + |pending| strictly decreases and the packet cannot oscillate.
+
+// ErrNotDelivered reports that a hop-by-hop walk exceeded its budget —
+// impossible for the fault-free engine (see the potential argument
+// above); it guards against misuse.
+var ErrNotDelivered = errors.New("core: distributed walk did not reach the destination")
+
+// NextHop computes the next node on the way from cur to dest using only
+// information local to cur (its own label, the destination, and the
+// topology parameters). It is the fault-free distributed form of FFGCR.
+// The second result is false when cur == dest.
+func (r *Router) NextHop(cur, dest gc.NodeID) (gc.NodeID, bool) {
+	if cur == dest {
+		return cur, false
+	}
+	c := r.cube
+	diff := uint64(cur ^ dest)
+
+	// 1. Clear a pending high dimension owned by the current class,
+	//    lowest first (the e-cube order inside the GEEC slice).
+	kCur := c.EndingClass(cur)
+	for _, i := range bitutil.BitsSet(diff) {
+		if i < c.Alpha() {
+			continue
+		}
+		if gtree.Node(bitutil.Low(uint64(i), c.Alpha())) == kCur {
+			return cur ^ (1 << i), true
+		}
+	}
+
+	// 2. Otherwise take the next tree edge of the replanned minimal
+	//    covering walk from the current class.
+	var need []gtree.Node
+	seen := map[gtree.Node]bool{}
+	for _, i := range bitutil.BitsSet(diff) {
+		if i < c.Alpha() {
+			continue
+		}
+		k := gtree.Node(bitutil.Low(uint64(i), c.Alpha()))
+		if !seen[k] {
+			seen[k] = true
+			need = append(need, k)
+		}
+	}
+	walk := treeWalkVisiting(c.Tree(), kCur, c.EndingClass(dest), need)
+	if len(walk) < 2 {
+		// No tree move and no high dimension left: cur == dest was
+		// handled above, so this cannot happen.
+		panic(fmt.Sprintf("core: distributed stall at %d -> %d", cur, dest))
+	}
+	dim := c.Tree().EdgeDim(walk[0], walk[1])
+	return cur ^ (1 << dim), true
+}
+
+// DistributedRoute drives NextHop from s to d and returns the walk. It
+// exists to validate the distributed engine against the source-routed
+// planner; the two produce walks of identical (optimal) length.
+func (r *Router) DistributedRoute(s, d gc.NodeID) ([]gc.NodeID, error) {
+	walk := []gc.NodeID{s}
+	cur := s
+	budget := r.OptimalLength(s, d) + 1
+	for i := 0; i < budget; i++ {
+		next, more := r.NextHop(cur, d)
+		if !more {
+			return walk, nil
+		}
+		cur = next
+		walk = append(walk, cur)
+	}
+	if cur == d {
+		return walk, nil
+	}
+	return walk, ErrNotDelivered
+}

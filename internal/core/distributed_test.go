@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestDistributedMatchesPlannedLength: the hop-by-hop engine must reach
+// the destination in exactly the optimal number of hops, for every pair
+// of several cubes (the potential-function argument, verified).
+func TestDistributedMatchesPlannedLength(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{
+		{5, 1}, {6, 2}, {7, 2}, {7, 3}, {6, 0}, {5, 5},
+	} {
+		c := gc.New(cfg.n, cfg.alpha)
+		r := NewRouter(c)
+		nodes := gc.NodeID(c.Nodes())
+		for s := gc.NodeID(0); s < nodes; s++ {
+			for d := gc.NodeID(0); d < nodes; d++ {
+				walk, err := r.DistributedRoute(s, d)
+				if err != nil {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %v", cfg.n, cfg.alpha, s, d, err)
+				}
+				if err := ValidatePath(c, nil, walk, s, d); err != nil {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %v", cfg.n, cfg.alpha, s, d, err)
+				}
+				if len(walk)-1 != r.OptimalLength(s, d) {
+					t.Fatalf("GC(%d,2^%d) %d->%d: distributed %d hops, optimal %d",
+						cfg.n, cfg.alpha, s, d, len(walk)-1, r.OptimalLength(s, d))
+				}
+			}
+		}
+	}
+}
+
+// TestNextHopIsMemoryless: the next hop from any intermediate node of a
+// distributed walk equals the walk's own next node — i.e. the engine
+// needs no per-packet state beyond the destination (the O(n) message
+// overhead claim).
+func TestNextHopIsMemoryless(t *testing.T) {
+	c := gc.New(9, 2)
+	r := NewRouter(c)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		s := gc.NodeID(rng.Intn(c.Nodes()))
+		d := gc.NodeID(rng.Intn(c.Nodes()))
+		walk, err := r.DistributedRoute(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+1 < len(walk); i++ {
+			next, more := r.NextHop(walk[i], d)
+			if !more || next != walk[i+1] {
+				t.Fatalf("NextHop(%d, %d) = %d,%v; walk continues to %d",
+					walk[i], d, next, more, walk[i+1])
+			}
+		}
+	}
+}
+
+func TestNextHopAtDestination(t *testing.T) {
+	c := gc.New(6, 1)
+	r := NewRouter(c)
+	if _, more := r.NextHop(9, 9); more {
+		t.Error("NextHop at the destination must report done")
+	}
+}
+
+// TestDistributedQuick is the property-based form: random cube
+// parameters and endpoints, the walk always delivers optimally.
+func TestDistributedQuick(t *testing.T) {
+	f := func(nRaw, aRaw uint8, sRaw, dRaw uint16) bool {
+		n := uint(4 + nRaw%6) // 4..9
+		alpha := uint(aRaw) % (n + 1)
+		c := gc.New(n, alpha)
+		r := NewRouter(c)
+		s := gc.NodeID(uint(sRaw) % uint(c.Nodes()))
+		d := gc.NodeID(uint(dRaw) % uint(c.Nodes()))
+		walk, err := r.DistributedRoute(s, d)
+		if err != nil {
+			return false
+		}
+		if ValidatePath(c, nil, walk, s, d) != nil {
+			return false
+		}
+		return len(walk)-1 == r.OptimalLength(s, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+)
+
+// TestTallThinCubes: configurations near the degenerate ends — alpha
+// within one of n — exercise the planner where the tree dominates and
+// classes own at most one dimension.
+func TestTallThinCubes(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{
+		{5, 4}, {6, 5}, {7, 6}, {8, 7},
+	} {
+		c := gc.New(cfg.n, cfg.alpha)
+		r := NewRouter(c)
+		nodes := gc.NodeID(c.Nodes())
+		for s := gc.NodeID(0); s < nodes; s += 3 {
+			dist := graph.BFS(c, s)
+			for d := gc.NodeID(0); d < nodes; d += 7 {
+				res, err := r.Route(s, d)
+				if err != nil {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %v", cfg.n, cfg.alpha, s, d, err)
+				}
+				if res.Hops() != dist[d] {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %d hops, BFS %d",
+						cfg.n, cfg.alpha, s, d, res.Hops(), dist[d])
+				}
+			}
+		}
+	}
+}
+
+// TestMinimalCube: GC(1, *) is a single link; GC(2, 2) is the 4-node
+// tree path.
+func TestMinimalCube(t *testing.T) {
+	c1 := gc.New(1, 0)
+	r1 := NewRouter(c1)
+	res, err := r1.Route(0, 1)
+	if err != nil || res.Hops() != 1 {
+		t.Errorf("GC(1,1) 0->1: %+v, %v", res, err)
+	}
+	c2 := gc.New(2, 2)
+	r2 := NewRouter(c2)
+	// T_4 path 0-1-3-2: route 0 -> 2 takes 3 hops.
+	res, err = r2.Route(0, 2)
+	if err != nil || res.Hops() != 3 {
+		t.Errorf("GC(2,4) 0->2: hops=%d, %v", res.Hops(), err)
+	}
+}
+
+// TestAllConfigsSmoke routes a fixed pair on every (n, alpha) up to
+// n = 12, alpha <= 6 — a configuration sweep for panics and validity.
+func TestAllConfigsSmoke(t *testing.T) {
+	for n := uint(2); n <= 12; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 6; alpha++ {
+			c := gc.New(n, alpha)
+			r := NewRouter(c)
+			s := gc.NodeID(1)
+			d := gc.NodeID(c.Nodes() - 2)
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("GC(%d,2^%d): %v", n, alpha, err)
+			}
+			if err := ValidatePath(c, nil, res.Path, s, d); err != nil {
+				t.Fatalf("GC(%d,2^%d): %v", n, alpha, err)
+			}
+			if walk, err := r.DistributedRoute(s, d); err != nil || len(walk)-1 != res.Hops() {
+				t.Fatalf("GC(%d,2^%d): distributed mismatch (%v)", n, alpha, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/exchanged"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+// routePlan is the tree-level plan of FFGCR (Algorithm 3): the class
+// walk to perform and the high dimensions to correct, grouped by the
+// class that owns them.
+type routePlan struct {
+	s, d gc.NodeID
+	// walk is the ending-class walk: the PC trunk from class(s) to
+	// class(d), with CT excursions attached at branch points so that
+	// every class owning a pending dimension is visited.
+	walk []gtree.Node
+	// pending[k] is the mask of GC dimensions in Dim(k) that must be
+	// flipped, for each class k that owns at least one.
+	pending map[gtree.Node]uint32
+}
+
+// plan computes the FFGCR tree-level plan for the pair (s, d).
+func (r *Router) plan(s, d gc.NodeID) *routePlan {
+	c := r.cube
+	tr := c.Tree()
+	p := &routePlan{s: s, d: d, pending: make(map[gtree.Node]uint32)}
+
+	// P = { i in [alpha, n-1] : bit i of s XOR d set }, grouped by the
+	// owning class i mod 2^alpha (Definition 2 / Section 4).
+	diff := uint64(s ^ d)
+	var need []gtree.Node
+	for _, i := range bitutil.BitsSet(diff) {
+		if i < c.Alpha() {
+			continue
+		}
+		k := gtree.Node(bitutil.Low(uint64(i), c.Alpha()))
+		if p.pending[k] == 0 {
+			need = append(need, k)
+		}
+		p.pending[k] |= 1 << i
+	}
+
+	ks, kd := c.EndingClass(s), c.EndingClass(d)
+	p.walk = treeWalkVisiting(tr, ks, kd, need)
+	return p
+}
+
+// treeWalkVisiting builds the minimal walk from ks to kd in the tree
+// that visits every class in need: the PC trunk, with a CT closed
+// traversal attached at the branch point of each off-trunk class. The
+// walk crosses trunk edges once and every other Steiner edge twice,
+// which is the minimum possible, making the overall FFGCR route
+// distance-optimal in the cube.
+func treeWalkVisiting(tr *gtree.Tree, ks, kd gtree.Node, need []gtree.Node) []gtree.Node {
+	trunk := tr.PC(ks, kd)
+	onTrunk := gtree.NewNodeSet(trunk...)
+	branch := make(map[gtree.Node][]gtree.Node)
+	for _, k := range need {
+		if onTrunk[k] {
+			continue
+		}
+		b := tr.FindBP(onTrunk, ks, k)
+		branch[b] = append(branch[b], k)
+	}
+	walk := make([]gtree.Node, 0, len(trunk))
+	for _, v := range trunk {
+		walk = append(walk, v)
+		if dests := branch[v]; len(dests) > 0 {
+			excursion := tr.CT(v, dests)
+			walk = append(walk, excursion[1:]...)
+		}
+	}
+	return walk
+}
+
+// optimal returns the fault-free length of the planned route: the tree
+// walk length plus one hop per pending high dimension. This equals the
+// Gaussian Cube distance (each pending high dimension needs one link
+// that exists only in its owning class, and the class sequence of any
+// path is a tree walk covering those classes).
+func (p *routePlan) optimal() int {
+	hops := len(p.walk) - 1
+	for _, mask := range p.pending {
+		hops += bitutil.OnesCount(uint64(mask))
+	}
+	return hops
+}
+
+// execute turns the plan into a hop-by-hop path, fault-free or around
+// the router's fault set.
+func (r *Router) execute(p *routePlan, s, d gc.NodeID) ([]gc.NodeID, error) {
+	path := []gc.NodeID{s}
+	cur := s
+	visited := make(map[gtree.Node]bool)
+
+	for i, k := range p.walk {
+		if !visited[k] {
+			visited[k] = true
+			if mask := p.pending[k]; mask != 0 {
+				hops, err := r.fixClassDims(cur, mask)
+				if err != nil {
+					return nil, err
+				}
+				path = append(path, hops...)
+				if len(hops) > 0 {
+					cur = hops[len(hops)-1]
+				}
+			}
+		}
+		if i+1 < len(p.walk) {
+			hops, err := r.crossTreeEdge(cur, k, p.walk[i+1])
+			if err != nil {
+				return nil, err
+			}
+			path = append(path, hops...)
+			cur = hops[len(hops)-1]
+		}
+	}
+	if cur != d {
+		// The plan guarantees cur == d by construction; reaching here
+		// means an inconsistent fault detour.
+		return nil, ErrUnreachable
+	}
+	return path, nil
+}
+
+// fixClassDims flips the given mask of high dimensions (all owned by
+// cur's ending class) by routing inside the GEEC slice of cur. Returns
+// the hops after cur.
+func (r *Router) fixClassDims(cur gc.NodeID, mask uint32) ([]gc.NodeID, error) {
+	g := r.cube.GEECOf(cur)
+	from := g.FromGC(cur)
+	to := from
+	for i, dim := range g.Dims() {
+		if mask&(1<<dim) != 0 {
+			to ^= 1 << uint(i)
+		}
+	}
+	if to == from {
+		return nil, nil
+	}
+	if r.faults != nil && r.faults.NodeFaulty(g.ToGC(to)) {
+		// The forced class-exit node is faulty: beyond the strategy
+		// (see package comment); the caller may fall back.
+		return nil, ErrUnreachable
+	}
+	walk, err := r.subcubeRoute(g, from, to)
+	if err != nil {
+		return nil, ErrUnreachable
+	}
+	out := make([]gc.NodeID, 0, len(walk)-1)
+	for _, x := range walk[1:] {
+		out = append(out, g.ToGC(x))
+	}
+	return out, nil
+}
+
+// crossTreeEdge moves cur from class "from" to the neighboring class
+// "to" over the tree-edge link, detouring through the pair subgraph
+// G(from, to, k) with FREH when the direct link is unusable. Returns the
+// hops after cur.
+func (r *Router) crossTreeEdge(cur gc.NodeID, from, to gtree.Node) ([]gc.NodeID, error) {
+	c := r.cube
+	dim := c.Tree().EdgeDim(from, to)
+	tgt := cur ^ (1 << dim)
+	if r.faults == nil || (!r.faults.LinkFaulty(cur, dim) && !r.faults.NodeFaulty(tgt)) {
+		return []gc.NodeID{tgt}, nil
+	}
+	if r.faults.NodeFaulty(tgt) {
+		// The forced landing node is faulty; the pair subgraph cannot
+		// route onto it either.
+		return nil, ErrUnreachable
+	}
+	pair, err := c.PairOf(from, to, cur)
+	if err != nil {
+		// Degenerate pair (empty Dim set): the single link was the only
+		// way across at this frame.
+		return nil, ErrUnreachable
+	}
+	walk, err := exchanged.Route(pair.EH(), r.faults.PairView(pair), pair.FromGC(cur), pair.FromGC(tgt))
+	if err != nil {
+		return nil, ErrUnreachable
+	}
+	out := make([]gc.NodeID, 0, len(walk)-1)
+	for _, x := range walk[1:] {
+		out = append(out, pair.ToGC(x))
+	}
+	return out, nil
+}

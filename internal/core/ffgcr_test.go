@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+)
+
+// TestFFGCRExhaustiveOptimal is the central fault-free correctness test:
+// for every pair in a spread of cubes, the FFGCR route is valid and its
+// length equals the true Gaussian Cube distance (BFS ground truth) —
+// the strategy is distance-optimal, not merely correct.
+func TestFFGCRExhaustiveOptimal(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{
+		{4, 0}, {5, 1}, {6, 1}, {6, 2}, {7, 2}, {7, 3}, {6, 6}, {5, 5}, {8, 2},
+	} {
+		c := gc.New(cfg.n, cfg.alpha)
+		r := NewRouter(c)
+		nodes := gc.NodeID(c.Nodes())
+		for s := gc.NodeID(0); s < nodes; s++ {
+			dist := graph.BFS(c, s)
+			for d := gc.NodeID(0); d < nodes; d++ {
+				res, err := r.Route(s, d)
+				if err != nil {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %v", cfg.n, cfg.alpha, s, d, err)
+				}
+				if err := ValidatePath(c, nil, res.Path, s, d); err != nil {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %v", cfg.n, cfg.alpha, s, d, err)
+				}
+				if res.UsedFallback {
+					t.Fatalf("fault-free route must not use fallback")
+				}
+				if res.Hops() != dist[d] {
+					t.Fatalf("GC(%d,2^%d) %d->%d: %d hops, BFS distance %d (path %v)",
+						cfg.n, cfg.alpha, s, d, res.Hops(), dist[d], res.Path)
+				}
+				if res.Optimal != dist[d] {
+					t.Fatalf("GC(%d,2^%d) %d->%d: Optimal=%d, BFS distance %d",
+						cfg.n, cfg.alpha, s, d, res.Optimal, dist[d])
+				}
+				if !LivelockFree(res.Path) {
+					t.Fatalf("GC(%d,2^%d) %d->%d repeats a directed hop", cfg.n, cfg.alpha, s, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBreakdown: the hop split must match the plan — tree hops equal
+// the class-walk length, cube hops equal the pending-dimension count.
+func TestBreakdown(t *testing.T) {
+	c := gc.New(9, 2)
+	r := NewRouter(c)
+	for s := gc.NodeID(0); s < 64; s += 5 {
+		for d := gc.NodeID(0); d < gc.NodeID(c.Nodes()); d += 17 {
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, cube := res.Breakdown(c)
+			if tree+cube != res.Hops() {
+				t.Fatalf("breakdown %d+%d != %d hops", tree, cube, res.Hops())
+			}
+			if tree != len(res.TreeWalk)-1 {
+				t.Fatalf("tree hops %d != walk length %d", tree, len(res.TreeWalk)-1)
+			}
+		}
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	c := gc.New(8, 2)
+	r := NewRouter(c)
+	res, err := r.Route(42, 42)
+	if err != nil || res.Hops() != 0 || len(res.Path) != 1 {
+		t.Errorf("self route: %+v, %v", res, err)
+	}
+}
+
+func TestRouteOutOfRange(t *testing.T) {
+	c := gc.New(6, 1)
+	r := NewRouter(c)
+	if _, err := r.Route(0, 1<<7); err == nil {
+		t.Error("out-of-range destination must fail")
+	}
+}
+
+func TestOptimalLengthMatchesRoute(t *testing.T) {
+	c := gc.New(9, 2)
+	r := NewRouter(c)
+	for s := gc.NodeID(0); s < 64; s += 7 {
+		for d := gc.NodeID(0); d < gc.NodeID(c.Nodes()); d += 11 {
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.OptimalLength(s, d) != res.Hops() {
+				t.Fatalf("OptimalLength(%d,%d)=%d but route has %d hops",
+					s, d, r.OptimalLength(s, d), res.Hops())
+			}
+		}
+	}
+}
+
+// TestTreeWalkStructure: the class walk must start and end at the
+// endpoint classes and visit every class owning a pending dimension.
+func TestTreeWalkStructure(t *testing.T) {
+	c := gc.New(10, 3)
+	r := NewRouter(c)
+	s, d := gc.NodeID(0b1010011001), gc.NodeID(0b0101100110)
+	res, err := r.Route(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := res.TreeWalk
+	if walk[0] != c.EndingClass(s) || walk[len(walk)-1] != c.EndingClass(d) {
+		t.Fatalf("tree walk endpoints wrong: %v", walk)
+	}
+	seen := make(map[gc.NodeID]bool)
+	for _, k := range walk {
+		seen[k] = true
+	}
+	diff := uint64(s ^ d)
+	for i := c.Alpha(); i < c.N(); i++ {
+		if diff&(1<<i) != 0 {
+			k := gc.NodeID(i) % gc.NodeID(c.M())
+			if !seen[k] {
+				t.Fatalf("walk misses class %d owning pending dimension %d", k, i)
+			}
+		}
+	}
+	// Consecutive walk entries are tree neighbors.
+	tr := c.Tree()
+	for i := 1; i < len(walk); i++ {
+		if !graph.Adjacent(tr, walk[i-1], walk[i]) {
+			t.Fatalf("walk step %d->%d is not a tree edge", walk[i-1], walk[i])
+		}
+	}
+}
+
+// TestPureHypercubeCase: alpha = 0 must reduce to plain e-cube routing.
+func TestPureHypercubeCase(t *testing.T) {
+	c := gc.New(6, 0)
+	r := NewRouter(c)
+	res, err := r.Route(0, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hops() != 6 {
+		t.Errorf("GC(6,1) 0->63: %d hops, want 6", res.Hops())
+	}
+	if len(res.TreeWalk) != 1 {
+		t.Errorf("alpha=0 tree walk should be trivial: %v", res.TreeWalk)
+	}
+}
+
+// TestPureTreeCase: alpha = n must reduce to Gaussian Tree routing.
+func TestPureTreeCase(t *testing.T) {
+	c := gc.New(6, 6)
+	r := NewRouter(c)
+	tr := c.Tree()
+	for s := gc.NodeID(0); s < 64; s += 5 {
+		for d := gc.NodeID(0); d < 64; d += 3 {
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Hops() != tr.Dist(s, d) {
+				t.Fatalf("GC(6,2^6) %d->%d: %d hops, tree distance %d",
+					s, d, res.Hops(), tr.Dist(s, d))
+			}
+		}
+	}
+}
+
+func TestValidatePathRejections(t *testing.T) {
+	c := gc.New(6, 1)
+	if err := ValidatePath(c, nil, nil, 0, 1); err == nil {
+		t.Error("empty path must fail")
+	}
+	if err := ValidatePath(c, nil, []gc.NodeID{0, 3}, 0, 3); err == nil {
+		t.Error("multi-bit hop must fail")
+	}
+	// Node 0 has no dimension-1 link in GC(6,2) (needs low bit 1).
+	if err := ValidatePath(c, nil, []gc.NodeID{0, 2}, 0, 2); err == nil {
+		t.Error("nonexistent link must fail")
+	}
+	if err := ValidatePath(c, nil, []gc.NodeID{0, 1}, 0, 2); err == nil {
+		t.Error("wrong endpoint must fail")
+	}
+	if err := ValidatePath(c, nil, []gc.NodeID{200}, 200, 200); err == nil {
+		t.Error("out-of-range vertex must fail")
+	}
+}
+
+func TestLivelockFree(t *testing.T) {
+	if !LivelockFree([]gc.NodeID{0, 1, 0, 1}[:3]) {
+		t.Error("0,1,0 repeats no directed arc")
+	}
+	if LivelockFree([]gc.NodeID{0, 1, 0, 1}) {
+		t.Error("0,1,0,1 repeats arc 0->1")
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/hypercube"
+)
+
+// addTheorem3Faults injects random A-category link faults while keeping
+// the Theorem 3 precondition, returning the number injected.
+func addTheorem3Faults(rng *rand.Rand, c *gc.Cube, s *fault.Set, attempts int) int {
+	added := 0
+	for i := 0; i < attempts; i++ {
+		k := gc.NodeID(rng.Intn(int(c.M())))
+		if c.DimCount(k) == 0 {
+			continue
+		}
+		tv := uint64(rng.Intn(c.FrameCount(k)))
+		g := c.GEEC(k, tv)
+		d := g.Dims()[rng.Intn(len(g.Dims()))]
+		member := g.ToGC(hypercube.Node(rng.Intn(1 << g.Dim())))
+		trial := s.Clone()
+		trial.AddLink(member, d)
+		if trial.Theorem3Holds() {
+			*s = *trial
+			added++
+		}
+	}
+	return added
+}
+
+// TestTheorem3Routing: with only A-category faults under the Theorem 3
+// precondition, the strategy (no fallback) delivers every pair over
+// healthy components, with detour cost bounded by 4 hops per fault.
+func TestTheorem3Routing(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		c := gc.New(8+uint(rng.Intn(2)), 1+uint(rng.Intn(2)))
+		fs := fault.NewSet(c)
+		nf := addTheorem3Faults(rng, c, fs, 8)
+		r := NewRouter(c, WithFaults(fs), WithoutFallback())
+		for pair := 0; pair < 40; pair++ {
+			s := gc.NodeID(rng.Intn(c.Nodes()))
+			d := gc.NodeID(rng.Intn(c.Nodes()))
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("trial %d GC(%d,2^%d) %d faults, %d->%d: %v",
+					trial, c.N(), c.Alpha(), nf, s, d, err)
+			}
+			if err := ValidatePath(c, fs, res.Path, s, d); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if res.Extra() > 4*nf {
+				t.Fatalf("trial %d: extra %d hops for %d faults", trial, res.Extra(), nf)
+			}
+		}
+	}
+}
+
+// TestTheorem5Routing: B-category link faults (tree-edge links) under
+// the Theorem 5 precondition are crossed through the exchanged-cube
+// pair subgraphs without fallback.
+func TestTheorem5Routing(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 40; trial++ {
+		c := gc.New(8, 2)
+		fs := fault.NewSet(c)
+		// Inject low-dimension link faults keeping Theorem 5.
+		added := 0
+		for i := 0; i < 6; i++ {
+			v := gc.NodeID(rng.Intn(c.Nodes()))
+			var lows []uint
+			for _, d := range c.LinkDims(v) {
+				if d < c.Alpha() {
+					lows = append(lows, d)
+				}
+			}
+			if len(lows) == 0 {
+				continue
+			}
+			trialSet := fs.Clone()
+			trialSet.AddLink(v, lows[rng.Intn(len(lows))])
+			if trialSet.Theorem5Holds() {
+				fs = trialSet
+				added++
+			}
+		}
+		r := NewRouter(c, WithFaults(fs), WithoutFallback())
+		for pair := 0; pair < 30; pair++ {
+			s := gc.NodeID(rng.Intn(c.Nodes()))
+			d := gc.NodeID(rng.Intn(c.Nodes()))
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("trial %d (%d B faults) %d->%d: %v", trial, added, s, d, err)
+			}
+			if err := ValidatePath(c, fs, res.Path, s, d); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+// TestMixedFaultsWithFallback: arbitrary random faults (all categories);
+// with fallback enabled, every pair connected in the healthy subgraph
+// must be delivered.
+func TestMixedFaultsWithFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 30; trial++ {
+		c := gc.New(8, 2)
+		fs := fault.NewSet(c)
+		fs.InjectRandomNodes(rng, 1+rng.Intn(4))
+		fs.InjectRandomLinks(rng, rng.Intn(4))
+		r := NewRouter(c, WithFaults(fs))
+		hv := healthyView{cube: c, faults: fs}
+		for pair := 0; pair < 30; pair++ {
+			s := gc.NodeID(rng.Intn(c.Nodes()))
+			d := gc.NodeID(rng.Intn(c.Nodes()))
+			if fs.NodeFaulty(s) || fs.NodeFaulty(d) {
+				continue
+			}
+			connected := graph.ShortestPath(hv, s, d) != nil
+			res, err := r.Route(s, d)
+			if connected && err != nil {
+				t.Fatalf("trial %d: connected pair %d->%d failed: %v", trial, s, d, err)
+			}
+			if err == nil {
+				if err := ValidatePath(c, fs, res.Path, s, d); err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOneFaultyNodeScenario reproduces the Figure 7/8 setting: GC(n, 2)
+// with a single faulty node; every non-faulty pair must be routed.
+func TestOneFaultyNodeScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	c := gc.New(8, 1)
+	for trial := 0; trial < 10; trial++ {
+		fs := fault.NewSet(c)
+		bad := gc.NodeID(rng.Intn(c.Nodes()))
+		fs.AddNode(bad)
+		r := NewRouter(c, WithFaults(fs))
+		fallbacks := 0
+		for pair := 0; pair < 200; pair++ {
+			s := gc.NodeID(rng.Intn(c.Nodes()))
+			d := gc.NodeID(rng.Intn(c.Nodes()))
+			if s == bad || d == bad {
+				continue
+			}
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("single fault %d, %d->%d: %v", bad, s, d, err)
+			}
+			if err := ValidatePath(c, fs, res.Path, s, d); err != nil {
+				t.Fatal(err)
+			}
+			if res.UsedFallback {
+				fallbacks++
+			}
+		}
+		if fallbacks > 60 {
+			t.Errorf("trial %d: fallback used %d/200 times — strategy too fragile", trial, fallbacks)
+		}
+	}
+}
+
+// TestFaultyEndpointRejected mirrors simulation assumption 1.
+func TestFaultyEndpointRejected(t *testing.T) {
+	c := gc.New(6, 1)
+	fs := fault.NewSet(c)
+	fs.AddNode(7)
+	r := NewRouter(c, WithFaults(fs))
+	if _, err := r.Route(7, 0); err != ErrFaultyEndpoint {
+		t.Errorf("faulty source: %v", err)
+	}
+	if _, err := r.Route(0, 7); err != ErrFaultyEndpoint {
+		t.Errorf("faulty destination: %v", err)
+	}
+}
+
+// TestSubstrates: both intra-class substrates must deliver under
+// Theorem 3 faults and agree on fault-free lengths.
+func TestSubstrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	c := gc.New(9, 2)
+	fs := fault.NewSet(c)
+	addTheorem3Faults(rng, c, fs, 6)
+	for _, sub := range []Substrate{SubstrateAdaptive, SubstrateSafety, SubstrateVector} {
+		r := NewRouter(c, WithFaults(fs), WithSubstrate(sub), WithoutFallback())
+		for pair := 0; pair < 50; pair++ {
+			s := gc.NodeID(rng.Intn(c.Nodes()))
+			d := gc.NodeID(rng.Intn(c.Nodes()))
+			res, err := r.Route(s, d)
+			if err != nil {
+				t.Fatalf("substrate %d, %d->%d: %v", sub, s, d, err)
+			}
+			if err := ValidatePath(c, fs, res.Path, s, d); err != nil {
+				t.Fatalf("substrate %d: %v", sub, err)
+			}
+		}
+	}
+}
+
+// TestDisconnectedPairFails: isolating the destination must produce
+// ErrUnreachable even with fallback.
+func TestDisconnectedPairFails(t *testing.T) {
+	c := gc.New(4, 1)
+	fs := fault.NewSet(c)
+	// Isolate node 0 by marking all its neighbors faulty.
+	for _, w := range c.Neighbors(0) {
+		fs.AddNode(w)
+	}
+	r := NewRouter(c, WithFaults(fs))
+	target := gc.NodeID(0b1010)
+	if fs.NodeFaulty(target) {
+		t.Skip("target chosen is faulty in this topology")
+	}
+	if _, err := r.Route(0, target); err != ErrUnreachable {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+}

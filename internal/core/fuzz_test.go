@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// FuzzRoute exercises the full routing strategy with arbitrary cube
+// parameters, endpoints and a couple of arbitrary faults, asserting the
+// invariants that must hold regardless of input: valid healthy paths,
+// no livelock, and optimality when fault-free.
+func FuzzRoute(f *testing.F) {
+	f.Add(uint8(8), uint8(2), uint16(5), uint16(201), uint16(0), uint16(0))
+	f.Add(uint8(6), uint8(0), uint16(0), uint16(63), uint16(3), uint16(9))
+	f.Add(uint8(5), uint8(5), uint16(1), uint16(30), uint16(7), uint16(7))
+	f.Fuzz(func(t *testing.T, nRaw, aRaw uint8, sRaw, dRaw, f1, f2 uint16) {
+		n := uint(3 + nRaw%8)
+		alpha := uint(aRaw) % (n + 1)
+		cube := gc.New(n, alpha)
+		mod := uint16(cube.Nodes())
+		s := gc.NodeID(sRaw % mod)
+		d := gc.NodeID(dRaw % mod)
+
+		fs := fault.NewSet(cube)
+		for _, raw := range []uint16{f1, f2} {
+			v := gc.NodeID(raw % mod)
+			if v != s && v != d {
+				fs.AddNode(v)
+			}
+		}
+
+		// Fault-free: must be optimal.
+		clean := NewRouter(cube)
+		res, err := clean.Route(s, d)
+		if err != nil {
+			t.Fatalf("fault-free route failed: %v", err)
+		}
+		if err := ValidatePath(cube, nil, res.Path, s, d); err != nil {
+			t.Fatal(err)
+		}
+		if res.Hops() != res.Optimal {
+			t.Fatalf("fault-free route not optimal: %d vs %d", res.Hops(), res.Optimal)
+		}
+
+		// Faulty: whatever is returned must be valid and healthy.
+		faulty := NewRouter(cube, WithFaults(fs))
+		res, err = faulty.Route(s, d)
+		if err != nil {
+			return // disconnection is legitimate
+		}
+		if err := ValidatePath(cube, fs, res.Path, s, d); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

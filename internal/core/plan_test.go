@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/gtree"
+)
+
+// TestTreeWalkVisitingIsMinimal: the class walk must have exactly
+// 2*|Steiner edges| - dist(ks, kd) hops — trunk edges once, every
+// other Steiner edge twice — which is the optimum for a walk from ks
+// to kd covering the needed classes.
+func TestTreeWalkVisitingIsMinimal(t *testing.T) {
+	tr := gtree.New(6)
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		ks := gtree.Node(rng.Intn(tr.Nodes()))
+		kd := gtree.Node(rng.Intn(tr.Nodes()))
+		var need []gtree.Node
+		for i := 0; i < rng.Intn(5); i++ {
+			need = append(need, gtree.Node(rng.Intn(tr.Nodes())))
+		}
+		walk := treeWalkVisiting(tr, ks, kd, need)
+		if walk[0] != ks || walk[len(walk)-1] != kd {
+			t.Fatalf("walk endpoints wrong: %v", walk)
+		}
+		if !graph.IsValidWalk(tr, walk) {
+			t.Fatalf("invalid walk: %v", walk)
+		}
+		visited := gtree.NewNodeSet(walk...)
+		for _, k := range need {
+			if !visited[k] {
+				t.Fatalf("walk misses class %d: %v", k, walk)
+			}
+		}
+		// Optimality.
+		all := append(append([]gtree.Node{}, need...), kd)
+		steiner := tr.SteinerEdges(ks, all)
+		want := 2*len(steiner) - tr.Dist(ks, kd)
+		if len(walk)-1 != want {
+			t.Fatalf("walk length %d, optimum %d (ks=%d kd=%d need=%v)",
+				len(walk)-1, want, ks, kd, need)
+		}
+	}
+}
+
+// TestPlanPendingPartition: the plan's pending masks partition the set
+// bits of s^d at or above alpha, grouped by owning class.
+func TestPlanPendingPartition(t *testing.T) {
+	c := newTestCube(t)
+	r := NewRouter(c)
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 200; trial++ {
+		s := randNode(rng, c.Nodes())
+		d := randNode(rng, c.Nodes())
+		p := r.plan(s, d)
+		var union uint32
+		for k, mask := range p.pending {
+			if mask == 0 {
+				t.Fatal("zero mask stored")
+			}
+			if union&mask != 0 {
+				t.Fatal("pending masks overlap")
+			}
+			union |= mask
+			// Every bit of the mask must be owned by class k.
+			for _, i := range bitutil.BitsSet(uint64(mask)) {
+				if gtree.Node(i%uint(c.M())) != k {
+					t.Fatalf("dimension %d assigned to class %d", i, k)
+				}
+			}
+		}
+		want := uint32(s^d) &^ uint32((1<<c.Alpha())-1)
+		if union != want {
+			t.Fatalf("pending union %b, want %b", union, want)
+		}
+	}
+}
+
+func newTestCube(t *testing.T) *gc.Cube {
+	t.Helper()
+	return gc.New(10, 2)
+}
+
+func randNode(rng *rand.Rand, n int) gc.NodeID {
+	return gc.NodeID(rng.Intn(n))
+}

@@ -1,0 +1,225 @@
+// Package core implements the paper's contribution: the routing strategy
+// for Gaussian Cubes built on the Gaussian Tree.
+//
+// Fault-free routing (FFGCR, Algorithm 3) maps source and destination to
+// their ending classes — vertices of the Gaussian Tree — computes the
+// set of classes whose high dimensions must be corrected, walks the tree
+// along the PC trunk with CT-style excursions to reach every required
+// class, and flips the preferred high dimensions inside each class.
+// Because every dimension-c link (c >= alpha) lives only in class
+// c mod 2^alpha, this walk is distance-optimal in the Gaussian Cube
+// (verified exhaustively in the tests).
+//
+// The fault-tolerant strategy (Section 5) keeps the same tree-level
+// plan and replaces the two primitive moves by fault-tolerant ones:
+//
+//   - within a class, the high-dimension corrections become
+//     fault-tolerant hypercube routing inside the GEEC slice
+//     (Theorem 3), using the adaptive or safety-level substrate;
+//   - crossing a tree edge becomes FREH routing inside the exchanged-
+//     hypercube pair subgraph G(p, q, k) when the direct link is broken
+//     (Theorem 5).
+//
+// When a fault pattern exceeds the theorems' preconditions (for
+// example, a C-category fault sitting exactly on a forced class-exit
+// node), Route falls back — if enabled — to a BFS route over the
+// healthy subgraph, and reports that it did so.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/gtree"
+	"gaussiancube/internal/hypercube"
+)
+
+// Substrate selects the fault-tolerant hypercube router used inside
+// GEEC slices.
+type Substrate int
+
+// Substrate choices.
+const (
+	// SubstrateAdaptive is spare-masking adaptive routing (Lan [6] style).
+	SubstrateAdaptive Substrate = iota
+	// SubstrateSafety is Wu's safety-level routing [5].
+	SubstrateSafety
+	// SubstrateVector is safety-vector routing (the Wu & Jiang
+	// refinement of the levels).
+	SubstrateVector
+)
+
+// Router computes routes in a Gaussian Cube, optionally around a fault
+// set. A Router holds no mutable state, so a single instance may be
+// used from multiple goroutines concurrently (provided the fault set is
+// not mutated during routing).
+type Router struct {
+	cube      *gc.Cube
+	faults    *fault.Set // nil means fault-free
+	substrate Substrate
+	fallback  bool
+}
+
+// Option configures a Router.
+type Option func(*Router)
+
+// WithFaults supplies the fault set the router must avoid.
+func WithFaults(s *fault.Set) Option { return func(r *Router) { r.faults = s } }
+
+// WithSubstrate selects the intra-class fault-tolerant hypercube router.
+func WithSubstrate(s Substrate) Option { return func(r *Router) { r.substrate = s } }
+
+// WithoutFallback disables the BFS fallback, exposing the bare strategy.
+func WithoutFallback() Option { return func(r *Router) { r.fallback = false } }
+
+// NewRouter builds a router over cube c.
+func NewRouter(c *gc.Cube, opts ...Option) *Router {
+	r := &Router{cube: c, fallback: true}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Cube returns the cube this router operates on.
+func (r *Router) Cube() *gc.Cube { return r.cube }
+
+// Routing errors.
+var (
+	// ErrFaultyEndpoint mirrors simulation assumption 1.
+	ErrFaultyEndpoint = errors.New("core: source or destination node is faulty")
+	// ErrUnreachable is returned when no healthy route exists (or the
+	// strategy failed and fallback is disabled).
+	ErrUnreachable = errors.New("core: destination unreachable")
+)
+
+// Result is a computed route with its provenance.
+type Result struct {
+	Source, Dest gc.NodeID
+	// Path is the full hop-by-hop walk, endpoints included.
+	Path []gc.NodeID
+	// TreeWalk is the ending-class walk the path follows.
+	TreeWalk []gtree.Node
+	// Optimal is the fault-free optimal length for this pair (also the
+	// exact Gaussian Cube distance).
+	Optimal int
+	// UsedFallback reports that the strategy could not complete against
+	// the fault pattern and a BFS fallback produced the path.
+	UsedFallback bool
+}
+
+// Hops returns the path length in hops.
+func (res *Result) Hops() int { return len(res.Path) - 1 }
+
+// Extra returns the detour cost over the fault-free optimum.
+func (res *Result) Extra() int { return res.Hops() - res.Optimal }
+
+// Breakdown splits the path's hops into tree hops (dimensions below
+// alpha, moving between ending classes) and cube hops (dimensions at or
+// above alpha, inside a class) — the two phases of the divide-and-
+// conquer strategy.
+func (res *Result) Breakdown(c *gc.Cube) (treeHops, cubeHops int) {
+	for i := 1; i < len(res.Path); i++ {
+		dim := uint(bitutil.LowestBit(uint64(res.Path[i-1] ^ res.Path[i])))
+		if dim < c.Alpha() {
+			treeHops++
+		} else {
+			cubeHops++
+		}
+	}
+	return treeHops, cubeHops
+}
+
+// Route computes a route from s to d.
+func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
+	if int(s) >= r.cube.Nodes() || int(d) >= r.cube.Nodes() {
+		return nil, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
+	}
+	if r.faults != nil && (r.faults.NodeFaulty(s) || r.faults.NodeFaulty(d)) {
+		return nil, ErrFaultyEndpoint
+	}
+	plan := r.plan(s, d)
+	res := &Result{
+		Source:   s,
+		Dest:     d,
+		TreeWalk: plan.walk,
+		Optimal:  plan.optimal(),
+	}
+	path, err := r.execute(plan, s, d)
+	if err == nil {
+		res.Path = path
+		return res, nil
+	}
+	if !r.fallback {
+		return nil, err
+	}
+	path = r.bfsFallback(s, d)
+	if path == nil {
+		return nil, ErrUnreachable
+	}
+	res.Path = path
+	res.UsedFallback = true
+	return res, nil
+}
+
+// OptimalLength returns the fault-free length of the strategy's route,
+// which equals the Gaussian Cube distance between s and d.
+func (r *Router) OptimalLength(s, d gc.NodeID) int {
+	return r.plan(s, d).optimal()
+}
+
+// bfsFallback routes over the healthy subgraph.
+func (r *Router) bfsFallback(s, d gc.NodeID) []gc.NodeID {
+	return graph.ShortestPath(healthyView{cube: r.cube, faults: r.faults}, s, d)
+}
+
+// healthyView exposes the non-faulty part of the cube as a
+// graph.Topology.
+type healthyView struct {
+	cube   *gc.Cube
+	faults *fault.Set
+}
+
+func (h healthyView) Nodes() int { return h.cube.Nodes() }
+
+func (h healthyView) Neighbors(v gc.NodeID) []gc.NodeID {
+	if h.faults == nil {
+		return h.cube.Neighbors(v)
+	}
+	if h.faults.NodeFaulty(v) {
+		return nil
+	}
+	out := make([]gc.NodeID, 0, 4)
+	for _, dim := range h.cube.LinkDims(v) {
+		w := v ^ (1 << dim)
+		if !h.faults.LinkFaulty(v, dim) && !h.faults.NodeFaulty(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// subcubeRoute runs the selected fault-tolerant substrate inside a GEEC
+// slice.
+func (r *Router) subcubeRoute(g *gc.GEEC, from, to hypercube.Node) ([]hypercube.Node, error) {
+	q := g.Cube()
+	if r.faults == nil {
+		return hypercube.ECubeRoute(q, from, to), nil
+	}
+	view := r.faults.GEECView(g)
+	var walk []hypercube.Node
+	var err error
+	switch r.substrate {
+	case SubstrateSafety:
+		walk, _, err = hypercube.RouteSafety(q, view, from, to)
+	case SubstrateVector:
+		walk, _, err = hypercube.RouteSafetyVector(q, view, from, to)
+	default:
+		walk, _, err = hypercube.RouteAdaptive(q, view, from, to)
+	}
+	return walk, err
+}

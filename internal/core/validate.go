@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// ValidatePath checks that path is a hop-by-hop walk of the cube from s
+// to d: every consecutive pair differs in exactly one bit, that bit is a
+// link dimension the cube grants to the endpoint, and — when a fault set
+// is supplied — no faulty node or link is touched.
+func ValidatePath(c *gc.Cube, f *fault.Set, path []gc.NodeID, s, d gc.NodeID) error {
+	if len(path) == 0 {
+		return errors.New("core: empty path")
+	}
+	if path[0] != s || path[len(path)-1] != d {
+		return fmt.Errorf("core: path endpoints %d..%d, want %d..%d",
+			path[0], path[len(path)-1], s, d)
+	}
+	for i, v := range path {
+		if int(v) >= c.Nodes() {
+			return fmt.Errorf("core: vertex %d out of range", v)
+		}
+		if f != nil && f.NodeFaulty(v) {
+			return fmt.Errorf("core: path visits faulty node %d", v)
+		}
+		if i == 0 {
+			continue
+		}
+		x := uint64(path[i-1] ^ v)
+		if bitutil.OnesCount(x) != 1 {
+			return fmt.Errorf("core: hop %d -> %d flips several bits", path[i-1], v)
+		}
+		dim := uint(bitutil.LowestBit(x))
+		if !c.HasLinkDim(path[i-1], dim) {
+			return fmt.Errorf("core: hop %d -> %d uses a nonexistent dimension-%d link",
+				path[i-1], v, dim)
+		}
+		if f != nil && f.LinkFaulty(path[i-1], dim) {
+			return fmt.Errorf("core: path crosses faulty link %d--%d", path[i-1], v)
+		}
+	}
+	return nil
+}
+
+// LivelockFree reports whether the path crosses no directed link twice —
+// the repository's checkable rendering of the paper's livelock-freedom
+// claim: a route that never repeats a directed hop cannot cycle forever.
+func LivelockFree(path []gc.NodeID) bool {
+	type arc struct{ u, v gc.NodeID }
+	seen := make(map[arc]bool, len(path))
+	for i := 1; i < len(path); i++ {
+		a := arc{path[i-1], path[i]}
+		if seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	return true
+}

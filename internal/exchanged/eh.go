@@ -1,0 +1,140 @@
+// Package exchanged implements the Exchanged Hypercube EH(s, t) of the
+// paper's Definition 7 and the fault-tolerant routing algorithm FREH
+// (Algorithm 4, Theorem 4).
+//
+// EH(s, t) has 2^(s+t+1) nodes labelled a_{s-1}..a_0 b_{t-1}..b_0 c.
+// Bit 0 is c; bits [t:1] are the b-part; bits [s+t:t+1] are the a-part.
+// Links:
+//
+//	E1: v and v XOR 1 (the dimension-0 link, at every node);
+//	E2: 1-ending nodes differing in exactly one b-bit;
+//	E3: 0-ending nodes differing in exactly one a-bit.
+//
+// The 0-ending nodes form 2^t s-dimensional cubes (one per b value,
+// written B_s(b)); the 1-ending nodes form 2^s t-dimensional cubes (one
+// per a value, B_t(a)).
+//
+// Theorem 5 of the paper shows each Gaussian Tree edge (p, q) induces
+// subgraphs of the Gaussian Cube isomorphic to EH(|Dim(p)|, |Dim(q)|),
+// which is how FREH extends the GC routing strategy to B- and C-category
+// faults.
+package exchanged
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/graph"
+)
+
+// Node is an EH(s, t) vertex label on s+t+1 bits.
+type Node = graph.NodeID
+
+// EH is the Exchanged Hypercube EH(s, t).
+type EH struct {
+	s, t uint
+}
+
+// New constructs EH(s, t); s and t must be at least 1 and s+t+1 at most
+// 26.
+func New(s, t uint) *EH {
+	if s < 1 || t < 1 {
+		panic(fmt.Sprintf("exchanged: EH(%d,%d) requires s,t >= 1", s, t))
+	}
+	if s+t+1 > 26 {
+		panic(fmt.Sprintf("exchanged: EH(%d,%d) too large", s, t))
+	}
+	return &EH{s: s, t: t}
+}
+
+// S returns the s parameter (dimension of the 0-side cubes).
+func (e *EH) S() uint { return e.s }
+
+// T returns the t parameter (dimension of the 1-side cubes).
+func (e *EH) T() uint { return e.t }
+
+// Bits returns the label width s+t+1.
+func (e *EH) Bits() uint { return e.s + e.t + 1 }
+
+// Nodes implements graph.Topology.
+func (e *EH) Nodes() int { return 1 << e.Bits() }
+
+// C returns the c bit of v (bit 0).
+func (e *EH) C(v Node) uint32 { return uint32(v & 1) }
+
+// B returns the b-part of v (bits [t:1]).
+func (e *EH) B(v Node) uint32 { return uint32(bitutil.Field(uint64(v), e.t, 1)) }
+
+// A returns the a-part of v (bits [s+t:t+1]).
+func (e *EH) A(v Node) uint32 {
+	return uint32(bitutil.Field(uint64(v), e.s+e.t, e.t+1))
+}
+
+// Compose builds the node label from parts.
+func (e *EH) Compose(a, b, c uint32) Node {
+	return Node(uint32(a)<<(e.t+1) | uint32(b)<<1 | (c & 1))
+}
+
+// HasLinkDim reports whether v has a link in (label) dimension dim:
+// dimension 0 always (E1); a b-dimension only on 1-ending nodes (E2);
+// an a-dimension only on 0-ending nodes (E3).
+func (e *EH) HasLinkDim(v Node, dim uint) bool {
+	switch {
+	case dim == 0:
+		return true
+	case dim <= e.t:
+		return v&1 == 1
+	case dim <= e.s+e.t:
+		return v&1 == 0
+	default:
+		return false
+	}
+}
+
+// Neighbors implements graph.Topology.
+func (e *EH) Neighbors(v Node) []Node {
+	var out []Node
+	for d := uint(0); d <= e.s+e.t; d++ {
+		if e.HasLinkDim(v, d) {
+			out = append(out, v^(1<<d))
+		}
+	}
+	return out
+}
+
+// Degree returns the number of links at v: s+1 for 0-ending, t+1 for
+// 1-ending.
+func (e *EH) Degree(v Node) int {
+	if v&1 == 0 {
+		return int(e.s) + 1
+	}
+	return int(e.t) + 1
+}
+
+// Distance returns the graph distance between u and v in closed form:
+// with da, db the Hamming distances of the a- and b-parts,
+//
+//	same ending, other part equal:    da+db        (one subcube)
+//	same ending, other part differs:  da+db+2      (two crossings)
+//	different ending:                 da+db+1      (one crossing)
+func (e *EH) Distance(u, v Node) int {
+	if u == v {
+		return 0
+	}
+	da := bitutil.Hamming(uint64(e.A(u)), uint64(e.A(v)))
+	db := bitutil.Hamming(uint64(e.B(u)), uint64(e.B(v)))
+	if e.C(u) != e.C(v) {
+		return da + db + 1
+	}
+	if e.C(u) == 0 { // both 0-ending: a-bits fixable in place
+		if db == 0 {
+			return da
+		}
+		return da + db + 2
+	}
+	// both 1-ending: b-bits fixable in place
+	if da == 0 {
+		return db
+	}
+	return da + db + 2
+}

@@ -1,0 +1,151 @@
+package exchanged
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/hypercube"
+)
+
+func TestTopologyCounts(t *testing.T) {
+	for _, cfg := range []struct{ s, t uint }{{1, 1}, {2, 1}, {1, 2}, {2, 3}, {3, 3}} {
+		e := New(cfg.s, cfg.t)
+		if e.Nodes() != 1<<(cfg.s+cfg.t+1) {
+			t.Errorf("EH(%d,%d) nodes = %d", cfg.s, cfg.t, e.Nodes())
+		}
+		// Edges: dimension-0 links 2^(s+t), plus s-cubes and t-cubes.
+		wantEdges := 1<<(cfg.s+cfg.t) +
+			(1<<cfg.t)*int(cfg.s)*(1<<cfg.s)/2 +
+			(1<<cfg.s)*int(cfg.t)*(1<<cfg.t)/2
+		if got := graph.EdgeCount(e); got != wantEdges {
+			t.Errorf("EH(%d,%d) edges = %d, want %d", cfg.s, cfg.t, got, wantEdges)
+		}
+		for v := Node(0); v < Node(e.Nodes()); v++ {
+			wantDeg := int(cfg.s) + 1
+			if v&1 == 1 {
+				wantDeg = int(cfg.t) + 1
+			}
+			if e.Degree(v) != wantDeg || len(e.Neighbors(v)) != wantDeg {
+				t.Fatalf("EH(%d,%d) degree of %d = %d, want %d",
+					cfg.s, cfg.t, v, e.Degree(v), wantDeg)
+			}
+		}
+		if !graph.Connected(e) {
+			t.Errorf("EH(%d,%d) must be connected", cfg.s, cfg.t)
+		}
+	}
+}
+
+func TestComposeDecompose(t *testing.T) {
+	e := New(3, 2)
+	for v := Node(0); v < Node(e.Nodes()); v++ {
+		if e.Compose(e.A(v), e.B(v), e.C(v)) != v {
+			t.Fatalf("compose/decompose mismatch at %d", v)
+		}
+	}
+	if e.A(e.Compose(0b101, 0b10, 1)) != 0b101 {
+		t.Error("A extraction wrong")
+	}
+	if e.B(e.Compose(0b101, 0b10, 1)) != 0b10 {
+		t.Error("B extraction wrong")
+	}
+	if e.C(e.Compose(0b101, 0b10, 1)) != 1 {
+		t.Error("C extraction wrong")
+	}
+}
+
+// TestSubcubeStructure verifies the B_s / B_t decomposition: removing
+// dimension-0 links leaves 2^t s-cubes among 0-ending nodes and 2^s
+// t-cubes among 1-ending nodes.
+func TestSubcubeStructure(t *testing.T) {
+	e := New(3, 2)
+	for b := uint32(0); b < 1<<2; b++ {
+		var members []Node
+		for a := uint32(0); a < 1<<3; a++ {
+			members = append(members, e.Compose(a, b, 0))
+		}
+		sub, _ := graph.InducedSubgraph(e, members)
+		if !graph.Isomorphic(sub, hypercube.New(3)) {
+			t.Fatalf("B_s(%d) is not Q3", b)
+		}
+	}
+	for a := uint32(0); a < 1<<3; a++ {
+		var members []Node
+		for b := uint32(0); b < 1<<2; b++ {
+			members = append(members, e.Compose(a, b, 1))
+		}
+		sub, _ := graph.InducedSubgraph(e, members)
+		if !graph.Isomorphic(sub, hypercube.New(2)) {
+			t.Fatalf("B_t(%d) is not Q2", a)
+		}
+	}
+}
+
+// TestDistanceClosedForm checks the closed-form distance against BFS for
+// every pair.
+func TestDistanceClosedForm(t *testing.T) {
+	for _, cfg := range []struct{ s, t uint }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {2, 3}} {
+		e := New(cfg.s, cfg.t)
+		n := Node(e.Nodes())
+		for u := Node(0); u < n; u++ {
+			dist := graph.BFS(e, u)
+			for v := Node(0); v < n; v++ {
+				if e.Distance(u, v) != dist[v] {
+					t.Fatalf("EH(%d,%d): Distance(%d,%d) = %d, BFS %d",
+						cfg.s, cfg.t, u, v, e.Distance(u, v), dist[v])
+				}
+			}
+		}
+	}
+}
+
+// TestDiameterFormula: diam(EH(s,t)) = s + t + 2, realized by same-
+// ending pairs differing everywhere (two crossings needed).
+func TestDiameterFormula(t *testing.T) {
+	for _, cfg := range []struct{ s, t uint }{{1, 1}, {2, 1}, {2, 2}, {3, 2}, {2, 3}} {
+		e := New(cfg.s, cfg.t)
+		if got, want := graph.Diameter(e), int(cfg.s+cfg.t+2); got != want {
+			t.Errorf("diam(EH(%d,%d)) = %d, want %d", cfg.s, cfg.t, got, want)
+		}
+	}
+}
+
+// TestIsomorphicToSwapped: the paper's Case II uses EH(s,t) isomorphic
+// to EH(t,s).
+func TestIsomorphicToSwapped(t *testing.T) {
+	a := New(1, 2)
+	b := New(2, 1)
+	if !graph.Isomorphic(a, b) {
+		t.Error("EH(1,2) must be isomorphic to EH(2,1)")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("s=0", func() { New(0, 2) })
+	mustPanic("t=0", func() { New(2, 0) })
+	mustPanic("too big", func() { New(20, 10) })
+}
+
+func TestHasLinkDimBoundary(t *testing.T) {
+	e := New(2, 2)
+	if e.HasLinkDim(0, 5) {
+		t.Error("dimension beyond s+t must have no link")
+	}
+	// 0-ending node: a-dims yes, b-dims no.
+	v0 := e.Compose(1, 1, 0)
+	if !e.HasLinkDim(v0, 3) || e.HasLinkDim(v0, 1) {
+		t.Error("0-ending link rule wrong")
+	}
+	v1 := e.Compose(1, 1, 1)
+	if e.HasLinkDim(v1, 3) || !e.HasLinkDim(v1, 1) {
+		t.Error("1-ending link rule wrong")
+	}
+}

@@ -1,0 +1,96 @@
+package exchanged
+
+// Faults reports fault status of EH components. Every EH link is a
+// single-bit flip of the label, so links are addressed like hypercube
+// links: (endpoint, dimension). Implementations must be symmetric in the
+// endpoint.
+type Faults interface {
+	NodeFaulty(v Node) bool
+	LinkFaulty(v Node, dim uint) bool
+}
+
+// NoFaults is the fault-free oracle.
+type NoFaults struct{}
+
+// NodeFaulty always reports false.
+func (NoFaults) NodeFaulty(Node) bool { return false }
+
+// LinkFaulty always reports false.
+func (NoFaults) LinkFaulty(Node, uint) bool { return false }
+
+// FaultSet is an explicit, mutable fault oracle for EH(s, t).
+type FaultSet struct {
+	nodes map[Node]bool
+	links map[linkKey]bool
+}
+
+type linkKey struct {
+	low Node
+	dim uint
+}
+
+// NewFaultSet returns an empty fault set.
+func NewFaultSet() *FaultSet {
+	return &FaultSet{nodes: make(map[Node]bool), links: make(map[linkKey]bool)}
+}
+
+// AddNode marks node v faulty.
+func (f *FaultSet) AddNode(v Node) { f.nodes[v] = true }
+
+// AddLink marks the link between v and v XOR 2^dim faulty.
+func (f *FaultSet) AddLink(v Node, dim uint) {
+	f.links[linkKey{low: v &^ (1 << dim), dim: dim}] = true
+}
+
+// NodeFaulty implements Faults.
+func (f *FaultSet) NodeFaulty(v Node) bool { return f.nodes[v] }
+
+// LinkFaulty implements Faults; links at faulty nodes are faulty.
+func (f *FaultSet) LinkFaulty(v Node, dim uint) bool {
+	if f.links[linkKey{low: v &^ (1 << dim), dim: dim}] {
+		return true
+	}
+	return f.nodes[v] || f.nodes[v^(1<<dim)]
+}
+
+// Census is the fault bookkeeping of Theorem 4: Fs counts faulty
+// components (nodes and intra-cube links) inside the 0-side s-cubes
+// B_s(.), Ft the same for the 1-side t-cubes B_t(.), and F0 the faulty
+// dimension-0 links whose endpoints are both non-faulty.
+type Census struct {
+	Fs, Ft, F0 int
+}
+
+// CountFaults computes the Theorem 4 census for an explicit fault set.
+func CountFaults(e *EH, f *FaultSet) Census {
+	var c Census
+	for v := range f.nodes {
+		if v&1 == 0 {
+			c.Fs++
+		} else {
+			c.Ft++
+		}
+	}
+	for k := range f.links {
+		if f.nodes[k.low] || f.nodes[k.low^(1<<k.dim)] {
+			continue // attributed to the node fault
+		}
+		switch {
+		case k.dim == 0:
+			c.F0++
+		case k.dim <= e.t:
+			c.Ft++
+		default:
+			c.Fs++
+		}
+	}
+	return c
+}
+
+// PreconditionHolds reports Theorem 4's fault bound: Fs + F0 < s and
+// Ft + F0 < t.
+func (e *EH) PreconditionHolds(c Census) bool {
+	return c.Fs+c.F0 < int(e.s) && c.Ft+c.F0 < int(e.t)
+}
+
+var _ Faults = (*FaultSet)(nil)

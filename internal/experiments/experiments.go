@@ -1,0 +1,501 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and the structural figures), as data series. The cmd/gcbench
+// CLI prints them; EXPERIMENTS.md records paper-versus-measured notes.
+//
+//	Figure 1 — the Gaussian Graphs G_2, G_4, G_8 (edge lists);
+//	Figure 2 — Gaussian Tree diameter versus dimension;
+//	Figure 4 — log2 of the tolerable-fault bound T(GC) versus n;
+//	Figure 5 — fault-free average latency versus n for M = 1, 2, 4;
+//	Figure 6 — fault-free log2 throughput versus n for M = 1, 2, 4;
+//	Figure 7 — GC(n, 2) average latency, no fault versus one faulty node;
+//	Figure 8 — GC(n, 2) log2 throughput, same comparison.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/gtree"
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/simnet"
+	"gaussiancube/internal/svgplot"
+)
+
+// (Figure 3 of the paper is an illustration of the CT algorithm's
+// branch points rather than a measurement; Figure3 below reproduces it
+// as a concrete textual walkthrough.)
+
+// Point is one sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is one reproduced figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Chart converts the figure to an svgplot line chart (the table view
+// from Table remains the accessibility fallback alongside).
+func (f Figure) Chart() *svgplot.Chart {
+	c := &svgplot.Chart{
+		Title:  fmt.Sprintf("%s — %s", f.ID, f.Title),
+		XLabel: f.XLabel,
+		YLabel: f.YLabel,
+	}
+	for _, s := range f.Series {
+		var xs, ys []float64
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+		c.Series = append(c.Series, svgplot.Series{Name: s.Name, X: xs, Y: ys})
+	}
+	return c
+}
+
+// Markdown renders the figure as a GitHub-flavored markdown section
+// with a pipe table, series as columns on the merged X grid.
+func (f Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "| %s |", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %s |", s.Name)
+	}
+	b.WriteString("\n|")
+	for i := 0; i <= len(f.Series); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var grid []float64
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sortFloats(grid)
+	for _, x := range grid {
+		fmt.Fprintf(&b, "| %g |", x)
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				fmt.Fprintf(&b, " %.4f |", y)
+			} else {
+				b.WriteString(" — |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the figure as RFC-4180 CSV, series as columns on the
+// merged X grid; holes are empty fields.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := w.Write(header); err != nil {
+		panic(err)
+	}
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var grid []float64
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sortFloats(grid)
+	for _, x := range grid {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range f.Series {
+			if y, ok := s.at(x); ok {
+				row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := w.Write(row); err != nil {
+			panic(err)
+		}
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Table renders the figure as an aligned text table, series as columns.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteByte('\n')
+	// All series are sampled on (possibly different) X grids; merge.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	var grid []float64
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sortFloats(grid)
+	for _, x := range grid {
+		fmt.Fprintf(&b, "%-10g", x)
+		for _, s := range f.Series {
+			y, ok := s.at(x)
+			if ok {
+				fmt.Fprintf(&b, " %16.4f", y)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (s Series) at(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Figure1 renders the explicit edge lists of the paper's Figure 1
+// Gaussian Graphs (G_2, G_4, G_8 — alpha 1, 2, 3).
+func Figure1() string {
+	var b strings.Builder
+	for alpha := uint(1); alpha <= 3; alpha++ {
+		tr := gtree.New(alpha)
+		fmt.Fprintf(&b, "G_%d (alpha=%d, %d nodes):", 1<<alpha, alpha, tr.Nodes())
+		for _, e := range graph.Edges(tr) {
+			fmt.Fprintf(&b, " %d-%d", e.U, e.V)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure3 renders the paper's CT/FindBP illustration concretely: a
+// trunk path in a Gaussian Tree, a set of destinations, the branch
+// point of each off-trunk destination, and the resulting closed walk.
+func Figure3(alpha uint, root gtree.Node, dests []gtree.Node) string {
+	tr := gtree.New(alpha)
+	var b strings.Builder
+	anchor := dests[0]
+	trunk := tr.PC(root, anchor)
+	onTrunk := gtree.NewNodeSet(trunk...)
+	fmt.Fprintf(&b, "T_%d, root %d, destinations %v\n", 1<<alpha, root, dests)
+	fmt.Fprintf(&b, "trunk L = PC(%d, %d): %v\n", root, anchor, trunk)
+	for _, d := range dests[1:] {
+		if onTrunk[d] {
+			fmt.Fprintf(&b, "  d=%d lies on L\n", d)
+			continue
+		}
+		fmt.Fprintf(&b, "  d=%d branches at b=%d\n", d, tr.FindBP(onTrunk, root, d))
+	}
+	walk := tr.CT(root, dests)
+	fmt.Fprintf(&b, "CT walk (%d hops = 2 x %d Steiner edges): %v\n",
+		len(walk)-1, len(tr.SteinerEdges(root, dests)), walk)
+	return b.String()
+}
+
+// Figure2 computes the Gaussian Tree diameter for alpha = 1..maxAlpha.
+func Figure2(maxAlpha uint) Figure {
+	s := Series{Name: "diameter"}
+	for a := uint(1); a <= maxAlpha; a++ {
+		s.Points = append(s.Points, Point{X: float64(a), Y: float64(gtree.New(a).Diameter())})
+	}
+	return Figure{
+		ID:     "fig2",
+		Title:  "Diameter of the Gaussian Tree T_{2^alpha} versus alpha",
+		XLabel: "alpha",
+		YLabel: "diameter",
+		Series: []Series{s},
+	}
+}
+
+// Figure4 computes log2 of the tolerable-fault bound T(GC(n, 2^alpha))
+// for alpha = 1..4 and n up to maxN (the paper plots n to 25).
+func Figure4(maxN uint) Figure {
+	f := Figure{
+		ID:     "fig4",
+		Title:  "log2 T(GC(n, 2^alpha)) versus n (maximum tolerable A-category faults)",
+		XLabel: "n",
+		YLabel: "log2(T)",
+	}
+	for alpha := uint(1); alpha <= 4; alpha++ {
+		s := Series{Name: fmt.Sprintf("alpha=%d", alpha)}
+		for n := alpha + 2; n <= maxN; n++ {
+			t := fault.TolerableBound(n, alpha)
+			if t == 0 {
+				continue
+			}
+			s.Points = append(s.Points, Point{X: float64(n), Y: metrics.Log2(float64(t))})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// SimSweep parameterizes the simulation figures.
+type SimSweep struct {
+	MinN, MaxN uint
+	Arrival    float64
+	GenCycles  int
+	Seeds      []int64 // runs averaged per point
+	// Parallelism is the number of sweep points simulated concurrently
+	// (0 or 1 = sequential). Points are independent simulations, so the
+	// sweep is embarrassingly parallel.
+	Parallelism int
+}
+
+// DefaultSweep mirrors the paper's Figure 5/6 ranges at a laptop-scale
+// load. Figures 7/8 shift it down by one dimension (n = 5..13).
+func DefaultSweep() SimSweep {
+	return SimSweep{MinN: 6, MaxN: 14, Arrival: 0.01, GenCycles: 60, Seeds: []int64{1, 2, 3}}
+}
+
+// QuickSweep is a reduced sweep for tests.
+func QuickSweep() SimSweep {
+	return SimSweep{MinN: 5, MaxN: 8, Arrival: 0.02, GenCycles: 40, Seeds: []int64{1, 2}}
+}
+
+// run executes one averaged simulation point.
+func run(n, alpha uint, sweep SimSweep, faults func(c *gc.Cube, seed int64) *fault.Set) (lat, log2thr float64) {
+	var latAcc, thrAcc float64
+	for _, seed := range sweep.Seeds {
+		cfg := simnet.Config{
+			N:         n,
+			Alpha:     alpha,
+			Arrival:   sweep.Arrival,
+			GenCycles: sweep.GenCycles,
+			Seed:      seed,
+		}
+		if faults != nil {
+			cube := gc.New(n, alpha)
+			cfg.Faults = faults(cube, seed)
+		}
+		stats, err := simnet.Run(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: simulation failed: %v", err))
+		}
+		latAcc += stats.AvgLatency()
+		thrAcc += stats.Throughput()
+	}
+	k := float64(len(sweep.Seeds))
+	return latAcc / k, metrics.Log2(thrAcc / k)
+}
+
+// Figures5and6 reproduces the fault-free latency and throughput sweeps
+// over n for M in {1, 2, 4}. With sweep.Parallelism > 1 the grid points
+// are simulated concurrently.
+func Figures5and6(sweep SimSweep) (Figure, Figure) {
+	fig5 := Figure{
+		ID:     "fig5",
+		Title:  "Average latency versus dimension, fault-free",
+		XLabel: "n",
+		YLabel: "avg latency (cycles)",
+	}
+	fig6 := Figure{
+		ID:     "fig6",
+		Title:  "log2 throughput versus dimension, fault-free",
+		XLabel: "n",
+		YLabel: "log2(packets/cycle)",
+	}
+	type job struct {
+		alphaIdx int
+		n        uint
+		alpha    uint
+	}
+	type outcome struct {
+		job      job
+		lat, thr float64
+	}
+	var jobs []job
+	alphas := []uint{0, 1, 2}
+	for i, alpha := range alphas {
+		for n := sweep.MinN; n <= sweep.MaxN; n++ {
+			if alpha <= n {
+				jobs = append(jobs, job{alphaIdx: i, n: n, alpha: alpha})
+			}
+		}
+	}
+	outcomes := make([]outcome, len(jobs))
+	runJob := func(i int) {
+		l, t := run(jobs[i].n, jobs[i].alpha, sweep, nil)
+		outcomes[i] = outcome{job: jobs[i], lat: l, thr: t}
+	}
+	forEachParallel(len(jobs), sweep.Parallelism, runJob)
+
+	for _, alpha := range alphas {
+		fig5.Series = append(fig5.Series, Series{Name: fmt.Sprintf("M=%d", 1<<alpha)})
+		fig6.Series = append(fig6.Series, Series{Name: fmt.Sprintf("M=%d", 1<<alpha)})
+	}
+	for _, o := range outcomes {
+		i := o.job.alphaIdx
+		fig5.Series[i].Points = append(fig5.Series[i].Points, Point{X: float64(o.job.n), Y: o.lat})
+		fig6.Series[i].Points = append(fig6.Series[i].Points, Point{X: float64(o.job.n), Y: o.thr})
+	}
+	return fig5, fig6
+}
+
+// forEachParallel runs f(0..n-1) over the given number of workers,
+// sequentially when workers <= 1.
+func forEachParallel(n, workers int, f func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Figures7and8 reproduces the GC(n, 2) fault-impact sweeps: no fault
+// versus one random faulty node.
+func Figures7and8(sweep SimSweep) (Figure, Figure) {
+	fig7 := Figure{
+		ID:     "fig7",
+		Title:  "Average latency versus dimension, GC(n,2): fault-free vs one faulty node",
+		XLabel: "n",
+		YLabel: "avg latency (cycles)",
+	}
+	fig8 := Figure{
+		ID:     "fig8",
+		Title:  "log2 throughput versus dimension, GC(n,2): fault-free vs one faulty node",
+		XLabel: "n",
+		YLabel: "log2(packets/cycle)",
+	}
+	clean := [2]Series{{Name: "no fault"}, {Name: "no fault"}}
+	faulty := [2]Series{{Name: "one fault"}, {Name: "one fault"}}
+	for n := sweep.MinN; n <= sweep.MaxN; n++ {
+		// Paired design: clean and faulty runs consume the identical
+		// offered traffic (which never touches the faulty node), so the
+		// measured gap is the routing detour cost, not sampling noise.
+		var lat0, thr0, lat1, thr1 float64
+		for _, seed := range sweep.Seeds {
+			cube := gc.New(n, 1)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			bad := gc.NodeID(rng.Intn(cube.Nodes()))
+			trace := pairedTrace(rng, cube, sweep, bad)
+
+			cfg := simnet.Config{
+				N: n, Alpha: 1,
+				Arrival: sweep.Arrival, GenCycles: sweep.GenCycles,
+				Trace: trace,
+			}
+			s0, err := simnet.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			fs := fault.NewSet(cube)
+			fs.AddNode(bad)
+			cfg.Faults = fs
+			s1, err := simnet.Run(cfg)
+			if err != nil {
+				panic(err)
+			}
+			lat0 += s0.AvgLatency()
+			thr0 += s0.Throughput()
+			lat1 += s1.AvgLatency()
+			thr1 += s1.Throughput()
+		}
+		k := float64(len(sweep.Seeds))
+		clean[0].Points = append(clean[0].Points, Point{X: float64(n), Y: lat0 / k})
+		clean[1].Points = append(clean[1].Points, Point{X: float64(n), Y: metrics.Log2(thr0 / k)})
+		faulty[0].Points = append(faulty[0].Points, Point{X: float64(n), Y: lat1 / k})
+		faulty[1].Points = append(faulty[1].Points, Point{X: float64(n), Y: metrics.Log2(thr1 / k)})
+	}
+	fig7.Series = []Series{clean[0], faulty[0]}
+	fig8.Series = []Series{clean[1], faulty[1]}
+	return fig7, fig8
+}
+
+// pairedTrace builds the Bernoulli offered load of a sweep point,
+// excluding the given node as source and destination so the same trace
+// is admissible with and without the fault.
+func pairedTrace(rng *rand.Rand, cube *gc.Cube, sweep SimSweep, exclude gc.NodeID) []simnet.Packet {
+	var trace []simnet.Packet
+	nodes := cube.Nodes()
+	for t := 0; t < sweep.GenCycles; t++ {
+		for v := 0; v < nodes; v++ {
+			if rng.Float64() >= sweep.Arrival {
+				continue
+			}
+			src := gc.NodeID(v)
+			if src == exclude {
+				continue
+			}
+			var dst gc.NodeID
+			for {
+				dst = gc.NodeID(rng.Intn(nodes))
+				if dst != src && dst != exclude {
+					break
+				}
+			}
+			trace = append(trace, simnet.Packet{Src: src, Dst: dst, Time: t})
+		}
+	}
+	return trace
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Content(t *testing.T) {
+	out := Figure1()
+	for _, want := range []string{
+		"G_2 (alpha=1, 2 nodes): 0-1",
+		"G_4",
+		"G_8",
+		"2-6", // the dimension-2 edge of G_8
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Values(t *testing.T) {
+	f := Figure2(8)
+	if len(f.Series) != 1 || len(f.Series[0].Points) != 8 {
+		t.Fatalf("figure shape wrong: %+v", f)
+	}
+	want := map[float64]float64{1: 1, 2: 3, 3: 7, 4: 11}
+	for _, p := range f.Series[0].Points {
+		if w, ok := want[p.X]; ok && p.Y != w {
+			t.Errorf("diameter(alpha=%g) = %g, want %g", p.X, p.Y, w)
+		}
+	}
+	// Monotone growth.
+	for i := 1; i < len(f.Series[0].Points); i++ {
+		if f.Series[0].Points[i].Y <= f.Series[0].Points[i-1].Y {
+			t.Error("tree diameter must grow with alpha")
+		}
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	f := Figure4(25)
+	if len(f.Series) != 4 {
+		t.Fatalf("want 4 alpha series, got %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Errorf("series %s not monotone at %g", s.Name, s.Points[i].X)
+			}
+		}
+		// alpha=4 becomes nonzero only at n=21 under the reconstructed
+		// formula, so its series is short; the rest reach deep.
+		if len(s.Points) < 4 {
+			t.Errorf("series %s too short (%d points)", s.Name, len(s.Points))
+		}
+	}
+}
+
+// TestFigures5and6Shape runs the reduced sweep and checks the trends
+// the paper reports: latency rises with n and with M; log2 throughput
+// rises with n.
+func TestFigures5and6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig5, fig6 := Figures5and6(QuickSweep())
+	if len(fig5.Series) != 3 || len(fig6.Series) != 3 {
+		t.Fatalf("want 3 M series")
+	}
+	// Latency at the top dimension must exceed latency at the bottom
+	// for each M (trend check, not per-step monotonicity).
+	for _, s := range fig5.Series {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Y <= first.Y {
+			t.Errorf("fig5 %s: latency %g@n=%g -> %g@n=%g does not rise",
+				s.Name, first.Y, first.X, last.Y, last.X)
+		}
+	}
+	// At the top dimension, latency must rise with M (link dilution).
+	top := func(s Series) float64 { return s.Points[len(s.Points)-1].Y }
+	if !(top(fig5.Series[0]) < top(fig5.Series[2])) {
+		t.Errorf("fig5: M=4 latency %g not above M=1 latency %g",
+			top(fig5.Series[2]), top(fig5.Series[0]))
+	}
+	// Throughput grows with n for each M.
+	for _, s := range fig6.Series {
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if last.Y <= first.Y {
+			t.Errorf("fig6 %s: log2 throughput does not rise (%g -> %g)",
+				s.Name, first.Y, last.Y)
+		}
+	}
+}
+
+// TestFigures7and8Shape: the one-fault curves must track the clean
+// curves without ever improving dramatically, and the aggregate fault
+// penalty must be nonnegative.
+func TestFigures7and8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig7, fig8 := Figures7and8(QuickSweep())
+	if len(fig7.Series) != 2 || len(fig8.Series) != 2 {
+		t.Fatal("want clean and faulty series")
+	}
+	clean, faulty := fig7.Series[0], fig7.Series[1]
+	var penalty float64
+	for i := range clean.Points {
+		penalty += faulty.Points[i].Y - clean.Points[i].Y
+		if faulty.Points[i].Y < clean.Points[i].Y*0.9 {
+			t.Errorf("fig7 n=%g: faulty latency %g far below clean %g",
+				clean.Points[i].X, faulty.Points[i].Y, clean.Points[i].Y)
+		}
+	}
+	if penalty < 0 {
+		t.Errorf("fig7: aggregate fault latency penalty %g is negative", penalty)
+	}
+	// Throughput with a fault must not exceed clean throughput by much.
+	c8, f8 := fig8.Series[0], fig8.Series[1]
+	for i := range c8.Points {
+		if f8.Points[i].Y > c8.Points[i].Y+0.3 {
+			t.Errorf("fig8 n=%g: faulty throughput %g above clean %g",
+				c8.Points[i].X, f8.Points[i].Y, c8.Points[i].Y)
+		}
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "demo", XLabel: "n",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "b", Points: []Point{{2, 200}}},
+		},
+	}
+	out := f.Markdown()
+	if !strings.Contains(out, "## figX — demo") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| n | a | b |") {
+		t.Errorf("table header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 | 10.0000 | — |") {
+		t.Errorf("sparse row wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|---|") {
+		t.Errorf("separator wrong:\n%s", out)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	f := Figure{
+		ID: "figX", XLabel: "n",
+		Series: []Series{
+			{Name: "a,b", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "c", Points: []Point{{2, 200}}},
+		},
+	}
+	out := f.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows:\n%s", out)
+	}
+	if lines[0] != `n,"a,b",c` {
+		t.Errorf("header = %q (comma in name must be quoted)", lines[0])
+	}
+	if lines[1] != "1,10," {
+		t.Errorf("row1 = %q", lines[1])
+	}
+	if lines[2] != "2,20,200" {
+		t.Errorf("row2 = %q", lines[2])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	f := Figure{
+		ID: "figX", Title: "demo", XLabel: "n",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "b", Points: []Point{{2, 200}}},
+		},
+	}
+	out := f.Table()
+	if !strings.Contains(out, "figX: demo") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("missing hole marker for sparse series")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+}

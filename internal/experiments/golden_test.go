@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden values for the deterministic (non-simulation) figures: these
+// pin the reproduced numbers so silent regressions in the underlying
+// formulas are caught immediately.
+
+func TestGoldenFigure2(t *testing.T) {
+	want := []float64{1, 3, 7, 11, 23, 27, 33, 37, 51, 55, 61, 65, 77, 81}
+	f := Figure2(14)
+	pts := f.Series[0].Points
+	if len(pts) != len(want) {
+		t.Fatalf("points = %d, want %d", len(pts), len(want))
+	}
+	for i, p := range pts {
+		if p.Y != want[i] {
+			t.Errorf("diameter(alpha=%d) = %g, want %g", i+1, p.Y, want[i])
+		}
+	}
+}
+
+func TestGoldenFigure4(t *testing.T) {
+	f := Figure4(25)
+	// Pin the n=25 endpoint of each alpha series (log2 of the bound).
+	want := map[string]float64{
+		"alpha=1": 16.459431618637297,
+		"alpha=2": 21.523561956057013,
+		"alpha=3": 23,
+		"alpha=4": 21.321928094887364,
+	}
+	for _, s := range f.Series {
+		last := s.Points[len(s.Points)-1]
+		if last.X != 25 {
+			t.Fatalf("%s: last point at n=%g", s.Name, last.X)
+		}
+		if math.Abs(last.Y-want[s.Name]) > 1e-9 {
+			t.Errorf("%s @ n=25: %v, want %v", s.Name, last.Y, want[s.Name])
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelSweepMatchesSequential: the same sweep run with and
+// without parallelism must produce identical figures (simulations are
+// seeded and independent).
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	seq := QuickSweep()
+	par := QuickSweep()
+	par.Parallelism = 4
+	s5, s6 := Figures5and6(seq)
+	p5, p6 := Figures5and6(par)
+	compareFigures(t, s5, p5)
+	compareFigures(t, s6, p6)
+}
+
+func compareFigures(t *testing.T, a, b Figure) {
+	t.Helper()
+	if len(a.Series) != len(b.Series) {
+		t.Fatalf("series count %d vs %d", len(a.Series), len(b.Series))
+	}
+	for i := range a.Series {
+		if len(a.Series[i].Points) != len(b.Series[i].Points) {
+			t.Fatalf("series %s point count differs", a.Series[i].Name)
+		}
+		for j := range a.Series[i].Points {
+			if a.Series[i].Points[j] != b.Series[i].Points[j] {
+				t.Fatalf("series %s point %d: %+v vs %+v", a.Series[i].Name, j,
+					a.Series[i].Points[j], b.Series[i].Points[j])
+			}
+		}
+	}
+}
+
+func TestForEachParallelCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		var count int64
+		seen := make([]int32, 50)
+		forEachParallel(50, workers, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if count != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, count)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+	forEachParallel(0, 4, func(int) { t.Fatal("no jobs must mean no calls") })
+}

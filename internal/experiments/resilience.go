@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/resilience"
+)
+
+// Resilience is the extension experiment implementing the paper's
+// future-work proposal: a unified, routing-aware fault-tolerance
+// profile. For a fixed dimension it sweeps the faulty-node count and
+// plots three curves per modulus: the connectivity upper bound, the
+// delivery ratio of the full strategy (with fallback) and of the bare
+// strategy.
+func Resilience(n uint, faults []int, trials, pairs int, seed int64) []Figure {
+	var out []Figure
+	for _, alpha := range []uint{0, 1, 2} {
+		c := resilience.Measure(resilience.Config{
+			N: n, Alpha: alpha,
+			Faults: faults, Trials: trials, PairsPerTrial: pairs, Seed: seed,
+		})
+		f := Figure{
+			ID:     fmt.Sprintf("resilience-M%d", 1<<alpha),
+			Title:  fmt.Sprintf("Fault-tolerance profile of GC(%d, %d)", n, 1<<alpha),
+			XLabel: "faulty nodes",
+			YLabel: "probability",
+		}
+		conn := Series{Name: "connectivity"}
+		deliv := Series{Name: "delivery"}
+		bare := Series{Name: "bare strategy"}
+		for i, k := range c.Faults {
+			x := float64(k)
+			conn.Points = append(conn.Points, Point{X: x, Y: c.Connectivity[i]})
+			deliv.Points = append(deliv.Points, Point{X: x, Y: c.Delivery[i]})
+			bare.Points = append(bare.Points, Point{X: x, Y: c.StrategyDelivery[i]})
+		}
+		f.Series = []Series{conn, deliv, bare}
+		out = append(out, f)
+	}
+	return out
+}

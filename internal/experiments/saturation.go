@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/simnet"
+)
+
+// Saturation is an extension experiment beyond the paper's figures:
+// average latency versus offered load for several moduli at a fixed
+// dimension. Link dilution (larger M) concentrates traffic on fewer
+// links, so the diluted cubes saturate at lower arrival rates — the
+// flip side of the interconnection-cost savings the Gaussian Cube
+// family trades on.
+func Saturation(n uint, arrivals []float64, genCycles int, seeds []int64) Figure {
+	f := Figure{
+		ID:     "saturation",
+		Title:  fmt.Sprintf("Average latency versus offered load, GC(%d, M)", n),
+		XLabel: "arrival",
+		YLabel: "avg latency (cycles)",
+	}
+	for _, alpha := range []uint{0, 1, 2} {
+		s := Series{Name: fmt.Sprintf("M=%d", 1<<alpha)}
+		for _, a := range arrivals {
+			var lat float64
+			for _, seed := range seeds {
+				stats, err := simnet.Run(simnet.Config{
+					N: n, Alpha: alpha,
+					Arrival: a, GenCycles: genCycles, Seed: seed,
+				})
+				if err != nil {
+					panic(err)
+				}
+				lat += stats.AvgLatency()
+			}
+			s.Points = append(s.Points, Point{X: a, Y: lat / float64(len(seeds))})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// DefaultArrivals is the load grid for the saturation sweep.
+func DefaultArrivals() []float64 {
+	return []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestSaturationShape: latency grows with offered load for every M,
+// and at the heaviest load the diluted cube (M=4) is the most congested.
+func TestSaturationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f := Saturation(8, []float64{0.01, 0.1, 0.4}, 40, []int64{1, 2})
+	if len(f.Series) != 3 {
+		t.Fatalf("want 3 M series, got %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		first := s.Points[0].Y
+		last := s.Points[len(s.Points)-1].Y
+		if last <= first {
+			t.Errorf("%s: latency does not grow with load (%g -> %g)", s.Name, first, last)
+		}
+	}
+	heavy := func(i int) float64 {
+		pts := f.Series[i].Points
+		return pts[len(pts)-1].Y
+	}
+	if heavy(2) <= heavy(0) {
+		t.Errorf("M=4 heavy-load latency %g should exceed M=1's %g", heavy(2), heavy(0))
+	}
+}
+
+func TestDefaultArrivalsAscending(t *testing.T) {
+	a := DefaultArrivals()
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatal("arrival grid must ascend")
+		}
+	}
+}

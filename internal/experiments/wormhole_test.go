@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+// TestWormholeLatencyAffine: the latency curve must be close to affine
+// with unit slope in the worm length (the pipelining law), measured at
+// light load.
+func TestWormholeLatencyAffine(t *testing.T) {
+	f := WormholeLatency(7, 1, []int{1, 4, 8, 16}, 60, 3)
+	pts := f.Series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("expected 4 points, got %d (deadlock?)", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		slope := (pts[i].Y - pts[i-1].Y) / (pts[i].X - pts[i-1].X)
+		if slope < 0.8 || slope > 1.8 {
+			t.Errorf("segment %d slope %.2f outside the pipeline law", i, slope)
+		}
+	}
+	// Intercept ~ average hop count: latency(F=1) should be a few
+	// cycles above the hop count, far below H*F behaviour.
+	if pts[0].Y > 4*pts[0].X+30 {
+		t.Errorf("F=1 latency %v implausibly high", pts[0].Y)
+	}
+}

@@ -1,0 +1,46 @@
+package fault
+
+// TolerableBound computes T(GC(n, 2^alpha)), the worst-case number of
+// A-category faults tolerable by the Theorem 3 strategy, the quantity
+// plotted (as log2) in the paper's Figure 4.
+//
+// Derivation (the paper's printed expression is corrupted; this is the
+// reconstruction recorded in DESIGN.md): ending class k spans
+// t_k = N(k) = floor((n-1-k)/2^alpha) + 1 - delta(k < alpha) high
+// dimensions, so it splits into 2^((n-alpha) - t_k) GEEC hypercubes of
+// dimension t_k, each of which tolerates t_k - 1 faults. Summing over
+// the 2^alpha classes:
+//
+//	T = sum_k 2^((n-alpha) - t_k) * max(t_k - 1, 0)
+func TolerableBound(n, alpha uint) uint64 {
+	if alpha > n {
+		panic("fault: alpha exceeds n")
+	}
+	var total uint64
+	m := uint(1) << alpha
+	for k := uint(0); k < m; k++ {
+		tk := dimCount(n, alpha, k)
+		if tk <= 1 {
+			continue
+		}
+		slices := uint64(1) << ((n - alpha) - uint(tk))
+		total += slices * uint64(tk-1)
+	}
+	return total
+}
+
+// dimCount mirrors gc.Cube.DimCount without materializing a cube, so
+// the Figure 4 sweep can reach n = 25 cheaply.
+func dimCount(n, alpha, k uint) int {
+	if alpha == 0 {
+		return int(n)
+	}
+	if k > n-1 {
+		return 0
+	}
+	count := int((n-1-k)>>alpha) + 1
+	if k < alpha {
+		count--
+	}
+	return count
+}

@@ -1,0 +1,71 @@
+package fault
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestTolerableBoundMatchesPerSliceSum recomputes T(GC) directly from
+// the GEEC decomposition and compares with the closed form.
+func TestTolerableBoundMatchesPerSliceSum(t *testing.T) {
+	for n := uint(2); n <= 14; n++ {
+		for alpha := uint(0); alpha <= 4 && alpha <= n; alpha++ {
+			c := gc.New(n, alpha)
+			var want uint64
+			for k := gc.NodeID(0); k < gc.NodeID(c.M()); k++ {
+				tk := c.DimCount(k)
+				if tk <= 1 {
+					continue
+				}
+				want += uint64(c.FrameCount(k)) * uint64(tk-1)
+			}
+			if got := TolerableBound(n, alpha); got != want {
+				t.Errorf("T(GC(%d,2^%d)) = %d, want %d", n, alpha, got, want)
+			}
+		}
+	}
+}
+
+// TestTolerableBoundHypercube: alpha = 0 reduces to the classical
+// hypercube bound n-1.
+func TestTolerableBoundHypercube(t *testing.T) {
+	for n := uint(2); n <= 20; n++ {
+		if got := TolerableBound(n, 0); got != uint64(n-1) {
+			t.Errorf("T(GC(%d,1)) = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+// TestFigure4Shape: the bound grows monotonically with n at fixed alpha
+// and log2(T) grows roughly linearly in n (Figure 4 plots log2(T) versus
+// n as near-straight lines): doubling steps stay bounded.
+func TestFigure4Shape(t *testing.T) {
+	for alpha := uint(1); alpha <= 4; alpha++ {
+		prev := uint64(0)
+		for n := alpha + 2; n <= 25; n++ {
+			cur := TolerableBound(n, alpha)
+			if cur < prev {
+				t.Errorf("T(GC(n,2^%d)) not monotone at n=%d: %d < %d", alpha, n, cur, prev)
+			}
+			if prev > 0 && cur > 4*prev {
+				t.Errorf("T(GC(n,2^%d)) jumps more than 2 doublings at n=%d: %d -> %d",
+					alpha, n, prev, cur)
+			}
+			prev = cur
+		}
+		// Exponential growth overall: T at n=25 must exceed 2^(25-alpha-10).
+		if TolerableBound(25, alpha) < 1<<(25-alpha-10) {
+			t.Errorf("T(GC(25,2^%d)) = %d unexpectedly small", alpha, TolerableBound(25, alpha))
+		}
+	}
+}
+
+func TestTolerableBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha > n must panic")
+		}
+	}()
+	TolerableBound(3, 4)
+}

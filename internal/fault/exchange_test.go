@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/hypercube"
+)
+
+func TestExchangeFaultFree(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+	r := s.ExchangeFaultStatus()
+	if !r.Complete {
+		t.Error("fault-free exchange must be complete")
+	}
+	if r.MaxKnowledge != 0 {
+		t.Errorf("no faults to know, got %d", r.MaxKnowledge)
+	}
+	if r.Rounds > RoundBound(8, 2) {
+		t.Errorf("rounds %d exceed bound %d", r.Rounds, RoundBound(8, 2))
+	}
+}
+
+func TestRoundBound(t *testing.T) {
+	if RoundBound(8, 2) != 3 { // ceil(8/4)+1
+		t.Errorf("RoundBound(8,2) = %d", RoundBound(8, 2))
+	}
+	if RoundBound(9, 1) != 6 { // ceil(9/2)+1
+		t.Errorf("RoundBound(9,1) = %d", RoundBound(9, 1))
+	}
+	if RoundBound(6, 0) != 7 { // ceil(6/1)+1
+		t.Errorf("RoundBound(6,0) = %d", RoundBound(6, 0))
+	}
+}
+
+// TestCharacteristic4And5: under the Theorem 3 precondition, the
+// exchange completes within ceil(n/2^alpha)+1 rounds and no node stores
+// more records than the slice's fault count.
+func TestCharacteristic4And5(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		n := uint(7 + rng.Intn(3))
+		alpha := uint(1 + rng.Intn(2))
+		c := gc.New(n, alpha)
+		s := NewSet(c)
+		// A-category faults within the Theorem 3 bound.
+		for i := 0; i < 8; i++ {
+			k := gc.NodeID(rng.Intn(int(c.M())))
+			if c.DimCount(k) == 0 {
+				continue
+			}
+			g := c.GEEC(k, uint64(rng.Intn(c.FrameCount(k))))
+			member := g.ToGC(hypercube.Node(rng.Intn(1 << g.Dim())))
+			d := g.Dims()[rng.Intn(len(g.Dims()))]
+			trialSet := s.Clone()
+			trialSet.AddLink(member, d)
+			if trialSet.Theorem3Holds() {
+				s = trialSet
+			}
+		}
+		r := s.ExchangeFaultStatus()
+		if !r.Complete {
+			t.Fatalf("trial %d: exchange incomplete under Theorem 3 faults", trial)
+		}
+		if r.Rounds > RoundBound(n, alpha) {
+			t.Fatalf("trial %d: %d rounds exceed bound %d (GC(%d,2^%d))",
+				trial, r.Rounds, RoundBound(n, alpha), n, alpha)
+		}
+		if r.MaxKnowledge > s.Count() {
+			t.Fatalf("trial %d: node stores %d records, only %d faults exist",
+				trial, r.MaxKnowledge, s.Count())
+		}
+	}
+}
+
+// TestExchangeIncompleteWhenSliceShattered: a node isolated inside its
+// slice cannot learn about faults elsewhere in the slice, and the
+// protocol must report the incompleteness.
+func TestExchangeIncompleteWhenSliceShattered(t *testing.T) {
+	c := gc.New(8, 1)
+	s := NewSet(c)
+	// Class 0 in GC(8,2) has Dim(0) = {2,4,6}: Q3 slices. Isolate the
+	// slice origin by cutting all three of its links, then put a node
+	// fault at the antipode — the origin can never hear about it.
+	g := c.GEEC(0, 0)
+	if g.Dim() != 3 {
+		t.Fatalf("test assumes a Q3 slice, got Q%d", g.Dim())
+	}
+	for _, d := range g.Dims() {
+		s.AddLink(g.ToGC(0), d)
+	}
+	s.AddNode(g.ToGC(0b111))
+	r := s.ExchangeFaultStatus()
+	if r.Complete {
+		t.Error("isolated node cannot reach complete knowledge")
+	}
+}
+
+func TestExchangeLearnsNodeFaults(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+	g := c.GEEC(3, 1)
+	s.AddNode(g.ToGC(0))
+	r := s.ExchangeFaultStatus()
+	if !r.Complete {
+		t.Error("single node fault in a Q2 slice must be learnable")
+	}
+	if r.MaxKnowledge != 1 {
+		t.Errorf("MaxKnowledge = %d, want 1", r.MaxKnowledge)
+	}
+}

@@ -1,0 +1,224 @@
+// Package fault implements the paper's fault model for the Gaussian
+// Cube: explicit fault sets, the A/B/C categorization of Definitions
+// 3–5, the Theorem 3 and Theorem 5 precondition checkers, and the
+// worst-case tolerable-fault bound T(GC) plotted in Figure 4.
+//
+// The categorization is the paper's central methodological idea: the
+// Gaussian Cube's network node availability is too low for classical
+// fault-tolerant routing analysis, but splitting faults by which side of
+// dimension alpha they break lets the strategy tolerate far more faults
+// than the availability suggests:
+//
+//	A-category: a link fault in a dimension >= alpha — handled inside
+//	            the GEEC hypercubes (Theorem 3);
+//	B-category: a fault whose broken links all lie below alpha — a link
+//	            fault below alpha, or a node fault at a node without
+//	            high-dimension links — handled by FREH on the tree-edge
+//	            exchanged cubes (Theorem 5);
+//	C-category: a node fault breaking links on both sides of alpha.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gaussiancube/internal/gc"
+)
+
+// Category classifies a faulty component per Definitions 3–5.
+type Category int
+
+// Fault categories.
+const (
+	CategoryA Category = iota // link fault in a dimension >= alpha
+	CategoryB                 // all broken links below alpha
+	CategoryC                 // node fault breaking links on both sides
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CategoryA:
+		return "A"
+	case CategoryB:
+		return "B"
+	case CategoryC:
+		return "C"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Kind distinguishes node faults from link faults.
+type Kind int
+
+// Fault kinds.
+const (
+	KindNode Kind = iota
+	KindLink
+)
+
+// Fault is one faulty component.
+type Fault struct {
+	Kind Kind
+	Node gc.NodeID // the node, or the link endpoint with bit Dim clear
+	Dim  uint      // link dimension (KindLink only)
+}
+
+// Set is a mutable fault set over a Gaussian Cube. It implements the
+// symmetric oracle semantics of the paper's simulation assumption 3: a
+// faulty node makes all of its incident links faulty.
+type Set struct {
+	cube  *gc.Cube
+	nodes map[gc.NodeID]bool
+	links map[linkKey]bool
+}
+
+type linkKey struct {
+	low gc.NodeID
+	dim uint
+}
+
+// NewSet creates an empty fault set for cube c.
+func NewSet(c *gc.Cube) *Set {
+	return &Set{
+		cube:  c,
+		nodes: make(map[gc.NodeID]bool),
+		links: make(map[linkKey]bool),
+	}
+}
+
+// Cube returns the cube this set is defined over.
+func (s *Set) Cube() *gc.Cube { return s.cube }
+
+// AddNode marks node v faulty.
+func (s *Set) AddNode(v gc.NodeID) { s.nodes[v] = true }
+
+// AddLink marks the link at v in dimension dim faulty. It panics if the
+// cube has no link there.
+func (s *Set) AddLink(v gc.NodeID, dim uint) {
+	if !s.cube.HasLinkDim(v, dim) {
+		panic(fmt.Sprintf("fault: GC node %d has no link in dimension %d", v, dim))
+	}
+	s.links[normLink(v, dim)] = true
+}
+
+func normLink(v gc.NodeID, dim uint) linkKey {
+	return linkKey{low: v &^ (1 << dim), dim: dim}
+}
+
+// NodeFaulty reports whether node v is faulty.
+func (s *Set) NodeFaulty(v gc.NodeID) bool { return s.nodes[v] }
+
+// LinkFaulty reports whether the link at v in dimension dim is unusable:
+// marked faulty, or incident to a faulty node.
+func (s *Set) LinkFaulty(v gc.NodeID, dim uint) bool {
+	if s.links[normLink(v, dim)] {
+		return true
+	}
+	return s.nodes[v] || s.nodes[v^(1<<dim)]
+}
+
+// Count returns the number of faulty components: faulty nodes plus
+// faulty links not incident to a faulty node.
+func (s *Set) Count() int {
+	n := len(s.nodes)
+	for k := range s.links {
+		if !s.nodes[k.low] && !s.nodes[k.low^(1<<k.dim)] {
+			n++
+		}
+	}
+	return n
+}
+
+// Faults enumerates the faulty components (links incident to faulty
+// nodes are subsumed by the node fault), in unspecified order.
+func (s *Set) Faults() []Fault {
+	out := make([]Fault, 0, s.Count())
+	for v := range s.nodes {
+		out = append(out, Fault{Kind: KindNode, Node: v})
+	}
+	for k := range s.links {
+		if !s.nodes[k.low] && !s.nodes[k.low^(1<<k.dim)] {
+			out = append(out, Fault{Kind: KindLink, Node: k.low, Dim: k.dim})
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	c := NewSet(s.cube)
+	for v := range s.nodes {
+		c.nodes[v] = true
+	}
+	for k := range s.links {
+		c.links[k] = true
+	}
+	return c
+}
+
+// Categorize classifies one fault per Definitions 3–5. A link fault is
+// A-category in a dimension >= alpha and B-category below. A node fault
+// is B-category when the node has no link in any dimension >= alpha
+// (all its broken links lie below alpha) and C-category otherwise.
+func (s *Set) Categorize(f Fault) Category {
+	alpha := s.cube.Alpha()
+	if f.Kind == KindLink {
+		if f.Dim >= alpha {
+			return CategoryA
+		}
+		return CategoryB
+	}
+	for _, d := range s.cube.LinkDims(f.Node) {
+		if d >= alpha {
+			return CategoryC
+		}
+	}
+	return CategoryB
+}
+
+// CategoryCounts tallies the faults of the set per category.
+func (s *Set) CategoryCounts() map[Category]int {
+	out := make(map[Category]int, 3)
+	for _, f := range s.Faults() {
+		out[s.Categorize(f)]++
+	}
+	return out
+}
+
+// InjectRandomNodes adds count distinct random faulty nodes, never
+// touching the protected nodes. It panics if the cube is too small.
+func (s *Set) InjectRandomNodes(rng *rand.Rand, count int, protect ...gc.NodeID) {
+	prot := make(map[gc.NodeID]bool, len(protect))
+	for _, p := range protect {
+		prot[p] = true
+	}
+	if count > s.cube.Nodes()-len(prot) {
+		panic("fault: more faulty nodes requested than available")
+	}
+	for added := 0; added < count; {
+		v := gc.NodeID(rng.Intn(s.cube.Nodes()))
+		if prot[v] || s.nodes[v] {
+			continue
+		}
+		s.AddNode(v)
+		added++
+	}
+}
+
+// InjectRandomLinks adds count distinct random faulty links between
+// currently non-faulty nodes.
+func (s *Set) InjectRandomLinks(rng *rand.Rand, count int) {
+	for added := 0; added < count; {
+		v := gc.NodeID(rng.Intn(s.cube.Nodes()))
+		dims := s.cube.LinkDims(v)
+		d := dims[rng.Intn(len(dims))]
+		key := normLink(v, d)
+		if s.links[key] || s.nodes[key.low] || s.nodes[key.low^(1<<key.dim)] {
+			continue
+		}
+		s.AddLink(v, d)
+		added++
+	}
+}

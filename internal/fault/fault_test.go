@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+func TestSetBasics(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+	if s.Count() != 0 || len(s.Faults()) != 0 {
+		t.Error("fresh set must be empty")
+	}
+	s.AddNode(5)
+	if !s.NodeFaulty(5) || s.NodeFaulty(6) {
+		t.Error("AddNode wrong")
+	}
+	// Links at a faulty node are faulty.
+	if !s.LinkFaulty(5, 0) || !s.LinkFaulty(4, 0) {
+		t.Error("links at faulty node must be faulty")
+	}
+	s.AddLink(0, 0)
+	if !s.LinkFaulty(0, 0) || !s.LinkFaulty(1, 0) {
+		t.Error("link fault must be symmetric")
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	if s.Cube() != c {
+		t.Error("Cube accessor wrong")
+	}
+}
+
+func TestAddLinkRejectsNonLink(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+	// Node 0 (class 0) has no link in dimension 1 (needs low bit 1).
+	defer func() {
+		if recover() == nil {
+			t.Error("AddLink on a non-link must panic")
+		}
+	}()
+	s.AddLink(0, 1)
+}
+
+func TestLinkSubsumedByNodeFault(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+	s.AddLink(0, 0)
+	s.AddNode(0)
+	// The link fault is now subsumed: only the node counts.
+	if s.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (link subsumed)", s.Count())
+	}
+	fs := s.Faults()
+	if len(fs) != 1 || fs[0].Kind != KindNode {
+		t.Errorf("Faults = %v", fs)
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+	s.AddNode(3)
+	cl := s.Clone()
+	cl.AddNode(7)
+	if s.NodeFaulty(7) {
+		t.Error("Clone must be independent")
+	}
+	if !cl.NodeFaulty(3) {
+		t.Error("Clone must copy contents")
+	}
+}
+
+// TestCategorization pins Definitions 3-5 on GC(8, 4) (alpha = 2).
+func TestCategorization(t *testing.T) {
+	c := gc.New(8, 2)
+	s := NewSet(c)
+
+	// Link in dimension 4 (>= alpha): A-category.
+	// Dimension 4 links need low alpha bits == 4 % 4 == 0.
+	if cat := s.Categorize(Fault{Kind: KindLink, Node: 0, Dim: 4}); cat != CategoryA {
+		t.Errorf("high link fault = %v, want A", cat)
+	}
+	// Link in dimension 0 (< alpha): B-category.
+	if cat := s.Categorize(Fault{Kind: KindLink, Node: 0, Dim: 0}); cat != CategoryB {
+		t.Errorf("low link fault = %v, want B", cat)
+	}
+	// Node with high-dimension links: C-category. Node 0 is in class 0,
+	// Dim(0) = {4} in GC(8,4), so it has a high link.
+	if cat := s.Categorize(Fault{Kind: KindNode, Node: 0}); cat != CategoryC {
+		t.Errorf("node fault with high links = %v, want C", cat)
+	}
+	if CategoryA.String() != "A" || CategoryB.String() != "B" || CategoryC.String() != "C" {
+		t.Error("Category.String wrong")
+	}
+}
+
+// TestCategoryBNodeFault: in GC(9, 8) (alpha = 3), class 1 has
+// Dim(1) = {} (dimension 1 < alpha, dimension 9 > n-1), so a node of
+// class 1 breaking only low links is a B-category fault.
+func TestCategoryBNodeFault(t *testing.T) {
+	c := gc.New(9, 3)
+	s := NewSet(c)
+	if c.DimCount(1) != 0 {
+		t.Fatalf("test assumes Dim(1) empty, got %d", c.DimCount(1))
+	}
+	v := gc.NodeID(0b000000_001) // class 1
+	if cat := s.Categorize(Fault{Kind: KindNode, Node: v}); cat != CategoryB {
+		t.Errorf("isolated-class node fault = %v, want B", cat)
+	}
+}
+
+// TestEveryFaultGetsExactlyOneCategory: a link error is A or B; a node
+// error is B or C (the paper's remark after Definitions 4 and 5).
+func TestEveryFaultGetsExactlyOneCategory(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := gc.New(9, 2)
+	s := NewSet(c)
+	s.InjectRandomNodes(rng, 20)
+	s.InjectRandomLinks(rng, 20)
+	counts := s.CategoryCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != s.Count() {
+		t.Errorf("categorized %d faults, set has %d", total, s.Count())
+	}
+	for _, f := range s.Faults() {
+		cat := s.Categorize(f)
+		if f.Kind == KindLink && cat == CategoryC {
+			t.Error("link fault cannot be C-category")
+		}
+		if f.Kind == KindNode && cat == CategoryA {
+			t.Error("node fault cannot be A-category")
+		}
+	}
+}
+
+func TestInjectRandomNodesProtects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := gc.New(6, 1)
+	s := NewSet(c)
+	s.InjectRandomNodes(rng, 30, 7, 9)
+	if s.NodeFaulty(7) || s.NodeFaulty(9) {
+		t.Error("protected nodes must stay healthy")
+	}
+	if len(s.Faults()) != 30 {
+		t.Errorf("injected %d faults, want 30", len(s.Faults()))
+	}
+}
+
+func TestInjectRandomNodesPanicsWhenFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := gc.New(3, 1)
+	s := NewSet(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-injection must panic")
+		}
+	}()
+	s.InjectRandomNodes(rng, 8, 0)
+}
+
+func TestInjectRandomLinksAvoidsFaultyNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := gc.New(7, 1)
+	s := NewSet(c)
+	s.InjectRandomNodes(rng, 5)
+	s.InjectRandomLinks(rng, 10)
+	if s.Count() != 15 {
+		t.Errorf("Count = %d, want 15 (links must not be subsumed)", s.Count())
+	}
+}

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestCategoryCountsByConstruction builds fault sets with known
+// category composition and checks the census.
+func TestCategoryCountsByConstruction(t *testing.T) {
+	c := gc.New(9, 2)
+	s := NewSet(c)
+	// Three A faults: high-dimension links. Class 2 owns dims {2, 6};
+	// class 3 owns {3, 7}.
+	g2 := c.GEEC(2, 0)
+	s.AddLink(g2.ToGC(0), g2.Dims()[0])
+	s.AddLink(g2.ToGC(1), g2.Dims()[1])
+	g3 := c.GEEC(3, 0)
+	s.AddLink(g3.ToGC(0), g3.Dims()[0])
+	// Two B faults: dimension-0 links.
+	s.AddLink(0b000000000, 0)
+	s.AddLink(0b000001000, 0)
+	// One C fault: a node with high links.
+	s.AddNode(0b111111111 ^ 0b100) // class 3-ish member; has high links
+
+	counts := s.CategoryCounts()
+	if counts[CategoryA] != 3 {
+		t.Errorf("A = %d, want 3", counts[CategoryA])
+	}
+	if counts[CategoryB] != 2 {
+		t.Errorf("B = %d, want 2", counts[CategoryB])
+	}
+	if counts[CategoryC] != 1 {
+		t.Errorf("C = %d, want 1", counts[CategoryC])
+	}
+}
+
+// TestTheoremPreconditionsAreIndependent: a set can satisfy Theorem 5
+// while violating Theorem 3 (a B-fault breaks 3's A-only clause) and
+// vice versa (heavy A-faults in one slice break 3's bound without
+// touching any pair-subgraph budget... in fact A-faults do count in
+// pair censuses when they sit in Dim(p) of a pair side, so construct a
+// case where they don't: saturate a slice of a class and check both).
+func TestTheoremPreconditionsAreIndependent(t *testing.T) {
+	c := gc.New(8, 2)
+	// One B-category link fault on the (2,3) tree edge, whose pair
+	// budget is |Dim| = 2 (the (0,1) edge's budget is only 1, so a
+	// fault there would violate Theorem 5 too).
+	s := NewSet(c)
+	s.AddLink(0b00000110, 0)
+	if s.Theorem3Holds() {
+		t.Error("B fault must break Theorem 3's A-only clause")
+	}
+	if !s.Theorem5Holds() {
+		t.Error("single B fault within budgets must satisfy Theorem 5")
+	}
+}
+
+// TestRandomSetsNeverMiscount: for random fault sets, the census total
+// always equals Count and never changes under Clone.
+func TestRandomSetsNeverMiscount(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		c := gc.New(7+uint(rng.Intn(3)), uint(rng.Intn(3)))
+		s := NewSet(c)
+		s.InjectRandomNodes(rng, rng.Intn(10))
+		s.InjectRandomLinks(rng, rng.Intn(10))
+		total := 0
+		for _, n := range s.CategoryCounts() {
+			total += n
+		}
+		if total != s.Count() {
+			t.Fatalf("census %d != count %d", total, s.Count())
+		}
+		cl := s.Clone()
+		if cl.Count() != s.Count() {
+			t.Fatal("clone changed the count")
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package gc implements the Gaussian Cube GC(n, M) interconnection
+// topology of Hsu, Chung and Hu, in the equivalent form derived by the
+// paper's Section 2 and Theorem 1.
+//
+// GC(n, M) has 2^n nodes labelled with n-bit strings. The original
+// definition links p and q when they differ in exactly one bit c and
+// both lie in the congruence class [c] modulo M' = min(2^c, M). The
+// paper shows that for a power-of-two modulus M = 2^alpha this is
+// equivalent to the purely local rule of Theorem 1:
+//
+//	dimension 0:              every node has the link;
+//	dimension c in [1,alpha]: link iff the low c bits of p equal c;
+//	dimension c > alpha:      link iff the low alpha bits of p equal
+//	                          c mod 2^alpha.
+//
+// alpha = 0 (M = 1) gives the full binary hypercube; alpha = n collapses
+// the cube to the Gaussian Tree T_{2^n}. For a non-power-of-two modulus
+// the network is disconnected (Section 2); see General in this package.
+//
+// The package also exposes the paper's structural decompositions used
+// by the routing strategy: k-ending classes EC(k) (Definition 2), their
+// high-dimension sets Dim(k), and the k-ending-t-equivalent classes
+// EEC(k, t) with their embedded binary hypercubes GEEC(k, t)
+// (Definition 6).
+package gc
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/gtree"
+)
+
+// NodeID is a Gaussian Cube node label: an n-bit string.
+type NodeID = graph.NodeID
+
+// Cube is the Gaussian Cube GC(n, 2^alpha).
+type Cube struct {
+	n     uint
+	alpha uint
+	tree  *gtree.Tree
+}
+
+// New constructs GC(n, 2^alpha). n must be in [1, 26] and alpha in
+// [0, n].
+func New(n, alpha uint) *Cube {
+	if n < 1 || n > 26 {
+		panic(fmt.Sprintf("gc: dimension n=%d out of range [1,26]", n))
+	}
+	if alpha > n {
+		panic(fmt.Sprintf("gc: alpha=%d exceeds dimension n=%d", alpha, n))
+	}
+	return &Cube{n: n, alpha: alpha, tree: gtree.New(alpha)}
+}
+
+// NewM constructs GC(n, M) for a power-of-two modulus M.
+func NewM(n uint, m uint64) *Cube {
+	a := bitutil.Log2(m)
+	if a < 0 {
+		panic(fmt.Sprintf("gc: modulus M=%d is not a power of two; use General", m))
+	}
+	return New(n, uint(a))
+}
+
+// N returns the network dimension n.
+func (c *Cube) N() uint { return c.n }
+
+// Alpha returns alpha = log2(M).
+func (c *Cube) Alpha() uint { return c.alpha }
+
+// M returns the modulus M = 2^alpha.
+func (c *Cube) M() uint64 { return 1 << c.alpha }
+
+// Tree returns the Gaussian Tree T_{2^alpha} underlying this cube: its
+// vertex k is the ending class EC(k).
+func (c *Cube) Tree() *gtree.Tree { return c.tree }
+
+// Nodes implements graph.Topology.
+func (c *Cube) Nodes() int { return 1 << c.n }
+
+// HasLinkDim reports whether node p has a link in dimension cdim,
+// the Theorem 1 rule.
+func (c *Cube) HasLinkDim(p NodeID, cdim uint) bool {
+	if cdim >= c.n {
+		return false
+	}
+	if cdim == 0 {
+		return true
+	}
+	if cdim <= c.alpha {
+		return bitutil.Low(uint64(p), cdim) == uint64(cdim)
+	}
+	return bitutil.Low(uint64(p), c.alpha) == bitutil.Low(uint64(cdim), c.alpha)
+}
+
+// LinkDims returns the dimensions in which p has links, ascending.
+func (c *Cube) LinkDims(p NodeID) []uint {
+	out := make([]uint, 0, 4)
+	for d := uint(0); d < c.n; d++ {
+		if c.HasLinkDim(p, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Neighbors implements graph.Topology.
+func (c *Cube) Neighbors(p NodeID) []NodeID {
+	dims := c.LinkDims(p)
+	out := make([]NodeID, len(dims))
+	for i, d := range dims {
+		out[i] = p ^ (1 << d)
+	}
+	return out
+}
+
+// Degree returns the number of links at p.
+func (c *Cube) Degree(p NodeID) int { return len(c.LinkDims(p)) }
+
+// HasLinkOriginal evaluates the original congruence-class definition of
+// the Gaussian Cube link between p and q: they differ in exactly one
+// bit c and p ≡ q ≡ c (mod min(2^c, M)). It exists to validate the
+// Theorem 1 rule and is exercised only in tests.
+func (c *Cube) HasLinkOriginal(p, q NodeID) bool {
+	x := uint64(p ^ q)
+	if bitutil.OnesCount(x) != 1 {
+		return false
+	}
+	cdim := uint64(bitutil.LowestBit(x))
+	mPrime := uint64(1) << cdim // min(2^c, M)
+	if m := c.M(); m < mPrime {
+		mPrime = m
+	}
+	return uint64(p)%mPrime == cdim%mPrime && uint64(q)%mPrime == cdim%mPrime
+}
+
+// EdgeCountDim returns the number of links spanning dimension cdim:
+// 2^(n-1-min(cdim, alpha)), since the linking pattern constrains the
+// low min(cdim, alpha) bits and bit cdim pairs the endpoints.
+func (c *Cube) EdgeCountDim(cdim uint) int {
+	if cdim >= c.n {
+		return 0
+	}
+	constrained := cdim
+	if constrained > c.alpha {
+		constrained = c.alpha
+	}
+	return 1 << (c.n - 1 - constrained)
+}
+
+// EdgeCount returns the total number of links of GC(n, 2^alpha).
+func (c *Cube) EdgeCount() int {
+	total := 0
+	for d := uint(0); d < c.n; d++ {
+		total += c.EdgeCountDim(d)
+	}
+	return total
+}
+
+// Distance returns the shortest-path distance between u and v by BFS;
+// intended for validation and small-scale baselines.
+func (c *Cube) Distance(u, v NodeID) int {
+	return graph.Distance(c, u, v)
+}
+
+// EndingClass returns k such that p lies in the k-ending class EC(k):
+// the low alpha bits of p (Definition 2). Viewed in the Gaussian Tree,
+// EC(k) is the tree vertex k.
+func (c *Cube) EndingClass(p NodeID) gtree.Node {
+	return gtree.Node(bitutil.Low(uint64(p), c.alpha))
+}
+
+// ClassMembers enumerates the nodes of ending class k, ascending.
+func (c *Cube) ClassMembers(k gtree.Node) []NodeID {
+	count := 1 << (c.n - c.alpha)
+	out := make([]NodeID, count)
+	for i := 0; i < count; i++ {
+		out[i] = NodeID(i)<<c.alpha | NodeID(k)
+	}
+	return out
+}
+
+// Dim returns Dim(k) = [alpha, n-1] ∩ [k] mod 2^alpha: the high
+// dimensions on which every node of EC(k) has a link (Definition 2),
+// ascending.
+func (c *Cube) Dim(k gtree.Node) []uint {
+	out := make([]uint, 0, c.DimCount(k))
+	for d := c.alpha; d < c.n; d++ {
+		if bitutil.Low(uint64(d), c.alpha) == bitutil.Low(uint64(k), c.alpha) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DimCount returns |Dim(k)| in closed form, the paper's N(k) from
+// Theorem 3: floor((n-1-k)/2^alpha) + 1 - delta, with delta = 1 when
+// k < alpha (the first congruent dimension k itself falls below alpha).
+func (c *Cube) DimCount(k gtree.Node) int {
+	if c.alpha == 0 {
+		return int(c.n)
+	}
+	kk := uint(k) & (uint(1)<<c.alpha - 1)
+	if kk > c.n-1 {
+		return 0
+	}
+	count := int((c.n-1-kk)>>c.alpha) + 1
+	if kk < c.alpha {
+		count--
+	}
+	return count
+}
+
+// FrameDims returns the dimensions in [alpha, n-1] that are NOT in
+// Dim(k): the bits frozen to the value t inside an equivalent class
+// EEC(k, t), ascending.
+func (c *Cube) FrameDims(k gtree.Node) []uint {
+	out := make([]uint, 0, int(c.n-c.alpha)-c.DimCount(k))
+	for d := c.alpha; d < c.n; d++ {
+		if bitutil.Low(uint64(d), c.alpha) != bitutil.Low(uint64(k), c.alpha) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

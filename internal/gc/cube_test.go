@@ -1,0 +1,254 @@
+package gc
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/gtree"
+)
+
+// TestTheorem1Equivalence exhaustively verifies that the local link rule
+// of Theorem 1 coincides with the original congruence-class definition.
+func TestTheorem1Equivalence(t *testing.T) {
+	for n := uint(1); n <= 11; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 5; alpha++ {
+			c := New(n, alpha)
+			for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+				for d := uint(0); d < n; d++ {
+					q := p ^ (1 << d)
+					got := c.HasLinkDim(p, d)
+					want := c.HasLinkOriginal(p, q)
+					if got != want {
+						t.Fatalf("GC(%d,2^%d): link(%0*b, dim %d): theorem1=%v original=%v",
+							n, alpha, n, p, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLinkRuleIsSymmetric(t *testing.T) {
+	c := New(9, 3)
+	for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+		for d := uint(0); d < 9; d++ {
+			q := p ^ (1 << d)
+			if c.HasLinkDim(p, d) != c.HasLinkDim(q, d) {
+				t.Fatalf("link rule asymmetric at %d dim %d", p, d)
+			}
+		}
+	}
+}
+
+func TestAlphaZeroIsHypercube(t *testing.T) {
+	c := New(5, 0)
+	for p := NodeID(0); p < 32; p++ {
+		if c.Degree(p) != 5 {
+			t.Fatalf("GC(5,1) degree of %d = %d, want 5", p, c.Degree(p))
+		}
+		for d := uint(0); d < 5; d++ {
+			if !c.HasLinkDim(p, d) {
+				t.Fatalf("GC(5,1) missing link at %d dim %d", p, d)
+			}
+		}
+	}
+	if graph.Diameter(c) != 5 {
+		t.Errorf("diam GC(5,1) = %d, want 5", graph.Diameter(c))
+	}
+}
+
+func TestAlphaNIsGaussianTree(t *testing.T) {
+	for n := uint(1); n <= 8; n++ {
+		c := New(n, n)
+		tr := gtree.New(n)
+		if c.Nodes() != tr.Nodes() {
+			t.Fatalf("n=%d: node count mismatch", n)
+		}
+		for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+			for d := uint(0); d < n; d++ {
+				if c.HasLinkDim(p, d) != tr.HasEdgeDim(p, d) {
+					t.Fatalf("n=%d: GC(n,2^n) and T_{2^n} disagree at %d dim %d", n, p, d)
+				}
+			}
+		}
+		if !graph.IsTree(c) {
+			t.Fatalf("GC(%d,2^%d) must be a tree", n, n)
+		}
+	}
+}
+
+// TestConnected verifies GC(n, 2^alpha) is connected for all valid
+// parameters (the property FFGCR relies on).
+func TestConnected(t *testing.T) {
+	for n := uint(1); n <= 11; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 5; alpha++ {
+			if !graph.Connected(New(n, alpha)) {
+				t.Errorf("GC(%d,2^%d) disconnected", n, alpha)
+			}
+		}
+	}
+}
+
+func TestEdgeCountFormula(t *testing.T) {
+	for n := uint(1); n <= 11; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 5; alpha++ {
+			c := New(n, alpha)
+			if got, want := graph.EdgeCount(c), c.EdgeCount(); got != want {
+				t.Errorf("GC(%d,2^%d): edges enumerated %d, formula %d", n, alpha, got, want)
+			}
+			// Per-dimension counts.
+			perDim := make([]int, n)
+			for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+				for d := uint(0); d < n; d++ {
+					if c.HasLinkDim(p, d) && p < p^(1<<d) {
+						perDim[d]++
+					}
+				}
+			}
+			for d := uint(0); d < n; d++ {
+				if perDim[d] != c.EdgeCountDim(d) {
+					t.Errorf("GC(%d,2^%d) dim %d: %d edges, formula %d",
+						n, alpha, d, perDim[d], c.EdgeCountDim(d))
+				}
+			}
+		}
+	}
+}
+
+// TestClassLinkUniformity: Theorem 1's key consequence — whether a node
+// can forward through dimension c depends only on its ending class.
+func TestClassLinkUniformity(t *testing.T) {
+	c := New(10, 3)
+	for k := gtree.Node(0); k < 8; k++ {
+		members := c.ClassMembers(k)
+		ref := c.LinkDims(members[0])
+		for _, p := range members[1:] {
+			dims := c.LinkDims(p)
+			if len(dims) != len(ref) {
+				t.Fatalf("class %d: members disagree on link dims", k)
+			}
+			for i := range dims {
+				if dims[i] != ref[i] {
+					t.Fatalf("class %d: members disagree on link dims", k)
+				}
+			}
+		}
+	}
+}
+
+func TestEndingClassPartition(t *testing.T) {
+	c := New(8, 2)
+	counts := make(map[gtree.Node]int)
+	for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+		counts[c.EndingClass(p)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("class count = %d", len(counts))
+	}
+	for k, cnt := range counts {
+		if cnt != 64 {
+			t.Errorf("class %d has %d members, want 64", k, cnt)
+		}
+	}
+	for k := gtree.Node(0); k < 4; k++ {
+		for _, p := range c.ClassMembers(k) {
+			if c.EndingClass(p) != k {
+				t.Fatalf("ClassMembers(%d) contains node of class %d", k, c.EndingClass(p))
+			}
+		}
+	}
+}
+
+// TestTreeProjection: contracting each ending class and keeping only
+// links in dimensions below alpha must yield exactly the Gaussian Tree.
+func TestTreeProjection(t *testing.T) {
+	for n := uint(3); n <= 9; n++ {
+		for alpha := uint(1); alpha <= 4 && alpha <= n; alpha++ {
+			c := New(n, alpha)
+			tr := c.Tree()
+			quotient := graph.NewAdjacency(tr.Nodes())
+			for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+				for d := uint(0); d < alpha; d++ {
+					if c.HasLinkDim(p, d) {
+						quotient.AddEdge(c.EndingClass(p), c.EndingClass(p^(1<<d)))
+					}
+				}
+			}
+			for v := gtree.Node(0); v < gtree.Node(tr.Nodes()); v++ {
+				got := graph.FromTopology(quotient).Neighbors(v)
+				want := tr.Neighbors(v)
+				if len(got) != len(want) {
+					t.Fatalf("GC(%d,2^%d): quotient degree of class %d = %d, tree %d",
+						n, alpha, v, len(got), len(want))
+				}
+			}
+			if !graph.Isomorphic(quotient, tr) {
+				t.Fatalf("GC(%d,2^%d): quotient is not the Gaussian Tree", n, alpha)
+			}
+		}
+	}
+}
+
+// TestDimFormula checks Dim(k) enumeration against the closed form N(k)
+// of Theorem 3.
+func TestDimFormula(t *testing.T) {
+	for n := uint(2); n <= 14; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 5; alpha++ {
+			c := New(n, alpha)
+			for k := NodeID(0); k < NodeID(c.M()); k++ {
+				dims := c.Dim(k)
+				if len(dims) != c.DimCount(k) {
+					t.Fatalf("GC(%d,2^%d): |Dim(%d)| = %d, N(k) = %d",
+						n, alpha, k, len(dims), c.DimCount(k))
+				}
+				for _, d := range dims {
+					if d < alpha || d%uint(c.M()) != uint(k)%uint(c.M()) {
+						t.Fatalf("GC(%d,2^%d): Dim(%d) contains bad dimension %d",
+							n, alpha, k, d)
+					}
+				}
+				// Dim(k) and FrameDims(k) partition [alpha, n-1].
+				if len(dims)+len(c.FrameDims(k)) != int(n-alpha) {
+					t.Fatalf("GC(%d,2^%d): Dim+Frame != high dims for k=%d", n, alpha, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("New(0,0)", func() { New(0, 0) })
+	mustPanic("New(27,0)", func() { New(27, 0) })
+	mustPanic("New(4,5)", func() { New(4, 5) })
+	mustPanic("NewM(4,3)", func() { NewM(4, 3) })
+	c := NewM(6, 4)
+	if c.Alpha() != 2 || c.M() != 4 || c.N() != 6 {
+		t.Errorf("NewM(6,4): n=%d alpha=%d M=%d", c.N(), c.Alpha(), c.M())
+	}
+}
+
+func TestDistanceSmoke(t *testing.T) {
+	c := New(6, 1)
+	if c.Distance(0, 0) != 0 {
+		t.Error("Distance(0,0) != 0")
+	}
+	if c.Distance(0, 1) != 1 {
+		t.Error("Distance(0,1) != 1")
+	}
+	// Distance must satisfy symmetry on a sample.
+	for u := NodeID(0); u < 16; u++ {
+		for v := NodeID(0); v < 16; v++ {
+			if c.Distance(u, v) != c.Distance(v, u) {
+				t.Fatalf("distance asymmetric at %d,%d", u, v)
+			}
+		}
+	}
+}

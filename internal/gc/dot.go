@@ -1,0 +1,35 @@
+package gc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the cube as a GraphViz graph, coloring tree links
+// (dimensions below alpha) differently from hypercube links so the
+// two-level structure of the routing strategy is visible. Node labels
+// are "<decimal>\n<binary>".
+func (c *Cube) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph gaussiancube {\n")
+	fmt.Fprintf(&b, "  label=\"GC(%d, %d)\";\n", c.n, c.M())
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+	for v := NodeID(0); v < NodeID(c.Nodes()); v++ {
+		fmt.Fprintf(&b, "  n%d [label=\"%d\\n%0*b\"];\n", v, v, c.n, v)
+	}
+	for v := NodeID(0); v < NodeID(c.Nodes()); v++ {
+		for _, d := range c.LinkDims(v) {
+			w := v ^ (1 << d)
+			if v > w {
+				continue
+			}
+			style := ""
+			if d < c.alpha {
+				style = " [style=bold]" // tree link
+			}
+			fmt.Fprintf(&b, "  n%d -- n%d%s;\n", v, w, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package gc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTStructure(t *testing.T) {
+	c := New(4, 1)
+	out := c.DOT()
+	if !strings.HasPrefix(out, "graph gaussiancube {") || !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("DOT framing wrong:\n%s", out)
+	}
+	// One node statement per node.
+	if got := strings.Count(out, "[label="); got != c.Nodes() {
+		t.Errorf("node statements = %d, want %d", got, c.Nodes())
+	}
+	// One edge statement per link.
+	if got := strings.Count(out, " -- "); got != c.EdgeCount() {
+		t.Errorf("edge statements = %d, want %d", got, c.EdgeCount())
+	}
+	// Tree links (dimension 0 here) are bold; count matches.
+	if got := strings.Count(out, "style=bold"); got != c.EdgeCountDim(0) {
+		t.Errorf("bold edges = %d, want %d", got, c.EdgeCountDim(0))
+	}
+	// Binary labels are n-wide.
+	if !strings.Contains(out, `label="5\n0101"`) {
+		t.Errorf("binary label missing:\n%s", out)
+	}
+}
+
+func TestDOTHypercubeHasNoBold(t *testing.T) {
+	if strings.Contains(New(3, 0).DOT(), "style=bold") {
+		t.Error("alpha=0 has no tree links")
+	}
+}

@@ -1,0 +1,122 @@
+package gc
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/hypercube"
+)
+
+// GEEC is a k-ending-t-equivalent graph GEEC(k, t) (Definition 6): the
+// subgraph of GC(n, 2^alpha) induced by the nodes whose low alpha bits
+// equal k and whose bits in the frame dimensions (the high dimensions
+// outside Dim(k)) encode the value t. Theorem 3 observes that GEEC(k, t)
+// is a binary hypercube of dimension |Dim(k)| embedded in the Gaussian
+// Cube; subcube coordinate bit i corresponds to GC dimension Dims[i].
+type GEEC struct {
+	cube *Cube
+	k    NodeID // ending class
+	t    uint64 // frame value
+	dims []uint // Dim(k), ascending
+	base NodeID // GC label with class k, frame t, and all Dim(k) bits 0
+}
+
+// GEEC constructs GEEC(k, t). k must be an ending class (< 2^alpha) and
+// t must fit in the frame width n - alpha - |Dim(k)|.
+func (c *Cube) GEEC(k NodeID, t uint64) *GEEC {
+	if uint64(k) >= uint64(c.M()) {
+		panic(fmt.Sprintf("gc: ending class %d out of range for alpha=%d", k, c.alpha))
+	}
+	dims := c.Dim(k)
+	frame := c.FrameDims(k)
+	if t >= 1<<uint(len(frame)) {
+		panic(fmt.Sprintf("gc: frame value %d out of range for %d frame dims", t, len(frame)))
+	}
+	base := uint64(k)
+	for i, d := range frame {
+		if bitutil.HasBit(t, uint(i)) {
+			base = bitutil.Set(base, d)
+		}
+	}
+	return &GEEC{cube: c, k: k, t: t, dims: dims, base: NodeID(base)}
+}
+
+// GEECOf returns the unique GEEC containing node p.
+func (c *Cube) GEECOf(p NodeID) *GEEC {
+	k := NodeID(c.EndingClass(p))
+	frame := c.FrameDims(k)
+	var t uint64
+	for i, d := range frame {
+		if bitutil.HasBit(uint64(p), d) {
+			t = bitutil.Set(t, uint(i))
+		}
+	}
+	return c.GEEC(k, t)
+}
+
+// Class returns the ending class k.
+func (g *GEEC) Class() NodeID { return g.k }
+
+// Frame returns the frame value t.
+func (g *GEEC) Frame() uint64 { return g.t }
+
+// Dims returns the GC dimensions spanned by this subcube, ascending;
+// subcube coordinate bit i maps to GC dimension Dims()[i].
+func (g *GEEC) Dims() []uint { return g.dims }
+
+// Dim returns the dimension of the embedded hypercube, |Dim(k)|.
+func (g *GEEC) Dim() uint { return uint(len(g.dims)) }
+
+// Cube returns the embedded binary hypercube Q_{|Dim(k)|}.
+func (g *GEEC) Cube() *hypercube.Cube { return hypercube.New(g.Dim()) }
+
+// ToGC maps a subcube coordinate to the GC node label.
+func (g *GEEC) ToGC(x hypercube.Node) NodeID {
+	v := uint64(g.base)
+	for i, d := range g.dims {
+		if bitutil.HasBit(uint64(x), uint(i)) {
+			v = bitutil.Set(v, d)
+		}
+	}
+	return NodeID(v)
+}
+
+// FromGC maps a GC node of this GEEC to its subcube coordinate. It
+// panics if p does not belong to the GEEC.
+func (g *GEEC) FromGC(p NodeID) hypercube.Node {
+	if !g.Contains(p) {
+		panic(fmt.Sprintf("gc: node %d not in GEEC(k=%d, t=%d)", p, g.k, g.t))
+	}
+	var x uint64
+	for i, d := range g.dims {
+		if bitutil.HasBit(uint64(p), d) {
+			x = bitutil.Set(x, uint(i))
+		}
+	}
+	return hypercube.Node(x)
+}
+
+// Contains reports whether GC node p belongs to this GEEC.
+func (g *GEEC) Contains(p NodeID) bool {
+	diff := uint64(p ^ g.base)
+	for _, d := range g.dims {
+		diff = bitutil.Clear(diff, d)
+	}
+	return diff == 0
+}
+
+// Members enumerates the GC labels of all subcube nodes, in subcube
+// coordinate order.
+func (g *GEEC) Members() []NodeID {
+	out := make([]NodeID, 1<<g.Dim())
+	for x := range out {
+		out[x] = g.ToGC(hypercube.Node(x))
+	}
+	return out
+}
+
+// FrameCount returns the number of distinct GEEC(k, t) slices of ending
+// class k: 2^(n - alpha - |Dim(k)|).
+func (c *Cube) FrameCount(k NodeID) int {
+	return 1 << (int(c.n-c.alpha) - c.DimCount(k))
+}

@@ -1,0 +1,135 @@
+package gc
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/hypercube"
+)
+
+// TestGEECIsHypercube: Theorem 3's observation — "Obviously, GEEC(k,t)
+// is a binary hypercube embedded in GC(n, 2^alpha)" — verified by
+// explicit isomorphism of the induced subgraph with Q_{|Dim(k)|}.
+func TestGEECIsHypercube(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{
+		{6, 1}, {7, 2}, {8, 2}, {9, 3}, {8, 3},
+	} {
+		c := New(cfg.n, cfg.alpha)
+		for k := NodeID(0); k < NodeID(c.M()); k++ {
+			for tv := uint64(0); tv < uint64(c.FrameCount(k)); tv++ {
+				g := c.GEEC(k, tv)
+				sub, _ := graph.InducedSubgraph(c, g.Members())
+				q := hypercube.New(g.Dim())
+				if !graph.Isomorphic(sub, q) {
+					t.Fatalf("GC(%d,2^%d): GEEC(%d,%d) not isomorphic to Q%d",
+						cfg.n, cfg.alpha, k, tv, g.Dim())
+				}
+			}
+		}
+	}
+}
+
+// TestGEECAdjacencyIsExact: the ToGC mapping must carry subcube edges to
+// GC links and nothing else — i.e. the induced subgraph's edges are
+// exactly the image of the hypercube's edges.
+func TestGEECAdjacencyIsExact(t *testing.T) {
+	c := New(9, 2)
+	for k := NodeID(0); k < 4; k++ {
+		g := c.GEEC(k, 1%uint64(c.FrameCount(k)))
+		dim := g.Dim()
+		for x := hypercube.Node(0); x < hypercube.Node(1<<dim); x++ {
+			p := g.ToGC(x)
+			for i := uint(0); i < dim; i++ {
+				q := g.ToGC(x ^ (1 << i))
+				// The subcube edge must be a GC link in dimension Dims()[i].
+				d := g.Dims()[i]
+				if p^q != 1<<d {
+					t.Fatalf("subcube bit %d does not map to GC dim %d", i, d)
+				}
+				if !c.HasLinkDim(p, d) {
+					t.Fatalf("GEEC edge %d--%d missing in GC", p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestGEECRoundTrip(t *testing.T) {
+	c := New(10, 3)
+	for p := NodeID(0); p < NodeID(c.Nodes()); p += 7 {
+		g := c.GEECOf(p)
+		if !g.Contains(p) {
+			t.Fatalf("GEECOf(%d) does not contain it", p)
+		}
+		x := g.FromGC(p)
+		if g.ToGC(x) != p {
+			t.Fatalf("roundtrip failed for %d", p)
+		}
+	}
+}
+
+// TestGEECPartition: for each ending class k, the GEEC slices partition
+// EC(k).
+func TestGEECPartition(t *testing.T) {
+	c := New(8, 2)
+	for k := NodeID(0); k < 4; k++ {
+		seen := make(map[NodeID]int)
+		for tv := uint64(0); tv < uint64(c.FrameCount(k)); tv++ {
+			for _, p := range c.GEEC(k, tv).Members() {
+				seen[p]++
+			}
+		}
+		members := c.ClassMembers(k)
+		if len(seen) != len(members) {
+			t.Fatalf("class %d: GEEC slices cover %d nodes, class has %d",
+				k, len(seen), len(members))
+		}
+		for _, p := range members {
+			if seen[p] != 1 {
+				t.Fatalf("node %d covered %d times", p, seen[p])
+			}
+		}
+	}
+}
+
+func TestGEECValidation(t *testing.T) {
+	c := New(8, 2)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad class", func() { c.GEEC(4, 0) })
+	mustPanic("bad frame", func() { c.GEEC(0, uint64(c.FrameCount(0))) })
+	g := c.GEEC(0, 0)
+	mustPanic("FromGC outside", func() {
+		var outside NodeID
+		for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+			if !g.Contains(p) {
+				outside = p
+				break
+			}
+		}
+		g.FromGC(outside)
+	})
+}
+
+func TestGEECOfConsistency(t *testing.T) {
+	c := New(9, 3)
+	for p := NodeID(0); p < NodeID(c.Nodes()); p += 5 {
+		g := c.GEECOf(p)
+		if g.Class() != c.EndingClass(p) {
+			t.Fatalf("GEECOf(%d) class mismatch", p)
+		}
+		// All members of the same GEEC must resolve to an identical slice.
+		for _, q := range g.Members() {
+			h := c.GEECOf(q)
+			if h.Class() != g.Class() || h.Frame() != g.Frame() {
+				t.Fatalf("GEECOf(%d) != GEECOf(%d) within one slice", p, q)
+			}
+		}
+	}
+}

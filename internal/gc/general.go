@@ -1,0 +1,114 @@
+package gc
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/graph"
+)
+
+// General is GC(n, M) for an arbitrary modulus M >= 1, including
+// non-powers of two. Section 2 of the paper shows that when M is not a
+// power of two, no link can span any dimension c with 2^c > M (the
+// congruence would require min(2^c, M) = M to divide a power of two),
+// so the network decomposes into 2^(n-1-floor(log2 M)) disconnected
+// subnetworks, each isomorphic to GC(floor(log2 M)+1, 2^floor(log2 M)).
+type General struct {
+	n    uint
+	m    uint64
+	beta uint // floor(log2 M)
+}
+
+// NewGeneral constructs GC(n, M) under the original definition for any
+// M >= 1.
+func NewGeneral(n uint, m uint64) *General {
+	if n < 1 || n > 26 {
+		panic(fmt.Sprintf("gc: dimension n=%d out of range [1,26]", n))
+	}
+	if m < 1 {
+		panic("gc: modulus must be >= 1")
+	}
+	beta := uint(bitutil.HighestBit(m))
+	return &General{n: n, m: m, beta: beta}
+}
+
+// N returns the network dimension.
+func (g *General) N() uint { return g.n }
+
+// M returns the modulus.
+func (g *General) M() uint64 { return g.m }
+
+// Nodes implements graph.Topology.
+func (g *General) Nodes() int { return 1 << g.n }
+
+// HasLinkDim evaluates the original congruence definition for node p and
+// dimension c: p and p XOR 2^c both lie in [c] mod min(2^c, M). Flipping
+// bit c does not change the residue modulo min(2^c, M) unless
+// min(2^c, M) fails to divide 2^c, in which case both endpoints must be
+// checked.
+func (g *General) HasLinkDim(p NodeID, c uint) bool {
+	if c >= g.n {
+		return false
+	}
+	mPrime := uint64(1) << c
+	if g.m < mPrime {
+		mPrime = g.m
+	}
+	q := uint64(p) ^ (1 << c)
+	return uint64(p)%mPrime == uint64(c)%mPrime && q%mPrime == uint64(c)%mPrime
+}
+
+// Neighbors implements graph.Topology.
+func (g *General) Neighbors(p NodeID) []NodeID {
+	var out []NodeID
+	for c := uint(0); c < g.n; c++ {
+		if g.HasLinkDim(p, c) {
+			out = append(out, p^(1<<c))
+		}
+	}
+	return out
+}
+
+// IsPowerOfTwo reports whether the modulus is a power of two, the
+// connected case handled by Cube.
+func (g *General) IsPowerOfTwo() bool { return bitutil.IsPow2(g.m) }
+
+// SubnetworkCount returns the number of connected components predicted
+// by Section 2: 1 when M is a power of two not exceeding 2^(n-1), else
+// one component per combination of the bits above floor(log2 M).
+func (g *General) SubnetworkCount() int {
+	if g.IsPowerOfTwo() && g.beta < g.n {
+		return 1
+	}
+	if g.beta+1 >= g.n {
+		return 1
+	}
+	return 1 << (g.n - 1 - g.beta)
+}
+
+// SubnetworkOf returns the index of the subnetwork containing p: the
+// bits of p above floor(log2 M). For power-of-two M (connected), every
+// node maps to subnetwork 0.
+func (g *General) SubnetworkOf(p NodeID) int {
+	if g.SubnetworkCount() == 1 {
+		return 0
+	}
+	return int(uint64(p) >> (g.beta + 1))
+}
+
+// SubnetworkCube returns the connected Gaussian Cube each subnetwork is
+// isomorphic to: GC(floor(log2 M)+1, 2^floor(log2 M)).
+func (g *General) SubnetworkCube() *Cube {
+	dim := g.beta + 1
+	if dim > g.n {
+		dim = g.n
+	}
+	alpha := g.beta
+	if alpha > dim {
+		alpha = dim
+	}
+	return New(dim, alpha)
+}
+
+var _ graph.Topology = (*General)(nil)
+var _ graph.Topology = (*Cube)(nil)

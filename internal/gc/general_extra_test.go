@@ -1,0 +1,60 @@
+package gc
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+)
+
+// TestGeneralM1IsHypercube: the original definition with M = 1 must be
+// the full binary hypercube (every congruence is modulo 1).
+func TestGeneralM1IsHypercube(t *testing.T) {
+	g := NewGeneral(6, 1)
+	for p := NodeID(0); p < NodeID(g.Nodes()); p++ {
+		if len(g.Neighbors(p)) != 6 {
+			t.Fatalf("GC(6,1) degree of %d = %d", p, len(g.Neighbors(p)))
+		}
+	}
+	if !graph.Connected(g) {
+		t.Error("GC(6,1) must be connected")
+	}
+}
+
+// TestGeneralHugeModulus: a power-of-two modulus at or beyond 2^n
+// degenerates to the Gaussian Tree (all dimensions take the tree rule).
+func TestGeneralHugeModulus(t *testing.T) {
+	g := NewGeneral(5, 1<<7)
+	if !graph.IsTree(g) {
+		t.Error("GC(5, 128) must be the Gaussian Tree T_32")
+	}
+	if g.SubnetworkCount() != 1 {
+		t.Errorf("subnetworks = %d", g.SubnetworkCount())
+	}
+}
+
+// TestGeneralOddHugeModulus: a non-power-of-two modulus beyond 2^(n-1)
+// keeps only dimensions c with 2^c <= M: with M = 100 > 2^5, every
+// dimension of a 6-cube qualifies for the tree rule except none are
+// cut, so the network is connected iff the congruences allow; verify
+// the component prediction against BFS either way.
+func TestGeneralOddHugeModulus(t *testing.T) {
+	g := NewGeneral(6, 100)
+	comps := graph.Components(g)
+	if len(comps) != g.SubnetworkCount() {
+		t.Errorf("components %d, predicted %d", len(comps), g.SubnetworkCount())
+	}
+}
+
+// TestGeneralComponentPredictionSweep: the Section 2 component count
+// holds for every modulus up to 2^n on a small cube.
+func TestGeneralComponentPredictionSweep(t *testing.T) {
+	const n = 6
+	for m := uint64(1); m <= 1<<n; m++ {
+		g := NewGeneral(n, m)
+		comps := graph.Components(g)
+		if len(comps) != g.SubnetworkCount() {
+			t.Fatalf("GC(%d,%d): %d components, predicted %d",
+				n, m, len(comps), g.SubnetworkCount())
+		}
+	}
+}

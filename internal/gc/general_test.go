@@ -1,0 +1,104 @@
+package gc
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+)
+
+// TestGeneralMatchesCubeForPowersOfTwo: the General (original
+// definition) and Cube (Theorem 1) implementations must agree for
+// power-of-two moduli.
+func TestGeneralMatchesCubeForPowersOfTwo(t *testing.T) {
+	for n := uint(2); n <= 9; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 4; alpha++ {
+			g := NewGeneral(n, 1<<alpha)
+			c := New(n, alpha)
+			for p := NodeID(0); p < NodeID(c.Nodes()); p++ {
+				for d := uint(0); d < n; d++ {
+					if g.HasLinkDim(p, d) != c.HasLinkDim(p, d) {
+						t.Fatalf("GC(%d,%d): general/cube disagree at %d dim %d",
+							n, 1<<alpha, p, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSection2Decomposition: for a non-power-of-two modulus the network
+// splits into the predicted number of components, each isomorphic to
+// GC(floor(log2 M)+1, 2^floor(log2 M)).
+func TestSection2Decomposition(t *testing.T) {
+	for _, cfg := range []struct {
+		n uint
+		m uint64
+	}{
+		{6, 3}, {7, 3}, {7, 5}, {8, 6}, {8, 7}, {6, 5},
+	} {
+		g := NewGeneral(cfg.n, cfg.m)
+		if g.IsPowerOfTwo() {
+			t.Fatalf("test config M=%d should not be a power of two", cfg.m)
+		}
+		comps := graph.Components(g)
+		if len(comps) != g.SubnetworkCount() {
+			t.Fatalf("GC(%d,%d): %d components, predicted %d",
+				cfg.n, cfg.m, len(comps), g.SubnetworkCount())
+		}
+		ref := g.SubnetworkCube()
+		for _, comp := range comps {
+			if len(comp) != ref.Nodes() {
+				t.Fatalf("GC(%d,%d): component size %d, want %d",
+					cfg.n, cfg.m, len(comp), ref.Nodes())
+			}
+			sub, _ := graph.InducedSubgraph(g, comp)
+			if !graph.Isomorphic(sub, ref) {
+				t.Fatalf("GC(%d,%d): component not isomorphic to GC(%d,2^%d)",
+					cfg.n, cfg.m, ref.N(), ref.Alpha())
+			}
+			// Every member must agree on SubnetworkOf.
+			id := g.SubnetworkOf(comp[0])
+			for _, p := range comp {
+				if g.SubnetworkOf(p) != id {
+					t.Fatalf("GC(%d,%d): SubnetworkOf splits a component", cfg.n, cfg.m)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneralPowerOfTwoConnected(t *testing.T) {
+	g := NewGeneral(7, 4)
+	if !g.IsPowerOfTwo() {
+		t.Fatal("4 is a power of two")
+	}
+	if g.SubnetworkCount() != 1 {
+		t.Errorf("connected case should predict 1 subnetwork")
+	}
+	if !graph.Connected(g) {
+		t.Error("GC(7,4) must be connected")
+	}
+	if g.SubnetworkOf(100) != 0 {
+		t.Error("connected case maps everything to subnetwork 0")
+	}
+}
+
+func TestGeneralValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n=0", func() { NewGeneral(0, 3) })
+	mustPanic("m=0", func() { NewGeneral(4, 0) })
+	g := NewGeneral(5, 3)
+	if g.N() != 5 || g.M() != 3 {
+		t.Error("accessors wrong")
+	}
+	if g.HasLinkDim(0, 9) {
+		t.Error("out-of-range dimension must have no link")
+	}
+}

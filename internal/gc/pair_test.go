@@ -1,0 +1,137 @@
+package gc
+
+import (
+	"testing"
+
+	"gaussiancube/internal/exchanged"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/gtree"
+)
+
+// treeEdges enumerates the Gaussian Tree edges of c as (p, q) pairs.
+func treeEdges(c *Cube) [][2]gtree.Node {
+	var out [][2]gtree.Node
+	tr := c.Tree()
+	for _, e := range graph.Edges(tr) {
+		out = append(out, [2]gtree.Node{e.U, e.V})
+	}
+	return out
+}
+
+// TestTheorem5Isomorphism: every pair subgraph G(p,q,k) must be
+// isomorphic to EH(|Dim(p)|, |Dim(q)|), and the explicit ToGC mapping
+// must itself be the isomorphism (edges map to GC links).
+func TestTheorem5Isomorphism(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{{6, 1}, {7, 2}, {8, 2}, {9, 3}} {
+		c := New(cfg.n, cfg.alpha)
+		for _, pq := range treeEdges(c) {
+			p, q := pq[0], pq[1]
+			if c.DimCount(p) == 0 || c.DimCount(q) == 0 {
+				continue
+			}
+			for k := uint64(0); k < uint64(c.PairFrameCount(p, q)); k++ {
+				g, err := c.Pair(p, q, k)
+				if err != nil {
+					t.Fatalf("GC(%d,2^%d) Pair(%d,%d,%d): %v", cfg.n, cfg.alpha, p, q, k, err)
+				}
+				eh := g.EH()
+				// Mapping isomorphism: every EH link maps to a GC link.
+				for v := exchanged.Node(0); v < exchanged.Node(eh.Nodes()); v++ {
+					gcv := g.ToGC(v)
+					if g.FromGC(gcv) != v {
+						t.Fatalf("roundtrip failed at EH node %d", v)
+					}
+					for dim := uint(0); dim <= eh.S()+eh.T(); dim++ {
+						if !eh.HasLinkDim(v, dim) {
+							continue
+						}
+						w := v ^ (1 << dim)
+						gcw := g.ToGC(w)
+						gcDim := g.GCDimOf(dim)
+						if gcv^gcw != 1<<gcDim {
+							t.Fatalf("EH dim %d does not map to GC dim %d", dim, gcDim)
+						}
+						if !c.HasLinkDim(gcv, gcDim) {
+							t.Fatalf("mapped edge %d--%d missing in GC(%d,2^%d)",
+								gcv, gcw, cfg.n, cfg.alpha)
+						}
+					}
+				}
+				// Structural isomorphism of the induced subgraph.
+				sub, _ := graph.InducedSubgraph(c, g.Members())
+				if !graph.Isomorphic(sub, eh) {
+					t.Fatalf("GC(%d,2^%d): G(%d,%d,%d) not isomorphic to EH(%d,%d)",
+						cfg.n, cfg.alpha, p, q, k, eh.S(), eh.T())
+				}
+			}
+		}
+	}
+}
+
+func TestPairRejectsNonNeighbors(t *testing.T) {
+	c := New(8, 2)
+	// Classes 0 and 3 are not adjacent in T_4 (path 0-1-3-2).
+	if _, err := c.Pair(0, 3, 0); err == nil {
+		t.Error("Pair(0,3) must fail: not tree neighbors")
+	}
+	if _, err := c.Pair(1, 1, 0); err == nil {
+		t.Error("Pair(1,1) must fail")
+	}
+}
+
+func TestPairRejectsBadFrame(t *testing.T) {
+	c := New(8, 2)
+	if _, err := c.Pair(0, 1, uint64(c.PairFrameCount(0, 1))); err == nil {
+		t.Error("out-of-range frame value must fail")
+	}
+}
+
+func TestPairContains(t *testing.T) {
+	c := New(8, 2)
+	g, err := c.Pair(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := NewNodeSet(g.Members()...)
+	count := 0
+	for n := NodeID(0); n < NodeID(c.Nodes()); n++ {
+		if g.Contains(n) {
+			count++
+			if !members[n] {
+				t.Fatalf("Contains(%d) true but not a member", n)
+			}
+		}
+	}
+	if count != g.EH().Nodes() {
+		t.Fatalf("Contains matched %d nodes, want %d", count, g.EH().Nodes())
+	}
+}
+
+// NewNodeSet is a tiny local helper for membership checks.
+func NewNodeSet(vs ...NodeID) map[NodeID]bool {
+	s := make(map[NodeID]bool, len(vs))
+	for _, v := range vs {
+		s[v] = true
+	}
+	return s
+}
+
+func TestPairSidesMatchClasses(t *testing.T) {
+	c := New(9, 3)
+	g, err := c.Pair(4, 5, 0) // 4 and 5 are T_8 neighbors (dimension-0 edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eh := g.EH()
+	for v := exchanged.Node(0); v < exchanged.Node(eh.Nodes()); v++ {
+		gcv := g.ToGC(v)
+		wantClass := g.P()
+		if eh.C(v) == 1 {
+			wantClass = g.Q()
+		}
+		if c.EndingClass(gcv) != wantClass {
+			t.Fatalf("EH node %d (c=%d) maps to class %d, want %d",
+				v, eh.C(v), c.EndingClass(gcv), wantClass)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package gc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gaussiancube/internal/bitutil"
+)
+
+// Property-based tests (testing/quick) on the Gaussian Cube structure.
+
+func TestQuickLinkRuleEquivalence(t *testing.T) {
+	f := func(nRaw, aRaw uint8, pRaw uint32, dRaw uint8) bool {
+		n := uint(2 + nRaw%10)
+		alpha := uint(aRaw) % (n + 1)
+		c := New(n, alpha)
+		p := NodeID(uint(pRaw) % uint(c.Nodes()))
+		d := uint(dRaw) % n
+		return c.HasLinkDim(p, d) == c.HasLinkOriginal(p, p^(1<<d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGEECRoundTrip(t *testing.T) {
+	f := func(nRaw, aRaw uint8, pRaw uint32) bool {
+		n := uint(3 + nRaw%8)
+		alpha := uint(aRaw) % (n + 1)
+		c := New(n, alpha)
+		p := NodeID(uint(pRaw) % uint(c.Nodes()))
+		g := c.GEECOf(p)
+		return g.Contains(p) && g.ToGC(g.FromGC(p)) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEndingClassIsLowBits(t *testing.T) {
+	f := func(nRaw, aRaw uint8, pRaw uint32) bool {
+		n := uint(2 + nRaw%10)
+		alpha := uint(aRaw) % (n + 1)
+		c := New(n, alpha)
+		p := NodeID(uint(pRaw) % uint(c.Nodes()))
+		return uint64(c.EndingClass(p)) == bitutil.Low(uint64(p), alpha)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNeighborsSymmetric(t *testing.T) {
+	f := func(nRaw, aRaw uint8, pRaw uint32) bool {
+		n := uint(2 + nRaw%9)
+		alpha := uint(aRaw) % (n + 1)
+		c := New(n, alpha)
+		p := NodeID(uint(pRaw) % uint(c.Nodes()))
+		for _, q := range c.Neighbors(p) {
+			back := false
+			for _, r := range c.Neighbors(q) {
+				if r == p {
+					back = true
+				}
+			}
+			if !back {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDimPartition(t *testing.T) {
+	// Over all classes, the Dim sets partition the high dimensions:
+	// each dimension c >= alpha belongs to exactly one class's Dim set.
+	f := func(nRaw, aRaw uint8, dRaw uint8) bool {
+		n := uint(2 + nRaw%10)
+		alpha := uint(aRaw) % (n + 1)
+		if alpha == n {
+			return true // no high dimensions
+		}
+		c := New(n, alpha)
+		d := alpha + uint(dRaw)%(n-alpha)
+		owners := 0
+		for k := NodeID(0); k < NodeID(c.M()); k++ {
+			for _, dd := range c.Dim(k) {
+				if dd == d {
+					owners++
+				}
+			}
+		}
+		return owners == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package gc
+
+import (
+	"gaussiancube/internal/graph"
+)
+
+// Stats summarizes the structural properties of a Gaussian Cube that
+// the paper's introduction discusses: interconnection cost (links,
+// degrees) and the network node availability that motivates the fault
+// categorization.
+type Stats struct {
+	N     uint
+	Alpha uint
+	Nodes int
+	Links int
+
+	MinDegree int
+	MaxDegree int
+	AvgDegree float64
+
+	// Availability is the network node availability: the maximum
+	// number of faulty neighbors a node can tolerate without being
+	// disconnected, minimized over nodes — MinDegree - 1. Its low value
+	// for diluted cubes is the paper's core difficulty.
+	Availability int
+
+	Diameter    int
+	AvgDistance float64
+}
+
+// ComputeStats measures the cube. Diameter and average distance are
+// exact (all-pairs BFS) for cubes up to 2^exactLimit nodes and sampled
+// from sampleSources BFS runs beyond that.
+func (c *Cube) ComputeStats() Stats {
+	s := Stats{
+		N:     c.n,
+		Alpha: c.alpha,
+		Nodes: c.Nodes(),
+		Links: c.EdgeCount(),
+	}
+	s.MinDegree = int(c.n) + 1
+	degSum := 0
+	for v := NodeID(0); v < NodeID(c.Nodes()); v++ {
+		d := c.Degree(v)
+		degSum += d
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	s.AvgDegree = float64(degSum) / float64(c.Nodes())
+	s.Availability = s.MinDegree - 1
+
+	const exactLimit = 12
+	step := 1
+	if c.n > exactLimit {
+		// Sample sources on a stride; the label structure is
+		// class-periodic, so a stride coprime with the class count
+		// covers all classes.
+		step = c.Nodes() / (1 << exactLimit)
+	}
+	var distSum float64
+	var distCount int64
+	for v := 0; v < c.Nodes(); v += step {
+		dists := graph.BFS(c, NodeID(v))
+		for _, d := range dists {
+			if d > s.Diameter {
+				s.Diameter = d
+			}
+			distSum += float64(d)
+			distCount++
+		}
+	}
+	// Exclude the zero self-distances from the average.
+	samples := distCount - int64(c.Nodes()/step)
+	if samples > 0 {
+		s.AvgDistance = distSum / float64(samples)
+	}
+	return s
+}
+
+// DegreeFormula returns the degree of node v in closed form: the
+// dimension-0 link, the tree links in dimensions [1, alpha-1] the low
+// bits grant, plus the |Dim(class)| high-dimension links every class
+// member shares. It cross-checks Degree in tests.
+func (c *Cube) DegreeFormula(v NodeID) int {
+	if c.alpha == 0 {
+		// The hypercube case: Dim(0) is all of [0, n-1] by Definition 2.
+		return int(c.n)
+	}
+	deg := 1 // dimension 0
+	for cd := uint(1); cd < c.alpha && cd < c.n; cd++ {
+		if c.HasLinkDim(v, cd) {
+			deg++
+		}
+	}
+	return deg + c.DimCount(c.EndingClass(v))
+}

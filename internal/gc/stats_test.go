@@ -1,0 +1,94 @@
+package gc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gaussiancube/internal/graph"
+)
+
+func TestDegreeFormulaMatchesEnumeration(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{
+		{6, 0}, {7, 1}, {8, 2}, {9, 3}, {6, 6}, {8, 4},
+	} {
+		c := New(cfg.n, cfg.alpha)
+		for v := NodeID(0); v < NodeID(c.Nodes()); v++ {
+			if c.DegreeFormula(v) != c.Degree(v) {
+				t.Fatalf("GC(%d,2^%d): DegreeFormula(%d)=%d, Degree=%d",
+					cfg.n, cfg.alpha, v, c.DegreeFormula(v), c.Degree(v))
+			}
+		}
+	}
+}
+
+func TestDegreeFormulaQuick(t *testing.T) {
+	f := func(nRaw, aRaw uint8, vRaw uint32) bool {
+		n := uint(3 + nRaw%8)
+		alpha := uint(aRaw) % (n + 1)
+		c := New(n, alpha)
+		v := NodeID(uint(vRaw) % uint(c.Nodes()))
+		return c.DegreeFormula(v) == c.Degree(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeStatsHypercube(t *testing.T) {
+	// GC(6,1) is Q6: everything is known in closed form.
+	s := New(6, 0).ComputeStats()
+	if s.Nodes != 64 || s.Links != 6*64/2 {
+		t.Errorf("Q6 size wrong: %+v", s)
+	}
+	if s.MinDegree != 6 || s.MaxDegree != 6 || s.AvgDegree != 6 {
+		t.Errorf("Q6 degrees wrong: %+v", s)
+	}
+	if s.Availability != 5 {
+		t.Errorf("Q6 availability = %d, want 5", s.Availability)
+	}
+	if s.Diameter != 6 {
+		t.Errorf("Q6 diameter = %d", s.Diameter)
+	}
+	// Average distance of Q_n over distinct pairs is n * 2^(n-1) * 2^n /
+	// (2^n (2^n - 1)) = n*2^(n-1)/(2^n-1) = 6*32/63.
+	want := 6.0 * 32 / 63
+	if diff := s.AvgDistance - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Q6 avg distance = %v, want %v", s.AvgDistance, want)
+	}
+}
+
+func TestComputeStatsDilution(t *testing.T) {
+	// Dilution: at fixed n, larger alpha means fewer links, lower
+	// availability, bigger diameter.
+	prev := New(9, 0).ComputeStats()
+	for alpha := uint(1); alpha <= 4; alpha++ {
+		cur := New(9, alpha).ComputeStats()
+		if cur.Links >= prev.Links {
+			t.Errorf("alpha=%d: links %d not below %d", alpha, cur.Links, prev.Links)
+		}
+		if cur.Diameter < prev.Diameter {
+			t.Errorf("alpha=%d: diameter %d below %d", alpha, cur.Diameter, prev.Diameter)
+		}
+		if cur.Availability > prev.Availability {
+			t.Errorf("alpha=%d: availability %d above %d", alpha, cur.Availability, prev.Availability)
+		}
+		prev = cur
+	}
+	// The paper's difficulty: availability collapses to 0 once a leaf
+	// class of the tree loses all its high dimensions (n <= 2^alpha):
+	// in GC(6,8), class 0 is a tree leaf with Dim(0) empty.
+	if got := New(6, 3).ComputeStats().Availability; got != 0 {
+		t.Errorf("GC(6,8) availability = %d, want 0 (degree-1 nodes)", got)
+	}
+}
+
+func TestComputeStatsDiameterMatchesGraph(t *testing.T) {
+	for _, cfg := range []struct{ n, alpha uint }{{7, 1}, {8, 2}, {7, 3}} {
+		c := New(cfg.n, cfg.alpha)
+		s := c.ComputeStats()
+		if got := graph.Diameter(c); s.Diameter != got {
+			t.Errorf("GC(%d,2^%d): stats diameter %d, graph %d",
+				cfg.n, cfg.alpha, s.Diameter, got)
+		}
+	}
+}

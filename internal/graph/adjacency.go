@@ -1,0 +1,72 @@
+package graph
+
+// Adjacency is an explicit adjacency-list graph. It implements Topology
+// and serves two roles: materializing algorithmic topologies for the
+// generic checkers, and representing small subgraphs (GEEC slices,
+// tree-edge exchanged cubes) extracted from a larger network.
+type Adjacency struct {
+	adj [][]NodeID
+}
+
+// NewAdjacency creates an empty graph on n vertices.
+func NewAdjacency(n int) *Adjacency {
+	return &Adjacency{adj: make([][]NodeID, n)}
+}
+
+// FromTopology materializes any Topology into an explicit adjacency list.
+func FromTopology(t Topology) *Adjacency {
+	a := NewAdjacency(t.Nodes())
+	for v := 0; v < t.Nodes(); v++ {
+		nb := t.Neighbors(NodeID(v))
+		a.adj[v] = append([]NodeID(nil), nb...)
+	}
+	return a
+}
+
+// Nodes implements Topology.
+func (a *Adjacency) Nodes() int { return len(a.adj) }
+
+// Neighbors implements Topology.
+func (a *Adjacency) Neighbors(v NodeID) []NodeID { return a.adj[v] }
+
+// AddEdge inserts the undirected edge {u, v}. Duplicate insertions are
+// ignored; self-loops are rejected.
+func (a *Adjacency) AddEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	if a.hasArc(u, v) {
+		return
+	}
+	a.adj[u] = append(a.adj[u], v)
+	a.adj[v] = append(a.adj[v], u)
+}
+
+func (a *Adjacency) hasArc(u, v NodeID) bool {
+	for _, w := range a.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// InducedSubgraph returns the subgraph of t induced by the given
+// vertices, relabelled densely in the order supplied, together with the
+// mapping from new labels back to original ones.
+func InducedSubgraph(t Topology, vertices []NodeID) (*Adjacency, []NodeID) {
+	index := make(map[NodeID]NodeID, len(vertices))
+	for i, v := range vertices {
+		index[v] = NodeID(i)
+	}
+	sub := NewAdjacency(len(vertices))
+	for i, v := range vertices {
+		for _, w := range t.Neighbors(v) {
+			if j, ok := index[w]; ok && NodeID(i) < j {
+				sub.AddEdge(NodeID(i), j)
+			}
+		}
+	}
+	back := append([]NodeID(nil), vertices...)
+	return sub, back
+}

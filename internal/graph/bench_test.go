@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomConnected(n int, extra int, seed int64) *Adjacency {
+	rng := rand.New(rand.NewSource(seed))
+	a := NewAdjacency(n)
+	for v := 1; v < n; v++ {
+		a.AddEdge(NodeID(v), NodeID(rng.Intn(v)))
+	}
+	for i := 0; i < extra; i++ {
+		a.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return a
+}
+
+func BenchmarkBFS(b *testing.B) {
+	g := randomConnected(4096, 8192, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BFS(g, NodeID(i%g.Nodes()))
+	}
+}
+
+func BenchmarkDiameterSerial(b *testing.B) {
+	g := randomConnected(512, 1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diameter(g)
+	}
+}
+
+func BenchmarkDiameterParallel(b *testing.B) {
+	g := randomConnected(512, 1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiameterParallel(g, 0)
+	}
+}
+
+func BenchmarkEdgeDisjointPaths(b *testing.B) {
+	g := randomConnected(1024, 4096, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdgeDisjointPaths(g, 0, NodeID(g.Nodes()-1), 0)
+	}
+}
+
+func BenchmarkIsomorphic(b *testing.B) {
+	q := randomConnected(64, 128, 4)
+	// A relabelled copy.
+	perm := rand.New(rand.NewSource(5)).Perm(64)
+	r := NewAdjacency(64)
+	for _, e := range Edges(q) {
+		r.AddEdge(NodeID(perm[e.U]), NodeID(perm[e.V]))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Isomorphic(q, r) {
+			b.Fatal("must be isomorphic")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package graph
+
+// EdgeDisjointPaths finds up to max pairwise edge-disjoint paths from s
+// to d using BFS augmenting paths over unit edge capacities (Menger /
+// max-flow). Each returned path is a simple-ish vertex sequence from s
+// to d; no two share an (undirected) edge. With max <= 0 all paths are
+// found. By Menger's theorem the count equals the minimum edge cut
+// between s and d, which for the interconnection topologies here is the
+// quantitative version of "how many link failures can sever this pair".
+func EdgeDisjointPaths(t Topology, s, d NodeID, max int) [][]NodeID {
+	if s == d {
+		return nil
+	}
+	// Residual flow on directed arcs: flow[{u,v}] == 1 means the arc
+	// u->v carries flow. Sending flow along v->u cancels u->v first.
+	type arc struct{ u, v NodeID }
+	flow := make(map[arc]bool)
+
+	augment := func() bool {
+		// BFS over residual arcs: u->w usable if the undirected edge
+		// exists and u->w is not already saturated; traversing a
+		// saturated reverse arc w->u cancels it.
+		prev := make(map[NodeID]NodeID)
+		seen := map[NodeID]bool{s: true}
+		queue := []NodeID{s}
+		for len(queue) > 0 && !seen[d] {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range t.Neighbors(u) {
+				if seen[w] || flow[arc{u, w}] {
+					continue
+				}
+				seen[w] = true
+				prev[w] = u
+				queue = append(queue, w)
+				if w == d {
+					break
+				}
+			}
+		}
+		if !seen[d] {
+			return false
+		}
+		for v := d; v != s; v = prev[v] {
+			u := prev[v]
+			if flow[arc{v, u}] {
+				delete(flow, arc{v, u}) // cancel opposing flow
+			} else {
+				flow[arc{u, v}] = true
+			}
+		}
+		return true
+	}
+
+	count := 0
+	for max <= 0 || count < max {
+		if !augment() {
+			break
+		}
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+
+	// Decompose the flow into paths by walking flow arcs from s.
+	var paths [][]NodeID
+	for i := 0; i < count; i++ {
+		path := []NodeID{s}
+		cur := s
+		for cur != d {
+			advanced := false
+			for _, w := range t.Neighbors(cur) {
+				if flow[arc{cur, w}] {
+					delete(flow, arc{cur, w})
+					path = append(path, w)
+					cur = w
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				// Flow conservation guarantees progress; reaching here
+				// indicates an internal inconsistency.
+				panic("graph: flow decomposition stuck")
+			}
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+// MinEdgeCut returns the size of the minimum edge cut separating s and
+// d (0 when already disconnected, -1 when s == d).
+func MinEdgeCut(t Topology, s, d NodeID) int {
+	if s == d {
+		return -1
+	}
+	return len(EdgeDisjointPaths(t, s, d, 0))
+}

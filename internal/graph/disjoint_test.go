@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkDisjoint(t *testing.T, g Topology, s, d NodeID, paths [][]NodeID) {
+	t.Helper()
+	used := make(map[Edge]bool)
+	for _, p := range paths {
+		if p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("path endpoints wrong: %v", p)
+		}
+		if !IsValidWalk(g, p) {
+			t.Fatalf("invalid path: %v", p)
+		}
+		for i := 1; i < len(p); i++ {
+			e := Edge{U: p[i-1], V: p[i]}.Normalize()
+			if used[e] {
+				t.Fatalf("edge %v reused across paths", e)
+			}
+			used[e] = true
+		}
+	}
+}
+
+func TestEdgeDisjointPathsCube(t *testing.T) {
+	q := cube(4)
+	// Q4 is 4-edge-connected: any pair admits exactly 4 disjoint paths.
+	for _, pair := range [][2]NodeID{{0, 15}, {0, 1}, {3, 12}, {5, 10}} {
+		paths := EdgeDisjointPaths(q, pair[0], pair[1], 0)
+		if len(paths) != 4 {
+			t.Fatalf("%v: %d paths, want 4", pair, len(paths))
+		}
+		checkDisjoint(t, q, pair[0], pair[1], paths)
+	}
+}
+
+func TestEdgeDisjointPathsLimit(t *testing.T) {
+	q := cube(4)
+	paths := EdgeDisjointPaths(q, 0, 15, 2)
+	if len(paths) != 2 {
+		t.Fatalf("limit ignored: %d paths", len(paths))
+	}
+	checkDisjoint(t, q, 0, 15, paths)
+}
+
+func TestEdgeDisjointPathsTreeAndCycle(t *testing.T) {
+	p := path(6)
+	if got := MinEdgeCut(p, 0, 5); got != 1 {
+		t.Errorf("path cut = %d, want 1", got)
+	}
+	c := cycle(7)
+	if got := MinEdgeCut(c, 0, 3); got != 2 {
+		t.Errorf("cycle cut = %d, want 2", got)
+	}
+	paths := EdgeDisjointPaths(c, 0, 3, 0)
+	checkDisjoint(t, c, 0, 3, paths)
+}
+
+func TestEdgeDisjointPathsDisconnected(t *testing.T) {
+	g := NewAdjacency(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if EdgeDisjointPaths(g, 0, 3, 0) != nil {
+		t.Error("disconnected pair must yield no paths")
+	}
+	if MinEdgeCut(g, 0, 3) != 0 {
+		t.Error("disconnected cut must be 0")
+	}
+	if MinEdgeCut(g, 1, 1) != -1 {
+		t.Error("self cut must be -1")
+	}
+}
+
+// TestMengerAgainstBruteForce: on small random graphs, the max number
+// of disjoint paths must equal the brute-force minimum edge cut.
+func TestMengerAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(4)
+		g := NewAdjacency(n)
+		for v := 1; v < n; v++ {
+			g.AddEdge(NodeID(v), NodeID(rng.Intn(v)))
+		}
+		for extra := 0; extra < n; extra++ {
+			g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		s, d := NodeID(0), NodeID(n-1)
+		got := MinEdgeCut(g, s, d)
+		want := bruteMinCut(g, s, d)
+		if got != want {
+			t.Fatalf("trial %d: flow cut %d, brute cut %d", trial, got, want)
+		}
+	}
+}
+
+// bruteMinCut enumerates edge subsets (small graphs only) to find the
+// smallest set whose removal disconnects s from d.
+func bruteMinCut(g *Adjacency, s, d NodeID) int {
+	edges := Edges(g)
+	for size := 0; size <= len(edges); size++ {
+		if cutOfSizeExists(g, edges, s, d, size) {
+			return size
+		}
+	}
+	return len(edges)
+}
+
+func cutOfSizeExists(g *Adjacency, edges []Edge, s, d NodeID, size int) bool {
+	idx := make([]int, size)
+	var rec func(pos, start int) bool
+	rec = func(pos, start int) bool {
+		if pos == size {
+			removed := make(map[Edge]bool, size)
+			for _, i := range idx {
+				removed[edges[i]] = true
+			}
+			return !reachableWithout(g, s, d, removed)
+		}
+		for i := start; i < len(edges); i++ {
+			idx[pos] = i
+			if rec(pos+1, i+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+func reachableWithout(g *Adjacency, s, d NodeID, removed map[Edge]bool) bool {
+	seen := map[NodeID]bool{s: true}
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == d {
+			return true
+		}
+		for _, w := range g.Neighbors(v) {
+			if removed[Edge{U: v, V: w}.Normalize()] || seen[w] {
+				continue
+			}
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return false
+}

@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// path builds a path graph 0-1-2-...-(n-1).
+func path(n int) *Adjacency {
+	a := NewAdjacency(n)
+	for i := 0; i+1 < n; i++ {
+		a.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	return a
+}
+
+// cycle builds a cycle graph on n vertices.
+func cycle(n int) *Adjacency {
+	a := path(n)
+	a.AddEdge(NodeID(n-1), 0)
+	return a
+}
+
+// star builds a star with center 0 and n-1 leaves.
+func star(n int) *Adjacency {
+	a := NewAdjacency(n)
+	for i := 1; i < n; i++ {
+		a.AddEdge(0, NodeID(i))
+	}
+	return a
+}
+
+// cube builds the binary hypercube Q_d as an explicit adjacency graph.
+func cube(d int) *Adjacency {
+	n := 1 << d
+	a := NewAdjacency(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			w := v ^ (1 << i)
+			if v < w {
+				a.AddEdge(NodeID(v), NodeID(w))
+			}
+		}
+	}
+	return a
+}
+
+func TestEdgeCountAndEdges(t *testing.T) {
+	c := cycle(5)
+	if EdgeCount(c) != 5 {
+		t.Errorf("cycle(5) edges = %d", EdgeCount(c))
+	}
+	if len(Edges(c)) != 5 {
+		t.Errorf("Edges(cycle(5)) = %v", Edges(c))
+	}
+	for _, e := range Edges(c) {
+		if e.U >= e.V {
+			t.Errorf("edge not normalized: %v", e)
+		}
+	}
+	q := cube(4)
+	if EdgeCount(q) != 4*16/2 {
+		t.Errorf("Q4 edges = %d, want 32", EdgeCount(q))
+	}
+}
+
+func TestEdgeNormalize(t *testing.T) {
+	e := Edge{5, 2}.Normalize()
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("Normalize = %v", e)
+	}
+	e = Edge{2, 5}.Normalize()
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("Normalize = %v", e)
+	}
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	a := NewAdjacency(3)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 0)
+	a.AddEdge(0, 1)
+	a.AddEdge(2, 2) // self loop rejected
+	if EdgeCount(a) != 1 {
+		t.Errorf("edge count = %d, want 1", EdgeCount(a))
+	}
+	if len(a.Neighbors(2)) != 0 {
+		t.Errorf("self loop must be rejected")
+	}
+}
+
+func TestBFSOnPath(t *testing.T) {
+	p := path(6)
+	d := BFS(p, 0)
+	for i := 0; i < 6; i++ {
+		if d[i] != i {
+			t.Errorf("dist[%d] = %d", i, d[i])
+		}
+	}
+	d2 := BFS(p, 3)
+	want := []int{3, 2, 1, 0, 1, 2}
+	for i := range want {
+		if d2[i] != want[i] {
+			t.Errorf("dist from 3: [%d] = %d want %d", i, d2[i], want[i])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	a := NewAdjacency(4)
+	a.AddEdge(0, 1)
+	a.AddEdge(2, 3)
+	d := BFS(a, 0)
+	if d[2] != -1 || d[3] != -1 {
+		t.Errorf("unreachable must be -1: %v", d)
+	}
+	if Connected(a) {
+		t.Error("graph must not be connected")
+	}
+	if Distance(a, 0, 3) != -1 {
+		t.Error("Distance across components must be -1")
+	}
+	if ShortestPath(a, 0, 3) != nil {
+		t.Error("ShortestPath across components must be nil")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	q := cube(4)
+	sp := ShortestPath(q, 0b0000, 0b1111)
+	if len(sp) != 5 {
+		t.Fatalf("Q4 path 0000->1111 length = %d hops, want 4", len(sp)-1)
+	}
+	if !IsSimplePath(q, sp) {
+		t.Error("shortest path must be simple")
+	}
+	if sp[0] != 0 || sp[len(sp)-1] != 0b1111 {
+		t.Error("endpoints wrong")
+	}
+	one := ShortestPath(q, 3, 3)
+	if len(one) != 1 || one[0] != 3 {
+		t.Errorf("trivial path = %v", one)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	a := NewAdjacency(6)
+	a.AddEdge(0, 1)
+	a.AddEdge(1, 2)
+	a.AddEdge(4, 5)
+	comps := Components(a)
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 1 || len(comps[2]) != 2 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+	if comps[1][0] != 3 {
+		t.Errorf("singleton should be node 3: %v", comps)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    Topology
+		want int
+	}{
+		{path(7), 6},
+		{cycle(8), 4},
+		{cycle(7), 3},
+		{star(9), 2},
+		{cube(4), 4},
+		{cube(1), 1},
+	}
+	for i, c := range cases {
+		if got := Diameter(c.g); got != c.want {
+			t.Errorf("case %d: Diameter = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestTreeDiameterAgreesWithDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		// Random tree: attach each vertex to a random earlier one.
+		a := NewAdjacency(n)
+		for v := 1; v < n; v++ {
+			a.AddEdge(NodeID(v), NodeID(rng.Intn(v)))
+		}
+		if !IsTree(a) {
+			t.Fatal("construction must yield a tree")
+		}
+		if TreeDiameter(a) != Diameter(a) {
+			t.Fatalf("tree diameter mismatch on n=%d: %d vs %d",
+				n, TreeDiameter(a), Diameter(a))
+		}
+	}
+}
+
+func TestIsTree(t *testing.T) {
+	if !IsTree(path(5)) || !IsTree(star(6)) {
+		t.Error("paths and stars are trees")
+	}
+	if IsTree(cycle(4)) {
+		t.Error("cycles are not trees")
+	}
+	disc := NewAdjacency(4)
+	disc.AddEdge(0, 1)
+	if IsTree(disc) {
+		t.Error("disconnected graph is not a tree")
+	}
+	single := NewAdjacency(1)
+	if !IsTree(single) {
+		t.Error("K1 is a tree")
+	}
+	if IsTree(NewAdjacency(0)) {
+		t.Error("empty graph is not a tree by convention")
+	}
+}
+
+func TestWalkChecks(t *testing.T) {
+	p := path(5)
+	if !IsValidWalk(p, []NodeID{0, 1, 2, 1, 0}) {
+		t.Error("backtracking walk is valid")
+	}
+	if IsSimplePath(p, []NodeID{0, 1, 2, 1}) {
+		t.Error("repeated vertex is not simple")
+	}
+	if IsValidWalk(p, []NodeID{0, 2}) {
+		t.Error("non-adjacent step must be invalid")
+	}
+	if IsValidWalk(p, nil) {
+		t.Error("empty walk is invalid")
+	}
+	if IsValidWalk(p, []NodeID{9}) {
+		t.Error("out-of-range vertex is invalid")
+	}
+	if !IsSimplePath(p, []NodeID{2}) {
+		t.Error("single vertex is a simple path")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	p := path(5)
+	if Eccentricity(p, 0) != 4 {
+		t.Errorf("ecc(0) = %d", Eccentricity(p, 0))
+	}
+	if Eccentricity(p, 2) != 2 {
+		t.Errorf("ecc(2) = %d", Eccentricity(p, 2))
+	}
+	disc := NewAdjacency(3)
+	disc.AddEdge(0, 1)
+	if Eccentricity(disc, 0) != -1 {
+		t.Error("eccentricity in disconnected graph must be -1")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	q := cube(3)
+	// The even-weight vertices of Q3 induce an empty graph.
+	sub, back := InducedSubgraph(q, []NodeID{0, 3, 5, 6})
+	if sub.Nodes() != 4 || EdgeCount(sub) != 0 {
+		t.Errorf("even-weight Q3 subgraph: %d nodes %d edges", sub.Nodes(), EdgeCount(sub))
+	}
+	if len(back) != 4 || back[1] != 3 {
+		t.Errorf("back mapping wrong: %v", back)
+	}
+	// The bottom face of Q3 induces a 4-cycle.
+	face, _ := InducedSubgraph(q, []NodeID{0, 1, 2, 3})
+	if EdgeCount(face) != 4 {
+		t.Errorf("bottom face edges = %d, want 4", EdgeCount(face))
+	}
+	if !Isomorphic(face, cycle(4)) {
+		t.Error("bottom face must be a 4-cycle")
+	}
+}
+
+func TestIsomorphicPositive(t *testing.T) {
+	// A relabelled cube is isomorphic to the cube.
+	q := cube(3)
+	perm := []NodeID{5, 2, 7, 0, 3, 6, 1, 4}
+	r := NewAdjacency(8)
+	for _, e := range Edges(q) {
+		r.AddEdge(perm[e.U], perm[e.V])
+	}
+	if !Isomorphic(q, r) {
+		t.Error("relabelled Q3 must be isomorphic to Q3")
+	}
+	if !Isomorphic(cycle(4), cube(2)) {
+		t.Error("C4 is Q2")
+	}
+	if !Isomorphic(path(1), NewAdjacency(1)) {
+		t.Error("single vertices are isomorphic")
+	}
+}
+
+func TestIsomorphicNegative(t *testing.T) {
+	if Isomorphic(path(4), star(4)) {
+		t.Error("P4 and K1,3 are not isomorphic")
+	}
+	if Isomorphic(cycle(6), path(6)) {
+		t.Error("C6 and P6 differ in edge count")
+	}
+	if Isomorphic(cube(3), cycle(8)) {
+		t.Error("Q3 and C8 differ in degree")
+	}
+	// Same degree sequence, not isomorphic: C6 vs two triangles.
+	twoTriangles := NewAdjacency(6)
+	twoTriangles.AddEdge(0, 1)
+	twoTriangles.AddEdge(1, 2)
+	twoTriangles.AddEdge(2, 0)
+	twoTriangles.AddEdge(3, 4)
+	twoTriangles.AddEdge(4, 5)
+	twoTriangles.AddEdge(5, 3)
+	if Isomorphic(cycle(6), twoTriangles) {
+		t.Error("C6 vs 2xC3 must not be isomorphic")
+	}
+	if Isomorphic(path(3), path(4)) {
+		t.Error("different orders")
+	}
+}
+
+func TestFromTopology(t *testing.T) {
+	q := cube(3)
+	a := FromTopology(q)
+	if a.Nodes() != q.Nodes() || EdgeCount(a) != EdgeCount(q) {
+		t.Error("FromTopology must preserve size")
+	}
+	if !Isomorphic(a, q) {
+		t.Error("FromTopology must preserve structure")
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	p := path(4)
+	if !Adjacent(p, 1, 2) || Adjacent(p, 0, 2) {
+		t.Error("Adjacent wrong on path")
+	}
+}

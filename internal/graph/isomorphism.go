@@ -1,0 +1,166 @@
+package graph
+
+import "sort"
+
+// Isomorphic reports whether a and b are isomorphic graphs. It is a
+// backtracking search with degree-signature pruning, intended for the
+// small decomposition subgraphs this repository verifies (tens to a few
+// hundred vertices): GEEC slices against binary hypercubes, and tree-edge
+// subgraphs against exchanged hypercubes.
+func Isomorphic(a, b Topology) bool {
+	n := a.Nodes()
+	if n != b.Nodes() || EdgeCount(a) != EdgeCount(b) {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+
+	sigA := signatures(a)
+	sigB := signatures(b)
+	if !sameSignatureMultiset(sigA, sigB) {
+		return false
+	}
+
+	// Order A's vertices connectivity-first: after the first vertex,
+	// always extend with a vertex adjacent to an already-placed one when
+	// possible, so the adjacency constraints prune immediately.
+	order := matchOrder(a)
+
+	mapping := make([]int32, n) // a -> b
+	inverse := make([]int32, n) // b -> a
+	for i := range mapping {
+		mapping[i] = -1
+		inverse[i] = -1
+	}
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == n {
+			return true
+		}
+		va := order[k]
+		for vb := 0; vb < n; vb++ {
+			if inverse[vb] != -1 || sigA[va] != sigB[vb] {
+				continue
+			}
+			if !consistent(a, b, va, NodeID(vb), mapping, inverse) {
+				continue
+			}
+			mapping[va] = int32(vb)
+			inverse[vb] = int32(va)
+			if try(k + 1) {
+				return true
+			}
+			mapping[va] = -1
+			inverse[vb] = -1
+		}
+		return false
+	}
+	return try(0)
+}
+
+// matchOrder returns the vertices of t ordered so each vertex (after the
+// first of its component) is adjacent to an earlier one: a BFS order
+// seeded at a maximum-degree vertex.
+func matchOrder(t Topology) []NodeID {
+	n := t.Nodes()
+	seen := make([]bool, n)
+	order := make([]NodeID, 0, n)
+	seed := NodeID(0)
+	for v := 1; v < n; v++ {
+		if len(t.Neighbors(NodeID(v))) > len(t.Neighbors(seed)) {
+			seed = NodeID(v)
+		}
+	}
+	for start := 0; len(order) < n; start++ {
+		s := seed
+		if len(order) > 0 {
+			for seen[start] {
+				start++
+			}
+			s = NodeID(start)
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue := []NodeID{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, w := range t.Neighbors(v) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// consistent checks that mapping va -> vb preserves adjacency against
+// all already-mapped vertices, in both directions.
+func consistent(a, b Topology, va, vb NodeID, mapping, inverse []int32) bool {
+	mappedNeighbors := 0
+	for _, w := range a.Neighbors(va) {
+		if m := mapping[w]; m != -1 {
+			mappedNeighbors++
+			if !Adjacent(b, vb, NodeID(m)) {
+				return false
+			}
+		}
+	}
+	inverseAdj := 0
+	for _, w := range b.Neighbors(vb) {
+		if pre := inverse[w]; pre != -1 {
+			inverseAdj++
+			if !Adjacent(a, va, NodeID(pre)) {
+				return false
+			}
+		}
+	}
+	return mappedNeighbors == inverseAdj
+}
+
+// signatures assigns each vertex a hashable refinement signature:
+// its degree combined with the sorted degree sequence of its neighbors.
+func signatures(t Topology) []string {
+	n := t.Nodes()
+	out := make([]string, n)
+	for v := 0; v < n; v++ {
+		nb := t.Neighbors(NodeID(v))
+		ds := make([]int, len(nb))
+		for i, w := range nb {
+			ds[i] = len(t.Neighbors(w))
+		}
+		sort.Ints(ds)
+		sig := make([]byte, 0, 2+2*len(ds))
+		sig = appendUint16(sig, uint16(len(nb)))
+		for _, d := range ds {
+			sig = appendUint16(sig, uint16(d))
+		}
+		out[v] = string(sig)
+	}
+	return out
+}
+
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
+}
+
+func sameSignatureMultiset(a, b []string) bool {
+	count := make(map[string]int, len(a))
+	for _, s := range a {
+		count[s]++
+	}
+	for _, s := range b {
+		count[s]--
+		if count[s] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DiameterParallel computes the exact diameter like Diameter, but
+// shards the per-source BFS runs across workers goroutines (0 means
+// GOMAXPROCS). The all-pairs sweep is embarrassingly parallel, which
+// keeps the exhaustive structural checks fast on the larger cubes.
+func DiameterParallel(t Topology, workers int) int {
+	n := t.Nodes()
+	if n == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			best := 0
+			for v := w; v < n; v += workers {
+				e := Eccentricity(t, NodeID(v))
+				if e == -1 {
+					best = -1
+					break
+				}
+				if e > best {
+					best = e
+				}
+			}
+			results[w] = best
+		}(w)
+	}
+	wg.Wait()
+	diam := 0
+	for _, r := range results {
+		if r == -1 {
+			return -1
+		}
+		if r > diam {
+			diam = r
+		}
+	}
+	return diam
+}
+
+// AvgDistanceParallel computes the mean pairwise distance over ordered
+// distinct pairs with sharded BFS runs. It returns -1 for disconnected
+// graphs.
+func AvgDistanceParallel(t Topology, workers int) float64 {
+	n := t.Nodes()
+	if n < 2 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	sums := make([]float64, workers)
+	bad := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := w; v < n; v += workers {
+				for _, d := range BFS(t, NodeID(v)) {
+					if d == -1 {
+						bad[w] = true
+						return
+					}
+					sums[w] += float64(d)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0.0
+	for w := range sums {
+		if bad[w] {
+			return -1
+		}
+		total += sums[w]
+	}
+	return total / float64(n*(n-1))
+}

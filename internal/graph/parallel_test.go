@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiameterParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(80)
+		a := NewAdjacency(n)
+		for v := 1; v < n; v++ {
+			a.AddEdge(NodeID(v), NodeID(rng.Intn(v)))
+		}
+		for extra := 0; extra < n/3; extra++ {
+			a.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		want := Diameter(a)
+		for _, workers := range []int{0, 1, 3, 16} {
+			if got := DiameterParallel(a, workers); got != want {
+				t.Fatalf("workers=%d: %d, want %d", workers, got, want)
+			}
+		}
+	}
+}
+
+func TestDiameterParallelDisconnected(t *testing.T) {
+	a := NewAdjacency(4)
+	a.AddEdge(0, 1)
+	if DiameterParallel(a, 2) != -1 {
+		t.Error("disconnected graph must report -1")
+	}
+	if DiameterParallel(NewAdjacency(0), 2) != 0 {
+		t.Error("empty graph diameter is 0")
+	}
+}
+
+func TestAvgDistanceParallel(t *testing.T) {
+	// Path graph 0-1-2: pairs (0,1)=1 (0,2)=2 (1,2)=1, ordered pairs
+	// double that; mean = 8/6.
+	p := NewAdjacency(3)
+	p.AddEdge(0, 1)
+	p.AddEdge(1, 2)
+	got := AvgDistanceParallel(p, 2)
+	want := 8.0 / 6.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("avg distance = %v, want %v", got, want)
+	}
+	// Disconnected.
+	d := NewAdjacency(3)
+	d.AddEdge(0, 1)
+	if AvgDistanceParallel(d, 2) != -1 {
+		t.Error("disconnected must report -1")
+	}
+	if AvgDistanceParallel(NewAdjacency(1), 2) != 0 {
+		t.Error("singleton average distance is 0")
+	}
+}
+
+func TestAvgDistanceParallelMatchesSerialSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 40
+	a := NewAdjacency(n)
+	for v := 1; v < n; v++ {
+		a.AddEdge(NodeID(v), NodeID(rng.Intn(v)))
+	}
+	var sum float64
+	for v := 0; v < n; v++ {
+		for _, d := range BFS(a, NodeID(v)) {
+			sum += float64(d)
+		}
+	}
+	want := sum / float64(n*(n-1))
+	for _, workers := range []int{1, 4, 9} {
+		got := AvgDistanceParallel(a, workers)
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("workers=%d: %v, want %v", workers, got, want)
+		}
+	}
+}

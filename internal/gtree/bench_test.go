@@ -1,0 +1,61 @@
+package gtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkNew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		New(12)
+	}
+}
+
+func BenchmarkPC(b *testing.B) {
+	tr := New(16)
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]Node, 512)
+	for i := range pairs {
+		pairs[i] = [2]Node{Node(rng.Intn(tr.Nodes())), Node(rng.Intn(tr.Nodes()))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		tr.PC(p[0], p[1])
+	}
+}
+
+func BenchmarkDist(b *testing.B) {
+	tr := New(16)
+	rng := rand.New(rand.NewSource(2))
+	pairs := make([][2]Node, 512)
+	for i := range pairs {
+		pairs[i] = [2]Node{Node(rng.Intn(tr.Nodes())), Node(rng.Intn(tr.Nodes()))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		tr.Dist(p[0], p[1])
+	}
+}
+
+func BenchmarkCT(b *testing.B) {
+	tr := New(12)
+	rng := rand.New(rand.NewSource(3))
+	dests := make([]Node, 12)
+	for i := range dests {
+		dests[i] = Node(rng.Intn(tr.Nodes()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.CT(0, dests)
+	}
+}
+
+func BenchmarkDiameter(b *testing.B) {
+	tr := New(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Diameter()
+	}
+}

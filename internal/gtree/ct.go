@@ -1,0 +1,115 @@
+package gtree
+
+import "gaussiancube/internal/graph"
+
+// CT is the paper's Closed-Traverse algorithm (Algorithm 2): starting at
+// r, visit every vertex in dests and come back to r. The walk obeys the
+// optimality principle of Section 4 — never backtrack toward r from a
+// vertex while an unvisited destination remains in its subtree — and is
+// therefore an Euler tour of the Steiner subtree spanning {r} and dests:
+// exactly twice its edge count.
+//
+// Following the paper, one destination d is picked and a trunk path
+// L = PC(r, d) is laid down; every other destination either lies on L or
+// gets attached at its branch point via FindBP, and branch excursions
+// are taken recursively while walking L, before returning to r in the
+// reverse direction of L.
+//
+// The returned closed walk starts and ends at r (a single-vertex walk if
+// dests is empty or contains only r).
+func (t *Tree) CT(r Node, dests []Node) []Node {
+	// Deduplicate and drop r itself; keep first-seen order so the
+	// caller controls which destination anchors the trunk.
+	seen := NodeSet{r: true}
+	D := make([]Node, 0, len(dests))
+	for _, v := range dests {
+		if !seen[v] {
+			seen[v] = true
+			D = append(D, v)
+		}
+	}
+	if len(D) == 0 {
+		return []Node{r}
+	}
+
+	d := D[0]
+	L := t.PC(r, d)
+	inL := NewNodeSet(L...)
+
+	// Branch table B(.): destinations off the trunk, grouped by the
+	// trunk vertex where their path leaves L.
+	branch := make(map[Node][]Node)
+	for _, di := range D[1:] {
+		if inL[di] {
+			continue // visited while walking the trunk
+		}
+		b := t.FindBP(inL, r, di)
+		branch[b] = append(branch[b], di)
+	}
+
+	walk := make([]Node, 0, 2*len(L))
+	for _, p := range L {
+		walk = append(walk, p)
+		if sub := branch[p]; len(sub) > 0 {
+			excursion := t.CT(p, sub)
+			walk = append(walk, excursion[1:]...)
+		}
+	}
+	for i := len(L) - 2; i >= 0; i-- {
+		walk = append(walk, L[i])
+	}
+	return walk
+}
+
+// SteinerEdges returns the edge set of the minimal subtree of T spanning
+// r and dests: the union of the paths from r to each destination. CT's
+// walk crosses each of these edges exactly twice.
+func (t *Tree) SteinerEdges(r Node, dests []Node) map[graph.Edge]bool {
+	edges := make(map[graph.Edge]bool)
+	for _, d := range dests {
+		p := t.PC(r, d)
+		for i := 1; i < len(p); i++ {
+			edges[graph.Edge{U: p[i-1], V: p[i]}.Normalize()] = true
+		}
+	}
+	return edges
+}
+
+// CTEuler is a reference implementation of the closed traversal: a
+// depth-first Euler tour of the Steiner subtree. It produces a walk of
+// the same (optimal) length as CT, used for cross-validation and as an
+// ablation baseline.
+func (t *Tree) CTEuler(r Node, dests []Node) []Node {
+	edges := t.SteinerEdges(r, dests)
+	adj := make(map[Node][]Node)
+	for e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for _, nbs := range adj {
+		sortNodes(nbs)
+	}
+	walk := []Node{r}
+	visited := NodeSet{r: true}
+	var dfs func(v Node)
+	dfs = func(v Node) {
+		for _, w := range adj[v] {
+			if !visited[w] {
+				visited[w] = true
+				walk = append(walk, w)
+				dfs(w)
+				walk = append(walk, v)
+			}
+		}
+	}
+	dfs(r)
+	return walk
+}
+
+func sortNodes(s []Node) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package gtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/graph"
+)
+
+func checkClosedWalk(t *testing.T, tr *Tree, r Node, dests []Node, walk []Node) {
+	t.Helper()
+	if !graph.IsValidWalk(tr, walk) {
+		t.Fatalf("CT produced an invalid walk: %v", walk)
+	}
+	if walk[0] != r || walk[len(walk)-1] != r {
+		t.Fatalf("CT walk must start and end at %d: %v", r, walk)
+	}
+	visited := NewNodeSet(walk...)
+	for _, d := range dests {
+		if !visited[d] {
+			t.Fatalf("CT walk misses destination %d: %v", d, walk)
+		}
+	}
+}
+
+func TestCTVisitsAllAndReturns(t *testing.T) {
+	tr := New(6)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 400; trial++ {
+		r := Node(rng.Intn(tr.Nodes()))
+		k := 1 + rng.Intn(8)
+		dests := make([]Node, k)
+		for i := range dests {
+			dests[i] = Node(rng.Intn(tr.Nodes()))
+		}
+		walk := tr.CT(r, dests)
+		checkClosedWalk(t, tr, r, dests, walk)
+	}
+}
+
+// TestCTIsOptimal: the closed walk must cross every Steiner-subtree edge
+// exactly twice, hence have length exactly 2x the Steiner edge count —
+// the optimality the paper's backtracking principle guarantees.
+func TestCTIsOptimal(t *testing.T) {
+	tr := New(6)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 400; trial++ {
+		r := Node(rng.Intn(tr.Nodes()))
+		k := 1 + rng.Intn(8)
+		dests := make([]Node, k)
+		for i := range dests {
+			dests[i] = Node(rng.Intn(tr.Nodes()))
+		}
+		walk := tr.CT(r, dests)
+		steiner := tr.SteinerEdges(r, dests)
+		if len(walk)-1 != 2*len(steiner) {
+			t.Fatalf("CT walk has %d hops, Steiner subtree has %d edges (want 2x)",
+				len(walk)-1, len(steiner))
+		}
+		// Each Steiner edge crossed exactly twice.
+		crossings := make(map[graph.Edge]int)
+		for i := 1; i < len(walk); i++ {
+			crossings[graph.Edge{U: walk[i-1], V: walk[i]}.Normalize()]++
+		}
+		for e, c := range crossings {
+			if !steiner[e] {
+				t.Fatalf("walk crosses non-Steiner edge %v", e)
+			}
+			if c != 2 {
+				t.Fatalf("edge %v crossed %d times, want 2", e, c)
+			}
+		}
+	}
+}
+
+func TestCTMatchesEulerCost(t *testing.T) {
+	tr := New(7)
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		r := Node(rng.Intn(tr.Nodes()))
+		k := 1 + rng.Intn(10)
+		dests := make([]Node, k)
+		for i := range dests {
+			dests[i] = Node(rng.Intn(tr.Nodes()))
+		}
+		ct := tr.CT(r, dests)
+		euler := tr.CTEuler(r, dests)
+		if len(ct) != len(euler) {
+			t.Fatalf("CT cost %d != Euler cost %d for r=%d dests=%v",
+				len(ct)-1, len(euler)-1, r, dests)
+		}
+		checkClosedWalk(t, tr, r, dests, euler)
+	}
+}
+
+func TestCTEdgeCases(t *testing.T) {
+	tr := New(4)
+	// Empty destination set.
+	if w := tr.CT(3, nil); len(w) != 1 || w[0] != 3 {
+		t.Errorf("CT with no destinations = %v", w)
+	}
+	// Destination equal to the root.
+	if w := tr.CT(3, []Node{3}); len(w) != 1 || w[0] != 3 {
+		t.Errorf("CT with root-only destination = %v", w)
+	}
+	// Duplicated destinations.
+	w := tr.CT(0, []Node{5, 5, 5})
+	checkClosedWalk(t, tr, 0, []Node{5}, w)
+	if len(w)-1 != 2*tr.Dist(0, 5) {
+		t.Errorf("CT to single destination must be out-and-back: %v", w)
+	}
+}
+
+func TestCTSingleDestinationIsOutAndBack(t *testing.T) {
+	tr := New(5)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		r := Node(rng.Intn(tr.Nodes()))
+		d := Node(rng.Intn(tr.Nodes()))
+		w := tr.CT(r, []Node{d})
+		if len(w)-1 != 2*tr.Dist(r, d) {
+			t.Fatalf("CT(%d, {%d}) cost %d, want %d", r, d, len(w)-1, 2*tr.Dist(r, d))
+		}
+	}
+}
+
+func TestSteinerEdgesSubtree(t *testing.T) {
+	tr := New(5)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		r := Node(rng.Intn(tr.Nodes()))
+		dests := []Node{
+			Node(rng.Intn(tr.Nodes())),
+			Node(rng.Intn(tr.Nodes())),
+			Node(rng.Intn(tr.Nodes())),
+		}
+		edges := tr.SteinerEdges(r, dests)
+		// The Steiner edge set must form a connected subtree containing
+		// r and all destinations: edges == vertices - 1.
+		verts := NodeSet{r: true}
+		for e := range edges {
+			verts[e.U] = true
+			verts[e.V] = true
+		}
+		if len(edges) != len(verts)-1 {
+			t.Fatalf("Steiner edges %d, vertices %d: not a subtree", len(edges), len(verts))
+		}
+		for _, d := range dests {
+			if !verts[d] {
+				t.Fatalf("Steiner subtree misses destination %d", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package gtree
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+)
+
+// FuzzPC drives Path Construction with arbitrary parameters; the seed
+// corpus runs under plain `go test`, and `go test -fuzz=FuzzPC` explores
+// further.
+func FuzzPC(f *testing.F) {
+	f.Add(uint8(3), uint16(0), uint16(7))
+	f.Add(uint8(8), uint16(200), uint16(13))
+	f.Add(uint8(1), uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, aRaw uint8, sRaw, dRaw uint16) {
+		alpha := uint(1 + aRaw%10)
+		tr := New(alpha)
+		s := Node(uint(sRaw) % uint(tr.Nodes()))
+		d := Node(uint(dRaw) % uint(tr.Nodes()))
+		p := tr.PC(s, d)
+		if p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("PC endpoints wrong: %v", p)
+		}
+		if !graph.IsSimplePath(tr, p) {
+			t.Fatalf("PC not a simple path: %v", p)
+		}
+		if len(p)-1 != tr.Dist(s, d) {
+			t.Fatalf("PC not minimal: %v", p)
+		}
+	})
+}
+
+// FuzzCT checks the closed-traversal optimality invariant on arbitrary
+// destination sets.
+func FuzzCT(f *testing.F) {
+	f.Add(uint8(4), uint16(0), uint16(3), uint16(9), uint16(12))
+	f.Fuzz(func(t *testing.T, aRaw uint8, rRaw, d1, d2, d3 uint16) {
+		alpha := uint(1 + aRaw%8)
+		tr := New(alpha)
+		mod := uint16(tr.Nodes())
+		r := Node(rRaw % mod)
+		dests := []Node{Node(d1 % mod), Node(d2 % mod), Node(d3 % mod)}
+		walk := tr.CT(r, dests)
+		if walk[0] != r || walk[len(walk)-1] != r {
+			t.Fatal("CT walk must be closed")
+		}
+		if !graph.IsValidWalk(tr, walk) {
+			t.Fatal("CT walk invalid")
+		}
+		if len(walk)-1 != 2*len(tr.SteinerEdges(r, dests)) {
+			t.Fatal("CT walk not optimal")
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package gtree
+
+import (
+	"gaussiancube/internal/bitutil"
+)
+
+// PC is the paper's Path Construction algorithm (Algorithm 1). It
+// returns the unique simple path from s to d in T_{2^alpha} as a vertex
+// sequence including both endpoints.
+//
+// The recursion follows the paper exactly: let c be the dimension of the
+// leftmost 1 in s XOR d. If c = 0, s and d are neighbors. Otherwise the
+// path must cross the unique dimension-c edge, whose endpoints have low
+// c bits equal to the value c; recurse on both sides. The leftmost
+// differing bit strictly decreases, so the recursion depth is at most
+// alpha.
+//
+// Unlike the paper's formulation we emit vertices in path order
+// directly, so the O(D log D) re-sorting step is unnecessary; the result
+// is identical.
+func (t *Tree) PC(s, d Node) []Node {
+	if s == d {
+		return []Node{s}
+	}
+	return t.pcRec(s, d, nil)
+}
+
+// pcRec appends the path from s to d (s included only when acc is
+// empty... we keep it simple: appends s's side path then d's side) onto
+// acc and returns it. Precondition: s != d.
+func (t *Tree) pcRec(s, d Node, acc []Node) []Node {
+	c := uint(bitutil.HighestBit(uint64(s ^ d)))
+	if c == 0 {
+		// s and d are dimension-0 neighbors.
+		return append(acc, s, d)
+	}
+	// The unique dimension-c edge lies between v1 (on s's side: bit c
+	// agrees with s) and v2 = v1 XOR 2^c (on d's side). Its endpoints
+	// carry the mandatory low-bit pattern: low c bits equal to c.
+	v1 := Node(bitutil.WithField(uint64(s), c-1, 0, uint64(c)))
+	v2 := v1 ^ (1 << c)
+	if s != v1 {
+		acc = t.pcRec(s, v1, acc)
+	} else {
+		acc = append(acc, s)
+	}
+	if v2 != d {
+		acc = t.pcRec(v2, d, acc)
+	} else {
+		acc = append(acc, d)
+	}
+	return acc
+}
+
+// NodeSet is a set of tree vertices, used to represent a path's vertex
+// set for FindBP and the class-visit sets of the routing algorithms.
+type NodeSet map[Node]bool
+
+// NewNodeSet builds a set from the given vertices.
+func NewNodeSet(vs ...Node) NodeSet {
+	s := make(NodeSet, len(vs))
+	for _, v := range vs {
+		s[v] = true
+	}
+	return s
+}
+
+// FindBP locates the branch point for destination d relative to the
+// already-routed path L starting at r: the vertex of L at which the
+// unique path r -> d leaves L. It follows the paper's recursive
+// formulation on the PC edge decomposition. Preconditions: r is in L and
+// d is not in L.
+func (t *Tree) FindBP(L NodeSet, r, d Node) Node {
+	c := uint(bitutil.HighestBit(uint64(r ^ d)))
+	if c == 0 {
+		// r and d are neighbors: the path leaves L immediately at r.
+		return r
+	}
+	v1 := Node(bitutil.WithField(uint64(r), c-1, 0, uint64(c)))
+	v2 := v1 ^ (1 << c)
+	in1, in2 := L[v1], L[v2]
+	switch {
+	case in1 && !in2:
+		return v1
+	case in1 && in2:
+		return t.FindBP(L, v2, d)
+	case !in1 && !in2:
+		if r == v1 {
+			// Degenerate corner: r itself is the near endpoint but was
+			// not inserted into L by the caller; treat as on-path.
+			return r
+		}
+		return t.FindBP(L, r, v1)
+	default:
+		// !in1 && in2 is impossible on a tree path from r: the paper
+		// notes the case cannot arise because L reaches v2 only via v1.
+		panic("gtree: FindBP reached impossible branch (v2 on path but v1 not)")
+	}
+}
+
+// findBPReference computes the branch point the direct way — the last
+// vertex of the path r -> d that lies on L — and exists to cross-check
+// FindBP in tests.
+func (t *Tree) findBPReference(L NodeSet, r, d Node) Node {
+	path := t.PC(r, d)
+	last := r
+	for _, v := range path {
+		if L[v] {
+			last = v
+		} else {
+			break
+		}
+	}
+	return last
+}

@@ -1,0 +1,95 @@
+package gtree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gaussiancube/internal/graph"
+)
+
+// Property-based tests (testing/quick) on the tree invariants.
+
+func TestQuickPCIsOptimalSimplePath(t *testing.T) {
+	f := func(aRaw, sRaw, dRaw uint16) bool {
+		alpha := uint(1 + aRaw%9)
+		tr := New(alpha)
+		s := Node(uint(sRaw) % uint(tr.Nodes()))
+		d := Node(uint(dRaw) % uint(tr.Nodes()))
+		p := tr.PC(s, d)
+		if p[0] != s || p[len(p)-1] != d {
+			return false
+		}
+		if !graph.IsSimplePath(tr, p) {
+			return false
+		}
+		return len(p)-1 == tr.Dist(s, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCTOptimal(t *testing.T) {
+	f := func(aRaw uint8, rRaw uint16, dRaws [5]uint16) bool {
+		alpha := uint(2 + aRaw%7)
+		tr := New(alpha)
+		r := Node(uint(rRaw) % uint(tr.Nodes()))
+		dests := make([]Node, len(dRaws))
+		for i, raw := range dRaws {
+			dests[i] = Node(uint(raw) % uint(tr.Nodes()))
+		}
+		walk := tr.CT(r, dests)
+		if walk[0] != r || walk[len(walk)-1] != r {
+			return false
+		}
+		if !graph.IsValidWalk(tr, walk) {
+			return false
+		}
+		return len(walk)-1 == 2*len(tr.SteinerEdges(r, dests))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistanceIsMetric(t *testing.T) {
+	tr := New(8)
+	f := func(aRaw, bRaw, cRaw uint16) bool {
+		a := Node(uint(aRaw) % uint(tr.Nodes()))
+		b := Node(uint(bRaw) % uint(tr.Nodes()))
+		c := Node(uint(cRaw) % uint(tr.Nodes()))
+		if tr.Dist(a, b) != tr.Dist(b, a) {
+			return false
+		}
+		if (tr.Dist(a, b) == 0) != (a == b) {
+			return false
+		}
+		return tr.Dist(a, c) <= tr.Dist(a, b)+tr.Dist(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEdgeRuleUniqueParent(t *testing.T) {
+	// Every nonzero vertex has exactly one neighbor closer to vertex 0
+	// (tree property under the rooting) — a pure edge-rule consequence.
+	f := func(aRaw uint8, vRaw uint16) bool {
+		alpha := uint(1 + aRaw%9)
+		tr := New(alpha)
+		v := Node(uint(vRaw) % uint(tr.Nodes()))
+		if v == 0 {
+			return true
+		}
+		closer := 0
+		for _, w := range tr.Neighbors(v) {
+			if tr.Depth(w) == tr.Depth(v)-1 {
+				closer++
+			}
+		}
+		return closer == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package gtree
+
+import (
+	"fmt"
+	"strings"
+
+	"gaussiancube/internal/bitutil"
+)
+
+// Render draws the tree rooted at vertex 0 as ASCII art, one vertex per
+// line with box-drawing connectors, labelling each vertex with its
+// index and binary form — the textual analogue of the paper's Figure 1.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.label(0))
+	children := t.childrenSorted(0)
+	for i, c := range children {
+		t.render(&b, c, "", i == len(children)-1)
+	}
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, v Node, prefix string, last bool) {
+	connector, childPrefix := "├── ", prefix+"│   "
+	if last {
+		connector, childPrefix = "└── ", prefix+"    "
+	}
+	parent, _ := t.Parent(v)
+	fmt.Fprintf(b, "%s%s%s  (dim %d)\n", prefix, connector, t.label(v), t.EdgeDim(v, parent))
+	children := t.childrenSorted(v)
+	for i, c := range children {
+		t.render(b, c, childPrefix, i == len(children)-1)
+	}
+}
+
+func (t *Tree) label(v Node) string {
+	if t.alpha == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%d [%s]", v, bitutil.BinaryString(uint64(v), t.alpha))
+}
+
+// childrenSorted returns the children of v under the rooting at 0,
+// ascending.
+func (t *Tree) childrenSorted(v Node) []Node {
+	var out []Node
+	for _, w := range t.Neighbors(v) {
+		if p, ok := t.Parent(w); ok && p == v {
+			out = append(out, w)
+		}
+	}
+	sortNodes(out)
+	return out
+}

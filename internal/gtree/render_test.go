@@ -1,0 +1,53 @@
+package gtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderSmall(t *testing.T) {
+	out := New(2).Render()
+	// T_4 is the path 0-1-3-2 rooted at 0.
+	for _, want := range []string{"0 [00]", "1 [01]", "3 [11]", "2 [10]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("T_4 render should have 4 lines:\n%s", out)
+	}
+}
+
+func TestRenderCountsAllVertices(t *testing.T) {
+	for alpha := uint(0); alpha <= 6; alpha++ {
+		tr := New(alpha)
+		out := tr.Render()
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != tr.Nodes() {
+			t.Errorf("alpha=%d: %d lines for %d vertices", alpha, len(lines), tr.Nodes())
+		}
+	}
+}
+
+func TestRenderShowsEdgeDims(t *testing.T) {
+	out := New(3).Render()
+	if !strings.Contains(out, "(dim 2)") {
+		t.Errorf("T_8 render must show the dimension-2 edge:\n%s", out)
+	}
+}
+
+func TestChildrenSorted(t *testing.T) {
+	tr := New(3)
+	// Vertex 3 in T_8 (path 0-1-3-2-6-7-5-4) has children {2} under the
+	// rooting at 0; vertex 1 has children {3}.
+	if c := tr.childrenSorted(1); len(c) != 1 || c[0] != 3 {
+		t.Errorf("children of 1 = %v", c)
+	}
+	for i := 1; i < len(tr.childrenSorted(0)); i++ {
+		c := tr.childrenSorted(0)
+		if c[i] < c[i-1] {
+			t.Error("children must be sorted")
+		}
+	}
+}

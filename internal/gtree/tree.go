@@ -1,0 +1,183 @@
+// Package gtree implements the Gaussian Tree of the paper (Section 3).
+//
+// The Gaussian Graph G_m on m = 2^alpha vertices connects x and
+// x XOR 2^c when c = 0, or when c in [1, alpha-1] and the low c bits of
+// x equal the value c. Theorem 2 proves G_m is a tree (denoted T_m, the
+// Gaussian Tree): it is connected via the PC algorithm and has exactly
+// 2^alpha - 1 edges.
+//
+// The tree is the quotient of the Gaussian Cube GC(n, 2^alpha) by the
+// "k-ending class" relation: vertices of the cube with the same low
+// alpha bits collapse to one tree vertex, and the cube's links in
+// dimensions below alpha project exactly onto the tree's edges. Routing
+// between ending classes therefore becomes routing in this tree, "which
+// is found to be more definite and predictable".
+//
+// The package provides the paper's three tree algorithms:
+//
+//   - PC (Algorithm 1): recursive path construction;
+//   - FindBP: branch-point location for multi-destination traversal;
+//   - CT (Algorithm 2): closed traversal visiting a destination set and
+//     returning to the start, optimal over the induced Steiner subtree.
+package gtree
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/graph"
+)
+
+// Node is a Gaussian Tree vertex: an alpha-bit ending-class label.
+type Node = graph.NodeID
+
+// Tree is the Gaussian Tree T_{2^alpha}.
+type Tree struct {
+	alpha  uint
+	parent []int32 // rooted at 0; parent[0] == -1
+	depth  []int32
+}
+
+// New constructs T_{2^alpha}. alpha must be in [0, 22] (the tree has
+// 2^alpha vertices and is materialized for parent/depth queries).
+// T_1 (alpha = 0) is the single-vertex tree of GC(n, 1), the plain
+// binary hypercube, whose nodes all share the empty ending class.
+func New(alpha uint) *Tree {
+	if alpha > 22 {
+		panic(fmt.Sprintf("gtree: alpha %d out of range [0,22]", alpha))
+	}
+	t := &Tree{alpha: alpha}
+	t.buildRooting()
+	return t
+}
+
+// Alpha returns the tree parameter alpha; the tree has 2^alpha vertices.
+func (t *Tree) Alpha() uint { return t.alpha }
+
+// Nodes implements graph.Topology.
+func (t *Tree) Nodes() int { return 1 << t.alpha }
+
+// HasEdgeDim reports whether vertex k has a tree edge in dimension c
+// (to k XOR 2^c): dimension 0 always; dimension c in [1, alpha-1] iff
+// the low c bits of k equal c. This is the definition of E_n in
+// Definition 1, and equals the Gaussian Cube's Theorem 1 rule restricted
+// to dimensions below alpha.
+func (t *Tree) HasEdgeDim(k Node, c uint) bool {
+	if c >= t.alpha {
+		return false // covers alpha = 0: the single-vertex tree
+	}
+	if c == 0 {
+		return true
+	}
+	return bitutil.Low(uint64(k), c) == uint64(c)
+}
+
+// Neighbors implements graph.Topology.
+func (t *Tree) Neighbors(v Node) []Node {
+	out := make([]Node, 0, 2)
+	for c := uint(0); c < t.alpha; c++ {
+		if t.HasEdgeDim(v, c) {
+			out = append(out, v^(1<<c))
+		}
+	}
+	return out
+}
+
+// Degree returns the number of tree edges at v.
+func (t *Tree) Degree(v Node) int { return len(t.Neighbors(v)) }
+
+// EdgeDim returns the dimension of the tree edge {u, v}. It panics if
+// {u, v} is not an edge of the tree.
+func (t *Tree) EdgeDim(u, v Node) uint {
+	x := uint64(u ^ v)
+	if bitutil.OnesCount(x) == 1 {
+		c := uint(bitutil.LowestBit(x))
+		if t.HasEdgeDim(u, c) {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("gtree: %d--%d is not a tree edge", u, v))
+}
+
+// buildRooting roots the tree at vertex 0 with a BFS, filling parent and
+// depth arrays used by Parent, Depth, Dist and Path.
+func (t *Tree) buildRooting() {
+	n := t.Nodes()
+	t.parent = make([]int32, n)
+	t.depth = make([]int32, n)
+	for i := range t.parent {
+		t.parent[i] = -2 // unvisited
+	}
+	t.parent[0] = -1
+	queue := []Node{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range t.Neighbors(v) {
+			if t.parent[w] == -2 {
+				t.parent[w] = int32(v)
+				t.depth[w] = t.depth[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+}
+
+// Parent returns the parent of v in the tree rooted at 0, and false for
+// the root itself.
+func (t *Tree) Parent(v Node) (Node, bool) {
+	p := t.parent[v]
+	if p < 0 {
+		return 0, false
+	}
+	return Node(p), true
+}
+
+// Depth returns the depth of v in the tree rooted at 0.
+func (t *Tree) Depth(v Node) int { return int(t.depth[v]) }
+
+// LCA returns the lowest common ancestor of u and v under the rooting
+// at 0.
+func (t *Tree) LCA(u, v Node) Node {
+	for t.depth[u] > t.depth[v] {
+		u = Node(t.parent[u])
+	}
+	for t.depth[v] > t.depth[u] {
+		v = Node(t.parent[v])
+	}
+	for u != v {
+		u = Node(t.parent[u])
+		v = Node(t.parent[v])
+	}
+	return u
+}
+
+// Dist returns the tree distance between u and v.
+func (t *Tree) Dist(u, v Node) int {
+	l := t.LCA(u, v)
+	return int(t.depth[u] + t.depth[v] - 2*t.depth[l])
+}
+
+// Path returns the unique simple path from s to d computed from the
+// rooting (via the LCA). It serves as the reference implementation the
+// paper's PC algorithm is tested against.
+func (t *Tree) Path(s, d Node) []Node {
+	l := t.LCA(s, d)
+	var up []Node
+	for v := s; v != l; v = Node(t.parent[v]) {
+		up = append(up, v)
+	}
+	up = append(up, l)
+	var down []Node
+	for v := d; v != l; v = Node(t.parent[v]) {
+		down = append(down, v)
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		up = append(up, down[i])
+	}
+	return up
+}
+
+// Diameter returns the exact diameter of the tree (the data behind the
+// paper's Figure 2), computed with a double BFS in O(2^alpha).
+func (t *Tree) Diameter() int { return graph.TreeDiameter(t) }

@@ -1,0 +1,95 @@
+package hypercube
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	for dim := uint(0); dim <= 6; dim++ {
+		c := New(dim)
+		if c.Nodes() != 1<<dim {
+			t.Errorf("Q%d nodes = %d", dim, c.Nodes())
+		}
+		if got := graph.EdgeCount(c); got != int(dim)*(1<<dim)/2 {
+			t.Errorf("Q%d edges = %d, want %d", dim, got, int(dim)*(1<<dim)/2)
+		}
+		if dim > 0 && !graph.Connected(c) {
+			t.Errorf("Q%d must be connected", dim)
+		}
+	}
+}
+
+func TestNeighborsDifferInOneBit(t *testing.T) {
+	c := New(5)
+	for v := Node(0); v < Node(c.Nodes()); v++ {
+		nb := c.Neighbors(v)
+		if len(nb) != 5 {
+			t.Fatalf("degree of %d = %d", v, len(nb))
+		}
+		for i, w := range nb {
+			if v^w != 1<<uint(i) {
+				t.Fatalf("neighbor %d of %d differs in wrong bit", i, v)
+			}
+		}
+	}
+}
+
+func TestDistanceIsGraphDistance(t *testing.T) {
+	c := New(4)
+	for u := Node(0); u < 16; u++ {
+		d := graph.BFS(c, u)
+		for v := Node(0); v < 16; v++ {
+			if c.Distance(u, v) != d[v] {
+				t.Fatalf("Distance(%d,%d) = %d, BFS says %d", u, v, c.Distance(u, v), d[v])
+			}
+		}
+	}
+}
+
+func TestDiameterIsDim(t *testing.T) {
+	for dim := uint(1); dim <= 6; dim++ {
+		if got := graph.Diameter(New(dim)); got != int(dim) {
+			t.Errorf("diam(Q%d) = %d", dim, got)
+		}
+	}
+}
+
+func TestNewPanicsOnHugeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(31) must panic")
+		}
+	}()
+	New(31)
+}
+
+func TestFaultSet(t *testing.T) {
+	f := NewFaultSet()
+	if f.NodeFaulty(3) || f.LinkFaulty(0, 1) {
+		t.Error("fresh fault set must be clean")
+	}
+	f.AddNode(3)
+	if !f.NodeFaulty(3) {
+		t.Error("AddNode not visible")
+	}
+	// Links incident to a faulty node are faulty.
+	if !f.LinkFaulty(3, 0) || !f.LinkFaulty(2, 0) {
+		t.Error("links at faulty node must be faulty")
+	}
+	f.AddLink(4, 1) // link 4 -- 6
+	if !f.LinkFaulty(4, 1) || !f.LinkFaulty(6, 1) {
+		t.Error("link fault must be symmetric")
+	}
+	if f.LinkFaulty(4, 2) {
+		t.Error("unrelated link must be healthy")
+	}
+	if f.NumFaults() != 2 {
+		t.Errorf("NumFaults = %d, want 2", f.NumFaults())
+	}
+	var nf NoFaults
+	if nf.NodeFaulty(0) || nf.LinkFaulty(0, 0) {
+		t.Error("NoFaults must report nothing")
+	}
+}

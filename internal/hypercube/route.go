@@ -1,0 +1,139 @@
+package hypercube
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+)
+
+// ErrUnreachable is returned when no fault-free route exists between the
+// requested endpoints.
+var ErrUnreachable = errors.New("hypercube: destination unreachable through non-faulty components")
+
+// ErrFaultyEndpoint is returned when the source or destination itself is
+// faulty; the paper's simulation assumption 1 requires both non-faulty.
+var ErrFaultyEndpoint = errors.New("hypercube: source or destination node is faulty")
+
+// ECubeRoute returns the dimension-ordered (e-cube) path from s to d in
+// Q_dim, correcting set bits of s XOR d from dimension 0 upward. The
+// path has exactly Hamming(s, d) hops and is the deadlock-free baseline
+// the fault-tolerant routers are measured against.
+func ECubeRoute(c *Cube, s, d Node) []Node {
+	path := []Node{s}
+	cur := s
+	for r := cur ^ d; r != 0; r = cur ^ d {
+		dim := uint(bitutil.LowestBit(uint64(r)))
+		cur ^= 1 << dim
+		path = append(path, cur)
+	}
+	return path
+}
+
+// RouteAdaptive routes from s to d around faults in the style of Lan's
+// adaptive fault-tolerant routing [6]: at every node prefer a preferred
+// dimension (a set bit of cur XOR d) whose link and far node are healthy
+// and whose far node is unvisited; otherwise take a healthy spare
+// dimension and mask it so it is never used as a spare again (this is
+// the paper's livelock-freedom mechanism: "use the spare dimension and
+// mask it so that it will not be used again"); as a last resort
+// backtrack. The visited set makes the search a depth-first traversal of
+// the healthy subgraph, so the algorithm delivers whenever s and d are
+// connected; since Q_n is n-connected, fewer than n faults always leaves
+// them connected (Theorem 3's precondition).
+//
+// The returned walk includes any backtracking steps, matching what a
+// real message would traverse. The second result is the number of spare
+// (non-preferred, non-backtrack) hops taken.
+func RouteAdaptive(c *Cube, f Faults, s, d Node) ([]Node, int, error) {
+	if f.NodeFaulty(s) || f.NodeFaulty(d) {
+		return nil, 0, ErrFaultyEndpoint
+	}
+	if s == d {
+		return []Node{s}, 0, nil
+	}
+
+	visited := map[Node]bool{s: true}
+	var spareMask uint64 // dimensions consumed as spares
+	spares := 0
+	walk := []Node{s}
+	// stack[i] is the dimension used to enter walk[i+1]; used to backtrack.
+	var stack []uint
+	cur := s
+
+	for cur != d {
+		dim, ok := pickDim(c, f, cur, d, visited, spareMask)
+		if ok {
+			if !bitutil.HasBit(uint64(cur^d), dim) {
+				spareMask = bitutil.Set(spareMask, dim)
+				spares++
+			}
+			cur ^= 1 << dim
+			visited[cur] = true
+			walk = append(walk, cur)
+			stack = append(stack, dim)
+			continue
+		}
+		// Dead end: backtrack one hop.
+		if len(stack) == 0 {
+			return nil, spares, ErrUnreachable
+		}
+		dim = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur ^= 1 << dim
+		walk = append(walk, cur)
+	}
+	return walk, spares, nil
+}
+
+// pickDim selects the next dimension out of cur: first a usable
+// preferred dimension (lowest first, mirroring e-cube order), then a
+// usable unmasked spare dimension.
+func pickDim(c *Cube, f Faults, cur, d Node, visited map[Node]bool, spareMask uint64) (uint, bool) {
+	r := uint64(cur ^ d)
+	for _, dim := range bitutil.BitsSet(r) {
+		if usable(f, cur, dim) && !visited[cur^(1<<dim)] {
+			return dim, true
+		}
+	}
+	for dim := uint(0); dim < c.Dim(); dim++ {
+		if bitutil.HasBit(r, dim) || bitutil.HasBit(spareMask, dim) {
+			continue
+		}
+		if usable(f, cur, dim) && !visited[cur^(1<<dim)] {
+			return dim, true
+		}
+	}
+	return 0, false
+}
+
+// ValidatePath checks that path is a hop-by-hop walk in Q_dim from s to
+// d crossing no faulty component.
+func ValidatePath(c *Cube, f Faults, path []Node, s, d Node) error {
+	if len(path) == 0 {
+		return errors.New("hypercube: empty path")
+	}
+	if path[0] != s || path[len(path)-1] != d {
+		return fmt.Errorf("hypercube: path endpoints %d..%d, want %d..%d",
+			path[0], path[len(path)-1], s, d)
+	}
+	for i, v := range path {
+		if int(v) >= c.Nodes() {
+			return fmt.Errorf("hypercube: vertex %d out of range", v)
+		}
+		if f.NodeFaulty(v) {
+			return fmt.Errorf("hypercube: path visits faulty node %d", v)
+		}
+		if i > 0 {
+			x := uint64(path[i-1] ^ v)
+			if bitutil.OnesCount(x) != 1 {
+				return fmt.Errorf("hypercube: hop %d->%d is not an edge", path[i-1], v)
+			}
+			dim := uint(bitutil.LowestBit(x))
+			if f.LinkFaulty(path[i-1], dim) {
+				return fmt.Errorf("hypercube: path crosses faulty link %d--%d", path[i-1], v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/bitutil"
+)
+
+func TestSafetyLevelsFaultFree(t *testing.T) {
+	c := New(4)
+	lvl, rounds := SafetyLevels(c, NoFaults{})
+	for v, l := range lvl {
+		if l != 4 {
+			t.Errorf("fault-free level of %d = %d, want 4", v, l)
+		}
+	}
+	if rounds != 1 {
+		// One verification round with no changes.
+		t.Errorf("fault-free rounds = %d, want 1", rounds)
+	}
+}
+
+func TestSafetyLevelsSingleFault(t *testing.T) {
+	// Wu's scheme: one faulty node keeps every other node safe (level n),
+	// because the sorted neighbor sequence (0, n, ..., n) still dominates
+	// (0, 1, ..., n-1).
+	c := New(4)
+	f := NewFaultSet()
+	f.AddNode(0)
+	lvl, _ := SafetyLevels(c, f)
+	if lvl[0] != 0 {
+		t.Errorf("faulty node level = %d", lvl[0])
+	}
+	for v := 1; v < 16; v++ {
+		if lvl[v] != 4 {
+			t.Errorf("level of %d = %d, want 4", v, lvl[v])
+		}
+	}
+}
+
+func TestSafetyLevelsTwoAdjacentToSameNode(t *testing.T) {
+	// Node 0 in Q3 with faulty neighbors 1 and 2: sorted sequence
+	// (0, 0, 3) fails at index 1, so level(0) = 1.
+	c := New(3)
+	f := NewFaultSet()
+	f.AddNode(1)
+	f.AddNode(2)
+	lvl, _ := SafetyLevels(c, f)
+	if lvl[0] != 1 {
+		t.Errorf("level(0) = %d, want 1", lvl[0])
+	}
+	// Node 3 is adjacent to both faults too (3^1=2, 3^2=1): level 1.
+	if lvl[3] != 1 {
+		t.Errorf("level(3) = %d, want 1", lvl[3])
+	}
+	// Node 7 has neighbors 6, 5, 3 all non-faulty; 3 has level 1, so the
+	// sorted view is (1, l5, l6). Nodes 5 and 6 each see one faulty
+	// neighbor and node 3... compute: 5's neighbors are 4,7,1 -> one
+	// fault; 6's neighbors are 7,4,2 -> one fault. Iteration settles
+	// them at 3 (one zero neighbor tolerated), giving 7 the view
+	// (1,3,3) >= (0,1,2) => level 3.
+	if lvl[7] != 3 {
+		t.Errorf("level(7) = %d, want 3", lvl[7])
+	}
+}
+
+// TestWuMinimalityTheorem: under node faults only, if level(s) >= H(s,d)
+// then safety-guided routing is minimal (Wu 1997, Theorem property).
+func TestWuMinimalityTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 400; trial++ {
+		dim := uint(3 + rng.Intn(4))
+		c := New(dim)
+		f := NewFaultSet()
+		k := rng.Intn(1 << (dim - 1)) // up to half the nodes faulty
+		for i := 0; i < k; i++ {
+			f.AddNode(Node(rng.Intn(c.Nodes())))
+		}
+		var s, d Node
+		for {
+			s = Node(rng.Intn(c.Nodes()))
+			d = Node(rng.Intn(c.Nodes()))
+			if !f.NodeFaulty(s) && !f.NodeFaulty(d) {
+				break
+			}
+		}
+		lvl, _ := SafetyLevels(c, f)
+		h := c.Distance(s, d)
+		if lvl[s] < h {
+			continue
+		}
+		walk, spares, err := RouteSafety(c, f, s, d)
+		if err != nil {
+			t.Fatalf("trial %d: level(s)=%d >= h=%d but routing failed: %v",
+				trial, lvl[s], h, err)
+		}
+		if len(walk)-1 != h || spares != 0 {
+			t.Fatalf("trial %d: level(s)=%d >= h=%d but %d hops (%d spares)",
+				trial, lvl[s], h, len(walk)-1, spares)
+		}
+		if err := ValidatePath(c, f, walk, s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouteSafetyDeliversUnderTheorem3Precondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		dim := uint(3 + rng.Intn(4))
+		c := New(dim)
+		s := Node(rng.Intn(c.Nodes()))
+		d := Node(rng.Intn(c.Nodes()))
+		k := rng.Intn(int(dim))
+		f := randomFaults(rng, dim, k, s, d)
+		walk, _, err := RouteSafety(c, f, s, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ValidatePath(c, f, walk, s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouteSafetyFaultyEndpoint(t *testing.T) {
+	c := New(3)
+	f := NewFaultSet()
+	f.AddNode(1)
+	if _, _, err := RouteSafety(c, f, 1, 0); err != ErrFaultyEndpoint {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRouteSafetySelf(t *testing.T) {
+	c := New(3)
+	walk, spares, err := RouteSafety(c, NoFaults{}, 5, 5)
+	if err != nil || len(walk) != 1 || spares != 0 {
+		t.Errorf("self route = %v, %d, %v", walk, spares, err)
+	}
+}
+
+func TestSafetyLevelsRoundsBounded(t *testing.T) {
+	// Rounds must never exceed the dimension (Wu: n-1 rounds suffice; we
+	// allow one extra verification round).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		dim := uint(3 + rng.Intn(4))
+		c := New(dim)
+		f := randomFaults(rng, dim, rng.Intn(c.Nodes()/2))
+		_, rounds := SafetyLevels(c, f)
+		if rounds > int(dim) {
+			t.Fatalf("rounds = %d for Q%d", rounds, dim)
+		}
+	}
+}
+
+func TestSafetyLevelsMonotoneInFaults(t *testing.T) {
+	// Adding a fault can only lower levels.
+	c := New(4)
+	f := NewFaultSet()
+	prev, _ := SafetyLevels(c, f)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5; i++ {
+		f.AddNode(Node(rng.Intn(c.Nodes())))
+		cur, _ := SafetyLevels(c, f)
+		for v := range cur {
+			if cur[v] > prev[v] {
+				t.Fatalf("level of %d rose from %d to %d after adding a fault",
+					v, prev[v], cur[v])
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestSpareMaskBitsHelper(t *testing.T) {
+	// Guard the bitutil usage pattern in the routers: masking dimension d
+	// and testing it must agree.
+	var mask uint64
+	mask = bitutil.Set(mask, 3)
+	if !bitutil.HasBit(mask, 3) || bitutil.HasBit(mask, 2) {
+		t.Error("spare mask bookkeeping broken")
+	}
+}

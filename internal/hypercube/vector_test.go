@@ -1,0 +1,174 @@
+package hypercube
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/graph"
+)
+
+func TestSafetyVectorsFaultFree(t *testing.T) {
+	c := New(4)
+	vec, rounds := SafetyVectors(c, NoFaults{})
+	for v, w := range vec {
+		if w != 0b1111 {
+			t.Errorf("fault-free vector of %d = %b, want 1111", v, w)
+		}
+	}
+	if rounds > 4 {
+		t.Errorf("rounds = %d", rounds)
+	}
+}
+
+// TestVectorSoundness is the exhaustive correctness check of the
+// inductive property: whenever bit k of a node's vector is set, every
+// non-faulty destination at Hamming distance k is reachable by a path
+// of exactly k healthy hops.
+func TestVectorSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		dim := uint(3 + rng.Intn(3)) // Q3..Q5
+		c := New(dim)
+		f := NewFaultSet()
+		for i := 0; i < rng.Intn(c.Nodes()/2); i++ {
+			f.AddNode(Node(rng.Intn(c.Nodes())))
+		}
+		vec, _ := SafetyVectors(c, f)
+		hv := healthyCube{c: c, f: f}
+		for u := 0; u < c.Nodes(); u++ {
+			if f.NodeFaulty(Node(u)) {
+				continue
+			}
+			dist := graph.BFS(hv, Node(u))
+			for d := 0; d < c.Nodes(); d++ {
+				if f.NodeFaulty(Node(d)) || d == u {
+					continue
+				}
+				h := c.Distance(Node(u), Node(d))
+				if bitutil.HasBit(vec[u], uint(h-1)) && dist[d] != h {
+					t.Fatalf("Q%d: vec[%d] bit %d set but healthy distance to %d is %d",
+						dim, u, h, d, dist[d])
+				}
+			}
+		}
+	}
+}
+
+// healthyCube is the healthy subgraph of a hypercube under node faults.
+type healthyCube struct {
+	c *Cube
+	f Faults
+}
+
+func (h healthyCube) Nodes() int { return h.c.Nodes() }
+func (h healthyCube) Neighbors(v Node) []Node {
+	if h.f.NodeFaulty(v) {
+		return nil
+	}
+	var out []Node
+	for i := uint(0); i < h.c.Dim(); i++ {
+		w := v ^ (1 << i)
+		if !h.f.LinkFaulty(v, i) && !h.f.NodeFaulty(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestVectorMinimalRouting: when the source's distance-h bit is set,
+// RouteSafetyVector is minimal.
+func TestVectorMinimalRouting(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		dim := uint(3 + rng.Intn(4))
+		c := New(dim)
+		f := NewFaultSet()
+		for i := 0; i < rng.Intn(c.Nodes()/3); i++ {
+			f.AddNode(Node(rng.Intn(c.Nodes())))
+		}
+		var s, d Node
+		for {
+			s = Node(rng.Intn(c.Nodes()))
+			d = Node(rng.Intn(c.Nodes()))
+			if s != d && !f.NodeFaulty(s) && !f.NodeFaulty(d) {
+				break
+			}
+		}
+		vec, _ := SafetyVectors(c, f)
+		h := c.Distance(s, d)
+		if !bitutil.HasBit(vec[s], uint(h-1)) {
+			continue
+		}
+		walk, spares, err := RouteSafetyVector(c, f, s, d)
+		if err != nil {
+			t.Fatalf("vec bit set but route failed: %v", err)
+		}
+		if len(walk)-1 != h || spares != 0 {
+			t.Fatalf("vec bit set but route has %d hops for distance %d", len(walk)-1, h)
+		}
+		if err := ValidatePath(c, f, walk, s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestVectorDominatesLevel: a node with safety level >= k also has
+// vector bit k set (the vector is at least as informative), checked
+// empirically under node faults.
+func TestVectorDominatesLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 60; trial++ {
+		dim := uint(3 + rng.Intn(3))
+		c := New(dim)
+		f := NewFaultSet()
+		for i := 0; i < rng.Intn(c.Nodes()/2); i++ {
+			f.AddNode(Node(rng.Intn(c.Nodes())))
+		}
+		lvl, _ := SafetyLevels(c, f)
+		vec, _ := SafetyVectors(c, f)
+		for v := 0; v < c.Nodes(); v++ {
+			if f.NodeFaulty(Node(v)) {
+				continue
+			}
+			for k := 1; k <= lvl[v]; k++ {
+				if !bitutil.HasBit(vec[v], uint(k-1)) {
+					t.Fatalf("Q%d node %d: level %d but vector bit %d clear (vec=%b)",
+						dim, v, lvl[v], k, vec[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRouteSafetyVectorDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		dim := uint(3 + rng.Intn(4))
+		c := New(dim)
+		s := Node(rng.Intn(c.Nodes()))
+		d := Node(rng.Intn(c.Nodes()))
+		k := rng.Intn(int(dim))
+		f := randomFaults(rng, dim, k, s, d)
+		walk, _, err := RouteSafetyVector(c, f, s, d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := ValidatePath(c, f, walk, s, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRouteSafetyVectorEndpoints(t *testing.T) {
+	c := New(3)
+	f := NewFaultSet()
+	f.AddNode(2)
+	if _, _, err := RouteSafetyVector(c, f, 2, 0); err != ErrFaultyEndpoint {
+		t.Errorf("err = %v", err)
+	}
+	walk, _, err := RouteSafetyVector(c, NoFaults{}, 6, 6)
+	if err != nil || len(walk) != 1 {
+		t.Errorf("self route: %v %v", walk, err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package metrics provides the online statistics used by the simulator
+// and the experiment harness: streaming mean/min/max/variance (Welford)
+// and fixed-width histograms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stream accumulates scalar observations with O(1) memory.
+type Stream struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Stream) Count() int64 { return s.n }
+
+// Mean returns the running mean (0 with no observations).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 with none).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with none).
+func (s *Stream) Max() float64 { return s.max }
+
+// Sum returns the total of the observations.
+func (s *Stream) Sum() float64 { return s.mean * float64(s.n) }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// String summarizes the stream.
+func (s *Stream) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f sd=%.3f",
+		s.n, s.Mean(), s.Min(), s.Max(), s.StdDev())
+}
+
+// Histogram counts observations into fixed-width buckets over
+// [lo, hi); observations outside the range land in the under/over
+// buckets.
+type Histogram struct {
+	lo, width   float64
+	buckets     []int64
+	under, over int64
+	stream      Stream
+}
+
+// NewHistogram creates a histogram with the given bucket count over
+// [lo, hi). It panics on a degenerate range.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 || hi <= lo {
+		panic("metrics: bad histogram shape")
+	}
+	return &Histogram{
+		lo:      lo,
+		width:   (hi - lo) / float64(buckets),
+		buckets: make([]int64, buckets),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.stream.Add(x)
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.lo+h.width*float64(len(h.buckets)):
+		h.over++
+	default:
+		h.buckets[int((x-h.lo)/h.width)]++
+	}
+}
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Buckets returns the bucket count.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Under and Over return the out-of-range counts.
+func (h *Histogram) Under() int64 { return h.under }
+
+// Over returns the count of observations at or above the histogram top.
+func (h *Histogram) Over() int64 { return h.over }
+
+// Stats exposes the embedded stream over all observations.
+func (h *Histogram) Stats() *Stream { return &h.stream }
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1) assuming
+// uniform spread inside buckets; out-of-range mass is clamped to the
+// range edges.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.under + h.over
+	for _, b := range h.buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	acc := float64(h.under)
+	if acc >= target {
+		return h.lo
+	}
+	for i, b := range h.buckets {
+		if acc+float64(b) >= target && b > 0 {
+			frac := (target - acc) / float64(b)
+			return h.lo + h.width*(float64(i)+frac)
+		}
+		acc += float64(b)
+	}
+	return h.lo + h.width*float64(len(h.buckets))
+}
+
+// Log2 returns log base 2 of x, the transform the paper applies to
+// throughput in Figures 6 and 8; zero or negative input returns -Inf.
+func Log2(x float64) float64 {
+	return math.Log2(x)
+}

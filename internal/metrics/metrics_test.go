@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.Count() != 0 || s.Mean() != 0 || s.Sum() != 0 {
+		t.Error("empty stream must be zero")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		s.Add(x)
+	}
+	if s.Count() != 3 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Errorf("stream = %s", s.String())
+	}
+	if s.Sum() != 12 {
+		t.Errorf("Sum = %v", s.Sum())
+	}
+	if math.Abs(s.Variance()-4) > 1e-9 {
+		t.Errorf("Variance = %v, want 4", s.Variance())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestStreamSingle(t *testing.T) {
+	var s Stream
+	s.Add(5)
+	if s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("single observation has zero variance")
+	}
+	if s.Min() != 5 || s.Max() != 5 {
+		t.Error("single observation min/max wrong")
+	}
+}
+
+func TestStreamMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Stream
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 7
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v vs %v", s.Mean(), mean)
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if math.Abs(s.Variance()-wantVar) > 1e-6 {
+		t.Errorf("variance %v vs %v", s.Variance(), wantVar)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under() != 1 {
+		t.Errorf("under = %d", h.Under())
+	}
+	if h.Over() != 2 {
+		t.Errorf("over = %d", h.Over())
+	}
+	if h.Bucket(0) != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 { // 2
+		t.Errorf("bucket1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(4) != 1 { // 9.99
+		t.Errorf("bucket4 = %d", h.Bucket(4))
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("buckets = %d", h.Buckets())
+	}
+	if h.Stats().Count() != 7 {
+		t.Errorf("stats count = %d", h.Stats().Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %v", med)
+	}
+	if q := h.Quantile(0); q != 0 {
+		// Quantile 0 with no under-mass lands at the first bucket edge.
+		if q > 1 {
+			t.Errorf("q0 = %v", q)
+		}
+	}
+	if q := h.Quantile(1); q < 99 {
+		t.Errorf("q1 = %v", q)
+	}
+	var empty Histogram = *NewHistogram(0, 1, 1)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("degenerate histogram must panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestLog2(t *testing.T) {
+	if Log2(8) != 3 {
+		t.Error("Log2(8) != 3")
+	}
+	if !math.IsInf(Log2(0), -1) {
+		t.Error("Log2(0) must be -Inf")
+	}
+}

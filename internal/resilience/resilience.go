@@ -1,0 +1,170 @@
+// Package resilience implements the unified fault-tolerance metric the
+// paper's conclusion calls for: "a new unified metric needs to be
+// designed to measure the fault-tolerance ability of interconnection
+// networks so that it is fair despite their different routing
+// algorithms and different methods of fault categorization".
+//
+// The metric is empirical and routing-algorithm-agnostic on one axis
+// and routing-aware on the other:
+//
+//   - Connectivity(f): the probability, over random placements of f
+//     faulty nodes, that all healthy nodes remain mutually connected —
+//     an upper bound no routing algorithm can beat;
+//   - Delivery(f): the probability that the routing strategy under
+//     test delivers a random healthy source/destination pair under the
+//     same fault placements — how much of that bound the algorithm
+//     realizes.
+//
+// Reporting both as curves in f makes networks with different
+// topologies and fault categorizations directly comparable: the gap
+// between the curves is the routing algorithm's shortfall, and the
+// curves' decay rate is the topology's intrinsic fragility.
+package resilience
+
+import (
+	"math/rand"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+)
+
+// Curve is the resilience profile of one network configuration.
+type Curve struct {
+	N, Alpha uint
+	// Faults[i] is the fault count of sample point i.
+	Faults []int
+	// Connectivity[i] is the fraction of trials where the healthy
+	// subgraph stayed connected.
+	Connectivity []float64
+	// Delivery[i] is the fraction of routed pairs that were delivered
+	// (pairs drawn only among healthy nodes).
+	Delivery []float64
+	// StrategyDelivery[i] is the fraction delivered WITHOUT the BFS
+	// fallback — the bare strategy of the paper.
+	StrategyDelivery []float64
+}
+
+// Config parameterizes the measurement.
+type Config struct {
+	N, Alpha uint
+	// Faults is the grid of fault counts to sample.
+	Faults []int
+	// Trials is the number of random fault placements per point.
+	Trials int
+	// PairsPerTrial is the number of routed source/destination pairs
+	// per placement.
+	PairsPerTrial int
+	Seed          int64
+}
+
+// Measure computes the resilience curve.
+func Measure(cfg Config) Curve {
+	cube := gc.New(cfg.N, cfg.Alpha)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	curve := Curve{N: cfg.N, Alpha: cfg.Alpha}
+
+	for _, f := range cfg.Faults {
+		connected := 0
+		delivered, strategyDelivered, attempted := 0, 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			fs := fault.NewSet(cube)
+			fs.InjectRandomNodes(rng, f)
+			if healthyConnected(cube, fs) {
+				connected++
+			}
+			strict := core.NewRouter(cube, core.WithFaults(fs), core.WithoutFallback())
+			fallback := core.NewRouter(cube, core.WithFaults(fs))
+			for p := 0; p < cfg.PairsPerTrial; p++ {
+				s, d, ok := healthyPair(rng, cube, fs)
+				if !ok {
+					continue
+				}
+				attempted++
+				if res, err := fallback.Route(s, d); err == nil {
+					if core.ValidatePath(cube, fs, res.Path, s, d) == nil {
+						delivered++
+					}
+				}
+				if res, err := strict.Route(s, d); err == nil {
+					if core.ValidatePath(cube, fs, res.Path, s, d) == nil {
+						strategyDelivered++
+					}
+				}
+			}
+		}
+		curve.Faults = append(curve.Faults, f)
+		curve.Connectivity = append(curve.Connectivity,
+			float64(connected)/float64(cfg.Trials))
+		if attempted > 0 {
+			curve.Delivery = append(curve.Delivery,
+				float64(delivered)/float64(attempted))
+			curve.StrategyDelivery = append(curve.StrategyDelivery,
+				float64(strategyDelivered)/float64(attempted))
+		} else {
+			curve.Delivery = append(curve.Delivery, 0)
+			curve.StrategyDelivery = append(curve.StrategyDelivery, 0)
+		}
+	}
+	return curve
+}
+
+// healthyConnected reports whether the healthy nodes form one
+// connected component.
+func healthyConnected(cube *gc.Cube, fs *fault.Set) bool {
+	var start gc.NodeID
+	found := false
+	for v := gc.NodeID(0); int(v) < cube.Nodes(); v++ {
+		if !fs.NodeFaulty(v) {
+			start = v
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	hv := healthyTopology{cube: cube, fs: fs}
+	dist := graph.BFS(hv, start)
+	for v := 0; v < cube.Nodes(); v++ {
+		if !fs.NodeFaulty(gc.NodeID(v)) && dist[v] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// healthyPair samples a healthy source/destination pair.
+func healthyPair(rng *rand.Rand, cube *gc.Cube, fs *fault.Set) (s, d gc.NodeID, ok bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		s = gc.NodeID(rng.Intn(cube.Nodes()))
+		d = gc.NodeID(rng.Intn(cube.Nodes()))
+		if s != d && !fs.NodeFaulty(s) && !fs.NodeFaulty(d) {
+			return s, d, true
+		}
+	}
+	return 0, 0, false
+}
+
+// healthyTopology exposes the healthy subgraph as graph.Topology.
+type healthyTopology struct {
+	cube *gc.Cube
+	fs   *fault.Set
+}
+
+func (h healthyTopology) Nodes() int { return h.cube.Nodes() }
+
+func (h healthyTopology) Neighbors(v gc.NodeID) []gc.NodeID {
+	if h.fs.NodeFaulty(v) {
+		return nil
+	}
+	out := make([]gc.NodeID, 0, 4)
+	for _, dim := range h.cube.LinkDims(v) {
+		w := v ^ (1 << dim)
+		if !h.fs.LinkFaulty(v, dim) && !h.fs.NodeFaulty(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package resilience
+
+import (
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	c := Measure(Config{
+		N: 7, Alpha: 1,
+		Faults:        []int{0, 1, 4},
+		Trials:        8,
+		PairsPerTrial: 10,
+		Seed:          1,
+	})
+	if len(c.Faults) != 3 || len(c.Connectivity) != 3 || len(c.Delivery) != 3 {
+		t.Fatalf("curve shape wrong: %+v", c)
+	}
+	// Zero faults: everything perfect.
+	if c.Connectivity[0] != 1 || c.Delivery[0] != 1 || c.StrategyDelivery[0] != 1 {
+		t.Errorf("fault-free point must be 1/1/1: %+v", c)
+	}
+	// Delivery with fallback can never be below the bare strategy.
+	for i := range c.Faults {
+		if c.Delivery[i] < c.StrategyDelivery[i] {
+			t.Errorf("fallback delivery %g below strategy %g at f=%d",
+				c.Delivery[i], c.StrategyDelivery[i], c.Faults[i])
+		}
+		if c.Connectivity[i] < 0 || c.Connectivity[i] > 1 {
+			t.Errorf("connectivity out of range: %g", c.Connectivity[i])
+		}
+	}
+}
+
+// TestDeliveryMatchesConnectivityWithFallback: whenever the healthy
+// subgraph stays connected, the fallback router delivers everything, so
+// delivery >= connectivity across the curve (fault placements that
+// disconnect the graph may still deliver most pairs).
+func TestDeliveryBoundsConnectivity(t *testing.T) {
+	c := Measure(Config{
+		N: 6, Alpha: 1,
+		Faults:        []int{2, 6},
+		Trials:        12,
+		PairsPerTrial: 12,
+		Seed:          3,
+	})
+	for i := range c.Faults {
+		if c.Delivery[i]+1e-9 < c.Connectivity[i] {
+			t.Errorf("f=%d: delivery %g below connectivity %g",
+				c.Faults[i], c.Delivery[i], c.Connectivity[i])
+		}
+	}
+}
+
+// TestCurveDecays: more faults can only hurt connectivity (statistical,
+// generous tolerance).
+func TestCurveDecays(t *testing.T) {
+	c := Measure(Config{
+		N: 6, Alpha: 2,
+		Faults:        []int{0, 8, 24},
+		Trials:        16,
+		PairsPerTrial: 8,
+		Seed:          5,
+	})
+	if c.Connectivity[2] > c.Connectivity[0] {
+		t.Errorf("connectivity rose with faults: %v", c.Connectivity)
+	}
+}
+
+func TestHealthyConnectedHelpers(t *testing.T) {
+	cube := gc.New(4, 1)
+	fs := fault.NewSet(cube)
+	if !healthyConnected(cube, fs) {
+		t.Error("fault-free cube is connected")
+	}
+	// Isolate node 0.
+	for _, w := range cube.Neighbors(0) {
+		fs.AddNode(w)
+	}
+	if healthyConnected(cube, fs) {
+		t.Error("isolating a node must break connectivity")
+	}
+}

@@ -1,0 +1,63 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+func BenchmarkRunEager(b *testing.B) {
+	cfg := Config{N: 10, Alpha: 1, Arrival: 0.01, GenCycles: 40, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunStepped(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var trace []Packet
+	for i := 0; i < 300; i++ {
+		s := gc.NodeID(rng.Intn(1 << 8))
+		d := gc.NodeID(rng.Intn(1 << 8))
+		if s != d {
+			trace = append(trace, Packet{Src: s, Dst: d, Time: i / 8})
+		}
+	}
+	cfg := SteppedConfig{
+		N: 8, Alpha: 1, Trace: trace, BufferSlots: 4, VCs: 2,
+		Policy: func(hop int, _ []gc.NodeID) uint8 { return uint8(hop % 2) },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunStepped(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunWormhole(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var trace []Packet
+	for i := 0; i < 200; i++ {
+		s := gc.NodeID(rng.Intn(1 << 8))
+		d := gc.NodeID(rng.Intn(1 << 8))
+		if s != d {
+			trace = append(trace, Packet{Src: s, Dst: d, Time: i / 4})
+		}
+	}
+	cfg := WormholeConfig{
+		N: 8, Alpha: 1, Trace: trace,
+		FlitsPerPacket: 4, BufferFlits: 2, VCs: 2,
+		Policy: func(hop int, _ []gc.NodeID) uint8 { return uint8(hop % 2) },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWormhole(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

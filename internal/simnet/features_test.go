@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"testing"
+
+	"gaussiancube/internal/workload"
+)
+
+func TestWarmupExcludesEarlyPackets(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Warmup = cfg.GenCycles / 2
+	warm, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Measured >= warm.Delivered {
+		t.Errorf("warmup should exclude packets: measured %d of %d",
+			warm.Measured, warm.Delivered)
+	}
+	if int64(warm.Measured) != warm.Latency.Count() {
+		t.Errorf("measured %d != latency samples %d", warm.Measured, warm.Latency.Count())
+	}
+	cold, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Measured != cold.Delivered {
+		t.Errorf("without warmup every delivery is measured")
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	cfg := baseConfig()
+	cfg.HistBuckets = 32
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LatencyHist == nil {
+		t.Fatal("histogram requested but nil")
+	}
+	if stats.LatencyHist.Stats().Count() != int64(stats.Measured) {
+		t.Errorf("histogram count %d != measured %d",
+			stats.LatencyHist.Stats().Count(), stats.Measured)
+	}
+	if stats.LatencyHist.Stats().Mean() != stats.AvgLatency() {
+		t.Errorf("histogram mean %v != avg latency %v",
+			stats.LatencyHist.Stats().Mean(), stats.AvgLatency())
+	}
+	med := stats.LatencyHist.Quantile(0.5)
+	if med <= 0 || med > stats.Latency.Max() {
+		t.Errorf("median %v out of range", med)
+	}
+	// No histogram by default.
+	plain, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.LatencyHist != nil {
+		t.Error("histogram must be nil unless requested")
+	}
+}
+
+func TestRouteCache(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Pattern = workload.BitComplement{Bits: cfg.N} // pairs repeat
+	cfg.CacheRoutes = true
+	cached, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.RouteCacheHits == 0 {
+		t.Error("complement traffic must produce cache hits")
+	}
+	cfg.CacheRoutes = false
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RouteCacheHits != 0 {
+		t.Error("cache disabled but hits recorded")
+	}
+	// Identical traffic, identical results.
+	if cached.Delivered != plain.Delivered || cached.AvgLatency() != plain.AvgLatency() {
+		t.Error("route cache must not change simulation results")
+	}
+}
+
+func TestLinkLoadStats(t *testing.T) {
+	stats, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total link traversals equal total hops taken (Stream.Sum is
+	// mean*n, so allow float slack).
+	if diff := stats.LinkLoad.Sum() - stats.Hops.Sum(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("link traversals %v != total hops %v",
+			stats.LinkLoad.Sum(), stats.Hops.Sum())
+	}
+	if len(stats.Hottest) == 0 || len(stats.Hottest) > 5 {
+		t.Fatalf("hottest list size %d", len(stats.Hottest))
+	}
+	for i := 1; i < len(stats.Hottest); i++ {
+		if stats.Hottest[i].Count > stats.Hottest[i-1].Count {
+			t.Fatal("hottest list not sorted")
+		}
+	}
+	if float64(stats.Hottest[0].Count) != stats.LinkLoad.Max() {
+		t.Error("hottest[0] must match the distribution max")
+	}
+}
+
+func TestTraceDriven(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Trace = []Packet{
+		{Src: 0, Dst: 5, Time: 0},
+		{Src: 5, Dst: 0, Time: 1},
+		{Src: 3, Dst: 9, Time: 2},
+	}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 3 || stats.Delivered != 3 {
+		t.Errorf("trace run: generated %d delivered %d", stats.Generated, stats.Delivered)
+	}
+}

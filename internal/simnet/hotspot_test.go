@@ -1,0 +1,42 @@
+package simnet
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/workload"
+)
+
+// TestHotSpotConcentratesLinkLoad: hot-spot traffic must show up in the
+// link-load statistics — the hottest links terminate at (or next to)
+// the hot node, and the load distribution is far more skewed than under
+// uniform traffic.
+func TestHotSpotConcentratesLinkLoad(t *testing.T) {
+	hot := gc.NodeID(0)
+	cfg := Config{
+		N: 8, Alpha: 1,
+		Arrival: 0.03, GenCycles: 80, Seed: 6,
+		Pattern: workload.HotSpot{Bits: 8, Hot: hot, Fraction: 0.5},
+	}
+	hotStats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Pattern = workload.Uniform{Bits: 8}
+	uniStats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hottest link under hot-spot traffic must sink into the hot
+	// node.
+	if hotStats.Hottest[0].To != hot {
+		t.Errorf("hottest link %v does not terminate at the hot node",
+			hotStats.Hottest[0])
+	}
+	// Skew: max/mean ratio is much higher under hot-spot traffic.
+	skew := func(s *Stats) float64 { return s.LinkLoad.Max() / s.LinkLoad.Mean() }
+	if skew(hotStats) < 2*skew(uniStats) {
+		t.Errorf("hot-spot skew %.2f not clearly above uniform %.2f",
+			skew(hotStats), skew(uniStats))
+	}
+}

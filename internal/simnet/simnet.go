@@ -1,0 +1,420 @@
+// Package simnet is the discrete-event network simulator behind the
+// paper's Section 6 evaluation.
+//
+// Model, following the paper's stated assumptions:
+//
+//  1. source and destination of every packet are non-faulty;
+//  2. eager readership — each node's service capacity exceeds the
+//     packet arrival rate, modelled as an infinite-server fixed
+//     per-hop processing delay, so input buffers never push back
+//     (and the deadlock question reduces to the route structure);
+//  3. a faulty node makes all of its incident links faulty;
+//  4. nodes know their own link status and the class-local fault
+//     state — realized by routing each packet with the core strategy
+//     over the shared fault set.
+//
+// Each directed link is a single-server FIFO resource that transfers
+// one packet per cycle; contention queues packets in arrival order.
+// Routes are computed at the source with the paper's strategy (the
+// packet carries its path, O(n)-scale state).
+//
+// Metrics (Section 6): average latency LP/DP over delivered packets,
+// and throughput DP/PT. The authors' PT ("total processing time taken
+// by all nodes") is not precisely recoverable from the text; this
+// simulator reports both DP/makespan (packets per cycle, whose log2
+// reproduces the Figure 6/8 growth) and DP divided by total busy node
+// time (work efficiency). DESIGN.md records the substitution.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	N     uint // network dimension
+	Alpha uint // modulus exponent: M = 2^Alpha
+
+	// Arrival is the per-node per-cycle packet generation probability
+	// during the generation window.
+	Arrival float64
+	// GenCycles is the length of the generation window.
+	GenCycles int
+	// ServiceCycles is the fixed per-hop node processing delay
+	// (default 1).
+	ServiceCycles int
+	// MaxPackets caps the total generated packets (0 = no cap).
+	MaxPackets int
+	// Warmup excludes packets created before this cycle from the
+	// latency/hop statistics (they still occupy links).
+	Warmup int
+	// HistBuckets, when positive, collects a latency histogram with
+	// this many buckets over [0, HistMax).
+	HistBuckets int
+	// HistMax is the top of the histogram range (default 256 cycles).
+	HistMax float64
+	// CacheRoutes memoizes route computations per (src, dst) pair —
+	// profitable for permutation traffic where pairs repeat.
+	CacheRoutes bool
+
+	// FaultAtCycle, when positive, makes the Faults set take effect
+	// only from that cycle on: packets routed earlier carry routes that
+	// may cross components that have since died. At the moment such a
+	// packet would use a dead component, it is rerouted from its
+	// current node (counted in Rerouted) or, if no healthy route
+	// remains, dropped (counted in Dropped). This models transient
+	// failures hitting an operating network rather than a network
+	// configured around known faults.
+	FaultAtCycle int
+
+	Seed    int64
+	Pattern workload.Pattern // defaults to Uniform over the cube
+	Faults  *fault.Set       // optional fault set
+
+	// Trace, when non-nil, replaces random generation with an explicit
+	// packet list — used for paired fault/no-fault comparisons where
+	// both runs must see identical offered traffic. Packets whose
+	// source or destination is faulty are skipped (assumption 1).
+	Trace []Packet
+
+	Substrate core.Substrate
+}
+
+// Packet is one offered packet of an explicit traffic trace.
+type Packet struct {
+	Src, Dst gc.NodeID
+	Time     int
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Generated     int
+	Delivered     int
+	Undeliverable int // packets whose route computation failed
+
+	// Latency is the per-packet delivery latency distribution, cycles.
+	Latency metrics.Stream
+	// Hops is the per-packet hop count distribution.
+	Hops metrics.Stream
+
+	// Makespan is the cycle of the last delivery.
+	Makespan int
+	// NodeBusy is the total node processing time spent, node-cycles.
+	NodeBusy float64
+	// FallbackRoutes counts packets routed by the BFS fallback.
+	FallbackRoutes int
+	// Measured counts the delivered packets included in the latency
+	// statistics (those created at or after the warmup cycle).
+	Measured int
+	// Rerouted counts in-flight reroutes after a FaultAtCycle
+	// activation; Dropped counts packets stranded by it.
+	Rerouted, Dropped int
+	// LinkLoad is the distribution of traversal counts over the
+	// directed links that carried at least one packet; its Max against
+	// its Mean exposes hot spots.
+	LinkLoad metrics.Stream
+	// Hottest lists the most-traversed directed links, descending (at
+	// most five).
+	Hottest []LinkLoad
+	// LatencyHist is the latency distribution when Config.HistBuckets
+	// is positive, nil otherwise.
+	LatencyHist *metrics.Histogram
+	// RouteCacheHits counts cache hits when Config.CacheRoutes is set.
+	RouteCacheHits int
+}
+
+// AvgLatency returns LP/DP, the paper's average latency metric.
+func (s *Stats) AvgLatency() float64 { return s.Latency.Mean() }
+
+// Throughput returns DP per cycle of makespan (the Figure 6/8 metric).
+func (s *Stats) Throughput() float64 {
+	if s.Makespan == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Makespan)
+}
+
+// Log2Throughput returns log2 of Throughput.
+func (s *Stats) Log2Throughput() float64 { return metrics.Log2(s.Throughput()) }
+
+// Efficiency returns DP per node-cycle of processing work.
+func (s *Stats) Efficiency() float64 {
+	if s.NodeBusy == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / s.NodeBusy
+}
+
+// event is a packet arriving at a node.
+type event struct {
+	time   int
+	seq    int // tiebreaker for determinism
+	packet *packet
+	node   gc.NodeID
+}
+
+type packet struct {
+	path    []gc.NodeID
+	idx     int // position of the current node within path
+	created int
+	dst     gc.NodeID
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes one simulation and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.GenCycles <= 0 {
+		return nil, errors.New("simnet: GenCycles must be positive")
+	}
+	if cfg.Arrival <= 0 || cfg.Arrival > 1 {
+		return nil, fmt.Errorf("simnet: arrival rate %v out of (0,1]", cfg.Arrival)
+	}
+	service := cfg.ServiceCycles
+	if service <= 0 {
+		service = 1
+	}
+	cube := gc.New(cfg.N, cfg.Alpha)
+	pattern := cfg.Pattern
+	if pattern == nil {
+		pattern = workload.Uniform{Bits: cfg.N}
+	}
+	opts := []core.Option{core.WithSubstrate(cfg.Substrate)}
+	if cfg.Faults != nil {
+		opts = append(opts, core.WithFaults(cfg.Faults))
+	}
+	router := core.NewRouter(cube, opts...)
+	// With delayed fault activation, traffic offered before the
+	// activation cycle is routed over the pristine network.
+	preFaultRouter := router
+	if cfg.FaultAtCycle > 0 {
+		preFaultRouter = core.NewRouter(cube, core.WithSubstrate(cfg.Substrate))
+	}
+	faultsActive := func(t int) bool {
+		return cfg.Faults != nil && t >= cfg.FaultAtCycle
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	stats := &Stats{}
+	if cfg.HistBuckets > 0 {
+		top := cfg.HistMax
+		if top <= 0 {
+			top = 256
+		}
+		stats.LatencyHist = metrics.NewHistogram(0, top, cfg.HistBuckets)
+	}
+	var queue eventQueue
+	seq := 0
+
+	type pair struct{ s, d gc.NodeID }
+	var cache map[pair][]gc.NodeID
+	if cfg.CacheRoutes {
+		cache = make(map[pair][]gc.NodeID)
+	}
+	lookupRoute := func(src, dst gc.NodeID, t int) ([]gc.NodeID, error) {
+		r := router
+		if !faultsActive(t) && cfg.FaultAtCycle > 0 {
+			r = preFaultRouter
+		}
+		if cache != nil {
+			if p, ok := cache[pair{src, dst}]; ok {
+				stats.RouteCacheHits++
+				return p, nil
+			}
+		}
+		res, err := r.Route(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		if res.UsedFallback {
+			stats.FallbackRoutes++
+		}
+		if cache != nil {
+			cache[pair{src, dst}] = res.Path
+		}
+		return res.Path, nil
+	}
+
+	inject := func(src, dst gc.NodeID, t int) {
+		stats.Generated++
+		path, err := lookupRoute(src, dst, t)
+		if err != nil {
+			stats.Undeliverable++
+			return
+		}
+		seq++
+		heap.Push(&queue, &event{
+			time:   t,
+			seq:    seq,
+			packet: &packet{path: path, created: t, dst: dst},
+			node:   src,
+		})
+	}
+
+	nodes := cube.Nodes()
+	if cfg.Trace != nil {
+		for _, p := range cfg.Trace {
+			if faultsActive(p.Time) &&
+				(cfg.Faults.NodeFaulty(p.Src) || cfg.Faults.NodeFaulty(p.Dst)) {
+				continue
+			}
+			inject(p.Src, p.Dst, p.Time)
+		}
+	} else {
+		// Generate the offered load: a Bernoulli(Arrival) trial per node
+		// per cycle of the generation window.
+	gen:
+		for t := 0; t < cfg.GenCycles; t++ {
+			activeFaults := cfg.Faults
+			if !faultsActive(t) {
+				activeFaults = nil
+			}
+			for v := 0; v < nodes; v++ {
+				if rng.Float64() >= cfg.Arrival {
+					continue
+				}
+				src := gc.NodeID(v)
+				if activeFaults != nil && activeFaults.NodeFaulty(src) {
+					continue // assumption 1: faulty nodes generate nothing
+				}
+				dst, ok := pickDest(rng, pattern, src, activeFaults, nodes)
+				if !ok {
+					continue
+				}
+				inject(src, dst, t)
+				if cfg.MaxPackets > 0 && stats.Generated >= cfg.MaxPackets {
+					break gen
+				}
+			}
+		}
+	}
+
+	linkFree := make(map[linkID]int)
+	linkCount := make(map[linkID]int)
+	for queue.Len() > 0 {
+		e := heap.Pop(&queue).(*event)
+		p := e.packet
+		if p.idx == len(p.path)-1 {
+			// Delivered.
+			stats.Delivered++
+			if p.created >= cfg.Warmup {
+				stats.Measured++
+				stats.Latency.Add(float64(e.time - p.created))
+				stats.Hops.Add(float64(len(p.path) - 1))
+				if stats.LatencyHist != nil {
+					stats.LatencyHist.Add(float64(e.time - p.created))
+				}
+			}
+			if e.time > stats.Makespan {
+				stats.Makespan = e.time
+			}
+			continue
+		}
+		next := p.path[p.idx+1]
+		if faultsActive(e.time) && cfg.FaultAtCycle > 0 {
+			// A fault activated while this packet was in flight; its
+			// precomputed route may now be stale.
+			dim := uint(bitutil.LowestBit(uint64(e.node ^ next)))
+			if cfg.Faults.NodeFaulty(e.node) || cfg.Faults.NodeFaulty(p.dst) {
+				stats.Dropped++
+				continue
+			}
+			if cfg.Faults.LinkFaulty(e.node, dim) || cfg.Faults.NodeFaulty(next) {
+				res, err := router.Route(e.node, p.dst)
+				if err != nil {
+					stats.Dropped++
+					continue
+				}
+				stats.Rerouted++
+				p.path = res.Path
+				p.idx = 0
+				next = p.path[1]
+			}
+		}
+		ready := e.time + service
+		stats.NodeBusy += float64(service)
+		l := linkID{from: e.node, to: next}
+		dep := ready
+		if free, okf := linkFree[l]; okf && free > dep {
+			dep = free
+		}
+		linkFree[l] = dep + 1
+		linkCount[l]++
+		p.idx++
+		seq++
+		heap.Push(&queue, &event{time: dep + 1, seq: seq, packet: p, node: next})
+	}
+
+	for l, n := range linkCount {
+		stats.LinkLoad.Add(float64(n))
+		stats.Hottest = append(stats.Hottest, LinkLoad{From: l.from, To: l.to, Count: n})
+	}
+	sort.Slice(stats.Hottest, func(i, j int) bool {
+		if stats.Hottest[i].Count != stats.Hottest[j].Count {
+			return stats.Hottest[i].Count > stats.Hottest[j].Count
+		}
+		if stats.Hottest[i].From != stats.Hottest[j].From {
+			return stats.Hottest[i].From < stats.Hottest[j].From
+		}
+		return stats.Hottest[i].To < stats.Hottest[j].To
+	})
+	if len(stats.Hottest) > 5 {
+		stats.Hottest = stats.Hottest[:5]
+	}
+	return stats, nil
+}
+
+type linkID struct {
+	from, to gc.NodeID
+}
+
+// LinkLoad reports the traversal count of one directed link.
+type LinkLoad struct {
+	From, To gc.NodeID
+	Count    int
+}
+
+// pickDest samples a destination per the pattern, resampling when the
+// pick is the source or faulty; it gives up after a bounded number of
+// attempts (possible only under adversarial patterns).
+func pickDest(rng *rand.Rand, p workload.Pattern, src gc.NodeID, f *fault.Set, nodes int) (gc.NodeID, bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		d := p.Dest(rng, src)
+		if int(d) >= nodes || d == src {
+			continue
+		}
+		if f != nil && f.NodeFaulty(d) {
+			continue
+		}
+		return d, true
+	}
+	return 0, false
+}

@@ -1,0 +1,214 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/workload"
+)
+
+func baseConfig() Config {
+	return Config{
+		N:         7,
+		Alpha:     1,
+		Arrival:   0.02,
+		GenCycles: 100,
+		Seed:      1,
+	}
+}
+
+func TestRunBasic(t *testing.T) {
+	stats, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated == 0 {
+		t.Fatal("no packets generated")
+	}
+	if stats.Delivered != stats.Generated {
+		t.Errorf("delivered %d of %d in a fault-free network",
+			stats.Delivered, stats.Generated)
+	}
+	if stats.Undeliverable != 0 || stats.FallbackRoutes != 0 {
+		t.Errorf("fault-free run had %d undeliverable, %d fallbacks",
+			stats.Undeliverable, stats.FallbackRoutes)
+	}
+	if stats.AvgLatency() <= 0 {
+		t.Errorf("avg latency = %v", stats.AvgLatency())
+	}
+	if stats.Throughput() <= 0 || stats.Makespan <= 0 {
+		t.Errorf("throughput = %v makespan = %d", stats.Throughput(), stats.Makespan)
+	}
+	if stats.Hops.Mean() <= 0 {
+		t.Errorf("avg hops = %v", stats.Hops.Mean())
+	}
+	if stats.Efficiency() <= 0 {
+		t.Errorf("efficiency = %v", stats.Efficiency())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Generated != b.Generated || a.Delivered != b.Delivered ||
+		a.AvgLatency() != b.AvgLatency() || a.Makespan != b.Makespan {
+		t.Error("same seed must reproduce identical statistics")
+	}
+	c := baseConfig()
+	c.Seed = 2
+	cStats, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cStats.Generated == a.Generated && cStats.AvgLatency() == a.AvgLatency() {
+		t.Error("different seeds should give different traffic")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.GenCycles = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("GenCycles=0 must fail")
+	}
+	cfg = baseConfig()
+	cfg.Arrival = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("Arrival=0 must fail")
+	}
+	cfg = baseConfig()
+	cfg.Arrival = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Error("Arrival>1 must fail")
+	}
+}
+
+func TestLatencyAtLeastHops(t *testing.T) {
+	// With unit service and unit link time, latency >= 2 * hops.
+	stats, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Latency.Mean() < 2*stats.Hops.Mean() {
+		t.Errorf("latency %v < 2x hops %v", stats.Latency.Mean(), stats.Hops.Mean())
+	}
+	if stats.Latency.Min() < 2 {
+		t.Errorf("min latency = %v", stats.Latency.Min())
+	}
+}
+
+func TestMaxPacketsCap(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MaxPackets = 10
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 10 {
+		t.Errorf("generated %d, cap was 10", stats.Generated)
+	}
+}
+
+func TestFaultyNodesExcluded(t *testing.T) {
+	cfg := baseConfig()
+	cube := gc.New(cfg.N, cfg.Alpha)
+	fs := fault.NewSet(cube)
+	rng := rand.New(rand.NewSource(9))
+	fs.InjectRandomNodes(rng, 4)
+	cfg.Faults = fs
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Everything that was routed must be delivered; route failures are
+	// possible in principle but must be rare with 4 faults in 128 nodes.
+	if stats.Delivered+stats.Undeliverable != stats.Generated {
+		t.Error("packet accounting broken")
+	}
+	if stats.Undeliverable > stats.Generated/10 {
+		t.Errorf("undeliverable %d of %d", stats.Undeliverable, stats.Generated)
+	}
+}
+
+// TestFaultRaisesLatency is the Figure 7 claim in miniature: one faulty
+// node must not reduce and typically raises average latency.
+func TestFaultShiftsMetrics(t *testing.T) {
+	cfg := baseConfig()
+	cfg.N = 8
+	cfg.GenCycles = 200
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := gc.New(cfg.N, cfg.Alpha)
+	fs := fault.NewSet(cube)
+	fs.AddNode(3)
+	cfg.Faults = fs
+	faulty, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one faulty node out of 256 the shift is small; assert only
+	// that the faulty run is not dramatically faster (which would
+	// indicate the detours are not being simulated).
+	if faulty.AvgLatency() < clean.AvgLatency()*0.9 {
+		t.Errorf("faulty latency %v much lower than clean %v",
+			faulty.AvgLatency(), clean.AvgLatency())
+	}
+}
+
+func TestPatternOverride(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Pattern = workload.BitComplement{Bits: cfg.N}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != stats.Generated {
+		t.Error("bit-complement traffic must be fully delivered")
+	}
+	// Complement pairs in GC(7,2) are far apart: average hops must
+	// exceed the uniform average.
+	uni, err := Run(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hops.Mean() <= uni.Hops.Mean() {
+		t.Errorf("bit-complement hops %v <= uniform %v",
+			stats.Hops.Mean(), uni.Hops.Mean())
+	}
+}
+
+// TestContentionGrowsLatency: heavy load must raise average latency
+// through link queueing. Averaged over seeds to kill sampling noise.
+func TestContentionGrowsLatency(t *testing.T) {
+	avg := func(arrival float64) float64 {
+		var total float64
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := baseConfig()
+			cfg.Arrival = arrival
+			cfg.Seed = seed
+			stats, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += stats.AvgLatency()
+		}
+		return total / 3
+	}
+	low, high := avg(0.01), avg(0.6)
+	if high <= low {
+		t.Errorf("saturated load latency %v <= light load latency %v", high, low)
+	}
+}

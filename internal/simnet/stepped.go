@@ -1,0 +1,208 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+)
+
+// The cycle-stepped simulator models bounded buffers, the regime the
+// paper's eager-readership assumption (unbounded acceptance) avoids.
+// Store-and-forward with per-(link, virtual channel) input buffers of
+// fixed capacity: here deadlock is a real possibility, and the
+// channel-dependency analysis of internal/core becomes observable —
+// traffic whose CDG has cycles can stall permanently at buffer
+// capacity 1, while a virtual-channel policy that breaks the cycles
+// keeps it flowing. RunStepped detects the stall and reports it.
+
+// VCPolicy assigns a virtual channel to hop i of a path
+// (path[i] -> path[i+1]). Policies must return values below the
+// configured VC count.
+type VCPolicy func(hop int, path []gc.NodeID) uint8
+
+// SteppedConfig parameterizes a bounded-buffer run.
+type SteppedConfig struct {
+	N     uint
+	Alpha uint
+
+	// Trace is the offered traffic (explicit for determinism), routed
+	// with the strategy router.
+	Trace []Packet
+	// Routes, when non-nil, bypasses the router: each entry is an
+	// explicit walk to execute (injected at its index's cycle 0). Used
+	// for controlled deadlock experiments where the path shape matters
+	// more than the routing policy.
+	Routes [][]gc.NodeID
+	// BufferSlots is the capacity of each (directed link, VC) input
+	// buffer; must be >= 1.
+	BufferSlots int
+	// VCs is the number of virtual channels per link (default 1).
+	VCs int
+	// Policy assigns hops to virtual channels; nil puts everything on
+	// VC 0.
+	Policy VCPolicy
+	// MaxCycles aborts a live-locked run (default 1 << 20).
+	MaxCycles int
+
+	Faults    *fault.Set
+	Substrate core.Substrate
+}
+
+// SteppedStats is the outcome of a bounded-buffer run.
+type SteppedStats struct {
+	Generated int
+	Delivered int
+	// Deadlocked reports that the network reached a state where no
+	// packet could ever move again (a buffer-cycle deadlock).
+	Deadlocked bool
+	// InFlight is the number of undelivered packets at termination.
+	InFlight int
+	Cycles   int
+	Latency  metrics.Stream
+}
+
+type steppedPacket struct {
+	path    []gc.NodeID
+	vcs     []uint8
+	idx     int // current position in path; -1 while waiting to inject
+	created int
+	holds   bufKey // the buffer currently occupied (valid when idx > 0)
+}
+
+type bufKey struct {
+	from, to gc.NodeID
+	vc       uint8
+}
+
+// RunStepped executes the bounded-buffer simulation.
+func RunStepped(cfg SteppedConfig) (*SteppedStats, error) {
+	if cfg.BufferSlots < 1 {
+		return nil, errors.New("simnet: BufferSlots must be >= 1")
+	}
+	vcs := cfg.VCs
+	if vcs <= 0 {
+		vcs = 1
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 20
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = func(int, []gc.NodeID) uint8 { return 0 }
+	}
+	cube := gc.New(cfg.N, cfg.Alpha)
+	opts := []core.Option{core.WithSubstrate(cfg.Substrate)}
+	if cfg.Faults != nil {
+		opts = append(opts, core.WithFaults(cfg.Faults))
+	}
+	router := core.NewRouter(cube, opts...)
+
+	stats := &SteppedStats{}
+	var packets []*steppedPacket
+	addPacket := func(path []gc.NodeID, created int) error {
+		if len(path) == 1 {
+			// Zero-hop packet: delivered where it was created.
+			stats.Generated++
+			stats.Delivered++
+			stats.Latency.Add(0)
+			return nil
+		}
+		sp := &steppedPacket{path: path, idx: -1, created: created}
+		sp.vcs = make([]uint8, len(path)-1)
+		for i := range sp.vcs {
+			v := policy(i, path)
+			if int(v) >= vcs {
+				return fmt.Errorf("simnet: policy assigned VC %d with only %d channels", v, vcs)
+			}
+			sp.vcs[i] = v
+		}
+		stats.Generated++
+		packets = append(packets, sp)
+		return nil
+	}
+	if cfg.Routes != nil {
+		for _, path := range cfg.Routes {
+			if err := addPacket(path, 0); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, p := range cfg.Trace {
+			if cfg.Faults != nil &&
+				(cfg.Faults.NodeFaulty(p.Src) || cfg.Faults.NodeFaulty(p.Dst)) {
+				continue
+			}
+			res, err := router.Route(p.Src, p.Dst)
+			if err != nil {
+				continue
+			}
+			if err := addPacket(res.Path, p.Time); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	occ := make(map[bufKey]int)
+	lastInject := 0
+	for _, p := range cfg.Trace {
+		if p.Time > lastInject {
+			lastInject = p.Time
+		}
+	}
+
+	remaining := stats.Generated
+	for cycle := 0; remaining > 0 && cycle < maxCycles; cycle++ {
+		stats.Cycles = cycle + 1
+		moved := false
+		// One packet transfer per (link, VC) per cycle.
+		linkUsed := make(map[bufKey]bool)
+		for _, sp := range packets {
+			if sp.idx == len(sp.path)-1 {
+				continue // delivered
+			}
+			if sp.idx == -1 && sp.created > cycle {
+				continue // not yet offered
+			}
+			pos := sp.idx
+			if pos == -1 {
+				pos = 0 // at the source, about to take hop 0
+			}
+			if pos == len(sp.path)-1 {
+				continue
+			}
+			key := bufKey{from: sp.path[pos], to: sp.path[pos+1], vc: sp.vcs[pos]}
+			if linkUsed[key] || occ[key] >= cfg.BufferSlots {
+				continue
+			}
+			// Advance one hop: take the next buffer, free the old one.
+			linkUsed[key] = true
+			occ[key]++
+			if sp.idx > 0 {
+				occ[sp.holds]--
+			}
+			sp.idx = pos + 1
+			sp.holds = key
+			moved = true
+			if sp.idx == len(sp.path)-1 {
+				occ[key]-- // consumed by the destination
+				stats.Delivered++
+				stats.Latency.Add(float64(cycle + 1 - sp.created))
+				remaining--
+			}
+		}
+		if !moved && cycle >= lastInject {
+			// No movement is possible now, and since the state is
+			// time-invariant past the last injection, none ever will
+			// be: a deadlock.
+			stats.Deadlocked = true
+			break
+		}
+	}
+	stats.InFlight = remaining
+	return stats, nil
+}

@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+)
+
+// ringRoutes is the classic four-packet buffer-cycle on the 0-1-3-2-0
+// face of Q3: each walk holds one buffer of the ring and requests the
+// next. Dimension-ordered routing can never produce these walks (its
+// CDG is acyclic — see internal/core's deadlock tests), which is
+// exactly why the explicit-routes mode exists.
+func ringRoutes() [][]gc.NodeID {
+	return [][]gc.NodeID{
+		{0b000, 0b001, 0b011}, // 0 -> 1 -> 3
+		{0b001, 0b011, 0b010}, // 1 -> 3 -> 2
+		{0b011, 0b010, 0b000}, // 3 -> 2 -> 0
+		{0b010, 0b000, 0b001}, // 2 -> 0 -> 1
+	}
+}
+
+// TestDeadlockDetected: with one virtual channel and unit buffers, the
+// rotational ring traffic deadlocks — the observable counterpart of the
+// cyclic channel dependency graph.
+func TestDeadlockDetected(t *testing.T) {
+	stats, err := RunStepped(SteppedConfig{
+		N: 3, Alpha: 0,
+		Routes:      ringRoutes(),
+		BufferSlots: 1,
+		VCs:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Deadlocked {
+		t.Fatalf("ring traffic with unit buffers must deadlock: %+v", stats)
+	}
+	if stats.Delivered != 0 || stats.InFlight != 4 {
+		t.Errorf("deadlock bookkeeping wrong: %+v", stats)
+	}
+}
+
+// TestVCsBreakDeadlock: a hop-indexed (dateline) virtual-channel policy
+// breaks the buffer cycle and everything is delivered.
+func TestVCsBreakDeadlock(t *testing.T) {
+	stats, err := RunStepped(SteppedConfig{
+		N: 3, Alpha: 0,
+		Routes:      ringRoutes(),
+		BufferSlots: 1,
+		VCs:         2,
+		Policy: func(hop int, _ []gc.NodeID) uint8 {
+			if hop == 0 {
+				return 0
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deadlocked {
+		t.Fatal("dateline VCs must prevent the ring deadlock")
+	}
+	if stats.Delivered != 4 || stats.InFlight != 0 {
+		t.Errorf("delivery wrong: %+v", stats)
+	}
+}
+
+// TestBiggerBuffersBreakDeadlock: capacity 2 alone also resolves the
+// four-packet ring.
+func TestBiggerBuffersBreakDeadlock(t *testing.T) {
+	stats, err := RunStepped(SteppedConfig{
+		N: 3, Alpha: 0,
+		Routes:      ringRoutes(),
+		BufferSlots: 2,
+		VCs:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deadlocked || stats.Delivered != 4 {
+		t.Errorf("bigger buffers should deliver: %+v", stats)
+	}
+}
+
+// TestSteppedMatchesEagerOnLightLoad: with ample buffers the bounded
+// simulator delivers everything the eager simulator does.
+func TestSteppedMatchesEagerOnLightLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cube := gc.New(7, 1)
+	var trace []Packet
+	for i := 0; i < 200; i++ {
+		s := gc.NodeID(rng.Intn(cube.Nodes()))
+		d := gc.NodeID(rng.Intn(cube.Nodes()))
+		if s == d {
+			continue
+		}
+		trace = append(trace, Packet{Src: s, Dst: d, Time: i / 4})
+	}
+	stepped, err := RunStepped(SteppedConfig{
+		N: 7, Alpha: 1,
+		Trace:       trace,
+		BufferSlots: 8,
+		VCs:         2,
+		Policy:      func(hop int, _ []gc.NodeID) uint8 { return uint8(hop % 2) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepped.Deadlocked {
+		t.Fatal("light load with deep buffers must not deadlock")
+	}
+	if stepped.Delivered != stepped.Generated {
+		t.Errorf("stepped delivered %d of %d", stepped.Delivered, stepped.Generated)
+	}
+	eager, err := Run(Config{
+		N: 7, Alpha: 1, Arrival: 0.01, GenCycles: 50, Trace: trace, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.Delivered != stepped.Delivered {
+		t.Errorf("eager delivered %d, stepped %d", eager.Delivered, stepped.Delivered)
+	}
+	// Bounded buffers can only slow packets down relative to
+	// unbounded acceptance with the same unit link bandwidth.
+	if stepped.Latency.Mean() < eager.Hops.Mean() {
+		t.Errorf("stepped latency %v below pure hop count %v",
+			stepped.Latency.Mean(), eager.Hops.Mean())
+	}
+}
+
+// TestSteppedHeavyLoadWithTreeVCs: saturating FFGCR traffic on tiny
+// buffers, comparing a single channel against the up/down tree policy;
+// whichever deadlocks is reported, and any completed run delivers all.
+func TestSteppedHeavyLoadWithTreeVCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cube := gc.New(6, 2)
+	var trace []Packet
+	for i := 0; i < 300; i++ {
+		s := gc.NodeID(rng.Intn(cube.Nodes()))
+		d := gc.NodeID(rng.Intn(cube.Nodes()))
+		if s != d {
+			trace = append(trace, Packet{Src: s, Dst: d, Time: 0})
+		}
+	}
+	vc := core.TreeHopVC(cube)
+	for _, cfg := range []SteppedConfig{
+		{N: 6, Alpha: 2, Trace: trace, BufferSlots: 1, VCs: 1},
+		{N: 6, Alpha: 2, Trace: trace, BufferSlots: 1, VCs: 3,
+			Policy: func(hop int, path []gc.NodeID) uint8 { return vc(hop, path) }},
+	} {
+		stats, err := RunStepped(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !stats.Deadlocked && stats.Delivered != stats.Generated {
+			t.Errorf("VCs=%d: run completed but delivered %d of %d",
+				cfg.VCs, stats.Delivered, stats.Generated)
+		}
+		t.Logf("VCs=%d buffers=%d: deadlocked=%v delivered=%d/%d cycles=%d",
+			cfg.VCs, cfg.BufferSlots, stats.Deadlocked,
+			stats.Delivered, stats.Generated, stats.Cycles)
+	}
+}
+
+func TestSteppedValidation(t *testing.T) {
+	if _, err := RunStepped(SteppedConfig{N: 3, Alpha: 0, BufferSlots: 0}); err == nil {
+		t.Error("BufferSlots=0 must fail")
+	}
+	// Policy exceeding the VC count must fail.
+	_, err := RunStepped(SteppedConfig{
+		N: 3, Alpha: 0,
+		Trace:       []Packet{{Src: 0, Dst: 7, Time: 0}},
+		BufferSlots: 1,
+		VCs:         1,
+		Policy:      func(int, []gc.NodeID) uint8 { return 5 },
+	})
+	if err == nil {
+		t.Error("out-of-range VC must fail")
+	}
+}
+
+func TestSteppedZeroHopPacket(t *testing.T) {
+	stats, err := RunStepped(SteppedConfig{
+		N: 3, Alpha: 0,
+		Trace:       []Packet{{Src: 2, Dst: 2, Time: 0}},
+		BufferSlots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 1 || stats.Delivered != 1 {
+		t.Errorf("zero-hop packet mishandled: %+v", stats)
+	}
+}

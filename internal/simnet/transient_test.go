@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// transientConfig kills a node mid-run: traffic starts on a pristine
+// network and the fault activates halfway through generation.
+func transientConfig(t *testing.T, bad gc.NodeID) Config {
+	t.Helper()
+	cube := gc.New(7, 1)
+	fs := fault.NewSet(cube)
+	fs.AddNode(bad)
+	return Config{
+		N: 7, Alpha: 1,
+		Arrival: 0.05, GenCycles: 60, Seed: 4,
+		Faults:       fs,
+		FaultAtCycle: 30,
+	}
+}
+
+func TestTransientFaultReroutesInFlight(t *testing.T) {
+	stats, err := Run(transientConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated == 0 {
+		t.Fatal("no traffic")
+	}
+	// Accounting must balance: every packet is delivered, dropped, or
+	// was unroutable at creation.
+	if stats.Delivered+stats.Dropped+stats.Undeliverable != stats.Generated {
+		t.Fatalf("accounting broken: %+v", stats)
+	}
+	// Node 1 is well-connected in GC(7,2); packets to/from it after the
+	// fault or through it must produce reroutes or drops.
+	if stats.Rerouted+stats.Dropped == 0 {
+		t.Error("a mid-run node death should disturb some packets")
+	}
+	// Most traffic still arrives.
+	if stats.Delivered < stats.Generated*8/10 {
+		t.Errorf("too many casualties: %+v", stats)
+	}
+}
+
+func TestTransientVersusStaticFaults(t *testing.T) {
+	// The same fault applied statically (known at routing time) must
+	// produce no drops and no reroutes.
+	cfg := transientConfig(t, 1)
+	cfg.FaultAtCycle = 0
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rerouted != 0 || stats.Dropped != 0 {
+		t.Errorf("static faults must not reroute or drop: %+v", stats)
+	}
+	if stats.Delivered != stats.Generated-stats.Undeliverable {
+		t.Errorf("static-fault accounting broken: %+v", stats)
+	}
+}
+
+func TestTransientDestinationDeathDrops(t *testing.T) {
+	// Force traffic at a node that will die: packets addressed to it
+	// and still in flight at activation are dropped.
+	cube := gc.New(6, 1)
+	fs := fault.NewSet(cube)
+	fs.AddNode(5)
+	var trace []Packet
+	for t0 := 0; t0 < 40; t0++ {
+		trace = append(trace, Packet{Src: gc.NodeID(t0 % 4 * 16), Dst: 5, Time: t0})
+	}
+	stats, err := Run(Config{
+		N: 6, Alpha: 1,
+		Arrival: 0.01, GenCycles: 40, Seed: 1,
+		Trace:        trace,
+		Faults:       fs,
+		FaultAtCycle: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 {
+		t.Errorf("packets to a dying destination must be dropped: %+v", stats)
+	}
+	// Packets offered after activation are filtered at admission.
+	if stats.Generated >= 40 {
+		t.Errorf("post-activation admission must filter dead destinations: %+v", stats)
+	}
+}

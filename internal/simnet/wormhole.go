@@ -1,0 +1,252 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+)
+
+// Wormhole switching: the third network model, beyond the paper's
+// eager-readership packet switching and the bounded-buffer
+// store-and-forward of RunStepped. Packets are worms of F flits that
+// pipeline across the route: the header flit reserves one virtual
+// channel per link exclusively, body flits stream behind it, and each
+// channel is released only after the tail flit passes. Wormhole makes
+// base latency ~ H + F instead of store-and-forward's ~ H * F, but a
+// blocked worm holds every channel it spans, which makes the deadlock
+// question (and the virtual-channel remedies analysed in
+// internal/core's CDG tooling) far more acute.
+
+// WormholeConfig parameterizes a flit-level run.
+type WormholeConfig struct {
+	N     uint
+	Alpha uint
+
+	// Trace is the offered traffic, routed with the strategy router.
+	Trace []Packet
+	// Routes bypasses the router with explicit walks (cycle-0
+	// injection), as in SteppedConfig.
+	Routes [][]gc.NodeID
+
+	// FlitsPerPacket is the worm length F (>= 1).
+	FlitsPerPacket int
+	// BufferFlits is each (link, VC) buffer's capacity in flits
+	// (default 1).
+	BufferFlits int
+	// VCs is the number of virtual channels per link (default 1).
+	VCs int
+	// Policy assigns each hop a VC; nil = all VC 0.
+	Policy VCPolicy
+	// MaxCycles aborts a stuck run (default 1 << 20).
+	MaxCycles int
+
+	Substrate core.Substrate
+}
+
+// WormholeStats is the outcome of a wormhole run.
+type WormholeStats struct {
+	Generated  int
+	Delivered  int
+	Deadlocked bool
+	InFlight   int
+	Cycles     int
+	// Latency measures creation-to-tail-delivery per packet, cycles.
+	Latency metrics.Stream
+}
+
+// worm is one in-flight wormhole packet.
+type worm struct {
+	path    []gc.NodeID
+	vcs     []uint8
+	created int
+
+	// reservedUpTo is the highest channel index the header has entered
+	// (-1 before injection). Channel i is the hop path[i] -> path[i+1].
+	reservedUpTo int
+	// buffered[i] counts flits currently in channel i's buffer.
+	buffered []int
+	// passed[i] counts flits that have left channel i (channel i is
+	// released when passed[i] == FlitsPerPacket).
+	passed []int
+	// injected and delivered count flits at the two ends.
+	injected, delivered int
+	done                bool
+}
+
+func (w *worm) channels() int { return len(w.path) - 1 }
+
+// RunWormhole executes the flit-level simulation.
+func RunWormhole(cfg WormholeConfig) (*WormholeStats, error) {
+	if cfg.FlitsPerPacket < 1 {
+		return nil, errors.New("simnet: FlitsPerPacket must be >= 1")
+	}
+	bufCap := cfg.BufferFlits
+	if bufCap <= 0 {
+		bufCap = 1
+	}
+	vcs := cfg.VCs
+	if vcs <= 0 {
+		vcs = 1
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 1 << 20
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = func(int, []gc.NodeID) uint8 { return 0 }
+	}
+
+	cube := gc.New(cfg.N, cfg.Alpha)
+	router := core.NewRouter(cube, core.WithSubstrate(cfg.Substrate))
+
+	stats := &WormholeStats{}
+	var worms []*worm
+	addWorm := func(path []gc.NodeID, created int) error {
+		stats.Generated++
+		if len(path) == 1 {
+			stats.Delivered++
+			stats.Latency.Add(0)
+			return nil
+		}
+		w := &worm{
+			path:         path,
+			created:      created,
+			reservedUpTo: -1,
+			buffered:     make([]int, len(path)-1),
+			passed:       make([]int, len(path)-1),
+		}
+		w.vcs = make([]uint8, len(path)-1)
+		for i := range w.vcs {
+			v := policy(i, path)
+			if int(v) >= vcs {
+				return fmt.Errorf("simnet: policy assigned VC %d with only %d channels", v, vcs)
+			}
+			w.vcs[i] = v
+		}
+		worms = append(worms, w)
+		return nil
+	}
+	if cfg.Routes != nil {
+		for _, p := range cfg.Routes {
+			if err := addWorm(p, 0); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, p := range cfg.Trace {
+			res, err := router.Route(p.Src, p.Dst)
+			if err != nil {
+				continue
+			}
+			if err := addWorm(res.Path, p.Time); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	owner := make(map[bufKey]*worm)
+	lastInject := 0
+	for _, p := range cfg.Trace {
+		if p.Time > lastInject {
+			lastInject = p.Time
+		}
+	}
+	remaining := stats.Generated - stats.Delivered
+
+	for cycle := 0; remaining > 0 && cycle < maxCycles; cycle++ {
+		stats.Cycles = cycle + 1
+		moved := false
+		for _, w := range worms {
+			if w.done || w.created > cycle {
+				continue
+			}
+			h := w.channels()
+			// entered[i] guards link bandwidth: at most one flit enters
+			// channel i per cycle (channels are worm-exclusive, so the
+			// guard can live per worm).
+			entered := make([]bool, h)
+			// 1. Sink: the destination consumes one flit per cycle from
+			// the last channel.
+			if w.reservedUpTo == h-1 && w.buffered[h-1] > 0 {
+				w.buffered[h-1]--
+				w.passed[h-1]++
+				w.delivered++
+				moved = true
+				if w.passed[h-1] == cfg.FlitsPerPacket {
+					w.releaseChannel(owner, h-1)
+				}
+				if w.delivered == cfg.FlitsPerPacket {
+					w.done = true
+					stats.Delivered++
+					stats.Latency.Add(float64(cycle + 1 - w.created))
+					remaining--
+					continue
+				}
+			}
+			// 2. Header reservation: extend the worm one channel.
+			if w.reservedUpTo < h-1 {
+				next := w.reservedUpTo + 1
+				key := w.key(next)
+				headerAt := w.reservedUpTo // -1 = still at source
+				canSend := headerAt == -1 || w.buffered[headerAt] > 0
+				if canSend && owner[key] == nil && !entered[next] {
+					entered[next] = true
+					owner[key] = w
+					if headerAt >= 0 {
+						w.buffered[headerAt]--
+						w.passed[headerAt]++
+						if w.passed[headerAt] == cfg.FlitsPerPacket {
+							w.releaseChannel(owner, headerAt)
+						}
+					} else {
+						w.injected++
+					}
+					w.buffered[next]++
+					w.reservedUpTo = next
+					moved = true
+				}
+			}
+			// 3. Body flits pipeline forward, head-to-tail so a flit
+			// vacating a buffer frees it for the one behind within the
+			// same cycle.
+			for i := w.reservedUpTo - 1; i >= 0; i-- {
+				if w.buffered[i] > 0 && w.buffered[i+1] < bufCap && !entered[i+1] {
+					entered[i+1] = true
+					w.buffered[i]--
+					w.passed[i]++
+					w.buffered[i+1]++
+					moved = true
+					if w.passed[i] == cfg.FlitsPerPacket {
+						w.releaseChannel(owner, i)
+					}
+				}
+			}
+			// 4. Injection: the source feeds the first channel.
+			if w.reservedUpTo >= 0 && w.injected < cfg.FlitsPerPacket &&
+				w.buffered[0] < bufCap && !entered[0] {
+				entered[0] = true
+				w.injected++
+				w.buffered[0]++
+				moved = true
+			}
+		}
+		if !moved && cycle >= lastInject {
+			stats.Deadlocked = true
+			break
+		}
+	}
+	stats.InFlight = remaining
+	return stats, nil
+}
+
+func (w *worm) key(i int) bufKey {
+	return bufKey{from: w.path[i], to: w.path[i+1], vc: w.vcs[i]}
+}
+
+func (w *worm) releaseChannel(owner map[bufKey]*worm, i int) {
+	delete(owner, w.key(i))
+}

@@ -1,0 +1,188 @@
+package simnet
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestWormholePipelineLaw: an uncontended worm of F flits over H hops
+// is delivered in exactly H + F cycles — the pipelining property that
+// distinguishes wormhole from store-and-forward's ~H*F.
+func TestWormholePipelineLaw(t *testing.T) {
+	path := []gc.NodeID{0, 1, 3, 7, 15} // H = 4 in Q4
+	for _, f := range []int{1, 2, 4, 8, 16} {
+		stats, err := RunWormhole(WormholeConfig{
+			N: 4, Alpha: 0,
+			Routes:         [][]gc.NodeID{path},
+			FlitsPerPacket: f,
+			BufferFlits:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Deadlocked || stats.Delivered != 1 {
+			t.Fatalf("F=%d: %+v", f, stats)
+		}
+		want := float64(len(path) - 1 + f)
+		if stats.Latency.Mean() != want {
+			t.Errorf("F=%d: latency %v, want %v", f, stats.Latency.Mean(), want)
+		}
+	}
+}
+
+// TestWormholeBuffersDontChangeUncontendedLatency: deeper buffers only
+// matter under contention.
+func TestWormholeBuffersDontChangeUncontendedLatency(t *testing.T) {
+	path := []gc.NodeID{0, 1, 3, 7}
+	var base float64
+	for i, buf := range []int{1, 2, 8} {
+		stats, err := RunWormhole(WormholeConfig{
+			N: 4, Alpha: 0,
+			Routes:         [][]gc.NodeID{path},
+			FlitsPerPacket: 6,
+			BufferFlits:    buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = stats.Latency.Mean()
+		} else if stats.Latency.Mean() != base {
+			t.Errorf("buffers=%d changed uncontended latency: %v vs %v",
+				buf, stats.Latency.Mean(), base)
+		}
+	}
+}
+
+// TestWormholeRingDeadlock: the four-worm buffer ring deadlocks on one
+// VC — and deadlocks harder than store-and-forward, since each worm
+// holds a whole channel, not one slot.
+func TestWormholeRingDeadlock(t *testing.T) {
+	stats, err := RunWormhole(WormholeConfig{
+		N: 3, Alpha: 0,
+		Routes:         ringRoutes(),
+		FlitsPerPacket: 4,
+		BufferFlits:    1,
+		VCs:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Deadlocked {
+		t.Fatalf("wormhole ring must deadlock: %+v", stats)
+	}
+	if stats.Delivered != 0 {
+		t.Errorf("no worm should complete: %+v", stats)
+	}
+}
+
+// TestWormholeDatelineVCsResolveRing: the same dateline VC policy that
+// fixes the store-and-forward ring fixes the wormhole ring.
+func TestWormholeDatelineVCsResolveRing(t *testing.T) {
+	stats, err := RunWormhole(WormholeConfig{
+		N: 3, Alpha: 0,
+		Routes:         ringRoutes(),
+		FlitsPerPacket: 4,
+		BufferFlits:    1,
+		VCs:            2,
+		Policy: func(hop int, _ []gc.NodeID) uint8 {
+			if hop == 0 {
+				return 0
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deadlocked || stats.Delivered != 4 {
+		t.Fatalf("dateline VCs must resolve the wormhole ring: %+v", stats)
+	}
+}
+
+// TestWormholeContentionSerializes: two worms needing the same channel
+// complete, the second delayed by roughly the first's tail.
+func TestWormholeContentionSerializes(t *testing.T) {
+	shared := [][]gc.NodeID{
+		{0, 1, 3}, // both cross link 1->3
+		{2, 3, 1}, // reversed direction: no conflict on directed links
+		{5, 1, 3}, // conflicts with the first on 1->3
+	}
+	stats, err := RunWormhole(WormholeConfig{
+		N: 3, Alpha: 0,
+		Routes:         shared,
+		FlitsPerPacket: 5,
+		BufferFlits:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deadlocked {
+		t.Fatalf("linear contention must not deadlock: %+v", stats)
+	}
+	if stats.Delivered != 3 {
+		t.Fatalf("all three worms must arrive: %+v", stats)
+	}
+	// The slowest worm waited for a full worm to drain ahead of it.
+	if stats.Latency.Max() < stats.Latency.Min()+4 {
+		t.Errorf("expected serialization gap: %v", stats.Latency)
+	}
+}
+
+// TestWormholeTrafficThroughRouter: routed traffic (no explicit routes)
+// over a fault-free cube completes.
+func TestWormholeTrafficThroughRouter(t *testing.T) {
+	var trace []Packet
+	for i := 0; i < 40; i++ {
+		trace = append(trace, Packet{
+			Src: gc.NodeID(i % 32), Dst: gc.NodeID((i * 7) % 32), Time: i / 8,
+		})
+	}
+	stats, err := RunWormhole(WormholeConfig{
+		N: 5, Alpha: 1,
+		Trace:          trace,
+		FlitsPerPacket: 3,
+		BufferFlits:    2,
+		VCs:            2,
+		Policy:         func(hop int, _ []gc.NodeID) uint8 { return uint8(hop % 2) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deadlocked {
+		t.Logf("note: wormhole run deadlocked with %d in flight", stats.InFlight)
+	} else if stats.Delivered != stats.Generated {
+		t.Errorf("delivered %d of %d without deadlock", stats.Delivered, stats.Generated)
+	}
+}
+
+func TestWormholeValidation(t *testing.T) {
+	if _, err := RunWormhole(WormholeConfig{N: 3, Alpha: 0, FlitsPerPacket: 0}); err == nil {
+		t.Error("zero flits must fail")
+	}
+	_, err := RunWormhole(WormholeConfig{
+		N: 3, Alpha: 0,
+		Routes:         [][]gc.NodeID{{0, 1}},
+		FlitsPerPacket: 1,
+		VCs:            1,
+		Policy:         func(int, []gc.NodeID) uint8 { return 3 },
+	})
+	if err == nil {
+		t.Error("out-of-range VC must fail")
+	}
+}
+
+func TestWormholeZeroHop(t *testing.T) {
+	stats, err := RunWormhole(WormholeConfig{
+		N: 3, Alpha: 0,
+		Routes:         [][]gc.NodeID{{4}},
+		FlitsPerPacket: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 1 || stats.Latency.Mean() != 0 {
+		t.Errorf("zero-hop worm mishandled: %+v", stats)
+	}
+}

@@ -1,0 +1,132 @@
+// Package snapshot persists simulation scenarios — network parameters,
+// fault sets, and workload settings — as JSON, so experiments are
+// reproducible artifacts rather than command lines. The gcsim tool can
+// save the scenario it ran and replay a saved one.
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// Scenario is the serializable description of one simulation setup.
+type Scenario struct {
+	// Version guards the format for future changes.
+	Version int `json:"version"`
+
+	N     uint `json:"n"`
+	Alpha uint `json:"alpha"`
+
+	Arrival   float64 `json:"arrival"`
+	GenCycles int     `json:"gen_cycles"`
+	Seed      int64   `json:"seed"`
+	Pattern   string  `json:"pattern,omitempty"`
+
+	FaultNodes []uint32    `json:"fault_nodes,omitempty"`
+	FaultLinks []FaultLink `json:"fault_links,omitempty"`
+}
+
+// FaultLink serializes one link fault.
+type FaultLink struct {
+	Node uint32 `json:"node"`
+	Dim  uint   `json:"dim"`
+}
+
+// CurrentVersion is the format version this package writes.
+const CurrentVersion = 1
+
+// FromFaultSet captures a fault set into the scenario, normalizing the
+// order so equal sets serialize identically.
+func (s *Scenario) FromFaultSet(fs *fault.Set) {
+	s.FaultNodes = s.FaultNodes[:0]
+	s.FaultLinks = s.FaultLinks[:0]
+	for _, f := range fs.Faults() {
+		if f.Kind == fault.KindNode {
+			s.FaultNodes = append(s.FaultNodes, uint32(f.Node))
+		} else {
+			s.FaultLinks = append(s.FaultLinks, FaultLink{Node: uint32(f.Node), Dim: f.Dim})
+		}
+	}
+	sort.Slice(s.FaultNodes, func(i, j int) bool { return s.FaultNodes[i] < s.FaultNodes[j] })
+	sort.Slice(s.FaultLinks, func(i, j int) bool {
+		if s.FaultLinks[i].Node != s.FaultLinks[j].Node {
+			return s.FaultLinks[i].Node < s.FaultLinks[j].Node
+		}
+		return s.FaultLinks[i].Dim < s.FaultLinks[j].Dim
+	})
+}
+
+// BuildFaultSet reconstructs the fault set over the scenario's cube.
+func (s *Scenario) BuildFaultSet() (*fault.Set, error) {
+	cube := gc.New(s.N, s.Alpha)
+	fs := fault.NewSet(cube)
+	for _, v := range s.FaultNodes {
+		if int(v) >= cube.Nodes() {
+			return nil, fmt.Errorf("snapshot: fault node %d out of range", v)
+		}
+		fs.AddNode(gc.NodeID(v))
+	}
+	for _, l := range s.FaultLinks {
+		if int(l.Node) >= cube.Nodes() {
+			return nil, fmt.Errorf("snapshot: fault link node %d out of range", l.Node)
+		}
+		if !cube.HasLinkDim(gc.NodeID(l.Node), l.Dim) {
+			return nil, fmt.Errorf("snapshot: node %d has no dimension-%d link", l.Node, l.Dim)
+		}
+		fs.AddLink(gc.NodeID(l.Node), l.Dim)
+	}
+	return fs, nil
+}
+
+// Validate checks internal consistency.
+func (s *Scenario) Validate() error {
+	if s.Version != CurrentVersion {
+		return fmt.Errorf("snapshot: unsupported version %d", s.Version)
+	}
+	if s.N < 1 || s.N > 26 {
+		return fmt.Errorf("snapshot: dimension %d out of range", s.N)
+	}
+	if s.Alpha > s.N {
+		return fmt.Errorf("snapshot: alpha %d exceeds n %d", s.Alpha, s.N)
+	}
+	if s.Arrival <= 0 || s.Arrival > 1 {
+		return fmt.Errorf("snapshot: arrival %v out of (0,1]", s.Arrival)
+	}
+	if s.GenCycles <= 0 {
+		return fmt.Errorf("snapshot: gen_cycles %d must be positive", s.GenCycles)
+	}
+	return nil
+}
+
+// Save writes the scenario to path as indented JSON.
+func Save(path string, s *Scenario) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates a scenario from path.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("snapshot: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+func validScenario() *Scenario {
+	return &Scenario{
+		Version: CurrentVersion,
+		N:       8, Alpha: 2,
+		Arrival: 0.01, GenCycles: 50, Seed: 7,
+		Pattern: "uniform",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scenario.json")
+
+	s := validScenario()
+	cube := gc.New(s.N, s.Alpha)
+	fs := fault.NewSet(cube)
+	fs.AddNode(13)
+	fs.AddNode(7)
+	fs.AddLink(0, 0)
+	s.FromFaultSet(fs)
+
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N != s.N || loaded.Alpha != s.Alpha || loaded.Seed != s.Seed {
+		t.Errorf("loaded = %+v", loaded)
+	}
+	if len(loaded.FaultNodes) != 2 || loaded.FaultNodes[0] != 7 || loaded.FaultNodes[1] != 13 {
+		t.Errorf("fault nodes = %v (must be sorted)", loaded.FaultNodes)
+	}
+	fs2, err := loaded.BuildFaultSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs2.NodeFaulty(13) || !fs2.NodeFaulty(7) || !fs2.LinkFaulty(0, 0) {
+		t.Error("rebuilt fault set incomplete")
+	}
+	if fs2.Count() != fs.Count() {
+		t.Errorf("rebuilt count %d, want %d", fs2.Count(), fs.Count())
+	}
+}
+
+func TestFromFaultSetDeterministic(t *testing.T) {
+	s1, s2 := validScenario(), validScenario()
+	cube := gc.New(8, 2)
+	rng := rand.New(rand.NewSource(5))
+	fs := fault.NewSet(cube)
+	fs.InjectRandomNodes(rng, 10)
+	s1.FromFaultSet(fs)
+	s2.FromFaultSet(fs.Clone())
+	if len(s1.FaultNodes) != len(s2.FaultNodes) {
+		t.Fatal("length mismatch")
+	}
+	for i := range s1.FaultNodes {
+		if s1.FaultNodes[i] != s2.FaultNodes[i] {
+			t.Fatal("normalization is not deterministic")
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Version = 99 },
+		func(s *Scenario) { s.N = 0 },
+		func(s *Scenario) { s.N = 30 },
+		func(s *Scenario) { s.Alpha = s.N + 1 },
+		func(s *Scenario) { s.Arrival = 0 },
+		func(s *Scenario) { s.Arrival = 2 },
+		func(s *Scenario) { s.GenCycles = 0 },
+	}
+	for i, mutate := range cases {
+		s := validScenario()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: mutation must invalidate", i)
+		}
+	}
+	if err := validScenario().Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestBuildFaultSetRejections(t *testing.T) {
+	s := validScenario()
+	s.FaultNodes = []uint32{1 << 20}
+	if _, err := s.BuildFaultSet(); err == nil {
+		t.Error("out-of-range node must fail")
+	}
+	s = validScenario()
+	s.FaultLinks = []FaultLink{{Node: 0, Dim: 1}} // node 0 lacks dim-1 link
+	if _, err := s.BuildFaultSet(); err == nil {
+		t.Error("nonexistent link must fail")
+	}
+	s = validScenario()
+	s.FaultLinks = []FaultLink{{Node: 1 << 20, Dim: 0}}
+	if _, err := s.BuildFaultSet(); err == nil {
+		t.Error("out-of-range link node must fail")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("/nonexistent/path.json"); err == nil {
+		t.Error("missing file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	// Valid JSON, invalid scenario.
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"version":1,"n":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(invalid); err == nil {
+		t.Error("invalid scenario must fail")
+	}
+}
+
+func TestSaveValidates(t *testing.T) {
+	s := validScenario()
+	s.N = 0
+	if err := Save(filepath.Join(t.TempDir(), "x.json"), s); err == nil {
+		t.Error("Save must validate")
+	}
+}

@@ -1,0 +1,288 @@
+// Package svgplot renders experiment figures as static SVG line charts,
+// following a fixed design contract: thin 2px round-joined lines, >=8px
+// end markers with a 2px surface ring, hairline solid gridlines one step
+// off the surface, clean rounded axis ticks, a legend whenever two or
+// more series are plotted (plus direct end labels while they fit), and
+// text set in ink tokens — never in the series color. The categorical
+// palette is assigned in fixed slot order and was validated for
+// colorblind separation; the light-surface contrast warning on slots 2
+// and 3 is relieved by the direct labels here and by the text table the
+// experiment harness always emits alongside.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Palette and ink tokens (light mode).
+const (
+	surface       = "#fcfcfb"
+	gridline      = "#eeedeb"
+	textPrimary   = "#0b0b0b"
+	textSecondary = "#52514e"
+	textMuted     = "#8a8984"
+)
+
+// seriesColors is the fixed categorical slot order; series beyond the
+// validated slots fold into gray rather than inventing hues.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+// Series is one line of the chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a single-axis line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	// Width and Height default to 640x400.
+	Width, Height int
+}
+
+const (
+	marginLeft   = 64
+	marginRight  = 120 // room for direct end labels
+	marginTop    = 44
+	marginBottom = 48
+)
+
+// Render produces the SVG document.
+func (c *Chart) Render() (string, error) {
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("svgplot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("svgplot: series %q has mismatched or empty points", s.Name)
+		}
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 400
+	}
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+
+	xmin, xmax, ymin, ymax := c.bounds()
+	yTicks := niceTicks(ymin, ymax, 5)
+	if len(yTicks) > 1 {
+		ymin, ymax = yTicks[0], yTicks[len(yTicks)-1]
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", w, h, surface)
+
+	// Title (ink, never a series color).
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="14" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginLeft, textPrimary, escape(c.Title))
+
+	// Gridlines + y ticks: hairline, solid, recessive.
+	for _, t := range yTicks {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y, gridline)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-8, y, textSecondary, formatTick(t))
+	}
+	// X ticks on the sample grid (thinned to <= 10 labels).
+	xs := c.xGrid()
+	step := 1
+	if len(xs) > 10 {
+		step = (len(xs) + 9) / 10
+	}
+	for i := 0; i < len(xs); i += step {
+		x := px(xs[i])
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+18, textSecondary, formatTick(xs[i]))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, marginTop+plotH+36, textMuted, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-size="11" fill="%s" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		marginTop+plotH/2, textMuted, marginTop+plotH/2, escape(c.YLabel))
+
+	// Series: 2px round-joined lines, 8px markers ringed in surface.
+	type endLabel struct {
+		y    float64
+		name string
+		col  string
+	}
+	var ends []endLabel
+	for i, s := range c.Series {
+		col := seriesColors[i%len(seriesColors)]
+		var path strings.Builder
+		for j := range s.X {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(s.X[j]), py(s.Y[j]))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`+"\n",
+			strings.TrimSpace(path.String()), col)
+		for j := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+				px(s.X[j]), py(s.Y[j]), col, surface)
+		}
+		last := len(s.X) - 1
+		ends = append(ends, endLabel{y: py(s.Y[last]), name: s.Name, col: col})
+	}
+
+	// Direct end labels (ink text keyed by a swatch dot), skipped when
+	// they would collide — the legend always carries identity anyway.
+	sort.Slice(ends, func(i, j int) bool { return ends[i].y < ends[j].y })
+	for i, e := range ends {
+		if i > 0 && e.y-ends[i-1].y < 14 {
+			continue
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n",
+			marginLeft+plotW+10, e.y, e.col)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft+plotW+18, e.y, textSecondary, escape(e.name))
+	}
+
+	// Legend: present for two or more series; a single series is named
+	// by the title.
+	if len(c.Series) >= 2 {
+		x := float64(marginLeft)
+		y := 36.0
+		for i, s := range c.Series {
+			col := seriesColors[i%len(seriesColors)]
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`+"\n", x+4, y, col)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" fill="%s" dominant-baseline="middle">%s</text>`+"\n",
+				x+14, y, textSecondary, escape(s.Name))
+			x += 14 + 7*float64(len(s.Name)) + 18
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	first := true
+	for _, s := range c.Series {
+		for i := range s.X {
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	return
+}
+
+// xGrid returns the sorted union of X samples across series.
+func (c *Chart) xGrid() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// niceTicks returns ~count clean tick values spanning [lo, hi].
+func niceTicks(lo, hi float64, count int) []float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span == 0 {
+		span = math.Abs(hi)
+		if span == 0 {
+			span = 1
+		}
+	}
+	rawStep := span / float64(count)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag >= 5:
+		step = 10 * mag
+	case rawStep/mag >= 2:
+		step = 5 * mag
+	case rawStep/mag >= 1:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for t := start; t <= hi+step/2; t += step {
+		ticks = append(ticks, math.Round(t*1e9)/1e9)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly with thousands commas.
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		s := fmt.Sprintf("%d", int64(v))
+		return addCommas(s)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func addCommas(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

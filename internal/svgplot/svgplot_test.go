@@ -1,0 +1,176 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func demoChart(series int) *Chart {
+	c := &Chart{Title: "demo", XLabel: "n", YLabel: "latency"}
+	for i := 0; i < series; i++ {
+		c.Series = append(c.Series, Series{
+			Name: strings.Repeat("s", i+1),
+			X:    []float64{1, 2, 3, 4},
+			Y:    []float64{float64(i), float64(i + 2), float64(i + 1), float64(i + 5)},
+		})
+	}
+	return c
+}
+
+func TestRenderWellFormed(t *testing.T) {
+	out, err := demoChart(3).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("not well-formed XML: %v", err)
+	}
+	if !strings.HasPrefix(out, "<svg") {
+		t.Error("must start with <svg")
+	}
+}
+
+func TestMarkSpecs(t *testing.T) {
+	out, err := demoChart(2).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2px round-joined lines.
+	if !strings.Contains(out, `stroke-width="2" stroke-linejoin="round"`) {
+		t.Error("line spec missing")
+	}
+	// Markers r=4 ringed in the surface color.
+	if !strings.Contains(out, `r="4" fill="#2a78d6" stroke="#fcfcfb" stroke-width="2"`) {
+		t.Error("ringed marker spec missing")
+	}
+	// Hairline solid gridlines, never dashed.
+	if !strings.Contains(out, `stroke="#eeedeb" stroke-width="1"`) {
+		t.Error("gridline spec missing")
+	}
+	if strings.Contains(out, "stroke-dasharray") {
+		t.Error("gridlines must be solid")
+	}
+}
+
+func TestLegendRules(t *testing.T) {
+	// A single series carries no legend (the title names it): its name
+	// appears at most once (the end label), not twice.
+	one, err := (&Chart{
+		Title:  "solo",
+		Series: []Series{{Name: "onlyseries", X: []float64{0, 1}, Y: []float64{1, 2}}},
+	}).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(one, "onlyseries") > 1 {
+		t.Error("single series must not get a legend box")
+	}
+	// Two or more series: legend present (names appear in legend and as
+	// end labels when they fit).
+	two, err := demoChart(2).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(two, ">s<") < 2 {
+		t.Errorf("legend missing for multi-series chart:\n%s", two)
+	}
+}
+
+func TestTextUsesInkTokens(t *testing.T) {
+	out, err := demoChart(3).Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No <text> element may wear a series color.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "<text") {
+			for _, col := range seriesColors {
+				if strings.Contains(line, col) {
+					t.Fatalf("text wears series color %s: %s", col, line)
+				}
+			}
+		}
+	}
+}
+
+func TestCollidingEndLabelsSkipped(t *testing.T) {
+	// Two series converging to the same end value: only one end label
+	// survives; the legend still identifies both.
+	c := &Chart{
+		Title: "converge",
+		Series: []Series{
+			{Name: "alpha", X: []float64{0, 1}, Y: []float64{0, 5}},
+			{Name: "beta", X: []float64{0, 1}, Y: []float64{10, 5}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "alpha")+strings.Count(out, "beta") != 3 {
+		t.Errorf("converging end labels must collapse to one (legend 2 + end 1):\n%s", out)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 97, 5)
+	if ticks[0] != 0 {
+		t.Errorf("ticks must start clean: %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[len(ticks)-1] < 97 {
+		t.Errorf("ticks must cover the top: %v", ticks)
+	}
+	if len(niceTicks(5, 5, 4)) == 0 {
+		t.Error("degenerate range must still tick")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(1234567) != "1,234,567" {
+		t.Errorf("got %s", formatTick(1234567))
+	}
+	if formatTick(-4200) != "-4,200" {
+		t.Errorf("got %s", formatTick(-4200))
+	}
+	if formatTick(2.5) != "2.5" {
+		t.Errorf("got %s", formatTick(2.5))
+	}
+	if formatTick(3) != "3" {
+		t.Errorf("got %s", formatTick(3))
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Chart{Title: "empty"}).Render(); err == nil {
+		t.Error("no series must fail")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &Chart{
+		Title:  `a<b>&"c"`,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, `a<b>`) {
+		t.Error("title must be escaped")
+	}
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("escaped output not well-formed: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package workload provides the synthetic traffic patterns driving the
+// simulator. The paper's evaluation uses uniformly random destinations;
+// the classic structured patterns (bit complement, transpose, hot spot)
+// are provided for the extension experiments.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gaussiancube/internal/gc"
+)
+
+// Pattern picks a destination for a packet injected at src. The
+// simulator resamples when the pick is faulty or equals the source, so
+// patterns may return anything in range.
+type Pattern interface {
+	Dest(rng *rand.Rand, src gc.NodeID) gc.NodeID
+	Name() string
+}
+
+// Uniform sends each packet to an independently uniformly random node
+// of an n-bit network — the paper's traffic model.
+type Uniform struct {
+	Bits uint
+}
+
+// Dest implements Pattern.
+func (u Uniform) Dest(rng *rand.Rand, _ gc.NodeID) gc.NodeID {
+	return gc.NodeID(rng.Intn(1 << u.Bits))
+}
+
+// Name implements Pattern.
+func (u Uniform) Name() string { return "uniform" }
+
+// BitComplement sends from src to its bitwise complement, the classic
+// worst-case permutation for dimension-ordered cubes.
+type BitComplement struct {
+	Bits uint
+}
+
+// Dest implements Pattern.
+func (b BitComplement) Dest(_ *rand.Rand, src gc.NodeID) gc.NodeID {
+	return src ^ gc.NodeID(1<<b.Bits-1)
+}
+
+// Name implements Pattern.
+func (b BitComplement) Name() string { return "bit-complement" }
+
+// Transpose rotates the address by half its width: destination =
+// src[hi half] swapped with src[lo half]. With odd widths the middle
+// bit stays put.
+type Transpose struct {
+	Bits uint
+}
+
+// Dest implements Pattern.
+func (t Transpose) Dest(_ *rand.Rand, src gc.NodeID) gc.NodeID {
+	half := t.Bits / 2
+	lowMask := gc.NodeID(1<<half - 1)
+	low := src & lowMask
+	high := (src >> (t.Bits - half)) & lowMask
+	mid := src &^ (lowMask | lowMask<<(t.Bits-half))
+	return low<<(t.Bits-half) | mid | high
+}
+
+// Name implements Pattern.
+func (t Transpose) Name() string { return "transpose" }
+
+// Permutation sends every source to a fixed partner drawn from a
+// seeded random permutation (a derangement-ish pattern: self-mappings
+// are resampled by the simulator). Unlike Uniform, each source loads
+// exactly one destination, the classic permutation-routing benchmark.
+type Permutation struct {
+	perm []gc.NodeID
+}
+
+// NewPermutation builds a permutation pattern over 2^bits nodes.
+func NewPermutation(bits uint, seed int64) *Permutation {
+	n := 1 << bits
+	perm := make([]gc.NodeID, n)
+	for i := range perm {
+		perm[i] = gc.NodeID(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return &Permutation{perm: perm}
+}
+
+// Dest implements Pattern.
+func (p *Permutation) Dest(_ *rand.Rand, src gc.NodeID) gc.NodeID {
+	return p.perm[int(src)%len(p.perm)]
+}
+
+// Name implements Pattern.
+func (p *Permutation) Name() string { return "permutation" }
+
+// HotSpot sends a fraction of traffic to one hot node and the rest
+// uniformly.
+type HotSpot struct {
+	Bits     uint
+	Hot      gc.NodeID
+	Fraction float64 // probability of targeting the hot node
+}
+
+// Dest implements Pattern.
+func (h HotSpot) Dest(rng *rand.Rand, _ gc.NodeID) gc.NodeID {
+	if rng.Float64() < h.Fraction {
+		return h.Hot
+	}
+	return gc.NodeID(rng.Intn(1 << h.Bits))
+}
+
+// Name implements Pattern.
+func (h HotSpot) Name() string { return fmt.Sprintf("hotspot(%d,%.2f)", h.Hot, h.Fraction) }

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{Bits: 4}
+	seen := make(map[gc.NodeID]bool)
+	for i := 0; i < 2000; i++ {
+		d := u.Dest(rng, 0)
+		if int(d) >= 16 {
+			t.Fatalf("destination %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("uniform hit %d/16 destinations", len(seen))
+	}
+	if u.Name() != "uniform" {
+		t.Error("name wrong")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	b := BitComplement{Bits: 6}
+	if b.Dest(nil, 0) != 63 {
+		t.Error("complement of 0 must be 63")
+	}
+	if b.Dest(nil, 0b101010) != 0b010101 {
+		t.Error("complement wrong")
+	}
+	// Involution.
+	for v := gc.NodeID(0); v < 64; v++ {
+		if b.Dest(nil, b.Dest(nil, v)) != v {
+			t.Fatalf("complement not involutive at %d", v)
+		}
+	}
+	if b.Name() != "bit-complement" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTransposeEven(t *testing.T) {
+	tr := Transpose{Bits: 6}
+	// 6 bits: halves of 3. src = abc def -> def abc.
+	if got := tr.Dest(nil, 0b101001); got != 0b001101 {
+		t.Errorf("transpose = %06b", got)
+	}
+	// Involution for even widths.
+	for v := gc.NodeID(0); v < 64; v++ {
+		if tr.Dest(nil, tr.Dest(nil, v)) != v {
+			t.Fatalf("transpose not involutive at %d", v)
+		}
+	}
+}
+
+func TestTransposeOdd(t *testing.T) {
+	tr := Transpose{Bits: 5}
+	// 5 bits: halves of 2, middle bit fixed. src = ab c de -> de c ab.
+	if got := tr.Dest(nil, 0b10110); got != 0b10110>>3|0b00100|0b10<<3 {
+		t.Errorf("transpose odd = %05b", got)
+	}
+	for v := gc.NodeID(0); v < 32; v++ {
+		d := tr.Dest(nil, v)
+		if int(d) >= 32 {
+			t.Fatalf("out of range at %d", v)
+		}
+		if tr.Dest(nil, d) != v {
+			t.Fatalf("odd transpose not involutive at %d", v)
+		}
+	}
+	if tr.Name() != "transpose" {
+		t.Error("name wrong")
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	p := NewPermutation(5, 42)
+	// It must be a bijection on [0, 32).
+	seen := make(map[gc.NodeID]bool)
+	for v := gc.NodeID(0); v < 32; v++ {
+		d := p.Dest(nil, v)
+		if int(d) >= 32 {
+			t.Fatalf("dest %d out of range", d)
+		}
+		if seen[d] {
+			t.Fatalf("destination %d repeated: not a permutation", d)
+		}
+		seen[d] = true
+	}
+	// Deterministic per seed, different across seeds.
+	q := NewPermutation(5, 42)
+	r := NewPermutation(5, 43)
+	same, diff := true, false
+	for v := gc.NodeID(0); v < 32; v++ {
+		if p.Dest(nil, v) != q.Dest(nil, v) {
+			same = false
+		}
+		if p.Dest(nil, v) != r.Dest(nil, v) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed must give same permutation")
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+	if p.Name() != "permutation" {
+		t.Error("name wrong")
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := HotSpot{Bits: 5, Hot: 7, Fraction: 0.5}
+	hot := 0
+	total := 4000
+	for i := 0; i < total; i++ {
+		if h.Dest(rng, 0) == 7 {
+			hot++
+		}
+	}
+	// Expected fraction: 0.5 + 0.5/32 ~ 0.515.
+	if hot < total/3 || hot > total*2/3 {
+		t.Errorf("hot fraction = %d/%d", hot, total)
+	}
+	if h.Name() == "" {
+		t.Error("name empty")
+	}
+}
