@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz figures clean
+.PHONY: all build vet test race bench bench-json fuzz figures clean
 
 all: build vet test
 
@@ -17,7 +17,12 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark run (BENCHTIME=1x for a smoke pass).
+BENCHTIME ?= 1s
+bench-json:
+	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o BENCH_1.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzRoute -fuzztime=30s ./internal/core/
@@ -28,4 +33,4 @@ figures:
 	$(GO) run ./cmd/gcbench -svg charts -csv data -report report.md
 
 clean:
-	rm -rf charts data report.md test_output.txt bench_output.txt
+	rm -rf charts data report.md test_output.txt bench_output.txt BENCH_1.json

@@ -1,0 +1,125 @@
+package gaussiancube_bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+// Allocation regression tests for the fault-free hot path. The bounds
+// are the post-optimization baselines (precomputed topology tables,
+// pooled route scratch, append-style APIs); a change that reintroduces
+// per-route maps or per-call table construction blows well past them.
+//
+// They live in this non-race-tested package on purpose: the race
+// detector instruments allocations and would distort AllocsPerRun.
+
+func allocPairs(cube *gc.Cube, n int, seed int64) [][2]gc.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([][2]gc.NodeID, n)
+	for i := range pairs {
+		pairs[i] = [2]gc.NodeID{
+			gc.NodeID(rng.Intn(cube.Nodes())), gc.NodeID(rng.Intn(cube.Nodes())),
+		}
+	}
+	return pairs
+}
+
+// TestRouteAllocs: Route allocates only its Result envelope — the
+// Result value plus the caller-owned Path and TreeWalk copies.
+func TestRouteAllocs(t *testing.T) {
+	cube := gc.New(14, 2)
+	r := core.NewRouter(cube)
+	pairs := allocPairs(cube, 64, 7)
+	// Warm the scratch pool over every pair so its buffers reach their
+	// steady-state sizes before measuring.
+	for _, p := range pairs {
+		if _, err := r.Route(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The error is checked outside the measured closure: a t.Fatal call
+	// site inside it costs an allocation of its own.
+	var firstErr error
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		if _, err := r.Route(p[0], p[1]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if allocs > 3 {
+		t.Fatalf("Route: %v allocs/route, want <= 3 (Result + Path + TreeWalk)", allocs)
+	}
+}
+
+// TestRouteIntoAllocs: a warmed-up RouteInto with a capacious
+// destination buffer performs zero heap allocations per route.
+func TestRouteIntoAllocs(t *testing.T) {
+	cube := gc.New(14, 2)
+	r := core.NewRouter(cube)
+	pairs := allocPairs(cube, 64, 7)
+	dst := make([]gc.NodeID, 0, 64)
+	// Warm the scratch pool and the destination buffer.
+	for _, p := range pairs {
+		var err error
+		dst, err = r.RouteInto(dst[:0], p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var firstErr error
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		var err error
+		dst, err = r.RouteInto(dst[:0], p[0], p[1])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if allocs >= 1 {
+		t.Fatalf("RouteInto: %v allocs/route, want 0", allocs)
+	}
+}
+
+// TestPCAllocs: PC allocates exactly its result slice; AppendPC into a
+// capacious buffer allocates nothing.
+func TestPCAllocs(t *testing.T) {
+	tr := gtree.New(14)
+	s, d := gtree.Node(5), gtree.Node(tr.Nodes()-3)
+	if allocs := testing.AllocsPerRun(200, func() { tr.PC(s, d) }); allocs > 1 {
+		t.Fatalf("PC: %v allocs, want <= 1 (the result slice)", allocs)
+	}
+	buf := make([]gtree.Node, 0, 64)
+	allocs := testing.AllocsPerRun(200, func() { buf = tr.AppendPC(buf[:0], s, d) })
+	if allocs >= 1 {
+		t.Fatalf("AppendPC: %v allocs, want 0", allocs)
+	}
+}
+
+// TestNeighborsAllocs: Neighbors allocates exactly its result slice;
+// AppendNeighbors into a capacious buffer allocates nothing.
+func TestNeighborsAllocs(t *testing.T) {
+	cube := gc.New(14, 2)
+	p := gc.NodeID(12345)
+	if allocs := testing.AllocsPerRun(200, func() { cube.Neighbors(p) }); allocs > 1 {
+		t.Fatalf("Neighbors: %v allocs, want <= 1 (the result slice)", allocs)
+	}
+	buf := make([]gc.NodeID, 0, 16)
+	allocs := testing.AllocsPerRun(200, func() { buf = cube.AppendNeighbors(buf[:0], p) })
+	if allocs >= 1 {
+		t.Fatalf("AppendNeighbors: %v allocs, want 0", allocs)
+	}
+}

@@ -235,6 +235,57 @@ func BenchmarkRoutePlanning(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteInto measures the allocation-free variant of the hot
+// path: same workload as BenchmarkRoutePlanning minus the Result
+// envelope (expected ~0 allocs/op under -benchmem).
+func BenchmarkRouteInto(b *testing.B) {
+	cube := gc.New(14, 2)
+	r := core.NewRouter(cube)
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]gc.NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]gc.NodeID{
+			gc.NodeID(rng.Intn(cube.Nodes())), gc.NodeID(rng.Intn(cube.Nodes())),
+		}
+	}
+	dst := make([]gc.NodeID, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		var err error
+		if dst, err = r.RouteInto(dst[:0], p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteCache measures the simulator's sharded LRU route cache
+// on a repeating pair workload (the permutation-traffic case it serves).
+func BenchmarkRouteCache(b *testing.B) {
+	cube := gc.New(14, 2)
+	r := core.NewRouter(cube)
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([][2]gc.NodeID, 1024)
+	for i := range pairs {
+		pairs[i] = [2]gc.NodeID{
+			gc.NodeID(rng.Intn(cube.Nodes())), gc.NodeID(rng.Intn(cube.Nodes())),
+		}
+	}
+	cache := simnet.NewRouteCache(simnet.DefaultRouteCacheCapacity)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, ok := cache.Get(p[0], p[1]); ok {
+			continue
+		}
+		res, err := r.Route(p[0], p[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache.Put(p[0], p[1], res.Path)
+	}
+}
+
 // BenchmarkFREH measures fault-tolerant exchanged-hypercube routing.
 func BenchmarkFREH(b *testing.B) {
 	e := exchanged.New(6, 6)

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: gaussiancube
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRoutePlanning-8   	 2068088	      1134 ns/op	     155 B/op	       3 allocs/op
+BenchmarkFig2Diameter-8    	     100	   5866218 ns/op	        81.00 diam(T_2^14)	 2633704 B/op	   66563 allocs/op
+PASS
+ok  	gaussiancube	2.761s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU == "" {
+		t.Fatalf("header fields wrong: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkRoutePlanning" || b.Package != "gaussiancube" || b.Iterations != 2068088 {
+		t.Fatalf("first benchmark wrong: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 1134 || b.Metrics["allocs/op"] != 3 {
+		t.Fatalf("metrics wrong: %v", b.Metrics)
+	}
+	// Custom b.ReportMetric units survive.
+	if rep.Benchmarks[1].Metrics["diam(T_2^14)"] != 81 {
+		t.Fatalf("custom metric lost: %v", rep.Benchmarks[1].Metrics)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader("PASS\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks == nil || len(rep.Benchmarks) != 0 {
+		t.Fatalf("want empty non-nil benchmark list, got %#v", rep.Benchmarks)
+	}
+}

@@ -48,3 +48,72 @@ func TestRouterConcurrentUse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRouterConcurrentDeterministic hammers one fault-free Router's
+// pooled-scratch hot path from many goroutines: every concurrent
+// Route/RouteInto/OptimalLength must reproduce the sequential answers
+// bit for bit (run under -race in CI).
+func TestRouterConcurrentDeterministic(t *testing.T) {
+	cube := gc.New(12, 2)
+	r := NewRouter(cube)
+
+	const pairsN = 128
+	rng := rand.New(rand.NewSource(21))
+	pairs := make([][2]gc.NodeID, pairsN)
+	want := make([][]gc.NodeID, pairsN)
+	for i := range pairs {
+		s := randNode(rng, cube.Nodes())
+		d := randNode(rng, cube.Nodes())
+		pairs[i] = [2]gc.NodeID{s, d}
+		res, err := r.Route(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Path
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]gc.NodeID, 0, 64)
+			for rep := 0; rep < 50; rep++ {
+				i := (w*53 + rep) % pairsN
+				s, d := pairs[i][0], pairs[i][1]
+				var path []gc.NodeID
+				if rep%2 == 0 {
+					res, err := r.Route(s, d)
+					if err != nil {
+						t.Errorf("pair %d: %v", i, err)
+						return
+					}
+					path = res.Path
+				} else {
+					var err error
+					buf, err = r.RouteInto(buf[:0], s, d)
+					if err != nil {
+						t.Errorf("pair %d: %v", i, err)
+						return
+					}
+					path = buf
+				}
+				if len(path) != len(want[i]) {
+					t.Errorf("pair %d: path length %d, want %d", i, len(path), len(want[i]))
+					return
+				}
+				for j := range path {
+					if path[j] != want[i][j] {
+						t.Errorf("pair %d: path diverges at hop %d", i, j)
+						return
+					}
+				}
+				if n := r.OptimalLength(s, d); n != len(want[i])-1 {
+					t.Errorf("pair %d: OptimalLength %d, want %d", i, n, len(want[i])-1)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

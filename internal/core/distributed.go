@@ -65,7 +65,7 @@ func (r *Router) NextHop(cur, dest gc.NodeID) (gc.NodeID, bool) {
 			need = append(need, k)
 		}
 	}
-	walk := treeWalkVisiting(c.Tree(), kCur, c.EndingClass(dest), need)
+	walk := c.Tree().AppendWalkVisiting(nil, kCur, c.EndingClass(dest), need)
 	if len(walk) < 2 {
 		// No tree move and no high dimension left: cur == dest was
 		// handled above, so this cannot happen.

@@ -5,74 +5,67 @@ import (
 	"gaussiancube/internal/exchanged"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/gtree"
+	"gaussiancube/internal/hypercube"
 )
 
 // routePlan is the tree-level plan of FFGCR (Algorithm 3): the class
 // walk to perform and the high dimensions to correct, grouped by the
-// class that owns them.
+// class that owns them. Its slices are scratch-backed and reused across
+// routes (see routeScratch); a plan is valid only until the next
+// planInto call on the same scratch.
 type routePlan struct {
-	s, d gc.NodeID
 	// walk is the ending-class walk: the PC trunk from class(s) to
 	// class(d), with CT excursions attached at branch points so that
 	// every class owning a pending dimension is visited.
 	walk []gtree.Node
-	// pending[k] is the mask of GC dimensions in Dim(k) that must be
-	// flipped, for each class k that owns at least one.
-	pending map[gtree.Node]uint32
+	// classes lists the classes owning at least one pending dimension,
+	// in first-seen (ascending-dimension) order; masks[i] is the mask of
+	// GC dimensions in Dim(classes[i]) that must be flipped. At most n
+	// entries, so linear scans beat a map both in time and allocation.
+	classes []gtree.Node
+	masks   []uint32
 }
 
-// plan computes the FFGCR tree-level plan for the pair (s, d).
-func (r *Router) plan(s, d gc.NodeID) *routePlan {
+// routeScratch is the pooled per-route working state. Routers hand one
+// to each in-flight Route call, which keeps a single Router safe for
+// concurrent use while making the fault-free hot path allocation-free.
+type routeScratch struct {
+	plan   routePlan
+	path   []gc.NodeID
+	hcWalk []hypercube.Node
+}
+
+// planInto computes the FFGCR tree-level plan for the pair (s, d) into
+// the scratch-backed plan p.
+func (r *Router) planInto(p *routePlan, s, d gc.NodeID) {
 	c := r.cube
-	tr := c.Tree()
-	p := &routePlan{s: s, d: d, pending: make(map[gtree.Node]uint32)}
+	p.classes = p.classes[:0]
+	p.masks = p.masks[:0]
 
 	// P = { i in [alpha, n-1] : bit i of s XOR d set }, grouped by the
 	// owning class i mod 2^alpha (Definition 2 / Section 4).
-	diff := uint64(s ^ d)
-	var need []gtree.Node
-	for _, i := range bitutil.BitsSet(diff) {
-		if i < c.Alpha() {
-			continue
+	alpha := c.Alpha()
+	diff := uint64(s^d) &^ (1<<alpha - 1)
+	for m := diff; m != 0; m &= m - 1 {
+		i := uint(bitutil.LowestBit(m))
+		k := gtree.Node(bitutil.Low(uint64(i), alpha))
+		idx := -1
+		for j, kc := range p.classes {
+			if kc == k {
+				idx = j
+				break
+			}
 		}
-		k := gtree.Node(bitutil.Low(uint64(i), c.Alpha()))
-		if p.pending[k] == 0 {
-			need = append(need, k)
+		if idx < 0 {
+			p.classes = append(p.classes, k)
+			p.masks = append(p.masks, 0)
+			idx = len(p.classes) - 1
 		}
-		p.pending[k] |= 1 << i
+		p.masks[idx] |= 1 << i
 	}
 
-	ks, kd := c.EndingClass(s), c.EndingClass(d)
-	p.walk = treeWalkVisiting(tr, ks, kd, need)
-	return p
-}
-
-// treeWalkVisiting builds the minimal walk from ks to kd in the tree
-// that visits every class in need: the PC trunk, with a CT closed
-// traversal attached at the branch point of each off-trunk class. The
-// walk crosses trunk edges once and every other Steiner edge twice,
-// which is the minimum possible, making the overall FFGCR route
-// distance-optimal in the cube.
-func treeWalkVisiting(tr *gtree.Tree, ks, kd gtree.Node, need []gtree.Node) []gtree.Node {
-	trunk := tr.PC(ks, kd)
-	onTrunk := gtree.NewNodeSet(trunk...)
-	branch := make(map[gtree.Node][]gtree.Node)
-	for _, k := range need {
-		if onTrunk[k] {
-			continue
-		}
-		b := tr.FindBP(onTrunk, ks, k)
-		branch[b] = append(branch[b], k)
-	}
-	walk := make([]gtree.Node, 0, len(trunk))
-	for _, v := range trunk {
-		walk = append(walk, v)
-		if dests := branch[v]; len(dests) > 0 {
-			excursion := tr.CT(v, dests)
-			walk = append(walk, excursion[1:]...)
-		}
-	}
-	return walk
+	tr := c.Tree()
+	p.walk = tr.AppendWalkVisiting(p.walk[:0], c.EndingClass(s), c.EndingClass(d), p.classes)
 }
 
 // optimal returns the fault-free length of the planned route: the tree
@@ -82,54 +75,53 @@ func treeWalkVisiting(tr *gtree.Tree, ks, kd gtree.Node, need []gtree.Node) []gt
 // path is a tree walk covering those classes).
 func (p *routePlan) optimal() int {
 	hops := len(p.walk) - 1
-	for _, mask := range p.pending {
+	for _, mask := range p.masks {
 		hops += bitutil.OnesCount(uint64(mask))
 	}
 	return hops
 }
 
-// execute turns the plan into a hop-by-hop path, fault-free or around
-// the router's fault set.
-func (r *Router) execute(p *routePlan, s, d gc.NodeID) ([]gc.NodeID, error) {
-	path := []gc.NodeID{s}
+// execute turns the plan into a hop-by-hop path appended onto path
+// (starting with s), fault-free or around the router's fault set. It
+// consumes the plan's pending masks (zeroing each as it is applied).
+func (r *Router) execute(sc *routeScratch, path []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error) {
+	p := &sc.plan
+	path = append(path, s)
 	cur := s
-	visited := make(map[gtree.Node]bool)
 
 	for i, k := range p.walk {
-		if !visited[k] {
-			visited[k] = true
-			if mask := p.pending[k]; mask != 0 {
-				hops, err := r.fixClassDims(cur, mask)
+		for j, kc := range p.classes {
+			if kc == k && p.masks[j] != 0 {
+				var err error
+				path, cur, err = r.fixClassDims(sc, path, cur, p.masks[j])
 				if err != nil {
-					return nil, err
+					return path, err
 				}
-				path = append(path, hops...)
-				if len(hops) > 0 {
-					cur = hops[len(hops)-1]
-				}
+				p.masks[j] = 0
+				break
 			}
 		}
 		if i+1 < len(p.walk) {
-			hops, err := r.crossTreeEdge(cur, k, p.walk[i+1])
+			var err error
+			path, cur, err = r.crossTreeEdge(path, cur, k, p.walk[i+1])
 			if err != nil {
-				return nil, err
+				return path, err
 			}
-			path = append(path, hops...)
-			cur = hops[len(hops)-1]
 		}
 	}
 	if cur != d {
 		// The plan guarantees cur == d by construction; reaching here
 		// means an inconsistent fault detour.
-		return nil, ErrUnreachable
+		return path, ErrUnreachable
 	}
 	return path, nil
 }
 
 // fixClassDims flips the given mask of high dimensions (all owned by
-// cur's ending class) by routing inside the GEEC slice of cur. Returns
-// the hops after cur.
-func (r *Router) fixClassDims(cur gc.NodeID, mask uint32) ([]gc.NodeID, error) {
+// cur's ending class) by routing inside the GEEC slice of cur,
+// appending the hops after cur onto path. Returns the extended path and
+// the new current node.
+func (r *Router) fixClassDims(sc *routeScratch, path []gc.NodeID, cur gc.NodeID, mask uint32) ([]gc.NodeID, gc.NodeID, error) {
 	g := r.cube.GEECOf(cur)
 	from := g.FromGC(cur)
 	to := from
@@ -139,53 +131,64 @@ func (r *Router) fixClassDims(cur gc.NodeID, mask uint32) ([]gc.NodeID, error) {
 		}
 	}
 	if to == from {
-		return nil, nil
+		return path, cur, nil
 	}
-	if r.faults != nil && r.faults.NodeFaulty(g.ToGC(to)) {
+	if r.faults == nil {
+		// Fault-free: dimension-ordered routing inside the slice,
+		// translated hop by hop through the embedding.
+		sc.hcWalk = hypercube.AppendECubeRoute(sc.hcWalk[:0], from, to)
+		for _, x := range sc.hcWalk[1:] {
+			cur = g.ToGC(x)
+			path = append(path, cur)
+		}
+		return path, cur, nil
+	}
+	if r.faults.NodeFaulty(g.ToGC(to)) {
 		// The forced class-exit node is faulty: beyond the strategy
 		// (see package comment); the caller may fall back.
-		return nil, ErrUnreachable
+		return path, cur, ErrUnreachable
 	}
 	walk, err := r.subcubeRoute(g, from, to)
 	if err != nil {
-		return nil, ErrUnreachable
+		return path, cur, ErrUnreachable
 	}
-	out := make([]gc.NodeID, 0, len(walk)-1)
 	for _, x := range walk[1:] {
-		out = append(out, g.ToGC(x))
+		cur = g.ToGC(x)
+		path = append(path, cur)
 	}
-	return out, nil
+	return path, cur, nil
 }
 
 // crossTreeEdge moves cur from class "from" to the neighboring class
 // "to" over the tree-edge link, detouring through the pair subgraph
-// G(from, to, k) with FREH when the direct link is unusable. Returns the
-// hops after cur.
-func (r *Router) crossTreeEdge(cur gc.NodeID, from, to gtree.Node) ([]gc.NodeID, error) {
+// G(from, to, k) with FREH when the direct link is unusable, appending
+// the hops after cur onto path. Returns the extended path and the new
+// current node.
+func (r *Router) crossTreeEdge(path []gc.NodeID, cur gc.NodeID, from, to gtree.Node) ([]gc.NodeID, gc.NodeID, error) {
 	c := r.cube
 	dim := c.Tree().EdgeDim(from, to)
 	tgt := cur ^ (1 << dim)
 	if r.faults == nil || (!r.faults.LinkFaulty(cur, dim) && !r.faults.NodeFaulty(tgt)) {
-		return []gc.NodeID{tgt}, nil
+		return append(path, tgt), tgt, nil
 	}
 	if r.faults.NodeFaulty(tgt) {
 		// The forced landing node is faulty; the pair subgraph cannot
 		// route onto it either.
-		return nil, ErrUnreachable
+		return path, cur, ErrUnreachable
 	}
 	pair, err := c.PairOf(from, to, cur)
 	if err != nil {
 		// Degenerate pair (empty Dim set): the single link was the only
 		// way across at this frame.
-		return nil, ErrUnreachable
+		return path, cur, ErrUnreachable
 	}
 	walk, err := exchanged.Route(pair.EH(), r.faults.PairView(pair), pair.FromGC(cur), pair.FromGC(tgt))
 	if err != nil {
-		return nil, ErrUnreachable
+		return path, cur, ErrUnreachable
 	}
-	out := make([]gc.NodeID, 0, len(walk)-1)
 	for _, x := range walk[1:] {
-		out = append(out, pair.ToGC(x))
+		cur = pair.ToGC(x)
+		path = append(path, cur)
 	}
-	return out, nil
+	return path, cur, nil
 }

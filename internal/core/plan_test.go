@@ -24,7 +24,7 @@ func TestTreeWalkVisitingIsMinimal(t *testing.T) {
 		for i := 0; i < rng.Intn(5); i++ {
 			need = append(need, gtree.Node(rng.Intn(tr.Nodes())))
 		}
-		walk := treeWalkVisiting(tr, ks, kd, need)
+		walk := tr.AppendWalkVisiting(nil, ks, kd, need)
 		if walk[0] != ks || walk[len(walk)-1] != kd {
 			t.Fatalf("walk endpoints wrong: %v", walk)
 		}
@@ -57,9 +57,11 @@ func TestPlanPendingPartition(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		s := randNode(rng, c.Nodes())
 		d := randNode(rng, c.Nodes())
-		p := r.plan(s, d)
+		var p routePlan
+		r.planInto(&p, s, d)
 		var union uint32
-		for k, mask := range p.pending {
+		for j, k := range p.classes {
+			mask := p.masks[j]
 			if mask == 0 {
 				t.Fatal("zero mask stored")
 			}

@@ -29,6 +29,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/fault"
@@ -54,14 +55,18 @@ const (
 )
 
 // Router computes routes in a Gaussian Cube, optionally around a fault
-// set. A Router holds no mutable state, so a single instance may be
-// used from multiple goroutines concurrently (provided the fault set is
-// not mutated during routing).
+// set. Its only mutable state is a pool of per-route scratch buffers,
+// so a single instance may be used from multiple goroutines
+// concurrently (provided the fault set is not mutated during routing).
 type Router struct {
 	cube      *gc.Cube
 	faults    *fault.Set // nil means fault-free
 	substrate Substrate
 	fallback  bool
+	// scratch pools routeScratch values; every Route/RouteInto call
+	// checks one out for its lifetime, which is what keeps the
+	// fault-free hot path allocation-free without a per-call lock.
+	scratch sync.Pool
 }
 
 // Option configures a Router.
@@ -79,6 +84,7 @@ func WithoutFallback() Option { return func(r *Router) { r.fallback = false } }
 // NewRouter builds a router over cube c.
 func NewRouter(c *gc.Cube, opts ...Option) *Router {
 	r := &Router{cube: c, fallback: true}
+	r.scratch.New = func() any { return new(routeScratch) }
 	for _, o := range opts {
 		o(r)
 	}
@@ -142,34 +148,77 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 	if r.faults != nil && (r.faults.NodeFaulty(s) || r.faults.NodeFaulty(d)) {
 		return nil, ErrFaultyEndpoint
 	}
-	plan := r.plan(s, d)
+	sc := r.scratch.Get().(*routeScratch)
+	r.planInto(&sc.plan, s, d)
 	res := &Result{
 		Source:   s,
 		Dest:     d,
-		TreeWalk: plan.walk,
-		Optimal:  plan.optimal(),
+		TreeWalk: append([]gtree.Node(nil), sc.plan.walk...),
+		Optimal:  sc.plan.optimal(),
 	}
-	path, err := r.execute(plan, s, d)
+	path, err := r.execute(sc, sc.path[:0], s, d)
 	if err == nil {
-		res.Path = path
+		res.Path = append([]gc.NodeID(nil), path...)
+	}
+	sc.path = path[:0] // retain the grown buffer for the next route
+	r.scratch.Put(sc)
+	if err == nil {
 		return res, nil
 	}
 	if !r.fallback {
 		return nil, err
 	}
-	path = r.bfsFallback(s, d)
-	if path == nil {
+	fb := r.bfsFallback(s, d)
+	if fb == nil {
 		return nil, ErrUnreachable
 	}
-	res.Path = path
+	res.Path = fb
 	res.UsedFallback = true
 	return res, nil
+}
+
+// RouteInto computes a route from s to d and appends its hop-by-hop
+// path (endpoints included) onto dst, returning the extended slice. It
+// is Route without the Result envelope: when dst has capacity, a
+// warmed-up fault-free call performs zero heap allocations. When the
+// strategy fails against the fault pattern and the fallback is enabled,
+// the BFS fallback path is appended instead.
+func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error) {
+	if int(s) >= r.cube.Nodes() || int(d) >= r.cube.Nodes() {
+		return dst, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
+	}
+	if r.faults != nil && (r.faults.NodeFaulty(s) || r.faults.NodeFaulty(d)) {
+		return dst, ErrFaultyEndpoint
+	}
+	sc := r.scratch.Get().(*routeScratch)
+	r.planInto(&sc.plan, s, d)
+	path, err := r.execute(sc, sc.path[:0], s, d)
+	if err == nil {
+		dst = append(dst, path...)
+	}
+	sc.path = path[:0]
+	r.scratch.Put(sc)
+	if err == nil {
+		return dst, nil
+	}
+	if !r.fallback {
+		return dst, err
+	}
+	fb := r.bfsFallback(s, d)
+	if fb == nil {
+		return dst, ErrUnreachable
+	}
+	return append(dst, fb...), nil
 }
 
 // OptimalLength returns the fault-free length of the strategy's route,
 // which equals the Gaussian Cube distance between s and d.
 func (r *Router) OptimalLength(s, d gc.NodeID) int {
-	return r.plan(s, d).optimal()
+	sc := r.scratch.Get().(*routeScratch)
+	r.planInto(&sc.plan, s, d)
+	n := sc.plan.optimal()
+	r.scratch.Put(sc)
+	return n
 }
 
 // bfsFallback routes over the healthy subgraph.

@@ -306,13 +306,23 @@ func QuickSweep() SimSweep {
 // run executes one averaged simulation point.
 func run(n, alpha uint, sweep SimSweep, faults func(c *gc.Cube, seed int64) *fault.Set) (lat, log2thr float64) {
 	var latAcc, thrAcc float64
+	// Fault-free seeds of one point route over the identical topology,
+	// so they can share one bounded cache: routes are deterministic, so
+	// a cache hit returns exactly the path a fresh computation would,
+	// and per-seed Stats stay reproducible. Faulty points get a fresh
+	// fault set per seed and must not share.
+	var cache *simnet.RouteCache
+	if faults == nil {
+		cache = simnet.NewRouteCache(simnet.DefaultRouteCacheCapacity)
+	}
 	for _, seed := range sweep.Seeds {
 		cfg := simnet.Config{
-			N:         n,
-			Alpha:     alpha,
-			Arrival:   sweep.Arrival,
-			GenCycles: sweep.GenCycles,
-			Seed:      seed,
+			N:          n,
+			Alpha:      alpha,
+			Arrival:    sweep.Arrival,
+			GenCycles:  sweep.GenCycles,
+			Seed:       seed,
+			RouteCache: cache,
 		}
 		if faults != nil {
 			cube := gc.New(n, alpha)

@@ -26,6 +26,7 @@ package gc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/graph"
@@ -35,11 +36,40 @@ import (
 // NodeID is a Gaussian Cube node label: an n-bit string.
 type NodeID = graph.NodeID
 
+// classInfo caches everything about an ending class k that Theorem 1
+// makes a pure function of the low alpha bits: the link-dimension set,
+// its high subset Dim(k), and the complementary frame dimensions. The
+// slices are shared and must be treated as read-only by callers.
+type classInfo struct {
+	linkMask  uint64 // bitmask over [0, n) of dimensions with links
+	dimMask   uint64 // bitmask of Dim(k) ⊆ [alpha, n)
+	linkDims  []uint // link dimensions, ascending
+	dims      []uint // Dim(k), ascending
+	frameDims []uint // [alpha, n) \ Dim(k), ascending
+	geecOff   int    // offset of this class's GEEC slots (frame value 0)
+}
+
+// Table limits: per-class tables are materialized for 2^alpha classes
+// and GEEC slots for every (class, frame) slice; above these sizes the
+// cube falls back to on-the-fly computation.
+const (
+	maxTableAlpha = 16
+	maxGEECSlots  = 1 << 20
+)
+
 // Cube is the Gaussian Cube GC(n, 2^alpha).
 type Cube struct {
 	n     uint
 	alpha uint
 	tree  *gtree.Tree
+
+	// classes, when non-nil, holds the precomputed per-class tables
+	// (alpha <= maxTableAlpha). LinkDims, Neighbors, Degree, Dim,
+	// FrameDims and the GEEC constructors are served from it.
+	classes []classInfo
+	// geecSlots, when non-nil, memoizes one *GEEC per (class, frame)
+	// slice, lazily filled, indexed classes[k].geecOff + t.
+	geecSlots []atomic.Pointer[GEEC]
 }
 
 // New constructs GC(n, 2^alpha). n must be in [1, 26] and alpha in
@@ -51,7 +81,47 @@ func New(n, alpha uint) *Cube {
 	if alpha > n {
 		panic(fmt.Sprintf("gc: alpha=%d exceeds dimension n=%d", alpha, n))
 	}
-	return &Cube{n: n, alpha: alpha, tree: gtree.New(alpha)}
+	c := &Cube{n: n, alpha: alpha, tree: gtree.New(alpha)}
+	c.buildTables()
+	return c
+}
+
+// buildTables materializes the per-class topology tables and the GEEC
+// memoization slots. Everything here restates Theorem 1 / Definition 2:
+// the link structure of a node depends only on its ending class.
+func (c *Cube) buildTables() {
+	if c.alpha > maxTableAlpha {
+		return
+	}
+	m := 1 << c.alpha
+	c.classes = make([]classInfo, m)
+	slots := 0
+	for k := 0; k < m; k++ {
+		ci := &c.classes[k]
+		for d := uint(0); d < c.n; d++ {
+			if c.hasLinkDimRule(NodeID(k), d) {
+				ci.linkMask |= 1 << d
+				ci.linkDims = append(ci.linkDims, d)
+				if d >= c.alpha {
+					ci.dimMask |= 1 << d
+					ci.dims = append(ci.dims, d)
+				}
+			} else if d >= c.alpha {
+				ci.frameDims = append(ci.frameDims, d)
+			}
+		}
+		ci.geecOff = slots
+		if slots >= 0 {
+			if len(ci.frameDims) > 20 {
+				slots = -1 // frame too wide to enumerate
+			} else {
+				slots += 1 << len(ci.frameDims)
+			}
+		}
+	}
+	if slots >= 0 && slots <= maxGEECSlots {
+		c.geecSlots = make([]atomic.Pointer[GEEC], slots)
+	}
 }
 
 // NewM constructs GC(n, M) for a power-of-two modulus M.
@@ -82,6 +152,17 @@ func (c *Cube) Nodes() int { return 1 << c.n }
 // HasLinkDim reports whether node p has a link in dimension cdim,
 // the Theorem 1 rule.
 func (c *Cube) HasLinkDim(p NodeID, cdim uint) bool {
+	if c.classes != nil {
+		if cdim >= c.n {
+			return false
+		}
+		return c.classes[c.classIndex(p)].linkMask>>cdim&1 == 1
+	}
+	return c.hasLinkDimRule(p, cdim)
+}
+
+// hasLinkDimRule evaluates the Theorem 1 rule directly, without tables.
+func (c *Cube) hasLinkDimRule(p NodeID, cdim uint) bool {
 	if cdim >= c.n {
 		return false
 	}
@@ -94,11 +175,22 @@ func (c *Cube) HasLinkDim(p NodeID, cdim uint) bool {
 	return bitutil.Low(uint64(p), c.alpha) == bitutil.Low(uint64(cdim), c.alpha)
 }
 
-// LinkDims returns the dimensions in which p has links, ascending.
+// classIndex returns the low alpha bits of p: its index into the
+// per-class tables.
+func (c *Cube) classIndex(p NodeID) uint {
+	return uint(p) & (uint(len(c.classes)) - 1)
+}
+
+// LinkDims returns the dimensions in which p has links, ascending. The
+// returned slice is a shared precomputed table entry; callers must not
+// modify it.
 func (c *Cube) LinkDims(p NodeID) []uint {
+	if c.classes != nil {
+		return c.classes[c.classIndex(p)].linkDims
+	}
 	out := make([]uint, 0, 4)
 	for d := uint(0); d < c.n; d++ {
-		if c.HasLinkDim(p, d) {
+		if c.hasLinkDimRule(p, d) {
 			out = append(out, d)
 		}
 	}
@@ -115,8 +207,22 @@ func (c *Cube) Neighbors(p NodeID) []NodeID {
 	return out
 }
 
+// AppendNeighbors appends the neighbors of p onto dst and returns the
+// extended slice, allocating only when dst lacks capacity.
+func (c *Cube) AppendNeighbors(dst []NodeID, p NodeID) []NodeID {
+	for _, d := range c.LinkDims(p) {
+		dst = append(dst, p^(1<<d))
+	}
+	return dst
+}
+
 // Degree returns the number of links at p.
-func (c *Cube) Degree(p NodeID) int { return len(c.LinkDims(p)) }
+func (c *Cube) Degree(p NodeID) int {
+	if c.classes != nil {
+		return bitutil.OnesCount(c.classes[c.classIndex(p)].linkMask)
+	}
+	return len(c.LinkDims(p))
+}
 
 // HasLinkOriginal evaluates the original congruence-class definition of
 // the Gaussian Cube link between p and q: they differ in exactly one
@@ -183,8 +289,12 @@ func (c *Cube) ClassMembers(k gtree.Node) []NodeID {
 
 // Dim returns Dim(k) = [alpha, n-1] ∩ [k] mod 2^alpha: the high
 // dimensions on which every node of EC(k) has a link (Definition 2),
-// ascending.
+// ascending. The returned slice is a shared precomputed table entry;
+// callers must not modify it.
 func (c *Cube) Dim(k gtree.Node) []uint {
+	if c.classes != nil {
+		return c.classes[c.classIndex(NodeID(k))].dims
+	}
 	out := make([]uint, 0, c.DimCount(k))
 	for d := c.alpha; d < c.n; d++ {
 		if bitutil.Low(uint64(d), c.alpha) == bitutil.Low(uint64(k), c.alpha) {
@@ -194,12 +304,27 @@ func (c *Cube) Dim(k gtree.Node) []uint {
 	return out
 }
 
+// DimMask returns Dim(k) as a bitmask over the GC dimensions.
+func (c *Cube) DimMask(k gtree.Node) uint64 {
+	if c.classes != nil {
+		return c.classes[c.classIndex(NodeID(k))].dimMask
+	}
+	var mask uint64
+	for _, d := range c.Dim(k) {
+		mask |= 1 << d
+	}
+	return mask
+}
+
 // DimCount returns |Dim(k)| in closed form, the paper's N(k) from
 // Theorem 3: floor((n-1-k)/2^alpha) + 1 - delta, with delta = 1 when
 // k < alpha (the first congruent dimension k itself falls below alpha).
 func (c *Cube) DimCount(k gtree.Node) int {
 	if c.alpha == 0 {
 		return int(c.n)
+	}
+	if c.classes != nil {
+		return len(c.classes[c.classIndex(NodeID(k))].dims)
 	}
 	kk := uint(k) & (uint(1)<<c.alpha - 1)
 	if kk > c.n-1 {
@@ -214,8 +339,12 @@ func (c *Cube) DimCount(k gtree.Node) int {
 
 // FrameDims returns the dimensions in [alpha, n-1] that are NOT in
 // Dim(k): the bits frozen to the value t inside an equivalent class
-// EEC(k, t), ascending.
+// EEC(k, t), ascending. The returned slice is a shared precomputed
+// table entry; callers must not modify it.
 func (c *Cube) FrameDims(k gtree.Node) []uint {
+	if c.classes != nil {
+		return c.classes[c.classIndex(NodeID(k))].frameDims
+	}
 	out := make([]uint, 0, int(c.n-c.alpha)-c.DimCount(k))
 	for d := c.alpha; d < c.n; d++ {
 		if bitutil.Low(uint64(d), c.alpha) != bitutil.Low(uint64(k), c.alpha) {

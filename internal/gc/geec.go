@@ -2,6 +2,7 @@ package gc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/hypercube"
@@ -22,7 +23,9 @@ type GEEC struct {
 }
 
 // GEEC constructs GEEC(k, t). k must be an ending class (< 2^alpha) and
-// t must fit in the frame width n - alpha - |Dim(k)|.
+// t must fit in the frame width n - alpha - |Dim(k)|. Slices are
+// immutable and memoized: repeated calls with the same (k, t) return
+// the same shared instance when the cube's GEEC table is materialized.
 func (c *Cube) GEEC(k NodeID, t uint64) *GEEC {
 	if uint64(k) >= uint64(c.M()) {
 		panic(fmt.Sprintf("gc: ending class %d out of range for alpha=%d", k, c.alpha))
@@ -32,13 +35,28 @@ func (c *Cube) GEEC(k NodeID, t uint64) *GEEC {
 	if t >= 1<<uint(len(frame)) {
 		panic(fmt.Sprintf("gc: frame value %d out of range for %d frame dims", t, len(frame)))
 	}
+	var slot *atomic.Pointer[GEEC]
+	if c.geecSlots != nil {
+		slot = &c.geecSlots[c.classes[k].geecOff+int(t)]
+		if g := slot.Load(); g != nil {
+			return g
+		}
+	}
 	base := uint64(k)
 	for i, d := range frame {
 		if bitutil.HasBit(t, uint(i)) {
 			base = bitutil.Set(base, d)
 		}
 	}
-	return &GEEC{cube: c, k: k, t: t, dims: dims, base: NodeID(base)}
+	g := &GEEC{cube: c, k: k, t: t, dims: dims, base: NodeID(base)}
+	if slot != nil {
+		// Racing constructors build identical values; keep the first
+		// stored one canonical so pointer identity is stable.
+		if !slot.CompareAndSwap(nil, g) {
+			g = slot.Load()
+		}
+	}
+	return g
 }
 
 // GEECOf returns the unique GEEC containing node p.

@@ -17,48 +17,11 @@ import "gaussiancube/internal/graph"
 //
 // The returned closed walk starts and ends at r (a single-vertex walk if
 // dests is empty or contains only r).
+//
+// The implementation runs on the tree's pooled traversal scratch (see
+// AppendCT); only the returned walk itself is allocated.
 func (t *Tree) CT(r Node, dests []Node) []Node {
-	// Deduplicate and drop r itself; keep first-seen order so the
-	// caller controls which destination anchors the trunk.
-	seen := NodeSet{r: true}
-	D := make([]Node, 0, len(dests))
-	for _, v := range dests {
-		if !seen[v] {
-			seen[v] = true
-			D = append(D, v)
-		}
-	}
-	if len(D) == 0 {
-		return []Node{r}
-	}
-
-	d := D[0]
-	L := t.PC(r, d)
-	inL := NewNodeSet(L...)
-
-	// Branch table B(.): destinations off the trunk, grouped by the
-	// trunk vertex where their path leaves L.
-	branch := make(map[Node][]Node)
-	for _, di := range D[1:] {
-		if inL[di] {
-			continue // visited while walking the trunk
-		}
-		b := t.FindBP(inL, r, di)
-		branch[b] = append(branch[b], di)
-	}
-
-	walk := make([]Node, 0, 2*len(L))
-	for _, p := range L {
-		walk = append(walk, p)
-		if sub := branch[p]; len(sub) > 0 {
-			excursion := t.CT(p, sub)
-			walk = append(walk, excursion[1:]...)
-		}
-	}
-	for i := len(L) - 2; i >= 0; i-- {
-		walk = append(walk, L[i])
-	}
-	return walk
+	return t.AppendCT(make([]Node, 0, 8), r, dests)
 }
 
 // SteinerEdges returns the edge set of the minimal subtree of T spanning

@@ -19,37 +19,48 @@ import (
 // directly, so the O(D log D) re-sorting step is unnecessary; the result
 // is identical.
 func (t *Tree) PC(s, d Node) []Node {
-	if s == d {
-		return []Node{s}
-	}
-	return t.pcRec(s, d, nil)
+	return t.AppendPC(make([]Node, 0, t.Dist(s, d)+1), s, d)
 }
 
-// pcRec appends the path from s to d (s included only when acc is
-// empty... we keep it simple: appends s's side path then d's side) onto
-// acc and returns it. Precondition: s != d.
-func (t *Tree) pcRec(s, d Node, acc []Node) []Node {
-	c := uint(bitutil.HighestBit(uint64(s ^ d)))
-	if c == 0 {
-		// s and d are dimension-0 neighbors.
-		return append(acc, s, d)
+// AppendPC appends the PC path from s to d (both endpoints included)
+// onto dst and returns the extended slice. The recursion of Algorithm 1
+// is run iteratively over a fixed-size segment stack, so the only
+// allocation is dst growth; with sufficient capacity the call is
+// allocation-free. The emitted vertex sequence is identical to PC's.
+func (t *Tree) AppendPC(dst []Node, s, d Node) []Node {
+	// Each stack entry is a path segment still to be emitted, in order.
+	// Splitting a segment at its highest differing bit c pushes two
+	// segments whose highest differing bits are strictly below c, and at
+	// most one right-sibling segment is pending per bit value, so the
+	// stack depth is bounded by alpha + 1 <= 23.
+	type segment struct{ s, d Node }
+	var stack [24]segment
+	top := 0
+	stack[0] = segment{s, d}
+	for top >= 0 {
+		sg := stack[top]
+		top--
+		if sg.s == sg.d {
+			dst = append(dst, sg.s)
+			continue
+		}
+		c := uint(bitutil.HighestBit(uint64(sg.s ^ sg.d)))
+		if c == 0 {
+			// The endpoints are dimension-0 neighbors.
+			dst = append(dst, sg.s, sg.d)
+			continue
+		}
+		// The unique dimension-c edge lies between v1 (on s's side: bit
+		// c agrees with s) and v2 = v1 XOR 2^c (on d's side). Its
+		// endpoints carry the mandatory low-bit pattern: low c bits
+		// equal to c.
+		v1 := Node(bitutil.WithField(uint64(sg.s), c-1, 0, uint64(c)))
+		v2 := v1 ^ (1 << c)
+		stack[top+1] = segment{v2, sg.d}
+		stack[top+2] = segment{sg.s, v1}
+		top += 2
 	}
-	// The unique dimension-c edge lies between v1 (on s's side: bit c
-	// agrees with s) and v2 = v1 XOR 2^c (on d's side). Its endpoints
-	// carry the mandatory low-bit pattern: low c bits equal to c.
-	v1 := Node(bitutil.WithField(uint64(s), c-1, 0, uint64(c)))
-	v2 := v1 ^ (1 << c)
-	if s != v1 {
-		acc = t.pcRec(s, v1, acc)
-	} else {
-		acc = append(acc, s)
-	}
-	if v2 != d {
-		acc = t.pcRec(v2, d, acc)
-	} else {
-		acc = append(acc, d)
-	}
-	return acc
+	return dst
 }
 
 // NodeSet is a set of tree vertices, used to represent a path's vertex

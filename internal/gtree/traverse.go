@@ -1,0 +1,198 @@
+package gtree
+
+import "gaussiancube/internal/bitutil"
+
+// traverser is the pooled scratch behind the allocation-light walk
+// algorithms. Membership sets are generation-stamped (clearing is a
+// counter bump, not a sweep) and the per-recursion-frame slices of the
+// CT algorithm live in shared append-arenas addressed by offsets, so a
+// warmed-up traversal performs no heap allocation beyond output growth.
+type traverser struct {
+	mark []uint32 // mark[v] == gen means v is in the current set
+	gen  uint32
+
+	trunk   []Node // trunk-vertex arena, one segment per active CT frame
+	pairsBP []Node // branch points of off-trunk destinations
+	pairsD  []Node // the matching destinations, parallel to pairsBP
+	dests   []Node // deduplicated / grouped destination arena
+}
+
+// newGen starts a fresh membership set in O(1) (amortized).
+func (tv *traverser) newGen() uint32 {
+	tv.gen++
+	if tv.gen == 0 { // wrapped: sweep once, then restart stamping
+		for i := range tv.mark {
+			tv.mark[i] = 0
+		}
+		tv.gen = 1
+	}
+	return tv.gen
+}
+
+// AppendCT appends the CT closed walk from r over dests (Algorithm 2,
+// starting and ending at r) onto dst and returns the extended slice.
+// The emitted walk is identical to CT's; internal state comes from the
+// tree's traverser pool, so with sufficient dst capacity the call
+// performs no per-route heap allocation.
+func (t *Tree) AppendCT(dst []Node, r Node, dests []Node) []Node {
+	tv := t.trav.Get().(*traverser)
+	dst = t.ct(tv, dst, r, dests)
+	t.trav.Put(tv)
+	return dst
+}
+
+// ct is one CT recursion frame. It reads dests (which may alias a
+// segment of tv.dests owned by the caller), claims segments of the
+// arenas for its trunk, branch pairs and excursion groups, and truncates
+// them back on exit. Arena reallocation during a nested call is safe
+// because append preserves the prefix and all frame-local access is by
+// offset into the current arena slice.
+func (t *Tree) ct(tv *traverser, dst []Node, r Node, dests []Node) []Node {
+	// Deduplicate and drop r itself, keeping first-seen order (the
+	// caller controls which destination anchors the trunk).
+	gen := tv.newGen()
+	tv.mark[r] = gen
+	e0 := len(tv.dests)
+	for _, v := range dests {
+		if tv.mark[v] != gen {
+			tv.mark[v] = gen
+			tv.dests = append(tv.dests, v)
+		}
+	}
+	e1 := len(tv.dests)
+	if e1 == e0 {
+		tv.dests = tv.dests[:e0]
+		return append(dst, r)
+	}
+
+	// Trunk L = PC(r, d) for the anchor destination d.
+	t0 := len(tv.trunk)
+	tv.trunk = t.AppendPC(tv.trunk, r, tv.dests[e0])
+	t1 := len(tv.trunk)
+
+	// Membership set of L, then the branch table: every other
+	// destination off the trunk is grouped under the trunk vertex where
+	// its path leaves L (FindBP). All membership queries happen before
+	// any nested frame bumps the generation.
+	gen = tv.newGen()
+	for i := t0; i < t1; i++ {
+		tv.mark[tv.trunk[i]] = gen
+	}
+	p0 := len(tv.pairsBP)
+	for i := e0 + 1; i < e1; i++ {
+		di := tv.dests[i]
+		if tv.mark[di] == gen {
+			continue // visited while walking the trunk
+		}
+		b := t.findBPMark(tv.mark, gen, r, di)
+		tv.pairsBP = append(tv.pairsBP, b)
+		tv.pairsD = append(tv.pairsD, di)
+	}
+	p1 := len(tv.pairsBP)
+
+	// Walk the trunk, recursing into the branch excursion of each trunk
+	// vertex owning off-trunk destinations, then return to r along the
+	// reverse trunk.
+	for i := t0; i < t1; i++ {
+		v := tv.trunk[i]
+		dst = append(dst, v)
+		g0 := len(tv.dests)
+		for j := p0; j < p1; j++ {
+			if tv.pairsBP[j] == v {
+				tv.dests = append(tv.dests, tv.pairsD[j])
+			}
+		}
+		if g1 := len(tv.dests); g1 > g0 {
+			// The excursion walk starts with v, which is already in dst:
+			// hand the child a dst without it so the sequence matches
+			// "append(walk, excursion[1:]...)" of Algorithm 2.
+			dst = t.ct(tv, dst[:len(dst)-1], v, tv.dests[g0:g1])
+			tv.dests = tv.dests[:g0]
+		}
+	}
+	for i := t1 - 2; i >= t0; i-- {
+		dst = append(dst, tv.trunk[i])
+	}
+
+	tv.pairsBP = tv.pairsBP[:p0]
+	tv.pairsD = tv.pairsD[:p0]
+	tv.trunk = tv.trunk[:t0]
+	tv.dests = tv.dests[:e0]
+	return dst
+}
+
+// AppendWalkVisiting appends the minimal walk from s to d that visits
+// every vertex of visit: the PC trunk from s to d, with a CT excursion
+// attached at the branch point of each off-trunk visit vertex (the tree
+// level of FFGCR, Section 4). The walk crosses trunk edges once and
+// every other Steiner edge twice, which is the minimum possible. It
+// runs entirely on the tree's pooled scratch; with sufficient dst
+// capacity the call performs no heap allocation.
+func (t *Tree) AppendWalkVisiting(dst []Node, s, d Node, visit []Node) []Node {
+	tv := t.trav.Get().(*traverser)
+
+	t0 := len(tv.trunk)
+	tv.trunk = t.AppendPC(tv.trunk, s, d)
+	t1 := len(tv.trunk)
+	gen := tv.newGen()
+	for i := t0; i < t1; i++ {
+		tv.mark[tv.trunk[i]] = gen
+	}
+	p0 := len(tv.pairsBP)
+	for _, k := range visit {
+		if tv.mark[k] == gen {
+			continue // visited while walking the trunk
+		}
+		b := t.findBPMark(tv.mark, gen, s, k)
+		tv.pairsBP = append(tv.pairsBP, b)
+		tv.pairsD = append(tv.pairsD, k)
+	}
+	p1 := len(tv.pairsBP)
+
+	for i := t0; i < t1; i++ {
+		v := tv.trunk[i]
+		dst = append(dst, v)
+		g0 := len(tv.dests)
+		for j := p0; j < p1; j++ {
+			if tv.pairsBP[j] == v {
+				tv.dests = append(tv.dests, tv.pairsD[j])
+			}
+		}
+		if g1 := len(tv.dests); g1 > g0 {
+			dst = t.ct(tv, dst[:len(dst)-1], v, tv.dests[g0:g1])
+			tv.dests = tv.dests[:g0]
+		}
+	}
+
+	tv.pairsBP = tv.pairsBP[:p0]
+	tv.pairsD = tv.pairsD[:p0]
+	tv.trunk = tv.trunk[:t0]
+	t.trav.Put(tv)
+	return dst
+}
+
+// findBPMark is FindBP over a generation-stamped membership set: it
+// locates the vertex of the current trunk at which the unique path
+// r -> d leaves it, without building a NodeSet map.
+func (t *Tree) findBPMark(mark []uint32, gen uint32, r, d Node) Node {
+	c := uint(bitutil.HighestBit(uint64(r ^ d)))
+	if c == 0 {
+		return r
+	}
+	v1 := Node(bitutil.WithField(uint64(r), c-1, 0, uint64(c)))
+	v2 := v1 ^ (1 << c)
+	in1, in2 := mark[v1] == gen, mark[v2] == gen
+	switch {
+	case in1 && !in2:
+		return v1
+	case in1 && in2:
+		return t.findBPMark(mark, gen, v2, d)
+	case !in1 && !in2:
+		if r == v1 {
+			return r
+		}
+		return t.findBPMark(mark, gen, r, v1)
+	default:
+		panic("gtree: findBPMark reached impossible branch (v2 on path but v1 not)")
+	}
+}

@@ -23,6 +23,7 @@ package gtree
 
 import (
 	"fmt"
+	"sync"
 
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/graph"
@@ -36,6 +37,20 @@ type Tree struct {
 	alpha  uint
 	parent []int32 // rooted at 0; parent[0] == -1
 	depth  []int32
+
+	// dimMask[v] is the bitmask of edge dimensions at v (Definition 1),
+	// precomputed so Neighbors/Degree need no per-call rule evaluation.
+	dimMask []uint32
+	// children adjacency in CSR form: the children of v under the
+	// rooting at 0 are childList[childStart[v]:childStart[v+1]],
+	// ascending. Together with parent this serves adjacency queries
+	// without per-call Neighbors allocations.
+	childStart []int32
+	childList  []Node
+
+	// trav pools the scratch used by the allocation-light walk
+	// algorithms (AppendPC composition inside AppendCT).
+	trav sync.Pool
 }
 
 // New constructs T_{2^alpha}. alpha must be in [0, 22] (the tree has
@@ -48,6 +63,7 @@ func New(alpha uint) *Tree {
 	}
 	t := &Tree{alpha: alpha}
 	t.buildRooting()
+	t.trav.New = func() any { return &traverser{mark: make([]uint32, t.Nodes())} }
 	return t
 }
 
@@ -74,17 +90,33 @@ func (t *Tree) HasEdgeDim(k Node, c uint) bool {
 
 // Neighbors implements graph.Topology.
 func (t *Tree) Neighbors(v Node) []Node {
-	out := make([]Node, 0, 2)
-	for c := uint(0); c < t.alpha; c++ {
-		if t.HasEdgeDim(v, c) {
-			out = append(out, v^(1<<c))
-		}
+	mask := t.dimMask[v]
+	out := make([]Node, 0, bitutil.OnesCount(uint64(mask)))
+	for m := mask; m != 0; m &= m - 1 {
+		out = append(out, v^Node(m&-m))
 	}
 	return out
 }
 
+// AppendNeighbors appends the neighbors of v (ascending dimension) onto
+// dst and returns the extended slice, allocating only when dst lacks
+// capacity.
+func (t *Tree) AppendNeighbors(dst []Node, v Node) []Node {
+	for m := t.dimMask[v]; m != 0; m &= m - 1 {
+		dst = append(dst, v^Node(m&-m))
+	}
+	return dst
+}
+
 // Degree returns the number of tree edges at v.
-func (t *Tree) Degree(v Node) int { return len(t.Neighbors(v)) }
+func (t *Tree) Degree(v Node) int { return bitutil.OnesCount(uint64(t.dimMask[v])) }
+
+// Children returns the children of v under the rooting at 0, ascending.
+// The returned slice is a shared precomputed table entry; callers must
+// not modify it.
+func (t *Tree) Children(v Node) []Node {
+	return t.childList[t.childStart[v]:t.childStart[v+1]]
+}
 
 // EdgeDim returns the dimension of the tree edge {u, v}. It panics if
 // {u, v} is not an edge of the tree.
@@ -99,27 +131,56 @@ func (t *Tree) EdgeDim(u, v Node) uint {
 	panic(fmt.Sprintf("gtree: %d--%d is not a tree edge", u, v))
 }
 
-// buildRooting roots the tree at vertex 0 with a BFS, filling parent and
-// depth arrays used by Parent, Depth, Dist and Path.
+// buildRooting precomputes the per-vertex edge-dimension masks, roots
+// the tree at vertex 0 with a BFS filling parent and depth (used by
+// Parent, Depth, Dist and Path), and derives the children adjacency
+// table from the parent array.
 func (t *Tree) buildRooting() {
 	n := t.Nodes()
+	t.dimMask = make([]uint32, n)
+	for v := 0; v < n; v++ {
+		var mask uint32
+		for c := uint(0); c < t.alpha; c++ {
+			if t.HasEdgeDim(Node(v), c) {
+				mask |= 1 << c
+			}
+		}
+		t.dimMask[v] = mask
+	}
 	t.parent = make([]int32, n)
 	t.depth = make([]int32, n)
 	for i := range t.parent {
 		t.parent[i] = -2 // unvisited
 	}
 	t.parent[0] = -1
-	queue := []Node{0}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range t.Neighbors(v) {
+	queue := make([]Node, 1, n)
+	queue[0] = 0
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for m := t.dimMask[v]; m != 0; m &= m - 1 {
+			w := v ^ Node(m&-m)
 			if t.parent[w] == -2 {
 				t.parent[w] = int32(v)
 				t.depth[w] = t.depth[v] + 1
 				queue = append(queue, w)
 			}
 		}
+	}
+	// Children CSR: count, prefix-sum, fill in label order so each
+	// vertex's children come out ascending.
+	t.childStart = make([]int32, n+1)
+	for v := 1; v < n; v++ {
+		t.childStart[t.parent[v]+1]++
+	}
+	for v := 0; v < n; v++ {
+		t.childStart[v+1] += t.childStart[v]
+	}
+	t.childList = make([]Node, n-1)
+	fill := make([]int32, n)
+	for v := 1; v < n; v++ {
+		p := t.parent[v]
+		t.childList[t.childStart[p]+fill[p]] = Node(v)
+		fill[p]++
 	}
 }
 

@@ -36,12 +36,25 @@ type Cube struct {
 	dim uint
 }
 
-// New returns Q_dim. dim must be in [0, 30].
+// shared holds the canonical Cube value for every admissible dimension.
+// Cube is immutable, so New hands out one pointer per dimension instead
+// of allocating; route computations that rebuild Q_dim per call (the
+// GEEC slices of the Gaussian Cube) therefore cost nothing.
+var shared = func() [31]Cube {
+	var cs [31]Cube
+	for i := range cs {
+		cs[i] = Cube{dim: uint(i)}
+	}
+	return cs
+}()
+
+// New returns Q_dim. dim must be in [0, 30]. The returned cube is a
+// shared immutable instance.
 func New(dim uint) *Cube {
 	if dim > 30 {
 		panic(fmt.Sprintf("hypercube: dimension %d out of range [0,30]", dim))
 	}
-	return &Cube{dim: dim}
+	return &shared[dim]
 }
 
 // Dim returns the dimension n of Q_n.

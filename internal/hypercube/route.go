@@ -20,14 +20,22 @@ var ErrFaultyEndpoint = errors.New("hypercube: source or destination node is fau
 // path has exactly Hamming(s, d) hops and is the deadlock-free baseline
 // the fault-tolerant routers are measured against.
 func ECubeRoute(c *Cube, s, d Node) []Node {
-	path := []Node{s}
+	return AppendECubeRoute(make([]Node, 0, bitutil.Hamming(uint64(s), uint64(d))+1), s, d)
+}
+
+// AppendECubeRoute appends the e-cube path from s to d (both endpoints
+// included) onto dst and returns the extended slice. It allocates only
+// when dst lacks capacity, which makes it the building block of the
+// zero-allocation routing hot path.
+func AppendECubeRoute(dst []Node, s, d Node) []Node {
+	dst = append(dst, s)
 	cur := s
 	for r := cur ^ d; r != 0; r = cur ^ d {
 		dim := uint(bitutil.LowestBit(uint64(r)))
 		cur ^= 1 << dim
-		path = append(path, cur)
+		dst = append(dst, cur)
 	}
-	return path
+	return dst
 }
 
 // RouteAdaptive routes from s to d around faults in the style of Lan's

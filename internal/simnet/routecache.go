@@ -1,0 +1,157 @@
+package simnet
+
+import (
+	"sync"
+
+	"gaussiancube/internal/gc"
+)
+
+// RouteCache is a bounded, sharded LRU cache of computed routes keyed by
+// (source, destination). It replaces the unbounded per-run route map:
+// shards keep lock contention low when the cache is shared by concurrent
+// simulations (the parallel sweep workers of internal/experiments), and
+// the per-shard LRU bound keeps memory flat under long permutation
+// workloads.
+//
+// A cache must only ever be shared by runs that route over an identical
+// topology and fault configuration — the key does not encode either.
+// Cached paths are shared read-only slices; callers must not modify
+// them. Within a single Run the cache is touched sequentially, so Stats
+// remain bit-for-bit deterministic for a fixed Config.Seed.
+type RouteCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 16
+
+// DefaultRouteCacheCapacity is the total entry bound used when
+// Config.CacheRoutes is set without an explicit RouteCache.
+const DefaultRouteCacheCapacity = 1 << 16
+
+type routeKey struct{ s, d gc.NodeID }
+
+type cacheEntry struct {
+	key        routeKey
+	path       []gc.NodeID
+	prev, next *cacheEntry // LRU list; head is most recently used
+}
+
+type cacheShard struct {
+	mu         sync.Mutex
+	capacity   int
+	table      map[routeKey]*cacheEntry
+	head, tail *cacheEntry
+}
+
+// NewRouteCache builds a cache bounded to roughly the given total number
+// of entries (rounded up to at least one per shard).
+func NewRouteCache(capacity int) *RouteCache {
+	perShard := (capacity + cacheShards - 1) / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &RouteCache{}
+	for i := range c.shards {
+		c.shards[i].capacity = perShard
+		c.shards[i].table = make(map[routeKey]*cacheEntry)
+	}
+	return c
+}
+
+func (c *RouteCache) shard(k routeKey) *cacheShard {
+	h := uint32(k.s)*0x9e3779b1 ^ uint32(k.d)*0x85ebca77
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached path for (s, d) and marks it most recently
+// used. The returned slice is shared; callers must not modify it.
+func (c *RouteCache) Get(s, d gc.NodeID) ([]gc.NodeID, bool) {
+	k := routeKey{s, d}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	e, ok := sh.table[k]
+	var path []gc.NodeID
+	if ok {
+		// Copy the slice header while still locked: an eviction in a
+		// concurrent Put may recycle e and overwrite its path.
+		path = e.path
+		sh.moveToFront(e)
+	}
+	sh.mu.Unlock()
+	return path, ok
+}
+
+// Put stores the path for (s, d), evicting the least recently used
+// entry of the shard when it is full. The cache takes ownership of path
+// as a shared read-only slice.
+func (c *RouteCache) Put(s, d gc.NodeID, path []gc.NodeID) {
+	k := routeKey{s, d}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if e, ok := sh.table[k]; ok {
+		e.path = path
+		sh.moveToFront(e)
+		sh.mu.Unlock()
+		return
+	}
+	var e *cacheEntry
+	if len(sh.table) >= sh.capacity {
+		// Recycle the evicted tail entry instead of allocating.
+		e = sh.tail
+		sh.unlink(e)
+		delete(sh.table, e.key)
+	} else {
+		e = &cacheEntry{}
+	}
+	e.key = k
+	e.path = path
+	sh.table[k] = e
+	sh.pushFront(e)
+	sh.mu.Unlock()
+}
+
+// Len returns the current number of cached routes.
+func (c *RouteCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.table)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+func (sh *cacheShard) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *cacheShard) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *cacheShard) moveToFront(e *cacheEntry) {
+	if sh.head == e {
+		return
+	}
+	sh.unlink(e)
+	sh.pushFront(e)
+}

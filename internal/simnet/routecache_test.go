@@ -1,0 +1,121 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestRouteCacheLRU: the per-shard bound evicts the least recently used
+// entry, and Get refreshes recency.
+func TestRouteCacheLRU(t *testing.T) {
+	c := NewRouteCache(1) // one entry per shard
+	// Three keys landing in the same shard: identical (s*K1 ^ d*K2) mod 16
+	// is guaranteed by spacing s by multiples of 16.
+	k1 := routeKey{s: 0, d: 1}
+	k2 := routeKey{s: 16, d: 1}
+	k3 := routeKey{s: 32, d: 1}
+	if c.shard(k1) != c.shard(k2) || c.shard(k2) != c.shard(k3) {
+		t.Fatal("test keys do not share a shard")
+	}
+	path := func(n gc.NodeID) []gc.NodeID { return []gc.NodeID{n} }
+
+	c.Put(k1.s, k1.d, path(1))
+	c.Put(k2.s, k2.d, path(2)) // evicts k1
+	if _, ok := c.Get(k1.s, k1.d); ok {
+		t.Fatal("k1 survived eviction")
+	}
+	if p, ok := c.Get(k2.s, k2.d); !ok || p[0] != 2 {
+		t.Fatal("k2 missing after insert")
+	}
+	if got := c.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+
+	// With room for two, a Get must refresh recency.
+	c2 := NewRouteCache(2 * cacheShards)
+	c2.Put(k1.s, k1.d, path(1))
+	c2.Put(k2.s, k2.d, path(2))
+	c2.Get(k1.s, k1.d)          // k1 now most recent
+	c2.Put(k3.s, k3.d, path(3)) // must evict k2, not k1
+	if _, ok := c2.Get(k1.s, k1.d); !ok {
+		t.Fatal("recently used k1 was evicted")
+	}
+	if _, ok := c2.Get(k2.s, k2.d); ok {
+		t.Fatal("least recently used k2 survived")
+	}
+
+	// Overwriting an existing key must not grow the cache.
+	c2.Put(k1.s, k1.d, path(9))
+	if p, ok := c2.Get(k1.s, k1.d); !ok || p[0] != 9 {
+		t.Fatal("overwrite lost")
+	}
+	if got := c2.Len(); got != 2 {
+		t.Fatalf("Len = %d after overwrite, want 2", got)
+	}
+}
+
+// TestRouteCacheConcurrent hammers one cache from many goroutines (run
+// under -race in CI).
+func TestRouteCacheConcurrent(t *testing.T) {
+	c := NewRouteCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := gc.NodeID((w*131 + i) % 97)
+				d := gc.NodeID(i % 89)
+				if p, ok := c.Get(s, d); ok {
+					if p[0] != s || p[1] != d {
+						t.Errorf("cache returned wrong path for (%d,%d): %v", s, d, p)
+						return
+					}
+				} else {
+					c.Put(s, d, []gc.NodeID{s, d})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64+cacheShards {
+		t.Fatalf("cache grew past its bound: %d", c.Len())
+	}
+}
+
+// TestRunSharedCacheDeterministic: sharing a RouteCache across
+// sequential fault-free runs must not change any routing statistic —
+// a hit returns exactly the path a fresh computation would.
+func TestRunSharedCacheDeterministic(t *testing.T) {
+	base := Config{N: 8, Alpha: 1, Arrival: 0.05, GenCycles: 30, Seed: 11}
+
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := NewRouteCache(DefaultRouteCacheCapacity)
+	var warm *Stats
+	for i := 0; i < 2; i++ {
+		cfg := base
+		cfg.RouteCache = shared
+		warm, err = Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The second shared run starts with a warm cache; everything but the
+	// hit counter must match the uncached run.
+	if warm.Generated != plain.Generated || warm.Delivered != plain.Delivered ||
+		warm.Makespan != plain.Makespan || warm.Measured != plain.Measured {
+		t.Fatalf("shared-cache run diverged: %+v vs %+v", warm, plain)
+	}
+	if warm.Latency.Mean() != plain.Latency.Mean() || warm.Hops.Mean() != plain.Hops.Mean() {
+		t.Fatalf("shared-cache latency/hops diverged: %v/%v vs %v/%v",
+			warm.Latency.Mean(), warm.Hops.Mean(), plain.Latency.Mean(), plain.Hops.Mean())
+	}
+	if warm.RouteCacheHits == 0 {
+		t.Fatal("warm shared cache produced no hits")
+	}
+}

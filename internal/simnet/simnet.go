@@ -65,8 +65,15 @@ type Config struct {
 	// HistMax is the top of the histogram range (default 256 cycles).
 	HistMax float64
 	// CacheRoutes memoizes route computations per (src, dst) pair —
-	// profitable for permutation traffic where pairs repeat.
+	// profitable for permutation traffic where pairs repeat. The run
+	// uses a private bounded cache (DefaultRouteCacheCapacity entries)
+	// unless RouteCache supplies one.
 	CacheRoutes bool
+	// RouteCache, when non-nil, is used (and implies CacheRoutes) in
+	// place of the private per-run cache. It may be shared across runs
+	// that use the same topology and fault configuration — e.g. the
+	// sequential seed replicates of one sweep point.
+	RouteCache *RouteCache
 
 	// FaultAtCycle, when positive, makes the Faults set take effect
 	// only from that cycle on: packets routed earlier carry routes that
@@ -130,7 +137,8 @@ type Stats struct {
 	// LatencyHist is the latency distribution when Config.HistBuckets
 	// is positive, nil otherwise.
 	LatencyHist *metrics.Histogram
-	// RouteCacheHits counts cache hits when Config.CacheRoutes is set.
+	// RouteCacheHits counts cache hits when route caching is enabled
+	// (Config.CacheRoutes or Config.RouteCache).
 	RouteCacheHits int
 }
 
@@ -180,9 +188,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -234,10 +242,9 @@ func Run(cfg Config) (*Stats, error) {
 	var queue eventQueue
 	seq := 0
 
-	type pair struct{ s, d gc.NodeID }
-	var cache map[pair][]gc.NodeID
-	if cfg.CacheRoutes {
-		cache = make(map[pair][]gc.NodeID)
+	cache := cfg.RouteCache
+	if cache == nil && cfg.CacheRoutes {
+		cache = NewRouteCache(DefaultRouteCacheCapacity)
 	}
 	lookupRoute := func(src, dst gc.NodeID, t int) ([]gc.NodeID, error) {
 		r := router
@@ -245,7 +252,7 @@ func Run(cfg Config) (*Stats, error) {
 			r = preFaultRouter
 		}
 		if cache != nil {
-			if p, ok := cache[pair{src, dst}]; ok {
+			if p, ok := cache.Get(src, dst); ok {
 				stats.RouteCacheHits++
 				return p, nil
 			}
@@ -258,7 +265,7 @@ func Run(cfg Config) (*Stats, error) {
 			stats.FallbackRoutes++
 		}
 		if cache != nil {
-			cache[pair{src, dst}] = res.Path
+			cache.Put(src, dst, res.Path)
 		}
 		return res.Path, nil
 	}
@@ -370,7 +377,10 @@ func Run(cfg Config) (*Stats, error) {
 		linkCount[l]++
 		p.idx++
 		seq++
-		heap.Push(&queue, &event{time: dep + 1, seq: seq, packet: p, node: next})
+		// Recycle the popped event for the next hop instead of
+		// allocating one per traversal.
+		e.time, e.seq, e.node = dep+1, seq, next
+		heap.Push(&queue, e)
 	}
 
 	for l, n := range linkCount {
