@@ -19,6 +19,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
@@ -51,6 +52,10 @@ func run(args []string, out io.Writer) error {
 		vcs      = fs.Int("vcs", 2, "virtual channels per link (stepped/wormhole modes)")
 		savePath = fs.String("save", "", "write the scenario to this JSON file")
 		loadPath = fs.String("load", "", "replay a scenario from this JSON file")
+		mtbf     = fs.Float64("mtbf", 0, "churn: mean cycles between fault injections (0 = static faults; eager mode)")
+		mttr     = fs.Float64("mttr", 0, "churn: mean fault lifetime in cycles (0 = permanent; eager mode)")
+		adaptive = fs.Bool("adaptive", false, "route per hop with local fault discovery instead of source planning (eager mode)")
+		strict   = fs.Bool("strict", false, "fail when the fault count exceeds the Theorem 3 tolerable bound T(GC)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,10 +102,33 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "faults: %d components (categories: A=%d B=%d C=%d)\n",
 			faultSet.Count(), counts[fault.CategoryA], counts[fault.CategoryB], counts[fault.CategoryC])
 	}
+	if *strict && faultSet != nil {
+		if bound := fault.TolerableBound(scn.N, scn.Alpha); uint64(faultSet.Count()) > bound {
+			return fmt.Errorf("strict: %d faults exceed the Theorem 3 tolerable bound T(GC(%d, %d)) = %d",
+				faultSet.Count(), scn.N, 1<<scn.Alpha, bound)
+		}
+	}
+	var dyn *fault.Dynamic
+	if *mtbf > 0 {
+		if *mode != "eager" {
+			return fmt.Errorf("-mtbf churn is only supported in eager mode")
+		}
+		cube := gc.New(scn.N, scn.Alpha)
+		events := fault.ChurnSchedule(rand.New(rand.NewSource(scn.Seed*17)), cube, fault.ChurnConfig{
+			MTBF: *mtbf, MTTR: *mttr, Horizon: scn.GenCycles,
+			LinkFraction: 0.4,
+			MaxActive:    int(fault.TolerableBound(scn.N, scn.Alpha)),
+		})
+		dyn = fault.NewDynamic(cube, events)
+		fmt.Fprintf(out, "churn: %d fault events (MTBF %.1f, MTTR %.1f)\n", len(events), *mtbf, *mttr)
+	}
+	if *adaptive && *mode != "eager" {
+		return fmt.Errorf("-adaptive routing is only supported in eager mode")
+	}
 
 	switch *mode {
 	case "eager":
-		return runEager(out, scn, pat, faultSet, *savePath)
+		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *savePath)
 	case "stepped":
 		return runStepped(out, scn, pat, faultSet, *buffers, *vcs)
 	case "wormhole":
@@ -110,21 +138,46 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, savePath string) error {
+func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive bool, savePath string) error {
 	stats, err := simnet.Run(simnet.Config{
 		N: scn.N, Alpha: scn.Alpha,
 		Arrival: scn.Arrival, GenCycles: scn.GenCycles, Seed: scn.Seed,
 		Pattern: pat, Faults: faultSet,
+		Dynamic: dyn, Adaptive: adaptive,
+		CacheRoutes: dyn != nil && !adaptive,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "GC(%d, %d), arrival %.4f, %d generation cycles, %s traffic\n",
-		scn.N, 1<<scn.Alpha, scn.Arrival, scn.GenCycles, pat.Name())
+	label := ""
+	if adaptive {
+		label = ", adaptive per-hop routing"
+	}
+	fmt.Fprintf(out, "GC(%d, %d), arrival %.4f, %d generation cycles, %s traffic%s\n",
+		scn.N, 1<<scn.Alpha, scn.Arrival, scn.GenCycles, pat.Name(), label)
 	fmt.Fprintf(out, "  generated:       %d packets\n", stats.Generated)
-	fmt.Fprintf(out, "  delivered:       %d packets\n", stats.Delivered)
+	fmt.Fprintf(out, "  delivered:       %d packets (%.1f%%)\n", stats.Delivered, 100*stats.DeliveryRate())
 	fmt.Fprintf(out, "  undeliverable:   %d\n", stats.Undeliverable)
 	fmt.Fprintf(out, "  fallback routes: %d\n", stats.FallbackRoutes)
+	if dyn != nil {
+		fmt.Fprintf(out, "  fault epochs:    %d (cache invalidations: %d)\n",
+			stats.Epochs, stats.CacheInvalidations)
+		fmt.Fprintf(out, "  rerouted/dropped: %d/%d\n", stats.Rerouted, stats.Dropped)
+	}
+	if adaptive {
+		fmt.Fprintf(out, "  retries:         %d (replans %d, wait cycles %d)\n",
+			stats.Retries, stats.Replans, stats.WaitCycles)
+		fmt.Fprintf(out, "  degraded:        %d (mean detour hops %.3f)\n",
+			stats.Degraded, stats.DetourHops.Mean())
+		reasons := make([]string, 0, len(stats.DropReasons))
+		for r := range stats.DropReasons {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			fmt.Fprintf(out, "  drop[%s]: %d\n", r, stats.DropReasons[r])
+		}
+	}
 	fmt.Fprintf(out, "  avg latency:     %.3f cycles (min %.0f, max %.0f)\n",
 		stats.AvgLatency(), stats.Latency.Min(), stats.Latency.Max())
 	fmt.Fprintf(out, "  avg hops:        %.3f\n", stats.Hops.Mean())

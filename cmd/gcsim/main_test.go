@@ -101,3 +101,47 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnFlags(t *testing.T) {
+	out := runOK(t, "-n", "7", "-alpha", "1", "-cycles", "60", "-arrival", "0.03",
+		"-mtbf", "8", "-mttr", "15")
+	for _, want := range []string{"churn:", "fault epochs:", "cache invalidations:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAdaptiveFlag(t *testing.T) {
+	out := runOK(t, "-n", "7", "-alpha", "1", "-cycles", "60", "-arrival", "0.03",
+		"-mtbf", "8", "-mttr", "15", "-adaptive")
+	for _, want := range []string{"adaptive per-hop routing", "retries:", "degraded:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStrictFlag(t *testing.T) {
+	// Within the Theorem 3 bound: must succeed.
+	runOK(t, "-n", "7", "-alpha", "1", "-cycles", "20", "-faults", "3", "-strict")
+	// Beyond the bound (T(GC(7,2)) = 32): must fail with a non-nil error,
+	// which main() turns into a non-zero exit.
+	var b strings.Builder
+	err := run([]string{"-n", "7", "-alpha", "1", "-cycles", "20", "-faults", "40", "-strict"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "Theorem 3") {
+		t.Fatalf("strict over-bound run: err = %v", err)
+	}
+	// Same fault count without -strict still runs.
+	runOK(t, "-n", "7", "-alpha", "1", "-cycles", "20", "-faults", "40")
+}
+
+func TestChurnModeRestrictions(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "6", "-alpha", "1", "-mode", "stepped", "-mtbf", "5"}, &b); err == nil {
+		t.Fatal("churn in stepped mode must be rejected")
+	}
+	if err := run([]string{"-n", "6", "-alpha", "1", "-mode", "wormhole", "-adaptive"}, &b); err == nil {
+		t.Fatal("adaptive in wormhole mode must be rejected")
+	}
+}

@@ -1,0 +1,546 @@
+// Adaptive per-hop routing: the dynamic-fault counterpart of Route.
+//
+// Route plans a whole path against one omniscient fault set. Under the
+// paper's own locality premise (Section 6, assumption 4 — nodes know
+// their own link status and class-local fault state) a packet in a
+// failing, healing network cannot do that: it discovers faults one hop
+// at a time. AdaptiveRouter models exactly that discovery process. A
+// Flight carries a per-packet blacklist of the faults it has bumped
+// into; every hop is decided from the current node using only locally
+// observable state (the node's incident link status and its neighbors'
+// liveness), and the FFGCR planner is re-run over the blacklist when a
+// new fault is discovered.
+//
+// Replanning applies the paper's category-specific detours:
+//
+//	A-category (blocked link in a dimension >= alpha): the remaining
+//	  high-dimension corrections re-enter the GEEC slice through the
+//	  fault-tolerant substrate, which picks an alternate preferred
+//	  dimension around the fault (Theorem 3);
+//	B-category (blocked tree-edge link below alpha): the class walk is
+//	  re-derived, crossing via the exchanged-hypercube pair subgraph
+//	  (FREH, Theorem 5) or a CT-style excursion through another class;
+//	C-category (dead node breaking both sides): both of the above.
+//
+// Transient faults — ones the oracle expects to heal — are not
+// detoured immediately: the flight waits with exponential backoff and
+// bounded retries, which converts a repair arriving mid-flight into a
+// delivery instead of a drop. The degradation ladder of terminal
+// outcomes is Delivered (followed the original plan undisturbed),
+// DeliveredDegraded (delivered after retries, detours, or the BFS
+// last resort), and Undeliverable (with a reason). BFS over the
+// blacklist-healthy view remains the documented last resort, exactly
+// as in Route.
+package core
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// Oracle is the ground-truth network status. An AdaptiveRouter only
+// ever consults it locally: for the current node, its incident links,
+// and its immediate neighbors.
+type Oracle interface {
+	NodeFaulty(v gc.NodeID) bool
+	LinkFaulty(v gc.NodeID, dim uint) bool
+}
+
+// TransientOracle additionally distinguishes faults that are expected
+// to heal (fault.Dynamic implements it). Without it every fault is
+// treated as permanent.
+type TransientOracle interface {
+	Oracle
+	// TransientAt reports that link (v, dim) is blocked and every
+	// component blocking it is transient.
+	TransientAt(v gc.NodeID, dim uint) bool
+	// TransientNode reports that v is faulty and expected to heal.
+	TransientNode(v gc.NodeID) bool
+}
+
+// Outcome is the terminal classification of a Flight.
+type Outcome int
+
+// The degradation ladder.
+const (
+	// OutcomePending: the flight is still in progress.
+	OutcomePending Outcome = iota
+	// OutcomeDelivered: reached the destination on the original plan,
+	// undisturbed.
+	OutcomeDelivered
+	// OutcomeDeliveredDegraded: reached the destination, but only after
+	// transient-fault retries, category detours, or the BFS last resort.
+	OutcomeDeliveredDegraded
+	// OutcomeUndeliverable: terminally failed; see the Reason.
+	OutcomeUndeliverable
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeDeliveredDegraded:
+		return "delivered-degraded"
+	case OutcomeUndeliverable:
+		return "undeliverable"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// AdaptiveConfig tunes the stepper. The zero value picks sane defaults.
+type AdaptiveConfig struct {
+	// Substrate is the intra-GEEC fault-tolerant hypercube router used
+	// by replans.
+	Substrate Substrate
+	// MaxRetries bounds the total transient wait-and-retry attempts per
+	// flight (default 8). When exhausted, transient faults are treated
+	// as permanent.
+	MaxRetries int
+	// BackoffBase is the first wait in cycles (default 1); consecutive
+	// retries at one blockage double it up to MaxBackoff (default 64).
+	BackoffBase int
+	MaxBackoff  int
+	// TTL bounds the total hops a flight may take (default 8*(n+1)).
+	TTL int
+	// MaxVisits bounds how often one node may be revisited before the
+	// livelock guard fires (default 4).
+	MaxVisits int
+	// DisableFallback removes the BFS last resort from replans,
+	// exposing the bare strategy.
+	DisableFallback bool
+}
+
+func (cfg *AdaptiveConfig) fill(n uint) {
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 1
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 64
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 8 * (int(n) + 1)
+	}
+	if cfg.MaxVisits <= 0 {
+		cfg.MaxVisits = 4
+	}
+}
+
+// AdaptiveRouter steps packets through a network whose ground truth is
+// an Oracle, one hop at a time, using only local knowledge. It is
+// stateless across flights and safe for concurrent use as long as the
+// oracle is (fault.Dynamic and a frozen fault.Set both are).
+type AdaptiveRouter struct {
+	cube      *gc.Cube
+	oracle    Oracle
+	transient TransientOracle // nil when the oracle has no transience
+	cfg       AdaptiveConfig
+}
+
+// NewAdaptiveRouter builds an adaptive router over cube c with ground
+// truth oracle. A nil oracle means a fault-free network.
+func NewAdaptiveRouter(c *gc.Cube, oracle Oracle, cfg AdaptiveConfig) *AdaptiveRouter {
+	cfg.fill(c.N())
+	r := &AdaptiveRouter{cube: c, oracle: oracle, cfg: cfg}
+	if t, ok := oracle.(TransientOracle); ok {
+		r.transient = t
+	}
+	return r
+}
+
+// Cube returns the cube this router operates on.
+func (r *AdaptiveRouter) Cube() *gc.Cube { return r.cube }
+
+// StepKind is the action a Flight asks its carrier to perform.
+type StepKind int
+
+// Step kinds.
+const (
+	StepMove StepKind = iota // traverse the link to Step.To
+	StepWait                 // hold the packet Step.Wait cycles, then Step again
+	StepDone                 // delivered; Step.Outcome is terminal
+	StepFail                 // undeliverable; see Step.Reason
+)
+
+// Step is one stepper decision.
+type Step struct {
+	Kind    StepKind
+	To      gc.NodeID // valid for StepMove
+	Wait    int       // valid for StepWait
+	Outcome Outcome   // terminal classification for StepDone/StepFail
+	Reason  string    // failure (or degradation) explanation
+}
+
+// DiscoveredFault is one fault a flight bumped into, with the paper's
+// category that determined its detour.
+type DiscoveredFault struct {
+	Fault     fault.Fault
+	Category  fault.Category
+	Transient bool
+}
+
+// Flight is the per-packet adaptive routing state. It is not safe for
+// concurrent use; a packet is in one place at a time.
+type Flight struct {
+	r         *AdaptiveRouter
+	planner   *Router    // plans against the blacklist, not the oracle
+	blacklist *fault.Set // faults this packet knows about
+	cur, dst  gc.NodeID
+	plan      []gc.NodeID // current planned path; plan[planIdx] == cur
+	planIdx   int
+	planned   bool // first plan computed (replan counting starts after)
+	path      []gc.NodeID
+	visits    map[gc.NodeID]int
+	hops      int
+	retries   int // transient wait-retries used
+	attempt   int // consecutive waits at the current blockage
+	replans   int
+	waited    int
+	degraded  bool
+	fallback  bool
+	found     []DiscoveredFault
+	outcome   Outcome
+	reason    string
+}
+
+// Start begins a flight from s to d. It fails only on out-of-range
+// nodes or a faulty source (assumption 1 — a node knows its own
+// status); the destination's health is remote knowledge and is
+// discovered en route.
+func (r *AdaptiveRouter) Start(s, d gc.NodeID) (*Flight, error) {
+	return r.start(s, d, nil)
+}
+
+// StartInformed begins a flight whose blacklist is pre-populated with
+// known faults — the "full knowledge" end of the spectrum. With known
+// equal to the oracle's ground truth, the flight reproduces exactly
+// the static fault-tolerant route (plans coincide; see the property
+// test). known may be frozen; the flight works on a private copy.
+func (r *AdaptiveRouter) StartInformed(s, d gc.NodeID, known *fault.Set) (*Flight, error) {
+	return r.start(s, d, known)
+}
+
+func (r *AdaptiveRouter) start(s, d gc.NodeID, known *fault.Set) (*Flight, error) {
+	if int(s) >= r.cube.Nodes() || int(d) >= r.cube.Nodes() {
+		return nil, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
+	}
+	if r.oracle != nil && r.oracle.NodeFaulty(s) {
+		return nil, ErrFaultyEndpoint
+	}
+	bl := fault.NewSet(r.cube)
+	if known != nil {
+		bl = known.Clone()
+	}
+	opts := []Option{WithFaults(bl), WithSubstrate(r.cfg.Substrate)}
+	if r.cfg.DisableFallback {
+		opts = append(opts, WithoutFallback())
+	}
+	f := &Flight{
+		r:         r,
+		planner:   NewRouter(r.cube, opts...),
+		blacklist: bl,
+		cur:       s,
+		dst:       d,
+		path:      []gc.NodeID{s},
+		visits:    map[gc.NodeID]int{s: 1},
+	}
+	return f, nil
+}
+
+// Step makes the next per-hop decision from the flight's current node.
+// After StepMove the flight's position is already advanced to Step.To;
+// the carrier is responsible for modeling the traversal (service time,
+// link contention). After StepWait the carrier should re-Step once the
+// wait has elapsed. StepDone/StepFail are terminal and repeatable.
+func (f *Flight) Step() Step {
+	if f.outcome != OutcomePending {
+		return f.terminal()
+	}
+	cfg := &f.r.cfg
+	for {
+		if f.cur == f.dst {
+			if f.degraded {
+				return f.finish(OutcomeDeliveredDegraded, f.reason)
+			}
+			return f.finish(OutcomeDelivered, "")
+		}
+		if f.oracleNodeFaulty(f.cur) {
+			// The node under the packet died; its buffers die with it.
+			return f.finish(OutcomeUndeliverable, "current node failed under the packet")
+		}
+		if f.hops >= cfg.TTL {
+			return f.finish(OutcomeUndeliverable, "TTL exhausted")
+		}
+		if f.planIdx+1 >= len(f.plan) {
+			if st, ok := f.replan(); !ok {
+				return st
+			}
+			continue
+		}
+		next := f.plan[f.planIdx+1]
+		dim := uint(bitutil.LowestBit(uint64(f.cur ^ next)))
+		if !f.oracleLinkFaulty(f.cur, dim) && !f.oracleNodeFaulty(next) {
+			f.cur = next
+			f.planIdx++
+			f.hops++
+			f.attempt = 0
+			f.path = append(f.path, next)
+			f.visits[next]++
+			if f.visits[next] > cfg.MaxVisits {
+				return f.finish(OutcomeUndeliverable, "livelock guard: node revisited too often")
+			}
+			return Step{Kind: StepMove, To: next}
+		}
+		// Blocked: a fault discovered locally.
+		if f.transientBlockage(f.cur, dim) && f.retries < cfg.MaxRetries {
+			return f.backoff()
+		}
+		f.record(f.cur, dim, next)
+		f.plan = f.plan[:0] // force a replan over the grown blacklist
+		f.planIdx = 0
+		f.attempt = 0
+	}
+}
+
+// replan recomputes the path from the current node against the
+// blacklist. ok=false means the returned step must be surfaced (a
+// terminal failure, or a wait while transient knowledge is flushed).
+func (f *Flight) replan() (Step, bool) {
+	res, err := f.planner.Route(f.cur, f.dst)
+	if err == nil {
+		if f.planned {
+			f.replans++
+			f.degraded = true
+		}
+		f.planned = true
+		if res.UsedFallback {
+			f.fallback = true
+			f.degraded = true
+			f.reason = "BFS last resort"
+		}
+		f.plan = append(f.plan[:0], res.Path...)
+		f.planIdx = 0
+		return Step{}, true
+	}
+	// No route against current knowledge. If some of that knowledge is
+	// transient it may already be stale: wait, forget it, and rediscover
+	// whatever is still broken.
+	if f.retries < f.r.cfg.MaxRetries && f.forgetTransient() {
+		f.plan = f.plan[:0]
+		f.planIdx = 0
+		return f.backoff(), false
+	}
+	if err == ErrFaultyEndpoint {
+		return f.finish(OutcomeUndeliverable, "destination faulty"), false
+	}
+	return f.finish(OutcomeUndeliverable, "no route around discovered faults"), false
+}
+
+// backoff produces the next exponential wait.
+func (f *Flight) backoff() Step {
+	cfg := &f.r.cfg
+	wait := cfg.BackoffBase << f.attempt
+	if wait > cfg.MaxBackoff || wait <= 0 {
+		wait = cfg.MaxBackoff
+	}
+	f.attempt++
+	f.retries++
+	f.waited += wait
+	f.degraded = true
+	return Step{Kind: StepWait, Wait: wait}
+}
+
+// record adds the locally observed blockage at (cur, dim) to the
+// blacklist, categorized per Definitions 3–5.
+func (f *Flight) record(cur gc.NodeID, dim uint, next gc.NodeID) {
+	var df DiscoveredFault
+	if f.oracleNodeFaulty(next) {
+		df.Fault = fault.Fault{Kind: fault.KindNode, Node: next}
+		if !f.blacklist.NodeFaulty(next) {
+			f.blacklist.AddNode(next)
+		}
+		if f.r.transient != nil {
+			df.Transient = f.r.transient.TransientNode(next)
+		}
+	} else {
+		df.Fault = fault.Fault{Kind: fault.KindLink, Node: cur, Dim: dim}
+		if !f.blacklist.LinkFaulty(cur, dim) {
+			f.blacklist.AddLink(cur, dim)
+		}
+		if f.r.transient != nil {
+			df.Transient = f.r.transient.TransientAt(cur, dim)
+		}
+	}
+	df.Category = f.blacklist.Categorize(df.Fault)
+	f.found = append(f.found, df)
+	f.degraded = true
+}
+
+// forgetTransient rebuilds the blacklist from its permanent discoveries
+// only, reporting whether any transient knowledge was dropped.
+func (f *Flight) forgetTransient() bool {
+	dropped := false
+	for _, df := range f.found {
+		if df.Transient {
+			dropped = true
+			break
+		}
+	}
+	if !dropped {
+		return false
+	}
+	fresh := fault.NewSet(f.r.cube)
+	kept := f.found[:0]
+	for _, df := range f.found {
+		if df.Transient {
+			continue
+		}
+		kept = append(kept, df)
+		if df.Fault.Kind == fault.KindNode {
+			fresh.AddNode(df.Fault.Node)
+		} else if !fresh.LinkFaulty(df.Fault.Node, df.Fault.Dim) {
+			fresh.AddLink(df.Fault.Node, df.Fault.Dim)
+		}
+	}
+	f.found = kept
+	*f.blacklist = *fresh // planner holds the pointer; swap contents
+	return true
+}
+
+// transientBlockage reports whether waiting the blockage out is
+// expected to succeed.
+func (f *Flight) transientBlockage(cur gc.NodeID, dim uint) bool {
+	return f.r.transient != nil && f.r.transient.TransientAt(cur, dim)
+}
+
+func (f *Flight) oracleNodeFaulty(v gc.NodeID) bool {
+	return f.r.oracle != nil && f.r.oracle.NodeFaulty(v)
+}
+
+func (f *Flight) oracleLinkFaulty(v gc.NodeID, dim uint) bool {
+	return f.r.oracle != nil && f.r.oracle.LinkFaulty(v, dim)
+}
+
+func (f *Flight) finish(o Outcome, reason string) Step {
+	f.outcome = o
+	if reason != "" {
+		f.reason = reason
+	}
+	return f.terminal()
+}
+
+func (f *Flight) terminal() Step {
+	kind := StepDone
+	if f.outcome == OutcomeUndeliverable {
+		kind = StepFail
+	}
+	return Step{Kind: kind, Outcome: f.outcome, Reason: f.reason}
+}
+
+// Accessors for carriers and reporting.
+
+// Cur returns the flight's current node.
+func (f *Flight) Cur() gc.NodeID { return f.cur }
+
+// Dst returns the destination.
+func (f *Flight) Dst() gc.NodeID { return f.dst }
+
+// Path returns the hop-by-hop walk taken so far (endpoints included).
+// The slice is owned by the flight.
+func (f *Flight) Path() []gc.NodeID { return f.path }
+
+// Hops returns the hops taken so far.
+func (f *Flight) Hops() int { return f.hops }
+
+// Retries returns the transient wait-and-retry attempts used.
+func (f *Flight) Retries() int { return f.retries }
+
+// Replans returns how many times a discovered fault forced a new plan.
+func (f *Flight) Replans() int { return f.replans }
+
+// WaitCycles returns the total cycles spent backing off.
+func (f *Flight) WaitCycles() int { return f.waited }
+
+// Degraded reports whether the flight left the clean-delivery rung.
+func (f *Flight) Degraded() bool { return f.degraded }
+
+// UsedFallback reports whether a replan resorted to BFS.
+func (f *Flight) UsedFallback() bool { return f.fallback }
+
+// Outcome returns the terminal classification (OutcomePending while in
+// flight).
+func (f *Flight) Outcome() Outcome { return f.outcome }
+
+// Reason returns the failure or degradation explanation.
+func (f *Flight) Reason() string { return f.reason }
+
+// Discovered returns the faults this flight bumped into, in discovery
+// order (transient knowledge flushed by a backoff is dropped).
+func (f *Flight) Discovered() []DiscoveredFault { return f.found }
+
+// DetourHops returns the hops taken beyond the fault-free optimum of
+// the full source/destination pair.
+func (f *Flight) DetourHops() int {
+	if len(f.path) == 0 {
+		return 0
+	}
+	return f.hops - f.r.cube.Distance(f.path[0], f.dst)
+}
+
+// AdaptiveResult is the envelope Route returns.
+type AdaptiveResult struct {
+	Outcome      Outcome
+	Reason       string
+	Path         []gc.NodeID
+	Hops         int
+	Retries      int
+	Replans      int
+	WaitCycles   int
+	DetourHops   int
+	UsedFallback bool
+	Discovered   []DiscoveredFault
+}
+
+// Route drives a flight from s to d to completion without a carrier.
+// onWait, when non-nil, is invoked for every backoff with the wait
+// length — the hook tests and offline drivers use to advance a
+// fault.Dynamic clock so that transient faults actually heal. With a
+// static oracle and nil onWait, waits burn the retry budget and the
+// blockage is then handled as permanent.
+func (r *AdaptiveRouter) Route(s, d gc.NodeID, onWait func(cycles int)) (*AdaptiveResult, error) {
+	f, err := r.Start(s, d)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		st := f.Step()
+		switch st.Kind {
+		case StepWait:
+			if onWait != nil {
+				onWait(st.Wait)
+			}
+		case StepDone, StepFail:
+			return &AdaptiveResult{
+				Outcome:      st.Outcome,
+				Reason:       st.Reason,
+				Path:         f.Path(),
+				Hops:         f.Hops(),
+				Retries:      f.Retries(),
+				Replans:      f.Replans(),
+				WaitCycles:   f.WaitCycles(),
+				DetourHops:   f.DetourHops(),
+				UsedFallback: f.UsedFallback(),
+				Discovered:   f.Discovered(),
+			}, nil
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChurnFigures(t *testing.T) {
+	figs, err := Churn(6, []float64{20, 10}, 12, 40, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("got %d figures, want one per modulus", len(figs))
+	}
+	for _, f := range figs {
+		if !strings.HasPrefix(f.ID, "churn-M") {
+			t.Fatalf("bad figure ID %q", f.ID)
+		}
+		if len(f.Series) != 2 {
+			t.Fatalf("%s: %d series, want static+adaptive", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Points) != 2 {
+				t.Fatalf("%s/%s: %d points, want 2", f.ID, s.Name, len(s.Points))
+			}
+			for _, p := range s.Points {
+				if p.Y < 0 || p.Y > 1 {
+					t.Fatalf("%s/%s: delivery %v out of [0,1]", f.ID, s.Name, p.Y)
+				}
+			}
+		}
+		// The Figure plumbing (markdown/CSV/chart) must accept the new
+		// figures unchanged.
+		if f.Markdown() == "" || f.CSV() == "" {
+			t.Fatalf("%s: empty rendering", f.ID)
+		}
+	}
+}

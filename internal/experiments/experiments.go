@@ -310,7 +310,9 @@ func run(n, alpha uint, sweep SimSweep, faults func(c *gc.Cube, seed int64) *fau
 	// so they can share one bounded cache: routes are deterministic, so
 	// a cache hit returns exactly the path a fresh computation would,
 	// and per-seed Stats stay reproducible. Faulty points get a fresh
-	// fault set per seed and must not share.
+	// fault set per seed, so a shared cache would buy nothing — each Run
+	// stamps the cache with its fault-state fingerprint (RouteCache
+	// epoch) and would flush the previous seed's entries on entry.
 	var cache *simnet.RouteCache
 	if faults == nil {
 		cache = simnet.NewRouteCache(simnet.DefaultRouteCacheCapacity)

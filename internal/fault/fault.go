@@ -68,10 +68,18 @@ type Fault struct {
 // Set is a mutable fault set over a Gaussian Cube. It implements the
 // symmetric oracle semantics of the paper's simulation assumption 3: a
 // faulty node makes all of its incident links faulty.
+//
+// Read-only-after-handoff contract: a Set handed to a Router (or any
+// other concurrent reader) must not be mutated for the lifetime of that
+// handoff — the query methods read the underlying maps without locking.
+// Call Freeze after the last mutation to have the Set enforce the
+// contract itself; evolving fault state belongs in Dynamic, which
+// snapshots frozen copies instead of mutating a shared Set.
 type Set struct {
-	cube  *gc.Cube
-	nodes map[gc.NodeID]bool
-	links map[linkKey]bool
+	cube   *gc.Cube
+	nodes  map[gc.NodeID]bool
+	links  map[linkKey]bool
+	frozen bool
 }
 
 type linkKey struct {
@@ -91,16 +99,53 @@ func NewSet(c *gc.Cube) *Set {
 // Cube returns the cube this set is defined over.
 func (s *Set) Cube() *gc.Cube { return s.cube }
 
+// Freeze marks the set read-only and returns it. Any later mutation
+// panics, which turns a latent data race (mutating a Set shared with
+// concurrent routers) into a deterministic failure at the mutation
+// site. Freezing is idempotent and cannot be undone; Clone returns a
+// thawed copy.
+func (s *Set) Freeze() *Set {
+	s.frozen = true
+	return s
+}
+
+// Frozen reports whether Freeze has been called.
+func (s *Set) Frozen() bool { return s.frozen }
+
+func (s *Set) mutable(op string) {
+	if s.frozen {
+		panic("fault: " + op + " on a frozen Set (read-only after handoff)")
+	}
+}
+
 // AddNode marks node v faulty.
-func (s *Set) AddNode(v gc.NodeID) { s.nodes[v] = true }
+func (s *Set) AddNode(v gc.NodeID) {
+	s.mutable("AddNode")
+	s.nodes[v] = true
+}
 
 // AddLink marks the link at v in dimension dim faulty. It panics if the
 // cube has no link there.
 func (s *Set) AddLink(v gc.NodeID, dim uint) {
+	s.mutable("AddLink")
 	if !s.cube.HasLinkDim(v, dim) {
 		panic(fmt.Sprintf("fault: GC node %d has no link in dimension %d", v, dim))
 	}
 	s.links[normLink(v, dim)] = true
+}
+
+// RemoveNode clears a node fault (no-op when v is healthy). Links of v
+// marked faulty independently stay faulty.
+func (s *Set) RemoveNode(v gc.NodeID) {
+	s.mutable("RemoveNode")
+	delete(s.nodes, v)
+}
+
+// RemoveLink clears a link fault (no-op when the link is healthy). The
+// link stays unusable while either endpoint is a faulty node.
+func (s *Set) RemoveLink(v gc.NodeID, dim uint) {
+	s.mutable("RemoveLink")
+	delete(s.links, normLink(v, dim))
 }
 
 func normLink(v gc.NodeID, dim uint) linkKey {
@@ -156,6 +201,33 @@ func (s *Set) Clone() *Set {
 		c.links[k] = true
 	}
 	return c
+}
+
+// Fingerprint returns an order-independent 64-bit content hash of the
+// set. Two sets over the same cube with the same faulty components
+// collide deliberately; distinct fault states collide with only the
+// usual 2^-64 probability. Route caches use it as an identity token to
+// detect that the fault configuration behind their entries changed
+// (see simnet.RouteCache.InvalidateTo).
+func (s *Set) Fingerprint() uint64 {
+	// XOR of per-component mixes is commutative, so iteration order
+	// over the maps does not matter.
+	var h uint64
+	for v := range s.nodes {
+		h ^= mix64(uint64(v)*2 + 1)
+	}
+	for k := range s.links {
+		h ^= mix64(uint64(k.low)<<32 | uint64(k.dim)<<1)
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer, a strong 64-bit bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Categorize classifies one fault per Definitions 3–5. A link fault is

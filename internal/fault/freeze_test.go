@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+func TestFreezeBlocksMutation(t *testing.T) {
+	cube := gc.New(6, 1)
+	s := NewSet(cube)
+	s.AddNode(3)
+	s.AddLink(0, 0)
+	s.Freeze()
+	if !s.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	for name, mutate := range map[string]func(){
+		"AddNode":    func() { s.AddNode(5) },
+		"AddLink":    func() { s.AddLink(4, 0) },
+		"RemoveNode": func() { s.RemoveNode(3) },
+		"RemoveLink": func() { s.RemoveLink(0, 0) },
+		"Inject": func() {
+			s.InjectRandomNodes(rand.New(rand.NewSource(1)), 1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a frozen Set must panic", name)
+				}
+			}()
+			mutate()
+		}()
+	}
+	// Reads still work, and Clone thaws.
+	if !s.NodeFaulty(3) || !s.LinkFaulty(0, 0) {
+		t.Fatal("frozen set lost its content")
+	}
+	c := s.Clone()
+	if c.Frozen() {
+		t.Fatal("Clone must return a thawed copy")
+	}
+	c.AddNode(9) // must not panic
+}
+
+func TestRemoveFaults(t *testing.T) {
+	cube := gc.New(6, 1)
+	s := NewSet(cube)
+	s.AddNode(3)
+	s.AddLink(0, 0)
+	s.RemoveNode(3)
+	s.RemoveLink(0, 0)
+	if s.Count() != 0 {
+		t.Fatalf("count = %d after removing everything", s.Count())
+	}
+	// Removing a link does not heal it while an endpoint node is down.
+	s.AddNode(1)
+	s.AddLink(1, 0)
+	s.RemoveLink(1, 0)
+	if !s.LinkFaulty(1, 0) {
+		t.Fatal("link incident to a faulty node must stay unusable")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	cube := gc.New(6, 1)
+	a, b := NewSet(cube), NewSet(cube)
+	if a.Fingerprint() != 0 {
+		t.Fatal("empty fingerprint must be 0")
+	}
+	// Order-independent: same content added in different order.
+	a.AddNode(3)
+	a.AddNode(17)
+	a.AddLink(0, 0)
+	b.AddLink(1, 0) // normalizes to the same link as (0,0)... only if same low
+	b.RemoveLink(1, 0)
+	b.AddLink(0, 0)
+	b.AddNode(17)
+	b.AddNode(3)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("same content, different fingerprints: %#x vs %#x",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	b.AddNode(40)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different content, same fingerprint")
+	}
+	b.RemoveNode(40)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("remove must restore the fingerprint")
+	}
+	// A node fault and a link fault on the same coordinates differ.
+	x, y := NewSet(cube), NewSet(cube)
+	x.AddNode(0)
+	y.AddLink(0, 0)
+	if x.Fingerprint() == y.Fingerprint() {
+		t.Fatal("node vs link fault fingerprints collide")
+	}
+}

@@ -1,0 +1,31 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is an atomic event tally safe for concurrent writers — the
+// aggregation primitive for parallel trial runners, where per-goroutine
+// Streams would force a merge step but simple counts can share one
+// cell.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Ratio returns c/total as a float (0 when total is zero or negative).
+func Ratio(c, total int64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(c) / float64(total)
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent: parallel writers must not lose increments.
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+			c.Add(4)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*(per+4) {
+		t.Fatalf("Value = %d, want %d", got, workers*(per+4))
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Reset left %d", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(3, 4); r != 0.75 {
+		t.Fatalf("Ratio(3,4) = %v", r)
+	}
+	if r := Ratio(1, 0); r != 0 {
+		t.Fatalf("Ratio(1,0) = %v", r)
+	}
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/simnet"
+)
+
+// ChurnPoint compares static source routing against adaptive per-hop
+// routing at one churn intensity. Delivery rates are over identical
+// offered traffic (same traces, same fault schedules, same seeds), so
+// the gap is attributable to the routing discipline alone.
+type ChurnPoint struct {
+	// MTBF is the mean number of cycles between fault injections —
+	// smaller means harsher churn.
+	MTBF float64
+	// StaticDelivery and AdaptiveDelivery are delivered/generated over
+	// all trials.
+	StaticDelivery, AdaptiveDelivery float64
+	// Retries and Replans total the adaptive engine's transient
+	// wait-and-retry attempts and post-discovery replans.
+	Retries, Replans int64
+	// WaitCycles totals the backoff cycles adaptive packets spent
+	// holding position.
+	WaitCycles int64
+	// MeanDetourHops is the mean, over adaptively delivered packets,
+	// of hops beyond the fault-free optimum.
+	MeanDetourHops float64
+	// Degraded counts adaptive deliveries on the degraded rung.
+	Degraded int64
+	// Epochs totals the fault-state transitions observed, and
+	// CacheInvalidations the route-cache flushes they forced in the
+	// static (plan-at-source, cached) runs.
+	Epochs, CacheInvalidations int64
+}
+
+// ChurnCurve is the churn-response profile of one configuration.
+type ChurnCurve struct {
+	N, Alpha uint
+	Points   []ChurnPoint
+}
+
+// ChurnConfig parameterizes MeasureChurn.
+type ChurnConfig struct {
+	N, Alpha uint
+	// MTBFs is the grid of churn intensities to sample (mean cycles
+	// between injections).
+	MTBFs []float64
+	// MTTR is the mean fault lifetime in cycles (transient faults).
+	MTTR float64
+	// Horizon is the injection window; traffic generation uses the
+	// same window.
+	Horizon int
+	// Arrival is the per-node per-cycle generation probability.
+	Arrival float64
+	// Trials is the number of schedule/traffic replicates per point.
+	Trials int
+	Seed   int64
+	// Parallelism bounds the worker goroutines (default NumCPU).
+	Parallelism int
+}
+
+// MeasureChurn sweeps churn intensity and, per point, runs paired
+// static/adaptive simulations over identical traffic traces and fault
+// schedules. Trials run in parallel; the integer tallies aggregate
+// through metrics.Counter so workers never share unsynchronized state.
+func MeasureChurn(cfg ChurnConfig) (ChurnCurve, error) {
+	if cfg.Horizon <= 0 || cfg.Trials <= 0 {
+		return ChurnCurve{}, fmt.Errorf("resilience: Horizon and Trials must be positive")
+	}
+	arrival := cfg.Arrival
+	if arrival <= 0 {
+		arrival = 0.2
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cube := gc.New(cfg.N, cfg.Alpha)
+	curve := ChurnCurve{N: cfg.N, Alpha: cfg.Alpha}
+
+	for pi, mtbf := range cfg.MTBFs {
+		var generated, staticDelivered, adaptiveDelivered metrics.Counter
+		var retries, replans, waitCycles, degraded metrics.Counter
+		var epochs, invalidations metrics.Counter
+		var detourSum, detourCount metrics.Counter
+		var firstErr error
+		var errOnce sync.Once
+
+		trials := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for trial := range trials {
+					// Each trial derives its own deterministic schedule;
+					// the paired runs share it via forks.
+					seed := cfg.Seed + int64(pi)*1_000_003 + int64(trial)
+					rng := rand.New(rand.NewSource(seed))
+					events := fault.ChurnSchedule(rng, cube, fault.ChurnConfig{
+						MTBF: mtbf, MTTR: cfg.MTTR, Horizon: cfg.Horizon,
+						LinkFraction: 0.4,
+						MaxActive:    int(fault.TolerableBound(cfg.N, cfg.Alpha)),
+					})
+					dyn := fault.NewDynamic(cube, events)
+					base := simnet.Config{
+						N: cfg.N, Alpha: cfg.Alpha,
+						Arrival: arrival, GenCycles: cfg.Horizon,
+						Seed: seed, Dynamic: dyn,
+					}
+					staticCfg := base
+					staticCfg.CacheRoutes = true
+					st, err := simnet.Run(staticCfg)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						continue
+					}
+					adaptiveCfg := base
+					adaptiveCfg.Adaptive = true
+					ad, err := simnet.Run(adaptiveCfg)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						continue
+					}
+					// Same seed and schedule drive both engines, so the
+					// offered traffic is identical.
+					generated.Add(int64(st.Generated))
+					staticDelivered.Add(int64(st.Delivered))
+					adaptiveDelivered.Add(int64(ad.Delivered))
+					retries.Add(int64(ad.Retries))
+					replans.Add(int64(ad.Replans))
+					waitCycles.Add(int64(ad.WaitCycles))
+					degraded.Add(int64(ad.Degraded))
+					epochs.Add(int64(st.Epochs))
+					invalidations.Add(int64(st.CacheInvalidations))
+					detourSum.Add(int64(ad.DetourHops.Sum()))
+					detourCount.Add(ad.DetourHops.Count())
+				}
+			}()
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			trials <- trial
+		}
+		close(trials)
+		wg.Wait()
+		if firstErr != nil {
+			return ChurnCurve{}, firstErr
+		}
+
+		curve.Points = append(curve.Points, ChurnPoint{
+			MTBF:               mtbf,
+			StaticDelivery:     metrics.Ratio(staticDelivered.Value(), generated.Value()),
+			AdaptiveDelivery:   metrics.Ratio(adaptiveDelivered.Value(), generated.Value()),
+			Retries:            retries.Value(),
+			Replans:            replans.Value(),
+			WaitCycles:         waitCycles.Value(),
+			Degraded:           degraded.Value(),
+			Epochs:             epochs.Value(),
+			CacheInvalidations: invalidations.Value(),
+			MeanDetourHops:     metrics.Ratio(detourSum.Value(), detourCount.Value()),
+		})
+	}
+	return curve, nil
+}

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"testing"
+)
+
+// TestMeasureChurnShape: the curve covers every requested point with
+// sane probabilities, and the adaptive engine never does worse than
+// static on aggregate (it subsumes static planning and adds waiting).
+func TestMeasureChurnShape(t *testing.T) {
+	curve, err := MeasureChurn(ChurnConfig{
+		N: 6, Alpha: 1,
+		MTBFs:       []float64{25, 8},
+		MTTR:        12,
+		Horizon:     60,
+		Arrival:     0.2,
+		Trials:      4,
+		Seed:        5,
+		Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(curve.Points))
+	}
+	for _, p := range curve.Points {
+		if p.StaticDelivery < 0 || p.StaticDelivery > 1 ||
+			p.AdaptiveDelivery < 0 || p.AdaptiveDelivery > 1 {
+			t.Fatalf("delivery out of [0,1]: %+v", p)
+		}
+		if p.AdaptiveDelivery < p.StaticDelivery {
+			t.Fatalf("adaptive below static at MTBF %v: %+v", p.MTBF, p)
+		}
+		if p.Epochs == 0 {
+			t.Fatalf("no epochs observed at MTBF %v", p.MTBF)
+		}
+	}
+	// Harsher churn (smaller MTBF) must exercise the retry machinery.
+	if curve.Points[1].Retries == 0 && curve.Points[1].WaitCycles == 0 {
+		t.Fatalf("harsh churn produced no retries or waits: %+v", curve.Points[1])
+	}
+}
+
+// TestMeasureChurnDeterministic: the parallel trial runner must not
+// make the aggregate depend on scheduling.
+func TestMeasureChurnDeterministic(t *testing.T) {
+	cfg := ChurnConfig{
+		N: 6, Alpha: 1,
+		MTBFs:   []float64{10},
+		MTTR:    10,
+		Horizon: 40,
+		Arrival: 0.2,
+		Trials:  6,
+		Seed:    9,
+	}
+	a, err := MeasureChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 1
+	b, err := MeasureChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != 1 || len(b.Points) != 1 {
+		t.Fatal("bad point counts")
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Fatalf("aggregate depends on parallelism:\n%+v\n%+v", a.Points[0], b.Points[0])
+	}
+}
+
+func TestMeasureChurnValidation(t *testing.T) {
+	if _, err := MeasureChurn(ChurnConfig{N: 6, Alpha: 1, MTBFs: []float64{5}}); err == nil {
+		t.Fatal("zero Horizon/Trials must be rejected")
+	}
+}

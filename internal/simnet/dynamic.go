@@ -1,0 +1,335 @@
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/workload"
+)
+
+// runTimeline is the discrete-event engine for runs whose fault state
+// evolves (Config.Dynamic / FaultAtCycle) or whose packets route
+// per hop (Config.Adaptive). It differs from the static engine in one
+// structural way: routing is deferred from generation time to the
+// moment a packet's source event pops, so every plan (and every
+// adaptive step) sees the fault state of its own cycle, not the state
+// at the end of the generation window.
+//
+// Two forks of the fault schedule are replayed: one during admission
+// (generation iterates cycles in ascending order) and one inside the
+// event loop (which also visits times in ascending order). The
+// caller's Dynamic instance is never mutated.
+func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service int) (*Stats, error) {
+	var loopDyn, admission *fault.Dynamic
+	if cfg.Dynamic != nil {
+		loopDyn = cfg.Dynamic.Fork()
+		admission = cfg.Dynamic.Fork()
+	} else if cfg.FaultAtCycle > 0 && cfg.Faults != nil {
+		events := fault.BatchInject(cfg.Faults, cfg.FaultAtCycle)
+		loopDyn = fault.NewDynamic(cube, events)
+		admission = fault.NewDynamic(cube, events)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	stats := &Stats{DropReasons: make(map[string]int)}
+	if cfg.HistBuckets > 0 {
+		top := cfg.HistMax
+		if top <= 0 {
+			top = 256
+		}
+		stats.LatencyHist = metrics.NewHistogram(0, top, cfg.HistBuckets)
+	}
+
+	// Ground truth for local discovery in adaptive mode.
+	var oracle core.Oracle
+	switch {
+	case loopDyn != nil:
+		oracle = loopDyn
+	case cfg.Faults != nil:
+		oracle = cfg.Faults
+	}
+	var adaptive *core.AdaptiveRouter
+	if cfg.Adaptive {
+		adaptive = core.NewAdaptiveRouter(cube, oracle, core.AdaptiveConfig{Substrate: cfg.Substrate})
+	}
+
+	// The static planner routes whole paths against a frozen snapshot
+	// of the current fault state; it is rebuilt on every epoch
+	// transition.
+	var planner *core.Router
+	buildPlanner := func() {
+		opts := []core.Option{core.WithSubstrate(cfg.Substrate)}
+		switch {
+		case loopDyn != nil:
+			opts = append(opts, core.WithFaults(loopDyn.Snapshot()))
+		case cfg.Faults != nil:
+			opts = append(opts, core.WithFaults(cfg.Faults))
+		}
+		planner = core.NewRouter(cube, opts...)
+	}
+	buildPlanner()
+
+	cache := cfg.RouteCache
+	if cache == nil && cfg.CacheRoutes && !cfg.Adaptive {
+		cache = NewRouteCache(DefaultRouteCacheCapacity)
+	}
+	if cfg.Adaptive {
+		cache = nil // per-hop routing has no source plan to cache
+	}
+	var cacheInvalidationsBase int64
+	if cache != nil {
+		cacheInvalidationsBase = cache.Invalidations()
+		// Stamp the cache with this run's initial fault state: entries
+		// left by a run over a different configuration are dropped here
+		// instead of being replayed.
+		token := uint64(0)
+		if loopDyn != nil {
+			token = loopDyn.Fingerprint()
+		} else if cfg.Faults != nil {
+			token = cfg.Faults.Fingerprint()
+		}
+		cache.InvalidateTo(token)
+	}
+
+	lookupRoute := func(src, dst gc.NodeID) ([]gc.NodeID, error) {
+		if cache != nil {
+			if p, ok := cache.Get(src, dst); ok {
+				stats.RouteCacheHits++
+				return p, nil
+			}
+		}
+		res, err := planner.Route(src, dst)
+		if err != nil {
+			return nil, err
+		}
+		if res.UsedFallback {
+			stats.FallbackRoutes++
+		}
+		if cache != nil {
+			cache.Put(src, dst, res.Path)
+		}
+		return res.Path, nil
+	}
+
+	// Admission: offered traffic enters the queue unrouted; assumption 1
+	// filtering uses the fault state of the emission cycle.
+	var queue eventQueue
+	seq := 0
+	faultyAt := func(v gc.NodeID, t int) bool {
+		if admission != nil {
+			admission.AdvanceTo(t)
+			return admission.NodeFaulty(v)
+		}
+		return cfg.Faults != nil && cfg.Faults.NodeFaulty(v)
+	}
+	offer := func(src, dst gc.NodeID, t int) {
+		stats.Generated++
+		seq++
+		heap.Push(&queue, &event{
+			time:   t,
+			seq:    seq,
+			packet: &packet{created: t, dst: dst},
+			node:   src,
+		})
+	}
+	nodes := cube.Nodes()
+	if cfg.Trace != nil {
+		// Trace times must be non-decreasing for the admission fork to
+		// replay fault state correctly; sort defensively.
+		trace := cfg.Trace
+		if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time }) {
+			trace = append([]Packet(nil), trace...)
+			sort.SliceStable(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time })
+		}
+		for _, p := range trace {
+			if faultyAt(p.Src, p.Time) || faultyAt(p.Dst, p.Time) {
+				continue
+			}
+			offer(p.Src, p.Dst, p.Time)
+		}
+	} else {
+	gen:
+		for t := 0; t < cfg.GenCycles; t++ {
+			for v := 0; v < nodes; v++ {
+				if rng.Float64() >= cfg.Arrival {
+					continue
+				}
+				src := gc.NodeID(v)
+				if faultyAt(src, t) {
+					continue // assumption 1: faulty nodes generate nothing
+				}
+				dst, ok := pickDest(rng, pattern, src,
+					func(v gc.NodeID) bool { return faultyAt(v, t) }, nodes)
+				if !ok {
+					continue
+				}
+				offer(src, dst, t)
+				if cfg.MaxPackets > 0 && stats.Generated >= cfg.MaxPackets {
+					break gen
+				}
+			}
+		}
+	}
+
+	linkFree := make(map[linkID]int)
+	linkCount := make(map[linkID]int)
+	deliver := func(e *event, p *packet, hops int) {
+		stats.Delivered++
+		if p.created >= cfg.Warmup {
+			stats.Measured++
+			stats.Latency.Add(float64(e.time - p.created))
+			stats.Hops.Add(float64(hops))
+			if stats.LatencyHist != nil {
+				stats.LatencyHist.Add(float64(e.time - p.created))
+			}
+		}
+		if e.time > stats.Makespan {
+			stats.Makespan = e.time
+		}
+	}
+	move := func(e *event, next gc.NodeID) {
+		ready := e.time + service
+		stats.NodeBusy += float64(service)
+		l := linkID{from: e.node, to: next}
+		dep := ready
+		if free, okf := linkFree[l]; okf && free > dep {
+			dep = free
+		}
+		linkFree[l] = dep + 1
+		linkCount[l]++
+		seq++
+		e.time, e.seq, e.node = dep+1, seq, next
+		heap.Push(&queue, e)
+	}
+	requeue := func(e *event, wait int) {
+		seq++
+		e.time, e.seq = e.time+wait, seq
+		heap.Push(&queue, e)
+	}
+
+	for queue.Len() > 0 {
+		e := heap.Pop(&queue).(*event)
+		if loopDyn != nil && loopDyn.AdvanceTo(e.time) {
+			buildPlanner()
+			if cache != nil {
+				cache.InvalidateTo(loopDyn.Fingerprint())
+			}
+		}
+		p := e.packet
+		if cfg.Adaptive {
+			stepAdaptive(e, p, adaptive, stats, deliver, move, requeue)
+			continue
+		}
+
+		// Static plan-at-source forwarding over the evolving network.
+		if p.path == nil {
+			path, err := lookupRoute(e.node, p.dst)
+			if err != nil {
+				stats.Undeliverable++
+				continue
+			}
+			p.path, p.idx = path, 0
+		}
+		if p.idx == len(p.path)-1 {
+			deliver(e, p, len(p.path)-1)
+			continue
+		}
+		next := p.path[p.idx+1]
+		if loopDyn != nil {
+			// The planned route may have been computed before the last
+			// fault transition.
+			dim := uint(bitutil.LowestBit(uint64(e.node ^ next)))
+			if loopDyn.NodeFaulty(e.node) || loopDyn.NodeFaulty(p.dst) {
+				stats.Dropped++
+				continue
+			}
+			if loopDyn.LinkFaulty(e.node, dim) || loopDyn.NodeFaulty(next) {
+				path, err := lookupRoute(e.node, p.dst)
+				if err != nil {
+					stats.Dropped++
+					continue
+				}
+				stats.Rerouted++
+				p.path, p.idx = path, 0
+				next = p.path[1]
+			}
+		}
+		p.idx++
+		move(e, next)
+	}
+
+	for l, n := range linkCount {
+		stats.LinkLoad.Add(float64(n))
+		stats.Hottest = append(stats.Hottest, LinkLoad{From: l.from, To: l.to, Count: n})
+	}
+	sort.Slice(stats.Hottest, func(i, j int) bool {
+		if stats.Hottest[i].Count != stats.Hottest[j].Count {
+			return stats.Hottest[i].Count > stats.Hottest[j].Count
+		}
+		if stats.Hottest[i].From != stats.Hottest[j].From {
+			return stats.Hottest[i].From < stats.Hottest[j].From
+		}
+		return stats.Hottest[i].To < stats.Hottest[j].To
+	})
+	if len(stats.Hottest) > 5 {
+		stats.Hottest = stats.Hottest[:5]
+	}
+	if loopDyn != nil {
+		stats.Epochs = int(loopDyn.Epoch())
+	}
+	if cache != nil {
+		stats.CacheInvalidations = int(cache.Invalidations() - cacheInvalidationsBase)
+	}
+	return stats, nil
+}
+
+// stepAdaptive advances one adaptive packet by one stepper decision.
+func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, stats *Stats,
+	deliver func(*event, *packet, int), move func(*event, gc.NodeID),
+	requeue func(*event, int)) {
+	if p.flight == nil {
+		fl, err := ar.Start(e.node, p.dst)
+		if err != nil {
+			// The source died between admission and emission.
+			stats.Undeliverable++
+			return
+		}
+		p.flight = fl
+	}
+	st := p.flight.Step()
+	switch st.Kind {
+	case core.StepWait:
+		// Flight tracks its own waited total; folded in at termination.
+		requeue(e, st.Wait)
+	case core.StepMove:
+		move(e, st.To)
+	case core.StepDone:
+		finishAdaptive(stats, p.flight)
+		if p.flight.Degraded() {
+			stats.Degraded++
+		}
+		stats.DetourHops.Add(float64(p.flight.DetourHops()))
+		deliver(e, p, p.flight.Hops())
+	case core.StepFail:
+		finishAdaptive(stats, p.flight)
+		stats.DropReasons[st.Reason]++
+		if p.flight.Hops() == 0 {
+			stats.Undeliverable++
+		} else {
+			stats.Dropped++
+		}
+	}
+}
+
+// finishAdaptive folds a terminal flight's counters into the stats.
+func finishAdaptive(stats *Stats, f *core.Flight) {
+	stats.Retries += f.Retries()
+	stats.Replans += f.Replans()
+	stats.WaitCycles += f.WaitCycles()
+}

@@ -1,0 +1,240 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// churnTrace builds an explicit packet list over non-faulty endpoints so
+// paired engine comparisons see identical offered traffic.
+func churnTrace(rng *rand.Rand, nodes, count, window int, skip func(gc.NodeID) bool) []Packet {
+	var trace []Packet
+	for t := 0; len(trace) < count; t++ {
+		s := gc.NodeID(rng.Intn(nodes))
+		d := gc.NodeID(rng.Intn(nodes))
+		if s == d || skip(s) || skip(d) {
+			continue
+		}
+		// Emit each pair as a burst so the pair repeats inside one fault
+		// epoch — that is what a route cache can serve.
+		for burst := 0; burst < 3 && len(trace) < count; burst++ {
+			trace = append(trace, Packet{Src: s, Dst: d, Time: t % window})
+		}
+	}
+	return trace
+}
+
+// isolationEvents transiently cuts every link incident to v on [from,
+// until): the node itself stays healthy (so admission accepts traffic
+// to it) but nothing can reach it until the repair.
+func isolationEvents(cube *gc.Cube, v gc.NodeID, from, until int) []fault.Event {
+	var events []fault.Event
+	for _, dim := range cube.LinkDims(v) {
+		f := fault.Fault{Kind: fault.KindLink, Node: v, Dim: dim}
+		events = append(events,
+			fault.Event{Time: from, Op: fault.OpInject, Fault: f},
+			fault.Event{Time: until, Op: fault.OpRepair, Fault: f},
+		)
+	}
+	return events
+}
+
+// TestAdaptiveBeatsStaticUnderChurn is the headline acceptance check:
+// on the same trace and seed, the adaptive per-hop engine must deliver
+// strictly more packets than static source routing, because it waits
+// out the transient isolation that static planning can only drop on.
+func TestAdaptiveBeatsStaticUnderChurn(t *testing.T) {
+	cube := gc.New(6, 1)
+	victim := gc.NodeID(5)
+	events := isolationEvents(cube, victim, 1, 60)
+
+	// All traffic targets the victim, emitted before the cut so
+	// admission (and static planning at emission time) sees a healthy
+	// network.
+	var trace []Packet
+	for v := 0; v < cube.Nodes(); v++ {
+		src := gc.NodeID(v)
+		if src == victim || cube.Distance(src, victim) < 2 {
+			continue // direct neighbors could deliver before the cut
+		}
+		trace = append(trace, Packet{Src: src, Dst: victim, Time: 0})
+	}
+	base := Config{
+		N: 6, Alpha: 1, Arrival: 0.5, GenCycles: 1, Seed: 7,
+		Trace: trace,
+	}
+
+	staticCfg := base
+	staticCfg.Dynamic = fault.NewDynamic(cube, events)
+	staticStats, err := Run(staticCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adaptiveCfg := base
+	adaptiveCfg.Dynamic = fault.NewDynamic(cube, events)
+	adaptiveCfg.Adaptive = true
+	adaptiveStats, err := Run(adaptiveCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if staticStats.Generated != adaptiveStats.Generated {
+		t.Fatalf("offered traffic diverged: %d vs %d",
+			staticStats.Generated, adaptiveStats.Generated)
+	}
+	if adaptiveStats.Delivered <= staticStats.Delivered {
+		t.Fatalf("adaptive must deliver strictly more: adaptive=%d static=%d (of %d)",
+			adaptiveStats.Delivered, staticStats.Delivered, adaptiveStats.Generated)
+	}
+	if adaptiveStats.Delivered != adaptiveStats.Generated {
+		t.Fatalf("adaptive should wait out the transient cut and deliver everything: %d/%d (drops: %v)",
+			adaptiveStats.Delivered, adaptiveStats.Generated, adaptiveStats.DropReasons)
+	}
+	if adaptiveStats.Retries == 0 || adaptiveStats.WaitCycles == 0 {
+		t.Fatalf("deliveries through a transient cut require retries and waiting: %+v", adaptiveStats)
+	}
+	if staticStats.Dropped == 0 {
+		t.Fatalf("static engine should have stranded packets at the cut: %+v", staticStats)
+	}
+}
+
+// TestTimelineCacheCoherence is the zero-stale-routes acceptance check:
+// a cached run over an evolving fault state must be bit-identical to
+// the uncached run on the same seed — any stale route served across an
+// epoch transition would perturb delivery or drop counts — and the
+// epoch machinery must actually have fired.
+func TestTimelineCacheCoherence(t *testing.T) {
+	cube := gc.New(7, 1)
+	rng := rand.New(rand.NewSource(42))
+	events := fault.ChurnSchedule(rng, cube, fault.ChurnConfig{
+		MTBF: 6, MTTR: 25, Horizon: 120, LinkFraction: 0.4, MaxActive: 6,
+	})
+	if len(events) == 0 {
+		t.Fatal("churn schedule came out empty")
+	}
+	trace := churnTrace(rand.New(rand.NewSource(3)), cube.Nodes(), 400, 120,
+		func(gc.NodeID) bool { return false })
+
+	run := func(cached bool) *Stats {
+		cfg := Config{
+			N: 7, Alpha: 1, Arrival: 0.5, GenCycles: 1, Seed: 11,
+			Trace:       trace,
+			Dynamic:     fault.NewDynamic(cube, events),
+			CacheRoutes: cached,
+		}
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain := run(false)
+	cached := run(true)
+
+	if cached.Epochs == 0 {
+		t.Fatal("timeline run observed no epoch transitions")
+	}
+	if cached.CacheInvalidations == 0 {
+		t.Fatal("epoch transitions must flush the route cache")
+	}
+	if plain.Generated != cached.Generated ||
+		plain.Delivered != cached.Delivered ||
+		plain.Dropped != cached.Dropped ||
+		plain.Undeliverable != cached.Undeliverable ||
+		plain.Rerouted != cached.Rerouted ||
+		plain.Makespan != cached.Makespan {
+		t.Fatalf("cached timeline run diverged from uncached (stale route served?):\nplain:  %+v\ncached: %+v",
+			plain, cached)
+	}
+	if math.Abs(plain.Latency.Mean()-cached.Latency.Mean()) > 1e-12 ||
+		math.Abs(plain.Hops.Mean()-cached.Hops.Mean()) > 1e-12 {
+		t.Fatalf("latency/hop statistics diverged: %v/%v vs %v/%v",
+			plain.Latency.Mean(), plain.Hops.Mean(),
+			cached.Latency.Mean(), cached.Hops.Mean())
+	}
+	if cached.RouteCacheHits == 0 {
+		t.Fatal("cached run never hit the cache; the comparison is vacuous")
+	}
+}
+
+// TestTimelineEpochAccounting: the run reports exactly the epoch
+// transitions its schedule implies (one per distinct batch time that
+// changes the set).
+func TestTimelineEpochAccounting(t *testing.T) {
+	cube := gc.New(6, 1)
+	f := fault.Fault{Kind: fault.KindNode, Node: 9}
+	events := []fault.Event{
+		{Time: 3, Op: fault.OpInject, Fault: f},
+		{Time: 20, Op: fault.OpRepair, Fault: f},
+	}
+	st, err := Run(Config{
+		N: 6, Alpha: 1, Arrival: 0.4, GenCycles: 40, Seed: 1,
+		Dynamic: fault.NewDynamic(cube, events),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epochs != 2 {
+		t.Fatalf("Epochs = %d, want 2 (inject batch + repair batch)", st.Epochs)
+	}
+}
+
+// TestDynamicConfigNotMutated: Run forks the supplied Dynamic; the
+// caller's instance must still be at time zero afterwards.
+func TestDynamicConfigNotMutated(t *testing.T) {
+	cube := gc.New(6, 1)
+	dyn := fault.NewDynamic(cube, []fault.Event{
+		{Time: 5, Op: fault.OpInject, Fault: fault.Fault{Kind: fault.KindNode, Node: 3}},
+	})
+	if _, err := Run(Config{
+		N: 6, Alpha: 1, Arrival: 0.4, GenCycles: 30, Seed: 2, Dynamic: dyn,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Epoch() != 0 || dyn.NodeFaulty(3) {
+		t.Fatalf("caller's Dynamic was mutated: epoch=%d faulty=%v",
+			dyn.Epoch(), dyn.NodeFaulty(3))
+	}
+}
+
+// TestAdaptiveTimelineAccountingBalance: every offered adaptive packet
+// lands in exactly one terminal bucket.
+func TestAdaptiveTimelineAccountingBalance(t *testing.T) {
+	cube := gc.New(7, 1)
+	rng := rand.New(rand.NewSource(8))
+	events := fault.ChurnSchedule(rng, cube, fault.ChurnConfig{
+		MTBF: 8, MTTR: 15, Horizon: 100, LinkFraction: 0.5, MaxActive: 5,
+	})
+	st, err := Run(Config{
+		N: 7, Alpha: 1, Arrival: 0.3, GenCycles: 100, Seed: 4,
+		Dynamic:  fault.NewDynamic(cube, events),
+		Adaptive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generated == 0 {
+		t.Fatal("no traffic generated")
+	}
+	if st.Delivered+st.Dropped+st.Undeliverable != st.Generated {
+		t.Fatalf("accounting leak: %d delivered + %d dropped + %d undeliverable != %d generated",
+			st.Delivered, st.Dropped, st.Undeliverable, st.Generated)
+	}
+	terminalDrops := 0
+	for _, n := range st.DropReasons {
+		terminalDrops += n
+	}
+	if terminalDrops != st.Dropped+st.Undeliverable {
+		t.Fatalf("drop reasons (%d) do not cover drops (%d+%d)",
+			terminalDrops, st.Dropped, st.Undeliverable)
+	}
+	if st.DeliveryRate() < 0.5 {
+		t.Fatalf("adaptive delivery rate collapsed under mild churn: %v (reasons %v)",
+			st.DeliveryRate(), st.DropReasons)
+	}
+}

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"gaussiancube/internal/gc"
 )
@@ -13,13 +14,22 @@ import (
 // the per-shard LRU bound keeps memory flat under long permutation
 // workloads.
 //
-// A cache must only ever be shared by runs that route over an identical
-// topology and fault configuration — the key does not encode either.
+// The key does not encode the topology or the fault configuration, so a
+// cache shared across runs (or across fault transitions within one run)
+// would happily serve routes planned against a different network. The
+// epoch token closes that hole: every consumer stamps the cache with a
+// token identifying the fault state its routes are computed against
+// (fault.Set.Fingerprint / fault.Dynamic.Fingerprint) via InvalidateTo,
+// which atomically clears all entries whenever the token changes. Runs
+// sharing a cache across different topologies remain unsupported.
 // Cached paths are shared read-only slices; callers must not modify
 // them. Within a single Run the cache is touched sequentially, so Stats
 // remain bit-for-bit deterministic for a fixed Config.Seed.
 type RouteCache struct {
-	shards [cacheShards]cacheShard
+	mu            sync.Mutex // serializes epoch transitions
+	epoch         atomic.Uint64
+	invalidations atomic.Int64
+	shards        [cacheShards]cacheShard
 }
 
 const cacheShards = 16
@@ -56,6 +66,41 @@ func NewRouteCache(capacity int) *RouteCache {
 		c.shards[i].table = make(map[routeKey]*cacheEntry)
 	}
 	return c
+}
+
+// Epoch returns the fault-state token the cache was last stamped with
+// (zero before the first InvalidateTo).
+func (c *RouteCache) Epoch() uint64 { return c.epoch.Load() }
+
+// Invalidations returns how many times InvalidateTo flushed the cache.
+func (c *RouteCache) Invalidations() int64 { return c.invalidations.Load() }
+
+// InvalidateTo stamps the cache with the fault-state token its next
+// routes are computed against. When the token differs from the current
+// stamp, every entry is dropped — they were planned against a network
+// that no longer exists — and the call reports true. Stamping with the
+// current token is a cheap no-op. The zero token means "no faults"
+// (fault.Set.Fingerprint of an empty set), which is also the implicit
+// state of a fresh cache, so fault-free consumers may skip stamping.
+func (c *RouteCache) InvalidateTo(token uint64) bool {
+	if c.epoch.Load() == token {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch.Load() == token { // raced with another invalidator
+		return false
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.table = make(map[routeKey]*cacheEntry)
+		sh.head, sh.tail = nil, nil
+		sh.mu.Unlock()
+	}
+	c.epoch.Store(token)
+	c.invalidations.Add(1)
+	return true
 }
 
 func (c *RouteCache) shard(k routeKey) *cacheShard {

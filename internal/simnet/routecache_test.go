@@ -119,3 +119,62 @@ func TestRunSharedCacheDeterministic(t *testing.T) {
 		t.Fatal("warm shared cache produced no hits")
 	}
 }
+
+// TestRouteCacheEpochInvalidation: InvalidateTo flushes entries exactly
+// when the fault-state token changes, counts each flush, and is a
+// no-op when re-stamped with the current token.
+func TestRouteCacheEpochInvalidation(t *testing.T) {
+	c := NewRouteCache(64)
+	path := []gc.NodeID{0, 1, 3}
+	c.Put(0, 3, path)
+	if c.Epoch() != 0 {
+		t.Fatalf("fresh cache epoch = %d, want 0", c.Epoch())
+	}
+	if c.InvalidateTo(0) {
+		t.Fatal("re-stamping the current token must be a no-op")
+	}
+	if _, ok := c.Get(0, 3); !ok {
+		t.Fatal("no-op stamp dropped entries")
+	}
+	if !c.InvalidateTo(0xdead) {
+		t.Fatal("a new token must invalidate")
+	}
+	if _, ok := c.Get(0, 3); ok {
+		t.Fatal("entry survived an epoch transition")
+	}
+	if c.Epoch() != 0xdead || c.Invalidations() != 1 {
+		t.Fatalf("epoch=%#x invalidations=%d, want 0xdead/1", c.Epoch(), c.Invalidations())
+	}
+	c.Put(0, 3, path)
+	if c.InvalidateTo(0xdead) {
+		t.Fatal("same token twice must not flush again")
+	}
+	if c.Len() != 1 || c.Invalidations() != 1 {
+		t.Fatalf("len=%d invalidations=%d after no-op stamp", c.Len(), c.Invalidations())
+	}
+}
+
+// TestRouteCacheEpochConcurrent: concurrent stampers racing over the
+// same token sequence settle on the last token with one flush per
+// distinct transition at most; readers never crash on a mid-flush map.
+func TestRouteCacheEpochConcurrent(t *testing.T) {
+	c := NewRouteCache(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Put(gc.NodeID(id), gc.NodeID(i%32), []gc.NodeID{gc.NodeID(id)})
+				c.Get(gc.NodeID(id), gc.NodeID(i%32))
+				if i%50 == 0 {
+					c.InvalidateTo(uint64(i / 50))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Epoch(); got > 9 {
+		t.Fatalf("epoch settled on unexpected token %d", got)
+	}
+}

@@ -33,7 +33,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
@@ -80,10 +79,32 @@ type Config struct {
 	// may cross components that have since died. At the moment such a
 	// packet would use a dead component, it is rerouted from its
 	// current node (counted in Rerouted) or, if no healthy route
-	// remains, dropped (counted in Dropped). This models transient
-	// failures hitting an operating network rather than a network
-	// configured around known faults.
+	// remains, dropped (counted in Dropped). It is the all-at-once
+	// special case of the Dynamic timeline and is implemented by
+	// bridging onto it (fault.BatchInject).
 	FaultAtCycle int
+
+	// Dynamic, when non-nil, drives a full fault event timeline:
+	// components fail and heal at scheduled times while traffic is in
+	// flight. Routes are planned against the fault state at emission
+	// time; packets that would traverse a component that has since died
+	// are rerouted from their current node or dropped, and every epoch
+	// transition flushes the route cache (counted in
+	// CacheInvalidations) so a stale cached plan is never replayed
+	// across a fault transition. Run never mutates the supplied
+	// instance — it replays forks of its schedule — so one Dynamic can
+	// parameterize many runs. Mutually exclusive with FaultAtCycle;
+	// Faults is ignored when Dynamic is set.
+	Dynamic *fault.Dynamic
+
+	// Adaptive switches packet forwarding from source-planned paths to
+	// the per-hop core.AdaptiveRouter stepper: each packet discovers
+	// faults locally, detours by fault category, waits out transient
+	// faults with bounded exponential backoff, and is terminally
+	// classified on the Delivered / DeliveredDegraded / Undeliverable
+	// ladder. Route caching does not apply (there is no source plan to
+	// cache).
+	Adaptive bool
 
 	Seed    int64
 	Pattern workload.Pattern // defaults to Uniform over the cube
@@ -124,9 +145,30 @@ type Stats struct {
 	// Measured counts the delivered packets included in the latency
 	// statistics (those created at or after the warmup cycle).
 	Measured int
-	// Rerouted counts in-flight reroutes after a FaultAtCycle
-	// activation; Dropped counts packets stranded by it.
+	// Rerouted counts in-flight reroutes after a fault transition
+	// (FaultAtCycle or Dynamic timeline); Dropped counts packets
+	// stranded in flight.
 	Rerouted, Dropped int
+	// Epochs is the number of fault-state transitions the run observed
+	// (Dynamic timeline only).
+	Epochs int
+	// CacheInvalidations counts route-cache flushes forced by fault
+	// epoch transitions during this run.
+	CacheInvalidations int
+	// Retries counts transient-fault wait-and-retry attempts and
+	// Replans counts post-discovery replans (Adaptive only).
+	Retries, Replans int
+	// WaitCycles totals the backoff cycles packets spent holding
+	// position (Adaptive only).
+	WaitCycles int
+	// Degraded counts packets delivered on the degraded rung of the
+	// outcome ladder (Adaptive only).
+	Degraded int
+	// DetourHops is the distribution, over delivered packets, of hops
+	// taken beyond the fault-free optimum (Adaptive only).
+	DetourHops metrics.Stream
+	// DropReasons tallies terminal failure reasons (Adaptive only).
+	DropReasons map[string]int
 	// LinkLoad is the distribution of traversal counts over the
 	// directed links that carried at least one packet; its Max against
 	// its Mean exposes hot spots.
@@ -144,6 +186,14 @@ type Stats struct {
 
 // AvgLatency returns LP/DP, the paper's average latency metric.
 func (s *Stats) AvgLatency() float64 { return s.Latency.Mean() }
+
+// DeliveryRate returns Delivered/Generated (zero with no traffic).
+func (s *Stats) DeliveryRate() float64 {
+	if s.Generated == 0 {
+		return 0
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
 
 // Throughput returns DP per cycle of makespan (the Figure 6/8 metric).
 func (s *Stats) Throughput() float64 {
@@ -177,6 +227,9 @@ type packet struct {
 	idx     int // position of the current node within path
 	created int
 	dst     gc.NodeID
+	// flight is the per-hop adaptive routing state (timeline engine
+	// with Config.Adaptive only; nil otherwise).
+	flight *core.Flight
 }
 
 type eventQueue []*event
@@ -215,20 +268,15 @@ func Run(cfg Config) (*Stats, error) {
 	if pattern == nil {
 		pattern = workload.Uniform{Bits: cfg.N}
 	}
+	if cfg.Dynamic != nil || cfg.Adaptive || (cfg.FaultAtCycle > 0 && cfg.Faults != nil) {
+		// Evolving fault state or per-hop routing: the timeline engine.
+		return runTimeline(cfg, cube, pattern, service)
+	}
 	opts := []core.Option{core.WithSubstrate(cfg.Substrate)}
 	if cfg.Faults != nil {
 		opts = append(opts, core.WithFaults(cfg.Faults))
 	}
 	router := core.NewRouter(cube, opts...)
-	// With delayed fault activation, traffic offered before the
-	// activation cycle is routed over the pristine network.
-	preFaultRouter := router
-	if cfg.FaultAtCycle > 0 {
-		preFaultRouter = core.NewRouter(cube, core.WithSubstrate(cfg.Substrate))
-	}
-	faultsActive := func(t int) bool {
-		return cfg.Faults != nil && t >= cfg.FaultAtCycle
-	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	stats := &Stats{}
@@ -246,11 +294,19 @@ func Run(cfg Config) (*Stats, error) {
 	if cache == nil && cfg.CacheRoutes {
 		cache = NewRouteCache(DefaultRouteCacheCapacity)
 	}
-	lookupRoute := func(src, dst gc.NodeID, t int) ([]gc.NodeID, error) {
-		r := router
-		if !faultsActive(t) && cfg.FaultAtCycle > 0 {
-			r = preFaultRouter
+	if cache != nil {
+		// Stamp the cache with this run's fault state so entries left by
+		// a run over a different configuration are flushed, not replayed.
+		base := cache.Invalidations()
+		token := uint64(0)
+		if cfg.Faults != nil {
+			token = cfg.Faults.Fingerprint()
 		}
+		cache.InvalidateTo(token)
+		defer func() { stats.CacheInvalidations = int(cache.Invalidations() - base) }()
+	}
+	lookupRoute := func(src, dst gc.NodeID) ([]gc.NodeID, error) {
+		r := router
 		if cache != nil {
 			if p, ok := cache.Get(src, dst); ok {
 				stats.RouteCacheHits++
@@ -272,7 +328,7 @@ func Run(cfg Config) (*Stats, error) {
 
 	inject := func(src, dst gc.NodeID, t int) {
 		stats.Generated++
-		path, err := lookupRoute(src, dst, t)
+		path, err := lookupRoute(src, dst)
 		if err != nil {
 			stats.Undeliverable++
 			return
@@ -286,11 +342,13 @@ func Run(cfg Config) (*Stats, error) {
 		})
 	}
 
+	faulty := func(v gc.NodeID) bool {
+		return cfg.Faults != nil && cfg.Faults.NodeFaulty(v)
+	}
 	nodes := cube.Nodes()
 	if cfg.Trace != nil {
 		for _, p := range cfg.Trace {
-			if faultsActive(p.Time) &&
-				(cfg.Faults.NodeFaulty(p.Src) || cfg.Faults.NodeFaulty(p.Dst)) {
+			if faulty(p.Src) || faulty(p.Dst) {
 				continue
 			}
 			inject(p.Src, p.Dst, p.Time)
@@ -300,19 +358,15 @@ func Run(cfg Config) (*Stats, error) {
 		// per cycle of the generation window.
 	gen:
 		for t := 0; t < cfg.GenCycles; t++ {
-			activeFaults := cfg.Faults
-			if !faultsActive(t) {
-				activeFaults = nil
-			}
 			for v := 0; v < nodes; v++ {
 				if rng.Float64() >= cfg.Arrival {
 					continue
 				}
 				src := gc.NodeID(v)
-				if activeFaults != nil && activeFaults.NodeFaulty(src) {
+				if faulty(src) {
 					continue // assumption 1: faulty nodes generate nothing
 				}
-				dst, ok := pickDest(rng, pattern, src, activeFaults, nodes)
+				dst, ok := pickDest(rng, pattern, src, faulty, nodes)
 				if !ok {
 					continue
 				}
@@ -346,26 +400,6 @@ func Run(cfg Config) (*Stats, error) {
 			continue
 		}
 		next := p.path[p.idx+1]
-		if faultsActive(e.time) && cfg.FaultAtCycle > 0 {
-			// A fault activated while this packet was in flight; its
-			// precomputed route may now be stale.
-			dim := uint(bitutil.LowestBit(uint64(e.node ^ next)))
-			if cfg.Faults.NodeFaulty(e.node) || cfg.Faults.NodeFaulty(p.dst) {
-				stats.Dropped++
-				continue
-			}
-			if cfg.Faults.LinkFaulty(e.node, dim) || cfg.Faults.NodeFaulty(next) {
-				res, err := router.Route(e.node, p.dst)
-				if err != nil {
-					stats.Dropped++
-					continue
-				}
-				stats.Rerouted++
-				p.path = res.Path
-				p.idx = 0
-				next = p.path[1]
-			}
-		}
 		ready := e.time + service
 		stats.NodeBusy += float64(service)
 		l := linkID{from: e.node, to: next}
@@ -413,15 +447,16 @@ type LinkLoad struct {
 }
 
 // pickDest samples a destination per the pattern, resampling when the
-// pick is the source or faulty; it gives up after a bounded number of
-// attempts (possible only under adversarial patterns).
-func pickDest(rng *rand.Rand, p workload.Pattern, src gc.NodeID, f *fault.Set, nodes int) (gc.NodeID, bool) {
+// pick is the source or faulty per the predicate; it gives up after a
+// bounded number of attempts (possible only under adversarial
+// patterns).
+func pickDest(rng *rand.Rand, p workload.Pattern, src gc.NodeID, faulty func(gc.NodeID) bool, nodes int) (gc.NodeID, bool) {
 	for attempt := 0; attempt < 64; attempt++ {
 		d := p.Dest(rng, src)
 		if int(d) >= nodes || d == src {
 			continue
 		}
-		if f != nil && f.NodeFaulty(d) {
+		if faulty != nil && faulty(d) {
 			continue
 		}
 		return d, true
