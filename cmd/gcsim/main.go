@@ -56,6 +56,8 @@ func run(args []string, out io.Writer) error {
 		mttr     = fs.Float64("mttr", 0, "churn: mean fault lifetime in cycles (0 = permanent; eager mode)")
 		adaptive = fs.Bool("adaptive", false, "route per hop with local fault discovery instead of source planning (eager mode)")
 		strict   = fs.Bool("strict", false, "fail when the fault count exceeds the Theorem 3 tolerable bound T(GC)")
+		repairOn = fs.Bool("repair", false, "enable the tree-repair subsystem: detour severed tree-edge crossings, prove partitions (eager mode)")
+		category = fs.String("fault-category", "node", "random fault flavor: node (A/B/C mix), tree-links (B: class-crossing links), sever (kill whole tree edges)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,7 +89,30 @@ func run(args []string, out io.Writer) error {
 		if *faults > 0 {
 			cube := gc.New(*n, *alpha)
 			set := fault.NewSet(cube)
-			set.InjectRandomNodes(rand.New(rand.NewSource(*seed*31)), *faults)
+			rng := rand.New(rand.NewSource(*seed * 31))
+			switch *category {
+			case "node":
+				set.InjectRandomNodes(rng, *faults)
+			case "tree-links":
+				if avail := set.HealthyTreeLinks(); *faults > avail {
+					return fmt.Errorf("-faults %d exceeds the %d tree-edge links of GC(%d, %d)",
+						*faults, avail, *n, 1<<*alpha)
+				}
+				set.InjectRandomLinksBelowAlpha(rng, *faults)
+			case "sever":
+				edges := cube.Tree().Edges()
+				if *faults > len(edges) {
+					return fmt.Errorf("-faults %d exceeds the %d tree edges of GC(%d, %d)",
+						*faults, len(edges), *n, 1<<*alpha)
+				}
+				rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+				for _, e := range edges[:*faults] {
+					u, v := e.Ends()
+					set.InjectSeveringFaults(u, v)
+				}
+			default:
+				return fmt.Errorf("unknown fault category %q", *category)
+			}
 			faultSet = set
 			scn.FromFaultSet(faultSet)
 		}
@@ -125,10 +150,13 @@ func run(args []string, out io.Writer) error {
 	if *adaptive && *mode != "eager" {
 		return fmt.Errorf("-adaptive routing is only supported in eager mode")
 	}
+	if *repairOn && *mode != "eager" {
+		return fmt.Errorf("-repair is only supported in eager mode")
+	}
 
 	switch *mode {
 	case "eager":
-		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *savePath)
+		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *repairOn, *savePath)
 	case "stepped":
 		return runStepped(out, scn, pat, faultSet, *buffers, *vcs)
 	case "wormhole":
@@ -138,12 +166,12 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive bool, savePath string) error {
+func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive, repairOn bool, savePath string) error {
 	stats, err := simnet.Run(simnet.Config{
 		N: scn.N, Alpha: scn.Alpha,
 		Arrival: scn.Arrival, GenCycles: scn.GenCycles, Seed: scn.Seed,
 		Pattern: pat, Faults: faultSet,
-		Dynamic: dyn, Adaptive: adaptive,
+		Dynamic: dyn, Adaptive: adaptive, Repair: repairOn,
 		CacheRoutes: dyn != nil && !adaptive,
 	})
 	if err != nil {
@@ -153,11 +181,17 @@ func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, fault
 	if adaptive {
 		label = ", adaptive per-hop routing"
 	}
+	if repairOn {
+		label += ", tree repair"
+	}
 	fmt.Fprintf(out, "GC(%d, %d), arrival %.4f, %d generation cycles, %s traffic%s\n",
 		scn.N, 1<<scn.Alpha, scn.Arrival, scn.GenCycles, pat.Name(), label)
 	fmt.Fprintf(out, "  generated:       %d packets\n", stats.Generated)
 	fmt.Fprintf(out, "  delivered:       %d packets (%.1f%%)\n", stats.Delivered, 100*stats.DeliveryRate())
 	fmt.Fprintf(out, "  undeliverable:   %d\n", stats.Undeliverable)
+	if repairOn {
+		fmt.Fprintf(out, "  partitioned:     %d (proven unreachable)\n", stats.Partitioned)
+	}
 	fmt.Fprintf(out, "  fallback routes: %d\n", stats.FallbackRoutes)
 	if dyn != nil {
 		fmt.Fprintf(out, "  fault epochs:    %d (cache invalidations: %d)\n",

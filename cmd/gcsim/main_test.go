@@ -145,3 +145,50 @@ func TestChurnModeRestrictions(t *testing.T) {
 		t.Fatal("adaptive in wormhole mode must be rejected")
 	}
 }
+
+func TestFaultCategoryFlags(t *testing.T) {
+	// B-category erosion: every injected fault must be a tree-edge link.
+	out := runOK(t, "-n", "7", "-alpha", "2", "-cycles", "20", "-faults", "5",
+		"-fault-category", "tree-links")
+	if !strings.Contains(out, "B=5") {
+		t.Errorf("tree-links injection not all B-category:\n%s", out)
+	}
+	// C-style severance: one edge = one link per frame (2^(7-2) = 32).
+	out = runOK(t, "-n", "7", "-alpha", "2", "-cycles", "20", "-faults", "1",
+		"-fault-category", "sever")
+	if !strings.Contains(out, "faults: 32 components") {
+		t.Errorf("severing one GC(7,4) tree edge should mark 32 links:\n%s", out)
+	}
+
+	var b strings.Builder
+	cases := [][]string{
+		{"-n", "6", "-alpha", "1", "-faults", "1", "-fault-category", "meteor"},
+		{"-n", "6", "-alpha", "1", "-faults", "999", "-fault-category", "tree-links"},
+		{"-n", "6", "-alpha", "1", "-faults", "99", "-fault-category", "sever"},
+	}
+	for _, args := range cases {
+		if err := run(args, &b); err == nil {
+			t.Errorf("run(%v) must fail", args)
+		}
+	}
+}
+
+func TestRepairFlag(t *testing.T) {
+	out := runOK(t, "-n", "7", "-alpha", "2", "-cycles", "40", "-arrival", "0.03",
+		"-faults", "2", "-fault-category", "sever", "-repair")
+	for _, want := range []string{"tree repair", "partitioned:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Repair also composes with the adaptive stepper.
+	out = runOK(t, "-n", "7", "-alpha", "2", "-cycles", "40", "-arrival", "0.03",
+		"-faults", "1", "-fault-category", "sever", "-repair", "-adaptive")
+	if !strings.Contains(out, "partitioned:") {
+		t.Errorf("adaptive repair run missing partition count:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"-n", "6", "-alpha", "1", "-mode", "stepped", "-repair"}, &b); err == nil {
+		t.Fatal("repair in stepped mode must be rejected")
+	}
+}

@@ -34,11 +34,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/repair"
 )
 
 // Oracle is the ground-truth network status. An AdaptiveRouter only
@@ -76,7 +78,18 @@ const (
 	OutcomeDeliveredDegraded
 	// OutcomeUndeliverable: terminally failed; see the Reason.
 	OutcomeUndeliverable
+	// OutcomeUndeliverablePartitioned: terminally failed with a proof —
+	// the tree-edge health map showed the destination's class (or a
+	// class owning a pending high dimension) severed from the source's
+	// component, so no route exists at all. Only emitted when
+	// AdaptiveConfig.Repair is set.
+	OutcomeUndeliverablePartitioned
 )
+
+// Undeliverable reports whether o is a terminal failure rung.
+func (o Outcome) Undeliverable() bool {
+	return o == OutcomeUndeliverable || o == OutcomeUndeliverablePartitioned
+}
 
 // String implements fmt.Stringer.
 func (o Outcome) String() string {
@@ -89,6 +102,8 @@ func (o Outcome) String() string {
 		return "delivered-degraded"
 	case OutcomeUndeliverable:
 		return "undeliverable"
+	case OutcomeUndeliverablePartitioned:
+		return "undeliverable-partitioned"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -115,6 +130,13 @@ type AdaptiveConfig struct {
 	// DisableFallback removes the BFS last resort from replans,
 	// exposing the bare strategy.
 	DisableFallback bool
+	// Repair, when set, gives replans the tree-edge health map: dead
+	// crossings are detoured through surviving realizations, and a
+	// proven-severed destination class terminates the flight with
+	// OutcomeUndeliverablePartitioned instead of burning retries and
+	// BFS attempts against a graph cut. The map must track the same
+	// ground truth as the oracle (repair.Health.AttachDynamic does).
+	Repair *repair.Health
 }
 
 func (cfg *AdaptiveConfig) fill(n uint) {
@@ -244,6 +266,9 @@ func (r *AdaptiveRouter) start(s, d gc.NodeID, known *fault.Set) (*Flight, error
 	if r.cfg.DisableFallback {
 		opts = append(opts, WithoutFallback())
 	}
+	if r.cfg.Repair != nil {
+		opts = append(opts, WithRepair(r.cfg.Repair))
+	}
 	f := &Flight{
 		r:         r,
 		planner:   NewRouter(r.cube, opts...),
@@ -341,6 +366,9 @@ func (f *Flight) replan() (Step, bool) {
 	}
 	if err == ErrFaultyEndpoint {
 		return f.finish(OutcomeUndeliverable, "destination faulty"), false
+	}
+	if errors.Is(err, ErrPartitioned) {
+		return f.finish(OutcomeUndeliverablePartitioned, "destination class severed from source component"), false
 	}
 	return f.finish(OutcomeUndeliverable, "no route around discovered faults"), false
 }
@@ -440,7 +468,7 @@ func (f *Flight) finish(o Outcome, reason string) Step {
 
 func (f *Flight) terminal() Step {
 	kind := StepDone
-	if f.outcome == OutcomeUndeliverable {
+	if f.outcome.Undeliverable() {
 		kind = StepFail
 	}
 	return Step{Kind: kind, Outcome: f.outcome, Reason: f.reason}

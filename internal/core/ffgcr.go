@@ -84,7 +84,10 @@ func (p *routePlan) optimal() int {
 // execute turns the plan into a hop-by-hop path appended onto path
 // (starting with s), fault-free or around the router's fault set. It
 // consumes the plan's pending masks (zeroing each as it is applied).
-func (r *Router) execute(sc *routeScratch, path []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error) {
+// depth counts nested repair-detour routes (0 for a top-level call); a
+// detour that completes the route to d short-circuits the rest of the
+// plan, since the splice replans from its landing node.
+func (r *Router) execute(sc *routeScratch, path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
 	p := &sc.plan
 	path = append(path, s)
 	cur := s
@@ -103,9 +106,13 @@ func (r *Router) execute(sc *routeScratch, path []gc.NodeID, s, d gc.NodeID) ([]
 		}
 		if i+1 < len(p.walk) {
 			var err error
-			path, cur, err = r.crossTreeEdge(path, cur, k, p.walk[i+1])
+			var done bool
+			path, cur, done, err = r.crossTreeEdge(path, cur, k, p.walk[i+1], d, depth)
 			if err != nil {
 				return path, err
+			}
+			if done {
+				return path, nil
 			}
 		}
 	}
@@ -163,32 +170,35 @@ func (r *Router) fixClassDims(sc *routeScratch, path []gc.NodeID, cur gc.NodeID,
 // "to" over the tree-edge link, detouring through the pair subgraph
 // G(from, to, k) with FREH when the direct link is unusable, appending
 // the hops after cur onto path. Returns the extended path and the new
-// current node.
-func (r *Router) crossTreeEdge(path []gc.NodeID, cur gc.NodeID, from, to gtree.Node) ([]gc.NodeID, gc.NodeID, error) {
+// current node. When the local crossing is dead in every theorem-backed
+// way and a health map is attached, a tree-repair detour to a surviving
+// realization of the edge is spliced in instead; a successful detour
+// completes the whole route to d and reports done == true.
+func (r *Router) crossTreeEdge(path []gc.NodeID, cur gc.NodeID, from, to gtree.Node, d gc.NodeID, depth int) ([]gc.NodeID, gc.NodeID, bool, error) {
 	c := r.cube
 	dim := c.Tree().EdgeDim(from, to)
 	tgt := cur ^ (1 << dim)
 	if r.faults == nil || (!r.faults.LinkFaulty(cur, dim) && !r.faults.NodeFaulty(tgt)) {
-		return append(path, tgt), tgt, nil
+		return append(path, tgt), tgt, false, nil
 	}
-	if r.faults.NodeFaulty(tgt) {
-		// The forced landing node is faulty; the pair subgraph cannot
-		// route onto it either.
-		return path, cur, ErrUnreachable
+	if !r.faults.NodeFaulty(tgt) {
+		if pair, err := c.PairOf(from, to, cur); err == nil {
+			walk, err := exchanged.Route(pair.EH(), r.faults.PairView(pair), pair.FromGC(cur), pair.FromGC(tgt))
+			if err == nil {
+				for _, x := range walk[1:] {
+					cur = pair.ToGC(x)
+					path = append(path, cur)
+				}
+				return path, cur, false, nil
+			}
+		}
 	}
-	pair, err := c.PairOf(from, to, cur)
-	if err != nil {
-		// Degenerate pair (empty Dim set): the single link was the only
-		// way across at this frame.
-		return path, cur, ErrUnreachable
+	// The crossing at this frame is beyond the FREH theorem (landing
+	// node dead, degenerate pair, or the pair subgraph itself cut): the
+	// tree-repair detour crosses at a surviving realization instead.
+	if r.repair == nil {
+		return path, cur, false, ErrUnreachable
 	}
-	walk, err := exchanged.Route(pair.EH(), r.faults.PairView(pair), pair.FromGC(cur), pair.FromGC(tgt))
-	if err != nil {
-		return path, cur, ErrUnreachable
-	}
-	for _, x := range walk[1:] {
-		cur = pair.ToGC(x)
-		path = append(path, cur)
-	}
-	return path, cur, nil
+	path, done, err := r.repairDetour(path, cur, to, dim, d, depth)
+	return path, cur, done, err
 }

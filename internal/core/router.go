@@ -37,6 +37,7 @@ import (
 	"gaussiancube/internal/graph"
 	"gaussiancube/internal/gtree"
 	"gaussiancube/internal/hypercube"
+	"gaussiancube/internal/repair"
 )
 
 // Substrate selects the fault-tolerant hypercube router used inside
@@ -60,7 +61,8 @@ const (
 // concurrently (provided the fault set is not mutated during routing).
 type Router struct {
 	cube      *gc.Cube
-	faults    *fault.Set // nil means fault-free
+	faults    *fault.Set     // nil means fault-free
+	repair    *repair.Health // nil means no tree-repair planning
 	substrate Substrate
 	fallback  bool
 	// scratch pools routeScratch values; every Route/RouteInto call
@@ -77,6 +79,14 @@ func WithFaults(s *fault.Set) Option { return func(r *Router) { r.faults = s } }
 
 // WithSubstrate selects the intra-class fault-tolerant hypercube router.
 func WithSubstrate(s Substrate) Option { return func(r *Router) { r.substrate = s } }
+
+// WithRepair supplies a tree-edge health map the router consults before
+// committing to a tree edge: severed edges yield detour class-paths
+// through surviving realizations, and a provably cut-off destination
+// class returns ErrPartitioned without burning a BFS. The map must
+// describe the same fault state as WithFaults — the partition verdict
+// is only as sound as that agreement.
+func WithRepair(h *repair.Health) Option { return func(r *Router) { r.repair = h } }
 
 // WithoutFallback disables the BFS fallback, exposing the bare strategy.
 func WithoutFallback() Option { return func(r *Router) { r.fallback = false } }
@@ -101,6 +111,12 @@ var (
 	// ErrUnreachable is returned when no healthy route exists (or the
 	// strategy failed and fallback is disabled).
 	ErrUnreachable = errors.New("core: destination unreachable")
+	// ErrPartitioned is returned when the tree-edge health map proves
+	// the destination's class — or a class owning a pending high
+	// dimension — is cut off from the source's class by severed tree
+	// edges. It wraps ErrUnreachable, and because the proof is a graph
+	// cut the BFS fallback is skipped: no route can exist.
+	ErrPartitioned = fmt.Errorf("%w (proven partitioned by severed tree edges)", ErrUnreachable)
 )
 
 // Result is a computed route with its provenance.
@@ -150,13 +166,19 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 	}
 	sc := r.scratch.Get().(*routeScratch)
 	r.planInto(&sc.plan, s, d)
+	if r.repair != nil {
+		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {
+			r.scratch.Put(sc)
+			return nil, ErrPartitioned
+		}
+	}
 	res := &Result{
 		Source:   s,
 		Dest:     d,
 		TreeWalk: append([]gtree.Node(nil), sc.plan.walk...),
 		Optimal:  sc.plan.optimal(),
 	}
-	path, err := r.execute(sc, sc.path[:0], s, d)
+	path, err := r.execute(sc, sc.path[:0], s, d, 0)
 	if err == nil {
 		res.Path = append([]gc.NodeID(nil), path...)
 	}
@@ -192,7 +214,13 @@ func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error)
 	}
 	sc := r.scratch.Get().(*routeScratch)
 	r.planInto(&sc.plan, s, d)
-	path, err := r.execute(sc, sc.path[:0], s, d)
+	if r.repair != nil {
+		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {
+			r.scratch.Put(sc)
+			return dst, ErrPartitioned
+		}
+	}
+	path, err := r.execute(sc, sc.path[:0], s, d, 0)
 	if err == nil {
 		dst = append(dst, path...)
 	}

@@ -1,0 +1,89 @@
+// Tree-repair detours: routing around dead realizations of a tree
+// edge by crossing at a surviving one.
+//
+// A tree edge in dimension c < alpha exists physically once per frame
+// (the 2^(n-alpha) nodes of a class). FFGCR crosses at the packet's
+// current frame, and the FREH pair subgraph only helps while that
+// local neighborhood satisfies Theorem 5's preconditions. B/C fault
+// patterns that kill the crossing at the current frame leave the other
+// frames' realizations untouched, so the repair move is: route to a
+// class member whose crossing link still lives (the health map knows
+// which, nearest first), cross there, and replan from the landing
+// node. Reaching another frame means correcting high dimensions owned
+// by other classes, so the detour is a full nested route, bounded by
+// maxRepairDepth; candidates that fail are rolled back and the next
+// one is tried. When the health map instead proves every realization
+// dead, the edge is a graph cut and routing reports ErrPartitioned
+// up front (see Router.Route) — the two verdicts of the repair
+// subsystem.
+package core
+
+import (
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+const (
+	// maxRepairDepth bounds nested detour routes: a detour's legs may
+	// themselves hit dead crossings and detour again.
+	maxRepairDepth = 3
+	// maxDetourCandidates bounds how many surviving realizations a
+	// single dead crossing tries, nearest (fewest high-dimension
+	// corrections) first.
+	maxDetourCandidates = 4
+)
+
+// repairDetour replaces a dead crossing from cur's class into class
+// "to" (over dimension dim) by a detour through a surviving
+// realization, then completes the route to d from the landing node.
+// On success the full remaining route is appended onto path and done
+// is true; on failure path is returned unchanged.
+func (r *Router) repairDetour(path []gc.NodeID, cur gc.NodeID, to gtree.Node, dim uint, d gc.NodeID, depth int) ([]gc.NodeID, bool, error) {
+	if depth >= maxRepairDepth {
+		return path, false, ErrUnreachable
+	}
+	mark := len(path)
+	for _, w := range r.repair.SurvivingCrossings(cur, to, maxDetourCandidates) {
+		land := w ^ (1 << dim)
+		// The map said this realization survives; distrust it against
+		// the authoritative fault set anyway.
+		if r.faults.LinkFaulty(w, dim) || r.faults.NodeFaulty(land) {
+			continue
+		}
+		leg, err := r.routeNested(path, cur, w, depth+1)
+		if err != nil {
+			path = path[:mark]
+			continue
+		}
+		leg = append(leg, land)
+		full, err := r.routeNested(leg, land, d, depth+1)
+		if err != nil {
+			path = path[:mark]
+			continue
+		}
+		return full, true, nil
+	}
+	return path[:mark], false, ErrUnreachable
+}
+
+// routeNested runs the full strategy from s to d as a spliced leg of a
+// repair detour, appending the hops after s onto path (whose last
+// element must be s). Nested legs get no BFS fallback — a failed leg
+// is rolled back by the caller, which tries the next candidate — but
+// they do get the partition pre-check and further detours (bounded by
+// depth).
+func (r *Router) routeNested(path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
+	if s == d {
+		return path, nil
+	}
+	sc := r.scratch.Get().(*routeScratch)
+	defer r.scratch.Put(sc)
+	r.planInto(&sc.plan, s, d)
+	if r.repair != nil {
+		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {
+			return path, ErrPartitioned
+		}
+	}
+	// execute re-appends s, so hand it the path without its tail.
+	return r.execute(sc, path[:len(path)-1], s, d, depth)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/resilience"
+)
+
+// Severance is the tree-repair extension experiment: B/C-category
+// fault campaigns that erode the class-crossing links realizing the
+// Gaussian Tree's edges, the skeleton every FFGCR plan walks. Per
+// modulus it sweeps the number of dead tree-edge links and plots the
+// bare strategy, the strategy with the tree-repair subsystem, the BFS
+// last resort, and the BFS oracle's reachability bound over identical
+// fault placements and pairs — the baseline-to-repair gap is the value
+// of detouring through surviving realizations, and the repair curve
+// hugging the oracle bound shows the partition verdicts are tight.
+// Alpha 0 is skipped: GC(n, 1) has no tree edges to sever.
+func Severance(n uint, linkFaults []int, severEdges, trials, pairs int, seed int64) []Figure {
+	var out []Figure
+	for _, alpha := range []uint{1, 2} {
+		c := resilience.MeasureSeverance(resilience.SeveranceConfig{
+			N: n, Alpha: alpha,
+			LinkFaults: linkFaults, SeverEdges: severEdges,
+			Trials: trials, PairsPerTrial: pairs, Seed: seed,
+		})
+		f := Figure{
+			ID:     fmt.Sprintf("severance-M%d", 1<<alpha),
+			Title:  fmt.Sprintf("Delivery under tree-edge severance, GC(%d, %d)", n, 1<<alpha),
+			XLabel: "faulty tree-edge links",
+			YLabel: "delivery rate",
+		}
+		oracle := Series{Name: "reachable (BFS oracle bound)"}
+		baseline := Series{Name: "FFGCR baseline"}
+		repaired := Series{Name: "FFGCR + tree repair"}
+		fallback := Series{Name: "BFS last resort"}
+		for i, lf := range c.LinkFaults {
+			x := float64(lf)
+			oracle.Points = append(oracle.Points, Point{X: x, Y: c.Reachable[i]})
+			baseline.Points = append(baseline.Points, Point{X: x, Y: c.BaselineDelivery[i]})
+			repaired.Points = append(repaired.Points, Point{X: x, Y: c.RepairDelivery[i]})
+			fallback.Points = append(fallback.Points, Point{X: x, Y: c.FallbackDelivery[i]})
+		}
+		f.Series = []Series{oracle, baseline, repaired, fallback}
+		out = append(out, f)
+	}
+	return out
+}

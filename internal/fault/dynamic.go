@@ -78,6 +78,7 @@ type Dynamic struct {
 	// wait it out instead of detouring.
 	transient map[faultKey]bool
 	subs      []func(epoch uint64)
+	evSubs    []func(Event)
 }
 
 // NewDynamic builds a dynamic fault set over cube c driven by the given
@@ -237,24 +238,35 @@ func (d *Dynamic) Subscribe(fn func(epoch uint64)) {
 	d.mu.Unlock()
 }
 
+// SubscribeEvents registers fn to be called (synchronously, outside
+// the lock) for every applied state-changing fault transition, in
+// application order and before the epoch subscribers of the same
+// batch. Repair health maps use it to maintain per-tree-edge link
+// counts incrementally instead of rescanning the set per epoch.
+func (d *Dynamic) SubscribeEvents(fn func(Event)) {
+	d.mu.Lock()
+	d.evSubs = append(d.evSubs, fn)
+	d.mu.Unlock()
+}
+
 // AdvanceTo applies every schedule event with Time <= t and reports
 // whether the active fault set changed. Time is monotonic: advancing
 // backwards is a no-op on state (Fork a fresh instance to replay the
 // schedule from zero).
 func (d *Dynamic) AdvanceTo(t int) bool {
 	d.mu.Lock()
-	changed := false
+	var applied []Event
 	if t > d.now {
 		d.now = t
 	}
 	for d.next < len(d.schedule) && d.schedule[d.next].Time <= t {
-		if d.apply(d.schedule[d.next]) {
-			changed = true
+		if e := d.schedule[d.next]; d.apply(e) {
+			applied = append(applied, e)
 		}
 		d.next++
 	}
-	d.bumpAndNotify(changed)
-	return changed
+	d.bumpAndNotify(applied)
+	return len(applied) > 0
 }
 
 // Inject makes the component faulty immediately (at the current time),
@@ -269,18 +281,26 @@ func (d *Dynamic) Inject(f Fault, transient bool) bool {
 	} else {
 		delete(d.transient, k)
 	}
-	changed := d.apply(Event{Time: d.now, Op: OpInject, Fault: f})
-	d.bumpAndNotify(changed)
-	return changed
+	e := Event{Time: d.now, Op: OpInject, Fault: f}
+	var applied []Event
+	if d.apply(e) {
+		applied = append(applied, e)
+	}
+	d.bumpAndNotify(applied)
+	return len(applied) > 0
 }
 
 // Repair heals the component immediately, outside the schedule. It
 // reports whether the state changed.
 func (d *Dynamic) Repair(f Fault) bool {
 	d.mu.Lock()
-	changed := d.apply(Event{Time: d.now, Op: OpRepair, Fault: f})
-	d.bumpAndNotify(changed)
-	return changed
+	e := Event{Time: d.now, Op: OpRepair, Fault: f}
+	var applied []Event
+	if d.apply(e) {
+		applied = append(applied, e)
+	}
+	d.bumpAndNotify(applied)
+	return len(applied) > 0
 }
 
 // apply mutates the active set per one event; caller holds d.mu.
@@ -314,17 +334,26 @@ func (d *Dynamic) apply(e Event) bool {
 }
 
 // bumpAndNotify finishes a mutation: bumps the epoch and refreshes the
-// fingerprint when changed, releases d.mu, and notifies subscribers.
-func (d *Dynamic) bumpAndNotify(changed bool) {
+// fingerprint when events were applied, releases d.mu, and notifies
+// event subscribers (per applied event, in order) and then epoch
+// subscribers.
+func (d *Dynamic) bumpAndNotify(applied []Event) {
 	var subs []func(uint64)
+	var evSubs []func(Event)
 	var epoch uint64
-	if changed {
+	if len(applied) > 0 {
 		d.epoch++
 		d.fp = d.active.Fingerprint()
 		epoch = d.epoch
 		subs = append(subs, d.subs...)
+		evSubs = append(evSubs, d.evSubs...)
 	}
 	d.mu.Unlock()
+	for _, e := range applied {
+		for _, fn := range evSubs {
+			fn(e)
+		}
+	}
 	for _, fn := range subs {
 		fn(epoch)
 	}

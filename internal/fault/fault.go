@@ -23,6 +23,7 @@ import (
 	"math/rand"
 
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
 )
 
 // Category classifies a faulty component per Definitions 3–5.
@@ -280,8 +281,13 @@ func (s *Set) InjectRandomNodes(rng *rand.Rand, count int, protect ...gc.NodeID)
 }
 
 // InjectRandomLinks adds count distinct random faulty links between
-// currently non-faulty nodes.
+// currently non-faulty nodes. It panics when count exceeds the healthy
+// links remaining (the guard that keeps the rejection loop from
+// spinning forever, mirroring InjectRandomNodes).
 func (s *Set) InjectRandomLinks(rng *rand.Rand, count int) {
+	if avail := s.healthyLinks(0); count > avail {
+		panic(fmt.Sprintf("fault: %d faulty links requested but only %d healthy links remain", count, avail))
+	}
 	for added := 0; added < count; {
 		v := gc.NodeID(rng.Intn(s.cube.Nodes()))
 		dims := s.cube.LinkDims(v)
@@ -293,4 +299,108 @@ func (s *Set) InjectRandomLinks(rng *rand.Rand, count int) {
 		s.AddLink(v, d)
 		added++
 	}
+}
+
+// healthyLinks counts the usable links of the cube in dimensions
+// [minDim, n): not marked faulty and not incident to a faulty node.
+func (s *Set) healthyLinks(minDim uint) int {
+	avail := 0
+	for v := 0; v < s.cube.Nodes(); v++ {
+		p := gc.NodeID(v)
+		if s.nodes[p] {
+			continue
+		}
+		for _, d := range s.cube.LinkDims(p) {
+			if d < minDim || p > p^(1<<d) { // count each link at its lower endpoint
+				continue
+			}
+			if !s.LinkFaulty(p, d) {
+				avail++
+			}
+		}
+	}
+	return avail
+}
+
+// InjectRandomLinksBelowAlpha adds count distinct random faulty links
+// in dimensions below alpha — pure B-category link faults, the kind
+// that erodes the physical realizations of Gaussian Tree edges. It
+// panics when count exceeds the healthy below-alpha links remaining.
+func (s *Set) InjectRandomLinksBelowAlpha(rng *rand.Rand, count int) {
+	alpha := s.cube.Alpha()
+	if alpha == 0 {
+		if count > 0 {
+			panic("fault: GC(n, 1) has no links below alpha")
+		}
+		return
+	}
+	// Enumerate the healthy candidates: the dimension-c links sit at
+	// nodes whose low c+1 bits equal c (Theorem 1 with bit c clear), so
+	// the candidate space is small and exact sampling is cheap.
+	type cand struct {
+		node gc.NodeID
+		dim  uint
+	}
+	var cands []cand
+	for c := uint(0); c < alpha; c++ {
+		for v := gc.NodeID(c); int(v) < s.cube.Nodes(); v += 1 << (c + 1) {
+			if !s.LinkFaulty(v, c) {
+				cands = append(cands, cand{node: v, dim: c})
+			}
+		}
+	}
+	if count > len(cands) {
+		panic(fmt.Sprintf("fault: %d below-alpha link faults requested but only %d healthy links remain", count, len(cands)))
+	}
+	for added := 0; added < count; added++ {
+		// Partial Fisher-Yates: draw without replacement.
+		i := added + rng.Intn(len(cands)-added)
+		cands[added], cands[i] = cands[i], cands[added]
+		s.AddLink(cands[added].node, cands[added].dim)
+	}
+}
+
+// HealthyTreeLinks counts the usable links in dimensions below alpha —
+// the surviving physical realizations of Gaussian Tree edges, and the
+// candidate pool of InjectRandomLinksBelowAlpha.
+func (s *Set) HealthyTreeLinks() int {
+	avail := 0
+	for c := uint(0); c < s.cube.Alpha(); c++ {
+		for v := gc.NodeID(c); int(v) < s.cube.Nodes(); v += 1 << (c + 1) {
+			if !s.LinkFaulty(v, c) {
+				avail++
+			}
+		}
+	}
+	return avail
+}
+
+// InjectSeveringFaults marks every physical link realizing the
+// Gaussian Tree edge {u, v} faulty — one link per high-bits frame,
+// 2^(n-alpha) in total — while leaving all nodes alive. This is the
+// exact B-category pattern that severs the tree edge: after it, no
+// class-crossing link between EC(u) and EC(v) survives, so the two
+// sides of the edge are provably partitioned. It panics if {u, v} is
+// not a tree edge.
+func (s *Set) InjectSeveringFaults(u, v gtree.Node) {
+	c := s.cube.Tree().EdgeDim(u, v)
+	alpha := s.cube.Alpha()
+	for h := 0; h < 1<<(s.cube.N()-alpha); h++ {
+		s.AddLink(gc.NodeID(h)<<alpha|gc.NodeID(u), c)
+	}
+}
+
+// RawFaults enumerates every faulty component as marked, including link
+// faults subsumed by a node fault at an endpoint (which Faults omits).
+// Health maps rebuild from this view so that a later node repair does
+// not resurrect a link that was independently marked faulty.
+func (s *Set) RawFaults() []Fault {
+	out := make([]Fault, 0, len(s.nodes)+len(s.links))
+	for v := range s.nodes {
+		out = append(out, Fault{Kind: KindNode, Node: v})
+	}
+	for k := range s.links {
+		out = append(out, Fault{Kind: KindLink, Node: k.low, Dim: k.dim})
+	}
+	return out
 }

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestInjectRandomLinksPanicsWhenExhausted pins the guard that stopped
+// the rejection loop from spinning forever: asking for more link
+// faults than healthy links remain must panic immediately.
+func TestInjectRandomLinksPanicsWhenExhausted(t *testing.T) {
+	cube := gc.New(3, 1)
+	s := NewSet(cube)
+	links := s.healthyLinks(0)
+	rng := rand.New(rand.NewSource(1))
+	s.InjectRandomLinks(rng, links) // exactly exhausting is fine
+	if got := s.healthyLinks(0); got != 0 {
+		t.Fatalf("%d healthy links left after exhausting injection", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("injection beyond the healthy pool must panic, not spin")
+		}
+	}()
+	s.InjectRandomLinks(rng, 1)
+}
+
+// TestInjectRandomLinksBelowAlpha checks the B-category injector: the
+// requested number of distinct below-alpha links, all in tree-edge
+// dimensions, with the exhaustion panic and the alpha = 0 degenerate.
+func TestInjectRandomLinksBelowAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cube := gc.New(7, 2)
+	s := NewSet(cube)
+	pool := s.HealthyTreeLinks()
+	s.InjectRandomLinksBelowAlpha(rng, 10)
+	if got := s.Count(); got != 10 {
+		t.Fatalf("Count = %d after injecting 10 links, want 10", got)
+	}
+	if got := s.HealthyTreeLinks(); got != pool-10 {
+		t.Fatalf("HealthyTreeLinks = %d, want %d", got, pool-10)
+	}
+	for _, f := range s.Faults() {
+		if f.Kind != KindLink || f.Dim >= cube.Alpha() {
+			t.Fatalf("injector produced %+v, want below-alpha link", f)
+		}
+		if s.Categorize(f) != CategoryB {
+			t.Fatalf("injected fault %+v is not B-category", f)
+		}
+	}
+	// Draining the rest of the pool is fine; one more must panic.
+	s.InjectRandomLinksBelowAlpha(rng, pool-10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("injection beyond the below-alpha pool must panic")
+			}
+		}()
+		s.InjectRandomLinksBelowAlpha(rng, 1)
+	}()
+
+	z := NewSet(gc.New(5, 0))
+	z.InjectRandomLinksBelowAlpha(rng, 0) // no-op, must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha=0 has no below-alpha links; count > 0 must panic")
+		}
+	}()
+	z.InjectRandomLinksBelowAlpha(rng, 1)
+}
+
+// TestInjectSeveringFaults checks the C-pattern helper: every frame's
+// realization of the target edge dies, nothing else does.
+func TestInjectSeveringFaults(t *testing.T) {
+	cube := gc.New(7, 2)
+	alpha := cube.Alpha()
+	frames := cube.Nodes() >> alpha
+	s := NewSet(cube)
+	s.InjectSeveringFaults(1, 3)
+	if got := s.Count(); got != frames {
+		t.Fatalf("Count = %d, want one link per frame (%d)", got, frames)
+	}
+	for h := 0; h < frames; h++ {
+		if !s.LinkFaulty(gc.NodeID(h)<<alpha|1, 1) {
+			t.Fatalf("frame %d realization of {1,3} survived", h)
+		}
+	}
+	// The other tree edges are untouched.
+	for _, e := range cube.Tree().Edges() {
+		u, v := e.Ends()
+		if u == 1 && v == 3 {
+			continue
+		}
+		for h := 0; h < frames; h++ {
+			if s.LinkFaulty(gc.NodeID(h)<<alpha|gc.NodeID(u), e.Dim) {
+				t.Fatalf("severing {1,3} also killed a realization of %v", e)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("severing a non-edge must panic")
+		}
+	}()
+	s.InjectSeveringFaults(0, 3)
+}
+
+// TestRawFaultsKeepsSubsumedLinks: RawFaults must keep link faults
+// hidden behind a node fault, and rebuilding a set from it reproduces
+// the original fault state exactly.
+func TestRawFaultsKeepsSubsumedLinks(t *testing.T) {
+	cube := gc.New(7, 2)
+	s := NewSet(cube)
+	s.AddLink(1, 1) // link at node 1 ...
+	s.AddNode(1)    // ... then the node dies: Faults subsumes the link
+	s.AddLink(2, 2) // high-dimension link, owned by class 2
+	if got := len(s.Faults()); got != 2 {
+		t.Fatalf("Faults() = %d entries, want 2 (link subsumed)", got)
+	}
+	raw := s.RawFaults()
+	if got := len(raw); got != 3 {
+		t.Fatalf("RawFaults() = %d entries, want 3", got)
+	}
+	rebuilt := NewSet(cube)
+	for _, f := range raw {
+		switch f.Kind {
+		case KindNode:
+			rebuilt.AddNode(f.Node)
+		case KindLink:
+			rebuilt.AddLink(f.Node, f.Dim)
+		}
+	}
+	if rebuilt.Fingerprint() != s.Fingerprint() {
+		t.Fatal("rebuilding from RawFaults does not reproduce the set")
+	}
+	// Repairing the node must leave the independently marked link dead:
+	// that is the reason RawFaults exists.
+	rebuilt.RemoveNode(1)
+	if !rebuilt.LinkFaulty(1, 1) {
+		t.Fatal("link fault lost after node repair")
+	}
+}
+
+// TestCategorizeInvariantUnderCloneAndFork is the category-stability
+// property test: across random fault scenarios, per-fault categories
+// and the CategoryCounts totals are invariant under Set.Clone and
+// Dynamic.Fork, and the counts always total Count(). Clones are read
+// concurrently so `go test -race` also proves read-sharing is safe.
+func TestCategorizeInvariantUnderCloneAndFork(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct{ n, alpha uint }{{6, 0}, {6, 1}, {7, 2}, {8, 3}} {
+		cube := gc.New(tc.n, tc.alpha)
+		for trial := 0; trial < 15; trial++ {
+			s := NewSet(cube)
+			s.InjectRandomNodes(rng, rng.Intn(6))
+			s.InjectRandomLinks(rng, rng.Intn(6))
+			if tc.alpha > 0 {
+				s.InjectRandomLinksBelowAlpha(rng, rng.Intn(4))
+			}
+
+			counts := s.CategoryCounts()
+			if total := counts[CategoryA] + counts[CategoryB] + counts[CategoryC]; total != s.Count() {
+				t.Fatalf("GC(%d,2^%d): category totals %d != Count %d", tc.n, tc.alpha, total, s.Count())
+			}
+
+			clone := s.Clone()
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, f := range s.Faults() {
+						if clone.Categorize(f) != s.Categorize(f) {
+							t.Errorf("category of %+v changed under Clone", f)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.FailNow()
+			}
+
+			// Replay the same faults through a Dynamic and its Fork: the
+			// snapshots must categorize identically to the static set.
+			dyn := NewDynamic(cube, nil)
+			for _, f := range s.RawFaults() {
+				dyn.Inject(f, false)
+			}
+			fork := dyn.Fork()
+			for _, f := range dyn.Snapshot().RawFaults() {
+				fork.Inject(f, false)
+			}
+			snap, fsnap := dyn.Snapshot(), fork.Snapshot()
+			if snap.Fingerprint() != fsnap.Fingerprint() {
+				t.Fatal("fork replay does not reproduce the fault state")
+			}
+			fc := fsnap.CategoryCounts()
+			for cat, n := range snap.CategoryCounts() {
+				if fc[cat] != n {
+					t.Fatalf("CategoryCounts diverge under Fork: %v=%d vs %d", cat, n, fc[cat])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package gtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEdgesEnumeration checks Edges against HasEdgeDim: every edge,
+// exactly once, in normalized form.
+func TestEdgesEnumeration(t *testing.T) {
+	for alpha := uint(1); alpha <= 8; alpha++ {
+		tr := New(alpha)
+		edges := tr.Edges()
+		if len(edges) != tr.Nodes()-1 {
+			t.Fatalf("alpha=%d: %d edges, want %d", alpha, len(edges), tr.Nodes()-1)
+		}
+		seen := make(map[Edge]bool)
+		for _, e := range edges {
+			if e.V&(1<<e.Dim) != 0 {
+				t.Fatalf("alpha=%d: edge %v not normalized", alpha, e)
+			}
+			u, v := e.Ends()
+			if !tr.HasEdgeDim(u, e.Dim) || u^v != Node(1)<<e.Dim {
+				t.Fatalf("alpha=%d: %v is not a tree edge", alpha, e)
+			}
+			if seen[e] {
+				t.Fatalf("alpha=%d: edge %v enumerated twice", alpha, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// brute-force component labeling by union-find over the unsevered edges.
+func bruteComponents(tr *Tree, severed map[Edge]bool) []int {
+	parent := make([]int, tr.Nodes())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range tr.Edges() {
+		if severed[e] {
+			continue
+		}
+		u, v := e.Ends()
+		ru, rv := find(int(u)), find(int(v))
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	out := make([]int, tr.Nodes())
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
+}
+
+// TestForestComponentsAgainstBruteForce randomly severs and restores
+// edges, checking component structure and roots against a union-find
+// ground truth after every mutation.
+func TestForestComponentsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for alpha := uint(1); alpha <= 6; alpha++ {
+		tr := New(alpha)
+		f := NewForest(tr)
+		edges := tr.Edges()
+		severed := make(map[Edge]bool)
+		for step := 0; step < 200; step++ {
+			e := edges[rng.Intn(len(edges))]
+			u, v := e.Ends()
+			if severed[e] && rng.Intn(2) == 0 {
+				if !f.Restore(u, v) {
+					t.Fatalf("alpha=%d: Restore(%d,%d) reported no change", alpha, u, v)
+				}
+				delete(severed, e)
+			} else if !severed[e] {
+				if !f.Sever(u, v) {
+					t.Fatalf("alpha=%d: Sever(%d,%d) reported no change", alpha, u, v)
+				}
+				severed[e] = true
+			} else {
+				if f.Sever(u, v) {
+					t.Fatalf("alpha=%d: double Sever reported a change", alpha)
+				}
+				continue
+			}
+
+			want := bruteComponents(tr, severed)
+			if got, wantN := f.Components(), countDistinct(want); got != wantN {
+				t.Fatalf("alpha=%d severed=%v: %d components, want %d", alpha, severed, got, wantN)
+			}
+			for a := Node(0); int(a) < tr.Nodes(); a++ {
+				for b := Node(0); int(b) < tr.Nodes(); b++ {
+					if got, wantSame := f.SameComponent(a, b), want[a] == want[b]; got != wantSame {
+						t.Fatalf("alpha=%d: SameComponent(%d,%d) = %v, want %v", alpha, a, b, got, wantSame)
+					}
+				}
+				// The root is the unique minimum-depth vertex of a's component.
+				root := f.ComponentRoot(a)
+				if want[root] != want[a] {
+					t.Fatalf("alpha=%d: root %d not in %d's component", alpha, root, a)
+				}
+				for b := Node(0); int(b) < tr.Nodes(); b++ {
+					if want[b] == want[a] && tr.Depth(b) < tr.Depth(root) {
+						t.Fatalf("alpha=%d: root of %d is %d (depth %d), but %d has depth %d",
+							alpha, a, root, tr.Depth(root), b, tr.Depth(b))
+					}
+				}
+			}
+		}
+	}
+}
+
+func countDistinct(labels []int) int {
+	set := make(map[int]bool)
+	for _, l := range labels {
+		set[l] = true
+	}
+	return len(set)
+}
+
+// TestForestWalkAvoidsSeveredEdges checks the central structural claim:
+// for in-component endpoints the intact tree's walk is returned and
+// never steps across a severed edge; for cross-component endpoints a
+// partition verdict names an unreachable vertex.
+func TestForestWalkAvoidsSeveredEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for alpha := uint(2); alpha <= 6; alpha++ {
+		tr := New(alpha)
+		for trial := 0; trial < 40; trial++ {
+			f := NewForest(tr)
+			edges := tr.Edges()
+			nSever := 1 + rng.Intn(3)
+			rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+			for _, e := range edges[:nSever] {
+				u, v := e.Ends()
+				f.Sever(u, v)
+			}
+			for pair := 0; pair < 30; pair++ {
+				s := Node(rng.Intn(tr.Nodes()))
+				d := Node(rng.Intn(tr.Nodes()))
+				var visit []Node
+				for k := 0; k < rng.Intn(3); k++ {
+					visit = append(visit, Node(rng.Intn(tr.Nodes())))
+				}
+				walk, blocked, ok := f.AppendWalkVisiting(nil, s, d, visit)
+				reachAll := f.SameComponent(s, d)
+				for _, k := range visit {
+					reachAll = reachAll && f.SameComponent(s, k)
+				}
+				if ok != reachAll {
+					t.Fatalf("alpha=%d: ok=%v but reachability=%v (s=%d d=%d visit=%v)",
+						alpha, ok, reachAll, s, d, visit)
+				}
+				if !ok {
+					if f.SameComponent(s, blocked) {
+						t.Fatalf("alpha=%d: blocked vertex %d is reachable from %d", alpha, blocked, s)
+					}
+					continue
+				}
+				if walk[0] != s || walk[len(walk)-1] != d {
+					t.Fatalf("alpha=%d: walk %v does not go %d..%d", alpha, walk, s, d)
+				}
+				for i := 1; i < len(walk); i++ {
+					if f.Severed(walk[i-1], walk[i]) {
+						t.Fatalf("alpha=%d: walk %v crosses severed edge {%d,%d}",
+							alpha, walk, walk[i-1], walk[i])
+					}
+				}
+				for _, k := range visit {
+					found := false
+					for _, w := range walk {
+						if w == k {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("alpha=%d: walk %v misses visit %d", alpha, walk, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForestRejectsNonEdge pins the NormalizeEdge panic contract.
+func TestForestRejectsNonEdge(t *testing.T) {
+	tr := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sever of a non-edge must panic")
+		}
+	}()
+	NewForest(tr).Sever(0, 5) // 0-5 differ in two bits: not an edge
+}

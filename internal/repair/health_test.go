@@ -1,0 +1,240 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/bitutil"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+// bruteDead counts the dead realizations of every tree edge straight
+// from the fault set's LinkFaulty view (which folds in endpoint node
+// faults), the definition the incremental counters must match.
+func bruteDead(cube *gc.Cube, fs *fault.Set) map[gtree.Edge]int {
+	alpha := cube.Alpha()
+	out := make(map[gtree.Edge]int)
+	for _, e := range cube.Tree().Edges() {
+		dead := 0
+		for h := 0; h < 1<<(cube.N()-alpha); h++ {
+			u, _ := e.Ends()
+			p := gc.NodeID(h)<<alpha | gc.NodeID(u)
+			if fs.LinkFaulty(p, e.Dim) {
+				dead++
+			}
+		}
+		out[e] = dead
+	}
+	return out
+}
+
+func checkAgainstBrute(t *testing.T, h *Health, cube *gc.Cube, fs *fault.Set, ctx string) {
+	t.Helper()
+	frames := 1 << (cube.N() - cube.Alpha())
+	for e, dead := range bruteDead(cube, fs) {
+		u, v := e.Ends()
+		if got := h.DeadLinks(u, v); got != dead {
+			t.Fatalf("%s: edge %v DeadLinks = %d, want %d", ctx, e, got, dead)
+		}
+		want := EdgeHealthy
+		switch {
+		case dead == frames:
+			want = EdgeSevered
+		case dead > 0:
+			want = EdgeDegraded
+		}
+		if got := h.EdgeState(u, v); got != want {
+			t.Fatalf("%s: edge %v state = %v, want %v", ctx, e, got, want)
+		}
+	}
+}
+
+// TestHealthRebuildMatchesBruteForce fills random fault sets (nodes and
+// links mixed) and compares the rebuilt map to direct recomputation.
+func TestHealthRebuildMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct{ n, alpha uint }{{6, 1}, {7, 2}, {8, 3}, {6, 6}, {8, 2}} {
+		cube := gc.New(tc.n, tc.alpha)
+		for trial := 0; trial < 25; trial++ {
+			fs := fault.NewSet(cube)
+			fs.InjectRandomNodes(rng, rng.Intn(5))
+			fs.InjectRandomLinks(rng, rng.Intn(8))
+			fs.InjectRandomLinksBelowAlpha(rng, rng.Intn(6))
+			h := NewHealth(cube)
+			h.Rebuild(fs)
+			checkAgainstBrute(t, h, cube, fs, "rebuild")
+		}
+	}
+}
+
+// TestHealthIncrementalMatchesRebuild drives a Dynamic through a random
+// churn schedule with the health map attached and, after every epoch,
+// compares the incrementally maintained state to a from-scratch rebuild
+// of the snapshot — injects and repairs must commute exactly.
+func TestHealthIncrementalMatchesRebuild(t *testing.T) {
+	cube := gc.New(7, 2)
+	rng := rand.New(rand.NewSource(9))
+	events := fault.ChurnSchedule(rng, cube, fault.ChurnConfig{
+		MTBF: 2, MTTR: 6, Horizon: 150, LinkFraction: 0.7, MaxActive: 24,
+	})
+	dyn := fault.NewDynamic(cube, events)
+	h := NewHealth(cube)
+	h.AttachDynamic(dyn)
+	for tck := 0; tck <= 150; tck += 3 {
+		dyn.AdvanceTo(tck)
+		snap := dyn.Snapshot()
+		checkAgainstBrute(t, h, cube, snap, "incremental")
+		fresh := NewHealth(cube)
+		fresh.Rebuild(snap)
+		fh, fd, fsev := fresh.Counts()
+		ih, id, isev := h.Counts()
+		if fh != ih || fd != id || fsev != isev {
+			t.Fatalf("t=%d: incremental counts (%d,%d,%d) != rebuilt (%d,%d,%d)",
+				tck, ih, id, isev, fh, fd, fsev)
+		}
+	}
+}
+
+// TestHealthSeverAndComponents severs one edge explicitly and checks
+// the component queries and the partition pre-check.
+func TestHealthSeverAndComponents(t *testing.T) {
+	cube := gc.New(7, 2) // tree edges {0,1}, {1,3}, {2,3} over classes {0..3}
+	fs := fault.NewSet(cube)
+	fs.InjectSeveringFaults(1, 3)
+	h := NewHealth(cube)
+	h.Rebuild(fs)
+
+	if got := h.EdgeState(1, 3); got != EdgeSevered {
+		t.Fatalf("edge {1,3} state = %v, want severed", got)
+	}
+	if got := len(h.SeveredEdges()); got != 1 {
+		t.Fatalf("%d severed edges, want 1", got)
+	}
+	if _, _, sev := h.Counts(); sev != 1 {
+		t.Fatalf("Counts severed = %d, want 1", sev)
+	}
+	if h.SameComponent(0, 3) || h.SameComponent(0, 2) || !h.SameComponent(0, 1) || !h.SameComponent(2, 3) {
+		t.Fatal("severing {1,3} must leave components {0,1} and {2,3}")
+	}
+	if got := h.ComponentRoot(2); got != 3 {
+		t.Fatalf("severed subtree re-roots at %d, want 3", got)
+	}
+	// A pair whose ending classes straddle the cut is a proven partition.
+	var s, d gc.NodeID = 0, 3 // classes 0 and 3
+	if blocked, ok := h.CheckWalk(s, d, nil); ok || blocked != 3 {
+		t.Fatalf("CheckWalk(0->3) = (%d, %v), want (3, false)", blocked, ok)
+	}
+	// Same-side pairs pass even with pending dims owned by same-side
+	// classes.
+	if _, ok := h.CheckWalk(0, 1, []gtree.Node{0, 1}); !ok {
+		t.Fatal("CheckWalk(0->1 via {0,1}) must pass")
+	}
+	// A pending dimension owned by a severed-off class blocks the walk.
+	if blocked, ok := h.CheckWalk(0, 1, []gtree.Node{2}); ok || blocked != 2 {
+		t.Fatalf("CheckWalk(0->1 via {2}) = (%d, %v), want (2, false)", blocked, ok)
+	}
+}
+
+// TestSurvivingCrossings kills some realizations of one edge and checks
+// the surviving list: healthy crossings only, the current frame
+// excluded, nearest (fewest high-bit corrections) first.
+func TestSurvivingCrossings(t *testing.T) {
+	cube := gc.New(7, 2)
+	alpha := cube.Alpha()
+	fs := fault.NewSet(cube)
+	// Kill the {1,3} realizations at frames 0, 1, 2 (dimension 1 links
+	// at nodes h<<2|1).
+	for _, h := range []gc.NodeID{0, 1, 2} {
+		fs.AddLink(h<<alpha|1, 1)
+	}
+	h := NewHealth(cube)
+	h.Rebuild(fs)
+	if got := h.EdgeState(1, 3); got != EdgeDegraded {
+		t.Fatalf("edge {1,3} state = %v, want degraded", got)
+	}
+
+	cur := gc.NodeID(0)<<alpha | 1 // class 1, frame 0 (its crossing is dead)
+	got := h.SurvivingCrossings(cur, 3, 32)
+	frames := 1 << (cube.N() - alpha)
+	if len(got) != frames-3 {
+		t.Fatalf("%d survivors, want %d", len(got), frames-3)
+	}
+	prevCost := -1
+	for _, w := range got {
+		if cube.EndingClass(w) != 1 {
+			t.Fatalf("survivor %d not in class 1", w)
+		}
+		frame := int(w) >> alpha
+		if frame == 0 || frame == 1 || frame == 2 {
+			t.Fatalf("survivor %d has a dead (or current) frame %d", w, frame)
+		}
+		cost := bitutil.OnesCount(uint64(frame ^ 0))
+		if cost < prevCost {
+			t.Fatalf("survivors not in ascending cost order: %v", got)
+		}
+		prevCost = cost
+	}
+	if capped := h.SurvivingCrossings(cur, 3, 2); len(capped) != 2 {
+		t.Fatalf("max=2 returned %d survivors", len(capped))
+	}
+	// Severed edge: no survivors.
+	fs2 := fault.NewSet(cube)
+	fs2.InjectSeveringFaults(1, 3)
+	h2 := NewHealth(cube)
+	h2.Rebuild(fs2)
+	if got := h2.SurvivingCrossings(cur, 3, 8); got != nil {
+		t.Fatalf("severed edge returned survivors %v", got)
+	}
+}
+
+// TestHealthDegenerateShapes covers alpha = 0 (no tree edges at all)
+// and alpha = n (each edge realized by exactly one link).
+func TestHealthDegenerateShapes(t *testing.T) {
+	h0 := NewHealth(gc.New(6, 0))
+	if hl, d, s := h0.Counts(); hl != 0 || d != 0 || s != 0 {
+		t.Fatalf("alpha=0 Counts = (%d,%d,%d), want all zero", hl, d, s)
+	}
+	if _, ok := h0.CheckWalk(3, 5, nil); !ok {
+		t.Fatal("alpha=0 CheckWalk must always pass")
+	}
+
+	cube := gc.New(4, 4)
+	if f := NewHealth(cube).TotalLinks(); f != 1 {
+		t.Fatalf("alpha=n frames = %d, want 1", f)
+	}
+	fs := fault.NewSet(cube)
+	fs.AddLink(1, 1) // the single realization of tree edge {1,3}
+	h := NewHealth(cube)
+	h.Rebuild(fs)
+	if got := h.EdgeState(1, 3); got != EdgeSevered {
+		t.Fatalf("alpha=n single dead link: state = %v, want severed (one fault is a cut)", got)
+	}
+}
+
+// TestHealthNodeFaultCauses checks that a node fault contributes a
+// cause to every incident tree-edge realization independently of link
+// faults, so repairing one of them does not resurrect the realization.
+func TestHealthNodeFaultCauses(t *testing.T) {
+	cube := gc.New(7, 2)
+	dyn := fault.NewDynamic(cube, nil)
+	h := NewHealth(cube)
+	h.AttachDynamic(dyn)
+
+	link := fault.Fault{Kind: fault.KindLink, Node: 1, Dim: 1}
+	node := fault.Fault{Kind: fault.KindNode, Node: 1}
+	dyn.Inject(link, false)
+	dyn.Inject(node, false)
+	if got := h.DeadLinks(1, 3); got != 1 {
+		t.Fatalf("dead = %d, want 1", got)
+	}
+	dyn.Repair(node)
+	if got := h.DeadLinks(1, 3); got != 1 {
+		t.Fatal("node repair must not resurrect the independently faulty link")
+	}
+	dyn.Repair(link)
+	if got := h.DeadLinks(1, 3); got != 0 {
+		t.Fatalf("dead = %d after both repairs, want 0", got)
+	}
+}

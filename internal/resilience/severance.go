@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+	"gaussiancube/internal/repair"
+)
+
+// SeveranceConfig parameterizes a B/C-targeted injection campaign:
+// instead of random node faults, it concentrates faults on the
+// class-crossing links below alpha — the physical realizations of the
+// Gaussian Tree's edges — which is exactly the fault pattern that
+// erodes and eventually severs the tree skeleton FFGCR plans over.
+type SeveranceConfig struct {
+	N, Alpha uint
+	// LinkFaults is the grid of below-alpha link fault counts to
+	// sample. Counts must not exceed the (2^Alpha - 1) * 2^(N-Alpha)
+	// tree-edge links of the cube.
+	LinkFaults []int
+	// SeverEdges, when positive, additionally kills every realization
+	// of this many randomly chosen tree edges per trial — guaranteed
+	// C-style severance on top of the random erosion.
+	SeverEdges int
+	// Trials is the number of random fault placements per grid point.
+	Trials int
+	// PairsPerTrial is the number of routed source/destination pairs
+	// per placement.
+	PairsPerTrial int
+	Seed          int64
+}
+
+// SeveranceCurve compares the static FFGCR baseline against
+// repair-enabled routing under tree-severing fault campaigns. All
+// delivery fractions are over the same attempted pairs, so the curves
+// are directly comparable; Reachable is the BFS oracle's upper bound.
+type SeveranceCurve struct {
+	N, Alpha   uint
+	LinkFaults []int
+	// Reachable[i] is the fraction of attempted pairs actually
+	// connected in the healthy subgraph (the oracle bound).
+	Reachable []float64
+	// BaselineDelivery[i] is the bare strategy (no repair, no BFS
+	// fallback) — today's FFGCR-with-faults.
+	BaselineDelivery []float64
+	// RepairDelivery[i] is the bare strategy plus the tree-repair
+	// subsystem (health map, detours, partition verdicts).
+	RepairDelivery []float64
+	// FallbackDelivery[i] adds the BFS last resort to the baseline,
+	// for scale.
+	FallbackDelivery []float64
+	// PartitionVerdicts[i] is the fraction of attempted pairs the
+	// repair router refused with a proven partition.
+	PartitionVerdicts []float64
+	// FalseUnreachable counts partition verdicts the BFS oracle
+	// contradicted — a soundness violation. Must be zero.
+	FalseUnreachable int
+	// SeveredEdges[i] is the mean number of fully severed tree edges
+	// per trial, confirming the campaign stresses what it claims to.
+	SeveredEdges []float64
+}
+
+// MeasureSeverance runs the campaign.
+func MeasureSeverance(cfg SeveranceConfig) SeveranceCurve {
+	cube := gc.New(cfg.N, cfg.Alpha)
+	tree := cube.Tree()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	curve := SeveranceCurve{N: cfg.N, Alpha: cfg.Alpha}
+
+	edges := tree.Edges()
+	for _, f := range cfg.LinkFaults {
+		attempted := 0
+		reachable, base, repaired, fb, verdicts := 0, 0, 0, 0, 0
+		severedTotal := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			fs := fault.NewSet(cube)
+			if cfg.SeverEdges > 0 {
+				rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+				for _, e := range edges[:cfg.SeverEdges] {
+					u, v := e.Ends()
+					fs.InjectSeveringFaults(u, v)
+				}
+			}
+			// Severing first shrinks the candidate pool; clamp so the
+			// grid can sweep right up to (and past) total severance.
+			erode := f
+			if avail := fs.HealthyTreeLinks(); erode > avail {
+				erode = avail
+			}
+			fs.InjectRandomLinksBelowAlpha(rng, erode)
+
+			health := repair.NewHealth(cube)
+			health.Rebuild(fs)
+			severedTotal += len(health.SeveredEdges())
+
+			baseline := core.NewRouter(cube, core.WithFaults(fs), core.WithoutFallback())
+			withRepair := core.NewRouter(cube, core.WithFaults(fs), core.WithoutFallback(), core.WithRepair(health))
+			fallback := core.NewRouter(cube, core.WithFaults(fs))
+			hv := healthyTopology{cube: cube, fs: fs}
+			for p := 0; p < cfg.PairsPerTrial; p++ {
+				s, d, ok := healthyPair(rng, cube, fs)
+				if !ok {
+					continue
+				}
+				attempted++
+				oracle := graph.ShortestPath(hv, s, d) != nil
+				if oracle {
+					reachable++
+				}
+				if res, err := baseline.Route(s, d); err == nil &&
+					core.ValidatePath(cube, fs, res.Path, s, d) == nil {
+					base++
+				}
+				res, err := withRepair.Route(s, d)
+				switch {
+				case err == nil && core.ValidatePath(cube, fs, res.Path, s, d) == nil:
+					repaired++
+				case errors.Is(err, core.ErrPartitioned):
+					verdicts++
+					if oracle {
+						curve.FalseUnreachable++
+					}
+				}
+				if res, err := fallback.Route(s, d); err == nil &&
+					core.ValidatePath(cube, fs, res.Path, s, d) == nil {
+					fb++
+				}
+			}
+		}
+		curve.LinkFaults = append(curve.LinkFaults, f)
+		frac := func(k int) float64 {
+			if attempted == 0 {
+				return 0
+			}
+			return float64(k) / float64(attempted)
+		}
+		curve.Reachable = append(curve.Reachable, frac(reachable))
+		curve.BaselineDelivery = append(curve.BaselineDelivery, frac(base))
+		curve.RepairDelivery = append(curve.RepairDelivery, frac(repaired))
+		curve.FallbackDelivery = append(curve.FallbackDelivery, frac(fb))
+		curve.PartitionVerdicts = append(curve.PartitionVerdicts, frac(verdicts))
+		if cfg.Trials > 0 {
+			curve.SeveredEdges = append(curve.SeveredEdges,
+				float64(severedTotal)/float64(cfg.Trials))
+		} else {
+			curve.SeveredEdges = append(curve.SeveredEdges, 0)
+		}
+	}
+	return curve
+}

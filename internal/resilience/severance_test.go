@@ -1,0 +1,57 @@
+package resilience
+
+import "testing"
+
+// TestMeasureSeverance runs a small B/C campaign and checks the
+// acceptance properties of the repair subsystem at the campaign level:
+// repair-enabled delivery dominates the baseline at every grid point,
+// no delivery curve exceeds the BFS oracle bound, and not a single
+// partition verdict is contradicted by the oracle.
+func TestMeasureSeverance(t *testing.T) {
+	for _, alpha := range []uint{1, 2} {
+		c := MeasureSeverance(SeveranceConfig{
+			N: 7, Alpha: alpha,
+			LinkFaults:    []int{0, 2, 8, 1 << 7}, // last point over-asks; clamped to total severance
+			SeverEdges:    1,
+			Trials:        6,
+			PairsPerTrial: 12,
+			Seed:          42,
+		})
+		if c.FalseUnreachable != 0 {
+			t.Fatalf("alpha=%d: %d false unreachables — partition verdicts must be proofs",
+				alpha, c.FalseUnreachable)
+		}
+		for i, lf := range c.LinkFaults {
+			if c.RepairDelivery[i] < c.BaselineDelivery[i] {
+				t.Errorf("alpha=%d faults=%d: repair delivery %.3f < baseline %.3f",
+					alpha, lf, c.RepairDelivery[i], c.BaselineDelivery[i])
+			}
+			for name, y := range map[string]float64{
+				"baseline": c.BaselineDelivery[i],
+				"repair":   c.RepairDelivery[i],
+				"fallback": c.FallbackDelivery[i],
+			} {
+				if y < 0 || y > 1 {
+					t.Errorf("alpha=%d faults=%d: %s delivery %.3f out of range", alpha, lf, name, y)
+				}
+				if y > c.Reachable[i]+1e-9 {
+					t.Errorf("alpha=%d faults=%d: %s delivery %.3f exceeds oracle bound %.3f",
+						alpha, lf, name, y, c.Reachable[i])
+				}
+			}
+			if c.SeveredEdges[i] < 1 {
+				t.Errorf("alpha=%d faults=%d: mean severed edges %.2f < the 1 guaranteed by SeverEdges",
+					alpha, lf, c.SeveredEdges[i])
+			}
+		}
+		// The final grid point clamps to total severance: every tree
+		// edge dead, so only same-class pairs remain deliverable and the
+		// severed-edge mean hits the maximum.
+		last := len(c.LinkFaults) - 1
+		maxEdges := float64(int(1)<<alpha - 1)
+		if c.SeveredEdges[last] != maxEdges {
+			t.Errorf("alpha=%d: total-severance point severed %.2f edges, want %.0f",
+				alpha, c.SeveredEdges[last], maxEdges)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"container/heap"
+	"errors"
 	"math/rand"
 	"sort"
 
@@ -10,6 +11,7 @@ import (
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/repair"
 	"gaussiancube/internal/workload"
 )
 
@@ -54,9 +56,21 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 	case cfg.Faults != nil:
 		oracle = cfg.Faults
 	}
+	// The tree-edge health map tracks the loop fork incrementally (one
+	// counter bump per fault transition); with a static fault set it is
+	// built once.
+	var health *repair.Health
+	if cfg.Repair {
+		health = repair.NewHealth(cube)
+		if loopDyn != nil {
+			health.AttachDynamic(loopDyn)
+		} else {
+			health.Rebuild(cfg.Faults)
+		}
+	}
 	var adaptive *core.AdaptiveRouter
 	if cfg.Adaptive {
-		adaptive = core.NewAdaptiveRouter(cube, oracle, core.AdaptiveConfig{Substrate: cfg.Substrate})
+		adaptive = core.NewAdaptiveRouter(cube, oracle, core.AdaptiveConfig{Substrate: cfg.Substrate, Repair: health})
 	}
 
 	// The static planner routes whole paths against a frozen snapshot
@@ -70,6 +84,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 			opts = append(opts, core.WithFaults(loopDyn.Snapshot()))
 		case cfg.Faults != nil:
 			opts = append(opts, core.WithFaults(cfg.Faults))
+		}
+		if health != nil {
+			opts = append(opts, core.WithRepair(health))
 		}
 		planner = core.NewRouter(cube, opts...)
 	}
@@ -232,6 +249,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 			path, err := lookupRoute(e.node, p.dst)
 			if err != nil {
 				stats.Undeliverable++
+				if errors.Is(err, core.ErrPartitioned) {
+					stats.Partitioned++
+				}
 				continue
 			}
 			p.path, p.idx = path, 0
@@ -253,6 +273,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 				path, err := lookupRoute(e.node, p.dst)
 				if err != nil {
 					stats.Dropped++
+					if errors.Is(err, core.ErrPartitioned) {
+						stats.Partitioned++
+					}
 					continue
 				}
 				stats.Rerouted++
@@ -319,6 +342,9 @@ func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, stats *Stats,
 	case core.StepFail:
 		finishAdaptive(stats, p.flight)
 		stats.DropReasons[st.Reason]++
+		if st.Outcome == core.OutcomeUndeliverablePartitioned {
+			stats.Partitioned++
+		}
 		if p.flight.Hops() == 0 {
 			stats.Undeliverable++
 		} else {

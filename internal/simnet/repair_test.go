@@ -1,0 +1,93 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// severedConfig is a GC(7, 4) run with one tree edge fully severed and
+// some extra erosion: cross-cut pairs are provably undeliverable,
+// same-side pairs must still flow.
+func severedConfig(repairOn bool) Config {
+	cube := gc.New(7, 2)
+	fs := fault.NewSet(cube)
+	fs.InjectSeveringFaults(1, 3)
+	fs.InjectRandomLinksBelowAlpha(rand.New(rand.NewSource(5)), 8)
+	return Config{
+		N: 7, Alpha: 2,
+		Arrival:   0.02,
+		GenCycles: 100,
+		Seed:      3,
+		Faults:    fs,
+		Repair:    repairOn,
+	}
+}
+
+// TestRunRepairCountsPartitions: with the repair subsystem on, a run
+// over a severed tree must classify the refused packets as partitioned
+// (with proof) and deliver no fewer packets than the same run without
+// repair.
+func TestRunRepairCountsPartitions(t *testing.T) {
+	base, err := Run(severedConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(severedConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Partitioned != 0 {
+		t.Errorf("repair off but %d packets marked partitioned", base.Partitioned)
+	}
+	if rep.Partitioned == 0 {
+		t.Error("severed tree produced no partition verdicts")
+	}
+	if rep.Partitioned > rep.Undeliverable+rep.Dropped {
+		t.Errorf("partitioned %d exceeds undeliverable %d + dropped %d",
+			rep.Partitioned, rep.Undeliverable, rep.Dropped)
+	}
+	if rep.Generated != base.Generated {
+		t.Fatalf("offered traffic diverged: %d vs %d", rep.Generated, base.Generated)
+	}
+	if rep.Delivered < base.Delivered {
+		t.Errorf("repair delivered %d < baseline %d", rep.Delivered, base.Delivered)
+	}
+	// Every cross-component packet is refused with a proof, so the
+	// undeliverable count must be fully explained.
+	if rep.Delivered+rep.Undeliverable+rep.Dropped != rep.Generated {
+		t.Errorf("accounting leak: %d delivered + %d undeliverable + %d dropped != %d generated",
+			rep.Delivered, rep.Undeliverable, rep.Dropped, rep.Generated)
+	}
+}
+
+// TestAdaptiveRepairPartitions: the adaptive stepper with repair
+// enabled classifies cross-cut packets on the partitioned outcome
+// instead of wandering until TTL.
+func TestAdaptiveRepairPartitions(t *testing.T) {
+	cfg := severedConfig(true)
+	cfg.Adaptive = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partitioned == 0 {
+		t.Error("adaptive severed run produced no partition verdicts")
+	}
+	if rep.Delivered == 0 {
+		t.Error("same-side traffic must still be delivered")
+	}
+	cfg.Repair = false
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Partitioned != 0 {
+		t.Errorf("repair off but %d packets marked partitioned", base.Partitioned)
+	}
+	if rep.Delivered < base.Delivered {
+		t.Errorf("adaptive repair delivered %d < baseline %d", rep.Delivered, base.Delivered)
+	}
+}

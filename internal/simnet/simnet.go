@@ -37,6 +37,7 @@ import (
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/repair"
 	"gaussiancube/internal/workload"
 )
 
@@ -106,6 +107,14 @@ type Config struct {
 	// cache).
 	Adaptive bool
 
+	// Repair enables the tree-repair subsystem: a tree-edge health map
+	// (internal/repair) aggregated from the run's fault state is handed
+	// to every planner, so dead tree-edge crossings are detoured
+	// through surviving realizations and provably partitioned
+	// destinations are refused with a proof (counted in
+	// Stats.Partitioned) instead of burning a BFS.
+	Repair bool
+
 	Seed    int64
 	Pattern workload.Pattern // defaults to Uniform over the cube
 	Faults  *fault.Set       // optional fault set
@@ -130,6 +139,11 @@ type Stats struct {
 	Generated     int
 	Delivered     int
 	Undeliverable int // packets whose route computation failed
+	// Partitioned counts packets refused or dropped with a proven
+	// partition verdict — the tree-edge health map showed the
+	// destination's class severed from the source's (Config.Repair
+	// only). Always a subset of Undeliverable plus Dropped.
+	Partitioned int
 
 	// Latency is the per-packet delivery latency distribution, cycles.
 	Latency metrics.Stream
@@ -276,6 +290,11 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.Faults != nil {
 		opts = append(opts, core.WithFaults(cfg.Faults))
 	}
+	if cfg.Repair {
+		health := repair.NewHealth(cube)
+		health.Rebuild(cfg.Faults)
+		opts = append(opts, core.WithRepair(health))
+	}
 	router := core.NewRouter(cube, opts...)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
@@ -331,6 +350,9 @@ func Run(cfg Config) (*Stats, error) {
 		path, err := lookupRoute(src, dst)
 		if err != nil {
 			stats.Undeliverable++
+			if errors.Is(err, core.ErrPartitioned) {
+				stats.Partitioned++
+			}
 			return
 		}
 		seq++
