@@ -25,7 +25,8 @@ bench-json:
 	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o BENCH_1.json
 
 fuzz:
-	$(GO) test -fuzz=FuzzRoute -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzRoute$$ -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzRouteAgainstOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzPC -fuzztime=30s ./internal/gtree/
 
 # Regenerate every paper figure as tables, CSV, SVG and a markdown report.
@@ -33,4 +34,4 @@ figures:
 	$(GO) run ./cmd/gcbench -svg charts -csv data -report report.md
 
 clean:
-	rm -rf charts data report.md test_output.txt bench_output.txt BENCH_1.json
+	rm -rf charts data report.md test_output.txt bench_output.txt BENCH_1.json HIST_1.json

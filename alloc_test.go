@@ -94,6 +94,47 @@ func TestRouteIntoAllocs(t *testing.T) {
 	}
 }
 
+// TestRouteIntoAllocsTracingOff: a router constructed WITHOUT a tracer
+// must not pay for the observability layer — every trace emission site
+// is guarded by a nil check on a plain interface field, so the
+// tracing-off RouteInto hot path stays at zero allocations exactly
+// like the pre-trace baseline above. (With a tracer attached,
+// emissions go through a Ring and allocate; that mode is measured in
+// the core benchmarks, not bounded here.)
+func TestRouteIntoAllocsTracingOff(t *testing.T) {
+	cube := gc.New(14, 2)
+	// An explicit nil tracer, distinct from the bare NewRouter above:
+	// exercises the exact option list a tracing-capable caller uses
+	// when tracing is switched off.
+	r := core.NewRouter(cube, core.WithTracer(nil))
+	pairs := allocPairs(cube, 64, 7)
+	dst := make([]gc.NodeID, 0, 64)
+	for _, p := range pairs {
+		var err error
+		dst, err = r.RouteInto(dst[:0], p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var firstErr error
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		var err error
+		dst, err = r.RouteInto(dst[:0], p[0], p[1])
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if allocs >= 1 {
+		t.Fatalf("RouteInto with tracing off: %v allocs/route, want 0", allocs)
+	}
+}
+
 // TestPCAllocs: PC allocates exactly its result slice; AppendPC into a
 // capacious buffer allocates nothing.
 func TestPCAllocs(t *testing.T) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		svgDir     = fs.String("svg", "", "also write each figure as an SVG chart into this directory")
 		csvDir     = fs.String("csv", "", "also write each figure as CSV into this directory")
 		report     = fs.String("report", "", "also write a combined markdown report to this file")
+		histFile   = fs.String("hist", "", "also write latency/hop histograms and a sampled route trace as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,6 +159,23 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 		fmt.Fprintf(out, "wrote %d CSV files to %s\n", len(plots), *csvDir)
+	}
+	if *histFile != "" {
+		// One representative point at the top of the sweep range, M = 2:
+		// full distribution shape instead of the figures' means, plus a
+		// sampled route-trace narrative. CI archives this file per run.
+		rep, err := experiments.Distributions(sweep.MaxN, 1, sweep, 64, 16)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*histFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote histogram report (n=%d, %d traced routes) to %s\n", rep.N, rep.Traced, *histFile)
 	}
 	if *report != "" {
 		var b strings.Builder

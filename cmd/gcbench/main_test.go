@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -50,6 +53,47 @@ func TestExtensions(t *testing.T) {
 	out := runOK(t, "-quick", "-fig", "1", "-wormhole")
 	if !strings.Contains(out, "wormhole") {
 		t.Errorf("wormhole extension missing:\n%s", out)
+	}
+}
+
+// TestHistogramArtifact exercises the -hist CI artifact end to end:
+// the written JSON must decode into non-empty latency/hop histograms
+// and a non-empty sampled trace.
+func TestHistogramArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	path := filepath.Join(t.TempDir(), "hist.json")
+	out := runOK(t, "-quick", "-fig", "1", "-hist", path)
+	if !strings.Contains(out, "wrote histogram report") {
+		t.Fatalf("missing confirmation line:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		N       uint `json:"n"`
+		Seeds   int  `json:"seeds"`
+		Latency *struct {
+			Count int64 `json:"count"`
+		} `json:"latency"`
+		Hops *struct {
+			Count int64 `json:"count"`
+		} `json:"hops"`
+		Traced int `json:"traced"`
+		Trace  []struct {
+			Kind string `json:"kind"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Latency == nil || rep.Latency.Count == 0 || rep.Hops == nil || rep.Hops.Count == 0 {
+		t.Fatalf("histograms empty in artifact: %s", data[:min(len(data), 400)])
+	}
+	if rep.Traced == 0 || len(rep.Trace) == 0 {
+		t.Fatalf("trace missing from artifact: traced=%d events=%d", rep.Traced, len(rep.Trace))
 	}
 }
 

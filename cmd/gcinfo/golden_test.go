@@ -1,0 +1,31 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGoldenSummary pins the full gcinfo summary output byte for byte:
+// topology description is deterministic, so any drift is a real
+// behavior change (re-run with -update after intentional ones).
+func TestGoldenSummary(t *testing.T) {
+	got := runOK(t, "-n", "8", "-alpha", "2")
+	path := filepath.Join("testdata", "summary.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gaussiancube/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// checkGolden compares the full CLI output against a golden file
+// byte for byte; -update rewrites the file instead.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update after intentional changes)\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// parseRouteOutput extracts the numbered-path nodes and the trace
+// section's walk-bearing events (hop, flip, rollback) back out of the
+// CLI text.
+func parseRouteOutput(t *testing.T, out string) ([]uint32, []trace.Event) {
+	t.Helper()
+	var path []uint32
+	var events []trace.Event
+	pathLine := regexp.MustCompile(`^\s+\d+: ([01]+)`)
+	hopLine := regexp.MustCompile(`^\s+(hop|flip)\s+([01]+) -> ([01]+)`)
+	rollbackLine := regexp.MustCompile(`^\s+rollback (\d+) hops`)
+	inTrace := false
+	for _, line := range strings.Split(out, "\n") {
+		if line == "trace:" {
+			inTrace = true
+			continue
+		}
+		if !inTrace {
+			if m := pathLine.FindStringSubmatch(line); m != nil {
+				v, err := strconv.ParseUint(m[1], 2, 32)
+				if err != nil {
+					t.Fatal(err)
+				}
+				path = append(path, uint32(v))
+			}
+			continue
+		}
+		if m := hopLine.FindStringSubmatch(line); m != nil {
+			from, err1 := strconv.ParseUint(m[2], 2, 32)
+			to, err2 := strconv.ParseUint(m[3], 2, 32)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("bad hop line %q", line)
+			}
+			k := trace.KindHop
+			if m[1] == "flip" {
+				k = trace.KindFlip
+			}
+			events = append(events, trace.Event{Kind: k, From: uint32(from), To: uint32(to)})
+		} else if m := rollbackLine.FindStringSubmatch(line); m != nil {
+			arg, err := strconv.Atoi(m[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, trace.Event{Kind: trace.KindRollback, Arg: int32(arg)})
+		}
+	}
+	if len(path) == 0 || len(events) == 0 {
+		t.Fatalf("could not parse path/trace sections:\n%s", out)
+	}
+	return path, events
+}
+
+func TestGoldenTraceFaultFree(t *testing.T) {
+	checkGolden(t, "trace_faultfree.golden",
+		runOK(t, "-n", "8", "-alpha", "2", "-from", "5", "-to", "201", "-trace"))
+}
+
+func TestGoldenTraceDetour(t *testing.T) {
+	checkGolden(t, "trace_detour.golden",
+		runOK(t, "-n", "8", "-alpha", "2", "-from", "0", "-to", "16", "-faultlinks", "0:4", "-trace"))
+}
+
+// TestTraceNarrativeMatchesPath validates the printed narrative against
+// the printed path: every hop line of the trace section must appear as
+// a transition of the numbered path section, in order — the CLI-level
+// form of the replay property.
+func TestTraceNarrativeMatchesPath(t *testing.T) {
+	out := runOK(t, "-n", "8", "-alpha", "2", "-from", "5", "-to", "201", "-trace")
+	path, events := parseRouteOutput(t, out)
+	walk, err := trace.Replay(path[0], events)
+	if err != nil {
+		t.Fatalf("narrative does not replay: %v", err)
+	}
+	if len(walk) != len(path) {
+		t.Fatalf("narrative replays to %d nodes, printed path has %d", len(walk), len(path))
+	}
+	for i := range walk {
+		if walk[i] != path[i] {
+			t.Fatalf("narrative diverges from printed path at hop %d: %d vs %d", i, walk[i], path[i])
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/trace"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		faultLinks  = fs.String("faultlinks", "", "comma-separated faulty links as node:dim")
 		substrate   = fs.String("substrate", "adaptive", "intra-class router: adaptive|safety|vector")
 		distributed = fs.Bool("distributed", false, "drive the hop-by-hop engine instead of the planner (fault-free only)")
+		traceOn     = fs.Bool("trace", false, "print the route's event narrative: hops, detours with cause category, repair crossings, outcome")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +90,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	var ring *trace.Ring
+	if *traceOn {
+		ring = trace.NewRing(4096)
+		opts = append(opts, core.WithTracer(ring))
+	}
+
 	r := core.NewRouter(c, opts...)
 	if *distributed {
 		if set.Count() > 0 {
@@ -115,6 +123,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "tree walk (ending classes): %v  [%d tree hops, %d cube hops]\n",
 		res.TreeWalk, treeHops, cubeHops)
 	printPath(out, c, res.Path, *n, *alpha)
+	if ring != nil {
+		fmt.Fprintln(out, "trace:")
+		trace.Narrate(out, ring.Events(), *n)
+	}
 	return nil
 }
 

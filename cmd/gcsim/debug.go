@@ -1,0 +1,65 @@
+package main
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"gaussiancube/internal/simnet"
+)
+
+// simVars is the expvar map the /debug/vars endpoint exposes; one
+// registration per process (expvar panics on duplicate names), keys
+// overwritten per run.
+var simVars = expvar.NewMap("gcsim")
+
+// startDebugServer serves net/http/pprof and expvar on addr (":0"
+// picks a free port) for profiling a long simulation in flight. It
+// returns the bound address and the server for shutdown.
+func startDebugServer(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return srv, ln.Addr().String(), nil
+}
+
+// publishStats exports a run's headline metrics and histograms to the
+// gcsim expvar map, where /debug/vars serves them as JSON.
+func publishStats(stats *simnet.Stats) {
+	setInt := func(name string, v int) {
+		n := new(expvar.Int)
+		n.Set(int64(v))
+		simVars.Set(name, n)
+	}
+	setFloat := func(name string, v float64) {
+		f := new(expvar.Float)
+		f.Set(v)
+		simVars.Set(name, f)
+	}
+	setInt("generated", stats.Generated)
+	setInt("delivered", stats.Delivered)
+	setInt("undeliverable", stats.Undeliverable)
+	setInt("fallback_routes", stats.FallbackRoutes)
+	setInt("makespan", stats.Makespan)
+	setInt("traced", stats.Traced)
+	setFloat("avg_latency", stats.AvgLatency())
+	setFloat("avg_hops", stats.Hops.Mean())
+	setFloat("throughput", stats.Throughput())
+	if h := stats.LatencyHist; h != nil {
+		simVars.Set("latency_hist", expvar.Func(func() any { return h }))
+	}
+	if h := stats.HopHist; h != nil {
+		simVars.Set("hop_hist", expvar.Func(func() any { return h }))
+	}
+}

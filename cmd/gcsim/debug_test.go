@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerExposesVarsAndPprof(t *testing.T) {
+	srv, addr, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A run populates the gcsim expvar map before we scrape it.
+	runOK(t, "-n", "6", "-alpha", "1", "-arrival", "0.05", "-cycles", "10", "-trace-sample", "4")
+
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars struct {
+		Gcsim struct {
+			Generated   int             `json:"generated"`
+			Delivered   int             `json:"delivered"`
+			Traced      int             `json:"traced"`
+			LatencyHist json.RawMessage `json:"latency_hist"`
+			HopHist     json.RawMessage `json:"hop_hist"`
+		} `json:"gcsim"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if vars.Gcsim.Generated == 0 || vars.Gcsim.Delivered == 0 {
+		t.Fatalf("run metrics not published: %s", body)
+	}
+	if vars.Gcsim.Traced == 0 {
+		t.Fatalf("traced count not published: %s", body)
+	}
+	var hist struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(vars.Gcsim.HopHist, &hist); err != nil || hist.Count == 0 {
+		t.Fatalf("hop histogram not exported (%v): %s", err, vars.Gcsim.HopHist)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(index), "goroutine") {
+		t.Fatalf("pprof index not served: status %d\n%s", resp.StatusCode, index)
+	}
+}
+
+func TestTraceSampleOutput(t *testing.T) {
+	out := runOK(t, "-n", "7", "-alpha", "2", "-arrival", "0.05", "-cycles", "10", "-trace-sample", "8")
+	if !strings.Contains(out, "traced ") || !strings.Contains(out, "packet 0:") {
+		t.Fatalf("trace narrative missing:\n%s", out)
+	}
+	if !strings.Contains(out, "outcome: ok") {
+		t.Fatalf("narrated segments lack outcomes:\n%s", out)
+	}
+	var b strings.Builder
+	if err := run([]string{"-n", "6", "-alpha", "1", "-mode", "stepped", "-trace-sample", "2"}, &b); err == nil {
+		t.Fatal("trace-sample in stepped mode must be rejected")
+	}
+}

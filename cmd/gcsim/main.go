@@ -25,8 +25,13 @@ import (
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/simnet"
 	"gaussiancube/internal/snapshot"
+	"gaussiancube/internal/trace"
 	"gaussiancube/internal/workload"
 )
+
+// maxNarratedPackets bounds how many sampled route narratives a
+// -trace-sample run prints; the rest stay countable via "traced".
+const maxNarratedPackets = 4
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -58,6 +63,8 @@ func run(args []string, out io.Writer) error {
 		strict   = fs.Bool("strict", false, "fail when the fault count exceeds the Theorem 3 tolerable bound T(GC)")
 		repairOn = fs.Bool("repair", false, "enable the tree-repair subsystem: detour severed tree-edge crossings, prove partitions (eager mode)")
 		category = fs.String("fault-category", "node", "random fault flavor: node (A/B/C mix), tree-links (B: class-crossing links), sever (kill whole tree edges)")
+		sample   = fs.Int("trace-sample", 0, "trace every Nth packet and print the sampled route narratives (eager mode)")
+		pprofOn  = fs.String("pprof", "", "serve net/http/pprof and expvar run metrics on this address, e.g. localhost:6060 (\":0\" picks a port)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,10 +160,21 @@ func run(args []string, out io.Writer) error {
 	if *repairOn && *mode != "eager" {
 		return fmt.Errorf("-repair is only supported in eager mode")
 	}
+	if *sample > 0 && *mode != "eager" {
+		return fmt.Errorf("-trace-sample is only supported in eager mode")
+	}
+	if *pprofOn != "" {
+		srv, addr, err := startDebugServer(*pprofOn)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug server: http://%s/debug/pprof and http://%s/debug/vars\n", addr, addr)
+	}
 
 	switch *mode {
 	case "eager":
-		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *repairOn, *savePath)
+		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *repairOn, *savePath, *sample)
 	case "stepped":
 		return runStepped(out, scn, pat, faultSet, *buffers, *vcs)
 	case "wormhole":
@@ -166,17 +184,26 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive, repairOn bool, savePath string) error {
-	stats, err := simnet.Run(simnet.Config{
+func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive, repairOn bool, savePath string, sample int) error {
+	cfg := simnet.Config{
 		N: scn.N, Alpha: scn.Alpha,
 		Arrival: scn.Arrival, GenCycles: scn.GenCycles, Seed: scn.Seed,
 		Pattern: pat, Faults: faultSet,
 		Dynamic: dyn, Adaptive: adaptive, Repair: repairOn,
 		CacheRoutes: dyn != nil && !adaptive,
-	})
+		HistBuckets: 64,
+	}
+	var ring *trace.Ring
+	if sample > 0 {
+		ring = trace.NewRing(1 << 15)
+		cfg.TraceEvery = sample
+		cfg.Tracer = ring
+	}
+	stats, err := simnet.Run(cfg)
 	if err != nil {
 		return err
 	}
+	publishStats(stats)
 	label := ""
 	if adaptive {
 		label = ", adaptive per-hop routing"
@@ -219,6 +246,18 @@ func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, fault
 	fmt.Fprintf(out, "  throughput:      %.4f pkt/cycle (log2 = %.3f)\n",
 		stats.Throughput(), stats.Log2Throughput())
 	fmt.Fprintf(out, "  work efficiency: %.5f pkt per node-cycle\n", stats.Efficiency())
+	if ring != nil {
+		segs := trace.SplitPackets(ring.Events())
+		shown := len(segs)
+		if shown > maxNarratedPackets {
+			shown = maxNarratedPackets
+		}
+		fmt.Fprintf(out, "traced %d packets (showing %d):\n", stats.Traced, shown)
+		for _, seg := range segs[:shown] {
+			fmt.Fprintf(out, "packet %d: %d -> %d\n", seg[0].Arg, seg[0].From, seg[0].To)
+			trace.Narrate(out, seg[1:], scn.N)
+		}
+	}
 	if savePath != "" {
 		if err := snapshot.Save(savePath, scn); err != nil {
 			return err

@@ -41,6 +41,7 @@ import (
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/repair"
+	"gaussiancube/internal/trace"
 )
 
 // Oracle is the ground-truth network status. An AdaptiveRouter only
@@ -137,6 +138,13 @@ type AdaptiveConfig struct {
 	// BFS attempts against a graph cut. The map must track the same
 	// ground truth as the oracle (repair.Health.AttachDynamic does).
 	Repair *repair.Health
+	// Tracer, when non-nil, receives each flight's event narrative:
+	// hops as they are taken, fault discoveries with their category,
+	// backoffs, replans and the terminal outcome (on the ladder encoded
+	// as trace.OutcomeLadderBase + Outcome). The stream of a flight
+	// replays to exactly Flight.Path — adaptive flights never roll hops
+	// back. nil keeps tracing disabled at zero cost.
+	Tracer trace.Tracer
 }
 
 func (cfg *AdaptiveConfig) fill(n uint) {
@@ -232,6 +240,13 @@ type Flight struct {
 	found     []DiscoveredFault
 	outcome   Outcome
 	reason    string
+	// openDetours counts traced discovery events awaiting the balancing
+	// detour-exit a successful replan emits.
+	openDetours int
+	// tracer receives this flight's event narrative; defaults to the
+	// router's cfg.Tracer, overridable per flight (StartTraced) so a
+	// carrier interleaving many flights can keep each stream contiguous.
+	tracer trace.Tracer
 }
 
 // Start begins a flight from s to d. It fails only on out-of-range
@@ -240,6 +255,20 @@ type Flight struct {
 // discovered en route.
 func (r *AdaptiveRouter) Start(s, d gc.NodeID) (*Flight, error) {
 	return r.start(s, d, nil)
+}
+
+// StartTraced is Start with a flight-private tracer replacing the
+// router's cfg.Tracer. Carriers that interleave the steps of many
+// flights (e.g. the simulator's event loop) use it to buffer each
+// sampled flight into its own ring, keeping every narrative
+// contiguous.
+func (r *AdaptiveRouter) StartTraced(s, d gc.NodeID, t trace.Tracer) (*Flight, error) {
+	f, err := r.start(s, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	f.tracer = t
+	return f, nil
 }
 
 // StartInformed begins a flight whose blacklist is pre-populated with
@@ -277,6 +306,7 @@ func (r *AdaptiveRouter) start(s, d gc.NodeID, known *fault.Set) (*Flight, error
 		dst:       d,
 		path:      []gc.NodeID{s},
 		visits:    map[gc.NodeID]int{s: 1},
+		tracer:    r.cfg.Tracer,
 	}
 	return f, nil
 }
@@ -314,6 +344,13 @@ func (f *Flight) Step() Step {
 		next := f.plan[f.planIdx+1]
 		dim := uint(bitutil.LowestBit(uint64(f.cur ^ next)))
 		if !f.oracleLinkFaulty(f.cur, dim) && !f.oracleNodeFaulty(next) {
+			if t := f.tracer; t != nil {
+				k := trace.KindFlip
+				if dim < f.r.cube.Alpha() {
+					k = trace.KindHop
+				}
+				t.Emit(trace.Event{Kind: k, Dim: uint8(dim), From: uint32(f.cur), To: uint32(next)})
+			}
 			f.cur = next
 			f.planIdx++
 			f.hops++
@@ -345,6 +382,13 @@ func (f *Flight) replan() (Step, bool) {
 		if f.planned {
 			f.replans++
 			f.degraded = true
+			if t := f.tracer; t != nil {
+				t.Emit(trace.Event{Kind: trace.KindReplan, From: uint32(f.cur), Arg: int32(f.replans)})
+				if f.openDetours > 0 {
+					f.openDetours--
+					t.Emit(trace.Event{Kind: trace.KindDetourExit})
+				}
+			}
 		}
 		f.planned = true
 		if res.UsedFallback {
@@ -384,6 +428,9 @@ func (f *Flight) backoff() Step {
 	f.retries++
 	f.waited += wait
 	f.degraded = true
+	if t := f.tracer; t != nil {
+		t.Emit(trace.Event{Kind: trace.KindBackoff, From: uint32(f.cur), Arg: int32(wait)})
+	}
 	return Step{Kind: StepWait, Wait: wait}
 }
 
@@ -411,6 +458,28 @@ func (f *Flight) record(cur gc.NodeID, dim uint, next gc.NodeID) {
 	df.Category = f.blacklist.Categorize(df.Fault)
 	f.found = append(f.found, df)
 	f.degraded = true
+	if t := f.tracer; t != nil {
+		t.Emit(trace.Event{
+			Kind: trace.KindDetourEnter, Cat: traceCat(df.Category),
+			Dim: uint8(dim), From: uint32(cur), To: uint32(next),
+			Note: "discovered-fault",
+		})
+		f.openDetours++
+	}
+}
+
+// traceCat maps the paper's fault category onto the trace taxonomy.
+func traceCat(c fault.Category) trace.Cat {
+	switch c {
+	case fault.CategoryA:
+		return trace.CatA
+	case fault.CategoryB:
+		return trace.CatB
+	case fault.CategoryC:
+		return trace.CatC
+	default:
+		return trace.CatNone
+	}
 }
 
 // forgetTransient rebuilds the blacklist from its permanent discoveries
@@ -462,6 +531,12 @@ func (f *Flight) finish(o Outcome, reason string) Step {
 	f.outcome = o
 	if reason != "" {
 		f.reason = reason
+	}
+	if t := f.tracer; t != nil {
+		t.Emit(trace.Event{
+			Kind: trace.KindOutcome, From: uint32(f.cur),
+			Arg: trace.OutcomeLadderBase + int32(o), Note: f.reason,
+		})
 	}
 	return f.terminal()
 }

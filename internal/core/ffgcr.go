@@ -6,6 +6,7 @@ import (
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/gtree"
 	"gaussiancube/internal/hypercube"
+	"gaussiancube/internal/trace"
 )
 
 // routePlan is the tree-level plan of FFGCR (Algorithm 3): the class
@@ -145,7 +146,11 @@ func (r *Router) fixClassDims(sc *routeScratch, path []gc.NodeID, cur gc.NodeID,
 		// translated hop by hop through the embedding.
 		sc.hcWalk = hypercube.AppendECubeRoute(sc.hcWalk[:0], from, to)
 		for _, x := range sc.hcWalk[1:] {
-			cur = g.ToGC(x)
+			nxt := g.ToGC(x)
+			if r.tracer != nil {
+				r.emitHop(cur, nxt, uint(bitutil.LowestBit(uint64(cur^nxt))))
+			}
+			cur = nxt
 			path = append(path, cur)
 		}
 		return path, cur, nil
@@ -159,9 +164,23 @@ func (r *Router) fixClassDims(sc *routeScratch, path []gc.NodeID, cur gc.NodeID,
 	if err != nil {
 		return path, cur, ErrUnreachable
 	}
+	// A substrate walk longer than the pending-dimension count means an
+	// A-category fault forced an alternate preferred dimension: narrate
+	// it as a detour around the GEEC slice's faults.
+	detoured := r.tracer != nil && len(walk)-1 > bitutil.OnesCount(uint64(mask))
+	if detoured {
+		r.tracer.Emit(trace.Event{Kind: trace.KindDetourEnter, Cat: trace.CatA, Note: "geec-substrate"})
+	}
 	for _, x := range walk[1:] {
-		cur = g.ToGC(x)
+		nxt := g.ToGC(x)
+		if r.tracer != nil {
+			r.emitHop(cur, nxt, uint(bitutil.LowestBit(uint64(cur^nxt))))
+		}
+		cur = nxt
 		path = append(path, cur)
+	}
+	if detoured {
+		r.tracer.Emit(trace.Event{Kind: trace.KindDetourExit})
 	}
 	return path, cur, nil
 }
@@ -179,15 +198,31 @@ func (r *Router) crossTreeEdge(path []gc.NodeID, cur gc.NodeID, from, to gtree.N
 	dim := c.Tree().EdgeDim(from, to)
 	tgt := cur ^ (1 << dim)
 	if r.faults == nil || (!r.faults.LinkFaulty(cur, dim) && !r.faults.NodeFaulty(tgt)) {
+		if r.tracer != nil {
+			r.emitHop(cur, tgt, dim)
+		}
 		return append(path, tgt), tgt, false, nil
 	}
 	if !r.faults.NodeFaulty(tgt) {
 		if pair, err := c.PairOf(from, to, cur); err == nil {
 			walk, err := exchanged.Route(pair.EH(), r.faults.PairView(pair), pair.FromGC(cur), pair.FromGC(tgt))
 			if err == nil {
+				// The direct crossing is a B-category blockage (the
+				// landing node is alive, so the link itself is broken):
+				// FREH routes around it inside the pair subgraph.
+				if r.tracer != nil {
+					r.tracer.Emit(trace.Event{Kind: trace.KindDetourEnter, Cat: trace.CatB, Dim: uint8(dim), Note: "freh-pair"})
+				}
 				for _, x := range walk[1:] {
-					cur = pair.ToGC(x)
+					nxt := pair.ToGC(x)
+					if r.tracer != nil {
+						r.emitHop(cur, nxt, uint(bitutil.LowestBit(uint64(cur^nxt))))
+					}
+					cur = nxt
 					path = append(path, cur)
+				}
+				if r.tracer != nil {
+					r.tracer.Emit(trace.Event{Kind: trace.KindDetourExit})
 				}
 				return path, cur, false, nil
 			}

@@ -38,6 +38,7 @@ import (
 	"gaussiancube/internal/gtree"
 	"gaussiancube/internal/hypercube"
 	"gaussiancube/internal/repair"
+	"gaussiancube/internal/trace"
 )
 
 // Substrate selects the fault-tolerant hypercube router used inside
@@ -65,6 +66,12 @@ type Router struct {
 	repair    *repair.Health // nil means no tree-repair planning
 	substrate Substrate
 	fallback  bool
+	// tracer, when non-nil, receives the structured event narrative of
+	// every route: hops, detours with category causes, repair
+	// crossings, rollbacks and outcomes. nil means tracing is off and
+	// costs nothing (the hot path's zero-allocation property is
+	// enforced by the alloc regression tests).
+	tracer trace.Tracer
 	// scratch pools routeScratch values; every Route/RouteInto call
 	// checks one out for its lifetime, which is what keeps the
 	// fault-free hot path allocation-free without a per-call lock.
@@ -90,6 +97,13 @@ func WithRepair(h *repair.Health) Option { return func(r *Router) { r.repair = h
 
 // WithoutFallback disables the BFS fallback, exposing the bare strategy.
 func WithoutFallback() Option { return func(r *Router) { r.fallback = false } }
+
+// WithTracer attaches a trace sink: the router emits one structured
+// event per hop, detour, repair crossing, rollback and terminal
+// outcome (the taxonomy of internal/trace). The event stream of a
+// successful route replays to exactly the returned path — see
+// trace.Replay. A nil tracer keeps tracing disabled.
+func WithTracer(t trace.Tracer) Option { return func(r *Router) { r.tracer = t } }
 
 // NewRouter builds a router over cube c.
 func NewRouter(c *gc.Cube, opts ...Option) *Router {
@@ -162,6 +176,9 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 		return nil, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
 	}
 	if r.faults != nil && (r.faults.NodeFaulty(s) || r.faults.NodeFaulty(d)) {
+		if r.tracer != nil {
+			r.traceOutcome(trace.OutcomeError, "faulty-endpoint")
+		}
 		return nil, ErrFaultyEndpoint
 	}
 	sc := r.scratch.Get().(*routeScratch)
@@ -169,6 +186,9 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 	if r.repair != nil {
 		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {
 			r.scratch.Put(sc)
+			if r.tracer != nil {
+				r.traceOutcome(trace.OutcomeError, "partitioned")
+			}
 			return nil, ErrPartitioned
 		}
 	}
@@ -182,17 +202,34 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 	if err == nil {
 		res.Path = append([]gc.NodeID(nil), path...)
 	}
+	abandoned := len(path) - 1
 	sc.path = path[:0] // retain the grown buffer for the next route
 	r.scratch.Put(sc)
 	if err == nil {
+		if r.tracer != nil {
+			r.traceOutcome(trace.OutcomeOK, "")
+		}
 		return res, nil
 	}
 	if !r.fallback {
+		if r.tracer != nil {
+			r.traceAbandoned(abandoned)
+			r.traceOutcome(trace.OutcomeError, "unreachable")
+		}
 		return nil, err
 	}
 	fb := r.bfsFallback(s, d)
 	if fb == nil {
+		if r.tracer != nil {
+			r.traceAbandoned(abandoned)
+			r.traceOutcome(trace.OutcomeError, "unreachable")
+		}
 		return nil, ErrUnreachable
+	}
+	if r.tracer != nil {
+		r.traceAbandoned(abandoned)
+		r.traceFallbackPath(fb)
+		r.traceOutcome(trace.OutcomeOK, "bfs-fallback")
 	}
 	res.Path = fb
 	res.UsedFallback = true
@@ -210,6 +247,9 @@ func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error)
 		return dst, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
 	}
 	if r.faults != nil && (r.faults.NodeFaulty(s) || r.faults.NodeFaulty(d)) {
+		if r.tracer != nil {
+			r.traceOutcome(trace.OutcomeError, "faulty-endpoint")
+		}
 		return dst, ErrFaultyEndpoint
 	}
 	sc := r.scratch.Get().(*routeScratch)
@@ -217,6 +257,9 @@ func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error)
 	if r.repair != nil {
 		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {
 			r.scratch.Put(sc)
+			if r.tracer != nil {
+				r.traceOutcome(trace.OutcomeError, "partitioned")
+			}
 			return dst, ErrPartitioned
 		}
 	}
@@ -224,17 +267,34 @@ func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error)
 	if err == nil {
 		dst = append(dst, path...)
 	}
+	abandoned := len(path) - 1
 	sc.path = path[:0]
 	r.scratch.Put(sc)
 	if err == nil {
+		if r.tracer != nil {
+			r.traceOutcome(trace.OutcomeOK, "")
+		}
 		return dst, nil
 	}
 	if !r.fallback {
+		if r.tracer != nil {
+			r.traceAbandoned(abandoned)
+			r.traceOutcome(trace.OutcomeError, "unreachable")
+		}
 		return dst, err
 	}
 	fb := r.bfsFallback(s, d)
 	if fb == nil {
+		if r.tracer != nil {
+			r.traceAbandoned(abandoned)
+			r.traceOutcome(trace.OutcomeError, "unreachable")
+		}
 		return dst, ErrUnreachable
+	}
+	if r.tracer != nil {
+		r.traceAbandoned(abandoned)
+		r.traceFallbackPath(fb)
+		r.traceOutcome(trace.OutcomeOK, "bfs-fallback")
 	}
 	return append(dst, fb...), nil
 }
@@ -278,6 +338,48 @@ func (h healthyView) Neighbors(v gc.NodeID) []gc.NodeID {
 		}
 	}
 	return out
+}
+
+// Tracing emission helpers. Every call site is guarded by a tracer nil
+// check, so a tracer-less router pays one untaken branch per site and
+// allocates nothing (the regression the alloc tests pin).
+
+// emitHop records one committed hop; the event kind splits at alpha —
+// a tree hop between ending classes below it, a cube-dimension flip at
+// or above it.
+func (r *Router) emitHop(from, to gc.NodeID, dim uint) {
+	k := trace.KindFlip
+	if dim < r.cube.Alpha() {
+		k = trace.KindHop
+	}
+	r.tracer.Emit(trace.Event{Kind: k, Dim: uint8(dim), From: uint32(from), To: uint32(to)})
+}
+
+// emitPathHops emits hop events for every transition of path.
+func (r *Router) emitPathHops(path []gc.NodeID) {
+	for i := 1; i < len(path); i++ {
+		r.emitHop(path[i-1], path[i], uint(bitutil.LowestBit(uint64(path[i-1]^path[i]))))
+	}
+}
+
+// traceAbandoned rolls the trace back over the hops of an abandoned
+// strategy attempt, keeping the stream replayable.
+func (r *Router) traceAbandoned(hops int) {
+	if hops > 0 {
+		r.tracer.Emit(trace.Event{Kind: trace.KindRollback, Arg: int32(hops)})
+	}
+}
+
+// traceFallbackPath narrates the BFS last resort as a detour.
+func (r *Router) traceFallbackPath(fb []gc.NodeID) {
+	r.tracer.Emit(trace.Event{Kind: trace.KindDetourEnter, Note: "bfs-fallback"})
+	r.emitPathHops(fb)
+	r.tracer.Emit(trace.Event{Kind: trace.KindDetourExit})
+}
+
+// traceOutcome terminates one route's narrative.
+func (r *Router) traceOutcome(arg int32, note string) {
+	r.tracer.Emit(trace.Event{Kind: trace.KindOutcome, Arg: arg, Note: note})
 }
 
 // subcubeRoute runs the selected fault-tolerant substrate inside a GEEC

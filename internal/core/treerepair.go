@@ -21,6 +21,7 @@ package core
 import (
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/gtree"
+	"gaussiancube/internal/trace"
 )
 
 const (
@@ -52,12 +53,32 @@ func (r *Router) repairDetour(path []gc.NodeID, cur gc.NodeID, to gtree.Node, di
 		}
 		leg, err := r.routeNested(path, cur, w, depth+1)
 		if err != nil {
+			if r.tracer != nil {
+				r.traceAbandoned(len(leg) - mark)
+			}
 			path = path[:mark]
 			continue
+		}
+		// Cross the severed tree edge at the surviving realization. The
+		// crossing hop follows its annotation so the narrative names the
+		// frame before the walk advances through it.
+		if r.tracer != nil {
+			cause := trace.CatB
+			if r.faults.NodeFaulty(cur ^ (1 << dim)) {
+				cause = trace.CatC
+			}
+			r.tracer.Emit(trace.Event{
+				Kind: trace.KindRepairCrossing, Cat: cause,
+				Dim: uint8(dim), From: uint32(w), To: uint32(land),
+			})
+			r.emitHop(w, land, dim)
 		}
 		leg = append(leg, land)
 		full, err := r.routeNested(leg, land, d, depth+1)
 		if err != nil {
+			if r.tracer != nil {
+				r.traceAbandoned(len(full) - mark)
+			}
 			path = path[:mark]
 			continue
 		}

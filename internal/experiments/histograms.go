@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/simnet"
+	"gaussiancube/internal/trace"
+)
+
+// DistributionReport is the full-shape counterpart of the figures'
+// point averages: merged latency and hop histograms over a sweep
+// point's seed replicates, plus (optionally) the sampled route
+// narratives of the first replicate. cmd/gcbench serializes it as the
+// CI bench artifact, so a regression in the distribution tail — which
+// a mean would hide — is visible run over run.
+type DistributionReport struct {
+	N       uint               `json:"n"`
+	Alpha   uint               `json:"alpha"`
+	Arrival float64            `json:"arrival"`
+	Seeds   int                `json:"seeds"`
+	Latency *metrics.Histogram `json:"latency"`
+	Hops    *metrics.Histogram `json:"hops"`
+	Traced  int                `json:"traced,omitempty"`
+	Trace   []trace.Event      `json:"trace,omitempty"`
+}
+
+// Distributions runs the sweep point (n, alpha) once per seed with
+// histogram collection on and merges the per-seed histograms into one
+// report. When traceEvery is positive, the first seed's run samples
+// every traceEvery-th packet into the report's Trace field.
+func Distributions(n, alpha uint, sweep SimSweep, buckets, traceEvery int) (*DistributionReport, error) {
+	rep := &DistributionReport{N: n, Alpha: alpha, Arrival: sweep.Arrival, Seeds: len(sweep.Seeds)}
+	ring := trace.NewRing(1 << 13)
+	for i, seed := range sweep.Seeds {
+		cfg := simnet.Config{
+			N: n, Alpha: alpha,
+			Arrival: sweep.Arrival, GenCycles: sweep.GenCycles,
+			Seed:        seed,
+			HistBuckets: buckets,
+		}
+		if i == 0 && traceEvery > 0 {
+			cfg.TraceEvery = traceEvery
+			cfg.Tracer = ring
+		}
+		stats, err := simnet.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: point n=%d alpha=%d seed=%d: %w", n, alpha, seed, err)
+		}
+		if i == 0 && traceEvery > 0 {
+			rep.Traced = stats.Traced
+		}
+		if rep.Latency == nil {
+			rep.Latency, rep.Hops = stats.LatencyHist, stats.HopHist
+			continue
+		}
+		if err := rep.Latency.Merge(stats.LatencyHist); err != nil {
+			return nil, err
+		}
+		if err := rep.Hops.Merge(stats.HopHist); err != nil {
+			return nil, err
+		}
+	}
+	if traceEvery > 0 {
+		rep.Trace = ring.Events()
+	}
+	return rep, nil
+}

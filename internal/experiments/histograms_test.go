@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gaussiancube/internal/trace"
+)
+
+// TestDistributions checks that the merged report covers every seed
+// replicate (histogram count equals the sum of per-seed deliveries)
+// and that the sampled trace splits into replayable packet segments.
+func TestDistributions(t *testing.T) {
+	sweep := QuickSweep()
+	rep, err := Distributions(7, 1, sweep, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seeds != len(sweep.Seeds) {
+		t.Fatalf("Seeds = %d, want %d", rep.Seeds, len(sweep.Seeds))
+	}
+	if rep.Latency == nil || rep.Hops == nil {
+		t.Fatal("histograms missing from report")
+	}
+	lc, hc := rep.Latency.Stats().Count(), rep.Hops.Stats().Count()
+	if lc == 0 || lc != hc {
+		t.Fatalf("latency count %d and hop count %d must match and be positive", lc, hc)
+	}
+	if rep.Traced == 0 || len(rep.Trace) == 0 {
+		t.Fatalf("first replicate not traced: Traced=%d, %d events", rep.Traced, len(rep.Trace))
+	}
+	segs := trace.SplitPackets(rep.Trace)
+	if len(segs) != rep.Traced {
+		t.Fatalf("trace splits into %d segments, Traced = %d", len(segs), rep.Traced)
+	}
+	for i, seg := range segs {
+		m := seg[0]
+		if m.Kind != trace.KindPacket {
+			t.Fatalf("segment %d does not start with a packet marker", i)
+		}
+		if _, err := trace.Replay(m.From, seg[1:]); err != nil {
+			t.Fatalf("segment %d does not replay: %v", i, err)
+		}
+	}
+}
+
+// TestDistributionReportJSON round-trips the CI artifact schema: the
+// histogram fields must carry enough to recompute counts/quantiles and
+// the trace events must keep their kinds across encode/decode.
+func TestDistributionReportJSON(t *testing.T) {
+	rep, err := Distributions(6, 1, QuickSweep(), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		N       uint `json:"n"`
+		Latency struct {
+			Count int64   `json:"count"`
+			Mean  float64 `json:"mean"`
+		} `json:"latency"`
+		Hops struct {
+			Count int64 `json:"count"`
+		} `json:"hops"`
+		Trace []struct {
+			Kind string `json:"kind"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if decoded.N != 6 {
+		t.Fatalf("n = %d after round trip", decoded.N)
+	}
+	if decoded.Latency.Count != rep.Latency.Stats().Count() {
+		t.Fatalf("latency count %d != %d", decoded.Latency.Count, rep.Latency.Stats().Count())
+	}
+	if decoded.Hops.Count == 0 {
+		t.Fatal("hop histogram lost its samples in JSON")
+	}
+	if len(decoded.Trace) == 0 || decoded.Trace[0].Kind != "packet" {
+		t.Fatalf("trace events lost kinds: %+v", decoded.Trace[:min(3, len(decoded.Trace))])
+	}
+}

@@ -1,0 +1,84 @@
+package gtree
+
+import (
+	"testing"
+
+	"gaussiancube/internal/graph"
+)
+
+// TestCTExhaustiveSmallTrees proves the closed-traverse contract over
+// EVERY (root, destination-subset) pair of the small trees, not a
+// random sample: the walk is closed at r, visits every destination,
+// never leaves the Steiner subtree spanning {r} and the destinations,
+// and has exactly 2·|Steiner edges| + 1 vertices — each subtree edge
+// crossed exactly twice, the Euler-tour optimum.
+func TestCTExhaustiveSmallTrees(t *testing.T) {
+	for alpha := uint(0); alpha <= 3; alpha++ {
+		tr := New(alpha)
+		nodes := tr.Nodes()
+		for r := Node(0); int(r) < nodes; r++ {
+			for mask := 0; mask < 1<<nodes; mask++ {
+				var dests []Node
+				for v := 0; v < nodes; v++ {
+					if mask&(1<<v) != 0 {
+						dests = append(dests, Node(v))
+					}
+				}
+				walk := tr.CT(r, dests)
+				checkClosedWalk(t, tr, r, dests, walk)
+
+				steiner := tr.SteinerEdges(r, dests)
+				if got, want := len(walk), 2*len(steiner)+1; got != want {
+					t.Fatalf("alpha=%d r=%d dests=%v: walk has %d vertices, want %d (2·%d Steiner edges + 1)",
+						alpha, r, dests, got, want, len(steiner))
+				}
+				crossed := make(map[graph.Edge]int)
+				for i := 1; i < len(walk); i++ {
+					crossed[graph.Edge{U: walk[i-1], V: walk[i]}.Normalize()]++
+				}
+				for e, k := range crossed {
+					if !steiner[e] {
+						t.Fatalf("alpha=%d r=%d dests=%v: walk leaves the Steiner subtree via edge %v",
+							alpha, r, dests, e)
+					}
+					if k != 2 {
+						t.Fatalf("alpha=%d r=%d dests=%v: edge %v crossed %d times, want exactly 2",
+							alpha, r, dests, e, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPCExhaustiveSmallTrees proves the path-construction contract
+// over every ordered vertex pair of the small trees: PC(s, d) is a
+// simple path from s to d of exactly Dist(s, d) edges — the unique
+// tree path, since any longer walk would repeat a vertex.
+func TestPCExhaustiveSmallTrees(t *testing.T) {
+	for alpha := uint(0); alpha <= 4; alpha++ {
+		tr := New(alpha)
+		nodes := tr.Nodes()
+		for s := Node(0); int(s) < nodes; s++ {
+			for d := Node(0); int(d) < nodes; d++ {
+				p := tr.PC(s, d)
+				if p[0] != s || p[len(p)-1] != d {
+					t.Fatalf("alpha=%d: PC(%d,%d) has wrong endpoints: %v", alpha, s, d, p)
+				}
+				if !graph.IsValidWalk(tr, p) {
+					t.Fatalf("alpha=%d: PC(%d,%d) is not a walk: %v", alpha, s, d, p)
+				}
+				if got, want := len(p)-1, tr.Dist(s, d); got != want {
+					t.Fatalf("alpha=%d: PC(%d,%d) has %d edges, Dist says %d", alpha, s, d, got, want)
+				}
+				seen := make(map[Node]bool, len(p))
+				for _, v := range p {
+					if seen[v] {
+						t.Fatalf("alpha=%d: PC(%d,%d) repeats vertex %d: %v", alpha, s, d, v, p)
+					}
+					seen[v] = true
+				}
+			}
+		}
+	}
+}

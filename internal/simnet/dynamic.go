@@ -10,8 +10,8 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
-	"gaussiancube/internal/metrics"
 	"gaussiancube/internal/repair"
+	"gaussiancube/internal/trace"
 	"gaussiancube/internal/workload"
 )
 
@@ -40,13 +40,7 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	stats := &Stats{DropReasons: make(map[string]int)}
-	if cfg.HistBuckets > 0 {
-		top := cfg.HistMax
-		if top <= 0 {
-			top = 256
-		}
-		stats.LatencyHist = metrics.NewHistogram(0, top, cfg.HistBuckets)
-	}
+	initHists(stats, &cfg)
 
 	// Ground truth for local discovery in adaptive mode.
 	var oracle core.Oracle
@@ -76,7 +70,7 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 	// The static planner routes whole paths against a frozen snapshot
 	// of the current fault state; it is rebuilt on every epoch
 	// transition.
-	var planner *core.Router
+	var planner, tracedPlanner *core.Router
 	buildPlanner := func() {
 		opts := []core.Option{core.WithSubstrate(cfg.Substrate)}
 		switch {
@@ -89,6 +83,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 			opts = append(opts, core.WithRepair(health))
 		}
 		planner = core.NewRouter(cube, opts...)
+		if cfg.TraceEvery > 0 {
+			tracedPlanner = core.NewRouter(cube, append(opts, core.WithTracer(cfg.Tracer))...)
+		}
 	}
 	buildPlanner()
 
@@ -114,14 +111,24 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 		cache.InvalidateTo(token)
 	}
 
-	lookupRoute := func(src, dst gc.NodeID) ([]gc.NodeID, error) {
+	lookupRoute := func(src, dst gc.NodeID, sampled bool) ([]gc.NodeID, error) {
+		r := planner
+		if sampled {
+			r = tracedPlanner
+		}
 		if cache != nil {
 			if p, ok := cache.Get(src, dst); ok {
 				stats.RouteCacheHits++
+				if sampled {
+					narrateCached(cfg.Tracer, cube, src, dst, p)
+				}
 				return p, nil
 			}
+			if sampled {
+				cfg.Tracer.Emit(trace.Event{Kind: trace.KindCacheMiss, From: uint32(src), To: uint32(dst)})
+			}
 		}
-		res, err := planner.Route(src, dst)
+		res, err := r.Route(src, dst)
 		if err != nil {
 			return nil, err
 		}
@@ -147,11 +154,17 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 	}
 	offer := func(src, dst gc.NodeID, t int) {
 		stats.Generated++
+		pk := &packet{created: t, dst: dst}
+		if cfg.TraceEvery > 0 && (stats.Generated-1)%cfg.TraceEvery == 0 {
+			stats.Traced++
+			pk.sampled = true
+			pk.genIdx = int32(stats.Generated - 1)
+		}
 		seq++
 		heap.Push(&queue, &event{
 			time:   t,
 			seq:    seq,
-			packet: &packet{created: t, dst: dst},
+			packet: pk,
 			node:   src,
 		})
 	}
@@ -159,12 +172,12 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 	if cfg.Trace != nil {
 		// Trace times must be non-decreasing for the admission fork to
 		// replay fault state correctly; sort defensively.
-		trace := cfg.Trace
-		if !sort.SliceIsSorted(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time }) {
-			trace = append([]Packet(nil), trace...)
-			sort.SliceStable(trace, func(i, j int) bool { return trace[i].Time < trace[j].Time })
+		pkts := cfg.Trace
+		if !sort.SliceIsSorted(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time }) {
+			pkts = append([]Packet(nil), pkts...)
+			sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
 		}
-		for _, p := range trace {
+		for _, p := range pkts {
 			if faultyAt(p.Src, p.Time) || faultyAt(p.Dst, p.Time) {
 				continue
 			}
@@ -205,6 +218,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 			if stats.LatencyHist != nil {
 				stats.LatencyHist.Add(float64(e.time - p.created))
 			}
+			if stats.HopHist != nil {
+				stats.HopHist.Add(float64(hops))
+			}
 		}
 		if e.time > stats.Makespan {
 			stats.Makespan = e.time
@@ -240,13 +256,19 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 		}
 		p := e.packet
 		if cfg.Adaptive {
-			stepAdaptive(e, p, adaptive, stats, deliver, move, requeue)
+			stepAdaptive(e, p, adaptive, cfg.Tracer, stats, deliver, move, requeue)
 			continue
 		}
 
 		// Static plan-at-source forwarding over the evolving network.
 		if p.path == nil {
-			path, err := lookupRoute(e.node, p.dst)
+			// Routing happens here, at emission time; the marker and the
+			// route narrative are emitted synchronously, so the sampled
+			// packet's segment stays contiguous in the stream.
+			if p.sampled {
+				cfg.Tracer.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(e.node), To: uint32(p.dst), Arg: p.genIdx})
+			}
+			path, err := lookupRoute(e.node, p.dst, p.sampled)
 			if err != nil {
 				stats.Undeliverable++
 				if errors.Is(err, core.ErrPartitioned) {
@@ -270,7 +292,12 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 				continue
 			}
 			if loopDyn.LinkFaulty(e.node, dim) || loopDyn.NodeFaulty(next) {
-				path, err := lookupRoute(e.node, p.dst)
+				// A sampled packet's reroute opens a fresh segment under the
+				// same generation index; the "reroute" note ties the two.
+				if p.sampled {
+					cfg.Tracer.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(e.node), To: uint32(p.dst), Arg: p.genIdx, Note: "reroute"})
+				}
+				path, err := lookupRoute(e.node, p.dst, p.sampled)
 				if err != nil {
 					stats.Dropped++
 					if errors.Is(err, core.ErrPartitioned) {
@@ -313,14 +340,27 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 }
 
 // stepAdaptive advances one adaptive packet by one stepper decision.
-func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, stats *Stats,
+// A sampled packet's flight narrates into its private ring (the event
+// loop interleaves flights, so emitting straight into the shared
+// tracer would shuffle the streams); the buffered segment is flushed
+// to tr in one piece when the flight terminates.
+func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, tr trace.Tracer, stats *Stats,
 	deliver func(*event, *packet, int), move func(*event, gc.NodeID),
 	requeue func(*event, int)) {
 	if p.flight == nil {
-		fl, err := ar.Start(e.node, p.dst)
+		var fl *core.Flight
+		var err error
+		if p.sampled {
+			p.ring = trace.NewRing(flightTraceCapacity)
+			p.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(e.node), To: uint32(p.dst), Arg: p.genIdx})
+			fl, err = ar.StartTraced(e.node, p.dst, p.ring)
+		} else {
+			fl, err = ar.Start(e.node, p.dst)
+		}
 		if err != nil {
 			// The source died between admission and emission.
 			stats.Undeliverable++
+			flushFlightTrace(tr, p)
 			return
 		}
 		p.flight = fl
@@ -338,6 +378,7 @@ func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, stats *Stats,
 			stats.Degraded++
 		}
 		stats.DetourHops.Add(float64(p.flight.DetourHops()))
+		flushFlightTrace(tr, p)
 		deliver(e, p, p.flight.Hops())
 	case core.StepFail:
 		finishAdaptive(stats, p.flight)
@@ -350,7 +391,27 @@ func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, stats *Stats,
 		} else {
 			stats.Dropped++
 		}
+		flushFlightTrace(tr, p)
 	}
+}
+
+// flightTraceCapacity bounds a sampled flight's private event buffer.
+// A flight is TTL-bounded (8·(n+1) hops by default) and emits a
+// handful of events per hop, so 4096 never wraps in practice; if an
+// extreme configuration does wrap, the ring keeps the newest events
+// and the flush preserves what survived.
+const flightTraceCapacity = 4096
+
+// flushFlightTrace copies a terminated sampled flight's buffered
+// narrative into the run tracer as one contiguous segment.
+func flushFlightTrace(tr trace.Tracer, p *packet) {
+	if p.ring == nil {
+		return
+	}
+	for _, ev := range p.ring.Events() {
+		tr.Emit(ev)
+	}
+	p.ring = nil
 }
 
 // finishAdaptive folds a terminal flight's counters into the stats.

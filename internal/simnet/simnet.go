@@ -33,11 +33,13 @@ import (
 	"math/rand"
 	"sort"
 
+	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/metrics"
 	"gaussiancube/internal/repair"
+	"gaussiancube/internal/trace"
 	"gaussiancube/internal/workload"
 )
 
@@ -125,6 +127,21 @@ type Config struct {
 	// source or destination is faulty are skipped (assumption 1).
 	Trace []Packet
 
+	// TraceEvery, when positive, samples every TraceEvery-th generated
+	// packet for route tracing: the sampled packet's route narrative —
+	// a trace.KindPacket marker carrying (src, dst, sample index),
+	// the cache consultation as KindCacheHit/KindCacheMiss, and the
+	// hop-by-hop events of the routing strategy — is emitted to Tracer.
+	// Unsampled packets route through the untraced hot path, so
+	// sampling leaves the run's throughput character intact. Requires
+	// Tracer to be set.
+	TraceEvery int
+	// Tracer receives the sampled packets' event streams. Each sampled
+	// packet's segment is contiguous (adaptive flights buffer into a
+	// private ring and flush at termination), so trace.SplitPackets
+	// recovers per-packet narratives.
+	Tracer trace.Tracer
+
 	Substrate core.Substrate
 }
 
@@ -193,9 +210,16 @@ type Stats struct {
 	// LatencyHist is the latency distribution when Config.HistBuckets
 	// is positive, nil otherwise.
 	LatencyHist *metrics.Histogram
+	// HopHist is the delivered-packet hop-count distribution in
+	// unit-width buckets, collected alongside LatencyHist when
+	// Config.HistBuckets is positive; nil otherwise.
+	HopHist *metrics.Histogram
 	// RouteCacheHits counts cache hits when route caching is enabled
 	// (Config.CacheRoutes or Config.RouteCache).
 	RouteCacheHits int
+	// Traced counts the packets sampled for route tracing
+	// (Config.TraceEvery).
+	Traced int
 }
 
 // AvgLatency returns LP/DP, the paper's average latency metric.
@@ -244,6 +268,13 @@ type packet struct {
 	// flight is the per-hop adaptive routing state (timeline engine
 	// with Config.Adaptive only; nil otherwise).
 	flight *core.Flight
+	// sampled marks the packet for route tracing (Config.TraceEvery);
+	// genIdx is its offered position, carried in the KindPacket marker.
+	sampled bool
+	genIdx  int32
+	// ring buffers a sampled adaptive flight's events privately so
+	// interleaved flights stay contiguous; flushed at termination.
+	ring *trace.Ring
 }
 
 type eventQueue []*event
@@ -273,6 +304,9 @@ func Run(cfg Config) (*Stats, error) {
 	if cfg.Arrival <= 0 || cfg.Arrival > 1 {
 		return nil, fmt.Errorf("simnet: arrival rate %v out of (0,1]", cfg.Arrival)
 	}
+	if cfg.TraceEvery > 0 && cfg.Tracer == nil {
+		return nil, errors.New("simnet: TraceEvery requires a Tracer")
+	}
 	service := cfg.ServiceCycles
 	if service <= 0 {
 		service = 1
@@ -296,16 +330,16 @@ func Run(cfg Config) (*Stats, error) {
 		opts = append(opts, core.WithRepair(health))
 	}
 	router := core.NewRouter(cube, opts...)
+	// Sampled packets route through a second, tracer-attached router so
+	// the unsampled hot path stays exactly as fast as an untraced run.
+	var tracedRouter *core.Router
+	if cfg.TraceEvery > 0 {
+		tracedRouter = core.NewRouter(cube, append(opts[:len(opts):len(opts)], core.WithTracer(cfg.Tracer))...)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	stats := &Stats{}
-	if cfg.HistBuckets > 0 {
-		top := cfg.HistMax
-		if top <= 0 {
-			top = 256
-		}
-		stats.LatencyHist = metrics.NewHistogram(0, top, cfg.HistBuckets)
-	}
+	initHists(stats, &cfg)
 	var queue eventQueue
 	seq := 0
 
@@ -324,12 +358,21 @@ func Run(cfg Config) (*Stats, error) {
 		cache.InvalidateTo(token)
 		defer func() { stats.CacheInvalidations = int(cache.Invalidations() - base) }()
 	}
-	lookupRoute := func(src, dst gc.NodeID) ([]gc.NodeID, error) {
+	lookupRoute := func(src, dst gc.NodeID, sampled bool) ([]gc.NodeID, error) {
 		r := router
+		if sampled {
+			r = tracedRouter
+		}
 		if cache != nil {
 			if p, ok := cache.Get(src, dst); ok {
 				stats.RouteCacheHits++
+				if sampled {
+					narrateCached(cfg.Tracer, cube, src, dst, p)
+				}
 				return p, nil
+			}
+			if sampled {
+				cfg.Tracer.Emit(trace.Event{Kind: trace.KindCacheMiss, From: uint32(src), To: uint32(dst)})
 			}
 		}
 		res, err := r.Route(src, dst)
@@ -347,7 +390,12 @@ func Run(cfg Config) (*Stats, error) {
 
 	inject := func(src, dst gc.NodeID, t int) {
 		stats.Generated++
-		path, err := lookupRoute(src, dst)
+		sampled := cfg.TraceEvery > 0 && (stats.Generated-1)%cfg.TraceEvery == 0
+		if sampled {
+			stats.Traced++
+			cfg.Tracer.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(src), To: uint32(dst), Arg: int32(stats.Generated - 1)})
+		}
+		path, err := lookupRoute(src, dst, sampled)
 		if err != nil {
 			stats.Undeliverable++
 			if errors.Is(err, core.ErrPartitioned) {
@@ -415,6 +463,9 @@ func Run(cfg Config) (*Stats, error) {
 				if stats.LatencyHist != nil {
 					stats.LatencyHist.Add(float64(e.time - p.created))
 				}
+				if stats.HopHist != nil {
+					stats.HopHist.Add(float64(len(p.path) - 1))
+				}
 			}
 			if e.time > stats.Makespan {
 				stats.Makespan = e.time
@@ -456,6 +507,47 @@ func Run(cfg Config) (*Stats, error) {
 		stats.Hottest = stats.Hottest[:5]
 	}
 	return stats, nil
+}
+
+// initHists allocates the optional latency and hop histograms when
+// Config.HistBuckets asks for them. Latency buckets span [0, HistMax);
+// hop buckets are unit-width up to four tree traversals' worth of hops
+// (the adaptive TTL scale), so no realistic route lands in the
+// overflow bucket.
+func initHists(stats *Stats, cfg *Config) {
+	if cfg.HistBuckets <= 0 {
+		return
+	}
+	top := cfg.HistMax
+	if top <= 0 {
+		top = 256
+	}
+	stats.LatencyHist = metrics.NewHistogram(0, top, cfg.HistBuckets)
+	hopTop := 4 * (int(cfg.N) + 1)
+	stats.HopHist = metrics.NewHistogram(0, float64(hopTop), hopTop)
+}
+
+// narrateCached emits the narrative of a cache-served route: the hit
+// marker followed by the cached path replayed hop by hop, so a sampled
+// packet's segment is complete (and replayable) without re-running the
+// strategy.
+func narrateCached(t trace.Tracer, c *gc.Cube, src, dst gc.NodeID, path []gc.NodeID) {
+	t.Emit(trace.Event{Kind: trace.KindCacheHit, From: uint32(src), To: uint32(dst)})
+	emitPathHops(t, c, path)
+	t.Emit(trace.Event{Kind: trace.KindOutcome, Arg: trace.OutcomeOK, Note: "cached"})
+}
+
+// emitPathHops replays a concrete path as hop/flip events (split at
+// alpha, like the router's own narration).
+func emitPathHops(t trace.Tracer, c *gc.Cube, path []gc.NodeID) {
+	for i := 1; i < len(path); i++ {
+		dim := uint(bitutil.LowestBit(uint64(path[i-1] ^ path[i])))
+		k := trace.KindFlip
+		if dim < c.Alpha() {
+			k = trace.KindHop
+		}
+		t.Emit(trace.Event{Kind: k, Dim: uint8(dim), From: uint32(path[i-1]), To: uint32(path[i])})
+	}
 }
 
 type linkID struct {

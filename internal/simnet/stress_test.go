@@ -1,0 +1,118 @@
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/trace"
+)
+
+// TestConcurrentTracedRouting hammers one traced Router and one shared
+// RouteCache from 8 goroutines (run under -race in CI): every route
+// must stay valid, the shared AtomicHistogram must lose no samples
+// relative to the per-goroutine tallies, and the shared trace ring must
+// account for every event it was handed.
+func TestConcurrentTracedRouting(t *testing.T) {
+	const (
+		workers = 8
+		pairs   = 300
+	)
+	cube := gc.New(10, 2)
+	fs := fault.NewSet(cube)
+	fs.InjectRandomNodes(rand.New(rand.NewSource(11)), 12)
+	fs.InjectRandomLinks(rand.New(rand.NewSource(12)), 12)
+	fs = fs.Freeze()
+
+	ring := trace.NewRing(1 << 12)
+	router := core.NewRouter(cube, core.WithFaults(fs), core.WithTracer(ring))
+	cache := NewRouteCache(256)
+
+	shared := metrics.NewAtomicHistogram(0, 64, 64)
+	locals := make([]*metrics.AtomicHistogram, workers)
+	var delivered [workers]int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		locals[w] = metrics.NewAtomicHistogram(0, 64, 64)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < pairs; i++ {
+				s := gc.NodeID(rng.Intn(cube.Nodes()))
+				d := gc.NodeID(rng.Intn(cube.Nodes()))
+				if fs.NodeFaulty(s) || fs.NodeFaulty(d) {
+					continue
+				}
+				path, ok := cache.Get(s, d)
+				if !ok {
+					res, err := router.Route(s, d)
+					if err != nil {
+						continue
+					}
+					path = res.Path
+					cache.Put(s, d, path)
+				}
+				if err := core.ValidatePath(cube, fs, path, s, d); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				hops := float64(len(path) - 1)
+				shared.Add(hops)
+				locals[w].Add(hops)
+				delivered[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var want int64
+	merged := metrics.NewAtomicHistogram(0, 64, 64)
+	for w := 0; w < workers; w++ {
+		want += delivered[w]
+		if locals[w].Count() != delivered[w] {
+			t.Errorf("worker %d histogram lost samples: %d vs %d", w, locals[w].Count(), delivered[w])
+		}
+		if err := merged.MergeAtomic(locals[w]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want == 0 {
+		t.Fatal("no routes delivered; stress test exercised nothing")
+	}
+	if shared.Count() != want {
+		t.Errorf("shared histogram count %d, per-goroutine sum %d", shared.Count(), want)
+	}
+	if merged.Count() != shared.Count() {
+		t.Errorf("merged per-goroutine count %d != shared count %d", merged.Count(), shared.Count())
+	}
+	for i := 0; i < merged.Buckets(); i++ {
+		if merged.Bucket(i) != shared.Bucket(i) {
+			t.Errorf("bucket %d diverges after merge: %d vs %d", i, merged.Bucket(i), shared.Bucket(i))
+		}
+	}
+	if merged.Sum() != shared.Sum() {
+		t.Errorf("merged sum %v != shared sum %v", merged.Sum(), shared.Sum())
+	}
+
+	if ring.Total() == 0 {
+		t.Fatal("traced router emitted nothing")
+	}
+	events := ring.Events()
+	wantLen := int(ring.Total())
+	if wantLen > 1<<12 {
+		wantLen = 1 << 12
+	}
+	if len(events) != wantLen {
+		t.Errorf("ring holds %d events, want %d (total %d, cap %d)", len(events), wantLen, ring.Total(), 1<<12)
+	}
+	for i, e := range events {
+		if e.Kind.String() == "unknown" {
+			t.Fatalf("event %d has corrupt kind %d: concurrent emission tore an event", i, e.Kind)
+		}
+	}
+}

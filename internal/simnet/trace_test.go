@@ -1,0 +1,165 @@
+package simnet
+
+import (
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/trace"
+)
+
+// replaySegment replays one sampled packet's segment: the leading
+// KindPacket marker gives the source, the rest must walk to a
+// destination.
+func replaySegment(t *testing.T, seg []trace.Event) []uint32 {
+	t.Helper()
+	if len(seg) == 0 || seg[0].Kind != trace.KindPacket {
+		t.Fatalf("segment does not start with a packet marker: %+v", seg)
+	}
+	walk, err := trace.Replay(seg[0].From, seg[1:])
+	if err != nil {
+		t.Fatalf("segment replay failed: %v\nsegment: %+v", err, seg)
+	}
+	return walk
+}
+
+func TestRunTraceSampling(t *testing.T) {
+	ring := trace.NewRing(1 << 16)
+	cfg := Config{
+		N: 8, Alpha: 2,
+		Arrival: 0.3, GenCycles: 10,
+		Seed:        5,
+		HistBuckets: 64,
+		TraceEvery:  3,
+		Tracer:      ring,
+	}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTraced := (stats.Generated + cfg.TraceEvery - 1) / cfg.TraceEvery
+	if stats.Traced != wantTraced {
+		t.Fatalf("Traced = %d, want %d of %d generated", stats.Traced, wantTraced, stats.Generated)
+	}
+	segs := trace.SplitPackets(ring.Events())
+	if len(segs) != stats.Traced {
+		t.Fatalf("stream has %d packet segments, Traced = %d", len(segs), stats.Traced)
+	}
+	for _, seg := range segs {
+		walk := replaySegment(t, seg)
+		if walk[len(walk)-1] != seg[0].To {
+			t.Fatalf("segment walk ends at %d, marker destination %d", walk[len(walk)-1], seg[0].To)
+		}
+		last := seg[len(seg)-1]
+		if last.Kind != trace.KindOutcome || last.Arg != trace.OutcomeOK {
+			t.Fatalf("segment does not end with an OK outcome: %+v", last)
+		}
+	}
+	// The hop histogram covers exactly the measured packets and agrees
+	// with the hop stream's totals.
+	if stats.HopHist == nil {
+		t.Fatal("HistBuckets set but HopHist nil")
+	}
+	if got, want := stats.HopHist.Stats().Count(), int64(stats.Measured); got != want {
+		t.Fatalf("HopHist.Count = %d, Measured = %d", got, want)
+	}
+	if got, want := stats.HopHist.Stats().Mean(), stats.Hops.Mean(); got != want {
+		t.Fatalf("HopHist.Mean = %v, Hops.Mean = %v", got, want)
+	}
+}
+
+func TestRunTraceRequiresTracer(t *testing.T) {
+	_, err := Run(Config{N: 6, Alpha: 1, Arrival: 0.1, GenCycles: 2, TraceEvery: 2})
+	if err == nil {
+		t.Fatal("TraceEvery without Tracer should be rejected")
+	}
+}
+
+func TestRunTraceSamplingWithCache(t *testing.T) {
+	ring := trace.NewRing(1 << 16)
+	cfg := Config{
+		N: 7, Alpha: 2,
+		Arrival: 0.4, GenCycles: 12,
+		Seed:        11,
+		CacheRoutes: true,
+		TraceEvery:  2,
+		Tracer:      ring,
+	}
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RouteCacheHits == 0 {
+		t.Skip("no cache hits in this configuration; nothing to assert")
+	}
+	hits, misses := 0, 0
+	for _, seg := range trace.SplitPackets(ring.Events()) {
+		replaySegment(t, seg) // cached segments must replay too
+		for _, e := range seg {
+			switch e.Kind {
+			case trace.KindCacheHit:
+				hits++
+			case trace.KindCacheMiss:
+				misses++
+			}
+		}
+	}
+	if hits+misses != stats.Traced {
+		t.Fatalf("cache events %d+%d, traced packets %d", hits, misses, stats.Traced)
+	}
+	if hits == 0 {
+		t.Fatalf("run recorded %d cache hits but no sampled packet saw one (traced %d)",
+			stats.RouteCacheHits, stats.Traced)
+	}
+}
+
+func TestTimelineTraceSampling(t *testing.T) {
+	cube := gc.New(8, 2)
+	fs := fault.NewSet(cube)
+	fs.AddNode(3)
+	fs.AddNode(17)
+	for _, adaptive := range []bool{false, true} {
+		ring := trace.NewRing(1 << 16)
+		cfg := Config{
+			N: 8, Alpha: 2,
+			Arrival: 0.2, GenCycles: 8,
+			Seed:        23,
+			Faults:      fs,
+			Adaptive:    adaptive,
+			HistBuckets: 64,
+			TraceEvery:  4,
+			Tracer:      ring,
+		}
+		if !adaptive {
+			cfg.FaultAtCycle = 3 // force the timeline engine
+		}
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Traced == 0 {
+			t.Fatalf("adaptive=%v: no packets traced", adaptive)
+		}
+		segs := trace.SplitPackets(ring.Events())
+		if len(segs) < stats.Traced {
+			t.Fatalf("adaptive=%v: %d segments for %d traced packets", adaptive, len(segs), stats.Traced)
+		}
+		for _, seg := range segs {
+			walk := replaySegment(t, seg)
+			// Terminal outcomes are per-route verdicts; a segment that
+			// reached its destination must say so.
+			last := seg[len(seg)-1]
+			if last.Kind != trace.KindOutcome {
+				t.Fatalf("adaptive=%v: segment lacks terminal outcome: %+v", adaptive, seg)
+			}
+			delivered := last.Arg == trace.OutcomeOK ||
+				last.Arg == trace.OutcomeLadderBase+1 || last.Arg == trace.OutcomeLadderBase+2
+			if delivered && walk[len(walk)-1] != seg[0].To {
+				t.Fatalf("adaptive=%v: delivered segment ends at %d, want %d", adaptive, walk[len(walk)-1], seg[0].To)
+			}
+		}
+		if stats.HopHist != nil && stats.HopHist.Stats().Count() != int64(stats.Measured) {
+			t.Fatalf("adaptive=%v: HopHist.Count %d, Measured %d", adaptive, stats.HopHist.Stats().Count(), stats.Measured)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import "encoding/json"
+
+// eventJSON is the export schema of one event: symbolic kind and
+// cause, numeric operands, zero-valued fields omitted. It is the form
+// the CI bench artifact and the gcsim trace dump record.
+type eventJSON struct {
+	Kind string `json:"kind"`
+	Cat  string `json:"cat,omitempty"`
+	Dim  uint8  `json:"dim,omitempty"`
+	From uint32 `json:"from,omitempty"`
+	To   uint32 `json:"to,omitempty"`
+	Arg  int32  `json:"arg,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with symbolic kind/cause names
+// so dumped streams are readable without the numeric enum tables.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{
+		Kind: e.Kind.String(),
+		Dim:  e.Dim,
+		From: e.From,
+		To:   e.To,
+		Arg:  e.Arg,
+		Note: e.Note,
+	}
+	if e.Cat != CatNone {
+		j.Cat = e.Cat.String()
+	}
+	return json.Marshal(j)
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// Replay reconstructs the hop-by-hop walk a traced route took from its
+// event stream: Hop and Flip events extend the walk, Rollback events
+// truncate abandoned detour-candidate legs, everything else is
+// annotation. It validates the stream's internal consistency — every
+// hop must leave the node the previous one reached, rollbacks must not
+// undercut the source — and returns the walk (starting at src). The
+// differential tests assert that the replayed walk equals the path the
+// router returned.
+func Replay(src uint32, events []Event) ([]uint32, error) {
+	walk := []uint32{src}
+	for i, e := range events {
+		switch e.Kind {
+		case KindHop, KindFlip:
+			if cur := walk[len(walk)-1]; e.From != cur {
+				return nil, fmt.Errorf("trace: event %d (%s %d->%d) leaves node %d, but the walk is at %d",
+					i, e.Kind, e.From, e.To, e.From, cur)
+			}
+			walk = append(walk, e.To)
+		case KindRollback:
+			k := int(e.Arg)
+			if k < 0 || k > len(walk)-1 {
+				return nil, fmt.Errorf("trace: event %d rolls back %d hops, but only %d were taken",
+					i, k, len(walk)-1)
+			}
+			walk = walk[:len(walk)-k]
+		}
+	}
+	return walk, nil
+}
+
+// SplitPackets slices a shared ring's event stream into per-packet
+// segments at KindPacket markers. Events before the first marker (if
+// any) are dropped; each returned segment starts with its marker.
+func SplitPackets(events []Event) [][]Event {
+	var out [][]Event
+	start := -1
+	for i, e := range events {
+		if e.Kind == KindPacket {
+			if start >= 0 {
+				out = append(out, events[start:i])
+			}
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, events[start:])
+	}
+	return out
+}
+
+// Narrate prints the event stream as a human-readable hop narrative,
+// one line per event, indented by detour depth. bits, when positive,
+// renders node labels as zero-padded binary of that width (matching
+// gcroute's hop trace); otherwise labels are decimal.
+func Narrate(w io.Writer, events []Event, bits uint) {
+	depth := 0
+	node := func(v uint32) string {
+		if bits > 0 {
+			return fmt.Sprintf("%0*b", bits, v)
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	indent := func() string {
+		const pad = "    "
+		s := ""
+		for i := 0; i < depth; i++ {
+			s += pad
+		}
+		return s
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindHop:
+			fmt.Fprintf(w, "  %shop  %s -> %s (tree dim %d)\n", indent(), node(e.From), node(e.To), e.Dim)
+		case KindFlip:
+			fmt.Fprintf(w, "  %sflip %s -> %s (cube dim %d)\n", indent(), node(e.From), node(e.To), e.Dim)
+		case KindDetourEnter:
+			fmt.Fprintf(w, "  %sdetour enter [category %s] via %s\n", indent(), e.Cat, e.Note)
+			depth++
+		case KindDetourExit:
+			if depth > 0 {
+				depth--
+			}
+			fmt.Fprintf(w, "  %sdetour exit\n", indent())
+		case KindRollback:
+			fmt.Fprintf(w, "  %srollback %d hops (candidate abandoned)\n", indent(), e.Arg)
+		case KindRepairCrossing:
+			fmt.Fprintf(w, "  %srepair: crossing severed tree edge at %s -> %s (dim %d)\n",
+				indent(), node(e.From), node(e.To), e.Dim)
+		case KindCacheHit:
+			fmt.Fprintf(w, "  %sroute cache hit\n", indent())
+		case KindCacheMiss:
+			fmt.Fprintf(w, "  %sroute cache miss\n", indent())
+		case KindBackoff:
+			fmt.Fprintf(w, "  %sbackoff: wait %d cycles at %s\n", indent(), e.Arg, node(e.From))
+		case KindReplan:
+			fmt.Fprintf(w, "  %sreplan #%d from %s\n", indent(), e.Arg, node(e.From))
+		case KindOutcome:
+			if e.Note != "" {
+				fmt.Fprintf(w, "  outcome: %s (%s)\n", outcomeLabel(e.Arg), e.Note)
+			} else {
+				fmt.Fprintf(w, "  outcome: %s\n", outcomeLabel(e.Arg))
+			}
+			depth = 0
+		case KindPacket:
+			fmt.Fprintf(w, "packet #%d: %s -> %s\n", e.Arg, node(e.From), node(e.To))
+			depth = 0
+		}
+	}
+}
+
+// outcomeLabel renders a KindOutcome Arg. The ladder labels mirror
+// core.Outcome.String without importing core.
+func outcomeLabel(arg int32) string {
+	switch arg {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeError:
+		return "error"
+	case OutcomeLadderBase + 1:
+		return "delivered"
+	case OutcomeLadderBase + 2:
+		return "delivered-degraded"
+	case OutcomeLadderBase + 3:
+		return "undeliverable"
+	case OutcomeLadderBase + 4:
+		return "undeliverable-partitioned"
+	default:
+		return fmt.Sprintf("outcome(%d)", arg)
+	}
+}

@@ -1,0 +1,261 @@
+// Package trace is the route-observability layer: a structured event
+// stream describing why a route looks the way it does — every hop
+// taken, every detour entered with its fault-category cause, every
+// repair crossing chosen, every cache hit, backoff and terminal
+// outcome.
+//
+// Design constraints, in priority order:
+//
+//  1. Disabled tracing is free. The routing layers hold a Tracer
+//     interface that is nil when tracing is off; every emission site is
+//     guarded by a nil check and Event is a small value type, so the
+//     PR 1 zero-allocation hot path is preserved bit for bit (enforced
+//     by the alloc regression tests).
+//  2. Enabled tracing never allocates per event. The standard sink is
+//     Ring, a fixed-capacity ring buffer of Event values; Emit copies
+//     the event into a preallocated slot under a mutex. Notes are
+//     static strings, never fmt products.
+//  3. The stream is replayable. Hop events (and Rollback events, which
+//     undo the hops of an abandoned repair-detour candidate) carry
+//     enough structure that Replay can reconstruct the exact path the
+//     router returned — the property the differential tests pin down.
+//
+// The package sits below every routing layer (it imports nothing from
+// this repository), so core, simnet, the experiments harness and the
+// CLIs can all share one event taxonomy.
+package trace
+
+import "sync"
+
+// Kind discriminates trace events.
+type Kind uint8
+
+// The event taxonomy (DESIGN.md §9).
+const (
+	// KindHop: a tree-dimension hop (dim < alpha), moving between
+	// ending classes. From/To are GC nodes, Dim the flipped dimension.
+	KindHop Kind = iota
+	// KindFlip: a cube-dimension hop (dim >= alpha), correcting a high
+	// dimension inside a class. Fields as KindHop.
+	KindFlip
+	// KindDetourEnter: the route left the fault-free plan; Cat is the
+	// paper's fault category (CatA/CatB/CatC) that caused it and Note
+	// names the mechanism ("geec-substrate", "freh-pair",
+	// "bfs-fallback", "discovered-fault").
+	KindDetourEnter
+	// KindDetourExit closes the innermost KindDetourEnter.
+	KindDetourExit
+	// KindRollback: the last Arg hops were abandoned (a repair-detour
+	// candidate or a failed strategy attempt before the BFS fallback).
+	// Replay truncates its reconstruction accordingly.
+	KindRollback
+	// KindRepairCrossing: a tree-repair detour committed to crossing a
+	// severed tree edge at a surviving realization. From is the
+	// crossing node, To its landing node, Dim the tree dimension.
+	KindRepairCrossing
+	// KindCacheHit / KindCacheMiss: route-cache lookups (simnet).
+	KindCacheHit
+	KindCacheMiss
+	// KindBackoff: an adaptive flight is waiting out a transient fault;
+	// Arg is the wait in cycles.
+	KindBackoff
+	// KindReplan: an adaptive flight recomputed its plan after a
+	// discovery; Arg is the replan ordinal.
+	KindReplan
+	// KindOutcome: terminal event of one route or flight. Arg is the
+	// outcome code (OutcomeOK, or the core outcome ladder for adaptive
+	// flights), Note the reason when one exists.
+	KindOutcome
+	// KindPacket: simnet marker separating sampled packets in a shared
+	// ring. From/To are the packet's endpoints, Arg its sequence
+	// number.
+	KindPacket
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindHop:
+		return "hop"
+	case KindFlip:
+		return "flip"
+	case KindDetourEnter:
+		return "detour-enter"
+	case KindDetourExit:
+		return "detour-exit"
+	case KindRollback:
+		return "rollback"
+	case KindRepairCrossing:
+		return "repair-crossing"
+	case KindCacheHit:
+		return "cache-hit"
+	case KindCacheMiss:
+		return "cache-miss"
+	case KindBackoff:
+		return "backoff"
+	case KindReplan:
+		return "replan"
+	case KindOutcome:
+		return "outcome"
+	case KindPacket:
+		return "packet"
+	default:
+		return "unknown"
+	}
+}
+
+// Cat is the fault category of a detour cause, mirroring
+// fault.Category without importing it (trace must stay a leaf
+// package). CatNone marks events with no category.
+type Cat uint8
+
+// Detour causes.
+const (
+	CatNone Cat = iota
+	CatA        // link fault in a dimension >= alpha
+	CatB        // broken tree-edge link below alpha
+	CatC        // node fault breaking both sides
+)
+
+// String implements fmt.Stringer.
+func (c Cat) String() string {
+	switch c {
+	case CatA:
+		return "A"
+	case CatB:
+		return "B"
+	case CatC:
+		return "C"
+	default:
+		return "-"
+	}
+}
+
+// Outcome codes for KindOutcome events. Adaptive flights emit the
+// core outcome ladder offset by OutcomeLadderBase so both spaces fit
+// in Arg without importing core.
+const (
+	// OutcomeOK: a planner route completed (Arg of plain Router
+	// outcomes).
+	OutcomeOK int32 = 0
+	// OutcomeError: a planner route failed; Note carries the reason.
+	OutcomeError int32 = 1
+	// OutcomeLadderBase + core.Outcome: terminal rung of an adaptive
+	// flight.
+	OutcomeLadderBase int32 = 16
+)
+
+// Event is one structured trace record. It is a small value type with
+// no heap references beyond static Note strings, so emitting one never
+// allocates.
+type Event struct {
+	Kind Kind
+	Cat  Cat    // detour cause, CatNone when not a detour event
+	Dim  uint8  // flipped dimension for hop/flip/crossing events
+	From uint32 // GC node the event leaves (hop-like events)
+	To   uint32 // GC node the event reaches
+	Arg  int32  // kind-specific scalar: wait cycles, rollback depth, outcome
+	Note string // static annotation; never a fmt product
+}
+
+// Tracer receives trace events. Implementations must tolerate
+// concurrent Emit calls when shared between goroutines (Ring does).
+// The routing layers treat a nil Tracer as tracing disabled and skip
+// event construction entirely.
+type Tracer interface {
+	// Enabled reports whether events are currently recorded; emitters
+	// may use it to skip expensive event preparation.
+	Enabled() bool
+	// Emit records one event.
+	Emit(Event)
+}
+
+// Ring is a fixed-capacity concurrent ring buffer of events: the
+// standard Tracer sink. When full, the oldest events are overwritten —
+// a route tail is worth more than its head when debugging — while
+// Total keeps counting, so droppage is visible.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever emitted
+}
+
+// NewRing creates a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Enabled implements Tracer.
+func (r *Ring) Enabled() bool { return true }
+
+// Emit implements Tracer. It copies e into a preallocated slot and
+// never allocates once the ring has wrapped.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = e
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of events ever emitted (retained or
+// overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
+// Events returns the retained events in emission order as a fresh
+// slice.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % uint64(cap(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+// Reset empties the ring and zeroes its counters, keeping the backing
+// array.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.total = 0
+	r.mu.Unlock()
+}
+
+// CountByKind tallies events per kind.
+func CountByKind(events []Event) map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range events {
+		m[e.Kind]++
+	}
+	return m
+}

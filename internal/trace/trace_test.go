@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingRetainsTail(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindHop, Arg: int32(i)})
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("Len = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if int(e.Arg) != 6+i {
+			t.Fatalf("event %d has Arg %d, want %d (oldest events must be dropped in order)", i, e.Arg, 6+i)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("Reset left Len=%d Total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestRingEmitDoesNotAllocateOnceWrapped(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		r.Emit(Event{Kind: KindHop})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Emit(Event{Kind: KindFlip, From: 1, To: 2, Note: "static"})
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocated %v times per call, want 0", allocs)
+	}
+}
+
+func TestReplayFollowsHopsAndRollbacks(t *testing.T) {
+	events := []Event{
+		{Kind: KindHop, From: 0, To: 1, Dim: 0},
+		{Kind: KindFlip, From: 1, To: 5, Dim: 2},
+		{Kind: KindRepairCrossing, From: 5, To: 4, Dim: 0}, // annotation only
+		{Kind: KindHop, From: 5, To: 4, Dim: 0},
+		{Kind: KindRollback, Arg: 2},
+		{Kind: KindHop, From: 1, To: 3, Dim: 1},
+		{Kind: KindOutcome, Arg: OutcomeOK},
+	}
+	walk, err := Replay(0, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0, 1, 3}
+	if len(walk) != len(want) {
+		t.Fatalf("walk %v, want %v", walk, want)
+	}
+	for i := range want {
+		if walk[i] != want[i] {
+			t.Fatalf("walk %v, want %v", walk, want)
+		}
+	}
+}
+
+func TestReplayRejectsDiscontinuity(t *testing.T) {
+	if _, err := Replay(0, []Event{
+		{Kind: KindHop, From: 0, To: 1},
+		{Kind: KindHop, From: 2, To: 3},
+	}); err == nil {
+		t.Fatal("Replay accepted a hop leaving a node the walk is not at")
+	}
+	if _, err := Replay(0, []Event{
+		{Kind: KindHop, From: 0, To: 1},
+		{Kind: KindRollback, Arg: 5},
+	}); err == nil {
+		t.Fatal("Replay accepted a rollback deeper than the walk")
+	}
+}
+
+func TestSplitPackets(t *testing.T) {
+	events := []Event{
+		{Kind: KindHop}, // pre-marker noise, dropped
+		{Kind: KindPacket, Arg: 1},
+		{Kind: KindHop},
+		{Kind: KindOutcome},
+		{Kind: KindPacket, Arg: 2},
+		{Kind: KindFlip},
+	}
+	segs := SplitPackets(events)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2", len(segs))
+	}
+	if segs[0][0].Arg != 1 || len(segs[0]) != 3 {
+		t.Fatalf("segment 0 wrong: %+v", segs[0])
+	}
+	if segs[1][0].Arg != 2 || len(segs[1]) != 2 {
+		t.Fatalf("segment 1 wrong: %+v", segs[1])
+	}
+}
+
+func TestNarrateRendersTaxonomy(t *testing.T) {
+	var b strings.Builder
+	Narrate(&b, []Event{
+		{Kind: KindPacket, From: 3, To: 9, Arg: 7},
+		{Kind: KindCacheMiss},
+		{Kind: KindHop, From: 3, To: 2, Dim: 0},
+		{Kind: KindDetourEnter, Cat: CatB, Note: "freh-pair"},
+		{Kind: KindFlip, From: 2, To: 6, Dim: 2},
+		{Kind: KindDetourExit},
+		{Kind: KindBackoff, From: 6, Arg: 4},
+		{Kind: KindOutcome, Arg: OutcomeOK},
+	}, 4)
+	out := b.String()
+	for _, want := range []string{
+		"packet #7: 0011 -> 1001",
+		"route cache miss",
+		"hop  0011 -> 0010 (tree dim 0)",
+		"detour enter [category B] via freh-pair",
+		"flip 0010 -> 0110 (cube dim 2)",
+		"detour exit",
+		"backoff: wait 4 cycles at 0110",
+		"outcome: ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("narrative missing %q:\n%s", want, out)
+		}
+	}
+	// The detour body must be indented deeper than its enter line.
+	if !strings.Contains(out, "      flip") {
+		t.Fatalf("detour body not indented:\n%s", out)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	m := CountByKind([]Event{{Kind: KindHop}, {Kind: KindHop}, {Kind: KindOutcome}})
+	if m[KindHop] != 2 || m[KindOutcome] != 1 {
+		t.Fatalf("counts wrong: %v", m)
+	}
+}
