@@ -1,0 +1,295 @@
+// Command gcserved serves Gaussian Cube routing over HTTP/JSON: a
+// long-running front end over the sharded worker pool of
+// internal/serve, with live fault mutation, merged metrics, sampled
+// tracing and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	gcserved -n 10 -alpha 3 -addr :8321
+//	gcserved -n 10 -alpha 3 -faults 5 -seed 7 -trace-every 64
+//	gcserved -n 10 -alpha 3 -adaptive -repair
+//	gcserved -selftest -n 10 -alpha 3 -clients 8 -requests 4000
+//
+// Endpoints: POST/GET /route, GET|POST /faults, GET /metrics,
+// GET /debug/traces, GET /healthz, /debug/pprof/*, /debug/vars.
+// Backpressure: a full shard queue answers 429 with Retry-After;
+// routing verdicts (delivered, degraded, undeliverable, partitioned,
+// canceled) are 200s carrying the outcome in the body.
+//
+// -selftest boots the server on a loopback listener and drives it with
+// the repo's synthetic workload patterns through the public HTTP
+// client — live fault churn included — then drains and verifies the
+// conservation law (every accepted request answered exactly once). It
+// exits non-zero on any violation, which is what the CI smoke job
+// runs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"gaussiancube/internal/workload"
+	"gaussiancube/pkg/gcube"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gcserved:", err)
+		os.Exit(1)
+	}
+}
+
+// drainTimeout bounds the SIGTERM drain; the CI smoke job allows 30s
+// for the whole shutdown.
+const drainTimeout = 25 * time.Second
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gcserved", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n          = fs.Uint("n", 10, "network dimension n")
+		alpha      = fs.Uint("alpha", 3, "modulus exponent: M = 2^alpha")
+		addr       = fs.String("addr", ":8321", "listen address")
+		shards     = fs.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 2^alpha))")
+		queue      = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
+		batch      = fs.Int("batch", 32, "max requests a worker drains per wakeup")
+		cache      = fs.Int("cache", 0, "per-shard route-cache entries (0 default, <0 disable)")
+		traceEvery = fs.Int("trace-every", 0, "sample every Nth request into the shard trace ring (0 = off)")
+		adaptive   = fs.Bool("adaptive", false, "route with per-hop adaptive discovery instead of planning")
+		repairOn   = fs.Bool("repair", false, "maintain tree-edge health for repair detours and partition proofs")
+		deadline   = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		faults     = fs.Int("faults", 0, "random initial faulty nodes")
+		seed       = fs.Int64("seed", 1, "seed for initial faults and selftest traffic")
+		selftest   = fs.Bool("selftest", false, "boot on loopback, drive a load test through the HTTP client, verify conservation, exit")
+		clients    = fs.Int("clients", 8, "selftest: concurrent clients")
+		requests   = fs.Int("requests", 2000, "selftest: requests per client")
+		pattern    = fs.String("pattern", "uniform", "selftest traffic: uniform|complement|transpose|hotspot|permutation")
+		churn      = fs.Int("churn", 24, "selftest: fault mutations applied during the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cube := gcube.NewCube(*n, *alpha)
+	var initial *gcube.FaultSet
+	if *faults > 0 {
+		initial = gcube.NewFaultSet(cube)
+		initial.InjectRandomNodes(rand.New(rand.NewSource(*seed)), *faults)
+	}
+	srv, err := gcube.NewServer(gcube.ServerConfig{
+		Cube:            cube,
+		Faults:          initial,
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		Batch:           *batch,
+		CacheCapacity:   *cache,
+		TraceEvery:      *traceEvery,
+		Adaptive:        *adaptive,
+		Repair:          *repairOn,
+		DefaultDeadline: *deadline,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *selftest {
+		return runSelftest(out, srv, selftestConfig{
+			bits:     *n,
+			clients:  *clients,
+			requests: *requests,
+			pattern:  *pattern,
+			churn:    *churn,
+			seed:     *seed,
+		})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: gcube.NewHTTPHandler(srv)}
+	fmt.Fprintf(out, "gcserved: GC(%d,2^%d), %d nodes, listening on %s\n",
+		*n, *alpha, cube.Nodes(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "gcserved: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting HTTP first, then drain the worker queues; every
+	// request accepted before the signal is answered.
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	m := srv.Metrics()
+	fmt.Fprintf(out, "gcserved: drained; accepted=%d served=%d rejected=%d epoch=%d\n",
+		m.Accepted, m.Served, m.Rejected, m.Epoch)
+	if m.Served != m.Accepted {
+		return fmt.Errorf("drain dropped requests: accepted=%d served=%d", m.Accepted, m.Served)
+	}
+	return nil
+}
+
+type selftestConfig struct {
+	bits     uint
+	clients  int
+	requests int
+	pattern  string
+	churn    int
+	seed     int64
+}
+
+// buildPattern maps the flag onto the simulator's workload generators
+// (the tentpole reuse: the same traffic shapes that drive gcsim drive
+// this load test).
+func buildPattern(name string, bits uint, seed int64) (workload.Pattern, error) {
+	switch name {
+	case "uniform":
+		return workload.Uniform{Bits: bits}, nil
+	case "complement":
+		return workload.BitComplement{Bits: bits}, nil
+	case "transpose":
+		return workload.Transpose{Bits: bits}, nil
+	case "hotspot":
+		return workload.HotSpot{Bits: bits, Hot: 1, Fraction: 0.05}, nil
+	case "permutation":
+		return workload.NewPermutation(bits, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+// runSelftest serves on loopback and hammers the HTTP surface with the
+// synthetic workload, mutating faults mid-flight, then drains and
+// checks conservation.
+func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
+	pat, err := buildPattern(cfg.pattern, cfg.bits, cfg.seed)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: gcube.NewHTTPHandler(srv)}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "gcserved selftest: %s, pattern=%s, %d clients x %d requests, churn=%d\n",
+		base, pat.Name(), cfg.clients, cfg.requests, cfg.churn)
+
+	cube := srv.Cube()
+	nodes := cube.Nodes()
+	var (
+		wg        sync.WaitGroup
+		answered  atomic.Int64
+		delivered atomic.Int64
+		refused   atomic.Int64
+		failed    atomic.Int64
+	)
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
+			rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
+			ctx := context.Background()
+			for i := 0; i < cfg.requests; i++ {
+				src := gcube.NodeID(rng.Intn(nodes))
+				dst := pat.Dest(rng, src)
+				r, err := cl.Route(ctx, src, dst)
+				if err != nil {
+					if se, ok := err.(*gcube.StatusError); ok {
+						if se.IsBackpressure() || se.Code == http.StatusConflict {
+							refused.Add(1) // queue full, or endpoint currently faulty
+							continue
+						}
+					}
+					failed.Add(1)
+					fmt.Fprintf(out, "client %d: %v\n", id, err)
+					return
+				}
+				answered.Add(1)
+				if r.Outcome == "delivered" || r.Outcome == "delivered-degraded" {
+					delivered.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Fault churner through the same public client.
+	churnDone := make(chan error, 1)
+	go func() {
+		cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
+		rng := rand.New(rand.NewSource(cfg.seed * 31))
+		for e := 0; e < cfg.churn; e++ {
+			node := gcube.NodeID(rng.Intn(nodes))
+			op := gcube.OpInject
+			if srv.FaultSet().NodeFaulty(node) {
+				op = gcube.OpRepair
+			}
+			if _, err := cl.ApplyFaults(context.Background(),
+				[]gcube.FaultOp{{Op: op, Kind: gcube.KindNode, Node: node}}); err != nil {
+				churnDone <- fmt.Errorf("churn step %d: %w", e, err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		churnDone <- nil
+	}()
+
+	wg.Wait()
+	if err := <-churnDone; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+
+	m := srv.Metrics()
+	rate := float64(m.Served) / elapsed.Seconds()
+	fmt.Fprintf(out, "selftest: served=%d delivered=%d refused=%d epoch=%d in %v (%.0f req/s)\n",
+		m.Served, delivered.Load(), refused.Load(), m.Epoch, elapsed.Round(time.Millisecond), rate)
+
+	switch {
+	case failed.Load() > 0:
+		return fmt.Errorf("selftest: %d client transport failures", failed.Load())
+	case m.Served != m.Accepted:
+		return fmt.Errorf("selftest: conservation broken, accepted=%d served=%d", m.Accepted, m.Served)
+	case answered.Load() == 0 || delivered.Load() == 0:
+		return fmt.Errorf("selftest: no traffic delivered (answered=%d)", answered.Load())
+	case int(m.Epoch) != cfg.churn:
+		return fmt.Errorf("selftest: %d churn steps produced epoch %d", cfg.churn, m.Epoch)
+	}
+	fmt.Fprintln(out, "selftest: PASS")
+	return nil
+}

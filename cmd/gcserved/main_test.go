@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelftestSmall is the in-process version of the CI smoke job: a
+// real loopback HTTP server, concurrent public-client traffic, live
+// fault churn, graceful drain, conservation verified by run itself.
+func TestSelftestSmall(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-selftest", "-n", "8", "-alpha", "2",
+		"-clients", "4", "-requests", "80", "-churn", "6",
+		"-trace-every", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("selftest: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "selftest: PASS") {
+		t.Fatalf("no PASS line:\n%s", out.String())
+	}
+}
+
+// TestSelftestPatterns exercises each workload generator briefly.
+func TestSelftestPatterns(t *testing.T) {
+	for _, p := range []string{"complement", "transpose", "hotspot", "permutation"} {
+		var out strings.Builder
+		err := run([]string{
+			"-selftest", "-n", "6", "-alpha", "2",
+			"-clients", "2", "-requests", "30", "-churn", "3", "-pattern", p,
+		}, &out)
+		if err != nil {
+			t.Fatalf("pattern %s: %v\n%s", p, err, out.String())
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-selftest", "-pattern", "nope"}, &out); err == nil {
+		t.Fatal("unknown pattern must error")
+	}
+}

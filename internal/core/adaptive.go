@@ -85,6 +85,11 @@ const (
 	// component, so no route exists at all. Only emitted when
 	// AdaptiveConfig.Repair is set.
 	OutcomeUndeliverablePartitioned
+	// OutcomeCanceled: the caller's context was canceled or its deadline
+	// expired before delivery (Routing.RouteContext). The network may
+	// well have a route — the packet was abandoned, not defeated, so
+	// Undeliverable reports false.
+	OutcomeCanceled
 )
 
 // Undeliverable reports whether o is a terminal failure rung.
@@ -105,6 +110,8 @@ func (o Outcome) String() string {
 		return "undeliverable"
 	case OutcomeUndeliverablePartitioned:
 		return "undeliverable-partitioned"
+	case OutcomeCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -632,18 +639,7 @@ func (r *AdaptiveRouter) Route(s, d gc.NodeID, onWait func(cycles int)) (*Adapti
 				onWait(st.Wait)
 			}
 		case StepDone, StepFail:
-			return &AdaptiveResult{
-				Outcome:      st.Outcome,
-				Reason:       st.Reason,
-				Path:         f.Path(),
-				Hops:         f.Hops(),
-				Retries:      f.Retries(),
-				Replans:      f.Replans(),
-				WaitCycles:   f.WaitCycles(),
-				DetourHops:   f.DetourHops(),
-				UsedFallback: f.UsedFallback(),
-				Discovered:   f.Discovered(),
-			}, nil
+			return f.report(st), nil
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/exchanged"
 	"gaussiancube/internal/gc"
@@ -87,13 +89,18 @@ func (p *routePlan) optimal() int {
 // consumes the plan's pending masks (zeroing each as it is applied).
 // depth counts nested repair-detour routes (0 for a top-level call); a
 // detour that completes the route to d short-circuits the rest of the
-// plan, since the splice replans from its landing node.
-func (r *Router) execute(sc *routeScratch, path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
+// plan, since the splice replans from its landing node. ctx is checked
+// once per class-walk step — between hops — so a canceled or expired
+// route stops mid-walk and surfaces ctx's error.
+func (r *Router) execute(ctx context.Context, sc *routeScratch, path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
 	p := &sc.plan
 	path = append(path, s)
 	cur := s
 
 	for i, k := range p.walk {
+		if err := ctx.Err(); err != nil {
+			return path, err
+		}
 		for j, kc := range p.classes {
 			if kc == k && p.masks[j] != 0 {
 				var err error
@@ -108,7 +115,7 @@ func (r *Router) execute(sc *routeScratch, path []gc.NodeID, s, d gc.NodeID, dep
 		if i+1 < len(p.walk) {
 			var err error
 			var done bool
-			path, cur, done, err = r.crossTreeEdge(path, cur, k, p.walk[i+1], d, depth)
+			path, cur, done, err = r.crossTreeEdge(ctx, path, cur, k, p.walk[i+1], d, depth)
 			if err != nil {
 				return path, err
 			}
@@ -193,7 +200,7 @@ func (r *Router) fixClassDims(sc *routeScratch, path []gc.NodeID, cur gc.NodeID,
 // way and a health map is attached, a tree-repair detour to a surviving
 // realization of the edge is spliced in instead; a successful detour
 // completes the whole route to d and reports done == true.
-func (r *Router) crossTreeEdge(path []gc.NodeID, cur gc.NodeID, from, to gtree.Node, d gc.NodeID, depth int) ([]gc.NodeID, gc.NodeID, bool, error) {
+func (r *Router) crossTreeEdge(ctx context.Context, path []gc.NodeID, cur gc.NodeID, from, to gtree.Node, d gc.NodeID, depth int) ([]gc.NodeID, gc.NodeID, bool, error) {
 	c := r.cube
 	dim := c.Tree().EdgeDim(from, to)
 	tgt := cur ^ (1 << dim)
@@ -234,6 +241,6 @@ func (r *Router) crossTreeEdge(path []gc.NodeID, cur gc.NodeID, from, to gtree.N
 	if r.repair == nil {
 		return path, cur, false, ErrUnreachable
 	}
-	path, done, err := r.repairDetour(path, cur, to, dim, d, depth)
+	path, done, err := r.repairDetour(ctx, path, cur, to, dim, d, depth)
 	return path, cur, done, err
 }

@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -170,8 +171,23 @@ func (res *Result) Breakdown(c *gc.Cube) (treeHops, cubeHops int) {
 	return treeHops, cubeHops
 }
 
-// Route computes a route from s to d.
+// Route computes a route from s to d. It is RouteCtx without
+// cancellation — a thin compatibility wrapper retained for existing
+// callers; new code that serves requests under deadlines should prefer
+// RouteCtx (or the Routing interface).
 func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
+	return r.RouteCtx(context.Background(), s, d)
+}
+
+// RouteCtx computes a route from s to d under ctx. Cancellation and
+// deadline expiry are checked between hops of the class walk; a
+// canceled route returns ctx's error (the BFS fallback is skipped —
+// the caller has already lost interest). A nil ctx means
+// context.Background().
+func (r *Router) RouteCtx(ctx context.Context, s, d gc.NodeID) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if int(s) >= r.cube.Nodes() || int(d) >= r.cube.Nodes() {
 		return nil, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
 	}
@@ -198,7 +214,7 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 		TreeWalk: append([]gtree.Node(nil), sc.plan.walk...),
 		Optimal:  sc.plan.optimal(),
 	}
-	path, err := r.execute(sc, sc.path[:0], s, d, 0)
+	path, err := r.execute(ctx, sc, sc.path[:0], s, d, 0)
 	if err == nil {
 		res.Path = append([]gc.NodeID(nil), path...)
 	}
@@ -210,6 +226,13 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 			r.traceOutcome(trace.OutcomeOK, "")
 		}
 		return res, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		if r.tracer != nil {
+			r.traceAbandoned(abandoned)
+			r.traceOutcome(trace.OutcomeError, "canceled")
+		}
+		return nil, cerr
 	}
 	if !r.fallback {
 		if r.tracer != nil {
@@ -241,8 +264,22 @@ func (r *Router) Route(s, d gc.NodeID) (*Result, error) {
 // is Route without the Result envelope: when dst has capacity, a
 // warmed-up fault-free call performs zero heap allocations. When the
 // strategy fails against the fault pattern and the fallback is enabled,
-// the BFS fallback path is appended instead.
+// the BFS fallback path is appended instead. It is RouteIntoCtx
+// without cancellation — a thin compatibility wrapper; new code should
+// prefer RouteIntoCtx.
 func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error) {
+	return r.RouteIntoCtx(context.Background(), dst, s, d)
+}
+
+// RouteIntoCtx is RouteInto under a context: cancellation and deadline
+// expiry are checked between hops of the class walk, returning ctx's
+// error with dst unextended. The zero-allocation property of the
+// warmed-up fault-free path is preserved (context.Background().Err()
+// allocates nothing; see the alloc regression tests).
+func (r *Router) RouteIntoCtx(ctx context.Context, dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if int(s) >= r.cube.Nodes() || int(d) >= r.cube.Nodes() {
 		return dst, fmt.Errorf("core: node out of range for GC(%d,2^%d)", r.cube.N(), r.cube.Alpha())
 	}
@@ -263,7 +300,7 @@ func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error)
 			return dst, ErrPartitioned
 		}
 	}
-	path, err := r.execute(sc, sc.path[:0], s, d, 0)
+	path, err := r.execute(ctx, sc, sc.path[:0], s, d, 0)
 	if err == nil {
 		dst = append(dst, path...)
 	}
@@ -275,6 +312,13 @@ func (r *Router) RouteInto(dst []gc.NodeID, s, d gc.NodeID) ([]gc.NodeID, error)
 			r.traceOutcome(trace.OutcomeOK, "")
 		}
 		return dst, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		if r.tracer != nil {
+			r.traceAbandoned(abandoned)
+			r.traceOutcome(trace.OutcomeError, "canceled")
+		}
+		return dst, cerr
 	}
 	if !r.fallback {
 		if r.tracer != nil {

@@ -1,0 +1,140 @@
+// The unified routing entry point. PRs 1–4 grew two parallel APIs —
+// the omniscient planner (Router.Route / RouteInto) and the per-hop
+// discovery stepper (AdaptiveRouter.Start / StartTraced) — each with
+// its own envelope. A serving layer wants neither distinction: it
+// holds "something that routes", hands it a context carrying the
+// request deadline, and serializes one outcome ladder. Routing is that
+// contract, satisfied by both routers; RouteReport is the shared
+// envelope (the adaptive result generalizes the static one — a static
+// route is a flight with no discoveries).
+package core
+
+import (
+	"context"
+	"errors"
+
+	"gaussiancube/internal/gc"
+)
+
+// RouteReport is the unified envelope returned by Routing
+// implementations. It is the adaptive result: a static planner route
+// fills the plan-level fields (Outcome, Path, Hops, DetourHops,
+// UsedFallback) and leaves the discovery counters zero.
+type RouteReport = AdaptiveResult
+
+// Routing is the context-aware entry point shared by Router (whole-
+// path planning against a known fault set) and AdaptiveRouter (per-hop
+// local discovery against an oracle).
+//
+// RouteContext separates caller mistakes from network verdicts: a
+// non-nil error means the request itself was invalid (node out of
+// range, faulty source endpoint) and carries no report; every network
+// verdict — delivery, degradation, unreachability, a proven partition,
+// or cancellation — is a nil error with the verdict on the report's
+// Outcome ladder. Cancellation and deadline expiry are checked between
+// hops and surface as OutcomeCanceled.
+type Routing interface {
+	// Cube returns the cube routes are computed over.
+	Cube() *gc.Cube
+	// RouteContext routes from s to d under ctx.
+	RouteContext(ctx context.Context, s, d gc.NodeID) (*RouteReport, error)
+}
+
+// Both routers satisfy the contract.
+var (
+	_ Routing = (*Router)(nil)
+	_ Routing = (*AdaptiveRouter)(nil)
+)
+
+// RouteContext implements Routing on the static planner. The plan is
+// computed and executed under ctx (checked between hops of the class
+// walk); routing failures land on the report's Outcome ladder rather
+// than in the error:
+//
+//	delivered on plan            -> OutcomeDelivered
+//	delivered via BFS fallback   -> OutcomeDeliveredDegraded
+//	no route around the faults   -> OutcomeUndeliverable
+//	proven cut off (ErrPartitioned) -> OutcomeUndeliverablePartitioned
+//	ctx canceled / deadline hit  -> OutcomeCanceled
+func (r *Router) RouteContext(ctx context.Context, s, d gc.NodeID) (*RouteReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := r.RouteCtx(ctx, s, d)
+	switch {
+	case err == nil:
+		rep := &RouteReport{
+			Outcome:      OutcomeDelivered,
+			Path:         res.Path,
+			Hops:         res.Hops(),
+			DetourHops:   res.Extra(),
+			UsedFallback: res.UsedFallback,
+		}
+		if res.UsedFallback {
+			rep.Outcome = OutcomeDeliveredDegraded
+			rep.Reason = "BFS last resort"
+		}
+		return rep, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return &RouteReport{Outcome: OutcomeCanceled, Reason: err.Error()}, nil
+	case errors.Is(err, ErrPartitioned):
+		return &RouteReport{
+			Outcome: OutcomeUndeliverablePartitioned,
+			Reason:  "destination class severed from source component",
+		}, nil
+	case errors.Is(err, ErrUnreachable):
+		return &RouteReport{
+			Outcome: OutcomeUndeliverable,
+			Reason:  "no route around faults",
+		}, nil
+	default:
+		// Caller mistakes: node out of range, faulty endpoint.
+		return nil, err
+	}
+}
+
+// RouteContext implements Routing on the adaptive stepper: it drives a
+// flight from s to d to completion, checking ctx between hops. A
+// cancellation or deadline expiry finishes the flight (emitting the
+// traced outcome, when tracing is on) with OutcomeCanceled and a
+// report of the partial progress. StepWait backoffs are treated as
+// instantaneous — the retry budget still bounds them; carriers that
+// model time should drive Flight.Step themselves (or use Route with an
+// onWait hook).
+func (r *AdaptiveRouter) RouteContext(ctx context.Context, s, d gc.NodeID) (*RouteReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f, err := r.Start(s, d)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			st := f.finish(OutcomeCanceled, cerr.Error())
+			return f.report(st), nil
+		}
+		st := f.Step()
+		switch st.Kind {
+		case StepDone, StepFail:
+			return f.report(st), nil
+		}
+	}
+}
+
+// report snapshots the flight into the unified envelope after a
+// terminal step.
+func (f *Flight) report(st Step) *RouteReport {
+	return &RouteReport{
+		Outcome:      st.Outcome,
+		Reason:       st.Reason,
+		Path:         f.Path(),
+		Hops:         f.Hops(),
+		Retries:      f.Retries(),
+		Replans:      f.Replans(),
+		WaitCycles:   f.WaitCycles(),
+		DetourHops:   f.DetourHops(),
+		UsedFallback: f.UsedFallback(),
+		Discovered:   f.Discovered(),
+	}
+}

@@ -19,6 +19,8 @@
 package core
 
 import (
+	"context"
+
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/gtree"
 	"gaussiancube/internal/trace"
@@ -39,7 +41,7 @@ const (
 // realization, then completes the route to d from the landing node.
 // On success the full remaining route is appended onto path and done
 // is true; on failure path is returned unchanged.
-func (r *Router) repairDetour(path []gc.NodeID, cur gc.NodeID, to gtree.Node, dim uint, d gc.NodeID, depth int) ([]gc.NodeID, bool, error) {
+func (r *Router) repairDetour(ctx context.Context, path []gc.NodeID, cur gc.NodeID, to gtree.Node, dim uint, d gc.NodeID, depth int) ([]gc.NodeID, bool, error) {
 	if depth >= maxRepairDepth {
 		return path, false, ErrUnreachable
 	}
@@ -51,7 +53,7 @@ func (r *Router) repairDetour(path []gc.NodeID, cur gc.NodeID, to gtree.Node, di
 		if r.faults.LinkFaulty(w, dim) || r.faults.NodeFaulty(land) {
 			continue
 		}
-		leg, err := r.routeNested(path, cur, w, depth+1)
+		leg, err := r.routeNested(ctx, path, cur, w, depth+1)
 		if err != nil {
 			if r.tracer != nil {
 				r.traceAbandoned(len(leg) - mark)
@@ -74,7 +76,7 @@ func (r *Router) repairDetour(path []gc.NodeID, cur gc.NodeID, to gtree.Node, di
 			r.emitHop(w, land, dim)
 		}
 		leg = append(leg, land)
-		full, err := r.routeNested(leg, land, d, depth+1)
+		full, err := r.routeNested(ctx, leg, land, d, depth+1)
 		if err != nil {
 			if r.tracer != nil {
 				r.traceAbandoned(len(full) - mark)
@@ -93,7 +95,7 @@ func (r *Router) repairDetour(path []gc.NodeID, cur gc.NodeID, to gtree.Node, di
 // is rolled back by the caller, which tries the next candidate — but
 // they do get the partition pre-check and further detours (bounded by
 // depth).
-func (r *Router) routeNested(path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
+func (r *Router) routeNested(ctx context.Context, path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
 	if s == d {
 		return path, nil
 	}
@@ -106,5 +108,5 @@ func (r *Router) routeNested(path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.
 		}
 	}
 	// execute re-appends s, so hand it the path without its tail.
-	return r.execute(sc, path[:len(path)-1], s, d, depth)
+	return r.execute(ctx, sc, path[:len(path)-1], s, d, depth)
 }

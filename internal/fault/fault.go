@@ -21,6 +21,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/gtree"
@@ -74,13 +75,23 @@ type Fault struct {
 // other concurrent reader) must not be mutated for the lifetime of that
 // handoff — the query methods read the underlying maps without locking.
 // Call Freeze after the last mutation to have the Set enforce the
-// contract itself; evolving fault state belongs in Dynamic, which
-// snapshots frozen copies instead of mutating a shared Set.
+// contract itself. The frozen flag is atomic, so Freeze, Frozen and the
+// panic guard inside every mutator are themselves safe to call while
+// readers are routing — the enforcement mechanism cannot introduce the
+// very race it polices.
+//
+// Evolving fault state under concurrent readers takes one of two
+// shapes: Dynamic (a locked timeline that snapshots frozen copies), or
+// the copy-on-write step MutateCopy, which is how a serving layer
+// applies live fault mutations — readers keep the frozen set they
+// hold; the mutation produces a new frozen set to swap in (see
+// internal/serve).
 type Set struct {
-	cube   *gc.Cube
-	nodes  map[gc.NodeID]bool
-	links  map[linkKey]bool
-	frozen bool
+	cube  *gc.Cube
+	nodes map[gc.NodeID]bool
+	links map[linkKey]bool
+	// frozen is 0 or 1, accessed atomically (see the contract above).
+	frozen uint32
 }
 
 type linkKey struct {
@@ -104,17 +115,33 @@ func (s *Set) Cube() *gc.Cube { return s.cube }
 // panics, which turns a latent data race (mutating a Set shared with
 // concurrent routers) into a deterministic failure at the mutation
 // site. Freezing is idempotent and cannot be undone; Clone returns a
-// thawed copy.
+// thawed copy. Freeze may race with readers safely: the flag is
+// atomic, and the map contents are not touched.
 func (s *Set) Freeze() *Set {
-	s.frozen = true
+	atomic.StoreUint32(&s.frozen, 1)
 	return s
 }
 
-// Frozen reports whether Freeze has been called.
-func (s *Set) Frozen() bool { return s.frozen }
+// Frozen reports whether Freeze has been called. Safe to call
+// concurrently with Freeze and with readers.
+func (s *Set) Frozen() bool { return atomic.LoadUint32(&s.frozen) != 0 }
+
+// MutateCopy is the copy-on-write mutation step for a Set shared with
+// concurrent readers: it clones s (thawed), applies fn to the clone,
+// freezes it and returns it. The receiver is never touched, so readers
+// holding s — routers mid-route, caches keyed by s.Fingerprint() —
+// observe either the old state or the new frozen state, never a
+// half-mutated one. The caller owns publication (typically an
+// atomic.Pointer swap plus a cache invalidation to the new
+// Fingerprint).
+func (s *Set) MutateCopy(fn func(*Set)) *Set {
+	c := s.Clone()
+	fn(c)
+	return c.Freeze()
+}
 
 func (s *Set) mutable(op string) {
-	if s.frozen {
+	if s.Frozen() {
 		panic("fault: " + op + " on a frozen Set (read-only after handoff)")
 	}
 }

@@ -1,0 +1,96 @@
+package fault_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// TestMutateCopyContractRace pins the concurrency contract the serve
+// layer relies on, under -race (this package is on the CI race list):
+// readers route against the currently published frozen Set while a
+// writer evolves the fault state with MutateCopy and publishes each
+// epoch with an atomic pointer swap. No reader ever observes a
+// half-mutated set, Freeze/Frozen may race with reads, and the
+// fingerprints of published epochs identify their content.
+func TestMutateCopyContractRace(t *testing.T) {
+	cube := gc.New(8, 2)
+	var current atomic.Pointer[fault.Set]
+	current.Store(fault.NewSet(cube).Freeze())
+
+	const epochs = 64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: route over the published set; also poke the query and
+	// identity methods that the cache layer uses.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fs := current.Load()
+				if !fs.Frozen() {
+					t.Error("published set not frozen")
+					return
+				}
+				_ = fs.Fingerprint()
+				s := gc.NodeID((seed*31 + i) % cube.Nodes())
+				d := gc.NodeID((seed*17 + 3*i) % cube.Nodes())
+				r := core.NewRouter(cube, core.WithFaults(fs))
+				rep, err := r.RouteContext(context.Background(), s, d)
+				if err != nil && err != core.ErrFaultyEndpoint {
+					t.Errorf("route: %v", err)
+					return
+				}
+				_ = rep
+			}
+		}(g)
+	}
+
+	// Writer: one MutateCopy per epoch, alternating inject and repair.
+	fps := make(map[uint64]bool, epochs)
+	for e := 0; e < epochs; e++ {
+		node := gc.NodeID((e * 7) % cube.Nodes())
+		next := current.Load().MutateCopy(func(s *fault.Set) {
+			if s.NodeFaulty(node) {
+				s.RemoveNode(node)
+			} else {
+				s.AddNode(node)
+			}
+		})
+		if !next.Frozen() {
+			t.Fatal("MutateCopy must return a frozen set")
+		}
+		fps[next.Fingerprint()] = true
+		current.Store(next)
+	}
+	close(stop)
+	wg.Wait()
+
+	// The walk toggles distinct nodes, so distinct fault states must
+	// outnumber a handful of revisits.
+	if len(fps) < 2 {
+		t.Fatalf("only %d distinct fingerprints across %d epochs", len(fps), epochs)
+	}
+
+	// The receiver of MutateCopy is untouched and still enforces its
+	// freeze.
+	frozen := current.Load()
+	defer func() {
+		if recover() == nil {
+			t.Error("mutating the published frozen set must panic")
+		}
+	}()
+	frozen.AddNode(1)
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+)
+
+// NewHandler exposes the server over HTTP/JSON:
+//
+//	POST /route          route one request (RouteRequest body)
+//	GET  /route?src=&dst=  same, query form
+//	GET  /faults         current epoch and fault count
+//	POST /faults         apply a batch of FaultOp mutations atomically
+//	GET  /metrics        merged MetricsSnapshot
+//	GET  /debug/traces   sampled per-shard trace rings
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /debug/pprof/*  pprof suite; GET /debug/vars expvar
+//
+// Status mapping: routing verdicts — delivered, degraded,
+// undeliverable, partitioned, canceled — are 200s with the verdict in
+// the body, because the server did its job. 4xx/5xx mean the request
+// itself failed: 400 malformed, 409 faulty endpoint, 429 backpressure
+// (with Retry-After), 503 draining.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /route", func(w http.ResponseWriter, r *http.Request) {
+		var req RouteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		handleRoute(s, w, r, req)
+	})
+	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+		req, err := parseRouteQuery(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		handleRoute(s, w, r, req)
+	})
+	mux.HandleFunc("GET /faults", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, FaultsResponse{Epoch: s.Epoch(), Faults: s.FaultSet().Count()})
+	})
+	mux.HandleFunc("POST /faults", func(w http.ResponseWriter, r *http.Request) {
+		var ops []FaultOp
+		if err := json.NewDecoder(r.Body).Decode(&ops); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		epoch, n, err := s.ApplyFaults(ops)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, FaultsResponse{Epoch: epoch, Faults: n, Applied: len(ops)})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		tr := s.Traces()
+		if tr == nil {
+			httpError(w, http.StatusNotFound, "tracing disabled (Config.TraceEvery)")
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"cube":   fmt.Sprintf("GC(%d,2^%d)", s.Cube().N(), s.Cube().Alpha()),
+			"epoch":  s.Epoch(),
+		})
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+func parseRouteQuery(r *http.Request) (RouteRequest, error) {
+	var req RouteRequest
+	q := r.URL.Query()
+	src, err := strconv.ParseUint(q.Get("src"), 0, 32)
+	if err != nil {
+		return req, fmt.Errorf("bad src %q: %v", q.Get("src"), err)
+	}
+	dst, err := strconv.ParseUint(q.Get("dst"), 0, 32)
+	if err != nil {
+		return req, fmt.Errorf("bad dst %q: %v", q.Get("dst"), err)
+	}
+	req.Src, req.Dst = gc.NodeID(src), gc.NodeID(dst)
+	if ms := q.Get("deadline_ms"); ms != "" {
+		d, err := strconv.Atoi(ms)
+		if err != nil || d < 0 {
+			return req, fmt.Errorf("bad deadline_ms %q", ms)
+		}
+		req.DeadlineMS = d
+	}
+	return req, nil
+}
+
+func handleRoute(s *Server, w http.ResponseWriter, r *http.Request, req RouteRequest) {
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	resp, err := s.Submit(ctx, req.Src, req.Dst)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if resp.Err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(resp.Err, core.ErrFaultyEndpoint) {
+			status = http.StatusConflict
+		}
+		out := buildRouteResponse(req.Src, req.Dst, resp)
+		writeJSON(w, status, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, buildRouteResponse(req.Src, req.Dst, resp))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gaussiancube/internal/gc"
+)
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+	return w.Code, strings.TrimSpace(w.Body.String())
+}
+
+func post(t *testing.T, h http.Handler, url, body string) (int, string) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", url, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(w, req)
+	return w.Code, strings.TrimSpace(w.Body.String())
+}
+
+// TestRouteGoldenJSON pins the exact /route wire format. These bodies
+// are the compatibility contract of the endpoint: new fields may be
+// added, but the ones here must keep their names, order and values.
+func TestRouteGoldenJSON(t *testing.T) {
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 2, CacheCapacity: -1})
+	h := NewHandler(s)
+
+	golden := []struct {
+		method, url, body string
+		status            int
+		want              string
+	}{
+		{"GET", "/route?src=3&dst=60", "", 200,
+			`{"src":3,"dst":60,"outcome":"delivered","path":[3,11,10,14,15,13,45,44,60],"hops":8,"epoch":0}`},
+		{"GET", "/route?src=9&dst=9", "", 200,
+			`{"src":9,"dst":9,"outcome":"delivered","path":[9],"hops":0,"epoch":0}`},
+		{"POST", "/route", `{"src":9,"dst":9}`, 200,
+			`{"src":9,"dst":9,"outcome":"delivered","path":[9],"hops":0,"epoch":0}`},
+		{"GET", "/route?src=3&dst=999", "", 400,
+			`{"error":"serve: node out of range for GC(6,2^2)"}`},
+		{"GET", "/route?src=zap&dst=1", "", 400,
+			`{"error":"bad src \"zap\": strconv.ParseUint: parsing \"zap\": invalid syntax"}`},
+	}
+	for _, g := range golden {
+		var code int
+		var body string
+		if g.method == "GET" {
+			code, body = get(t, h, g.url)
+		} else {
+			code, body = post(t, h, g.url, g.body)
+		}
+		if code != g.status || body != g.want {
+			t.Errorf("%s %s:\n  got  %d %s\n  want %d %s", g.method, g.url, code, body, g.status, g.want)
+		}
+	}
+
+	// Healthz golden (map keys marshal sorted).
+	if code, body := get(t, h, "/healthz"); code != 200 ||
+		body != `{"cube":"GC(6,2^2)","epoch":0,"status":"ok"}` {
+		t.Errorf("/healthz: %d %s", code, body)
+	}
+}
+
+// TestFaultsEndpointGolden: mutations over HTTP bump the epoch, and a
+// route to the faulted node returns the 409 + error-envelope contract.
+func TestFaultsEndpointGolden(t *testing.T) {
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 2})
+	h := NewHandler(s)
+
+	if code, body := get(t, h, "/faults"); code != 200 || body != `{"epoch":0,"faults":0}` {
+		t.Fatalf("GET /faults: %d %s", code, body)
+	}
+	code, body := post(t, h, "/faults", `[{"op":"inject","kind":"node","node":7}]`)
+	if code != 200 || body != `{"epoch":1,"faults":1,"applied":1}` {
+		t.Fatalf("POST /faults: %d %s", code, body)
+	}
+	code, body = get(t, h, "/route?src=0&dst=7")
+	want := `{"src":0,"dst":7,"outcome":"error","hops":0,"epoch":1,"error":"core: source or destination node is faulty"}`
+	if code != http.StatusConflict || body != want {
+		t.Fatalf("route to faulty node:\n  got  %d %s\n  want %d %s", code, body, 409, want)
+	}
+	// Bad batches are 400 and mutate nothing.
+	if code, _ := post(t, h, "/faults", `[{"op":"inject","kind":"node","node":7},{"op":"bogus"}]`); code != 400 {
+		t.Fatalf("bad batch: %d", code)
+	}
+	if code, body := get(t, h, "/faults"); code != 200 || body != `{"epoch":1,"faults":1}` {
+		t.Fatalf("after bad batch: %d %s", code, body)
+	}
+}
+
+// TestMetricsGoldenShape pins the /metrics document's top-level key
+// set and its conservation relations after a known request mix.
+func TestMetricsGoldenShape(t *testing.T) {
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 2, TraceEvery: 2, TraceRing: 64})
+	h := NewHandler(s)
+
+	for i := 0; i < 10; i++ {
+		if code, _ := get(t, h, "/route?src=1&dst=62"); code != 200 {
+			t.Fatalf("warmup route %d failed", i)
+		}
+	}
+	code, body := get(t, h, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: %d", code)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	want := []string{
+		"accepted", "epoch", "errors", "faults", "hops", "latency_us",
+		"outcomes", "per_shard", "rejected", "served", "shards", "uptime_ms",
+	}
+	if got := strings.Join(keys, ","); got != strings.Join(want, ",") {
+		t.Fatalf("top-level keys:\n  got  %s\n  want %s", got, strings.Join(want, ","))
+	}
+
+	m := s.Metrics()
+	if m.Accepted != 10 || m.Served != 10 || m.Outcomes["delivered"] != 10 {
+		t.Fatalf("counters after 10 delivered: %+v", m)
+	}
+	if m.Latency.Stats().Count() != 10 || m.Hops.Stats().Count() != 10 {
+		t.Fatalf("histogram counts: latency=%d hops=%d", m.Latency.Stats().Count(), m.Hops.Stats().Count())
+	}
+	if len(m.PerShard) != 2 {
+		t.Fatalf("per-shard entries: %d", len(m.PerShard))
+	}
+
+	// Sampling: TraceEvery=2 over 10 same-shard requests -> 5 sampled.
+	code, body = get(t, h, "/debug/traces")
+	if code != 200 {
+		t.Fatalf("/debug/traces: %d", code)
+	}
+	// trace.Kind marshals as a string (no unmarshaler), so decode only
+	// the ring totals here.
+	var rings []struct {
+		Shard int    `json:"shard"`
+		Total uint64 `json:"total"`
+	}
+	if err := json.Unmarshal([]byte(body), &rings); err != nil {
+		t.Fatalf("traces JSON: %v", err)
+	}
+	var events uint64
+	for _, r := range rings {
+		events += r.Total
+	}
+	if events == 0 {
+		t.Fatal("sampled tracing emitted nothing")
+	}
+}
+
+// TestTracesDisabled: without TraceEvery the endpoint 404s.
+func TestTracesDisabled(t *testing.T) {
+	s := mustServer(t, Config{Cube: gc.New(6, 2)})
+	if code, _ := get(t, NewHandler(s), "/debug/traces"); code != 404 {
+		t.Fatalf("traces on an untraced server: %d, want 404", code)
+	}
+}
+
+// TestHTTPBackpressureAndDrain: a full queue is 429 + Retry-After; a
+// draining server is 503 on /route and /healthz.
+func TestHTTPBackpressureAndDrain(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	testHookProcess = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	defer func() { testHookProcess = nil }()
+
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 1, QueueDepth: 1, Batch: 1})
+	h := NewHandler(s)
+
+	done := make(chan struct{}, 2)
+	go func() { get(t, h, "/route?src=1&dst=2"); done <- struct{}{} }()
+	<-entered
+	go func() { get(t, h, "/route?src=1&dst=3"); done <- struct{}{} }()
+	deadline := time.After(5 * time.Second)
+	for s.Metrics().Accepted < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/route?src=1&dst=4", nil))
+	if w.Code != http.StatusTooManyRequests || w.Header().Get("Retry-After") != "1" {
+		t.Fatalf("backpressure: %d Retry-After=%q", w.Code, w.Header().Get("Retry-After"))
+	}
+	close(release)
+	<-done
+	<-done
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, h, "/route?src=1&dst=2"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /route: %d", code)
+	}
+	if code, _ := get(t, h, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz: %d", code)
+	}
+}

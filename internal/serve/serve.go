@@ -1,0 +1,598 @@
+// Package serve is the concurrent route-serving subsystem: a
+// long-running service that accepts route requests, batches them onto
+// a pool of sharded workers, and keeps routing against a live,
+// mutating fault state.
+//
+// # Architecture (DESIGN.md §10)
+//
+// Requests are sharded by the source node's ending class — the
+// quantity the whole FFGCR strategy is keyed on — so each worker's
+// router keeps re-planning from a small, hot set of per-class topology
+// tables, and its scratch pool (PR 1's zero-allocation hot path) never
+// migrates between OS threads mid-route. Each shard owns:
+//
+//   - one planner Router and one adaptive AdaptiveRouter (both rebuilt
+//     on every fault epoch, against the epoch's frozen fault.Set);
+//   - a tracer-attached twin of each, writing into the shard's private
+//     trace.Ring, used for every TraceEvery-th request (sampled
+//     observability, simnet-style);
+//   - a bounded task queue (backpressure: a full queue rejects with
+//     ErrBackpressure, which the HTTP layer turns into 429 +
+//     Retry-After);
+//   - a RouteCache stamped with the epoch's fault fingerprint, so a
+//     fault mutation atomically invalidates stale paths;
+//   - per-shard metrics.AtomicHistogram for latency and hops, merged
+//     lock-free at scrape time.
+//
+// Fault state evolves by copy-on-write (fault.Set.MutateCopy): a
+// mutation builds the next frozen set, bumps the epoch, swaps each
+// shard's router state through an atomic pointer and re-stamps the
+// caches. In-flight requests finish against the epoch they started
+// with; there is no epoch lock on the hot path.
+//
+// Shutdown drains: new submissions are refused with ErrDraining, every
+// queued request is answered, then the workers exit. The soak test
+// pins the conservation law — accepted == served, and the latency
+// histogram counts every served request exactly once.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/repair"
+	"gaussiancube/internal/simnet"
+	"gaussiancube/internal/trace"
+)
+
+// Submission errors. Routing-level failures are not errors: they are
+// rungs on the core.Outcome ladder inside the Response.
+var (
+	// ErrBackpressure: the target shard's queue is full. The caller
+	// should retry after RetryAfter.
+	ErrBackpressure = errors.New("serve: shard queue full")
+	// ErrDraining: the server is shutting down and accepts no new work.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// RetryAfter is the backoff hint attached to backpressure rejections
+// (the HTTP layer's Retry-After header).
+const RetryAfter = 1 * time.Second
+
+// Config parameterizes a Server. Zero values pick the documented
+// defaults.
+type Config struct {
+	// Cube is the topology served. Required.
+	Cube *gc.Cube
+	// Faults seeds the initial fault state (cloned; nil means fault-free).
+	Faults *fault.Set
+	// Shards is the worker count; requests map to shards by source
+	// ending class modulo Shards. Default min(GOMAXPROCS, 2^alpha).
+	Shards int
+	// QueueDepth bounds each shard's pending queue (default 256).
+	QueueDepth int
+	// Batch bounds how many queued requests a worker drains per wakeup
+	// (default 32). Batching amortizes the per-wakeup epoch-state load.
+	Batch int
+	// CacheCapacity is the per-shard route-cache entry bound. 0 picks
+	// simnet.DefaultRouteCacheCapacity/16; negative disables caching.
+	// The cache serves planner mode only — adaptive flights rediscover.
+	CacheCapacity int
+	// TraceEvery samples every Nth request per shard through a
+	// tracer-attached router into the shard's ring (0 disables).
+	TraceEvery int
+	// TraceRing is the per-shard ring capacity (default 4096).
+	TraceRing int
+	// Adaptive routes with per-hop local discovery (AdaptiveRouter)
+	// instead of whole-path planning.
+	Adaptive bool
+	// Substrate selects the intra-GEEC fault-tolerant router.
+	Substrate core.Substrate
+	// Repair maintains a tree-edge health map per epoch, enabling
+	// repair detours and partition proofs (core.WithRepair).
+	Repair bool
+	// DefaultDeadline bounds each request when the submitter's context
+	// carries no earlier deadline (0 means none).
+	DefaultDeadline time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Cube == nil {
+		return errors.New("serve: Config.Cube is required")
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if classes := 1 << c.Cube.Alpha(); c.Shards > classes {
+			c.Shards = classes
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Batch <= 0 {
+		c.Batch = 32
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = simnet.DefaultRouteCacheCapacity / 16
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 4096
+	}
+	return nil
+}
+
+// Response is the served verdict for one request.
+type Response struct {
+	// Report is the unified routing envelope (nil when Err is set).
+	Report *core.RouteReport
+	// Err is a request-level failure: faulty endpoint or out-of-range
+	// node. Routing outcomes live on Report.Outcome instead.
+	Err error
+	// Epoch is the fault epoch the request was served against.
+	Epoch uint64
+	// CacheHit reports the path came from the shard's route cache.
+	CacheHit bool
+}
+
+// task is one queued request.
+type task struct {
+	ctx      context.Context
+	src, dst gc.NodeID
+	enq      time.Time
+	resp     chan Response
+}
+
+// epochState is the immutable fault state of one epoch, shared by all
+// shards.
+type epochState struct {
+	epoch  uint64
+	faults *fault.Set // frozen; never nil (may be empty)
+	fp     uint64
+	health *repair.Health // nil unless Config.Repair
+}
+
+// shardRouters is a shard's routing state for one epoch, swapped
+// atomically on fault mutation.
+type shardRouters struct {
+	es     *epochState
+	plain  core.Routing // the serving router
+	traced core.Routing // twin with the shard ring attached
+}
+
+// shard is one worker's private world.
+type shard struct {
+	id    int
+	ch    chan *task
+	state atomic.Pointer[shardRouters]
+	cache *simnet.RouteCache // nil when disabled
+	ring  *trace.Ring        // nil when TraceEvery == 0
+
+	latency *metrics.AtomicHistogram // microseconds
+	hops    *metrics.AtomicHistogram
+
+	seq         atomic.Uint64 // served ordinal, drives sampling
+	served      metrics.Counter
+	cacheHits   metrics.Counter
+	cacheMisses metrics.Counter
+	sampled     metrics.Counter
+	errored     metrics.Counter
+	// outcomes tallies ladder rungs; index core.Outcome.
+	outcomes [int(core.OutcomeCanceled) + 1]metrics.Counter
+}
+
+// Server is the route-serving subsystem. Construct with New, submit
+// with Submit (or the HTTP layer of NewHandler), mutate faults with
+// ApplyFaults, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	cube *gc.Cube
+
+	// mu guards draining against the enqueue fast path (RLock) so
+	// Shutdown can close the shard channels without racing a send.
+	mu       sync.RWMutex
+	draining bool
+
+	// faultsMu serializes ApplyFaults; readers go through state.
+	faultsMu sync.Mutex
+	state    atomic.Pointer[epochState]
+	epoch    atomic.Uint64
+
+	shards   []*shard
+	wg       sync.WaitGroup
+	accepted metrics.Counter
+	rejected metrics.Counter
+	started  time.Time
+	maxHops  float64 // shard hop-histogram upper bound, for merged scrapes
+}
+
+// New builds and starts a server: workers are running on return.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, cube: cfg.Cube, started: time.Now()}
+
+	seed := fault.NewSet(s.cube)
+	if cfg.Faults != nil {
+		seed = cfg.Faults.Clone()
+	}
+	es := s.buildEpoch(0, seed.Freeze())
+	s.state.Store(es)
+
+	s.shards = make([]*shard, cfg.Shards)
+	s.maxHops = float64(8 * (int(s.cube.N()) + 1))
+	for i := range s.shards {
+		sh := &shard{
+			id:      i,
+			ch:      make(chan *task, cfg.QueueDepth),
+			latency: metrics.NewAtomicHistogram(0, latencyHi, latencyBuckets),
+			hops:    metrics.NewAtomicHistogram(0, s.maxHops, hopsBuckets),
+		}
+		if cfg.CacheCapacity > 0 {
+			sh.cache = simnet.NewRouteCache(cfg.CacheCapacity)
+		}
+		if cfg.TraceEvery > 0 {
+			sh.ring = trace.NewRing(cfg.TraceRing)
+		}
+		sh.state.Store(s.buildShardRouters(sh, es))
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go s.worker(sh)
+	}
+	return s, nil
+}
+
+// Cube returns the served topology.
+func (s *Server) Cube() *gc.Cube { return s.cube }
+
+// Epoch returns the current fault epoch.
+func (s *Server) Epoch() uint64 { return s.state.Load().epoch }
+
+// FaultSet returns the current frozen fault set.
+func (s *Server) FaultSet() *fault.Set { return s.state.Load().faults }
+
+// buildEpoch assembles the immutable state of one epoch from a frozen
+// fault set.
+func (s *Server) buildEpoch(epoch uint64, frozen *fault.Set) *epochState {
+	es := &epochState{epoch: epoch, faults: frozen, fp: frozen.Fingerprint()}
+	if s.cfg.Repair {
+		es.health = repair.NewHealth(s.cube)
+		es.health.Rebuild(frozen)
+	}
+	return es
+}
+
+// buildShardRouters constructs a shard's router pair for an epoch. An
+// empty fault set is handed to the planner as nil, which keeps the
+// PR 1 fault-free zero-allocation path (and its speed) on the floor.
+func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
+	var fs *fault.Set
+	if es.faults.Count() > 0 {
+		fs = es.faults
+	}
+	build := func(t trace.Tracer) core.Routing {
+		if s.cfg.Adaptive {
+			var oracle core.Oracle
+			if fs != nil {
+				oracle = fs
+			}
+			acfg := core.AdaptiveConfig{Substrate: s.cfg.Substrate, Tracer: t}
+			if s.cfg.Repair {
+				acfg.Repair = es.health
+			}
+			return core.NewAdaptiveRouter(s.cube, oracle, acfg)
+		}
+		opts := []core.Option{core.WithSubstrate(s.cfg.Substrate)}
+		if fs != nil {
+			opts = append(opts, core.WithFaults(fs))
+		}
+		if s.cfg.Repair && fs != nil {
+			opts = append(opts, core.WithRepair(es.health))
+		}
+		if t != nil {
+			opts = append(opts, core.WithTracer(t))
+		}
+		return core.NewRouter(s.cube, opts...)
+	}
+	rs := &shardRouters{es: es, plain: build(nil)}
+	if sh.ring != nil {
+		rs.traced = build(sh.ring)
+	} else {
+		rs.traced = rs.plain
+	}
+	return rs
+}
+
+// shardFor maps a source node to its shard: ending class modulo the
+// shard count.
+func (s *Server) shardFor(src gc.NodeID) *shard {
+	return s.shards[int(s.cube.EndingClass(src))%len(s.shards)]
+}
+
+// Submit routes one request through the worker pool and waits for its
+// verdict. The returned error is submission-level only (backpressure,
+// draining, out-of-range nodes); request-level failures arrive on
+// Response.Err and routing verdicts on Response.Report.Outcome. ctx
+// bounds the request; Config.DefaultDeadline applies when ctx carries
+// no deadline.
+func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
+	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
+		return nil, fmt.Errorf("serve: node out of range for GC(%d,2^%d)", s.cube.N(), s.cube.Alpha())
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if _, has := ctx.Deadline(); !has && s.cfg.DefaultDeadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		defer cancel()
+	}
+	t := &task{ctx: ctx, src: src, dst: dst, enq: time.Now(), resp: make(chan Response, 1)}
+	sh := s.shardFor(src)
+
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case sh.ch <- t:
+		s.accepted.Inc()
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Inc()
+		return nil, ErrBackpressure
+	}
+	// The worker always answers — including during a drain — so this
+	// receive cannot leak. An expired ctx is answered with
+	// OutcomeCanceled by the worker rather than abandoned here, which
+	// is what keeps accepted == served exact.
+	r := <-t.resp
+	return &r, nil
+}
+
+// worker drains one shard's queue in batches until the channel closes.
+func (s *Server) worker(sh *shard) {
+	defer s.wg.Done()
+	batch := make([]*task, 0, s.cfg.Batch)
+	for {
+		t, ok := <-sh.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], t)
+	fill:
+		for len(batch) < s.cfg.Batch {
+			select {
+			case t2, ok2 := <-sh.ch:
+				if !ok2 {
+					break fill
+				}
+				batch = append(batch, t2)
+			default:
+				break fill
+			}
+		}
+		// One epoch-state load serves the whole batch: requests accepted
+		// before a fault mutation may be answered against the new epoch,
+		// which is the freshest — never a stale — view.
+		rs := sh.state.Load()
+		for _, tk := range batch {
+			s.process(sh, rs, tk)
+		}
+	}
+}
+
+// testHookProcess, when non-nil, runs at the top of every process call.
+// Tests use it to hold a worker mid-task and observe backpressure
+// deterministically.
+var testHookProcess func()
+
+// process serves one task on its shard's worker.
+func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
+	if testHookProcess != nil {
+		testHookProcess()
+	}
+	if err := t.ctx.Err(); err != nil {
+		// Deadline died in the queue: still answered, still counted.
+		rep := &core.RouteReport{Outcome: core.OutcomeCanceled, Reason: err.Error()}
+		s.finish(sh, t, Response{Report: rep, Epoch: rs.es.epoch})
+		return
+	}
+	n := sh.seq.Add(1)
+	sampled := sh.ring != nil && s.cfg.TraceEvery > 0 && n%uint64(s.cfg.TraceEvery) == 0
+
+	if sh.cache != nil && !s.cfg.Adaptive {
+		if path, ok := sh.cache.Get(t.src, t.dst); ok {
+			sh.cacheHits.Inc()
+			if sampled {
+				sh.sampled.Inc()
+				sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(t.src), To: uint32(t.dst), Arg: int32(n)})
+				sh.ring.Emit(trace.Event{Kind: trace.KindCacheHit, From: uint32(t.src), To: uint32(t.dst)})
+			}
+			s.finish(sh, t, Response{Report: s.cachedReport(t.src, t.dst, path), Epoch: rs.es.epoch, CacheHit: true})
+			return
+		}
+		sh.cacheMisses.Inc()
+	}
+
+	router := rs.plain
+	if sampled {
+		sh.sampled.Inc()
+		sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(t.src), To: uint32(t.dst), Arg: int32(n)})
+		if sh.cache != nil && !s.cfg.Adaptive {
+			sh.ring.Emit(trace.Event{Kind: trace.KindCacheMiss, From: uint32(t.src), To: uint32(t.dst)})
+		}
+		router = rs.traced
+	}
+	rep, err := router.RouteContext(t.ctx, t.src, t.dst)
+	if err != nil {
+		s.finish(sh, t, Response{Err: err, Epoch: rs.es.epoch})
+		return
+	}
+	if sh.cache != nil && !s.cfg.Adaptive && !rep.Outcome.Undeliverable() && rep.Outcome != core.OutcomeCanceled {
+		sh.cache.Put(t.src, t.dst, rep.Path)
+	}
+	s.finish(sh, t, Response{Report: rep, Epoch: rs.es.epoch})
+}
+
+// cachedReport rebuilds a routing envelope from a cached path. A path
+// longer than the pair's distance was planned around faults, so it
+// reports the degraded rung exactly like its original route did.
+func (s *Server) cachedReport(src, dst gc.NodeID, path []gc.NodeID) *core.RouteReport {
+	hops := len(path) - 1
+	extra := hops - s.cube.Distance(src, dst)
+	rep := &core.RouteReport{Outcome: core.OutcomeDelivered, Path: path, Hops: hops, DetourHops: extra}
+	if extra > 0 {
+		rep.Outcome = core.OutcomeDeliveredDegraded
+		rep.Reason = "cached detour"
+	}
+	return rep
+}
+
+// finish records one served task and answers it. Every accepted task
+// passes through here exactly once — the conservation law the metrics
+// and the drain test rely on.
+func (s *Server) finish(sh *shard, t *task, r Response) {
+	sh.served.Inc()
+	sh.latency.Add(float64(time.Since(t.enq).Microseconds()))
+	if r.Err != nil {
+		sh.errored.Inc()
+	} else {
+		sh.outcomes[int(r.Report.Outcome)].Inc()
+		if !r.Report.Outcome.Undeliverable() && r.Report.Outcome != core.OutcomeCanceled {
+			sh.hops.Add(float64(r.Report.Hops))
+		}
+	}
+	t.resp <- r
+}
+
+// ApplyFaults validates and applies a batch of fault mutations as one
+// copy-on-write epoch step: the next frozen set is built with
+// fault.Set.MutateCopy, the epoch is bumped, every shard's router
+// state is swapped atomically and its route cache re-stamped with the
+// new fault fingerprint. In-flight requests complete against whichever
+// epoch their worker loaded; subsequent batches see the new one.
+func (s *Server) ApplyFaults(ops []FaultOp) (epoch uint64, faults int, err error) {
+	s.faultsMu.Lock()
+	defer s.faultsMu.Unlock()
+	cur := s.state.Load()
+	for _, op := range ops {
+		if err := s.validateOp(cur.faults, op); err != nil {
+			return cur.epoch, cur.faults.Count(), err
+		}
+	}
+	next := cur.faults.MutateCopy(func(fs *fault.Set) {
+		for _, op := range ops {
+			applyOp(fs, op)
+		}
+	})
+	es := s.buildEpoch(s.epoch.Add(1), next)
+	s.state.Store(es)
+	for _, sh := range s.shards {
+		sh.state.Store(s.buildShardRouters(sh, es))
+		if sh.cache != nil {
+			sh.cache.InvalidateTo(es.fp)
+		}
+	}
+	return es.epoch, es.faults.Count(), nil
+}
+
+// validateOp rejects malformed mutations before any of the batch is
+// applied, so a bad batch is atomic: all or nothing.
+func (s *Server) validateOp(cur *fault.Set, op FaultOp) error {
+	switch op.Op {
+	case OpClear:
+		return nil
+	case OpInject, OpRepair:
+	default:
+		return fmt.Errorf("serve: unknown fault op %q", op.Op)
+	}
+	if int(op.Node) >= s.cube.Nodes() {
+		return fmt.Errorf("serve: fault node %d out of range", op.Node)
+	}
+	switch op.Kind {
+	case KindNode:
+		return nil
+	case KindLink:
+		if !s.cube.HasLinkDim(op.Node, op.Dim) {
+			return fmt.Errorf("serve: node %d has no link in dimension %d", op.Node, op.Dim)
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: unknown fault kind %q", op.Kind)
+	}
+}
+
+// applyOp applies one pre-validated mutation.
+func applyOp(fs *fault.Set, op FaultOp) {
+	switch op.Op {
+	case OpClear:
+		for _, f := range fs.RawFaults() {
+			if f.Kind == fault.KindNode {
+				fs.RemoveNode(f.Node)
+			} else {
+				fs.RemoveLink(f.Node, f.Dim)
+			}
+		}
+	case OpInject:
+		if op.Kind == KindNode {
+			fs.AddNode(op.Node)
+		} else {
+			fs.AddLink(op.Node, op.Dim)
+		}
+	case OpRepair:
+		if op.Kind == KindNode {
+			fs.RemoveNode(op.Node)
+		} else {
+			fs.RemoveLink(op.Node, op.Dim)
+		}
+	}
+}
+
+// Shutdown drains the server: new submissions are refused with
+// ErrDraining, every queued request is answered, workers exit. It
+// returns ctx's error if the drain outlives it (workers keep draining
+// regardless). Shutdown is idempotent; concurrent calls all wait for
+// the one drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		// No sender can be in flight: Submit holds mu.RLock around its
+		// send and re-checks draining under it.
+		for _, sh := range s.shards {
+			close(sh.ch)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}

@@ -1,0 +1,66 @@
+package gcube_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gaussiancube/pkg/gcube"
+)
+
+// TestClientRoundTrip drives the HTTP client against a real handler:
+// route, fault mutation, metrics scrape, liveness — the same sequence
+// the CI smoke job runs against a booted gcserved.
+func TestClientRoundTrip(t *testing.T) {
+	cube := gcube.NewCube(8, 2)
+	srv, err := gcube.NewServer(gcube.ServerConfig{Cube: cube, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gcube.NewHTTPHandler(srv))
+	defer ts.Close()
+	cl := gcube.NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	if err := cl.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	r, err := cl.Route(ctx, 3, 200)
+	if err != nil || r.Outcome != "delivered" || r.Hops != cube.Distance(3, 200) {
+		t.Fatalf("route: %+v, %v", r, err)
+	}
+	fr, err := cl.ApplyFaults(ctx, []gcube.FaultOp{
+		{Op: gcube.OpInject, Kind: gcube.KindNode, Node: 200},
+	})
+	if err != nil || fr.Epoch != 1 || fr.Faults != 1 {
+		t.Fatalf("faults: %+v, %v", fr, err)
+	}
+
+	// Routing to the node just failed: 409 with the envelope decoded.
+	_, err = cl.Route(ctx, 3, 200)
+	var se *gcube.StatusError
+	if !errors.As(err, &se) || se.Code != 409 {
+		t.Fatalf("route to faulty node: %v", err)
+	}
+
+	m, err := cl.Metrics(ctx)
+	if err != nil || m.Accepted != 2 || m.Served != 2 || m.Epoch != 1 {
+		t.Fatalf("metrics: %+v, %v", m, err)
+	}
+
+	// Bad batches surface as status errors.
+	if _, err := cl.ApplyFaults(ctx, []gcube.FaultOp{{Op: "bogus"}}); err == nil {
+		t.Fatal("bad batch must error")
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Healthz(ctx); err == nil {
+		t.Fatal("healthz on a draining server must fail")
+	}
+}

@@ -1,0 +1,180 @@
+// Package gcube is the public facade of the Gaussian Cube routing
+// reproduction (FFGCR: fault-tolerant routing for Gaussian Cubes using
+// the Gaussian Tree). It re-exports the stable surface of the internal
+// packages — topology, fault sets, the two routers behind the unified
+// Routing interface, tracing, and the serving subsystem — so external
+// importers (and cmd/gcserved's own client code) never reach into
+// internal/*.
+//
+// The shapes are type aliases, not copies: a *gcube.Cube is the same
+// type the internal engines operate on, so there is no conversion tax
+// at the boundary and the zero-allocation guarantees of the hot path
+// carry through unchanged.
+//
+// # Layers
+//
+//   - Topology: NewCube builds GC(n, 2^alpha); NodeID addresses nodes.
+//   - Faults: NewFaultSet marks failed nodes/links; Freeze publishes a
+//     set for concurrent readers; MutateCopy evolves it copy-on-write.
+//   - Routing: NewRouter (whole-path planner) and NewAdaptiveRouter
+//     (per-hop discovery) both satisfy Routing; RouteContext returns a
+//     RouteReport whose Outcome ladder encodes the network verdict.
+//   - Serving: NewServer runs the sharded worker pool of
+//     internal/serve in-process; NewHTTPHandler exposes it over
+//     HTTP/JSON; Client speaks that protocol to a remote gcserved.
+package gcube
+
+import (
+	"net/http"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/serve"
+	"gaussiancube/internal/trace"
+)
+
+// NodeID addresses one node of a Gaussian Cube; values are the
+// paper's binary node labels.
+type NodeID = gc.NodeID
+
+// Cube is the GC(n, 2^alpha) topology: link queries, ending classes,
+// distances, GEEC structure.
+type Cube = gc.Cube
+
+// NewCube constructs GC(n, 2^alpha). It panics when alpha is 0 or
+// n < alpha (no such Gaussian Cube).
+func NewCube(n, alpha uint) *Cube { return gc.New(n, alpha) }
+
+// FaultSet is a mutable set of failed nodes and links over one cube.
+// Hand a set to a router only after Freeze (or build successors with
+// MutateCopy); the frozen flag is checked atomically, so publication
+// through an atomic pointer is race-free.
+type FaultSet = fault.Set
+
+// NewFaultSet returns an empty fault set over c.
+func NewFaultSet(c *Cube) *FaultSet { return fault.NewSet(c) }
+
+// Router is the whole-path FFGCR planner (zero-allocation hot path,
+// BFS last resort, optional tree-repair detours).
+type Router = core.Router
+
+// AdaptiveRouter steps packets hop by hop, discovering faults through
+// a local oracle instead of global knowledge.
+type AdaptiveRouter = core.AdaptiveRouter
+
+// AdaptiveConfig tunes an AdaptiveRouter (retry budget, TTL, backoff,
+// tracing).
+type AdaptiveConfig = core.AdaptiveConfig
+
+// Oracle is the adaptive router's window onto ground truth: the
+// fault-status queries a node can answer about its own links. A frozen
+// *FaultSet implements it.
+type Oracle = core.Oracle
+
+// Routing is the unified routing interface both routers satisfy:
+// context-aware, one report envelope, cancellation surfaced as
+// OutcomeCanceled rather than an error.
+type Routing = core.Routing
+
+// RouteReport is the unified verdict envelope of Routing.RouteContext.
+type RouteReport = core.RouteReport
+
+// Outcome is the terminal-classification ladder of a routed request.
+type Outcome = core.Outcome
+
+// Outcome ladder.
+const (
+	OutcomePending                  = core.OutcomePending
+	OutcomeDelivered                = core.OutcomeDelivered
+	OutcomeDeliveredDegraded        = core.OutcomeDeliveredDegraded
+	OutcomeUndeliverable            = core.OutcomeUndeliverable
+	OutcomeUndeliverablePartitioned = core.OutcomeUndeliverablePartitioned
+	OutcomeCanceled                 = core.OutcomeCanceled
+)
+
+// Routing errors (caller mistakes; network verdicts ride the ladder).
+var (
+	ErrFaultyEndpoint = core.ErrFaultyEndpoint
+	ErrUnreachable    = core.ErrUnreachable
+	ErrPartitioned    = core.ErrPartitioned
+)
+
+// Substrate selects the intra-GEEC fault-tolerant hypercube router.
+type Substrate = core.Substrate
+
+// Substrate choices.
+const (
+	SubstrateAdaptive = core.SubstrateAdaptive
+	SubstrateSafety   = core.SubstrateSafety
+	SubstrateVector   = core.SubstrateVector
+)
+
+// Option configures NewRouter.
+type Option = core.Option
+
+// WithFaults routes around the given (frozen) fault set.
+func WithFaults(s *FaultSet) Option { return core.WithFaults(s) }
+
+// WithSubstrate selects the intra-class fault-tolerant router.
+func WithSubstrate(s Substrate) Option { return core.WithSubstrate(s) }
+
+// WithTracer attaches a trace sink to the planner.
+func WithTracer(t Tracer) Option { return core.WithTracer(t) }
+
+// NewRouter builds the FFGCR planner over cube c.
+func NewRouter(c *Cube, opts ...Option) *Router { return core.NewRouter(c, opts...) }
+
+// NewAdaptiveRouter builds a per-hop adaptive router over cube c with
+// ground truth oracle (nil means fault-free).
+func NewAdaptiveRouter(c *Cube, oracle Oracle, cfg AdaptiveConfig) *AdaptiveRouter {
+	return core.NewAdaptiveRouter(c, oracle, cfg)
+}
+
+// Tracer receives structured routing events; TraceRing is the bounded
+// lock-free implementation the observability stack uses.
+type (
+	Tracer     = trace.Tracer
+	TraceEvent = trace.Event
+	TraceRing  = trace.Ring
+)
+
+// NewTraceRing returns a bounded concurrent event ring.
+func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// Serving subsystem: the sharded, batching route server of
+// internal/serve, embeddable in-process or exposed over HTTP.
+type (
+	Server          = serve.Server
+	ServerConfig    = serve.Config
+	ServerResponse  = serve.Response
+	RouteRequest    = serve.RouteRequest
+	RouteResponse   = serve.RouteResponse
+	FaultOp         = serve.FaultOp
+	FaultsResponse  = serve.FaultsResponse
+	MetricsSnapshot = serve.MetricsSnapshot
+)
+
+// Fault mutation verbs and kinds for FaultOp.
+const (
+	OpInject = serve.OpInject
+	OpRepair = serve.OpRepair
+	OpClear  = serve.OpClear
+
+	KindNode = serve.KindNode
+	KindLink = serve.KindLink
+)
+
+// Submission errors of Server.Submit.
+var (
+	ErrBackpressure = serve.ErrBackpressure
+	ErrDraining     = serve.ErrDraining
+)
+
+// NewServer builds and starts a route server; workers are running on
+// return. Shut it down with Server.Shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewHTTPHandler exposes a Server over HTTP/JSON (/route, /faults,
+// /metrics, /debug/traces, /healthz, pprof).
+func NewHTTPHandler(s *Server) http.Handler { return serve.NewHandler(s) }
