@@ -20,18 +20,22 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark run (BENCHTIME=1x for a smoke pass).
+# BENCH_OUT names the output document; committed snapshots are
+# BENCH_<pr>.json and are never removed by `make clean`.
 BENCHTIME ?= 1s
+BENCH_OUT ?= BENCH_6.json
 bench-json:
-	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o BENCH_1.json
+	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 fuzz:
 	$(GO) test -fuzz=FuzzRoute$$ -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzRouteAgainstOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzPC -fuzztime=30s ./internal/gtree/
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/wire/
 
 # Regenerate every paper figure as tables, CSV, SVG and a markdown report.
 figures:
 	$(GO) run ./cmd/gcbench -svg charts -csv data -report report.md
 
 clean:
-	rm -rf charts data report.md test_output.txt bench_output.txt BENCH_1.json HIST_1.json
+	rm -rf charts data report.md test_output.txt bench_output.txt HIST_1.json

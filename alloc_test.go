@@ -1,12 +1,17 @@
 package gaussiancube_bench
 
 import (
+	"context"
+	"time"
+
 	"math/rand"
 	"testing"
 
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/gtree"
+	"gaussiancube/internal/serve"
+	"gaussiancube/internal/wire"
 )
 
 // Allocation regression tests for the fault-free hot path. The bounds
@@ -162,5 +167,100 @@ func TestNeighborsAllocs(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, func() { buf = cube.AppendNeighbors(buf[:0], p) })
 	if allocs >= 1 {
 		t.Fatalf("AppendNeighbors: %v allocs, want 0", allocs)
+	}
+}
+
+// TestWireCodecAllocs: the gcwire binary codec is append-style on the
+// encode side and decode-into-reused-struct on the decode side; with a
+// capacious buffer and warmed scratch slices, a RouteReq/RouteResult
+// round trip performs zero heap allocations. This is the bound that
+// keeps the wire server's reader-goroutine fast path allocation-free.
+func TestWireCodecAllocs(t *testing.T) {
+	path := []gc.NodeID{3, 11, 10, 14, 15}
+	res := wire.RouteResult{
+		Outcome: 1,
+		Flags:   wire.FlagCacheHit,
+		Hops:    4,
+		Epoch:   7,
+		Reason:  []byte("cached detour"),
+		Path:    path,
+	}
+	buf := make([]byte, 0, 512)
+	var req wire.RouteReq
+	var dec wire.RouteResult
+	dec.Reason = make([]byte, 0, 64)
+	dec.Path = make([]gc.NodeID, 0, 64)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = wire.AppendRouteReq(buf[:0], 42, wire.RouteReq{Src: 3, Dst: 15})
+		h, err := wire.ParseHeader(buf)
+		if err != nil {
+			return
+		}
+		if err := wire.DecodeRouteReq(buf[wire.HeaderSize:wire.HeaderSize+int(h.Len)], &req); err != nil {
+			return
+		}
+		buf = wire.AppendRouteResult(buf[:0], 42, &res)
+		h, err = wire.ParseHeader(buf)
+		if err != nil {
+			return
+		}
+		dec.Reason = dec.Reason[:0]
+		dec.Path = dec.Path[:0]
+		if err := wire.DecodeRouteResult(buf[wire.HeaderSize:wire.HeaderSize+int(h.Len)], &dec); err != nil {
+			return
+		}
+	})
+	if allocs >= 1 {
+		t.Fatalf("wire codec round trip: %v allocs, want 0", allocs)
+	}
+	if req.Src != 3 || req.Dst != 15 || len(dec.Path) != len(path) {
+		t.Fatalf("round trip corrupted: req=%+v dec=%+v", req, dec)
+	}
+}
+
+// TestFastRouteAllocs: a warmed cache hit answered on the FastRoute
+// fast path — the read a wire-server reader goroutine performs per
+// pipelined request — is zero allocations. Tracing must be off
+// (TraceEvery 0): sampled ring emissions are the one legal allocation
+// source on a hit.
+func TestFastRouteAllocs(t *testing.T) {
+	cube := gc.New(10, 3)
+	s, err := serve.New(serve.Config{Cube: cube, CacheCapacity: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	pairs := allocPairs(cube, 64, 11)
+	// Route every pair once through the full pipeline to populate the
+	// shard caches, then confirm the fast path sees them.
+	for _, p := range pairs {
+		if _, err := s.Submit(context.Background(), p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		if _, ok := s.FastRoute(p[0], p[1]); !ok {
+			t.Fatalf("pair (%d,%d) not cached after submit", p[0], p[1])
+		}
+	}
+	i := 0
+	misses := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		if _, ok := s.FastRoute(p[0], p[1]); !ok {
+			misses++
+		}
+	})
+	if misses > 0 {
+		t.Fatalf("%d unexpected cache misses", misses)
+	}
+	if allocs >= 1 {
+		t.Fatalf("FastRoute hit: %v allocs, want 0", allocs)
 	}
 }

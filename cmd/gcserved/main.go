@@ -6,9 +6,11 @@
 // Usage:
 //
 //	gcserved -n 10 -alpha 3 -addr :8321
+//	gcserved -n 10 -alpha 3 -addr :8321 -wire-addr :8322
 //	gcserved -n 10 -alpha 3 -faults 5 -seed 7 -trace-every 64
 //	gcserved -n 10 -alpha 3 -adaptive -repair
 //	gcserved -selftest -n 10 -alpha 3 -clients 8 -requests 4000
+//	gcserved -selftest -wire -n 10 -alpha 3 -clients 8 -requests 4000
 //
 // Endpoints: POST/GET /route, GET|POST /faults, GET /metrics,
 // GET /debug/traces, GET /healthz, /debug/pprof/*, /debug/vars.
@@ -16,16 +18,24 @@
 // routing verdicts (delivered, degraded, undeliverable, partitioned,
 // canceled) are 200s carrying the outcome in the body.
 //
+// -wire-addr additionally serves the gcwire binary protocol
+// (DESIGN.md §11) on a second listener: the same Server, the same
+// fault epoch, answered over length-prefixed frames with the
+// cache-hit fast path and request coalescing in front of the shard
+// queues.
+//
 // -selftest boots the server on a loopback listener and drives it with
-// the repo's synthetic workload patterns through the public HTTP
-// client — live fault churn included — then drains and verifies the
+// the repo's synthetic workload patterns through the public client —
+// live fault churn included — then drains and verifies the
 // conservation law (every accepted request answered exactly once). It
 // exits non-zero on any violation, which is what the CI smoke job
-// runs.
+// runs. With -wire the load goes through the binary gcwire client
+// instead of HTTP.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		n          = fs.Uint("n", 10, "network dimension n")
 		alpha      = fs.Uint("alpha", 3, "modulus exponent: M = 2^alpha")
 		addr       = fs.String("addr", ":8321", "listen address")
+		wireAddr   = fs.String("wire-addr", "", "also serve the gcwire binary protocol on this address (empty = off)")
 		shards     = fs.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 2^alpha))")
 		queue      = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
 		batch      = fs.Int("batch", 32, "max requests a worker drains per wakeup")
@@ -76,6 +87,7 @@ func run(args []string, out io.Writer) error {
 		requests   = fs.Int("requests", 2000, "selftest: requests per client")
 		pattern    = fs.String("pattern", "uniform", "selftest traffic: uniform|complement|transpose|hotspot|permutation")
 		churn      = fs.Int("churn", 24, "selftest: fault mutations applied during the run")
+		wireTest   = fs.Bool("wire", false, "selftest: drive the load through the gcwire binary client instead of HTTP")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +123,7 @@ func run(args []string, out io.Writer) error {
 			pattern:  *pattern,
 			churn:    *churn,
 			seed:     *seed,
+			wire:     *wireTest,
 		})
 	}
 
@@ -122,9 +135,20 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "gcserved: GC(%d,2^%d), %d nodes, listening on %s\n",
 		*n, *alpha, cube.Nodes(), ln.Addr())
 
+	var wireSrv *gcube.WireServer
+	errc := make(chan error, 2)
+	if *wireAddr != "" {
+		wln, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			return err
+		}
+		wireSrv = gcube.NewWireServer(srv, wln)
+		fmt.Fprintf(out, "gcserved: gcwire binary protocol on %s\n", wln.Addr())
+		go func() { errc <- wireSrv.Serve() }()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	select {
@@ -135,10 +159,18 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "gcserved: draining...")
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	// Stop accepting HTTP first, then drain the worker queues; every
-	// request accepted before the signal is answered.
+	// Stop accepting new work first — HTTP, then the wire listener (its
+	// Close unblocks every connection reader and waits for in-flight
+	// miss goroutines, which need the workers still running) — then
+	// drain the worker queues; every request accepted before the signal
+	// is answered.
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if wireSrv != nil {
+		if err := wireSrv.Close(); err != nil {
+			return fmt.Errorf("wire shutdown: %w", err)
+		}
 	}
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
@@ -159,6 +191,7 @@ type selftestConfig struct {
 	pattern  string
 	churn    int
 	seed     int64
+	wire     bool
 }
 
 // buildPattern maps the flag onto the simulator's workload generators
@@ -181,7 +214,23 @@ func buildPattern(name string, bits uint, seed int64) (workload.Pattern, error) 
 	}
 }
 
-// runSelftest serves on loopback and hammers the HTTP surface with the
+// refusal classifies an error as a load-shedding verdict (queue full,
+// endpoint currently faulty) rather than a transport failure, on
+// either surface.
+func refusal(err error) bool {
+	var se *gcube.StatusError
+	if errors.As(err, &se) {
+		return se.IsBackpressure() || se.Code == http.StatusConflict
+	}
+	var we *gcube.WireStatusError
+	if errors.As(err, &we) {
+		return we.IsBackpressure() || we.Code == http.StatusConflict
+	}
+	return false
+}
+
+// runSelftest serves on loopback and hammers the public surface — HTTP
+// by default, the gcwire binary protocol with -wire — with the
 // synthetic workload, mutating faults mid-flight, then drains and
 // checks conservation.
 func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
@@ -193,11 +242,23 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: gcube.NewHTTPHandler(srv)}
-	go func() { _ = httpSrv.Serve(ln) }()
-	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(out, "gcserved selftest: %s, pattern=%s, %d clients x %d requests, churn=%d\n",
-		base, pat.Name(), cfg.clients, cfg.requests, cfg.churn)
+	var (
+		httpSrv *http.Server
+		wireSrv *gcube.WireServer
+		surface = "http"
+	)
+	if cfg.wire {
+		surface = "gcwire"
+		wireSrv = gcube.NewWireServer(srv, ln)
+		go func() { _ = wireSrv.Serve() }()
+	} else {
+		httpSrv = &http.Server{Handler: gcube.NewHTTPHandler(srv)}
+		go func() { _ = httpSrv.Serve(ln) }()
+	}
+	addr := ln.Addr().String()
+	base := "http://" + addr
+	fmt.Fprintf(out, "gcserved selftest: %s over %s, pattern=%s, %d clients x %d requests, churn=%d\n",
+		addr, surface, pat.Name(), cfg.clients, cfg.requests, cfg.churn)
 
 	cube := srv.Cube()
 	nodes := cube.Nodes()
@@ -213,19 +274,32 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
 			rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 			ctx := context.Background()
+			var route func(src, dst gcube.NodeID) (*gcube.RouteResponse, error)
+			if cfg.wire {
+				wcl, err := gcube.DialWire(addr)
+				if err != nil {
+					failed.Add(1)
+					fmt.Fprintf(out, "client %d: dial: %v\n", id, err)
+					return
+				}
+				defer wcl.Close()
+				route = wcl.Route
+			} else {
+				cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
+				route = func(s, d gcube.NodeID) (*gcube.RouteResponse, error) {
+					return cl.Route(ctx, s, d)
+				}
+			}
 			for i := 0; i < cfg.requests; i++ {
 				src := gcube.NodeID(rng.Intn(nodes))
 				dst := pat.Dest(rng, src)
-				r, err := cl.Route(ctx, src, dst)
+				r, err := route(src, dst)
 				if err != nil {
-					if se, ok := err.(*gcube.StatusError); ok {
-						if se.IsBackpressure() || se.Code == http.StatusConflict {
-							refused.Add(1) // queue full, or endpoint currently faulty
-							continue
-						}
+					if refusal(err) {
+						refused.Add(1) // queue full, or endpoint currently faulty
+						continue
 					}
 					failed.Add(1)
 					fmt.Fprintf(out, "client %d: %v\n", id, err)
@@ -239,10 +313,24 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 		}(c)
 	}
 
-	// Fault churner through the same public client.
+	// Fault churner through the same public surface.
 	churnDone := make(chan error, 1)
 	go func() {
-		cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
+		var apply func(ops []gcube.FaultOp) (*gcube.FaultsResponse, error)
+		if cfg.wire {
+			wcl, err := gcube.DialWire(addr)
+			if err != nil {
+				churnDone <- fmt.Errorf("churn dial: %w", err)
+				return
+			}
+			defer wcl.Close()
+			apply = wcl.ApplyFaults
+		} else {
+			cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
+			apply = func(ops []gcube.FaultOp) (*gcube.FaultsResponse, error) {
+				return cl.ApplyFaults(context.Background(), ops)
+			}
+		}
 		rng := rand.New(rand.NewSource(cfg.seed * 31))
 		for e := 0; e < cfg.churn; e++ {
 			node := gcube.NodeID(rng.Intn(nodes))
@@ -250,8 +338,7 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 			if srv.FaultSet().NodeFaulty(node) {
 				op = gcube.OpRepair
 			}
-			if _, err := cl.ApplyFaults(context.Background(),
-				[]gcube.FaultOp{{Op: op, Kind: gcube.KindNode, Node: node}}); err != nil {
+			if _, err := apply([]gcube.FaultOp{{Op: op, Kind: gcube.KindNode, Node: node}}); err != nil {
 				churnDone <- fmt.Errorf("churn step %d: %w", e, err)
 				return
 			}
@@ -268,7 +355,11 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(dctx); err != nil {
+	if cfg.wire {
+		if err := wireSrv.Close(); err != nil {
+			return fmt.Errorf("wire shutdown: %w", err)
+		}
+	} else if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
 	if err := srv.Shutdown(dctx); err != nil {

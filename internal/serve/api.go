@@ -116,16 +116,18 @@ type FaultsResponse struct {
 
 // ShardSnapshot is one shard's slice of the metrics scrape.
 type ShardSnapshot struct {
-	Shard       int                `json:"shard"`
-	Served      int64              `json:"served"`
-	CacheHits   int64              `json:"cache_hits"`
-	CacheMisses int64              `json:"cache_misses"`
-	Sampled     int64              `json:"sampled"`
-	Errors      int64              `json:"errors"`
-	Outcomes    map[string]int64   `json:"outcomes"`
-	Queue       int                `json:"queue"`
-	Latency     *metrics.Histogram `json:"latency_us"`
-	Hops        *metrics.Histogram `json:"hops"`
+	Shard        int                `json:"shard"`
+	Served       int64              `json:"served"`
+	CacheHits    int64              `json:"cache_hits"`
+	CacheMisses  int64              `json:"cache_misses"`
+	FastPathHits int64              `json:"fast_path_hits"`
+	Coalesced    int64              `json:"coalesced"`
+	Sampled      int64              `json:"sampled"`
+	Errors       int64              `json:"errors"`
+	Outcomes     map[string]int64   `json:"outcomes"`
+	Queue        int                `json:"queue"`
+	Latency      *metrics.Histogram `json:"latency_us"`
+	Hops         *metrics.Histogram `json:"hops"`
 }
 
 // MetricsSnapshot is the GET /metrics document: totals plus the
@@ -141,6 +143,12 @@ type MetricsSnapshot struct {
 	Rejected int64 `json:"rejected"`
 	Served   int64 `json:"served"`
 	Errors   int64 `json:"errors"`
+	// FastPathHits counts cache hits answered on the submitter's
+	// goroutine without ever enqueueing; Coalesced counts requests that
+	// joined an identical in-flight request's plan instead of queueing
+	// their own.
+	FastPathHits int64 `json:"fast_path_hits"`
+	Coalesced    int64 `json:"coalesced"`
 
 	Outcomes map[string]int64 `json:"outcomes"`
 	// Latency is the merged end-to-end service latency in microseconds
@@ -173,16 +181,18 @@ func (s *Server) Metrics() *MetricsSnapshot {
 	}
 	for _, sh := range s.shards {
 		ss := ShardSnapshot{
-			Shard:       sh.id,
-			Served:      sh.served.Value(),
-			CacheHits:   sh.cacheHits.Value(),
-			CacheMisses: sh.cacheMisses.Value(),
-			Sampled:     sh.sampled.Value(),
-			Errors:      sh.errored.Value(),
-			Outcomes:    make(map[string]int64),
-			Queue:       len(sh.ch),
-			Latency:     sh.latency.Snapshot(),
-			Hops:        sh.hops.Snapshot(),
+			Shard:        sh.id,
+			Served:       sh.served.Value(),
+			CacheHits:    sh.cacheHits.Value(),
+			CacheMisses:  sh.cacheMisses.Value(),
+			FastPathHits: sh.fastHits.Value(),
+			Coalesced:    sh.coalesced.Value(),
+			Sampled:      sh.sampled.Value(),
+			Errors:       sh.errored.Value(),
+			Outcomes:     make(map[string]int64),
+			Queue:        len(sh.ch),
+			Latency:      sh.latency.Snapshot(),
+			Hops:         sh.hops.Snapshot(),
 		}
 		for o := range sh.outcomes {
 			if v := sh.outcomes[o].Value(); v > 0 {
@@ -191,6 +201,8 @@ func (s *Server) Metrics() *MetricsSnapshot {
 		}
 		m.Served += ss.Served
 		m.Errors += ss.Errors
+		m.FastPathHits += ss.FastPathHits
+		m.Coalesced += ss.Coalesced
 		for k, v := range ss.Outcomes {
 			m.Outcomes[k] += v
 		}

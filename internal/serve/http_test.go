@@ -127,8 +127,9 @@ func TestMetricsGoldenShape(t *testing.T) {
 	}
 	sort.Strings(keys)
 	want := []string{
-		"accepted", "epoch", "errors", "faults", "hops", "latency_us",
-		"outcomes", "per_shard", "rejected", "served", "shards", "uptime_ms",
+		"accepted", "coalesced", "epoch", "errors", "fast_path_hits", "faults",
+		"hops", "latency_us", "outcomes", "per_shard", "rejected", "served",
+		"shards", "uptime_ms",
 	}
 	if got := strings.Join(keys, ","); got != strings.Join(want, ",") {
 		t.Fatalf("top-level keys:\n  got  %s\n  want %s", got, strings.Join(want, ","))

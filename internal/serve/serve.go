@@ -179,14 +179,44 @@ type shard struct {
 	latency *metrics.AtomicHistogram // microseconds
 	hops    *metrics.AtomicHistogram
 
+	// co merges identical in-flight planner requests (see Submit).
+	co coalescer
+
 	seq         atomic.Uint64 // served ordinal, drives sampling
 	served      metrics.Counter
 	cacheHits   metrics.Counter
 	cacheMisses metrics.Counter
+	fastHits    metrics.Counter // cache hits answered on the submitter
+	coalesced   metrics.Counter // requests that joined another's flight
 	sampled     metrics.Counter
 	errored     metrics.Counter
 	// outcomes tallies ladder rungs; index core.Outcome.
 	outcomes [int(core.OutcomeCanceled) + 1]metrics.Counter
+}
+
+// coalesceKey identifies one logical in-flight plan. The epoch
+// fingerprint — not the epoch counter — is deliberate: it is
+// content-addressed, so two epochs with identical fault sets may share
+// a plan, while any fault swap that changes the content forces
+// post-swap arrivals into a fresh group instead of piggybacking on a
+// plan computed against a network that no longer exists.
+type coalesceKey struct {
+	src, dst gc.NodeID
+	fp       uint64
+}
+
+// flightGroup is one leader's in-flight request plus everyone waiting
+// on it. resp/err are written exactly once, before done is closed.
+type flightGroup struct {
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// coalescer is a per-shard singleflight table.
+type coalescer struct {
+	mu sync.Mutex
+	m  map[coalesceKey]*flightGroup
 }
 
 // Server is the route-serving subsystem. Construct with New, submit
@@ -200,6 +230,10 @@ type Server struct {
 	// Shutdown can close the shard channels without racing a send.
 	mu       sync.RWMutex
 	draining bool
+	// drain mirrors draining for lock-free reads on the cache-hit fast
+	// path, which never touches the shard channels and so needs no
+	// ordering against their close — only a refusal bit.
+	drain atomic.Bool
 
 	// faultsMu serializes ApplyFaults; readers go through state.
 	faultsMu sync.Mutex
@@ -239,7 +273,12 @@ func New(cfg Config) (*Server, error) {
 		}
 		if cfg.CacheCapacity > 0 {
 			sh.cache = simnet.NewRouteCache(cfg.CacheCapacity)
+			// Stamp the cache with the seed epoch's fingerprint so the
+			// token-checked Get/Put pairs work from the first request even
+			// when the server starts with a non-empty fault set.
+			sh.cache.InvalidateTo(es.fp)
 		}
+		sh.co.m = make(map[coalesceKey]*flightGroup)
 		if cfg.TraceEvery > 0 {
 			sh.ring = trace.NewRing(cfg.TraceRing)
 		}
@@ -318,12 +357,18 @@ func (s *Server) shardFor(src gc.NodeID) *shard {
 	return s.shards[int(s.cube.EndingClass(src))%len(s.shards)]
 }
 
-// Submit routes one request through the worker pool and waits for its
-// verdict. The returned error is submission-level only (backpressure,
-// draining, out-of-range nodes); request-level failures arrive on
-// Response.Err and routing verdicts on Response.Report.Outcome. ctx
-// bounds the request; Config.DefaultDeadline applies when ctx carries
-// no deadline.
+// Submit routes one request through the serving pipeline and waits for
+// its verdict. The returned error is submission-level only
+// (backpressure, draining, out-of-range nodes); request-level failures
+// arrive on Response.Err and routing verdicts on
+// Response.Report.Outcome. ctx bounds the request;
+// Config.DefaultDeadline applies when ctx carries no deadline.
+//
+// Planner-mode requests take three tiers, cheapest first: a cache-hit
+// fast path answered on this goroutine (FastRoute), a singleflight
+// coalescer that joins an identical in-flight request's plan, and
+// finally the shard queue. Adaptive mode always queues — each flight's
+// per-hop discovery is its own.
 func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
 	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
 		return nil, fmt.Errorf("serve: node out of range for GC(%d,2^%d)", s.cube.N(), s.cube.Alpha())
@@ -336,9 +381,46 @@ func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, err
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
 		defer cancel()
 	}
-	t := &task{ctx: ctx, src: src, dst: dst, enq: time.Now(), resp: make(chan Response, 1)}
+	enq := time.Now()
 	sh := s.shardFor(src)
+	for attempt := 0; ; attempt++ {
+		if ans, ok := s.FastRoute(src, dst); ok {
+			return responseFromCached(&ans), nil
+		}
+		if s.cfg.Adaptive {
+			return s.enqueueWait(ctx, sh, src, dst, enq)
+		}
 
+		key := coalesceKey{src: src, dst: dst, fp: sh.state.Load().es.fp}
+		sh.co.mu.Lock()
+		if g, ok := sh.co.m[key]; ok {
+			sh.co.mu.Unlock()
+			resp, retry, err := s.waitCoalesced(ctx, sh, g, enq, attempt == 0)
+			if retry {
+				// The leader died of its own deadline while ours is still
+				// alive; its canceled verdict is not ours. One requeue.
+				continue
+			}
+			return resp, err
+		}
+		g := &flightGroup{done: make(chan struct{})}
+		sh.co.m[key] = g
+		sh.co.mu.Unlock()
+
+		resp, err := s.enqueueWait(ctx, sh, src, dst, enq)
+		g.resp, g.err = resp, err
+		sh.co.mu.Lock()
+		delete(sh.co.m, key)
+		sh.co.mu.Unlock()
+		close(g.done)
+		return resp, err
+	}
+}
+
+// enqueueWait pushes one task onto its shard queue and blocks for the
+// worker's answer — the queue tier of Submit.
+func (s *Server) enqueueWait(ctx context.Context, sh *shard, src, dst gc.NodeID, enq time.Time) (*Response, error) {
+	t := &task{ctx: ctx, src: src, dst: dst, enq: enq, resp: make(chan Response, 1)}
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
@@ -359,6 +441,124 @@ func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, err
 	// is what keeps accepted == served exact.
 	r := <-t.resp
 	return &r, nil
+}
+
+// waitCoalesced blocks a follower on its group's leader. Every
+// follower of a group receives the one leader verdict (or its
+// submission error), so a fault swap mid-flight can never hand a torn
+// mix of old- and new-epoch plans to the same group. retry is set only
+// when canRetry holds and the leader's verdict was its own
+// cancellation while this follower is still alive; out of retries, the
+// canceled verdict is adopted as our own.
+func (s *Server) waitCoalesced(ctx context.Context, sh *shard, g *flightGroup, enq time.Time, canRetry bool) (resp *Response, retry bool, err error) {
+	sh.coalesced.Inc()
+	select {
+	case <-g.done:
+	case <-ctx.Done():
+		// Our deadline died first. Answer canceled ourselves — counted
+		// exactly like a worker-answered cancellation.
+		rep := &core.RouteReport{Outcome: core.OutcomeCanceled, Reason: ctx.Err().Error()}
+		r := &Response{Report: rep, Epoch: s.state.Load().epoch}
+		s.accepted.Inc()
+		s.accountDirect(sh, r, enq)
+		return r, false, nil
+	}
+	if g.err != nil {
+		// The leader was refused (backpressure or drain); so are we.
+		s.rejected.Inc()
+		return nil, false, g.err
+	}
+	if canRetry && g.resp.Report != nil && g.resp.Report.Outcome == core.OutcomeCanceled && ctx.Err() == nil {
+		return nil, true, nil
+	}
+	cp := *g.resp
+	s.accepted.Inc()
+	s.accountDirect(sh, &cp, enq)
+	return &cp, false, nil
+}
+
+// accountDirect records a request answered off-worker (fast path
+// followers and coalesced waiters) with exactly the bookkeeping finish
+// gives a queued task, preserving the accepted == served conservation
+// law.
+func (s *Server) accountDirect(sh *shard, r *Response, enq time.Time) {
+	sh.served.Inc()
+	sh.latency.Add(float64(time.Since(enq).Microseconds()))
+	if r.Err != nil {
+		sh.errored.Inc()
+	} else {
+		sh.outcomes[int(r.Report.Outcome)].Inc()
+		if !r.Report.Outcome.Undeliverable() && r.Report.Outcome != core.OutcomeCanceled {
+			sh.hops.Add(float64(r.Report.Hops))
+		}
+	}
+}
+
+// CachedAnswer is a fast-path verdict: a cache-hit route answered on
+// the submitter's goroutine. It is returned by value, and its Path is
+// the shared read-only cached slice, so a steady-state hit performs no
+// allocation at all — the property the binary wire front end's
+// throughput rests on.
+type CachedAnswer struct {
+	Path       []gc.NodeID
+	Epoch      uint64
+	DetourHops int
+}
+
+// FastRoute answers (src, dst) from the shard's route cache without
+// enqueueing, or reports ok=false when the pipeline must be used:
+// adaptive mode, draining, cache disabled, out-of-range nodes, or a
+// miss. The cache lookup is token-checked against the shard's current
+// epoch fingerprint inside the cache's shard lock, so a copy-on-write
+// fault swap atomically invalidates fast-path answers: a hit is
+// guaranteed planned against exactly the fault state it is served
+// under. A hit is fully accounted (accepted, served, outcomes, hops,
+// latency, sampling) exactly like a worker-served request.
+func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
+	if s.cfg.Adaptive || s.drain.Load() {
+		return CachedAnswer{}, false
+	}
+	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
+		return CachedAnswer{}, false
+	}
+	sh := s.shardFor(src)
+	if sh.cache == nil {
+		return CachedAnswer{}, false
+	}
+	rs := sh.state.Load()
+	path, tag, ok := sh.cache.GetTagged(src, dst, rs.es.fp)
+	if !ok {
+		// Not counted as a shard cache miss: the request falls through to
+		// the worker, whose own lookup tallies the miss once.
+		return CachedAnswer{}, false
+	}
+	n := sh.seq.Add(1)
+	if sh.ring != nil && s.cfg.TraceEvery > 0 && n%uint64(s.cfg.TraceEvery) == 0 {
+		sh.sampled.Inc()
+		sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(src), To: uint32(dst), Arg: int32(n)})
+		sh.ring.Emit(trace.Event{Kind: trace.KindCacheHit, From: uint32(src), To: uint32(dst)})
+	}
+	sh.cacheHits.Inc()
+	sh.fastHits.Inc()
+	s.accepted.Inc()
+	sh.served.Inc()
+	// Answered synchronously on the submitter: the service latency is
+	// sub-microsecond by construction, i.e. bucket zero.
+	sh.latency.Add(0)
+	out := core.OutcomeDelivered
+	if tag > 0 {
+		out = core.OutcomeDeliveredDegraded
+	}
+	sh.outcomes[int(out)].Inc()
+	sh.hops.Add(float64(len(path) - 1))
+	return CachedAnswer{Path: path, Epoch: rs.es.epoch, DetourHops: int(tag)}, true
+}
+
+// responseFromCached lifts a fast-path verdict into the Response
+// envelope Submit returns — byte-for-byte what the worker's cache-hit
+// branch would have produced.
+func responseFromCached(a *CachedAnswer) *Response {
+	return &Response{Report: cachedReport(a.Path, uint32(a.DetourHops)), Epoch: a.Epoch, CacheHit: true}
 }
 
 // worker drains one shard's queue in batches until the channel closes.
@@ -413,14 +613,14 @@ func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 	sampled := sh.ring != nil && s.cfg.TraceEvery > 0 && n%uint64(s.cfg.TraceEvery) == 0
 
 	if sh.cache != nil && !s.cfg.Adaptive {
-		if path, ok := sh.cache.Get(t.src, t.dst); ok {
+		if path, tag, ok := sh.cache.GetTagged(t.src, t.dst, rs.es.fp); ok {
 			sh.cacheHits.Inc()
 			if sampled {
 				sh.sampled.Inc()
 				sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(t.src), To: uint32(t.dst), Arg: int32(n)})
 				sh.ring.Emit(trace.Event{Kind: trace.KindCacheHit, From: uint32(t.src), To: uint32(t.dst)})
 			}
-			s.finish(sh, t, Response{Report: s.cachedReport(t.src, t.dst, path), Epoch: rs.es.epoch, CacheHit: true})
+			s.finish(sh, t, Response{Report: cachedReport(path, tag), Epoch: rs.es.epoch, CacheHit: true})
 			return
 		}
 		sh.cacheMisses.Inc()
@@ -441,19 +641,28 @@ func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 		return
 	}
 	if sh.cache != nil && !s.cfg.Adaptive && !rep.Outcome.Undeliverable() && rep.Outcome != core.OutcomeCanceled {
-		sh.cache.Put(t.src, t.dst, rep.Path)
+		// The detour tag is stamped once here, at insertion — the planner
+		// already knows its hops beyond the fault-free optimum, so no
+		// BFS ever runs on a hit, which is what lets FastRoute stay
+		// allocation- and BFS-free. The epoch token pins the entry to the
+		// fault state it was planned against: a Put racing a fault swap
+		// is dropped instead of poisoning the new epoch.
+		extra := rep.DetourHops
+		if extra < 0 {
+			extra = 0
+		}
+		sh.cache.PutTagged(t.src, t.dst, rep.Path, uint32(extra), rs.es.fp)
 	}
 	s.finish(sh, t, Response{Report: rep, Epoch: rs.es.epoch})
 }
 
-// cachedReport rebuilds a routing envelope from a cached path. A path
-// longer than the pair's distance was planned around faults, so it
-// reports the degraded rung exactly like its original route did.
-func (s *Server) cachedReport(src, dst gc.NodeID, path []gc.NodeID) *core.RouteReport {
-	hops := len(path) - 1
-	extra := hops - s.cube.Distance(src, dst)
-	rep := &core.RouteReport{Outcome: core.OutcomeDelivered, Path: path, Hops: hops, DetourHops: extra}
-	if extra > 0 {
+// cachedReport rebuilds a routing envelope from a cached path and its
+// insertion-time detour tag. A path longer than the pair's distance
+// was planned around faults, so it reports the degraded rung exactly
+// like its original route did.
+func cachedReport(path []gc.NodeID, tag uint32) *core.RouteReport {
+	rep := &core.RouteReport{Outcome: core.OutcomeDelivered, Path: path, Hops: len(path) - 1, DetourHops: int(tag)}
+	if tag > 0 {
 		rep.Outcome = core.OutcomeDeliveredDegraded
 		rep.Reason = "cached detour"
 	}
@@ -569,6 +778,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	first := !s.draining
 	s.draining = true
+	s.drain.Store(true) // refuse fast-path answers from here on
 	s.mu.Unlock()
 	if first {
 		// No sender can be in flight: Submit holds mu.RLock around its

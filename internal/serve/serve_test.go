@@ -174,20 +174,22 @@ func TestBackpressure(t *testing.T) {
 	cube := gc.New(8, 2)
 	s := mustServer(t, Config{Cube: cube, Shards: 1, QueueDepth: 2, Batch: 1})
 
+	// Distinct destinations: identical pairs would coalesce onto the
+	// held leader instead of filling the queue.
 	var wg sync.WaitGroup
 	results := make(chan error, 3)
-	submit := func() {
+	submit := func(dst gc.NodeID) {
 		defer wg.Done()
-		_, err := s.Submit(context.Background(), 1, 200)
+		_, err := s.Submit(context.Background(), 1, dst)
 		results <- err
 	}
 	wg.Add(1)
-	go submit()
+	go submit(200)
 	<-entered // worker now holds request 1; queue is empty
 
 	wg.Add(2)
-	go submit()
-	go submit() // queue now holds 2 of 2
+	go submit(201)
+	go submit(202) // queue now holds 2 of 2
 	deadline := time.After(5 * time.Second)
 	for s.Metrics().Accepted < 3 {
 		select {
@@ -197,7 +199,7 @@ func TestBackpressure(t *testing.T) {
 		}
 	}
 
-	if _, err := s.Submit(context.Background(), 1, 200); !errors.Is(err, ErrBackpressure) {
+	if _, err := s.Submit(context.Background(), 1, 203); !errors.Is(err, ErrBackpressure) {
 		t.Fatalf("4th submit: err=%v, want ErrBackpressure", err)
 	}
 	close(release)
@@ -407,6 +409,7 @@ func BenchmarkServeBatch(b *testing.B) {
 		}
 	})
 	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "routes/s")
 	m := s.Metrics()
 	if m.Served < int64(b.N) {
 		b.Fatalf("served %d < %d submitted", m.Served, b.N)

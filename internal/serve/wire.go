@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/wire"
+)
+
+// WireServer is the gcwire binary front end: a TCP listener speaking
+// the internal/wire framing on top of the same Server the HTTP layer
+// serves (DESIGN.md §11).
+//
+// The throughput design is one reader goroutine per connection that
+// answers every cache hit itself: frames are decoded straight off the
+// connection's buffered reader, each RouteReq first tries the
+// Server.FastRoute cache-hit fast path, and hits are encoded into a
+// per-connection write buffer that is flushed in one syscall once the
+// reader has drained what the client pipelined. A steady-state hit
+// therefore costs zero heap allocations and no goroutine switch. Only
+// misses leave the reader: each is handed to a goroutine that rides
+// the ordinary Submit pipeline (coalescer, shard queue) and writes its
+// own frame under the connection's write mutex — out-of-order replies
+// are the protocol's contract, correlated by request id.
+type WireServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWireServer wraps an accepted listener around a running Server.
+// Call Serve to start accepting; Close to stop.
+func NewWireServer(s *Server, ln net.Listener) *WireServer {
+	return &WireServer{srv: s, ln: ln, conns: make(map[net.Conn]struct{})}
+}
+
+// Addr returns the listener's address.
+func (ws *WireServer) Addr() net.Addr { return ws.ln.Addr() }
+
+// Serve accepts connections until the listener fails or Close is
+// called (which returns nil).
+func (ws *WireServer) Serve() error {
+	for {
+		c, err := ws.ln.Accept()
+		if err != nil {
+			ws.mu.Lock()
+			closed := ws.closed
+			ws.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		ws.mu.Lock()
+		if ws.closed {
+			ws.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		ws.conns[c] = struct{}{}
+		ws.wg.Add(1)
+		ws.mu.Unlock()
+		go ws.handleConn(c)
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// their handlers (including in-flight miss goroutines) to finish.
+func (ws *WireServer) Close() error {
+	ws.mu.Lock()
+	if ws.closed {
+		ws.mu.Unlock()
+		ws.wg.Wait()
+		return nil
+	}
+	ws.closed = true
+	err := ws.ln.Close()
+	for c := range ws.conns {
+		c.Close()
+	}
+	ws.mu.Unlock()
+	ws.wg.Wait()
+	return err
+}
+
+// wireConn is one connection's shared write state. The reader owns
+// wbuf; miss goroutines write their own frames under wmu.
+type wireConn struct {
+	c        net.Conn
+	wmu      sync.Mutex
+	inflight sync.WaitGroup
+}
+
+// cachedDetourReason is the fast path's preencoded degraded reason —
+// the byte twin of cachedReport's "cached detour".
+var cachedDetourReason = []byte("cached detour")
+
+func (ws *WireServer) handleConn(c net.Conn) {
+	defer ws.wg.Done()
+	wc := &wireConn{c: c}
+	br := bufio.NewReaderSize(c, 64<<10)
+	var hdr [wire.HeaderSize]byte
+	payload := make([]byte, 0, 4096)
+	wbuf := make([]byte, 0, 64<<10)
+	var res wire.RouteResult // reused fast-path encode scratch
+	var req wire.RouteReq
+	var ops []wire.FaultOp
+
+	flush := func() bool {
+		if len(wbuf) == 0 {
+			return true
+		}
+		wc.wmu.Lock()
+		_, err := c.Write(wbuf)
+		wc.wmu.Unlock()
+		wbuf = wbuf[:0]
+		return err == nil
+	}
+
+read:
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break
+		}
+		h, err := wire.ParseHeader(hdr[:])
+		if err != nil {
+			// A malformed header poisons the stream: answer once, hang up.
+			wbuf = wire.AppendError(wbuf, 0, wire.CodeBadRequest, err.Error())
+			break
+		}
+		if cap(payload) < int(h.Len) {
+			payload = make([]byte, h.Len)
+		}
+		payload = payload[:h.Len]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+
+		switch h.Type {
+		case wire.TypeRouteReq:
+			if err := wire.DecodeRouteReq(payload, &req); err != nil {
+				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
+				break
+			}
+			if ans, ok := ws.srv.FastRoute(req.Src, req.Dst); ok {
+				res.Outcome = uint8(core.OutcomeDelivered)
+				res.Flags = wire.FlagCacheHit
+				res.Reason = res.Reason[:0]
+				if ans.DetourHops > 0 {
+					res.Outcome = uint8(core.OutcomeDeliveredDegraded)
+					res.Flags |= wire.FlagDegraded
+					res.Reason = cachedDetourReason
+				}
+				res.Hops = uint16(len(ans.Path) - 1)
+				res.Detour = uint16(ans.DetourHops)
+				res.Retries, res.Replans, res.Discovered, res.WaitCycles = 0, 0, 0, 0
+				res.Epoch = ans.Epoch
+				res.Path = ans.Path
+				wbuf = wire.AppendRouteResult(wbuf, h.ID, &res)
+				break
+			}
+			ws.routeMiss(wc, h.ID, req)
+		case wire.TypeFaultsReq:
+			if err := wire.DecodeFaultsReq(payload, &ops); err != nil {
+				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
+				break
+			}
+			wbuf = ws.applyFaults(wbuf, h.ID, ops)
+		case wire.TypeMetricsReq:
+			doc, err := ws.srv.Metrics().JSON()
+			if err != nil {
+				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
+				break
+			}
+			wbuf = wire.AppendHeader(wbuf, wire.TypeMetricsResult, h.ID, len(doc))
+			wbuf = append(wbuf, doc...)
+		case wire.TypePing:
+			wbuf = wire.AppendPong(wbuf, h.ID, ws.srv.Epoch())
+		default:
+			// Server-inbound streams carry requests only.
+			wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, "wire: unexpected frame type")
+		}
+
+		// Flush once the client's pipelined burst is drained (or the
+		// buffer has grown past a syscall's worth of batching).
+		if br.Buffered() < wire.HeaderSize || len(wbuf) > 256<<10 {
+			if !flush() {
+				break read
+			}
+		}
+	}
+	flush()
+	// Let in-flight misses answer (Shutdown guarantees queued tasks are
+	// served) before the connection goes away under them.
+	wc.inflight.Wait()
+	ws.mu.Lock()
+	delete(ws.conns, c)
+	ws.mu.Unlock()
+	c.Close()
+}
+
+// routeMiss resolves a non-cached route off the reader goroutine via
+// the ordinary Submit pipeline and writes its own reply frame.
+func (ws *WireServer) routeMiss(wc *wireConn, id uint64, req wire.RouteReq) {
+	wc.inflight.Add(1)
+	go func() {
+		defer wc.inflight.Done()
+		ctx := context.Background()
+		if req.DeadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+			defer cancel()
+		}
+		var out []byte
+		resp, err := ws.srv.Submit(ctx, req.Src, req.Dst)
+		switch {
+		case errors.Is(err, ErrBackpressure):
+			out = wire.AppendError(nil, id, wire.CodeBackpressure, err.Error())
+		case errors.Is(err, ErrDraining):
+			out = wire.AppendError(nil, id, wire.CodeDraining, err.Error())
+		case err != nil:
+			out = wire.AppendError(nil, id, wire.CodeBadRequest, err.Error())
+		case resp.Err != nil:
+			code := wire.CodeBadRequest
+			if errors.Is(resp.Err, core.ErrFaultyEndpoint) {
+				code = wire.CodeFaultyNode
+			}
+			out = wire.AppendError(nil, id, code, resp.Err.Error())
+		default:
+			rep := resp.Report
+			res := wire.RouteResult{
+				Outcome:    uint8(rep.Outcome),
+				Hops:       uint16(rep.Hops),
+				Detour:     uint16(rep.DetourHops),
+				Retries:    uint16(rep.Retries),
+				Replans:    uint16(rep.Replans),
+				Discovered: uint16(len(rep.Discovered)),
+				WaitCycles: uint32(rep.WaitCycles),
+				Epoch:      resp.Epoch,
+				Reason:     []byte(rep.Reason),
+				Path:       rep.Path,
+			}
+			if resp.CacheHit {
+				res.Flags |= wire.FlagCacheHit
+			}
+			if rep.Outcome == core.OutcomeDeliveredDegraded {
+				res.Flags |= wire.FlagDegraded
+			}
+			if rep.UsedFallback {
+				res.Flags |= wire.FlagUsedFallback
+			}
+			out = wire.AppendRouteResult(nil, id, &res)
+		}
+		wc.wmu.Lock()
+		_, _ = wc.c.Write(out)
+		wc.wmu.Unlock()
+	}()
+}
+
+// applyFaults translates a binary mutation batch onto ApplyFaults and
+// encodes the verdict. Unknown codes are rejected before any op is
+// applied, preserving batch atomicity.
+func (ws *WireServer) applyFaults(wbuf []byte, id uint64, ops []wire.FaultOp) []byte {
+	batch := make([]FaultOp, len(ops))
+	for i, op := range ops {
+		switch op.Op {
+		case wire.OpInject:
+			batch[i].Op = OpInject
+		case wire.OpRepair:
+			batch[i].Op = OpRepair
+		case wire.OpClear:
+			batch[i].Op = OpClear
+		default:
+			return wire.AppendError(wbuf, id, wire.CodeBadRequest, "wire: unknown fault op")
+		}
+		switch op.Kind {
+		case wire.KindNode:
+			batch[i].Kind = KindNode
+		case wire.KindLink:
+			batch[i].Kind = KindLink
+		default:
+			return wire.AppendError(wbuf, id, wire.CodeBadRequest, "wire: unknown fault kind")
+		}
+		batch[i].Node = gc.NodeID(op.Node)
+		batch[i].Dim = uint(op.Dim)
+	}
+	epoch, faults, err := ws.srv.ApplyFaults(batch)
+	if err != nil {
+		return wire.AppendError(wbuf, id, wire.CodeBadRequest, err.Error())
+	}
+	return wire.AppendFaultsResult(wbuf, id, wire.FaultsResult{
+		Epoch:   epoch,
+		Faults:  uint32(faults),
+		Applied: uint32(len(ops)),
+	})
+}

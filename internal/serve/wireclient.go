@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/wire"
+)
+
+// WireClient speaks the gcwire binary protocol: the fast twin of the
+// HTTP Client. It lives next to the Server (not in pkg/gcube) so the
+// serving benchmarks can drive it without an import cycle; the public
+// facade aliases it.
+//
+// A client is safe for concurrent use but serializes requests on one
+// connection; open one client per submitting goroutine for parallel
+// load. Route and the cold-path calls allocate their responses;
+// RouteBatch is the steady-state-zero-allocation path — it pipelines a
+// whole batch in one write and decodes every reply into caller-reused
+// WireRoute slots.
+type WireClient struct {
+	mu      sync.Mutex
+	c       net.Conn
+	br      *bufio.Reader
+	nextID  uint64
+	wbuf    []byte
+	payload []byte
+	hdr     [wire.HeaderSize]byte
+}
+
+// DialWire connects to a gcserved binary listener (-wire-addr).
+func DialWire(addr string) (*WireClient, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewWireClient(c), nil
+}
+
+// NewWireClient wraps an established connection.
+func NewWireClient(c net.Conn) *WireClient {
+	return &WireClient{
+		c:    c,
+		br:   bufio.NewReaderSize(c, 64<<10),
+		wbuf: make([]byte, 0, 64<<10),
+	}
+}
+
+// Close closes the connection.
+func (w *WireClient) Close() error { return w.c.Close() }
+
+// WireStatusError is a TypeError reply. Codes mirror the HTTP status
+// mapping (400 bad request, 409 faulty endpoint, 429 backpressure,
+// 503 draining).
+type WireStatusError struct {
+	Code uint16
+	Msg  string
+}
+
+func (e *WireStatusError) Error() string {
+	return fmt.Sprintf("gcwire: server returned %d: %s", e.Code, e.Msg)
+}
+
+// IsBackpressure reports a 429 reply — retry later.
+func (e *WireStatusError) IsBackpressure() bool { return e.Code == wire.CodeBackpressure }
+
+// readFrame blocks for the next frame; the returned payload slice is
+// reused by the next call.
+func (w *WireClient) readFrame() (wire.Header, []byte, error) {
+	if _, err := io.ReadFull(w.br, w.hdr[:]); err != nil {
+		return wire.Header{}, nil, err
+	}
+	h, err := wire.ParseHeader(w.hdr[:])
+	if err != nil {
+		return h, nil, err
+	}
+	if cap(w.payload) < int(h.Len) {
+		w.payload = make([]byte, h.Len)
+	}
+	p := w.payload[:h.Len]
+	if _, err := io.ReadFull(w.br, p); err != nil {
+		return h, nil, err
+	}
+	return h, p, nil
+}
+
+// Route routes one pair and returns the JSON-shaped verdict, exactly
+// like the HTTP client's Route. Error frames surface as
+// *WireStatusError.
+func (w *WireClient) Route(src, dst gc.NodeID) (*RouteResponse, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendRouteReq(w.wbuf[:0], id, wire.RouteReq{Src: src, Dst: dst})
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return nil, err
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if h.ID != id {
+		return nil, fmt.Errorf("gcwire: response id %d for request %d", h.ID, id)
+	}
+	switch h.Type {
+	case wire.TypeError:
+		var ef wire.ErrorFrame
+		if err := wire.DecodeError(p, &ef); err != nil {
+			return nil, err
+		}
+		return nil, &WireStatusError{Code: ef.Code, Msg: string(ef.Msg)}
+	case wire.TypeRouteResult:
+		var res wire.RouteResult
+		if err := wire.DecodeRouteResult(p, &res); err != nil {
+			return nil, err
+		}
+		out := &RouteResponse{
+			Src:          src,
+			Dst:          dst,
+			Outcome:      core.Outcome(res.Outcome).String(),
+			Reason:       string(res.Reason),
+			Hops:         int(res.Hops),
+			Degraded:     res.Flags&wire.FlagDegraded != 0,
+			DetourHops:   int(res.Detour),
+			Retries:      int(res.Retries),
+			Replans:      int(res.Replans),
+			WaitCycles:   int(res.WaitCycles),
+			UsedFallback: res.Flags&wire.FlagUsedFallback != 0,
+			Discovered:   int(res.Discovered),
+			Epoch:        res.Epoch,
+			CacheHit:     res.Flags&wire.FlagCacheHit != 0,
+		}
+		if len(res.Path) > 0 {
+			out.Path = append([]gc.NodeID(nil), res.Path...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+	}
+}
+
+// WireRoute is one RouteBatch slot. Slices are reused across calls;
+// copy anything that must outlive the next batch.
+type WireRoute struct {
+	// Outcome is the core.Outcome ladder value; meaningless when
+	// ErrCode is set.
+	Outcome uint8
+	Flags   uint8
+	Hops    int
+	Detour  int
+	Epoch   uint64
+	// ErrCode is nonzero when the server answered this request with an
+	// error frame (faulty endpoint, backpressure, drain); ErrMsg holds
+	// its message.
+	ErrCode uint16
+	ErrMsg  []byte
+	Reason  []byte
+	Path    []gc.NodeID
+}
+
+// Delivered reports a delivered or delivered-degraded verdict.
+func (r *WireRoute) Delivered() bool {
+	return r.ErrCode == 0 &&
+		(r.Outcome == uint8(core.OutcomeDelivered) || r.Outcome == uint8(core.OutcomeDeliveredDegraded))
+}
+
+// CacheHit reports the route came from the server's route cache.
+func (r *WireRoute) CacheHit() bool { return r.Flags&wire.FlagCacheHit != 0 }
+
+// RouteBatch pipelines len(pairs) route requests in one write and
+// fills out[i] with the verdict for pairs[i], reusing each slot's
+// slice capacity. Replies arrive in any order (cache hits overtake
+// queued misses); the request id correlates them. out must be at least
+// as long as pairs.
+func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
+	if len(out) < len(pairs) {
+		return fmt.Errorf("gcwire: out has %d slots for %d pairs", len(out), len(pairs))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	base := w.nextID
+	w.nextID += uint64(len(pairs))
+	w.wbuf = w.wbuf[:0]
+	for i, p := range pairs {
+		w.wbuf = wire.AppendRouteReq(w.wbuf, base+uint64(i), wire.RouteReq{Src: p[0], Dst: p[1]})
+	}
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return err
+	}
+	var res wire.RouteResult
+	var ef wire.ErrorFrame
+	for answered := 0; answered < len(pairs); answered++ {
+		h, p, err := w.readFrame()
+		if err != nil {
+			return err
+		}
+		if h.ID < base || h.ID >= base+uint64(len(pairs)) {
+			return fmt.Errorf("gcwire: response id %d outside batch [%d,%d)", h.ID, base, base+uint64(len(pairs)))
+		}
+		o := &out[h.ID-base]
+		o.ErrCode = 0
+		switch h.Type {
+		case wire.TypeError:
+			ef.Msg = o.ErrMsg[:0]
+			if err := wire.DecodeError(p, &ef); err != nil {
+				return err
+			}
+			o.ErrCode = ef.Code
+			o.ErrMsg = ef.Msg
+		case wire.TypeRouteResult:
+			res.Reason = o.Reason[:0]
+			res.Path = o.Path[:0]
+			if err := wire.DecodeRouteResult(p, &res); err != nil {
+				return err
+			}
+			o.Outcome = res.Outcome
+			o.Flags = res.Flags
+			o.Hops = int(res.Hops)
+			o.Detour = int(res.Detour)
+			o.Epoch = res.Epoch
+			o.Reason = res.Reason
+			o.Path = res.Path
+		default:
+			return fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+		}
+	}
+	return nil
+}
+
+// ApplyFaults applies a mutation batch atomically, exactly like the
+// HTTP client's ApplyFaults. Op/Kind strings are the JSON verbs.
+func (w *WireClient) ApplyFaults(ops []FaultOp) (*FaultsResponse, error) {
+	wireOps := make([]wire.FaultOp, len(ops))
+	for i, op := range ops {
+		switch op.Op {
+		case OpInject:
+			wireOps[i].Op = wire.OpInject
+		case OpRepair:
+			wireOps[i].Op = wire.OpRepair
+		case OpClear:
+			wireOps[i].Op = wire.OpClear
+		default:
+			return nil, fmt.Errorf("gcwire: unknown fault op %q", op.Op)
+		}
+		switch op.Kind {
+		case KindNode, "":
+			wireOps[i].Kind = wire.KindNode
+		case KindLink:
+			wireOps[i].Kind = wire.KindLink
+		default:
+			return nil, fmt.Errorf("gcwire: unknown fault kind %q", op.Kind)
+		}
+		wireOps[i].Node = op.Node
+		wireOps[i].Dim = uint16(op.Dim)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendFaultsReq(w.wbuf[:0], id, wireOps)
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return nil, err
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch h.Type {
+	case wire.TypeError:
+		var ef wire.ErrorFrame
+		if err := wire.DecodeError(p, &ef); err != nil {
+			return nil, err
+		}
+		return nil, &WireStatusError{Code: ef.Code, Msg: string(ef.Msg)}
+	case wire.TypeFaultsResult:
+		var fr wire.FaultsResult
+		if err := wire.DecodeFaultsResult(p, &fr); err != nil {
+			return nil, err
+		}
+		return &FaultsResponse{Epoch: fr.Epoch, Faults: int(fr.Faults), Applied: int(fr.Applied)}, nil
+	default:
+		return nil, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+	}
+}
+
+// Metrics scrapes the merged snapshot. The binary protocol carries the
+// canonical JSON document (metrics are a cold path), so this decodes
+// the same schema the HTTP surface serves.
+func (w *WireClient) Metrics() (*MetricsSnapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendEmpty(w.wbuf[:0], wire.TypeMetricsReq, id)
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return nil, err
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if h.Type != wire.TypeMetricsResult {
+		return nil, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+	}
+	var m MetricsSnapshot
+	if err := json.Unmarshal(p, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Ping probes liveness and returns the server's current fault epoch.
+func (w *WireClient) Ping() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendEmpty(w.wbuf[:0], wire.TypePing, id)
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return 0, err
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	if h.Type != wire.TypePong {
+		return 0, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+	}
+	return wire.DecodePong(p)
+}

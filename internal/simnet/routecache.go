@@ -43,6 +43,7 @@ type routeKey struct{ s, d gc.NodeID }
 type cacheEntry struct {
 	key        routeKey
 	path       []gc.NodeID
+	tag        uint32      // caller-defined metadata (see PutTagged)
 	prev, next *cacheEntry // LRU list; head is most recently used
 }
 
@@ -91,6 +92,12 @@ func (c *RouteCache) InvalidateTo(token uint64) bool {
 	if c.epoch.Load() == token { // raced with another invalidator
 		return false
 	}
+	// The stamp is published BEFORE the shards are cleared: a concurrent
+	// PutTagged holding a shard lock either runs before that shard's
+	// clear (and is wiped) or after it (and sees the new stamp inside
+	// the lock, so its stale-token write is dropped). Entries therefore
+	// never outlive the fault state they were planned against.
+	c.epoch.Store(token)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -98,7 +105,6 @@ func (c *RouteCache) InvalidateTo(token uint64) bool {
 		sh.head, sh.tail = nil, nil
 		sh.mu.Unlock()
 	}
-	c.epoch.Store(token)
 	c.invalidations.Add(1)
 	return true
 }
@@ -153,6 +159,66 @@ func (c *RouteCache) Put(s, d gc.NodeID, path []gc.NodeID) {
 	sh.table[k] = e
 	sh.pushFront(e)
 	sh.mu.Unlock()
+}
+
+// GetTagged is the epoch-safe variant of Get used by the serving fast
+// path: it returns the cached path and its tag only when the cache is
+// currently stamped with token, so a hit is guaranteed to have been
+// planned against exactly the fault state the caller loaded. The token
+// comparison happens inside the shard lock, pairing with InvalidateTo's
+// stamp-before-clear ordering.
+func (c *RouteCache) GetTagged(s, d gc.NodeID, token uint64) ([]gc.NodeID, uint32, bool) {
+	k := routeKey{s, d}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	if c.epoch.Load() != token {
+		sh.mu.Unlock()
+		return nil, 0, false
+	}
+	e, ok := sh.table[k]
+	var path []gc.NodeID
+	var tag uint32
+	if ok {
+		path = e.path
+		tag = e.tag
+		sh.moveToFront(e)
+	}
+	sh.mu.Unlock()
+	return path, tag, ok
+}
+
+// PutTagged stores the path with a caller-defined tag word (the serving
+// layer packs precomputed detour metadata there so hits never recompute
+// it), but only when the cache is still stamped with token — a write
+// racing a fault-epoch swap is dropped rather than poisoning the new
+// epoch with a stale plan.
+func (c *RouteCache) PutTagged(s, d gc.NodeID, path []gc.NodeID, tag uint32, token uint64) {
+	k := routeKey{s, d}
+	sh := c.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.epoch.Load() != token {
+		return
+	}
+	if e, ok := sh.table[k]; ok {
+		e.path = path
+		e.tag = tag
+		sh.moveToFront(e)
+		return
+	}
+	var e *cacheEntry
+	if len(sh.table) >= sh.capacity {
+		e = sh.tail
+		sh.unlink(e)
+		delete(sh.table, e.key)
+	} else {
+		e = &cacheEntry{}
+	}
+	e.key = k
+	e.path = path
+	e.tag = tag
+	sh.table[k] = e
+	sh.pushFront(e)
 }
 
 // Len returns the current number of cached routes.

@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// FuzzFrameRoundTrip drives arbitrary field values through every
+// encode/decode pair and requires exact reconstruction — the satellite
+// battery for the binary framing. The fuzz input is consumed as a
+// byte-stream of field values, so the corpus explores boundary lengths
+// (empty reason, maximal path) as well as random content.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func(n int) []byte {
+			if len(data) < n {
+				pad := make([]byte, n)
+				copy(pad, data)
+				data = nil
+				return pad
+			}
+			out := data[:n]
+			data = data[n:]
+			return out
+		}
+		u16 := func() uint16 { return binary.LittleEndian.Uint16(next(2)) }
+		u32 := func() uint32 { return binary.LittleEndian.Uint32(next(4)) }
+		u64 := func() uint64 { return binary.LittleEndian.Uint64(next(8)) }
+
+		// Route request.
+		req := RouteReq{Src: gc.NodeID(u32()), Dst: gc.NodeID(u32()), DeadlineMS: u32()}
+		id := u64()
+		frame := AppendRouteReq(nil, id, req)
+		h, err := ParseHeader(frame)
+		if err != nil || h.Type != TypeRouteReq || h.ID != id {
+			t.Fatalf("request header %+v err %v", h, err)
+		}
+		var reqOut RouteReq
+		if err := DecodeRouteReq(frame[HeaderSize:], &reqOut); err != nil || reqOut != req {
+			t.Fatalf("request round trip %+v != %+v (%v)", reqOut, req, err)
+		}
+
+		// Route result with fuzz-sized reason and path (bounded to the
+		// protocol's u16 length fields).
+		res := RouteResult{
+			Outcome:    next(1)[0],
+			Flags:      next(1)[0],
+			Hops:       u16(),
+			Detour:     u16(),
+			Retries:    u16(),
+			Replans:    u16(),
+			Discovered: u16(),
+			WaitCycles: u32(),
+			Epoch:      u64(),
+			Reason:     next(int(u16() % 512)),
+		}
+		for i := int(u16() % 256); i > 0; i-- {
+			res.Path = append(res.Path, gc.NodeID(u32()))
+		}
+		frame = AppendRouteResult(frame[:0], id, &res)
+		if h, err = ParseHeader(frame); err != nil || h.Type != TypeRouteResult {
+			t.Fatalf("result header %+v err %v", h, err)
+		}
+		var resOut RouteResult
+		if err := DecodeRouteResult(frame[HeaderSize:], &resOut); err != nil {
+			t.Fatalf("result decode: %v", err)
+		}
+		same := resOut.Outcome == res.Outcome && resOut.Flags == res.Flags &&
+			resOut.Hops == res.Hops && resOut.Detour == res.Detour &&
+			resOut.Retries == res.Retries && resOut.Replans == res.Replans &&
+			resOut.Discovered == res.Discovered && resOut.WaitCycles == res.WaitCycles &&
+			resOut.Epoch == res.Epoch && bytes.Equal(resOut.Reason, res.Reason) &&
+			len(resOut.Path) == len(res.Path)
+		if same {
+			for i := range res.Path {
+				same = same && resOut.Path[i] == res.Path[i]
+			}
+		}
+		if !same {
+			t.Fatalf("result round trip diverged:\n%+v\n%+v", resOut, res)
+		}
+
+		// Faults batch.
+		ops := make([]FaultOp, int(u16()%64))
+		for i := range ops {
+			ops[i] = FaultOp{Op: next(1)[0], Kind: next(1)[0], Node: gc.NodeID(u32()), Dim: u16()}
+		}
+		frame = AppendFaultsReq(frame[:0], id, ops)
+		var opsOut []FaultOp
+		if err := DecodeFaultsReq(frame[HeaderSize:], &opsOut); err != nil || len(opsOut) != len(ops) {
+			t.Fatalf("faults round trip: %v (%d ops)", err, len(opsOut))
+		}
+		for i := range ops {
+			if opsOut[i] != ops[i] {
+				t.Fatalf("op %d: %+v != %+v", i, opsOut[i], ops[i])
+			}
+		}
+
+		// Error frame.
+		msg := next(int(u16() % 256))
+		frame = AppendError(frame[:0], id, u16(), string(msg))
+		var ef ErrorFrame
+		if err := DecodeError(frame[HeaderSize:], &ef); err != nil || !bytes.Equal(ef.Msg, msg) {
+			t.Fatalf("error round trip: %v %q != %q", err, ef.Msg, msg)
+		}
+	})
+}
+
+// FuzzDecodeNoPanic throws raw bytes at every decoder: malformed input
+// must be rejected with an error, never a panic or an out-of-bounds
+// read.
+func FuzzDecodeNoPanic(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRouteReq(nil, 1, RouteReq{Src: 3, Dst: 900}))
+	f.Add(AppendRouteResult(nil, 2, &RouteResult{Reason: []byte("x"), Path: []gc.NodeID{1, 2}}))
+	f.Add(AppendFaultsReq(nil, 3, []FaultOp{{Op: OpInject, Node: 7}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := ParseHeader(data); err == nil {
+			_ = h
+			if len(data) >= HeaderSize {
+				payload := data[HeaderSize:]
+				var rr RouteReq
+				_ = DecodeRouteReq(payload, &rr)
+				var res RouteResult
+				_ = DecodeRouteResult(payload, &res)
+				var ops []FaultOp
+				_ = DecodeFaultsReq(payload, &ops)
+				var fr FaultsResult
+				_ = DecodeFaultsResult(payload, &fr)
+				var ef ErrorFrame
+				_ = DecodeError(payload, &ef)
+				_, _ = DecodePong(payload)
+			}
+		}
+	})
+}

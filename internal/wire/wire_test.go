@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestHeaderRoundTrip: AppendHeader and ParseHeader are inverse, and
+// the layout is exactly the documented 16 bytes.
+func TestHeaderRoundTrip(t *testing.T) {
+	buf := AppendHeader(nil, TypeRouteReq, 0xDEADBEEFCAFE, 12)
+	if len(buf) != HeaderSize {
+		t.Fatalf("header length %d, want %d", len(buf), HeaderSize)
+	}
+	if buf[0] != 0x47 || buf[1] != 0x63 {
+		t.Fatalf("magic bytes % x, want 47 63 (\"Gc\")", buf[:2])
+	}
+	h, err := ParseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeRouteReq || h.ID != 0xDEADBEEFCAFE || h.Len != 12 {
+		t.Fatalf("parsed %+v", h)
+	}
+}
+
+// TestHeaderRejects: every malformed-header class gets its sentinel.
+func TestHeaderRejects(t *testing.T) {
+	good := AppendHeader(nil, TypePing, 1, 0)
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		want   error
+	}{
+		{"short", func(b []byte) []byte { return b[:HeaderSize-1] }, ErrShortFrame},
+		{"magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, ErrBadMagic},
+		{"version", func(b []byte) []byte { b[2] = 99; return b }, ErrBadVersion},
+		{"type zero", func(b []byte) []byte { b[3] = 0; return b }, ErrBadType},
+		{"type high", func(b []byte) []byte { b[3] = uint8(maxType) + 1; return b }, ErrBadType},
+		{"oversized", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:16], MaxPayload+1)
+			return b
+		}, ErrTooLarge},
+	}
+	for _, c := range cases {
+		b := append([]byte(nil), good...)
+		if _, err := ParseHeader(c.mangle(b)); err != c.want {
+			t.Errorf("%s: err=%v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRouteReqRoundTrip: the 12-byte request payload survives intact.
+func TestRouteReqRoundTrip(t *testing.T) {
+	in := RouteReq{Src: 12345, Dst: 67890, DeadlineMS: 250}
+	frame := AppendRouteReq(nil, 7, in)
+	h, err := ParseHeader(frame)
+	if err != nil || h.Type != TypeRouteReq || h.ID != 7 {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	var out RouteReq
+	if err := DecodeRouteReq(frame[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	if err := DecodeRouteReq(frame[HeaderSize:HeaderSize+11], &out); err != ErrBadPayload {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+// TestRouteResultRoundTrip: every field of the variable-length result
+// frame survives, and Decode reuses the destination's slices.
+func TestRouteResultRoundTrip(t *testing.T) {
+	in := RouteResult{
+		Outcome:    2,
+		Flags:      FlagCacheHit | FlagDegraded,
+		Hops:       9,
+		Detour:     2,
+		Retries:    1,
+		Replans:    3,
+		Discovered: 4,
+		WaitCycles: 77,
+		Epoch:      1 << 40,
+		Reason:     []byte("cached detour"),
+		Path:       []gc.NodeID{1, 2, 4, 1000000},
+	}
+	frame := AppendRouteResult(nil, 99, &in)
+	var out RouteResult
+	out.Path = make([]gc.NodeID, 0, 16)
+	pathCap := cap(out.Path)
+	if err := DecodeRouteResult(frame[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome != in.Outcome || out.Flags != in.Flags || out.Hops != in.Hops ||
+		out.Detour != in.Detour || out.Retries != in.Retries || out.Replans != in.Replans ||
+		out.Discovered != in.Discovered || out.WaitCycles != in.WaitCycles || out.Epoch != in.Epoch {
+		t.Fatalf("fixed fields: %+v != %+v", out, in)
+	}
+	if !bytes.Equal(out.Reason, in.Reason) {
+		t.Fatalf("reason %q != %q", out.Reason, in.Reason)
+	}
+	if len(out.Path) != len(in.Path) {
+		t.Fatalf("path %v != %v", out.Path, in.Path)
+	}
+	for i := range in.Path {
+		if out.Path[i] != in.Path[i] {
+			t.Fatalf("path %v != %v", out.Path, in.Path)
+		}
+	}
+	if cap(out.Path) != pathCap {
+		t.Fatalf("Decode reallocated a sufficient path buffer (cap %d -> %d)", pathCap, cap(out.Path))
+	}
+
+	// Length-consistency rejects: a payload whose declared reason/path
+	// lengths disagree with its actual size must not decode.
+	bad := append([]byte(nil), frame[HeaderSize:]...)
+	binary.LittleEndian.PutUint16(bad[26:28], 5)
+	if err := DecodeRouteResult(bad, &out); err != ErrBadPayload {
+		t.Fatalf("inconsistent path length: %v", err)
+	}
+}
+
+// TestFaultsRoundTrip: mutation batches and their result frame.
+func TestFaultsRoundTrip(t *testing.T) {
+	ops := []FaultOp{
+		{Op: OpInject, Kind: KindNode, Node: 77},
+		{Op: OpInject, Kind: KindLink, Node: 0, Dim: 8},
+		{Op: OpRepair, Kind: KindNode, Node: 77},
+		{Op: OpClear},
+	}
+	frame := AppendFaultsReq(nil, 3, ops)
+	var out []FaultOp
+	if err := DecodeFaultsReq(frame[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(ops) {
+		t.Fatalf("%d ops, want %d", len(out), len(ops))
+	}
+	for i := range ops {
+		if out[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, out[i], ops[i])
+		}
+	}
+
+	res := FaultsResult{Epoch: 9, Faults: 2, Applied: 4}
+	rframe := AppendFaultsResult(nil, 3, res)
+	var rout FaultsResult
+	if err := DecodeFaultsResult(rframe[HeaderSize:], &rout); err != nil {
+		t.Fatal(err)
+	}
+	if rout != res {
+		t.Fatalf("%+v != %+v", rout, res)
+	}
+}
+
+// TestErrorAndPong: the small control frames.
+func TestErrorAndPong(t *testing.T) {
+	frame := AppendError(nil, 5, CodeBackpressure, "serve: shard queue full")
+	var ef ErrorFrame
+	if err := DecodeError(frame[HeaderSize:], &ef); err != nil {
+		t.Fatal(err)
+	}
+	if ef.Code != CodeBackpressure || string(ef.Msg) != "serve: shard queue full" {
+		t.Fatalf("%+v", ef)
+	}
+
+	pong := AppendPong(nil, 6, 42)
+	epoch, err := DecodePong(pong[HeaderSize:])
+	if err != nil || epoch != 42 {
+		t.Fatalf("epoch=%d err=%v", epoch, err)
+	}
+
+	empty := AppendEmpty(nil, TypePing, 8)
+	h, err := ParseHeader(empty)
+	if err != nil || h.Type != TypePing || h.Len != 0 {
+		t.Fatalf("%+v err %v", h, err)
+	}
+}
+
+// TestAppendReusesBuffer: appending into a capacious buffer does not
+// reallocate — the per-connection buffer reuse the server depends on.
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 4096)
+	res := RouteResult{Outcome: 1, Hops: 3, Path: []gc.NodeID{1, 2, 3, 4}}
+	out := AppendRouteResult(buf, 1, &res)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendRouteResult reallocated a sufficient buffer")
+	}
+	out = AppendRouteReq(out, 2, RouteReq{Src: 1, Dst: 2})
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("chained append reallocated a sufficient buffer")
+	}
+}

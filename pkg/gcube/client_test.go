@@ -3,6 +3,7 @@ package gcube_test
 import (
 	"context"
 	"errors"
+	"net"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -62,5 +63,78 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 	if err := cl.Healthz(ctx); err == nil {
 		t.Fatal("healthz on a draining server must fail")
+	}
+}
+
+// TestWireClientRoundTrip drives the binary gcwire facade through the
+// same sequence: boot a WireServer on a loopback listener, route cold
+// and cached, pipeline a batch, mutate faults, scrape metrics.
+func TestWireClientRoundTrip(t *testing.T) {
+	cube := gcube.NewCube(8, 2)
+	srv, err := gcube.NewServer(gcube.ServerConfig{Cube: cube, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := gcube.NewWireServer(srv, ln)
+	go ws.Serve()
+	defer ws.Close()
+
+	cl, err := gcube.DialWire(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if ep, err := cl.Ping(); err != nil || ep != 0 {
+		t.Fatalf("ping: epoch=%d err=%v", ep, err)
+	}
+	r, err := cl.Route(3, 200)
+	if err != nil || r.Outcome != "delivered" || r.Hops != cube.Distance(3, 200) {
+		t.Fatalf("route: %+v, %v", r, err)
+	}
+	// Second ask is a cache hit answered on the fast path.
+	r, err = cl.Route(3, 200)
+	if err != nil || !r.CacheHit {
+		t.Fatalf("cached route: %+v, %v", r, err)
+	}
+
+	pairs := [][2]gcube.NodeID{{1, 60}, {2, 61}, {3, 200}}
+	out := make([]gcube.WireRoute, len(pairs))
+	if err := cl.RouteBatch(pairs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if !o.Delivered() {
+			t.Fatalf("batch slot %d not delivered: %+v", i, o)
+		}
+		if want := cube.Distance(pairs[i][0], pairs[i][1]); o.Hops != want {
+			t.Fatalf("batch slot %d hops=%d want %d", i, o.Hops, want)
+		}
+	}
+
+	fr, err := cl.ApplyFaults([]gcube.FaultOp{
+		{Op: gcube.OpInject, Kind: gcube.KindNode, Node: 200},
+	})
+	if err != nil || fr.Epoch != 1 || fr.Faults != 1 {
+		t.Fatalf("faults: %+v, %v", fr, err)
+	}
+	var we *gcube.WireStatusError
+	if _, err := cl.Route(3, 200); !errors.As(err, &we) || we.Code != 409 {
+		t.Fatalf("route to faulty node: %v", err)
+	}
+
+	m, err := cl.Metrics()
+	if err != nil || m.Epoch != 1 || m.Accepted != m.Served {
+		t.Fatalf("metrics: %+v, %v", m, err)
+	}
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -25,6 +25,7 @@
 package gcube
 
 import (
+	"net"
 	"net/http"
 
 	"gaussiancube/internal/core"
@@ -178,3 +179,24 @@ func NewServer(cfg ServerConfig) (*Server, error) { return serve.New(cfg) }
 // NewHTTPHandler exposes a Server over HTTP/JSON (/route, /faults,
 // /metrics, /debug/traces, /healthz, pprof).
 func NewHTTPHandler(s *Server) http.Handler { return serve.NewHandler(s) }
+
+// Binary wire surface: the gcwire protocol of internal/wire, the fast
+// twin of the HTTP layer (DESIGN.md §11). WireServer fronts a Server
+// on a TCP listener; WireClient pipelines batches against it with
+// steady-state-zero allocations.
+type (
+	WireServer      = serve.WireServer
+	WireClient      = serve.WireClient
+	WireRoute       = serve.WireRoute
+	WireStatusError = serve.WireStatusError
+)
+
+// NewWireServer wraps a listener around a running Server; call Serve
+// to accept and Close to stop.
+func NewWireServer(s *Server, ln net.Listener) *WireServer { return serve.NewWireServer(s, ln) }
+
+// DialWire connects a binary client to a gcwire listener.
+func DialWire(addr string) (*WireClient, error) { return serve.DialWire(addr) }
+
+// NewWireClient wraps an established connection.
+func NewWireClient(c net.Conn) *WireClient { return serve.NewWireClient(c) }
