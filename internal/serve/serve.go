@@ -527,9 +527,12 @@ func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
 	}
 	rs := sh.state.Load()
 	path, tag, ok := sh.cache.GetTagged(src, dst, rs.es.fp)
-	if !ok {
+	if !ok || len(path) == 0 {
 		// Not counted as a shard cache miss: the request falls through to
-		// the worker, whose own lookup tallies the miss once.
+		// the worker, whose own lookup tallies the miss once. The cache
+		// only stores delivered (non-empty) paths, but an empty one would
+		// underflow every hops computation downstream, so it is treated
+		// as a miss rather than trusted.
 		return CachedAnswer{}, false
 	}
 	n := sh.seq.Add(1)
@@ -613,7 +616,9 @@ func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 	sampled := sh.ring != nil && s.cfg.TraceEvery > 0 && n%uint64(s.cfg.TraceEvery) == 0
 
 	if sh.cache != nil && !s.cfg.Adaptive {
-		if path, tag, ok := sh.cache.GetTagged(t.src, t.dst, rs.es.fp); ok {
+		// len(path) > 0 mirrors FastRoute's guard: only delivered paths
+		// are ever stored, but an empty one must not reach cachedReport.
+		if path, tag, ok := sh.cache.GetTagged(t.src, t.dst, rs.es.fp); ok && len(path) > 0 {
 			sh.cacheHits.Inc()
 			if sampled {
 				sh.sampled.Inc()
@@ -709,10 +714,19 @@ func (s *Server) ApplyFaults(ops []FaultOp) (epoch uint64, faults int, err error
 	es := s.buildEpoch(s.epoch.Add(1), next)
 	s.state.Store(es)
 	for _, sh := range s.shards {
-		sh.state.Store(s.buildShardRouters(sh, es))
+		// The cache is re-stamped and cleared BEFORE the shard's router
+		// state is published: no reader can hold the new fingerprint
+		// until every cache shard is empty, so a token-checked GetTagged
+		// can never pass with the new token against a not-yet-cleared
+		// shard and serve an old-epoch path as the new fault state.
+		// Readers still holding the old fingerprint fail the token check
+		// (the stamp is already new), and their workers' stale PutTagged
+		// writes are dropped by the same check — both directions of the
+		// swap stay atomic.
 		if sh.cache != nil {
 			sh.cache.InvalidateTo(es.fp)
 		}
+		sh.state.Store(s.buildShardRouters(sh, es))
 	}
 	return es.epoch, es.faults.Count(), nil
 }

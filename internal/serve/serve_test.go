@@ -12,6 +12,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/simnet"
 )
 
 func mustServer(t testing.TB, cfg Config) *Server {
@@ -106,6 +107,53 @@ func TestCacheAcrossEpochs(t *testing.T) {
 	}
 	if third.Epoch != 1 {
 		t.Fatalf("epoch %d, want 1", third.Epoch)
+	}
+}
+
+// TestApplyFaultsInvalidatesBeforePublish deterministically pins the
+// swap-ordering invariant of ApplyFaults: each shard's route cache is
+// re-stamped and cleared BEFORE the new router state is published, so
+// no submitter can hold the new epoch fingerprint while stale entries
+// are still readable. The cache's stamp-to-clear window — the only
+// moment a reader with the new token could see an old entry — is
+// exposed via a test hook; a FastRoute inside it must miss, because
+// the shard state it loads still carries the old fingerprint. With the
+// operations reversed (publish first, invalidate second), the probe
+// hits a not-yet-cleared entry and labels an old-epoch path with the
+// new epoch.
+func TestApplyFaultsInvalidatesBeforePublish(t *testing.T) {
+	cube := gc.New(8, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 1, CacheCapacity: 1024})
+
+	if _, err := s.Submit(context.Background(), 3, 200); err != nil {
+		t.Fatal(err)
+	}
+	if ans, ok := s.FastRoute(3, 200); !ok || len(ans.Path) == 0 {
+		t.Fatal("warm pair must be a fast-path hit before the swap")
+	}
+
+	type probe struct {
+		ok    bool
+		epoch uint64
+	}
+	var probes []probe
+	simnet.TestHookInvalidateAfterStamp = func() {
+		ans, ok := s.FastRoute(3, 200)
+		probes = append(probes, probe{ok, ans.Epoch})
+	}
+	defer func() { simnet.TestHookInvalidateAfterStamp = nil }()
+
+	epoch, _, err := s.ApplyFaults([]FaultOp{{Op: OpInject, Kind: KindNode, Node: 101}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) == 0 {
+		t.Fatal("hook never fired: the swap did not re-stamp the cache")
+	}
+	for _, p := range probes {
+		if p.ok && p.epoch == epoch {
+			t.Fatalf("stale cache entry served inside the stamp-to-clear window labeled new epoch %d", epoch)
+		}
 	}
 }
 

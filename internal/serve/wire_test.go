@@ -328,6 +328,137 @@ func TestCoalescerSoak(t *testing.T) {
 	}
 }
 
+// TestFastPathEpochSoak is the cache-enabled twin of TestCoalescerSoak
+// and the regression test for the swap-ordering race: ApplyFaults must
+// re-stamp and clear every route-cache shard BEFORE publishing the new
+// shard router state. With the orders reversed, a submitter that loads
+// the new epoch fingerprint can pass GetTagged's token check against a
+// not-yet-cleared cache shard and serve an old-epoch path labeled as
+// the new fault state. A hot cache under churning epochs makes exactly
+// that window: every delivered response is validated against the fault
+// set of the epoch it is labeled with.
+func TestFastPathEpochSoak(t *testing.T) {
+	cube := gc.New(8, 2)
+	s, err := New(Config{
+		Cube:            cube,
+		Shards:          2,
+		QueueDepth:      64,
+		Batch:           8,
+		CacheCapacity:   4096, // hot cache: FastRoute hits dominate
+		DefaultDeadline: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		efMu        sync.RWMutex
+		epochFaults = map[uint64]map[gc.NodeID]bool{0: {}}
+	)
+	adjacent := func(a, b gc.NodeID) bool {
+		x := uint32(a ^ b)
+		if x == 0 || x&(x-1) != 0 {
+			return false
+		}
+		return cube.HasLinkDim(a, uint(bits.TrailingZeros32(x)))
+	}
+
+	const epochs = 512
+	churn := make(chan struct{})
+	go func() {
+		defer close(churn)
+		rng := rand.New(rand.NewSource(11))
+		cur := map[gc.NodeID]bool{}
+		for e := uint64(1); e <= epochs; e++ {
+			node := gc.NodeID(rng.Intn(64))
+			op := OpInject
+			if cur[node] {
+				op = OpRepair
+			}
+			next := make(map[gc.NodeID]bool, len(cur)+1)
+			for n := range cur {
+				next[n] = true
+			}
+			if op == OpInject {
+				next[node] = true
+			} else {
+				delete(next, node)
+			}
+			efMu.Lock()
+			epochFaults[e] = next
+			efMu.Unlock()
+			if _, _, err := s.ApplyFaults([]FaultOp{{Op: op, Kind: KindNode, Node: node}}); err != nil {
+				t.Errorf("churn epoch %d: %v", e, err)
+				return
+			}
+			cur = next
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+
+	const (
+		clients = 16
+		perC    = 2000
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perC; i++ {
+				src := gc.NodeID(rng.Intn(16))
+				dst := gc.NodeID(48 + rng.Intn(4))
+				r, err := s.Submit(context.Background(), src, dst)
+				if errors.Is(err, ErrBackpressure) || errors.Is(err, ErrDraining) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if r.Err != nil || r.Report.Outcome.Undeliverable() ||
+					r.Report.Outcome == core.OutcomeCanceled {
+					continue
+				}
+				efMu.RLock()
+				faults, ok := epochFaults[r.Epoch]
+				efMu.RUnlock()
+				if !ok {
+					t.Errorf("response labeled unknown epoch %d", r.Epoch)
+					return
+				}
+				path := r.Report.Path
+				if len(path) == 0 || path[0] != src || path[len(path)-1] != dst {
+					t.Errorf("path endpoints %v for (%d,%d)", path, src, dst)
+					return
+				}
+				for j, node := range path {
+					if faults[node] {
+						t.Errorf("epoch-%d answer crosses node %d, faulty in that epoch (stale cache hit served under new fingerprint?)", r.Epoch, node)
+						return
+					}
+					if j > 0 && !adjacent(path[j-1], node) {
+						t.Errorf("non-edge hop %d->%d in epoch-%d answer", path[j-1], node, r.Epoch)
+						return
+					}
+				}
+			}
+		}(int64(500 + c))
+	}
+	wg.Wait()
+	<-churn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if m := s.Metrics(); m.FastPathHits == 0 {
+		t.Fatal("soak exercised no fast-path cache hits")
+	}
+}
+
 // BenchmarkServeWire is the binary twin of BenchmarkServeBatch and the
 // tentpole's acceptance gate: pipelined RouteBatch over TCP against a
 // warmed route cache, reporting end-to-end routes/s (target >= 1M on

@@ -31,6 +31,7 @@ type WireClient struct {
 	nextID  uint64
 	wbuf    []byte
 	payload []byte
+	seen    []uint64 // RouteBatch per-slot answered bits, reused
 	hdr     [wire.HeaderSize]byte
 }
 
@@ -194,6 +195,17 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 	if _, err := w.c.Write(w.wbuf); err != nil {
 		return err
 	}
+	// Per-slot answered bits: a duplicate id would otherwise count as
+	// "answered" while another slot's reply stays unread, silently
+	// desyncing the stream for every later call on this connection.
+	words := (len(pairs) + 63) / 64
+	if cap(w.seen) < words {
+		w.seen = make([]uint64, words)
+	}
+	w.seen = w.seen[:words]
+	for i := range w.seen {
+		w.seen[i] = 0
+	}
 	var res wire.RouteResult
 	var ef wire.ErrorFrame
 	for answered := 0; answered < len(pairs); answered++ {
@@ -204,7 +216,12 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 		if h.ID < base || h.ID >= base+uint64(len(pairs)) {
 			return fmt.Errorf("gcwire: response id %d outside batch [%d,%d)", h.ID, base, base+uint64(len(pairs)))
 		}
-		o := &out[h.ID-base]
+		slot := h.ID - base
+		if w.seen[slot/64]&(1<<(slot%64)) != 0 {
+			return fmt.Errorf("gcwire: duplicate response id %d in batch [%d,%d)", h.ID, base, base+uint64(len(pairs)))
+		}
+		w.seen[slot/64] |= 1 << (slot % 64)
+		o := &out[slot]
 		o.ErrCode = 0
 		switch h.Type {
 		case wire.TypeError:

@@ -76,6 +76,13 @@ func (c *RouteCache) Epoch() uint64 { return c.epoch.Load() }
 // Invalidations returns how many times InvalidateTo flushed the cache.
 func (c *RouteCache) Invalidations() int64 { return c.invalidations.Load() }
 
+// TestHookInvalidateAfterStamp, when non-nil, runs between the epoch
+// stamp and the shard clears of InvalidateTo. Test-only: it exposes
+// the stamp-to-clear window deterministically so consumers can pin
+// their swap-ordering invariants — a reader that can hold the new
+// token inside this window would see stale entries as valid.
+var TestHookInvalidateAfterStamp func()
+
 // InvalidateTo stamps the cache with the fault-state token its next
 // routes are computed against. When the token differs from the current
 // stamp, every entry is dropped — they were planned against a network
@@ -98,6 +105,9 @@ func (c *RouteCache) InvalidateTo(token uint64) bool {
 	// the lock, so its stale-token write is dropped). Entries therefore
 	// never outlive the fault state they were planned against.
 	c.epoch.Store(token)
+	if TestHookInvalidateAfterStamp != nil {
+		TestHookInvalidateAfterStamp()
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()

@@ -203,9 +203,25 @@ type RouteResult struct {
 
 const routeResultFixed = 28
 
-// AppendRouteResult appends a complete route-result frame.
+// maxFieldLen bounds every variable-length frame field (reason bytes,
+// path nodes, error messages): their on-wire length prefix is a u16.
+// Encoders clamp at this bound so header length and prefix always
+// agree — an oversized field is truncated, never an inconsistent frame
+// the peer would reject as ErrBadPayload.
+const maxFieldLen = 1<<16 - 1
+
+// AppendRouteResult appends a complete route-result frame. Reason and
+// Path longer than maxFieldLen are truncated (no GC(n,2^a) path gets
+// anywhere near 65535 hops).
 func AppendRouteResult(buf []byte, id uint64, r *RouteResult) []byte {
-	plen := routeResultFixed + len(r.Reason) + 4*len(r.Path)
+	reason, path := r.Reason, r.Path
+	if len(reason) > maxFieldLen {
+		reason = reason[:maxFieldLen]
+	}
+	if len(path) > maxFieldLen {
+		path = path[:maxFieldLen]
+	}
+	plen := routeResultFixed + len(reason) + 4*len(path)
 	buf = AppendHeader(buf, TypeRouteResult, id, plen)
 	buf = append(buf, r.Outcome, r.Flags)
 	buf = binary.LittleEndian.AppendUint16(buf, r.Hops)
@@ -215,10 +231,10 @@ func AppendRouteResult(buf []byte, id uint64, r *RouteResult) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, r.Discovered)
 	buf = binary.LittleEndian.AppendUint32(buf, r.WaitCycles)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Reason)))
-	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.Path)))
-	buf = append(buf, r.Reason...)
-	for _, v := range r.Path {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(reason)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(path)))
+	buf = append(buf, reason...)
+	for _, v := range path {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
 	}
 	return buf
@@ -364,8 +380,12 @@ type ErrorFrame struct {
 	Msg  []byte // reused by Decode; copy to keep past the next call
 }
 
-// AppendError appends a complete error frame.
+// AppendError appends a complete error frame. Messages longer than
+// maxFieldLen are truncated to keep the frame self-consistent.
 func AppendError(buf []byte, id uint64, code uint16, msg string) []byte {
+	if len(msg) > maxFieldLen {
+		msg = msg[:maxFieldLen]
+	}
 	buf = AppendHeader(buf, TypeError, id, 4+len(msg))
 	buf = binary.LittleEndian.AppendUint16(buf, code)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(msg)))

@@ -196,3 +196,37 @@ func TestAppendReusesBuffer(t *testing.T) {
 		t.Fatal("chained append reallocated a sufficient buffer")
 	}
 }
+
+// TestOversizedFieldsClamped: variable-length fields whose length
+// prefix is a u16 are truncated at encode time, so the frame's header
+// length and prefixes always agree and the peer can decode it — never
+// an internally inconsistent frame that kills the connection.
+func TestOversizedFieldsClamped(t *testing.T) {
+	big := string(bytes.Repeat([]byte{'x'}, maxFieldLen+100))
+	frame := AppendError(nil, 7, CodeBadRequest, big)
+	h, err := ParseHeader(frame)
+	if err != nil || int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("header: %+v err %v", h, err)
+	}
+	var ef ErrorFrame
+	if err := DecodeError(frame[HeaderSize:], &ef); err != nil {
+		t.Fatalf("decode clamped error frame: %v", err)
+	}
+	if len(ef.Msg) != maxFieldLen {
+		t.Fatalf("msg clamped to %d, want %d", len(ef.Msg), maxFieldLen)
+	}
+
+	res := RouteResult{Outcome: 1, Reason: []byte(big), Path: make([]gc.NodeID, maxFieldLen+5)}
+	frame = AppendRouteResult(nil, 8, &res)
+	h, err = ParseHeader(frame)
+	if err != nil || int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("header: %+v err %v", h, err)
+	}
+	var out RouteResult
+	if err := DecodeRouteResult(frame[HeaderSize:], &out); err != nil {
+		t.Fatalf("decode clamped route result: %v", err)
+	}
+	if len(out.Reason) != maxFieldLen || len(out.Path) != maxFieldLen {
+		t.Fatalf("reason %d path %d, want both %d", len(out.Reason), len(out.Path), maxFieldLen)
+	}
+}
