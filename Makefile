@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz figures clean
+.PHONY: all build vet test race bench bench-json fuzz soak figures clean
 
 all: build vet test
 
@@ -23,7 +23,7 @@ bench:
 # BENCH_OUT names the output document; committed snapshots are
 # BENCH_<pr>.json and are never removed by `make clean`.
 BENCHTIME ?= 1s
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 bench-json:
 	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -32,10 +32,20 @@ fuzz:
 	$(GO) test -fuzz=FuzzRouteAgainstOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzPC -fuzztime=30s ./internal/gtree/
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzJournalReplayNoPanic -fuzztime=30s ./internal/journal/
+
+# Crash-recovery soak: kill-and-restart durability tests plus every
+# journal test, under the race detector (the CI crash-soak job).
+soak:
+	$(GO) test -race -count=2 -run 'Crash|Journal' ./...
 
 # Regenerate every paper figure as tables, CSV, SVG and a markdown report.
 figures:
 	$(GO) run ./cmd/gcbench -svg charts -csv data -report report.md
 
+# clean removes generated artifacts only. Committed goldens are never
+# touched — in particular the *.journal replay goldens under
+# internal/journal/testdata/, which pin the on-disk format across
+# releases.
 clean:
 	rm -rf charts data report.md test_output.txt bench_output.txt HIST_1.json

@@ -7,6 +7,7 @@
 //
 //	gcserved -n 10 -alpha 3 -addr :8321
 //	gcserved -n 10 -alpha 3 -addr :8321 -wire-addr :8322
+//	gcserved -n 10 -alpha 3 -journal-dir /var/lib/gcserved/journal
 //	gcserved -n 10 -alpha 3 -faults 5 -seed 7 -trace-every 64
 //	gcserved -n 10 -alpha 3 -adaptive -repair
 //	gcserved -selftest -n 10 -alpha 3 -clients 8 -requests 4000
@@ -23,6 +24,14 @@
 // fault epoch, answered over length-prefixed frames with the
 // cache-hit fast path and request coalescing in front of the shard
 // queues.
+//
+// -journal-dir makes the fault state durable (DESIGN.md §12): every
+// fault mutation is appended to a checksummed, hash-chained journal
+// and fsynced before it is acknowledged, and a restart replays the
+// journal back to the exact epoch and fingerprint before serving
+// undegraded answers. -journal-sync sets the group-commit window
+// (0 fsyncs every mutation); -journal-snapshot-every bounds replay
+// time by checkpointing and truncating the journal.
 //
 // -selftest boots the server on a loopback listener and drives it with
 // the repo's synthetic workload patterns through the public client —
@@ -68,26 +77,29 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gcserved", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		n          = fs.Uint("n", 10, "network dimension n")
-		alpha      = fs.Uint("alpha", 3, "modulus exponent: M = 2^alpha")
-		addr       = fs.String("addr", ":8321", "listen address")
-		wireAddr   = fs.String("wire-addr", "", "also serve the gcwire binary protocol on this address (empty = off)")
-		shards     = fs.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 2^alpha))")
-		queue      = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
-		batch      = fs.Int("batch", 32, "max requests a worker drains per wakeup")
-		cache      = fs.Int("cache", 0, "per-shard route-cache entries (0 default, <0 disable)")
-		traceEvery = fs.Int("trace-every", 0, "sample every Nth request into the shard trace ring (0 = off)")
-		adaptive   = fs.Bool("adaptive", false, "route with per-hop adaptive discovery instead of planning")
-		repairOn   = fs.Bool("repair", false, "maintain tree-edge health for repair detours and partition proofs")
-		deadline   = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
-		faults     = fs.Int("faults", 0, "random initial faulty nodes")
-		seed       = fs.Int64("seed", 1, "seed for initial faults and selftest traffic")
-		selftest   = fs.Bool("selftest", false, "boot on loopback, drive a load test through the HTTP client, verify conservation, exit")
-		clients    = fs.Int("clients", 8, "selftest: concurrent clients")
-		requests   = fs.Int("requests", 2000, "selftest: requests per client")
-		pattern    = fs.String("pattern", "uniform", "selftest traffic: uniform|complement|transpose|hotspot|permutation")
-		churn      = fs.Int("churn", 24, "selftest: fault mutations applied during the run")
-		wireTest   = fs.Bool("wire", false, "selftest: drive the load through the gcwire binary client instead of HTTP")
+		n           = fs.Uint("n", 10, "network dimension n")
+		alpha       = fs.Uint("alpha", 3, "modulus exponent: M = 2^alpha")
+		addr        = fs.String("addr", ":8321", "listen address")
+		wireAddr    = fs.String("wire-addr", "", "also serve the gcwire binary protocol on this address (empty = off)")
+		shards      = fs.Int("shards", 0, "worker shards (0 = min(GOMAXPROCS, 2^alpha))")
+		queue       = fs.Int("queue", 256, "per-shard queue depth (backpressure bound)")
+		batch       = fs.Int("batch", 32, "max requests a worker drains per wakeup")
+		cache       = fs.Int("cache", 0, "per-shard route-cache entries (0 default, <0 disable)")
+		traceEvery  = fs.Int("trace-every", 0, "sample every Nth request into the shard trace ring (0 = off)")
+		adaptive    = fs.Bool("adaptive", false, "route with per-hop adaptive discovery instead of planning")
+		repairOn    = fs.Bool("repair", false, "maintain tree-edge health for repair detours and partition proofs")
+		deadline    = fs.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		journalDir  = fs.String("journal-dir", "", "durable fault journal directory (empty = journaling off)")
+		journalSync = fs.Duration("journal-sync", 2*time.Millisecond, "journal group-commit window; 0 fsyncs every mutation")
+		journalSnap = fs.Uint64("journal-snapshot-every", 4096, "checkpoint and compact the journal after this many batches (0 = never)")
+		faults      = fs.Int("faults", 0, "random initial faulty nodes")
+		seed        = fs.Int64("seed", 1, "seed for initial faults and selftest traffic")
+		selftest    = fs.Bool("selftest", false, "boot on loopback, drive a load test through the HTTP client, verify conservation, exit")
+		clients     = fs.Int("clients", 8, "selftest: concurrent clients")
+		requests    = fs.Int("requests", 2000, "selftest: requests per client")
+		pattern     = fs.String("pattern", "uniform", "selftest traffic: uniform|complement|transpose|hotspot|permutation")
+		churn       = fs.Int("churn", 24, "selftest: fault mutations applied during the run")
+		wireTest    = fs.Bool("wire", false, "selftest: drive the load through the gcwire binary client instead of HTTP")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,7 +111,7 @@ func run(args []string, out io.Writer) error {
 		initial = gcube.NewFaultSet(cube)
 		initial.InjectRandomNodes(rand.New(rand.NewSource(*seed)), *faults)
 	}
-	srv, err := gcube.NewServer(gcube.ServerConfig{
+	cfg := gcube.ServerConfig{
 		Cube:            cube,
 		Faults:          initial,
 		Shards:          *shards,
@@ -110,9 +122,26 @@ func run(args []string, out io.Writer) error {
 		Adaptive:        *adaptive,
 		Repair:          *repairOn,
 		DefaultDeadline: *deadline,
-	})
+	}
+	if *journalDir != "" {
+		cfg.Journal = &gcube.JournalConfig{
+			Dir:           *journalDir,
+			Sync:          *journalSync,
+			SnapshotEvery: *journalSnap,
+		}
+	}
+	srv, err := gcube.NewServer(cfg)
 	if err != nil {
 		return err
+	}
+	if *journalDir != "" {
+		// Block startup on the replay: a journal that cannot be read back
+		// is a refusal to serve, not a silent fresh start.
+		if err := srv.WaitJournal(context.Background()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "gcserved: journal %s replayed to epoch %d (%d faults)\n",
+			*journalDir, srv.Epoch(), srv.FaultSet().Count())
 	}
 
 	if *selftest {

@@ -79,6 +79,16 @@ type Dynamic struct {
 	transient map[faultKey]bool
 	subs      []func(epoch uint64)
 	evSubs    []func(Event)
+	batchSubs []func(epoch, fp uint64, events []Event)
+
+	// Notification turnstile: callbacks for epoch e complete before any
+	// callback for an epoch > e begins, even when mutations race (see
+	// bumpAndNotify). notifyTurn is the last epoch whose callbacks have
+	// finished; a mutation that bumped the epoch to t waits until
+	// notifyTurn == t-1, runs its callbacks, then publishes t.
+	notifyMu   sync.Mutex
+	notifyCond *sync.Cond
+	notifyTurn uint64
 }
 
 // NewDynamic builds a dynamic fault set over cube c driven by the given
@@ -96,12 +106,14 @@ func NewDynamic(c *gc.Cube, events []Event) *Dynamic {
 			tr[keyOf(e.Fault)] = true
 		}
 	}
-	return &Dynamic{
+	d := &Dynamic{
 		cube:      c,
 		active:    NewSet(c),
 		schedule:  sched,
 		transient: tr,
 	}
+	d.notifyCond = sync.NewCond(&d.notifyMu)
+	return d
 }
 
 // BatchInject converts a static fault set into inject events at time t,
@@ -243,9 +255,33 @@ func (d *Dynamic) Subscribe(fn func(epoch uint64)) {
 // application order and before the epoch subscribers of the same
 // batch. Repair health maps use it to maintain per-tree-edge link
 // counts incrementally instead of rescanning the set per epoch.
+//
+// Ordering contract (the one durable journal writers depend on):
+// callbacks are serialized across concurrent mutators in epoch order —
+// every callback of epoch e returns before any callback of epoch e+1
+// starts, so a subscriber appending events to a log observes the exact
+// state history. The cost is that callbacks must not mutate the
+// Dynamic they observe: a reentrant Inject/Repair would wait for its
+// own epoch's turn, which never comes. Reads (Epoch, Snapshot,
+// Fingerprint, oracle queries) are fine.
 func (d *Dynamic) SubscribeEvents(fn func(Event)) {
 	d.mu.Lock()
 	d.evSubs = append(d.evSubs, fn)
+	d.mu.Unlock()
+}
+
+// SubscribeBatch registers fn to be called once per epoch transition
+// with the new epoch, the new state fingerprint, and the applied
+// events of that transition, after the per-event subscribers and
+// before the epoch subscribers. The events slice is reused scratch:
+// copy it to retain past the callback. The SubscribeEvents ordering
+// contract applies — batches arrive in strictly increasing, dense
+// epoch order even under concurrent mutation, which is what lets a
+// journal writer record (epoch, fingerprint, events) triples that
+// replay to bit-identical state.
+func (d *Dynamic) SubscribeBatch(fn func(epoch, fp uint64, events []Event)) {
+	d.mu.Lock()
+	d.batchSubs = append(d.batchSubs, fn)
 	d.mu.Unlock()
 }
 
@@ -335,28 +371,54 @@ func (d *Dynamic) apply(e Event) bool {
 
 // bumpAndNotify finishes a mutation: bumps the epoch and refreshes the
 // fingerprint when events were applied, releases d.mu, and notifies
-// event subscribers (per applied event, in order) and then epoch
-// subscribers.
+// event subscribers (per applied event, in order), then batch
+// subscribers, then epoch subscribers.
+//
+// Notification is serialized through the epoch turnstile: the epoch
+// counter assigned under d.mu is this mutation's ticket, and callbacks
+// run only once every earlier epoch's callbacks have completed. Two
+// racing mutations therefore never deliver their callbacks out of
+// epoch order (or interleaved), no matter which goroutine wins the
+// unlock. Callbacks run outside both locks, so they may read the
+// Dynamic freely — but must not mutate it (see SubscribeEvents).
 func (d *Dynamic) bumpAndNotify(applied []Event) {
+	if len(applied) == 0 {
+		d.mu.Unlock()
+		return
+	}
+	d.epoch++
+	d.fp = d.active.Fingerprint()
+	epoch, fp := d.epoch, d.fp
 	var subs []func(uint64)
 	var evSubs []func(Event)
-	var epoch uint64
-	if len(applied) > 0 {
-		d.epoch++
-		d.fp = d.active.Fingerprint()
-		epoch = d.epoch
-		subs = append(subs, d.subs...)
-		evSubs = append(evSubs, d.evSubs...)
-	}
+	var batchSubs []func(uint64, uint64, []Event)
+	subs = append(subs, d.subs...)
+	evSubs = append(evSubs, d.evSubs...)
+	batchSubs = append(batchSubs, d.batchSubs...)
 	d.mu.Unlock()
+
+	d.notifyMu.Lock()
+	for d.notifyTurn != epoch-1 {
+		d.notifyCond.Wait()
+	}
+	d.notifyMu.Unlock()
+
 	for _, e := range applied {
 		for _, fn := range evSubs {
 			fn(e)
 		}
 	}
+	for _, fn := range batchSubs {
+		fn(epoch, fp, applied)
+	}
 	for _, fn := range subs {
 		fn(epoch)
 	}
+
+	d.notifyMu.Lock()
+	d.notifyTurn = epoch
+	d.notifyCond.Broadcast()
+	d.notifyMu.Unlock()
 }
 
 // Fork returns a fresh Dynamic at time zero over the same cube and

@@ -1,0 +1,73 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+)
+
+// BenchmarkJournalCommit pins the cost of durability in the two sync
+// modes. sync0 is the worst case: a synchronous Commit with one fsync
+// per mutation. group2ms drives the same mutations asynchronously
+// through an attached fault.Dynamic, so the writer amortizes many
+// batches over each fsync — the mode gcserved runs with
+// -journal-sync > 0. The fsyncs/commit metric is the amortization
+// ratio: 1.0 for sync0, far below 1 for the group window.
+func BenchmarkJournalCommit(b *testing.B) {
+	b.Run("sync0", func(b *testing.B) {
+		cube := gc.New(8, 2)
+		j, _, err := Open(cube, b.TempDir(), Options{SnapshotEvery: 1 << 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		batches, _ := makeBatches(cube, b.N, 7)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := j.Commit(batches[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "commits/s")
+		b.ReportMetric(float64(j.Fsyncs())/float64(b.N), "fsyncs/commit")
+	})
+	b.Run("group2ms", func(b *testing.B) {
+		cube := gc.New(8, 2)
+		j, _, err := Open(cube, b.TempDir(), Options{
+			SyncInterval:  2 * time.Millisecond,
+			SnapshotEvery: 1 << 14,
+			QueueDepth:    1024,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		d := fault.NewDynamic(cube, nil)
+		j.AttachDynamic(d)
+		v := gc.NodeID(5)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				d.Inject(fault.Fault{Kind: fault.KindNode, Node: v}, false)
+			} else {
+				d.Repair(fault.Fault{Kind: fault.KindNode, Node: v})
+			}
+		}
+		// Mutations were acked asynchronously; the clock stops only once
+		// every one of them is durable on disk.
+		for j.LastDurableEpoch() < uint64(b.N) {
+			if err := j.Err(); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "commits/s")
+		b.ReportMetric(float64(j.Fsyncs())/float64(b.N), "fsyncs/commit")
+	})
+}

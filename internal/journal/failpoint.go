@@ -1,0 +1,404 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the root of every failure a FailpointFS injects, so
+// tests can assert errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("journal: injected fault")
+
+// FailpointFS is the crash-injection harness: an in-memory FS that can
+// fail writes, fsyncs and renames on demand, deliver short writes, and
+// — the interesting part — Kill the "process", discarding every byte
+// that was written but never fsynced and optionally leaving a torn
+// tail of the pending bytes. It models the contract a real OS gives a
+// crashed process: synced data survives exactly; unsynced data
+// survives partially, in order, or not at all.
+//
+// It is test-only by convention (it lives in the package so the serve
+// crash soak can inject it through Options.FS), safe for concurrent
+// use, and deterministic: what survives a Kill depends only on the
+// write/sync history and the torn-byte argument.
+type FailpointFS struct {
+	mu    sync.Mutex
+	files map[string]*fpFile
+	dirs  map[string]bool
+
+	// Countdown triggers: a positive value arms the failpoint after
+	// that many more successful operations of the kind (1 = fail the
+	// next one); 0 is disarmed.
+	failWriteAfter  int
+	failSyncAfter   int
+	failRenameAfter int
+	failCreateAfter int
+	shortWriteOnce  bool
+
+	// OpenGate, when set, is called at the start of every Open (read)
+	// call — a hook for tests to stall replay and observe the serving
+	// layer's "replaying" state.
+	openGate func(name string)
+
+	killed bool
+}
+
+// fpFile is one file's double-entry state: synced bytes survive a
+// Kill, pending bytes may not.
+type fpFile struct {
+	synced  []byte
+	pending []byte // bytes written since the last Sync
+}
+
+func (f *fpFile) size() int64 { return int64(len(f.synced) + len(f.pending)) }
+
+func (f *fpFile) bytes() []byte {
+	out := make([]byte, 0, f.size())
+	out = append(out, f.synced...)
+	return append(out, f.pending...)
+}
+
+// NewFailpointFS returns an empty in-memory failpoint filesystem.
+func NewFailpointFS() *FailpointFS {
+	return &FailpointFS{files: make(map[string]*fpFile), dirs: make(map[string]bool)}
+}
+
+// FailWritesAfter arms the write failpoint: the n-th next Write errors
+// (n=1 fails the next write). Zero disarms.
+func (fs *FailpointFS) FailWritesAfter(n int) { fs.mu.Lock(); fs.failWriteAfter = n; fs.mu.Unlock() }
+
+// FailSyncsAfter arms the fsync failpoint.
+func (fs *FailpointFS) FailSyncsAfter(n int) { fs.mu.Lock(); fs.failSyncAfter = n; fs.mu.Unlock() }
+
+// FailRenamesAfter arms the rename failpoint.
+func (fs *FailpointFS) FailRenamesAfter(n int) { fs.mu.Lock(); fs.failRenameAfter = n; fs.mu.Unlock() }
+
+// FailCreatesAfter arms the create failpoint.
+func (fs *FailpointFS) FailCreatesAfter(n int) { fs.mu.Lock(); fs.failCreateAfter = n; fs.mu.Unlock() }
+
+// ShortWriteOnce makes the next Write persist only half its bytes and
+// return an error — the torn-write shape ext4 can hand a crashed
+// writer even without power loss.
+func (fs *FailpointFS) ShortWriteOnce() { fs.mu.Lock(); fs.shortWriteOnce = true; fs.mu.Unlock() }
+
+// OnOpen installs a hook called at the start of every read-Open, with
+// the file's base name. Tests use it to gate replay progress.
+func (fs *FailpointFS) OnOpen(fn func(name string)) { fs.mu.Lock(); fs.openGate = fn; fs.mu.Unlock() }
+
+// Kill simulates a process crash: every file keeps its synced bytes
+// plus at most torn bytes of its pending (unsynced) tail, and all open
+// handles are poisoned. The journal's durability claim is exactly that
+// any Kill(k) for any k, at any point after a Commit acked, replays to
+// a state containing that commit.
+func (fs *FailpointFS) Kill(torn int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.killed = true
+	for _, f := range fs.files {
+		keep := torn
+		if keep > len(f.pending) {
+			keep = len(f.pending)
+		}
+		f.synced = append(f.synced, f.pending[:keep]...)
+		f.pending = nil
+	}
+}
+
+// Revive clears the killed flag (and all armed failpoints) so the
+// surviving bytes can be reopened — the "restart after crash" step.
+func (fs *FailpointFS) Revive() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.killed = false
+	fs.failWriteAfter, fs.failSyncAfter, fs.failRenameAfter, fs.failCreateAfter = 0, 0, 0, 0
+	fs.shortWriteOnce = false
+}
+
+// Corrupt XORs the byte at off in name's synced image with mask —
+// deliberate bit rot for replay tests.
+func (fs *FailpointFS) Corrupt(name string, off int64, mask byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("failpoint: corrupt %s: %w", name, os.ErrNotExist)
+	}
+	img := f.bytes()
+	if off < 0 || off >= int64(len(img)) {
+		return fmt.Errorf("failpoint: corrupt %s: offset %d out of %d bytes", name, off, len(img))
+	}
+	img[off] ^= mask
+	f.synced, f.pending = img, nil
+	return nil
+}
+
+// Size returns a file's current size (synced + pending).
+func (fs *FailpointFS) Size(name string) (int64, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, false
+	}
+	return f.size(), true
+}
+
+// countdown decrements an armed trigger and reports whether it fired.
+func countdown(n *int) bool {
+	if *n == 0 {
+		return false
+	}
+	*n--
+	return *n == 0
+}
+
+// MkdirAll implements FS.
+func (fs *FailpointFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.killed {
+		return fmt.Errorf("failpoint: mkdir after kill: %w", ErrInjected)
+	}
+	fs.dirs[dir] = true
+	return nil
+}
+
+// Open implements FS.
+func (fs *FailpointFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	gate := fs.openGate
+	fs.mu.Unlock()
+	if gate != nil {
+		gate(filepath.Base(name))
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("failpoint: open %s: %w", name, os.ErrNotExist)
+	}
+	return &fpHandle{fs: fs, f: f, name: name, readonly: true, snapshot: f.bytes()}, nil
+}
+
+// Create implements FS.
+func (fs *FailpointFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.killed {
+		return nil, fmt.Errorf("failpoint: create after kill: %w", ErrInjected)
+	}
+	if countdown(&fs.failCreateAfter) {
+		return nil, fmt.Errorf("failpoint: create %s: %w", name, ErrInjected)
+	}
+	f := &fpFile{}
+	fs.files[name] = f
+	return &fpHandle{fs: fs, f: f, name: name}, nil
+}
+
+// OpenAppend implements FS.
+func (fs *FailpointFS) OpenAppend(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("failpoint: open %s: %w", name, os.ErrNotExist)
+	}
+	return &fpHandle{fs: fs, f: f, name: name}, nil
+}
+
+// Rename implements FS.
+func (fs *FailpointFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.killed {
+		return fmt.Errorf("failpoint: rename after kill: %w", ErrInjected)
+	}
+	if countdown(&fs.failRenameAfter) {
+		return fmt.Errorf("failpoint: rename %s: %w", oldname, ErrInjected)
+	}
+	f, ok := fs.files[oldname]
+	if !ok {
+		return fmt.Errorf("failpoint: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	// Rename is atomic and implicitly durable here — the strongest
+	// reasonable model; crash-during-rename is covered by killing
+	// before or after the call.
+	f.synced, f.pending = f.bytes(), nil
+	fs.files[newname] = f
+	delete(fs.files, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (fs *FailpointFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.killed {
+		return fmt.Errorf("failpoint: remove after kill: %w", ErrInjected)
+	}
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("failpoint: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List implements FS.
+func (fs *FailpointFS) List(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var names []string
+	for name := range fs.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// fpHandle is an open handle on a failpoint file. Read-only handles
+// read a point-in-time snapshot (replay reads whole segments, so this
+// matches how the journal uses Open); writable handles append through
+// to the live file.
+type fpHandle struct {
+	fs       *FailpointFS
+	f        *fpFile
+	name     string
+	readonly bool
+	snapshot []byte
+	pos      int64
+	closed   bool
+}
+
+// Read implements io.Reader.
+func (h *fpHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	data := h.snapshot
+	if !h.readonly {
+		data = h.f.bytes()
+	}
+	if h.pos >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+// Write implements io.Writer, honoring the write failpoints and the
+// killed state.
+func (h *fpHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, os.ErrClosed
+	}
+	if h.readonly {
+		return 0, fmt.Errorf("failpoint: write to read-only handle %s", h.name)
+	}
+	if h.fs.killed {
+		return 0, fmt.Errorf("failpoint: write after kill: %w", ErrInjected)
+	}
+	if h.fs.shortWriteOnce {
+		h.fs.shortWriteOnce = false
+		n := len(p) / 2
+		h.f.pending = append(h.f.pending, p[:n]...)
+		h.pos = h.f.size()
+		return n, fmt.Errorf("failpoint: short write %d/%d to %s: %w", n, len(p), h.name, ErrInjected)
+	}
+	if countdown(&h.fs.failWriteAfter) {
+		return 0, fmt.Errorf("failpoint: write %s: %w", h.name, ErrInjected)
+	}
+	h.f.pending = append(h.f.pending, p...)
+	h.pos = h.f.size()
+	return len(p), nil
+}
+
+// Seek implements io.Seeker (the journal only seeks absolutely, and
+// only on the live segment right after replay).
+func (h *fpHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	size := int64(len(h.snapshot))
+	if !h.readonly {
+		size = h.f.size()
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = size + offset
+	}
+	if h.pos < 0 {
+		return 0, fmt.Errorf("failpoint: seek %s to %d", h.name, h.pos)
+	}
+	return h.pos, nil
+}
+
+// Sync implements File: pending bytes become synced (durable across
+// Kill) unless the fsync failpoint fires.
+func (h *fpHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.fs.killed {
+		return fmt.Errorf("failpoint: sync after kill: %w", ErrInjected)
+	}
+	if countdown(&h.fs.failSyncAfter) {
+		return fmt.Errorf("failpoint: sync %s: %w", h.name, ErrInjected)
+	}
+	h.f.synced = append(h.f.synced, h.f.pending...)
+	h.f.pending = nil
+	return nil
+}
+
+// Truncate implements File. Truncation is applied to the live image
+// and treated as durable (the journal always syncs before relying on
+// it, and modeling torn truncates adds nothing: a replayed-then-torn
+// tail is the same state as never truncating).
+func (h *fpHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return os.ErrClosed
+	}
+	if h.readonly {
+		return fmt.Errorf("failpoint: truncate read-only handle %s", h.name)
+	}
+	if h.fs.killed {
+		return fmt.Errorf("failpoint: truncate after kill: %w", ErrInjected)
+	}
+	img := h.f.bytes()
+	if size > int64(len(img)) {
+		img = append(img, make([]byte, size-int64(len(img)))...)
+	} else {
+		img = img[:size]
+	}
+	h.f.synced, h.f.pending = img, nil
+	if h.pos > size {
+		h.pos = size
+	}
+	return nil
+}
+
+// Close implements io.Closer.
+func (h *fpHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,82 @@
+package journal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the journal's window onto storage: exactly the operations the
+// writer and replay paths need, so a crash-injection harness
+// (FailpointFS) can interpose on every one of them. The production
+// implementation is OSFS.
+type FS interface {
+	// MkdirAll creates the journal directory (and parents).
+	MkdirAll(dir string) error
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for reading and writing without
+	// truncation — how replay reopens the live segment for appends.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname — the checkpoint
+	// publication step.
+	Rename(oldname, newname string) error
+	// Remove deletes a file — segment compaction.
+	Remove(name string) error
+	// List returns the base names of the directory's entries, sorted.
+	List(dir string) ([]string, error)
+}
+
+// File is the journal's handle abstraction. Sync is the durability
+// barrier group commit batches around; Truncate is how a torn tail is
+// repaired on open.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the production FS backed by the operating system.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, filepath.Base(e.Name()))
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,63 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+// TestGoldenReplay replays the committed testdata/golden-v1 journal —
+// a checkpoint plus a post-checkpoint segment written by format
+// version 1 — and pins the exact state it must reconstruct. This is
+// the cross-version compatibility guard: if an encoder change stops
+// reading journals written by earlier builds, this fails before a
+// deployment finds out. The goldens are real on-disk artifacts (make
+// clean preserves *.journal), never regenerated casually.
+func TestGoldenReplay(t *testing.T) {
+	const (
+		wantEpoch = 12
+		wantFP    = uint64(0x4f8960ec8ad2a9c2)
+		wantCount = 8
+	)
+	src := filepath.Join("testdata", "golden-v1")
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("golden journal missing: %v", err)
+	}
+	// Replay a copy: Open reopens the live segment read-write and would
+	// truncate a (hypothetical) torn tail in place.
+	dir := t.TempDir()
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cube := gc.New(8, 2)
+	j, st, err := Open(cube, dir, Options{})
+	if err != nil {
+		t.Fatalf("golden journal no longer replays: %v", err)
+	}
+	defer j.Close()
+	if st.Truncated {
+		t.Error("golden journal reported a torn tail")
+	}
+	if st.Epoch != wantEpoch {
+		t.Errorf("golden epoch %d, want %d", st.Epoch, wantEpoch)
+	}
+	if st.FP != wantFP {
+		t.Errorf("golden fingerprint %#x, want %#x", st.FP, wantFP)
+	}
+	if got := st.Set.Count(); got != wantCount {
+		t.Errorf("golden fault count %d, want %d", got, wantCount)
+	}
+	if !st.Set.NodeFaulty(3) || st.Set.NodeFaulty(9) {
+		t.Error("golden set contents wrong: node 3 must be faulty, node 9 repaired")
+	}
+}

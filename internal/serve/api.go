@@ -157,6 +157,11 @@ type MetricsSnapshot struct {
 	// Hops is the merged hop-count distribution over delivered routes.
 	Hops *metrics.Histogram `json:"hops"`
 
+	// Journal is the durability slice of the scrape (nil when no
+	// journal is configured): append/fsync counters, the not-yet-
+	// durable event lag, and the replaying/ok/lagging/failed state.
+	Journal *JournalSnapshot `json:"journal,omitempty"`
+
 	PerShard []ShardSnapshot `json:"per_shard"`
 }
 
@@ -177,6 +182,7 @@ func (s *Server) Metrics() *MetricsSnapshot {
 		Outcomes: make(map[string]int64),
 		Latency:  metrics.NewHistogram(0, latencyHi, latencyBuckets),
 		Hops:     metrics.NewHistogram(0, s.maxHops, hopsBuckets),
+		Journal:  s.JournalStatus(),
 		PerShard: make([]ShardSnapshot, 0, len(s.shards)),
 	}
 	for _, sh := range s.shards {

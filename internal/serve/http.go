@@ -60,7 +60,13 @@ func NewHandler(s *Server) http.Handler {
 		}
 		epoch, n, err := s.ApplyFaults(ops)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrJournal) {
+				// The mutation was refused because it could not be made
+				// durable — a server-side failure, not a bad request.
+				status = http.StatusInternalServerError
+			}
+			httpError(w, status, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, FaultsResponse{Epoch: epoch, Faults: n, Applied: len(ops)})
@@ -81,11 +87,28 @@ func NewHandler(s *Server) http.Handler {
 			httpError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		doc := map[string]any{
 			"status": "ok",
 			"cube":   fmt.Sprintf("GC(%d,2^%d)", s.Cube().N(), s.Cube().Alpha()),
 			"epoch":  s.Epoch(),
-		})
+		}
+		if js := s.JournalStatus(); js != nil {
+			// The journal state rides on liveness: "replaying" means
+			// answers are degraded-marked until history lands; "lagging"
+			// and "failed" are durability alarms. Still 200 — the server
+			// is alive and serving — except a failed journal, which can
+			// no longer accept mutations.
+			doc["journal"] = js
+			if js.State == "replaying" {
+				doc["status"] = "replaying"
+			}
+			if js.State == "failed" {
+				doc["status"] = "journal-failed"
+				writeJSON(w, http.StatusInternalServerError, doc)
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, doc)
 	})
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)

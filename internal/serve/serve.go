@@ -48,6 +48,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/journal"
 	"gaussiancube/internal/metrics"
 	"gaussiancube/internal/repair"
 	"gaussiancube/internal/simnet"
@@ -103,6 +104,12 @@ type Config struct {
 	// DefaultDeadline bounds each request when the submitter's context
 	// carries no earlier deadline (0 means none).
 	DefaultDeadline time.Duration
+	// Journal, when non-nil, makes every fault mutation durable before
+	// it is acknowledged, and replays the journal at startup to the
+	// exact epoch/fingerprint the previous process last acked
+	// (DESIGN.md §12). While the startup replay runs, the server serves
+	// its seed state with responses marked DeliveredDegraded.
+	Journal *JournalConfig
 }
 
 func (c *Config) fill() error {
@@ -126,6 +133,9 @@ func (c *Config) fill() error {
 	}
 	if c.TraceRing <= 0 {
 		c.TraceRing = 4096
+	}
+	if c.Journal != nil && c.Journal.Dir == "" {
+		return errors.New("serve: Config.Journal.Dir is required")
 	}
 	return nil
 }
@@ -246,6 +256,15 @@ type Server struct {
 	rejected metrics.Counter
 	started  time.Time
 	maxHops  float64 // shard hop-histogram upper bound, for merged scrapes
+
+	// Durable journal state (nil/zero unless Config.Journal is set).
+	// jready closes when the startup replay finishes; jerr (written
+	// before the close) holds its failure; jphase tracks the
+	// off/replaying/ok/failed lifecycle for /healthz.
+	jnl    *journal.Journal
+	jphase atomic.Int32
+	jready chan struct{}
+	jerr   error
 }
 
 // New builds and starts a server: workers are running on return.
@@ -286,6 +305,13 @@ func New(cfg Config) (*Server, error) {
 		s.shards[i] = sh
 		s.wg.Add(1)
 		go s.worker(sh)
+	}
+	if cfg.Journal != nil {
+		// The journal opens and replays in the background: the server is
+		// already answering (degraded-marked, against the seed) while
+		// history streams in. finishReplay installs the reconstructed
+		// state in one swap; ApplyFaults waits for it.
+		s.startJournal()
 	}
 	return s, nil
 }
@@ -370,6 +396,18 @@ func (s *Server) shardFor(src gc.NodeID) *shard {
 // finally the shard queue. Adaptive mode always queues — each flight's
 // per-hop discovery is its own.
 func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
+	resp, err := s.submit(ctx, src, dst)
+	if resp != nil && s.Replaying() {
+		// Served during the startup journal replay: the verdict was
+		// computed against the seed state, not yet the reconstructed
+		// history, so it is honest but provisional.
+		resp = degradeForReplay(resp)
+	}
+	return resp, err
+}
+
+// submit is Submit without the replay-window degrade marking.
+func (s *Server) submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
 	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
 		return nil, fmt.Errorf("serve: node out of range for GC(%d,2^%d)", s.cube.N(), s.cube.Alpha())
 	}
@@ -516,6 +554,14 @@ type CachedAnswer struct {
 // latency, sampling) exactly like a worker-served request.
 func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
 	if s.cfg.Adaptive || s.drain.Load() {
+		return CachedAnswer{}, false
+	}
+	if s.jphase.Load() == jstateReplay {
+		// During the startup replay every answer must carry the degraded
+		// marking, which the fast path cannot: fall through to Submit.
+		// One predictable-branch atomic load is the entire hot-path cost
+		// of journaling; with no journal (or once caught up) the phase
+		// word never changes.
 		return CachedAnswer{}, false
 	}
 	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
@@ -697,7 +743,24 @@ func (s *Server) finish(sh *shard, t *task, r Response) {
 // state is swapped atomically and its route cache re-stamped with the
 // new fault fingerprint. In-flight requests complete against whichever
 // epoch their worker loaded; subsequent batches see the new one.
+//
+// With a journal configured the step is durable-before-ack: the event
+// diff is committed (and fsynced, per the group-commit policy) before
+// the new epoch becomes visible anywhere, so an acked mutation can
+// never be lost to a crash, and an unjournaled one can never have
+// served a request. A journal failure aborts the mutation with
+// ErrJournal.
 func (s *Server) ApplyFaults(ops []FaultOp) (epoch uint64, faults int, err error) {
+	if s.cfg.Journal != nil {
+		// Wait out the startup replay before taking faultsMu (which
+		// finishReplay needs): mutations stack on the reconstructed
+		// history, never fork from the seed.
+		<-s.jready
+		if s.jerr != nil {
+			cur := s.state.Load()
+			return cur.epoch, cur.faults.Count(), s.jerr
+		}
+	}
 	s.faultsMu.Lock()
 	defer s.faultsMu.Unlock()
 	cur := s.state.Load()
@@ -711,8 +774,25 @@ func (s *Server) ApplyFaults(ops []FaultOp) (epoch uint64, faults int, err error
 			applyOp(fs, op)
 		}
 	})
+	if s.cfg.Journal != nil {
+		b := journal.Batch{
+			Epoch:  s.epoch.Load() + 1,
+			FP:     next.Fingerprint(),
+			Events: journal.DiffEvents(cur.faults, next, int(time.Now().Unix())),
+		}
+		if err := s.journalCommit(&b); err != nil {
+			return cur.epoch, cur.faults.Count(), err
+		}
+	}
 	es := s.buildEpoch(s.epoch.Add(1), next)
 	s.state.Store(es)
+	s.swapShards(es)
+	return es.epoch, es.faults.Count(), nil
+}
+
+// swapShards publishes a new epoch to every shard — the second half of
+// a copy-on-write fault swap, also used when the journal replay lands.
+func (s *Server) swapShards(es *epochState) {
 	for _, sh := range s.shards {
 		// The cache is re-stamped and cleared BEFORE the shard's router
 		// state is published: no reader can hold the new fingerprint
@@ -728,7 +808,6 @@ func (s *Server) ApplyFaults(ops []FaultOp) (epoch uint64, faults int, err error
 		}
 		sh.state.Store(s.buildShardRouters(sh, es))
 	}
-	return es.epoch, es.faults.Count(), nil
 }
 
 // validateOp rejects malformed mutations before any of the batch is
@@ -804,6 +883,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// The journal outlives the workers by one step: every mutation
+		// already acked is fsynced (Commit is synchronous), so this
+		// close only seals the live segment.
+		s.closeJournal()
 		close(done)
 	}()
 	select {

@@ -429,8 +429,14 @@ func TestSoakConservation(t *testing.T) {
 // GC(10, 2^3) with parallel submitters — the PR's throughput
 // acceptance gate (>= 100k req/s).
 func BenchmarkServeBatch(b *testing.B) {
-	cube := gc.New(10, 3)
-	s, err := New(Config{Cube: cube, QueueDepth: 1024, CacheCapacity: 1 << 16})
+	runServeBatchBench(b, Config{Cube: gc.New(10, 3), QueueDepth: 1024, CacheCapacity: 1 << 16})
+}
+
+// runServeBatchBench is the shared body of BenchmarkServeBatch and its
+// journal-on variants (journal_bench_test.go).
+func runServeBatchBench(b *testing.B, cfg Config) {
+	cube := cfg.Cube
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -439,6 +445,9 @@ func BenchmarkServeBatch(b *testing.B) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	}()
+	if err := s.WaitJournal(context.Background()); err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		rng := rand.New(rand.NewSource(42))

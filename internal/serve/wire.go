@@ -297,7 +297,14 @@ func (ws *WireServer) applyFaults(wbuf []byte, id uint64, ops []wire.FaultOp) []
 	}
 	epoch, faults, err := ws.srv.ApplyFaults(batch)
 	if err != nil {
-		return wire.AppendError(wbuf, id, wire.CodeBadRequest, err.Error())
+		code := wire.CodeBadRequest
+		if errors.Is(err, ErrJournal) {
+			// A journal-append refusal is the server's failure, not the
+			// client's: CodeInternal, and the stream stays in sync — the
+			// error frame is a complete, correlated reply.
+			code = wire.CodeInternal
+		}
+		return wire.AppendError(wbuf, id, code, err.Error())
 	}
 	return wire.AppendFaultsResult(wbuf, id, wire.FaultsResult{
 		Epoch:   epoch,

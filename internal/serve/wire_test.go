@@ -464,8 +464,15 @@ func TestFastPathEpochSoak(t *testing.T) {
 // warmed route cache, reporting end-to-end routes/s (target >= 1M on
 // GC(10,2^3)).
 func BenchmarkServeWire(b *testing.B) {
-	cube := gc.New(10, 3)
-	s, err := New(Config{Cube: cube, QueueDepth: 1024, CacheCapacity: 1 << 16})
+	runServeWireBench(b, Config{Cube: gc.New(10, 3), QueueDepth: 1024, CacheCapacity: 1 << 16})
+}
+
+// runServeWireBench is the shared body of BenchmarkServeWire and its
+// journal-on variants (journal_bench_test.go) — the config decides
+// whether a durable journal rides along.
+func runServeWireBench(b *testing.B, cfg Config) {
+	cube := cfg.Cube
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -474,6 +481,9 @@ func BenchmarkServeWire(b *testing.B) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	}()
+	if err := s.WaitJournal(context.Background()); err != nil {
+		b.Fatal(err)
+	}
 	addr := startWire(b, s)
 
 	// Fixed working set, warmed once so steady state measures the

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/journal"
+	"gaussiancube/internal/wire"
+)
+
+// TestWireJournalErrorEndToEnd drives a server-side journal-append
+// failure through the binary protocol end to end: the refused
+// mutation must surface to the WireClient as a typed CodeInternal
+// status error — a complete, id-correlated Error frame — and the
+// stream must stay in sync: the same connection keeps answering
+// pings, routes and (failing) mutations afterwards.
+func TestWireJournalErrorEndToEnd(t *testing.T) {
+	cube := gc.New(8, 2)
+	fs := journal.NewFailpointFS()
+	s := mustServer(t, Config{
+		Cube: cube, Shards: 2, CacheCapacity: 1024,
+		Journal: &JournalConfig{Dir: "j", FS: fs},
+	})
+	if err := s.WaitJournal(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	addr := startWire(t, s)
+	c, err := DialWire(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A healthy mutation first, so the failure below is unambiguously
+	// the injected fsync error.
+	fr, err := c.ApplyFaults([]FaultOp{{Op: OpInject, Kind: KindNode, Node: 7}})
+	if err != nil {
+		t.Fatalf("healthy ApplyFaults: %v", err)
+	}
+	if fr.Epoch != 1 {
+		t.Fatalf("healthy mutation landed epoch %d, want 1", fr.Epoch)
+	}
+
+	fs.FailSyncsAfter(1)
+	_, err = c.ApplyFaults([]FaultOp{{Op: OpInject, Kind: KindNode, Node: 9}})
+	if err == nil {
+		t.Fatal("mutation acked despite journal append failure")
+	}
+	var se *WireStatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("journal failure surfaced as %T (%v), want *WireStatusError", err, err)
+	}
+	if se.Code != wire.CodeInternal {
+		t.Fatalf("journal failure carried code %d, want %d (CodeInternal)", se.Code, wire.CodeInternal)
+	}
+
+	// The epoch never bumped: durable-before-ack means the refused
+	// mutation was never visible.
+	if epoch, err := c.Ping(); err != nil || epoch != 1 {
+		t.Fatalf("ping after journal failure: epoch=%d err=%v", epoch, err)
+	}
+	// The stream is not desynced: routing still works on the same conn.
+	r, err := c.Route(3, 200)
+	if err != nil {
+		t.Fatalf("route after journal failure: %v", err)
+	}
+	if r.Epoch != 1 || r.Outcome == "" {
+		t.Fatalf("route after journal failure: %+v", r)
+	}
+	// The journal is sticky-failed: every further mutation is refused
+	// with the same typed error, and health reports it.
+	_, err = c.ApplyFaults([]FaultOp{{Op: OpRepair, Kind: KindNode, Node: 7}})
+	if !errors.As(err, &se) || se.Code != wire.CodeInternal {
+		t.Fatalf("second mutation after sticky failure = %v, want CodeInternal", err)
+	}
+	if js := s.JournalStatus(); js == nil || js.State != "failed" {
+		t.Errorf("JournalStatus = %+v, want failed", js)
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatalf("metrics after journal failure: %v", err)
+	}
+	if m.Journal == nil || m.Journal.State != "failed" || m.Journal.Error == "" {
+		t.Errorf("metrics journal slice = %+v, want failed with error text", m.Journal)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// TestWireJournalDurableMetrics pins the journal counters on the wire
+// metrics document: appends count batches, fsyncs count durability
+// barriers, and the lag gauge drains to zero once commits are synced.
+func TestWireJournalDurableMetrics(t *testing.T) {
+	cube := gc.New(8, 2)
+	fs := journal.NewFailpointFS()
+	s := mustServer(t, Config{
+		Cube: cube, Shards: 2,
+		Journal: &JournalConfig{Dir: "j", FS: fs},
+	})
+	if err := s.WaitJournal(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	addr := startWire(t, s)
+	c, err := DialWire(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.ApplyFaults([]FaultOp{{Op: OpInject, Kind: KindNode, Node: gc.NodeID(20 + i)}}); err != nil {
+			t.Fatalf("ApplyFaults[%d]: %v", i, err)
+		}
+	}
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := m.Journal
+	if j == nil {
+		t.Fatal("metrics carry no journal slice with journaling on")
+	}
+	if j.State != "ok" {
+		t.Errorf("journal state %q, want ok", j.State)
+	}
+	if j.Appends != 5 {
+		t.Errorf("journal_appends = %d, want 5", j.Appends)
+	}
+	if j.Fsyncs < 5 {
+		t.Errorf("journal_fsyncs = %d, want >= 5 with per-commit sync", j.Fsyncs)
+	}
+	if j.LagEvents != 0 {
+		t.Errorf("journal_lag_events = %d after synchronous commits, want 0", j.LagEvents)
+	}
+	if j.LastCommittedEpoch != 5 {
+		t.Errorf("last_committed_epoch = %d, want 5", j.LastCommittedEpoch)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}

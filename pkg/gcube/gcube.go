@@ -156,6 +156,27 @@ type (
 	MetricsSnapshot = serve.MetricsSnapshot
 )
 
+// Durability: the append-only fault journal of internal/journal,
+// attached via ServerConfig.Journal. Every ApplyFaults batch is made
+// durable (checksummed, hash-chained, fsynced) before it is
+// acknowledged or visible; on restart the server replays the journal
+// to the exact epoch and fingerprint before the first router swap.
+type (
+	// JournalConfig enables journaling: Dir is the journal directory,
+	// Sync the group-commit window (0 = fsync every mutation),
+	// SnapshotEvery the checkpoint-and-compact cadence in batches.
+	JournalConfig = serve.JournalConfig
+	// JournalSnapshot is the journal slice of MetricsSnapshot and
+	// /healthz: state (replaying|ok|lagging|failed), last committed
+	// epoch, append/fsync/lag counters.
+	JournalSnapshot = serve.JournalSnapshot
+)
+
+// ErrJournal wraps every journal failure ApplyFaults can return — the
+// mutation was refused, never applied. HTTP maps it to 500, gcwire to
+// CodeInternal.
+var ErrJournal = serve.ErrJournal
+
 // Fault mutation verbs and kinds for FaultOp.
 const (
 	OpInject = serve.OpInject
