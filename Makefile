@@ -23,7 +23,7 @@ bench:
 # BENCH_OUT names the output document; committed snapshots are
 # BENCH_<pr>.json and are never removed by `make clean`.
 BENCHTIME ?= 1s
-BENCH_OUT ?= BENCH_7.json
+BENCH_OUT ?= BENCH_8.json
 bench-json:
 	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPC -fuzztime=30s ./internal/gtree/
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzJournalReplayNoPanic -fuzztime=30s ./internal/journal/
+	$(GO) test -fuzz=FuzzTopologyOwner -fuzztime=30s ./internal/cluster/
 
 # Crash-recovery soak: kill-and-restart durability tests plus every
 # journal test, under the race detector (the CI crash-soak job).

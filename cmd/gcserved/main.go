@@ -53,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -92,6 +93,11 @@ func run(args []string, out io.Writer) error {
 		journalDir  = fs.String("journal-dir", "", "durable fault journal directory (empty = journaling off)")
 		journalSync = fs.Duration("journal-sync", 2*time.Millisecond, "journal group-commit window; 0 fsyncs every mutation")
 		journalSnap = fs.Uint64("journal-snapshot-every", 4096, "checkpoint and compact the journal after this many batches (0 = never)")
+		peers       = fs.String("peers", "", "cluster mode: comma-separated advertise addresses of every member including this one; ending classes are split evenly in list order")
+		classRanges = fs.String("class-ranges", "", "cluster mode: explicit ownership map \"0-1@host:port,2@host:port,...\" (mutually exclusive with -peers)")
+		advertise   = fs.String("advertise", "", "cluster mode: this instance's wire address as peers dial it; must appear in -peers or -class-ranges")
+		gossipInt   = fs.Duration("gossip-interval", 500*time.Millisecond, "cluster mode: anti-entropy gossip period")
+		fwdTimeout  = fs.Duration("forward-timeout", 2*time.Second, "cluster mode: per-hop deadline when forwarding to a class owner")
 		faults      = fs.Int("faults", 0, "random initial faulty nodes")
 		seed        = fs.Int64("seed", 1, "seed for initial faults and selftest traffic")
 		selftest    = fs.Bool("selftest", false, "boot on loopback, drive a load test through the HTTP client, verify conservation, exit")
@@ -105,7 +111,44 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// Fail fast on flag combinations that would otherwise misbehave at
+	// runtime; explicit records which flags the operator actually set,
+	// so defaults don't trip the checks.
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["journal-snapshot-every"] && *journalDir == "" {
+		return fmt.Errorf("-journal-snapshot-every requires -journal-dir: there is no journal to checkpoint")
+	}
+	clusterMode := *peers != "" || *classRanges != ""
+	switch {
+	case *peers != "" && *classRanges != "":
+		return fmt.Errorf("-peers and -class-ranges are mutually exclusive: list addresses for an even class split, or give the full ownership map")
+	case clusterMode && *advertise == "":
+		return fmt.Errorf("cluster mode requires -advertise: the wire address peers dial this instance at")
+	case clusterMode && *wireAddr == "":
+		return fmt.Errorf("cluster mode requires -wire-addr: forwarding and gossip run over the gcwire protocol")
+	case clusterMode && *selftest:
+		return fmt.Errorf("-selftest drives a single instance and cannot run in cluster mode")
+	case !clusterMode && *advertise != "":
+		return fmt.Errorf("-advertise without -peers or -class-ranges: no cluster to advertise to")
+	case !clusterMode && (explicit["gossip-interval"] || explicit["forward-timeout"]):
+		return fmt.Errorf("-gossip-interval and -forward-timeout only apply in cluster mode (-peers or -class-ranges)")
+	}
+
 	cube := gcube.NewCube(*n, *alpha)
+	var topo *gcube.ClusterTopology
+	if clusterMode {
+		members, err := clusterMembers(cube, *peers, *classRanges)
+		if err != nil {
+			return err
+		}
+		if topo, err = gcube.NewClusterTopology(cube, members); err != nil {
+			return err
+		}
+		if topo.IndexOf(*advertise) < 0 {
+			return fmt.Errorf("-advertise %s is not a cluster member", *advertise)
+		}
+	}
 	var initial *gcube.FaultSet
 	if *faults > 0 {
 		initial = gcube.NewFaultSet(cube)
@@ -176,6 +219,23 @@ func run(args []string, out io.Writer) error {
 		go func() { errc <- wireSrv.Serve() }()
 	}
 
+	var clusterNode *gcube.ClusterNode
+	if topo != nil {
+		clusterNode, err = gcube.StartCluster(gcube.ClusterConfig{
+			Server:         srv,
+			Topology:       topo,
+			Self:           *advertise,
+			GossipInterval: *gossipInt,
+			ForwardTimeout: *fwdTimeout,
+		})
+		if err != nil {
+			return err
+		}
+		self := topo.Members()[topo.IndexOf(*advertise)]
+		fmt.Fprintf(out, "gcserved: cluster member %s owns ending classes %s (%d members)\n",
+			*advertise, self.Range(), len(topo.Members()))
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -201,6 +261,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("wire shutdown: %w", err)
 		}
 	}
+	if clusterNode != nil {
+		// Both listeners are down, so no request can need forwarding;
+		// stop gossip and drop the peer connections before the drain.
+		clusterNode.Close()
+	}
 	if err := srv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
@@ -211,6 +276,34 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("drain dropped requests: accepted=%d served=%d", m.Accepted, m.Served)
 	}
 	return nil
+}
+
+// clusterMembers builds the member list from whichever cluster flag
+// was given: -class-ranges is the explicit ownership map, -peers
+// splits the ending classes evenly across the listed addresses in
+// order.
+func clusterMembers(cube *gcube.Cube, peers, classRanges string) ([]gcube.ClusterMember, error) {
+	if classRanges != "" {
+		return gcube.ParseClusterMembers(classRanges)
+	}
+	var addrs []string
+	for _, a := range strings.Split(peers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("-peers lists no addresses")
+	}
+	ranges, err := gcube.SplitClusterEven(1<<cube.Alpha(), len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	members := make([]gcube.ClusterMember, len(addrs))
+	for i, a := range addrs {
+		members[i] = gcube.ClusterMember{Addr: a, Lo: ranges[i][0], Hi: ranges[i][1]}
+	}
+	return members, nil
 }
 
 type selftestConfig struct {

@@ -43,3 +43,59 @@ func TestBadFlags(t *testing.T) {
 		t.Fatal("unknown pattern must error")
 	}
 }
+
+// TestClusterFlagValidation: invalid flag combinations fail fast with
+// a message naming the problem, before anything binds or serves.
+func TestClusterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"peersWithoutAdvertise",
+			[]string{"-peers", "a:1,b:2", "-wire-addr", ":0"},
+			"-advertise"},
+		{"peersWithoutWireAddr",
+			[]string{"-peers", "a:1,b:2", "-advertise", "a:1"},
+			"-wire-addr"},
+		{"snapshotWithoutJournal",
+			[]string{"-journal-snapshot-every", "16"},
+			"-journal-dir"},
+		{"peersAndClassRanges",
+			[]string{"-peers", "a:1,b:2", "-class-ranges", "0-1@a:1,2-3@b:2",
+				"-advertise", "a:1", "-wire-addr", ":0"},
+			"mutually exclusive"},
+		{"advertiseWithoutCluster",
+			[]string{"-advertise", "a:1"},
+			"no cluster"},
+		{"gossipWithoutCluster",
+			[]string{"-gossip-interval", "1s"},
+			"cluster mode"},
+		{"overlappingRanges",
+			[]string{"-n", "6", "-alpha", "2",
+				"-class-ranges", "0-2@a:1,2-3@b:2", "-advertise", "a:1", "-wire-addr", ":0"},
+			"owned by both"},
+		{"uncoveredClass",
+			[]string{"-n", "6", "-alpha", "2",
+				"-class-ranges", "0-1@a:1,3@b:2", "-advertise", "a:1", "-wire-addr", ":0"},
+			"unowned"},
+		{"advertiseNotAMember",
+			[]string{"-n", "6", "-alpha", "2",
+				"-peers", "a:1,b:2", "-advertise", "c:3", "-wire-addr", ":0"},
+			"not a cluster member"},
+		{"morePeersThanClasses",
+			[]string{"-n", "6", "-alpha", "2",
+				"-peers", "a:1,b:2,c:3,d:4,e:5", "-advertise", "a:1", "-wire-addr", ":0"},
+			"cannot split"},
+		{"selftestInClusterMode",
+			[]string{"-selftest", "-peers", "a:1,b:2", "-advertise", "a:1", "-wire-addr", ":0"},
+			"single instance"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		err := run(tc.args, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("0-1@a:1, 2@b:2 ,3-3@c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{{Addr: "a:1", Lo: 0, Hi: 1}, {Addr: "b:2", Lo: 2, Hi: 2}, {Addr: "c:3", Lo: 3, Hi: 3}}
+	if len(ms) != len(want) {
+		t.Fatalf("got %d members, want %d", len(ms), len(want))
+	}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Fatalf("member %d = %+v, want %+v", i, ms[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "0-1", "@a:1", "0-1@", "x@a:1", "0-x@a:1"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cube := gc.New(6, 2) // 4 classes
+	cases := []struct {
+		name    string
+		members []Member
+		wantErr string
+	}{
+		{"empty", nil, "no members"},
+		{"overlap", []Member{{Addr: "a", Lo: 0, Hi: 2}, {Addr: "b", Lo: 2, Hi: 3}}, "owned by both"},
+		{"gap", []Member{{Addr: "a", Lo: 0, Hi: 1}, {Addr: "b", Lo: 3, Hi: 3}}, "unowned"},
+		{"outOfRange", []Member{{Addr: "a", Lo: 0, Hi: 4}}, "invalid"},
+		{"inverted", []Member{{Addr: "a", Lo: 2, Hi: 1}, {Addr: "b", Lo: 0, Hi: 3}}, "invalid"},
+		{"dupAddr", []Member{{Addr: "a", Lo: 0, Hi: 1}, {Addr: "a", Lo: 2, Hi: 3}}, "twice"},
+		{"noAddr", []Member{{Addr: "", Lo: 0, Hi: 3}}, "no address"},
+	}
+	for _, tc := range cases {
+		_, err := New(cube, tc.members)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	topo, err := New(cube, []Member{{Addr: "a", Lo: 0, Hi: 1}, {Addr: "b", Lo: 2, Hi: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < cube.Nodes(); p++ {
+		class := int(cube.EndingClass(gc.NodeID(p)))
+		want := 0
+		if class >= 2 {
+			want = 1
+		}
+		if got := topo.OwnerOf(gc.NodeID(p)); got != want {
+			t.Fatalf("OwnerOf(%d) = %d, want %d (class %d)", p, got, want, class)
+		}
+	}
+	if topo.OwnerOf(gc.NodeID(cube.Nodes())) != -1 {
+		t.Fatal("out-of-range node should have no owner")
+	}
+	if topo.Owner(-1) != -1 || topo.Owner(4) != -1 {
+		t.Fatal("out-of-range class should have no owner")
+	}
+	if topo.Successor(0) != 1 || topo.Successor(1) != 0 {
+		t.Fatal("two-member ring broken")
+	}
+	if topo.IndexOf("b") != 1 || topo.IndexOf("zz") != -1 {
+		t.Fatal("IndexOf broken")
+	}
+}
+
+func TestSplitEven(t *testing.T) {
+	cases := []struct {
+		classes, n int
+		want       [][2]int
+	}{
+		{4, 1, [][2]int{{0, 3}}},
+		{4, 2, [][2]int{{0, 1}, {2, 3}}},
+		{4, 3, [][2]int{{0, 1}, {2, 2}, {3, 3}}},
+		{4, 4, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}}},
+		{8, 3, [][2]int{{0, 2}, {3, 5}, {6, 7}}},
+	}
+	for _, tc := range cases {
+		got, err := SplitEven(tc.classes, tc.n)
+		if err != nil {
+			t.Fatalf("SplitEven(%d,%d): %v", tc.classes, tc.n, err)
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Fatalf("SplitEven(%d,%d) = %v, want %v", tc.classes, tc.n, got, tc.want)
+			}
+		}
+	}
+	if _, err := SplitEven(4, 5); err == nil {
+		t.Fatal("splitting 4 classes across 5 instances should fail")
+	}
+	if _, err := SplitEven(4, 0); err == nil {
+		t.Fatal("zero instances should fail")
+	}
+}
+
+// FuzzTopologyOwner: any spec either fails to parse/validate or yields
+// a topology where every node has exactly one in-range owner
+// consistent with its ending class, and the ring successor cycles
+// through all members.
+func FuzzTopologyOwner(f *testing.F) {
+	f.Add("0-1@a:1,2@b:2,3@c:3")
+	f.Add("0-3@solo:9")
+	f.Add("3@z:1,0-2@y:2")
+	f.Add("1-0@bad:1")
+	f.Add("0-1@a:1,1-3@b:2")
+	f.Add(",,,")
+	cube := gc.New(6, 2)
+	f.Fuzz(func(t *testing.T, spec string) {
+		members, err := ParseMembers(spec)
+		if err != nil {
+			return
+		}
+		topo, err := New(cube, members)
+		if err != nil {
+			return
+		}
+		for p := 0; p < cube.Nodes(); p++ {
+			o := topo.OwnerOf(gc.NodeID(p))
+			if o < 0 || o >= len(members) {
+				t.Fatalf("node %d owner %d out of range", p, o)
+			}
+			class := int(cube.EndingClass(gc.NodeID(p)))
+			m := topo.Members()[o]
+			if class < m.Lo || class > m.Hi {
+				t.Fatalf("node %d (class %d) owned by %s with range %s", p, class, m.Addr, m.Range())
+			}
+			if topo.Owner(class) != o {
+				t.Fatalf("Owner(%d) and OwnerOf(%d) disagree", class, p)
+			}
+		}
+		seen := make(map[int]bool)
+		for i, at := 0, 0; i < len(members); i++ {
+			if seen[at] {
+				t.Fatalf("ring revisits member %d before covering all", at)
+			}
+			seen[at] = true
+			at = topo.Successor(at)
+		}
+	})
+}

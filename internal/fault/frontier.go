@@ -1,0 +1,29 @@
+package fault
+
+// CompareFrontier orders two (epoch, fingerprint) gossip stamps — the
+// frontier comparison gccluster's anti-entropy loop is keyed on. The
+// epoch is the primary order: a higher epoch has strictly more fault
+// history behind it. Fingerprints break ties between two instances
+// that independently minted the same epoch number with different
+// content: the higher fingerprint deterministically wins, so every
+// instance resolves a conflict the same way and the cluster converges
+// instead of ping-ponging.
+//
+// Returns -1 when (epochA, fpA) is behind (epochB, fpB), +1 when it is
+// ahead, and 0 when the stamps are identical. Note that 0 means the
+// fault *content* matches with fingerprint confidence (2^-64 collision
+// odds), not merely that the counters agree.
+func CompareFrontier(epochA, fpA, epochB, fpB uint64) int {
+	switch {
+	case epochA < epochB:
+		return -1
+	case epochA > epochB:
+		return +1
+	case fpA == fpB:
+		return 0
+	case fpA < fpB:
+		return -1
+	default:
+		return +1
+	}
+}

@@ -162,6 +162,11 @@ type MetricsSnapshot struct {
 	// durable event lag, and the replaying/ok/lagging/failed state.
 	Journal *JournalSnapshot `json:"journal,omitempty"`
 
+	// Cluster is the gccluster slice of the scrape (nil when this
+	// instance is not clustered): peer frontiers and lag, forwarding
+	// counters, and the stale-epoch degrade tally.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+
 	PerShard []ShardSnapshot `json:"per_shard"`
 }
 
@@ -183,6 +188,7 @@ func (s *Server) Metrics() *MetricsSnapshot {
 		Latency:  metrics.NewHistogram(0, latencyHi, latencyBuckets),
 		Hops:     metrics.NewHistogram(0, s.maxHops, hopsBuckets),
 		Journal:  s.JournalStatus(),
+		Cluster:  s.clusterSnapshot(),
 		PerShard: make([]ShardSnapshot, 0, len(s.shards)),
 	}
 	for _, sh := range s.shards {

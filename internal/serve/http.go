@@ -87,10 +87,21 @@ func NewHandler(s *Server) http.Handler {
 			httpError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
+		epoch, fp := s.Frontier()
 		doc := map[string]any{
-			"status": "ok",
-			"cube":   fmt.Sprintf("GC(%d,2^%d)", s.Cube().N(), s.Cube().Alpha()),
-			"epoch":  s.Epoch(),
+			"status":      "ok",
+			"cube":        fmt.Sprintf("GC(%d,2^%d)", s.Cube().N(), s.Cube().Alpha()),
+			"epoch":       epoch,
+			"fingerprint": fmt.Sprintf("%#x", fp),
+		}
+		if cs := s.clusterSnapshot(); cs != nil {
+			// The cluster slice rides on liveness: stale means answers are
+			// degraded-marked until the gossip frontier is caught up. Still
+			// 200 — serving degraded-honest beats not serving.
+			doc["cluster"] = cs
+			if cs.Stale {
+				doc["status"] = "stale-epoch"
+			}
 		}
 		if js := s.JournalStatus(); js != nil {
 			// The journal state rides on liveness: "replaying" means

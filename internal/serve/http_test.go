@@ -68,7 +68,7 @@ func TestRouteGoldenJSON(t *testing.T) {
 
 	// Healthz golden (map keys marshal sorted).
 	if code, body := get(t, h, "/healthz"); code != 200 ||
-		body != `{"cube":"GC(6,2^2)","epoch":0,"status":"ok"}` {
+		body != `{"cube":"GC(6,2^2)","epoch":0,"fingerprint":"0x0","status":"ok"}` {
 		t.Errorf("/healthz: %d %s", code, body)
 	}
 }

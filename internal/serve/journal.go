@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"time"
 
-	"gaussiancube/internal/core"
 	"gaussiancube/internal/journal"
 )
 
@@ -215,20 +214,8 @@ func (s *Server) journalCommit(b *journal.Batch) error {
 // it is provisional. The Report is copied — it may be shared with
 // coalesced followers or the route cache.
 func degradeForReplay(r *Response) *Response {
-	if r.Err != nil || r.Report == nil {
-		return r
-	}
-	if r.Report.Outcome.Undeliverable() || r.Report.Outcome == core.OutcomeCanceled {
-		return r
-	}
-	rep := *r.Report
-	rep.Outcome = core.OutcomeDeliveredDegraded
-	if rep.Reason == "" {
-		rep.Reason = replayDegradedReason
-	}
-	cp := *r
-	cp.Report = &rep
-	return &cp
+	out, _ := degradeResponse(r, replayDegradedReason)
+	return out
 }
 
 // closeJournal seals the journal at shutdown, after the replay

@@ -265,6 +265,16 @@ type Server struct {
 	jphase atomic.Int32
 	jready chan struct{}
 	jerr   error
+
+	// Cluster hooks (nil unless a cluster.Node is attached — see
+	// cluster.go). fwd routes non-owned requests to their owner; stale
+	// forces degrade marking while this instance trails the gossip
+	// frontier; clusterFn provides the /metrics cluster section;
+	// degradedStale tallies responses stale-marked.
+	fwd           atomic.Pointer[forwarderBox]
+	stale         atomic.Pointer[staleMark]
+	clusterFn     atomic.Pointer[func() *ClusterSnapshot]
+	degradedStale metrics.Counter
 }
 
 // New builds and starts a server: workers are running on return.
@@ -395,13 +405,40 @@ func (s *Server) shardFor(src gc.NodeID) *shard {
 // coalescer that joins an identical in-flight request's plan, and
 // finally the shard queue. Adaptive mode always queues — each flight's
 // per-hop discovery is its own.
+//
+// With a cluster forwarder installed (SetForwarder), a request whose
+// source ending class belongs to another instance is proxied to its
+// owner instead; SubmitLocal pins a request to this instance.
 func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
+	if box := s.fwd.Load(); box != nil &&
+		int(src) < s.cube.Nodes() && int(dst) < s.cube.Nodes() && !box.f.Owns(src) {
+		return box.f.Forward(ctx, src, dst)
+	}
+	return s.SubmitLocal(ctx, src, dst)
+}
+
+// SubmitLocal serves one request on this instance regardless of
+// cluster ownership — the landing path for requests a peer forwarded
+// here (wire.RouteFlagNoForward) and for the cluster's local-compute
+// fallback. Responses served while the journal replays or while the
+// instance trails the gossip frontier are degrade-marked.
+func (s *Server) SubmitLocal(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
 	resp, err := s.submit(ctx, src, dst)
-	if resp != nil && s.Replaying() {
-		// Served during the startup journal replay: the verdict was
-		// computed against the seed state, not yet the reconstructed
-		// history, so it is honest but provisional.
-		resp = degradeForReplay(resp)
+	if resp != nil {
+		if s.Replaying() {
+			// Served during the startup journal replay: the verdict was
+			// computed against the seed state, not yet the reconstructed
+			// history, so it is honest but provisional.
+			resp = degradeForReplay(resp)
+		} else if m := s.stale.Load(); m != nil {
+			// Served behind the cluster's gossip frontier: the verdict is
+			// honest for the epoch it was computed against, but a peer
+			// holds newer fault history — never silently wrong.
+			if d, marked := degradeResponse(resp, m.reason); marked {
+				s.degradedStale.Inc()
+				resp = d
+			}
+		}
 	}
 	return resp, err
 }
@@ -562,6 +599,12 @@ func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
 		// One predictable-branch atomic load is the entire hot-path cost
 		// of journaling; with no journal (or once caught up) the phase
 		// word never changes.
+		return CachedAnswer{}, false
+	}
+	if s.stale.Load() != nil {
+		// Behind the cluster gossip frontier: same funneling as the
+		// replay window — every answer must carry the stale-epoch
+		// degrade marking, which only SubmitLocal can apply.
 		return CachedAnswer{}, false
 	}
 	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gaussiancube/internal/core"
+	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/wire"
 )
@@ -153,6 +154,12 @@ read:
 				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
 				break
 			}
+			if req.Flags&wire.RouteFlagNoForward == 0 && !ws.srv.OwnsLocally(req.Src) {
+				// Another instance owns this ending class: the request must
+				// ride Submit's forwarding path, not the local cache.
+				ws.routeMiss(wc, h.ID, req)
+				break
+			}
 			if ans, ok := ws.srv.FastRoute(req.Src, req.Dst); ok {
 				res.Outcome = uint8(core.OutcomeDelivered)
 				res.Flags = wire.FlagCacheHit
@@ -185,6 +192,13 @@ read:
 			}
 			wbuf = wire.AppendHeader(wbuf, wire.TypeMetricsResult, h.ID, len(doc))
 			wbuf = append(wbuf, doc...)
+		case wire.TypeEpochSyncReq:
+			var sreq wire.EpochSyncReq
+			if err := wire.DecodeEpochSyncReq(payload, &sreq); err != nil {
+				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
+				break
+			}
+			wbuf = ws.epochSync(wbuf, h.ID, sreq)
 		case wire.TypePing:
 			wbuf = wire.AppendPong(wbuf, h.ID, ws.srv.Epoch())
 		default:
@@ -211,7 +225,10 @@ read:
 }
 
 // routeMiss resolves a non-cached route off the reader goroutine via
-// the ordinary Submit pipeline and writes its own reply frame.
+// the ordinary Submit pipeline and writes its own reply frame. The
+// NoForward flag pins the request to this instance (SubmitLocal) — the
+// hop bound that keeps ownership disagreements from looping a request
+// between peers.
 func (ws *WireServer) routeMiss(wc *wireConn, id uint64, req wire.RouteReq) {
 	wc.inflight.Add(1)
 	go func() {
@@ -222,8 +239,12 @@ func (ws *WireServer) routeMiss(wc *wireConn, id uint64, req wire.RouteReq) {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 			defer cancel()
 		}
+		submit := ws.srv.Submit
+		if req.Flags&wire.RouteFlagNoForward != 0 {
+			submit = ws.srv.SubmitLocal
+		}
 		var out []byte
-		resp, err := ws.srv.Submit(ctx, req.Src, req.Dst)
+		resp, err := submit(ctx, req.Src, req.Dst)
 		switch {
 		case errors.Is(err, ErrBackpressure):
 			out = wire.AppendError(nil, id, wire.CodeBackpressure, err.Error())
@@ -311,4 +332,47 @@ func (ws *WireServer) applyFaults(wbuf []byte, id uint64, ops []wire.FaultOp) []
 		Faults:  uint32(faults),
 		Applied: uint32(len(ops)),
 	})
+}
+
+// maxSyncBatches bounds one epoch-sync response's batch suffix; a
+// requester further behind pulls again from its new frontier
+// (SyncFlagMore).
+const maxSyncBatches = 256
+
+// epochSync answers a peer's anti-entropy pull. A requester at or
+// ahead of our frontier gets an empty response (its next pull goes the
+// other way); a requester behind gets the journal suffix after its
+// epoch, or a full snapshot when it asked for one, when its epoch
+// equals ours with a different fingerprint (divergent histories — a
+// suffix cannot reconcile them), or when the journal cannot serve the
+// horizon (no journal, compacted away, still replaying).
+func (ws *WireServer) epochSync(wbuf []byte, id uint64, req wire.EpochSyncReq) []byte {
+	epoch, fp := ws.srv.Frontier()
+	resp := wire.EpochSyncResp{Epoch: epoch, FP: fp}
+	if fault.CompareFrontier(req.Epoch, req.FP, epoch, fp) >= 0 {
+		return wire.AppendEpochSyncResp(wbuf, id, &resp)
+	}
+	conflict := req.Epoch == epoch && req.FP != fp
+	if req.Flags&wire.SyncFlagWantSnapshot == 0 && !conflict {
+		if batches, ok := ws.srv.ReadJournalSince(req.Epoch); ok {
+			if len(batches) > maxSyncBatches {
+				batches = batches[:maxSyncBatches]
+				resp.Flags |= wire.SyncFlagMore
+			}
+			resp.Batches = make([]wire.SyncBatch, len(batches))
+			for i := range batches {
+				resp.Batches[i] = wire.SyncBatch{
+					Epoch:  batches[i].Epoch,
+					FP:     batches[i].FP,
+					Events: WireSyncEvents(batches[i].Events),
+				}
+			}
+			return wire.AppendEpochSyncResp(wbuf, id, &resp)
+		}
+	}
+	sepoch, sfp, events := ws.srv.SnapshotEvents()
+	resp.Epoch, resp.FP = sepoch, sfp
+	resp.Flags |= wire.SyncFlagSnapshot
+	resp.Batches = []wire.SyncBatch{{Epoch: sepoch, FP: sfp, Events: WireSyncEvents(events)}}
+	return wire.AppendEpochSyncResp(wbuf, id, &resp)
 }

@@ -3,15 +3,63 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/wire"
 )
+
+// ErrConnClosed is the typed failure every connection-level WireClient
+// error wraps: the server hung up, the dial-retry budget ran out, or
+// an I/O error tore the stream mid-call. A batch that dies mid-read
+// fails with it instead of leaving callers blocked; the connection is
+// torn down so the next call redials (when the client owns an
+// address). Check with errors.Is.
+var ErrConnClosed = errors.New("gcwire: connection closed")
+
+// WireDialOptions tunes a reconnecting client's dial behavior. Zero
+// values pick the documented defaults.
+type WireDialOptions struct {
+	// RetryBudget bounds dial attempts per call (default 4). The first
+	// attempt is immediate; each later one waits a backoff.
+	RetryBudget int
+	// BackoffBase is the first retry's wait (default 50ms); waits
+	// double per attempt with ±50% jitter, capped at BackoffMax
+	// (default 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DialTimeout bounds each dial attempt (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout, when positive, bounds every request/response
+	// round-trip by setting a connection deadline per call — the
+	// cluster forwarder's per-hop deadline.
+	CallTimeout time.Duration
+	// Dial overrides the transport — cluster tests plant partition
+	// gates here. nil dials TCP.
+	Dial func(addr string) (net.Conn, error)
+}
+
+func (o *WireDialOptions) fill() {
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+}
 
 // WireClient speaks the gcwire binary protocol: the fast twin of the
 // HTTP Client. It lives next to the Server (not in pkg/gcube) so the
@@ -24,8 +72,16 @@ import (
 // RouteBatch is the steady-state-zero-allocation path — it pipelines a
 // whole batch in one write and decodes every reply into caller-reused
 // WireRoute slots.
+//
+// A client built with an address (DialWire, NewWireDialer) reconnects
+// automatically: when a call finds the connection torn, it redials
+// with exponential backoff and jitter under the options' retry budget.
+// A client wrapping a raw connection (NewWireClient) fails with
+// ErrConnClosed once that connection dies.
 type WireClient struct {
 	mu      sync.Mutex
+	addr    string // empty: wrapped conn, no redial
+	opts    WireDialOptions
 	c       net.Conn
 	br      *bufio.Reader
 	nextID  uint64
@@ -33,28 +89,127 @@ type WireClient struct {
 	payload []byte
 	seen    []uint64 // RouteBatch per-slot answered bits, reused
 	hdr     [wire.HeaderSize]byte
+	redials int64
 }
 
-// DialWire connects to a gcserved binary listener (-wire-addr).
+// DialWire connects to a gcserved binary listener (-wire-addr) with
+// default options, failing fast if the first dial does.
 func DialWire(addr string) (*WireClient, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
+	w := NewWireDialer(addr, WireDialOptions{})
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.ensureConn(); err != nil {
 		return nil, err
 	}
-	return NewWireClient(c), nil
+	return w, nil
 }
 
-// NewWireClient wraps an established connection.
+// NewWireDialer builds a reconnecting client for addr without dialing:
+// the first call connects, and any torn connection is redialed per
+// opts.
+func NewWireDialer(addr string, opts WireDialOptions) *WireClient {
+	opts.fill()
+	return &WireClient{addr: addr, opts: opts, wbuf: make([]byte, 0, 64<<10)}
+}
+
+// NewWireClient wraps an established connection (no reconnect).
 func NewWireClient(c net.Conn) *WireClient {
-	return &WireClient{
-		c:    c,
-		br:   bufio.NewReaderSize(c, 64<<10),
-		wbuf: make([]byte, 0, 64<<10),
-	}
+	w := &WireClient{wbuf: make([]byte, 0, 64<<10)}
+	w.attach(c)
+	w.opts.fill()
+	return w
 }
 
-// Close closes the connection.
-func (w *WireClient) Close() error { return w.c.Close() }
+// attach installs a live connection. Caller holds mu (or owns w
+// exclusively during construction).
+func (w *WireClient) attach(c net.Conn) {
+	w.c = c
+	w.br = bufio.NewReaderSize(c, 64<<10)
+}
+
+// Close closes the connection (if any) and stops reconnecting until
+// the next call.
+func (w *WireClient) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.c == nil {
+		return nil
+	}
+	err := w.c.Close()
+	w.c, w.br = nil, nil
+	return err
+}
+
+// Redials returns how many times the client re-established its
+// connection.
+func (w *WireClient) Redials() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.redials
+}
+
+// ensureConn dials (with backoff and jitter under the retry budget)
+// when no connection is live. Caller holds mu.
+func (w *WireClient) ensureConn() error {
+	if w.c != nil {
+		return nil
+	}
+	if w.addr == "" {
+		return fmt.Errorf("%w: no address to redial", ErrConnClosed)
+	}
+	dial := w.opts.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, w.opts.DialTimeout)
+		}
+	}
+	backoff := w.opts.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < w.opts.RetryBudget; attempt++ {
+		if attempt > 0 {
+			// Full jitter on the top half: wait in [backoff/2, backoff).
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > w.opts.BackoffMax {
+				backoff = w.opts.BackoffMax
+			}
+		}
+		c, err := dial(w.addr)
+		if err == nil {
+			w.attach(c)
+			w.redials++
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: dial %s after %d attempts: %v", ErrConnClosed, w.addr, w.opts.RetryBudget, lastErr)
+}
+
+// fail tears down the connection after an I/O error so the next call
+// redials, and wraps the error in ErrConnClosed.
+func (w *WireClient) fail(err error) error {
+	if w.c != nil {
+		_ = w.c.Close()
+		w.c, w.br = nil, nil
+	}
+	if errors.Is(err, ErrConnClosed) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrConnClosed, err)
+}
+
+// begin readies the connection for one call: ensure it is live and arm
+// the per-call deadline. Caller holds mu.
+func (w *WireClient) begin() error {
+	if err := w.ensureConn(); err != nil {
+		return err
+	}
+	if w.opts.CallTimeout > 0 {
+		if err := w.c.SetDeadline(time.Now().Add(w.opts.CallTimeout)); err != nil {
+			return w.fail(err)
+		}
+	}
+	return nil
+}
 
 // WireStatusError is a TypeError reply. Codes mirror the HTTP status
 // mapping (400 bad request, 409 faulty endpoint, 429 backpressure,
@@ -95,68 +250,49 @@ func (w *WireClient) readFrame() (wire.Header, []byte, error) {
 // like the HTTP client's Route. Error frames surface as
 // *WireStatusError.
 func (w *WireClient) Route(src, dst gc.NodeID) (*RouteResponse, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	id := w.nextID
-	w.nextID++
-	w.wbuf = wire.AppendRouteReq(w.wbuf[:0], id, wire.RouteReq{Src: src, Dst: dst})
-	if _, err := w.c.Write(w.wbuf); err != nil {
+	var raw WireRoute
+	if err := w.RouteRaw(src, dst, 0, 0, &raw); err != nil {
 		return nil, err
 	}
-	h, p, err := w.readFrame()
-	if err != nil {
-		return nil, err
+	if raw.ErrCode != 0 {
+		return nil, &WireStatusError{Code: raw.ErrCode, Msg: string(raw.ErrMsg)}
 	}
-	if h.ID != id {
-		return nil, fmt.Errorf("gcwire: response id %d for request %d", h.ID, id)
+	out := &RouteResponse{
+		Src:          src,
+		Dst:          dst,
+		Outcome:      core.Outcome(raw.Outcome).String(),
+		Reason:       string(raw.Reason),
+		Hops:         raw.Hops,
+		Degraded:     raw.Flags&wire.FlagDegraded != 0,
+		DetourHops:   raw.Detour,
+		Retries:      int(raw.Retries),
+		Replans:      int(raw.Replans),
+		WaitCycles:   int(raw.WaitCycles),
+		UsedFallback: raw.Flags&wire.FlagUsedFallback != 0,
+		Discovered:   int(raw.Discovered),
+		Epoch:        raw.Epoch,
+		CacheHit:     raw.Flags&wire.FlagCacheHit != 0,
 	}
-	switch h.Type {
-	case wire.TypeError:
-		var ef wire.ErrorFrame
-		if err := wire.DecodeError(p, &ef); err != nil {
-			return nil, err
-		}
-		return nil, &WireStatusError{Code: ef.Code, Msg: string(ef.Msg)}
-	case wire.TypeRouteResult:
-		var res wire.RouteResult
-		if err := wire.DecodeRouteResult(p, &res); err != nil {
-			return nil, err
-		}
-		out := &RouteResponse{
-			Src:          src,
-			Dst:          dst,
-			Outcome:      core.Outcome(res.Outcome).String(),
-			Reason:       string(res.Reason),
-			Hops:         int(res.Hops),
-			Degraded:     res.Flags&wire.FlagDegraded != 0,
-			DetourHops:   int(res.Detour),
-			Retries:      int(res.Retries),
-			Replans:      int(res.Replans),
-			WaitCycles:   int(res.WaitCycles),
-			UsedFallback: res.Flags&wire.FlagUsedFallback != 0,
-			Discovered:   int(res.Discovered),
-			Epoch:        res.Epoch,
-			CacheHit:     res.Flags&wire.FlagCacheHit != 0,
-		}
-		if len(res.Path) > 0 {
-			out.Path = append([]gc.NodeID(nil), res.Path...)
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+	if len(raw.Path) > 0 {
+		out.Path = append([]gc.NodeID(nil), raw.Path...)
 	}
+	return out, nil
 }
 
-// WireRoute is one RouteBatch slot. Slices are reused across calls;
-// copy anything that must outlive the next batch.
+// WireRoute is one RouteBatch/RouteRaw slot. Slices are reused across
+// calls; copy anything that must outlive the next batch.
 type WireRoute struct {
 	// Outcome is the core.Outcome ladder value; meaningless when
 	// ErrCode is set.
-	Outcome uint8
-	Flags   uint8
-	Hops    int
-	Detour  int
-	Epoch   uint64
+	Outcome    uint8
+	Flags      uint8
+	Hops       int
+	Detour     int
+	Retries    uint16
+	Replans    uint16
+	Discovered uint16
+	WaitCycles uint32
+	Epoch      uint64
 	// ErrCode is nonzero when the server answered this request with an
 	// error frame (faulty endpoint, backpressure, drain); ErrMsg holds
 	// its message.
@@ -175,17 +311,85 @@ func (r *WireRoute) Delivered() bool {
 // CacheHit reports the route came from the server's route cache.
 func (r *WireRoute) CacheHit() bool { return r.Flags&wire.FlagCacheHit != 0 }
 
+// Degraded reports a delivered-degraded verdict flag.
+func (r *WireRoute) Degraded() bool { return r.Flags&wire.FlagDegraded != 0 }
+
+// RouteRaw routes one pair into a caller-reused slot, carrying an
+// explicit per-request deadline and request flags — the cluster
+// forwarder's hop primitive (wire.RouteFlagNoForward pins the request
+// to the receiving instance). A server error frame lands in
+// out.ErrCode/ErrMsg, not in the returned error, which reports only
+// connection-level failures (wrapped in ErrConnClosed).
+func (w *WireClient) RouteRaw(src, dst gc.NodeID, deadlineMS uint32, flags uint8, out *WireRoute) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return err
+	}
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendRouteReq(w.wbuf[:0], id, wire.RouteReq{Src: src, Dst: dst, DeadlineMS: deadlineMS, Flags: flags})
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return w.fail(err)
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return w.fail(err)
+	}
+	if h.ID != id {
+		return w.fail(fmt.Errorf("response id %d for request %d", h.ID, id))
+	}
+	out.ErrCode = 0
+	switch h.Type {
+	case wire.TypeError:
+		var ef wire.ErrorFrame
+		ef.Msg = out.ErrMsg[:0]
+		if err := wire.DecodeError(p, &ef); err != nil {
+			return w.fail(err)
+		}
+		out.ErrCode = ef.Code
+		out.ErrMsg = ef.Msg
+		return nil
+	case wire.TypeRouteResult:
+		var res wire.RouteResult
+		res.Reason = out.Reason[:0]
+		res.Path = out.Path[:0]
+		if err := wire.DecodeRouteResult(p, &res); err != nil {
+			return w.fail(err)
+		}
+		out.Outcome = res.Outcome
+		out.Flags = res.Flags
+		out.Hops = int(res.Hops)
+		out.Detour = int(res.Detour)
+		out.Retries = res.Retries
+		out.Replans = res.Replans
+		out.Discovered = res.Discovered
+		out.WaitCycles = res.WaitCycles
+		out.Epoch = res.Epoch
+		out.Reason = res.Reason
+		out.Path = res.Path
+		return nil
+	default:
+		return w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
+	}
+}
+
 // RouteBatch pipelines len(pairs) route requests in one write and
 // fills out[i] with the verdict for pairs[i], reusing each slot's
 // slice capacity. Replies arrive in any order (cache hits overtake
 // queued misses); the request id correlates them. out must be at least
-// as long as pairs.
+// as long as pairs. A connection torn mid-batch fails the whole call
+// with ErrConnClosed — slots not yet answered hold stale data and must
+// not be read.
 func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 	if len(out) < len(pairs) {
 		return fmt.Errorf("gcwire: out has %d slots for %d pairs", len(out), len(pairs))
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return err
+	}
 	base := w.nextID
 	w.nextID += uint64(len(pairs))
 	w.wbuf = w.wbuf[:0]
@@ -193,7 +397,7 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 		w.wbuf = wire.AppendRouteReq(w.wbuf, base+uint64(i), wire.RouteReq{Src: p[0], Dst: p[1]})
 	}
 	if _, err := w.c.Write(w.wbuf); err != nil {
-		return err
+		return w.fail(err)
 	}
 	// Per-slot answered bits: a duplicate id would otherwise count as
 	// "answered" while another slot's reply stays unread, silently
@@ -211,14 +415,14 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 	for answered := 0; answered < len(pairs); answered++ {
 		h, p, err := w.readFrame()
 		if err != nil {
-			return err
+			return w.fail(err)
 		}
 		if h.ID < base || h.ID >= base+uint64(len(pairs)) {
-			return fmt.Errorf("gcwire: response id %d outside batch [%d,%d)", h.ID, base, base+uint64(len(pairs)))
+			return w.fail(fmt.Errorf("response id %d outside batch [%d,%d)", h.ID, base, base+uint64(len(pairs))))
 		}
 		slot := h.ID - base
 		if w.seen[slot/64]&(1<<(slot%64)) != 0 {
-			return fmt.Errorf("gcwire: duplicate response id %d in batch [%d,%d)", h.ID, base, base+uint64(len(pairs)))
+			return w.fail(fmt.Errorf("duplicate response id %d in batch [%d,%d)", h.ID, base, base+uint64(len(pairs))))
 		}
 		w.seen[slot/64] |= 1 << (slot % 64)
 		o := &out[slot]
@@ -227,7 +431,7 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 		case wire.TypeError:
 			ef.Msg = o.ErrMsg[:0]
 			if err := wire.DecodeError(p, &ef); err != nil {
-				return err
+				return w.fail(err)
 			}
 			o.ErrCode = ef.Code
 			o.ErrMsg = ef.Msg
@@ -235,17 +439,21 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 			res.Reason = o.Reason[:0]
 			res.Path = o.Path[:0]
 			if err := wire.DecodeRouteResult(p, &res); err != nil {
-				return err
+				return w.fail(err)
 			}
 			o.Outcome = res.Outcome
 			o.Flags = res.Flags
 			o.Hops = int(res.Hops)
 			o.Detour = int(res.Detour)
+			o.Retries = res.Retries
+			o.Replans = res.Replans
+			o.Discovered = res.Discovered
+			o.WaitCycles = res.WaitCycles
 			o.Epoch = res.Epoch
 			o.Reason = res.Reason
 			o.Path = res.Path
 		default:
-			return fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+			return w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
 		}
 	}
 	return nil
@@ -279,31 +487,71 @@ func (w *WireClient) ApplyFaults(ops []FaultOp) (*FaultsResponse, error) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
 	id := w.nextID
 	w.nextID++
 	w.wbuf = wire.AppendFaultsReq(w.wbuf[:0], id, wireOps)
 	if _, err := w.c.Write(w.wbuf); err != nil {
-		return nil, err
+		return nil, w.fail(err)
 	}
 	h, p, err := w.readFrame()
 	if err != nil {
-		return nil, err
+		return nil, w.fail(err)
 	}
 	switch h.Type {
 	case wire.TypeError:
 		var ef wire.ErrorFrame
 		if err := wire.DecodeError(p, &ef); err != nil {
-			return nil, err
+			return nil, w.fail(err)
 		}
 		return nil, &WireStatusError{Code: ef.Code, Msg: string(ef.Msg)}
 	case wire.TypeFaultsResult:
 		var fr wire.FaultsResult
 		if err := wire.DecodeFaultsResult(p, &fr); err != nil {
-			return nil, err
+			return nil, w.fail(err)
 		}
 		return &FaultsResponse{Epoch: fr.Epoch, Faults: int(fr.Faults), Applied: int(fr.Applied)}, nil
 	default:
-		return nil, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+		return nil, w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
+	}
+}
+
+// EpochSync performs one anti-entropy pull: it sends this instance's
+// frontier and decodes the peer's reply into a caller-reused response
+// (the batch suffix, a snapshot, or nothing when the peer is not
+// ahead).
+func (w *WireClient) EpochSync(req wire.EpochSyncReq, into *wire.EpochSyncResp) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return err
+	}
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendEpochSyncReq(w.wbuf[:0], id, req)
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return w.fail(err)
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return w.fail(err)
+	}
+	switch h.Type {
+	case wire.TypeError:
+		var ef wire.ErrorFrame
+		if err := wire.DecodeError(p, &ef); err != nil {
+			return w.fail(err)
+		}
+		return &WireStatusError{Code: ef.Code, Msg: string(ef.Msg)}
+	case wire.TypeEpochSyncResp:
+		if err := wire.DecodeEpochSyncResp(p, into); err != nil {
+			return w.fail(err)
+		}
+		return nil
+	default:
+		return w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
 	}
 }
 
@@ -313,18 +561,21 @@ func (w *WireClient) ApplyFaults(ops []FaultOp) (*FaultsResponse, error) {
 func (w *WireClient) Metrics() (*MetricsSnapshot, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
 	id := w.nextID
 	w.nextID++
 	w.wbuf = wire.AppendEmpty(w.wbuf[:0], wire.TypeMetricsReq, id)
 	if _, err := w.c.Write(w.wbuf); err != nil {
-		return nil, err
+		return nil, w.fail(err)
 	}
 	h, p, err := w.readFrame()
 	if err != nil {
-		return nil, err
+		return nil, w.fail(err)
 	}
 	if h.Type != wire.TypeMetricsResult {
-		return nil, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+		return nil, w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
 	}
 	var m MetricsSnapshot
 	if err := json.Unmarshal(p, &m); err != nil {
@@ -337,18 +588,21 @@ func (w *WireClient) Metrics() (*MetricsSnapshot, error) {
 func (w *WireClient) Ping() (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return 0, err
+	}
 	id := w.nextID
 	w.nextID++
 	w.wbuf = wire.AppendEmpty(w.wbuf[:0], wire.TypePing, id)
 	if _, err := w.c.Write(w.wbuf); err != nil {
-		return 0, err
+		return 0, w.fail(err)
 	}
 	h, p, err := w.readFrame()
 	if err != nil {
-		return 0, err
+		return 0, w.fail(err)
 	}
 	if h.Type != wire.TypePong {
-		return 0, fmt.Errorf("gcwire: unexpected reply type %d", h.Type)
+		return 0, w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
 	}
 	return wire.DecodePong(p)
 }

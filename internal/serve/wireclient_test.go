@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/wire"
+)
+
+// fastDialOpts keeps reconnect tests snappy: tiny backoff, small
+// budget.
+func fastDialOpts() WireDialOptions {
+	return WireDialOptions{
+		RetryBudget: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		DialTimeout: time.Second,
+	}
+}
+
+// TestWireClientReconnect: a dialer-built client survives the server
+// hanging up on it — the failed call reports ErrConnClosed, and the
+// very next call redials and succeeds.
+func TestWireClientReconnect(t *testing.T) {
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 2})
+	addr := startWire(t, s)
+
+	var live atomic.Pointer[net.Conn]
+	opts := fastDialOpts()
+	opts.Dial = func(a string) (net.Conn, error) {
+		c, err := net.Dial("tcp", a)
+		if err == nil {
+			live.Store(&c)
+		}
+		return c, err
+	}
+	c := NewWireDialer(addr, opts)
+	defer c.Close()
+
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("first ping (lazy dial): %v", err)
+	}
+	if got := c.Redials(); got != 1 {
+		t.Fatalf("redials after first dial = %d, want 1", got)
+	}
+
+	// Tear the transport out from under the client.
+	(*live.Load()).Close()
+
+	pairs := [][2]gc.NodeID{{0, 5}, {1, 6}}
+	out := make([]WireRoute, len(pairs))
+	if err := c.RouteBatch(pairs, out); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("batch on torn conn: err = %v, want ErrConnClosed", err)
+	}
+	// The failed call tore the connection down; this one redials.
+	if err := c.RouteBatch(pairs, out); err != nil {
+		t.Fatalf("batch after reconnect: %v", err)
+	}
+	for i := range out {
+		if !out[i].Delivered() {
+			t.Fatalf("slot %d not delivered after reconnect: outcome=%d err=%d",
+				i, out[i].Outcome, out[i].ErrCode)
+		}
+	}
+	if got := c.Redials(); got != 2 {
+		t.Fatalf("redials after reconnect = %d, want 2", got)
+	}
+}
+
+// TestWireClientDialBudget: a dead address exhausts the bounded retry
+// budget and fails with ErrConnClosed instead of spinning forever.
+func TestWireClientDialBudget(t *testing.T) {
+	var attempts atomic.Int64
+	opts := fastDialOpts()
+	opts.Dial = func(a string) (net.Conn, error) {
+		attempts.Add(1)
+		return nil, errors.New("host unreachable")
+	}
+	c := NewWireDialer("10.255.255.1:1", opts)
+	defer c.Close()
+
+	start := time.Now()
+	_, err := c.Ping()
+	if !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("ping to dead addr: err = %v, want ErrConnClosed", err)
+	}
+	if got := attempts.Load(); got != int64(opts.RetryBudget) {
+		t.Fatalf("dial attempts = %d, want %d", got, opts.RetryBudget)
+	}
+	// Budget of 3 with 1ms base → waits of ~1ms and ~2ms. Generous upper
+	// bound to keep CI calm.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("retry budget took %v, backoff not bounded", d)
+	}
+}
+
+// TestWireClientWrappedConnNoRedial: a client wrapping a raw
+// connection (no address) fails permanently with ErrConnClosed once
+// that connection dies.
+func TestWireClientWrappedConnNoRedial(t *testing.T) {
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 2})
+	addr := startWire(t, s)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewWireClient(conn)
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	conn.Close()
+	if _, err := c.Ping(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("ping on closed wrapped conn: err = %v, want ErrConnClosed", err)
+	}
+	// And it stays closed — there is nothing to redial.
+	if _, err := c.Ping(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("second ping: err = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestWireClientMidBatchClose: the server answers the first request of
+// a pipelined batch and then hangs up. The batch must fail with
+// ErrConnClosed instead of blocking on replies that will never come.
+func TestWireClientMidBatchClose(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Read the first frame, answer it, then slam the door.
+		hdr := make([]byte, wire.HeaderSize)
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			conn.Close()
+			return
+		}
+		h, err := wire.ParseHeader(hdr)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		p := make([]byte, h.Len)
+		if _, err := io.ReadFull(conn, p); err != nil {
+			conn.Close()
+			return
+		}
+		res := wire.RouteResult{Outcome: 1, Hops: 1, Path: nil}
+		conn.Write(wire.AppendRouteResult(nil, h.ID, &res))
+		conn.Close()
+	}()
+
+	opts := fastDialOpts()
+	opts.CallTimeout = 2 * time.Second // belt and braces: never block CI
+	c := NewWireDialer(ln.Addr().String(), opts)
+	defer c.Close()
+
+	pairs := [][2]gc.NodeID{{0, 1}, {2, 3}, {4, 5}}
+	out := make([]WireRoute, len(pairs))
+	err = c.RouteBatch(pairs, out)
+	if !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("mid-batch close: err = %v, want ErrConnClosed", err)
+	}
+}
+
+// TestWireClientEpochSync drives one anti-entropy pull end to end over
+// the real wire server: a caught-up requester gets an empty response,
+// a behind requester gets the suffix that replays to the exact
+// frontier.
+func TestWireClientEpochSync(t *testing.T) {
+	cube := gc.New(6, 2)
+	s := mustServer(t, Config{Cube: cube, Shards: 2})
+	addr := startWire(t, s)
+
+	c, err := DialWire(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Caught up (both at epoch 0): empty response.
+	var resp wire.EpochSyncResp
+	epoch, fp := s.Frontier()
+	if err := c.EpochSync(wire.EpochSyncReq{Epoch: epoch, FP: fp}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Batches) != 0 || resp.Flags != 0 {
+		t.Fatalf("caught-up sync: got %d batches flags %#x, want empty", len(resp.Batches), resp.Flags)
+	}
+
+	// Advance the server two epochs; a requester at 0 pulls both.
+	for _, n := range []gc.NodeID{3, 9} {
+		if _, _, err := s.ApplyFaults([]FaultOp{{Op: OpInject, Kind: KindNode, Node: n}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantEpoch, wantFP := s.Frontier()
+	if err := c.EpochSync(wire.EpochSyncReq{Epoch: 0, FP: 0}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != wantEpoch || resp.FP != wantFP {
+		t.Fatalf("sync frontier = (%d,%#x), want (%d,%#x)", resp.Epoch, resp.FP, wantEpoch, wantFP)
+	}
+	// No journal on this server: the responder falls back to a snapshot.
+	if resp.Flags&wire.SyncFlagSnapshot == 0 {
+		t.Fatalf("journal-less responder should send a snapshot, flags = %#x", resp.Flags)
+	}
+	if len(resp.Batches) != 1 {
+		t.Fatalf("snapshot response has %d batches, want 1", len(resp.Batches))
+	}
+	// Apply the snapshot to a fresh instance: bit-identical convergence.
+	s2 := mustServer(t, Config{Cube: cube, Shards: 2})
+	b := resp.Batches[0]
+	events, err := FaultEventsFromWire(b.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.ApplySyncBatch(b.Epoch, b.FP, events, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2, f2 := s2.Frontier(); got != wantEpoch || e2 != wantEpoch || f2 != wantFP {
+		t.Fatalf("after snapshot apply: frontier (%d,%#x), want (%d,%#x)", e2, f2, wantEpoch, wantFP)
+	}
+	// RawFaults iterates maps — sort before comparing.
+	canon := func(fs []fault.Fault) []fault.Fault {
+		sort.Slice(fs, func(i, j int) bool {
+			if fs[i].Kind != fs[j].Kind {
+				return fs[i].Kind < fs[j].Kind
+			}
+			if fs[i].Node != fs[j].Node {
+				return fs[i].Node < fs[j].Node
+			}
+			return fs[i].Dim < fs[j].Dim
+		})
+		return fs
+	}
+	a, bf := canon(s.FaultSet().RawFaults()), canon(s2.FaultSet().RawFaults())
+	if len(a) != len(bf) {
+		t.Fatalf("fault sets differ after snapshot apply: %d vs %d faults", len(a), len(bf))
+	}
+	for i := range a {
+		if a[i] != bf[i] {
+			t.Fatalf("fault %d differs after snapshot apply: %+v vs %+v", i, a[i], bf[i])
+		}
+	}
+}

@@ -34,7 +34,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		u64 := func() uint64 { return binary.LittleEndian.Uint64(next(8)) }
 
 		// Route request.
-		req := RouteReq{Src: gc.NodeID(u32()), Dst: gc.NodeID(u32()), DeadlineMS: u32()}
+		req := RouteReq{Src: gc.NodeID(u32()), Dst: gc.NodeID(u32()), DeadlineMS: u32(), Flags: next(1)[0]}
 		id := u64()
 		frame := AppendRouteReq(nil, id, req)
 		h, err := ParseHeader(frame)
@@ -109,6 +109,45 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		if err := DecodeError(frame[HeaderSize:], &ef); err != nil || !bytes.Equal(ef.Msg, msg) {
 			t.Fatalf("error round trip: %v %q != %q", err, ef.Msg, msg)
 		}
+
+		// Epoch-sync request + response with fuzz-sized batch suffix.
+		sreq := EpochSyncReq{Epoch: u64(), FP: u64(), Flags: next(1)[0]}
+		frame = AppendEpochSyncReq(frame[:0], id, sreq)
+		var sreqOut EpochSyncReq
+		if err := DecodeEpochSyncReq(frame[HeaderSize:], &sreqOut); err != nil || sreqOut != sreq {
+			t.Fatalf("sync req round trip %+v != %+v (%v)", sreqOut, sreq, err)
+		}
+		sresp := EpochSyncResp{Epoch: u64(), FP: u64(), Flags: next(1)[0]}
+		for i := int(u16() % 8); i > 0; i-- {
+			b := SyncBatch{Epoch: u64(), FP: u64()}
+			for k := int(u16() % 32); k > 0; k-- {
+				b.Events = append(b.Events, SyncEvent{
+					Time: int64(u64()), Op: next(1)[0], Kind: next(1)[0],
+					Node: gc.NodeID(u32()), Dim: u16(),
+				})
+			}
+			sresp.Batches = append(sresp.Batches, b)
+		}
+		frame = AppendEpochSyncResp(frame[:0], id, &sresp)
+		var srespOut EpochSyncResp
+		if err := DecodeEpochSyncResp(frame[HeaderSize:], &srespOut); err != nil {
+			t.Fatalf("sync resp decode: %v", err)
+		}
+		if srespOut.Epoch != sresp.Epoch || srespOut.FP != sresp.FP ||
+			srespOut.Flags != sresp.Flags || len(srespOut.Batches) != len(sresp.Batches) {
+			t.Fatalf("sync resp round trip diverged:\n%+v\n%+v", srespOut, sresp)
+		}
+		for i := range sresp.Batches {
+			in, out := sresp.Batches[i], srespOut.Batches[i]
+			if out.Epoch != in.Epoch || out.FP != in.FP || len(out.Events) != len(in.Events) {
+				t.Fatalf("sync batch %d diverged: %+v != %+v", i, out, in)
+			}
+			for k := range in.Events {
+				if out.Events[k] != in.Events[k] {
+					t.Fatalf("sync batch %d event %d: %+v != %+v", i, k, out.Events[k], in.Events[k])
+				}
+			}
+		}
 	})
 }
 
@@ -120,6 +159,9 @@ func FuzzDecodeNoPanic(f *testing.F) {
 	f.Add(AppendRouteReq(nil, 1, RouteReq{Src: 3, Dst: 900}))
 	f.Add(AppendRouteResult(nil, 2, &RouteResult{Reason: []byte("x"), Path: []gc.NodeID{1, 2}}))
 	f.Add(AppendFaultsReq(nil, 3, []FaultOp{{Op: OpInject, Node: 7}}))
+	f.Add(AppendEpochSyncResp(nil, 4, &EpochSyncResp{Epoch: 2, FP: 3, Batches: []SyncBatch{
+		{Epoch: 1, FP: 9, Events: []SyncEvent{{Time: 1, Op: OpInject, Kind: KindNode, Node: 5}}},
+	}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if h, err := ParseHeader(data); err == nil {
 			_ = h
@@ -136,6 +178,10 @@ func FuzzDecodeNoPanic(f *testing.F) {
 				var ef ErrorFrame
 				_ = DecodeError(payload, &ef)
 				_, _ = DecodePong(payload)
+				var sr EpochSyncReq
+				_ = DecodeEpochSyncReq(payload, &sr)
+				var sresp EpochSyncResp
+				_ = DecodeEpochSyncResp(payload, &sresp)
 			}
 		}
 	})

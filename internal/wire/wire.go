@@ -72,8 +72,16 @@ const (
 	TypePong
 	// TypeError reports a request-level failure (ErrorFrame payload).
 	TypeError
+	// TypeEpochSyncReq asks a peer for the fault history after the
+	// requester's (epoch, fingerprint) frontier (EpochSyncReq payload) —
+	// the pull half of gccluster's anti-entropy gossip.
+	TypeEpochSyncReq
+	// TypeEpochSyncResp answers an epoch-sync request with the
+	// responder's frontier and the batch suffix (or a snapshot) that
+	// carries the requester up to it (EpochSyncResp payload).
+	TypeEpochSyncResp
 
-	maxType = TypeError
+	maxType = TypeEpochSyncResp
 )
 
 // Error codes carried by TypeError frames. The values mirror the HTTP
@@ -137,22 +145,35 @@ func ParseHeader(b []byte) (Header, error) {
 	return h, nil
 }
 
-// RouteReq is the payload of TypeRouteReq: fixed 12 bytes.
+// RouteReq flags.
+const (
+	// RouteFlagNoForward pins the request to the receiving instance: a
+	// cluster member must compute it locally instead of proxying again,
+	// which is what bounds a forwarded route to one proxy hop even when
+	// two instances hold momentarily different ownership views.
+	RouteFlagNoForward uint8 = 1 << 0
+)
+
+// RouteReq is the payload of TypeRouteReq: fixed 16 bytes (the last
+// three are reserved padding, written as zero).
 type RouteReq struct {
 	Src, Dst gc.NodeID
 	// DeadlineMS optionally bounds the request server-side, in
 	// milliseconds (0 means the server default).
 	DeadlineMS uint32
+	// Flags carries RouteFlag bits.
+	Flags uint8
 }
 
-const routeReqSize = 12
+const routeReqSize = 16
 
 // AppendRouteReq appends a complete route-request frame.
 func AppendRouteReq(buf []byte, id uint64, r RouteReq) []byte {
 	buf = AppendHeader(buf, TypeRouteReq, id, routeReqSize)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Src))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Dst))
-	return binary.LittleEndian.AppendUint32(buf, r.DeadlineMS)
+	buf = binary.LittleEndian.AppendUint32(buf, r.DeadlineMS)
+	return append(buf, r.Flags, 0, 0, 0)
 }
 
 // DecodeRouteReq decodes a TypeRouteReq payload.
@@ -163,6 +184,7 @@ func DecodeRouteReq(p []byte, into *RouteReq) error {
 	into.Src = gc.NodeID(binary.LittleEndian.Uint32(p[0:4]))
 	into.Dst = gc.NodeID(binary.LittleEndian.Uint32(p[4:8]))
 	into.DeadlineMS = binary.LittleEndian.Uint32(p[8:12])
+	into.Flags = p[12]
 	return nil
 }
 
@@ -404,5 +426,183 @@ func DecodeError(p []byte, into *ErrorFrame) error {
 		return ErrBadPayload
 	}
 	into.Msg = append(into.Msg[:0], p[4:]...)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Epoch sync: the anti-entropy frames of gccluster.
+
+// EpochSyncReq flags.
+const (
+	// SyncFlagWantSnapshot asks the responder to skip the incremental
+	// suffix and send its complete fault set in one snapshot batch — the
+	// requester's fallback after an incremental batch failed its
+	// fingerprint check (divergent histories at the same epoch).
+	SyncFlagWantSnapshot uint8 = 1 << 0
+)
+
+// EpochSyncResp flags.
+const (
+	// SyncFlagSnapshot marks the response's single batch as a complete
+	// fault-set snapshot at (Epoch, FP): the applier rebuilds from empty
+	// instead of mutating its current set.
+	SyncFlagSnapshot uint8 = 1 << 0
+	// SyncFlagMore reports the responder truncated the suffix at its
+	// per-response batch cap; the requester should pull again from its
+	// new frontier.
+	SyncFlagMore uint8 = 1 << 1
+)
+
+// EpochSyncReq is the payload of TypeEpochSyncReq: the requester's
+// current frontier, fixed 17 bytes.
+type EpochSyncReq struct {
+	Epoch uint64
+	FP    uint64
+	Flags uint8
+}
+
+const epochSyncReqSize = 17
+
+// AppendEpochSyncReq appends a complete epoch-sync request frame.
+func AppendEpochSyncReq(buf []byte, id uint64, r EpochSyncReq) []byte {
+	buf = AppendHeader(buf, TypeEpochSyncReq, id, epochSyncReqSize)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, r.FP)
+	return append(buf, r.Flags)
+}
+
+// DecodeEpochSyncReq decodes a TypeEpochSyncReq payload.
+func DecodeEpochSyncReq(p []byte, into *EpochSyncReq) error {
+	if len(p) != epochSyncReqSize {
+		return ErrBadPayload
+	}
+	into.Epoch = binary.LittleEndian.Uint64(p[0:8])
+	into.FP = binary.LittleEndian.Uint64(p[8:16])
+	into.Flags = p[16]
+	return nil
+}
+
+// SyncEvent is one fault transition inside a SyncBatch: 16 bytes on
+// the wire. Op and Kind reuse the FaultOp constants (OpInject/OpRepair
+// and KindNode/KindLink).
+type SyncEvent struct {
+	Time int64
+	Op   uint8
+	Kind uint8
+	Node gc.NodeID
+	Dim  uint16
+}
+
+const syncEventSize = 16
+
+// SyncBatch is one epoch step of an EpochSyncResp: the exact
+// (epoch, fingerprint) stamp a journal batch carries plus its events.
+// The receiver validates by applying the events and comparing its
+// resulting fingerprint against FP — a mismatch proves divergent
+// histories and triggers the snapshot fallback.
+type SyncBatch struct {
+	Epoch  uint64
+	FP     uint64
+	Events []SyncEvent
+}
+
+// EpochSyncResp is the payload of TypeEpochSyncResp: the responder's
+// frontier, flags, and the batch suffix carrying the requester up to
+// it (empty when the requester is already caught up or ahead).
+//
+//	0   u64  responder epoch
+//	8   u64  responder fingerprint
+//	16  u8   flags
+//	17  u16  batch count
+//	19  ...  batches: u64 epoch, u64 fp, u32 event count, events
+type EpochSyncResp struct {
+	Epoch   uint64
+	FP      uint64
+	Flags   uint8
+	Batches []SyncBatch
+}
+
+const (
+	epochSyncRespFixed = 19
+	syncBatchFixed     = 20
+)
+
+// AppendEpochSyncResp appends a complete epoch-sync response frame.
+// The batch count is clamped at maxFieldLen (the responder's cap is
+// far below it); event counts ride a u32 and are never clamped, so a
+// snapshot of any real fault set stays intact.
+func AppendEpochSyncResp(buf []byte, id uint64, r *EpochSyncResp) []byte {
+	batches := r.Batches
+	if len(batches) > maxFieldLen {
+		batches = batches[:maxFieldLen]
+	}
+	plen := epochSyncRespFixed
+	for i := range batches {
+		plen += syncBatchFixed + syncEventSize*len(batches[i].Events)
+	}
+	buf = AppendHeader(buf, TypeEpochSyncResp, id, plen)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, r.FP)
+	buf = append(buf, r.Flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(batches)))
+	for i := range batches {
+		b := &batches[i]
+		buf = binary.LittleEndian.AppendUint64(buf, b.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, b.FP)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Events)))
+		for _, e := range b.Events {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time))
+			buf = append(buf, e.Op, e.Kind)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Node))
+			buf = binary.LittleEndian.AppendUint16(buf, e.Dim)
+		}
+	}
+	return buf
+}
+
+// DecodeEpochSyncResp decodes a TypeEpochSyncResp payload, reusing the
+// capacity of into.Batches and each batch's Events slice.
+func DecodeEpochSyncResp(p []byte, into *EpochSyncResp) error {
+	if len(p) < epochSyncRespFixed {
+		return ErrBadPayload
+	}
+	into.Epoch = binary.LittleEndian.Uint64(p[0:8])
+	into.FP = binary.LittleEndian.Uint64(p[8:16])
+	into.Flags = p[16]
+	n := int(binary.LittleEndian.Uint16(p[17:19]))
+	if cap(into.Batches) < n {
+		into.Batches = make([]SyncBatch, n)
+	}
+	into.Batches = into.Batches[:n]
+	off := epochSyncRespFixed
+	for i := 0; i < n; i++ {
+		if len(p)-off < syncBatchFixed {
+			return ErrBadPayload
+		}
+		b := &into.Batches[i]
+		b.Epoch = binary.LittleEndian.Uint64(p[off : off+8])
+		b.FP = binary.LittleEndian.Uint64(p[off+8 : off+16])
+		ec := int(binary.LittleEndian.Uint32(p[off+16 : off+20]))
+		off += syncBatchFixed
+		if ec > (len(p)-off)/syncEventSize {
+			return ErrBadPayload
+		}
+		if cap(b.Events) < ec {
+			b.Events = make([]SyncEvent, ec)
+		}
+		b.Events = b.Events[:ec]
+		for k := 0; k < ec; k++ {
+			e := &b.Events[k]
+			e.Time = int64(binary.LittleEndian.Uint64(p[off : off+8]))
+			e.Op = p[off+8]
+			e.Kind = p[off+9]
+			e.Node = gc.NodeID(binary.LittleEndian.Uint32(p[off+10 : off+14]))
+			e.Dim = binary.LittleEndian.Uint16(p[off+14 : off+16])
+			off += syncEventSize
+		}
+	}
+	if off != len(p) {
+		return ErrBadPayload
+	}
 	return nil
 }

@@ -53,9 +53,10 @@ func TestHeaderRejects(t *testing.T) {
 	}
 }
 
-// TestRouteReqRoundTrip: the 12-byte request payload survives intact.
+// TestRouteReqRoundTrip: the 16-byte request payload survives intact,
+// flags included.
 func TestRouteReqRoundTrip(t *testing.T) {
-	in := RouteReq{Src: 12345, Dst: 67890, DeadlineMS: 250}
+	in := RouteReq{Src: 12345, Dst: 67890, DeadlineMS: 250, Flags: RouteFlagNoForward}
 	frame := AppendRouteReq(nil, 7, in)
 	h, err := ParseHeader(frame)
 	if err != nil || h.Type != TypeRouteReq || h.ID != 7 {
@@ -70,6 +71,78 @@ func TestRouteReqRoundTrip(t *testing.T) {
 	}
 	if err := DecodeRouteReq(frame[HeaderSize:HeaderSize+11], &out); err != ErrBadPayload {
 		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+// TestEpochSyncRoundTrip: the gossip frame pair survives intact —
+// request frontier, response frontier + flags, and every batch's
+// (epoch, fp, events) triple.
+func TestEpochSyncRoundTrip(t *testing.T) {
+	req := EpochSyncReq{Epoch: 41, FP: 0xfeedface, Flags: SyncFlagWantSnapshot}
+	frame := AppendEpochSyncReq(nil, 11, req)
+	h, err := ParseHeader(frame)
+	if err != nil || h.Type != TypeEpochSyncReq || h.ID != 11 {
+		t.Fatalf("req header %+v err %v", h, err)
+	}
+	var reqOut EpochSyncReq
+	if err := DecodeEpochSyncReq(frame[HeaderSize:], &reqOut); err != nil {
+		t.Fatal(err)
+	}
+	if reqOut != req {
+		t.Fatalf("req round trip %+v != %+v", reqOut, req)
+	}
+	if err := DecodeEpochSyncReq(frame[HeaderSize:HeaderSize+16], &reqOut); err != ErrBadPayload {
+		t.Fatalf("truncated req payload: %v", err)
+	}
+
+	resp := EpochSyncResp{
+		Epoch: 44,
+		FP:    0xabad1dea,
+		Flags: SyncFlagMore,
+		Batches: []SyncBatch{
+			{Epoch: 42, FP: 7, Events: []SyncEvent{
+				{Time: 1000, Op: OpInject, Kind: KindNode, Node: 17},
+				{Time: 1001, Op: OpInject, Kind: KindLink, Node: 3, Dim: 2},
+			}},
+			{Epoch: 43, FP: 9, Events: nil}, // clear-style batch: zero events
+			{Epoch: 44, FP: 0xabad1dea, Events: []SyncEvent{
+				{Time: -5, Op: OpRepair, Kind: KindNode, Node: 17},
+			}},
+		},
+	}
+	frame = AppendEpochSyncResp(nil, 12, &resp)
+	h, err = ParseHeader(frame)
+	if err != nil || h.Type != TypeEpochSyncResp || int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("resp header %+v err %v", h, err)
+	}
+	var respOut EpochSyncResp
+	if err := DecodeEpochSyncResp(frame[HeaderSize:], &respOut); err != nil {
+		t.Fatal(err)
+	}
+	if respOut.Epoch != resp.Epoch || respOut.FP != resp.FP || respOut.Flags != resp.Flags {
+		t.Fatalf("resp fixed fields %+v != %+v", respOut, resp)
+	}
+	if len(respOut.Batches) != len(resp.Batches) {
+		t.Fatalf("%d batches, want %d", len(respOut.Batches), len(resp.Batches))
+	}
+	for i := range resp.Batches {
+		in, out := resp.Batches[i], respOut.Batches[i]
+		if out.Epoch != in.Epoch || out.FP != in.FP || len(out.Events) != len(in.Events) {
+			t.Fatalf("batch %d: %+v != %+v", i, out, in)
+		}
+		for k := range in.Events {
+			if out.Events[k] != in.Events[k] {
+				t.Fatalf("batch %d event %d: %+v != %+v", i, k, out.Events[k], in.Events[k])
+			}
+		}
+	}
+
+	// A declared event count that overruns the actual payload must be
+	// rejected, not read out of bounds.
+	bad := append([]byte(nil), frame[HeaderSize:]...)
+	binary.LittleEndian.PutUint32(bad[epochSyncRespFixed+16:epochSyncRespFixed+20], 1<<20)
+	if err := DecodeEpochSyncResp(bad, &respOut); err != ErrBadPayload {
+		t.Fatalf("overrun event count: %v", err)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 
+	"gaussiancube/internal/cluster"
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
@@ -221,3 +222,69 @@ func DialWire(addr string) (*WireClient, error) { return serve.DialWire(addr) }
 
 // NewWireClient wraps an established connection.
 func NewWireClient(c net.Conn) *WireClient { return serve.NewWireClient(c) }
+
+// WireDialOptions tunes the reconnecting wire client built by
+// NewWireDialer: bounded dial-retry budget, exponential backoff with
+// jitter, per-call deadline, and an overridable transport.
+type WireDialOptions = serve.WireDialOptions
+
+// ErrConnClosed wraps every connection-level wire-client failure —
+// dial budget exhausted, the server hung up mid-batch, or a call on a
+// torn connection. The next call on an address-bound client redials.
+var ErrConnClosed = serve.ErrConnClosed
+
+// NewWireDialer returns a wire client bound to an address that dials
+// lazily and redials after connection failures, within opts' budget.
+func NewWireDialer(addr string, opts WireDialOptions) *WireClient {
+	return serve.NewWireDialer(addr, opts)
+}
+
+// Cluster: several gcserved instances serving one cube (DESIGN.md
+// §13). A topology assigns each member a contiguous range of ending
+// classes; cross-range requests are forwarded to the owner over
+// gcwire, and fault mutations converge by anti-entropy gossip on the
+// (epoch, fingerprint) frontier. Instances cut off from their peers
+// keep serving but stamp answers delivered-degraded.
+type (
+	// ClusterMember is one instance: a wire address owning the
+	// inclusive ending-class range [Lo, Hi].
+	ClusterMember = cluster.Member
+	// ClusterTopology is a validated class-ownership map; build with
+	// NewClusterTopology.
+	ClusterTopology = cluster.Topology
+	// ClusterConfig wires a local Server into a topology.
+	ClusterConfig = cluster.Config
+	// ClusterNode runs one instance's cluster duties (forwarding,
+	// gossip, staleness marking); create with StartCluster.
+	ClusterNode = cluster.Node
+	// ClusterClient routes each request directly at the owner of its
+	// source ending class, with one ring-successor failover.
+	ClusterClient = cluster.Client
+	// ClusterSnapshot is the cluster section of /metrics and /healthz.
+	ClusterSnapshot = serve.ClusterSnapshot
+)
+
+// ParseClusterMembers parses the -class-ranges form
+// "0-1@host:port,2@host:port"; a bare class is a one-class range.
+func ParseClusterMembers(spec string) ([]ClusterMember, error) { return cluster.ParseMembers(spec) }
+
+// SplitClusterEven slices `classes` ending classes into n contiguous
+// [lo, hi] ranges as evenly as possible — the default layout when
+// operators give -peers addresses without explicit ranges.
+func SplitClusterEven(classes, n int) ([][2]int, error) { return cluster.SplitEven(classes, n) }
+
+// NewClusterTopology validates members against the cube: every ending
+// class owned exactly once, every address unique.
+func NewClusterTopology(c *Cube, members []ClusterMember) (*ClusterTopology, error) {
+	return cluster.New(c, members)
+}
+
+// StartCluster installs the forwarding and observability hooks on
+// cfg.Server and launches the gossip loop. Stop with ClusterNode.Close.
+func StartCluster(cfg ClusterConfig) (*ClusterNode, error) { return cluster.Start(cfg) }
+
+// NewClusterClient builds an ownership-following client over a
+// topology; connections are dialed lazily per member.
+func NewClusterClient(topo *ClusterTopology, opts WireDialOptions) *ClusterClient {
+	return cluster.NewClient(topo, opts)
+}
