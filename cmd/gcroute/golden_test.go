@@ -9,6 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"encoding/json"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/serve"
 	"gaussiancube/internal/trace"
 )
 
@@ -112,6 +117,83 @@ func TestTraceNarrativeMatchesPath(t *testing.T) {
 	for i := range walk {
 		if walk[i] != path[i] {
 			t.Fatalf("narrative diverges from printed path at hop %d: %d vs %d", i, walk[i], path[i])
+		}
+	}
+}
+
+// Collective goldens: the CLI's -broadcast/-multicast JSON is the
+// exact document POST /broadcast and /multicast serve, pinned byte
+// for byte, then parsed back and re-validated — conservation law,
+// re-rooting claim, and every delivery claim against a fresh BFS
+// reachability oracle built from the same fault flags (the golden
+// twin of the serve-layer oracle tests).
+func TestGoldenBroadcastReRooted(t *testing.T) {
+	out := runOK(t, "-n", "6", "-alpha", "2", "-from", "5", "-broadcast", "-faultnodes", "5")
+	checkGolden(t, "broadcast_rerooted.json.golden", out)
+	replayCollective(t, out, 6, 2, []uint{5}, nil)
+}
+
+func TestGoldenMulticastPartitioned(t *testing.T) {
+	// Severing all three links of node 9 (tree dims 0, 1 and the
+	// intra-class dim 5) cuts it from the rest of the cube: the
+	// multicast must prove the partition, not guess.
+	out := runOK(t, "-n", "6", "-alpha", "2", "-from", "0",
+		"-multicast", "9,41,9", "-faultlinks", "9:0,9:1,9:5")
+	checkGolden(t, "multicast_partitioned.json.golden", out)
+	replayCollective(t, out, 6, 2, nil, [][2]uint{{9, 0}, {9, 1}, {9, 5}})
+}
+
+// replayCollective parses the CLI's JSON back and re-derives the
+// verdicts it claims.
+func replayCollective(t *testing.T, out string, n, alpha uint, faultNodes []uint, faultLinks [][2]uint) {
+	t.Helper()
+	var reply serve.CollectiveReply
+	if err := json.Unmarshal([]byte(out), &reply); err != nil {
+		t.Fatalf("CLI output is not the wire JSON document: %v", err)
+	}
+	if reply.Delivered+reply.DegradedN+reply.Unreached != len(reply.Dests) {
+		t.Fatalf("conservation broken: %+v", reply)
+	}
+	cube := gc.New(n, alpha)
+	set := fault.NewSet(cube)
+	for _, v := range faultNodes {
+		set.AddNode(gc.NodeID(v))
+	}
+	for _, l := range faultLinks {
+		set.AddLink(gc.NodeID(l[0]), l[1])
+	}
+	set.Freeze()
+	if set.NodeFaulty(reply.Origin) != reply.ReRooted {
+		t.Fatalf("re-rooting claim inconsistent with fault set: %+v", reply)
+	}
+	// BFS reachability from the effective root over healthy links.
+	reach := make([]bool, cube.Nodes())
+	if !set.NodeFaulty(reply.Root) {
+		reach[reply.Root] = true
+		queue := []gc.NodeID{reply.Root}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for dim := uint(0); dim < n; dim++ {
+				if !cube.HasLinkDim(v, dim) || set.LinkFaulty(v, dim) {
+					continue
+				}
+				w := v ^ gc.NodeID(1)<<dim
+				if !reach[w] {
+					reach[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	for _, d := range reply.Dests {
+		delivered := d.Outcome == "delivered" || d.Outcome == "delivered-degraded"
+		want := reach[d.Dest] || d.Dest == reply.Origin && !set.NodeFaulty(d.Dest)
+		if delivered != want {
+			t.Fatalf("dest %d: claimed %q, oracle reachable=%v", d.Dest, d.Outcome, want)
+		}
+		if !delivered && d.Hops != -1 {
+			t.Fatalf("unreached dest %d carries hops %d", d.Dest, d.Hops)
 		}
 	}
 }

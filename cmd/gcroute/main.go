@@ -7,9 +7,12 @@
 //	gcroute -n 8 -alpha 2 -from 5 -to 201
 //	gcroute -n 8 -alpha 2 -from 5 -to 201 -faultnodes 17,42 -faultlinks 8:0,12:4
 //	gcroute -n 8 -alpha 2 -from 5 -to 201 -distributed
+//	gcroute -n 6 -alpha 2 -from 5 -broadcast -faultnodes 5
+//	gcroute -n 6 -alpha 2 -from 0 -multicast 9,41,63 -faultnodes 41
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +23,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/serve"
 	"gaussiancube/internal/trace"
 )
 
@@ -43,6 +47,8 @@ func run(args []string, out io.Writer) error {
 		substrate   = fs.String("substrate", "adaptive", "intra-class router: adaptive|safety|vector")
 		distributed = fs.Bool("distributed", false, "drive the hop-by-hop engine instead of the planner (fault-free only)")
 		traceOn     = fs.Bool("trace", false, "print the route's event narrative: hops, detours with cause category, repair crossings, outcome")
+		broadcast   = fs.Bool("broadcast", false, "plan a one-to-all broadcast from -from and print the collective report as JSON")
+		multicast   = fs.String("multicast", "", "plan a multicast from -from to this comma-separated destination list and print the report as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +78,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown substrate %q", *substrate)
 	}
 
-	if set.Count() > 0 {
+	collective := *broadcast || *multicast != ""
+	if set.Count() > 0 && !collective {
 		fmt.Fprintln(out, "faults:")
 		for _, f := range set.Faults() {
 			if f.Kind == fault.KindNode {
@@ -97,6 +104,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	r := core.NewRouter(c, opts...)
+	if collective {
+		if *broadcast && *multicast != "" {
+			return fmt.Errorf("-broadcast and -multicast are mutually exclusive")
+		}
+		return runCollective(out, r, gc.NodeID(*from), *multicast)
+	}
 	if *distributed {
 		if set.Count() > 0 {
 			return fmt.Errorf("-distributed drives the fault-free engine; drop the fault flags")
@@ -128,6 +141,31 @@ func run(args []string, out io.Writer) error {
 		trace.Narrate(out, ring.Events(), *n)
 	}
 	return nil
+}
+
+// runCollective plans a broadcast (dests empty) or multicast and
+// prints the exact JSON document POST /broadcast and POST /multicast
+// serve, so the CLI output is golden-testable against the wire shape.
+func runCollective(out io.Writer, r *core.Router, origin gc.NodeID, destSpec string) error {
+	var rep *core.CollectiveReport
+	var err error
+	if destSpec == "" {
+		rep, err = r.BroadcastPlan(origin)
+	} else {
+		var dests []gc.NodeID
+		dests, err = cliutil.ParseNodeList(destSpec)
+		if err != nil {
+			return err
+		}
+		rep, err = r.MulticastPlan(origin, dests)
+	}
+	if err != nil {
+		return err
+	}
+	reply := serve.BuildCollectiveReply(origin, &serve.CollectiveResponse{Report: rep})
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reply)
 }
 
 func printPath(out io.Writer, c *gc.Cube, path []gc.NodeID, n, alpha uint) {

@@ -106,6 +106,7 @@ func run(args []string, out io.Writer) error {
 		pattern     = fs.String("pattern", "uniform", "selftest traffic: uniform|complement|transpose|hotspot|permutation")
 		churn       = fs.Int("churn", 24, "selftest: fault mutations applied during the run")
 		wireTest    = fs.Bool("wire", false, "selftest: drive the load through the gcwire binary client instead of HTTP")
+		collEvery   = fs.Int("collectives", 16, "selftest: every Nth request per client is a collective (alternating broadcast/multicast); 0 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -189,13 +190,14 @@ func run(args []string, out io.Writer) error {
 
 	if *selftest {
 		return runSelftest(out, srv, selftestConfig{
-			bits:     *n,
-			clients:  *clients,
-			requests: *requests,
-			pattern:  *pattern,
-			churn:    *churn,
-			seed:     *seed,
-			wire:     *wireTest,
+			bits:      *n,
+			clients:   *clients,
+			requests:  *requests,
+			pattern:   *pattern,
+			churn:     *churn,
+			seed:      *seed,
+			wire:      *wireTest,
+			collEvery: *collEvery,
 		})
 	}
 
@@ -307,13 +309,14 @@ func clusterMembers(cube *gcube.Cube, peers, classRanges string) ([]gcube.Cluste
 }
 
 type selftestConfig struct {
-	bits     uint
-	clients  int
-	requests int
-	pattern  string
-	churn    int
-	seed     int64
-	wire     bool
+	bits      uint
+	clients   int
+	requests  int
+	pattern   string
+	churn     int
+	seed      int64
+	wire      bool
+	collEvery int
 }
 
 // buildPattern maps the flag onto the simulator's workload generators
@@ -385,11 +388,12 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 	cube := srv.Cube()
 	nodes := cube.Nodes()
 	var (
-		wg        sync.WaitGroup
-		answered  atomic.Int64
-		delivered atomic.Int64
-		refused   atomic.Int64
-		failed    atomic.Int64
+		wg         sync.WaitGroup
+		answered   atomic.Int64
+		delivered  atomic.Int64
+		refused    atomic.Int64
+		failed     atomic.Int64
+		collServed atomic.Int64
 	)
 	start := time.Now()
 	for c := 0; c < cfg.clients; c++ {
@@ -399,6 +403,8 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 			rng := rand.New(rand.NewSource(cfg.seed + int64(id)))
 			ctx := context.Background()
 			var route func(src, dst gcube.NodeID) (*gcube.RouteResponse, error)
+			var bcast func(root gcube.NodeID) (*gcube.CollectiveReply, error)
+			var mcast func(root gcube.NodeID, dests []gcube.NodeID) (*gcube.CollectiveReply, error)
 			if cfg.wire {
 				wcl, err := gcube.DialWire(addr)
 				if err != nil {
@@ -408,14 +414,58 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 				}
 				defer wcl.Close()
 				route = wcl.Route
+				bcast = wcl.Broadcast
+				mcast = wcl.Multicast
 			} else {
 				cl := gcube.NewClient(base, &http.Client{Timeout: 10 * time.Second})
 				route = func(s, d gcube.NodeID) (*gcube.RouteResponse, error) {
 					return cl.Route(ctx, s, d)
 				}
+				bcast = func(root gcube.NodeID) (*gcube.CollectiveReply, error) {
+					return cl.Broadcast(ctx, root)
+				}
+				mcast = func(root gcube.NodeID, dests []gcube.NodeID) (*gcube.CollectiveReply, error) {
+					return cl.Multicast(ctx, root, dests)
+				}
 			}
 			for i := 0; i < cfg.requests; i++ {
 				src := gcube.NodeID(rng.Intn(nodes))
+				if cfg.collEvery > 0 && i%cfg.collEvery == 0 {
+					// Collective arm: alternate broadcast and multicast,
+					// validating the per-destination conservation law on
+					// every reply — the selftest twin of the oracle tests.
+					var cr *gcube.CollectiveReply
+					var err error
+					if (i/cfg.collEvery)%2 == 0 {
+						cr, err = bcast(src)
+					} else {
+						dests := make([]gcube.NodeID, 1+rng.Intn(6))
+						for j := range dests {
+							dests[j] = gcube.NodeID(rng.Intn(nodes))
+						}
+						cr, err = mcast(src, dests)
+					}
+					if err != nil {
+						if refusal(err) {
+							refused.Add(1)
+							continue
+						}
+						failed.Add(1)
+						fmt.Fprintf(out, "client %d: collective: %v\n", id, err)
+						return
+					}
+					if cr.Delivered+cr.DegradedN+cr.Unreached != len(cr.Dests) {
+						failed.Add(1)
+						fmt.Fprintf(out, "client %d: collective conservation broken: %+v\n", id, cr)
+						return
+					}
+					answered.Add(1)
+					collServed.Add(1)
+					if cr.Delivered+cr.DegradedN > 0 {
+						delivered.Add(1)
+					}
+					continue
+				}
 				dst := pat.Dest(rng, src)
 				r, err := route(src, dst)
 				if err != nil {
@@ -490,8 +540,12 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 
 	m := srv.Metrics()
 	rate := float64(m.Served) / elapsed.Seconds()
-	fmt.Fprintf(out, "selftest: served=%d delivered=%d refused=%d epoch=%d in %v (%.0f req/s)\n",
-		m.Served, delivered.Load(), refused.Load(), m.Epoch, elapsed.Round(time.Millisecond), rate)
+	var collTotal int64
+	if m.Collectives != nil {
+		collTotal = m.Collectives.Served
+	}
+	fmt.Fprintf(out, "selftest: served=%d delivered=%d collectives=%d refused=%d epoch=%d in %v (%.0f req/s)\n",
+		m.Served, delivered.Load(), collTotal, refused.Load(), m.Epoch, elapsed.Round(time.Millisecond), rate)
 
 	switch {
 	case failed.Load() > 0:
@@ -502,6 +556,8 @@ func runSelftest(out io.Writer, srv *gcube.Server, cfg selftestConfig) error {
 		return fmt.Errorf("selftest: no traffic delivered (answered=%d)", answered.Load())
 	case int(m.Epoch) != cfg.churn:
 		return fmt.Errorf("selftest: %d churn steps produced epoch %d", cfg.churn, m.Epoch)
+	case cfg.collEvery > 0 && collTotal != collServed.Load():
+		return fmt.Errorf("selftest: clients saw %d collective replies, server served %d", collServed.Load(), collTotal)
 	}
 	fmt.Fprintln(out, "selftest: PASS")
 	return nil

@@ -99,3 +99,27 @@ func TestClusterFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestSelftestCollectives drives a collective-heavy selftest over both
+// surfaces: every 4th request is a broadcast or multicast, each reply
+// conservation-checked by the client loop, and the run cross-checks
+// the clients' collective count against the server's metrics.
+func TestSelftestCollectives(t *testing.T) {
+	for _, wire := range []bool{false, true} {
+		args := []string{
+			"-selftest", "-n", "7", "-alpha", "2",
+			"-clients", "3", "-requests", "60", "-churn", "5",
+			"-collectives", "4",
+		}
+		if wire {
+			args = append(args, "-wire")
+		}
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatalf("wire=%v: %v\n%s", wire, err, out.String())
+		}
+		if !strings.Contains(out.String(), "collectives=45") {
+			t.Fatalf("wire=%v: expected 45 collectives in summary:\n%s", wire, out.String())
+		}
+	}
+}

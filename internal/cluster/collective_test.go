@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/serve"
+)
+
+func isDeliveredOutcome(o core.Outcome) bool {
+	return o == core.OutcomeDelivered || o == core.OutcomeDeliveredDegraded
+}
+
+// TestClusterBroadcastCrossRange: a broadcast submitted at one member
+// spans every class range, fans out to each owner, and merges back
+// with the per-destination conservation law intact — every node but
+// the origin answered exactly once, in ascending order, and the
+// cluster-wide counts add up.
+func TestClusterBroadcastCrossRange(t *testing.T) {
+	cube := gc.New(6, 2) // 64 nodes, 4 ending classes
+	insts, _ := startCluster(t, cube, [][2]int{{0, 1}, {2, 2}, {3, 3}}, 50*time.Millisecond)
+
+	origin := gc.NodeID(3) // class 3: owned by instance 2, submitted at 0
+	resp, err := insts[0].srv.SubmitBroadcast(context.Background(), origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != nil || resp.Report == nil {
+		t.Fatalf("broadcast failed: %+v", resp)
+	}
+	rep := resp.Report
+	if len(rep.Dests) != cube.Nodes()-1 {
+		t.Fatalf("broadcast answered %d dests, want %d", len(rep.Dests), cube.Nodes()-1)
+	}
+	seen := make(map[gc.NodeID]bool, len(rep.Dests))
+	prev := gc.NodeID(0)
+	for i, st := range rep.Dests {
+		if st.Dest == origin {
+			t.Fatalf("broadcast lists its own origin at %d", i)
+		}
+		if seen[st.Dest] {
+			t.Fatalf("dest %d answered twice", st.Dest)
+		}
+		seen[st.Dest] = true
+		if i > 0 && st.Dest <= prev {
+			t.Fatalf("dests out of order at %d: %d after %d", i, st.Dest, prev)
+		}
+		prev = st.Dest
+		if !isDeliveredOutcome(st.Outcome) {
+			t.Fatalf("fault-free broadcast left dest %d at %v", st.Dest, st.Outcome)
+		}
+	}
+	if rep.Delivered+rep.Degraded+rep.Unreached != len(rep.Dests) {
+		t.Fatalf("conservation broken: %+v", rep)
+	}
+	if m := insts[0].srv.Metrics(); m.Cluster == nil || m.Cluster.CollectivesForwarded != 1 {
+		t.Fatalf("collectives_forwarded: %+v", m.Cluster)
+	}
+	// Every member served its own class slice locally.
+	for i, in := range insts {
+		if m := in.srv.Metrics(); m.Collectives == nil || m.Collectives.Served == 0 {
+			t.Fatalf("instance %d served no collective slice: %+v", i, m.Collectives)
+		}
+	}
+
+	// A multicast whose dests span all three members, duplicates
+	// included, merges in request order.
+	dests := []gc.NodeID{40, 5, 40, 18, origin}
+	mresp, err := insts[1].srv.SubmitMulticast(context.Background(), origin, dests)
+	if err != nil || mresp.Err != nil {
+		t.Fatalf("multicast: %v %+v", err, mresp)
+	}
+	mrep := mresp.Report
+	if len(mrep.Dests) != len(dests) {
+		t.Fatalf("multicast answered %d dests, want %d", len(mrep.Dests), len(dests))
+	}
+	for i, st := range mrep.Dests {
+		if st.Dest != dests[i] {
+			t.Fatalf("multicast order broken at %d: got %d want %d", i, st.Dest, dests[i])
+		}
+		if !isDeliveredOutcome(st.Outcome) {
+			t.Fatalf("fault-free multicast left dest %d at %v", st.Dest, st.Outcome)
+		}
+	}
+	if mrep.Delivered+mrep.Degraded+mrep.Unreached != len(mrep.Dests) {
+		t.Fatalf("multicast conservation broken: %+v", mrep)
+	}
+}
+
+// TestClusterBroadcastReRootedAndPartitioned: after the origin is
+// faulted and gossip converges, a cluster-spanning broadcast re-roots
+// away from it; after a member is cut off, its class slice is served
+// by a non-owner and the merged verdict is degrade-marked — never
+// silently dropped.
+func TestClusterBroadcastReRootedAndPartitioned(t *testing.T) {
+	cube := gc.New(6, 2)
+	insts, g := startCluster(t, cube, [][2]int{{0, 0}, {1, 1}, {2, 2}, {3, 3}}, 20*time.Millisecond)
+
+	origin := gc.NodeID(7)
+	if _, _, err := insts[0].srv.ApplyFaults([]serve.FaultOp{
+		{Op: serve.OpInject, Kind: serve.KindNode, Node: origin},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "gossip convergence", func() bool { return stableConverged(insts, 40*time.Millisecond) })
+
+	resp, err := insts[0].srv.SubmitBroadcast(context.Background(), origin)
+	if err != nil || resp.Err != nil {
+		t.Fatalf("re-rooted broadcast: %v %+v", err, resp)
+	}
+	if !resp.Report.ReRooted || resp.Report.Root == origin {
+		t.Fatalf("broadcast did not re-root off the faulted origin: %+v", resp.Report)
+	}
+	if resp.Report.Delivered != 0 {
+		t.Fatalf("re-rooted deliveries must all be degraded: %+v", resp.Report)
+	}
+	if resp.Report.Delivered+resp.Report.Degraded+resp.Report.Unreached != len(resp.Report.Dests) {
+		t.Fatalf("conservation broken: %+v", resp.Report)
+	}
+
+	// Cut instance 0 off from every peer: the class-1 slice exhausts
+	// both remote attempts (owner 1, successor 2) without the chain
+	// reaching home, so it falls back to a degraded local computation
+	// at instance 0 — still answering every dest.
+	g.cut(0, 1)
+	g.cut(0, 2)
+	g.cut(0, 3)
+	resp, err = insts[0].srv.SubmitBroadcast(context.Background(), gc.NodeID(4))
+	if err != nil || resp.Err != nil {
+		t.Fatalf("partitioned broadcast: %v %+v", err, resp)
+	}
+	if !resp.Degraded {
+		t.Fatalf("partitioned broadcast not degrade-marked: %+v", resp)
+	}
+	if len(resp.Report.Dests) != cube.Nodes()-1 {
+		t.Fatalf("partitioned broadcast dropped dests: %d", len(resp.Report.Dests))
+	}
+	if resp.Report.Delivered+resp.Report.Degraded+resp.Report.Unreached != len(resp.Report.Dests) {
+		t.Fatalf("conservation broken under partition: %+v", resp.Report)
+	}
+}

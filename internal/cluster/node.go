@@ -100,10 +100,11 @@ type Node struct {
 	// index; peers[self] is nil.
 	peers []*peer
 
-	forwarded        metrics.Counter
-	forwardRetries   metrics.Counter
-	forwardFallbacks metrics.Counter
-	epochSyncs       metrics.Counter
+	forwarded            metrics.Counter
+	forwardRetries       metrics.Counter
+	forwardFallbacks     metrics.Counter
+	collectivesForwarded metrics.Counter
+	epochSyncs           metrics.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -144,6 +145,7 @@ func Start(cfg Config) (*Node, error) {
 		}
 	}
 	n.srv.SetForwarder(n)
+	n.srv.SetCollectiveForwarder(n)
 	n.srv.SetClusterInfo(n.snapshot)
 	go n.loop()
 	return n, nil
@@ -155,6 +157,7 @@ func (n *Node) Close() {
 	close(n.stop)
 	<-n.done
 	n.srv.SetForwarder(nil)
+	n.srv.SetCollectiveForwarder(nil)
 	n.srv.SetClusterInfo(nil)
 	n.srv.SetEpochStale("")
 	for _, p := range n.peers {
@@ -371,12 +374,13 @@ func (n *Node) updateStale() {
 func (n *Node) snapshot() *serve.ClusterSnapshot {
 	epoch, _ := n.srv.Frontier()
 	cs := &serve.ClusterSnapshot{
-		Self:             n.cfg.Self,
-		Peers:            len(n.topo.Members()),
-		Forwarded:        n.forwarded.Value(),
-		ForwardRetries:   n.forwardRetries.Value(),
-		ForwardFallbacks: n.forwardFallbacks.Value(),
-		EpochSyncs:       n.epochSyncs.Value(),
+		Self:                 n.cfg.Self,
+		Peers:                len(n.topo.Members()),
+		Forwarded:            n.forwarded.Value(),
+		ForwardRetries:       n.forwardRetries.Value(),
+		ForwardFallbacks:     n.forwardFallbacks.Value(),
+		CollectivesForwarded: n.collectivesForwarded.Value(),
+		EpochSyncs:           n.epochSyncs.Value(),
 	}
 	for _, p := range n.peers {
 		if p == nil {

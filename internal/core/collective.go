@@ -35,6 +35,11 @@ type BroadcastTree struct {
 	Steps int
 	// Reached counts the nodes that receive the message.
 	Reached int
+	// childStart/childList are the CSR child adjacency, built once at
+	// construction: the children of v are
+	// childList[childStart[v]:childStart[v+1]], ascending.
+	childStart []int32
+	childList  []gc.NodeID
 }
 
 // Broadcast builds the broadcast schedule from root over the healthy
@@ -59,13 +64,16 @@ func (r *Router) Broadcast(root gc.NodeID) (*BroadcastTree, error) {
 	bt.Parent[root] = int32(root)
 	bt.Depth[root] = 0
 	bt.Reached = 1
-	hv := healthyView{cube: r.cube, faults: r.faults}
-	queue := []gc.NodeID{root}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, w := range hv.Neighbors(v) {
+	queue := make([]gc.NodeID, 1, n)
+	queue[0] = root
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for _, d := range r.cube.LinkDims(v) {
+			w := v ^ (1 << d)
 			if bt.Parent[w] != -1 {
+				continue
+			}
+			if r.faults != nil && (r.faults.NodeFaulty(w) || r.faults.LinkFaulty(v, d)) {
 				continue
 			}
 			bt.Parent[w] = int32(v)
@@ -77,18 +85,45 @@ func (r *Router) Broadcast(root gc.NodeID) (*BroadcastTree, error) {
 			queue = append(queue, w)
 		}
 	}
+	bt.buildChildren()
 	return bt, nil
 }
 
-// Children returns the tree children of v, ascending.
-func (bt *BroadcastTree) Children(v gc.NodeID) []gc.NodeID {
-	var out []gc.NodeID
+// buildChildren fills the CSR child adjacency from Parent: a counting
+// pass sizes each bucket, a prefix sum places it, and an ascending
+// fill keeps every child list sorted.
+func (bt *BroadcastTree) buildChildren() {
+	n := len(bt.Parent)
+	bt.childStart = make([]int32, n+1)
 	for w, p := range bt.Parent {
-		if p == int32(v) && gc.NodeID(w) != bt.Root {
-			out = append(out, gc.NodeID(w))
+		if p == -1 || gc.NodeID(w) == bt.Root {
+			continue
 		}
+		bt.childStart[p+1]++
 	}
-	return out
+	for i := 1; i <= n; i++ {
+		bt.childStart[i] += bt.childStart[i-1]
+	}
+	bt.childList = make([]gc.NodeID, bt.childStart[n])
+	cursor := make([]int32, n)
+	copy(cursor, bt.childStart[:n])
+	for w, p := range bt.Parent {
+		if p == -1 || gc.NodeID(w) == bt.Root {
+			continue
+		}
+		bt.childList[cursor[p]] = gc.NodeID(w)
+		cursor[p]++
+	}
+}
+
+// Children returns the tree children of v, ascending. The slice is a
+// view into the precomputed adjacency built with the tree; callers
+// must not modify it. Zero allocations per call.
+func (bt *BroadcastTree) Children(v gc.NodeID) []gc.NodeID {
+	if bt.childStart == nil {
+		bt.buildChildren()
+	}
+	return bt.childList[bt.childStart[v]:bt.childStart[v+1]]
 }
 
 // GatherSchedule returns, per round, the set of (child -> parent)

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/trace"
+)
+
+// checkPlanAgainstOracle validates every delivery claim of a
+// CollectiveReport against the BFS reachability oracle: the delivered
+// set is exactly the oracle set, each destination is claimed exactly
+// once, counts conserve, and hops match tree depths.
+func checkPlanAgainstOracle(t *testing.T, c *gc.Cube, fs *fault.Set, rep *CollectiveReport) {
+	t.Helper()
+	var oracle map[gc.NodeID]bool
+	if rep.Tree != nil {
+		oracle = oracleReachable(c, fs, rep.Root)
+	} else {
+		oracle = map[gc.NodeID]bool{}
+	}
+	seen := make(map[gc.NodeID]bool, len(rep.Dests))
+	delivered, degraded, unreached := 0, 0, 0
+	for _, st := range rep.Dests {
+		if seen[st.Dest] {
+			t.Fatalf("destination %d claimed twice", st.Dest)
+		}
+		seen[st.Dest] = true
+		switch st.Outcome {
+		case OutcomeDelivered:
+			delivered++
+		case OutcomeDeliveredDegraded:
+			degraded++
+		case OutcomeUndeliverable, OutcomeUndeliverablePartitioned:
+			unreached++
+		default:
+			t.Fatalf("destination %d: non-terminal outcome %v", st.Dest, st.Outcome)
+		}
+		isDelivered := st.Outcome == OutcomeDelivered || st.Outcome == OutcomeDeliveredDegraded
+		wantDelivered := oracle[st.Dest] || st.Dest == rep.Origin && (fs == nil || !fs.NodeFaulty(st.Dest))
+		if isDelivered != wantDelivered {
+			t.Fatalf("destination %d: claimed %v, oracle says %v (outcome %v)",
+				st.Dest, isDelivered, wantDelivered, st.Outcome)
+		}
+		if isDelivered {
+			if st.Dest == rep.Origin {
+				if st.Hops != 0 {
+					t.Fatalf("origin self-delivery with hops %d", st.Hops)
+				}
+			} else if st.Hops != rep.Tree.Depth[st.Dest] {
+				t.Fatalf("destination %d: hops %d, tree depth %d", st.Dest, st.Hops, rep.Tree.Depth[st.Dest])
+			}
+		} else {
+			if st.Hops != -1 {
+				t.Fatalf("unreached destination %d has hops %d", st.Dest, st.Hops)
+			}
+			if st.Outcome == OutcomeUndeliverablePartitioned && fs != nil && fs.NodeFaulty(st.Dest) {
+				t.Fatalf("faulty destination %d claimed partitioned", st.Dest)
+			}
+			if st.Outcome == OutcomeUndeliverable && rep.Tree != nil && (fs == nil || !fs.NodeFaulty(st.Dest)) {
+				t.Fatalf("healthy destination %d claimed undeliverable without partition proof", st.Dest)
+			}
+		}
+	}
+	if delivered != rep.Delivered || degraded != rep.Degraded || unreached != rep.Unreached {
+		t.Fatalf("count conservation broken: %d/%d/%d vs report %d/%d/%d",
+			delivered, degraded, unreached, rep.Delivered, rep.Degraded, rep.Unreached)
+	}
+}
+
+func TestBroadcastPlanOracleRandomFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, na := range rerootCubes {
+		c := gc.New(na[0], na[1])
+		for trial := 0; trial < 20; trial++ {
+			fs := fault.NewSet(c)
+			fs.InjectRandomLinks(rng, rng.Intn(3))
+			fs.InjectRandomNodes(rng, rng.Intn(c.Nodes()/3+1))
+			r := NewRouter(c, WithFaults(fs))
+			origin := gc.NodeID(rng.Intn(c.Nodes()))
+			rep, err := r.BroadcastPlan(origin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Dests) != c.Nodes()-1 {
+				t.Fatalf("broadcast must claim every node but origin: %d", len(rep.Dests))
+			}
+			checkPlanAgainstOracle(t, c, fs, rep)
+		}
+	}
+}
+
+// TestMulticastPlanPartitionExactness: the dest list is answered in
+// request order, duplicates included, and delivered/unreached
+// partition the request exactly.
+func TestMulticastPlanPartitionExactness(t *testing.T) {
+	c := gc.New(6, 2)
+	fs := fault.NewSet(c)
+	rng := rand.New(rand.NewSource(7))
+	fs.InjectRandomNodes(rng, 6)
+	r := NewRouter(c, WithFaults(fs))
+
+	dests := []gc.NodeID{5, 9, 5, 63, 0, 17} // 5 twice, 0 == origin
+	rep, err := r.MulticastPlan(0, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Dests) != len(dests) {
+		t.Fatalf("got %d statuses for %d dests", len(rep.Dests), len(dests))
+	}
+	for i, st := range rep.Dests {
+		if st.Dest != dests[i] {
+			t.Fatalf("slot %d holds %d, want request order %d", i, st.Dest, dests[i])
+		}
+	}
+	if rep.Dests[0].Outcome != rep.Dests[2].Outcome {
+		t.Fatal("duplicate destination answered inconsistently")
+	}
+	if rep.Delivered+rep.Degraded+rep.Unreached != len(dests) {
+		t.Fatal("ladder counts do not partition the request")
+	}
+	oracle := oracleReachable(c, fs, rep.Root)
+	for _, st := range rep.Dests {
+		isDelivered := st.Outcome == OutcomeDelivered || st.Outcome == OutcomeDeliveredDegraded
+		if want := oracle[st.Dest] || st.Dest == 0; isDelivered != want {
+			t.Fatalf("dest %d claim %v, oracle %v", st.Dest, isDelivered, want)
+		}
+	}
+
+	if _, err := r.MulticastPlan(0, []gc.NodeID{gc.NodeID(c.Nodes())}); err == nil {
+		t.Fatal("out-of-range destination accepted")
+	}
+	if _, err := r.MulticastPlan(gc.NodeID(c.Nodes()), nil); err == nil {
+		t.Fatal("out-of-range origin accepted")
+	}
+}
+
+// replayCollectiveTrace rebuilds the delivery tree from the emitted
+// hop events and verifies the replay invariant: the events reconstruct
+// every delivery path claimed by the report, each destination
+// delivered exactly once, over healthy links only.
+func replayCollectiveTrace(t *testing.T, c *gc.Cube, fs *fault.Set, rep *CollectiveReport, events []trace.Event) {
+	t.Helper()
+	parent := map[gc.NodeID]gc.NodeID{}
+	outcomes := 0
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindHop, trace.KindFlip:
+			from, to := gc.NodeID(e.From), gc.NodeID(e.To)
+			if _, dup := parent[to]; dup {
+				t.Fatalf("trace delivers %d twice", to)
+			}
+			if from != rep.Root {
+				if _, ok := parent[from]; !ok {
+					t.Fatalf("trace delivers %d from unvisited %d", to, from)
+				}
+			}
+			if from^to != 1<<e.Dim {
+				t.Fatalf("hop %d->%d does not flip dim %d", from, to, e.Dim)
+			}
+			if !c.HasLinkDim(from, uint(e.Dim)) {
+				t.Fatalf("hop %d->%d uses a non-link", from, to)
+			}
+			if fs != nil && fs.LinkFaulty(from, uint(e.Dim)) {
+				t.Fatalf("hop %d->%d uses a faulty link", from, to)
+			}
+			parent[to] = from
+		case trace.KindOutcome:
+			outcomes++
+		}
+	}
+	if outcomes != 1 {
+		t.Fatalf("want one terminal outcome event, got %d", outcomes)
+	}
+	for _, st := range rep.Dests {
+		if st.Outcome != OutcomeDelivered && st.Outcome != OutcomeDeliveredDegraded {
+			continue
+		}
+		if st.Dest == rep.Root {
+			continue
+		}
+		// Walk the reconstructed parent chain back to the root in at
+		// most Hops steps.
+		v, steps := st.Dest, int32(0)
+		for v != rep.Root {
+			p, ok := parent[v]
+			if !ok {
+				t.Fatalf("trace does not reconstruct a path for delivered dest %d", st.Dest)
+			}
+			v = p
+			steps++
+			if steps > st.Hops {
+				t.Fatalf("reconstructed path for %d exceeds claimed %d hops", st.Dest, st.Hops)
+			}
+		}
+		if steps != st.Hops {
+			t.Fatalf("reconstructed path for %d has %d hops, claimed %d", st.Dest, steps, st.Hops)
+		}
+	}
+}
+
+func TestBroadcastPlanTraceReplay(t *testing.T) {
+	c := gc.New(6, 3)
+	fs := fault.NewSet(c)
+	rng := rand.New(rand.NewSource(21))
+	fs.InjectRandomNodes(rng, 5)
+	ring := trace.NewRing(4096)
+	r := NewRouter(c, WithFaults(fs), WithTracer(ring))
+	rep, err := r.BroadcastPlan(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCollectiveTrace(t, c, fs, rep, ring.Events())
+}
+
+// FuzzCollectiveAgainstOracle is the satellite property test: random
+// GC(n, 2^k) plus random fault sets; the broadcast must reach exactly
+// the BFS-reachable set, each destination exactly once, and the trace
+// events must reconstruct every delivery path.
+func FuzzCollectiveAgainstOracle(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint16(3), int64(1), uint8(4), uint8(2))
+	f.Add(uint8(6), uint8(3), uint16(0), int64(7), uint8(10), uint8(4))
+	f.Add(uint8(3), uint8(3), uint16(5), int64(3), uint8(2), uint8(1))
+	f.Add(uint8(5), uint8(1), uint16(31), int64(9), uint8(16), uint8(0))
+	f.Fuzz(func(t *testing.T, n, alpha uint8, origin uint16, seed int64, nodeFaults, linkFaults uint8) {
+		nn := uint(n%6) + 2      // 2..7
+		aa := uint(alpha)%nn + 1 // 1..n
+		c := gc.New(nn, aa)
+		src := gc.NodeID(int(origin) % c.Nodes())
+		fs := fault.NewSet(c)
+		rng := rand.New(rand.NewSource(seed))
+		fs.InjectRandomLinks(rng, int(linkFaults)%3)
+		fs.InjectRandomNodes(rng, int(nodeFaults)%(c.Nodes()/2+1))
+		ring := trace.NewRing(1 << 14)
+		r := NewRouter(c, WithFaults(fs), WithTracer(ring))
+
+		rep, err := r.BroadcastPlan(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Dests) != c.Nodes()-1 {
+			t.Fatalf("broadcast claims %d of %d destinations", len(rep.Dests), c.Nodes()-1)
+		}
+		checkPlanAgainstOracle(t, c, fs, rep)
+		if rep.Tree != nil {
+			replayCollectiveTrace(t, c, fs, rep, ring.Events())
+		}
+
+		// Multicast over a random subset must agree with the broadcast
+		// verdicts destination by destination.
+		var sub []gc.NodeID
+		for v := 0; v < c.Nodes(); v++ {
+			if rng.Intn(3) == 0 {
+				sub = append(sub, gc.NodeID(v))
+			}
+		}
+		mrep, err := r.MulticastPlan(src, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byDest := map[gc.NodeID]Outcome{}
+		for _, st := range rep.Dests {
+			byDest[st.Dest] = st.Outcome
+		}
+		for _, st := range mrep.Dests {
+			if st.Dest == src {
+				continue
+			}
+			if want := byDest[st.Dest]; st.Outcome != want {
+				t.Fatalf("multicast dest %d outcome %v, broadcast says %v", st.Dest, st.Outcome, want)
+			}
+		}
+	})
+}

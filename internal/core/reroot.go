@@ -1,0 +1,207 @@
+package core
+
+import (
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+// Re-rooting recovery for collectives, after Albader et al.'s
+// re-rooting-based fault-tolerant broadcasting: when the broadcast
+// source is dead, a constant-time closed-form rule picks the node at
+// which the message is re-injected; when a planned subtree crossing is
+// dead, the walk into that class subtree re-roots onto a surviving
+// crossing of the same Gaussian-tree edge. Deliveries downstream of
+// either re-rooting are stamped degraded — the data arrived, but not
+// on the path the fault-free plan promised. Only a severed edge (every
+// realization of a tree edge dead) defeats re-rooting, and that case
+// is a partition proof, not a fallback.
+
+// NewSource is the closed-form new-source selection rule. When origin
+// is healthy it is its own source. When origin is faulted, the message
+// is re-injected at the healthy neighbor of maximal re-root weight —
+// the coverage a re-injection there can reach, computed from
+// precomputed tables in O(1) per probe (at most deg(origin) probes, no
+// graph search).
+//
+// The weight falls out of the cube's frame structure. A dimension-c
+// crossing (c toward a neighboring class) exists once per frame, so
+// killing origin blocks its own frame's walk at exactly one class-tree
+// edge per neighbor; the other frames stay whole. A candidate q across
+// the class-tree edge (EC(origin), EC(q)) therefore covers:
+//
+//   - the whole cube side, N nodes worth, when q's side of the cut
+//     contains a frame bridge — a class k with DimCount(k) > 0, whose
+//     high-dimension links leave origin's frame. All bridged
+//     candidates cover the same set (every other frame in full, plus
+//     every frame-of-origin component that has its own bridge), so
+//     they tie at the optimum.
+//   - exactly its class-component size across the cut (one node per
+//     class, gtree.ComponentAcross — a rooting-table lookup) when its
+//     side has no bridge: the component is confined to origin's frame.
+//
+// Since frames >= 2 makes any bridged side cover at least (frames-1)
+// * 2^alpha > any unbridged component, and single-frame cubes (n ==
+// alpha) have no bridges at all — the cube IS the Gaussian Tree and
+// the weights degrade to exact subtree sizes — the rule is
+// coverage-optimal for every single root kill; the exhaustive
+// re-rooting oracle test pins that against search. A same-class
+// (frame-flip) candidate lives in an untouched frame and is always
+// bridged-grade. Bridged ties resolve by frame connectivity (DimCount
+// of the candidate's class, the paper's Theorem 3 closed form), then
+// degree, then lowest link dimension.
+//
+// The second result is false only when origin and every neighbor are
+// faulted: re-rooting is then proven impossible, because any copy of
+// the message a broadcast could have seeded lives one hop from the
+// source.
+func (r *Router) NewSource(origin gc.NodeID) (gc.NodeID, bool) {
+	if int(origin) >= r.cube.Nodes() {
+		return 0, false
+	}
+	if r.faults == nil || !r.faults.NodeFaulty(origin) {
+		return origin, true
+	}
+	n := r.cube.Nodes()
+	alpha := r.cube.Alpha()
+	tr := r.cube.Tree()
+	oc := r.cube.EndingClass(origin)
+	var best gc.NodeID
+	bestW, bestDims, bestDeg, found := -1, -1, -1, false
+	for _, d := range r.cube.LinkDims(origin) {
+		q := origin ^ (1 << d)
+		if r.faults.NodeFaulty(q) {
+			continue
+		}
+		w := n // bridged grade: frame-flip candidates and bridged sides
+		if d < alpha {
+			if qc := r.cube.EndingClass(q); !r.bridgeAcross(oc, qc) {
+				w = tr.ComponentAcross(oc, qc)
+			}
+		}
+		dims := r.cube.DimCount(r.cube.EndingClass(q))
+		deg := r.cube.Degree(q)
+		if w > bestW || (w == bestW && (dims > bestDims || (dims == bestDims && deg > bestDeg))) {
+			best, bestW, bestDims, bestDeg, found = q, w, dims, deg, true
+		}
+	}
+	return best, found
+}
+
+// bridgeAcross reports whether w's side of the class-tree edge {u, w}
+// contains a frame bridge (a class with DimCount > 0). Answered from a
+// lazily-built subtree bridge-count table — O(1) per query after one
+// O(2^alpha) walk per router.
+func (r *Router) bridgeAcross(u, w gtree.Node) bool {
+	r.rerootOnce.Do(r.buildBridgeCounts)
+	tr := r.cube.Tree()
+	if p, ok := tr.Parent(w); ok && p == u {
+		return r.bridgeBelow[w] > 0
+	}
+	return r.totalBridges-r.bridgeBelow[u] > 0
+}
+
+// buildBridgeCounts fills bridgeBelow[k] = number of frame-bridge
+// classes in k's subtree under the rooting at 0, by one reverse
+// level-order accumulation.
+func (r *Router) buildBridgeCounts() {
+	tr := r.cube.Tree()
+	m := tr.Nodes()
+	counts := make([]int32, m)
+	order := make([]gtree.Node, 1, m)
+	order[0] = 0
+	for head := 0; head < len(order); head++ {
+		order = append(order, tr.Children(order[head])...)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		k := order[i]
+		if r.cube.DimCount(k) > 0 {
+			counts[k]++
+		}
+		if p, ok := tr.Parent(k); ok {
+			counts[p] += counts[k]
+		}
+	}
+	r.totalBridges = counts[0]
+	r.bridgeBelow = counts
+}
+
+// classMark summarizes one ending class of a collective plan.
+type classMark uint8
+
+const (
+	// classDegraded: the path of Gaussian-tree edges from the root
+	// class to this class includes an edge with at least one dead
+	// realization — entering this class (or an ancestor) required
+	// re-rooting onto a surviving crossing, so deliveries here are
+	// DeliveredDegraded.
+	classDegraded classMark = 1 << iota
+	// classSevered: an edge on that path has no surviving realization.
+	// The class subtree is provably partitioned from the root class —
+	// crossings exist only along Gaussian-tree edges, so no cube path
+	// can bypass a severed edge.
+	classSevered
+)
+
+// classAnalysis walks the Gaussian Tree from the root class and marks
+// every class with the re-rooting consequences of the fault set:
+// degraded below any partially-dead edge, severed below any fully-dead
+// edge. It also returns the re-rooted classes — the subtree roots
+// whose own entering edge was partially dead — sorted ascending by
+// discovery order of the tree walk.
+func (r *Router) classAnalysis(rootClass gtree.Node) (marks []classMark, reRooted []gtree.Node) {
+	tr := r.cube.Tree()
+	m := tr.Nodes()
+	marks = make([]classMark, m)
+	if r.faults == nil {
+		return marks, nil
+	}
+	type visit struct {
+		class gtree.Node
+		mark  classMark
+	}
+	stack := []visit{{class: rootClass}}
+	seen := make([]bool, m)
+	seen[rootClass] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		marks[v.class] = v.mark
+		for _, w := range tr.Neighbors(v.class) {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			mark := v.mark
+			if mark&classSevered == 0 {
+				dead, frames := r.deadRealizations(v.class, w)
+				if dead == frames {
+					mark |= classSevered | classDegraded
+				} else if dead > 0 {
+					mark |= classDegraded
+					reRooted = append(reRooted, w)
+				}
+			}
+			stack = append(stack, visit{class: w, mark: mark})
+		}
+	}
+	return marks, reRooted
+}
+
+// deadRealizations counts the dead realizations of the Gaussian-tree
+// edge (u, w): one crossing link per frame, dead when either endpoint
+// node or the link itself is faulted. The second result is the frame
+// count (total realizations).
+func (r *Router) deadRealizations(u, w gtree.Node) (dead, frames int) {
+	c := r.cube.Tree().EdgeDim(u, w)
+	alpha := r.cube.Alpha()
+	frames = 1 << (r.cube.N() - alpha)
+	for f := 0; f < frames; f++ {
+		q := gc.NodeID(f)<<alpha | gc.NodeID(u)
+		// LinkFaulty covers both an explicit link fault and a faulty
+		// node at either endpoint.
+		if r.faults.LinkFaulty(q, c) {
+			dead++
+		}
+	}
+	return dead, frames
+}

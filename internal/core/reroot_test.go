@@ -1,0 +1,236 @@
+package core
+
+import (
+	"testing"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/gtree"
+)
+
+// oracleReachable is the test-local BFS reachability oracle: the set
+// of nodes connected to src in the cube minus the fault set, computed
+// with none of the router's machinery.
+func oracleReachable(c *gc.Cube, fs *fault.Set, src gc.NodeID) map[gc.NodeID]bool {
+	reached := map[gc.NodeID]bool{}
+	if fs != nil && fs.NodeFaulty(src) {
+		return reached
+	}
+	reached[src] = true
+	queue := []gc.NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range c.LinkDims(v) {
+			w := v ^ (1 << d)
+			if reached[w] {
+				continue
+			}
+			if fs != nil && fs.LinkFaulty(v, d) {
+				continue
+			}
+			reached[w] = true
+			queue = append(queue, w)
+		}
+	}
+	return reached
+}
+
+var rerootCubes = [][2]uint{{3, 1}, {3, 2}, {3, 3}, {4, 2}, {4, 3}, {4, 4}, {5, 2}, {5, 3}, {5, 5}, {6, 2}, {6, 3}, {6, 6}}
+
+// TestNewSourceSingleRootKillOptimal kills every node of every small
+// cube in turn and checks the closed-form rule against exhaustive
+// search: the selected new source's coverage must equal the best
+// coverage achievable from ANY healthy node, and the degraded marking
+// must be total (the whole tree is the re-rooted subtree).
+func TestNewSourceSingleRootKillOptimal(t *testing.T) {
+	for _, na := range rerootCubes {
+		c := gc.New(na[0], na[1])
+		for v := 0; v < c.Nodes(); v++ {
+			origin := gc.NodeID(v)
+			fs := fault.NewSet(c)
+			fs.AddNode(origin)
+			r := NewRouter(c, WithFaults(fs))
+
+			ns, ok := r.NewSource(origin)
+			if !ok {
+				t.Fatalf("GC(%d,2^%d): no new source for killed root %d", na[0], na[1], origin)
+			}
+			if fs.NodeFaulty(ns) {
+				t.Fatalf("new source %d is faulty", ns)
+			}
+			got := len(oracleReachable(c, fs, ns))
+			best := 0
+			for w := 0; w < c.Nodes(); w++ {
+				if fs.NodeFaulty(gc.NodeID(w)) {
+					continue
+				}
+				if n := len(oracleReachable(c, fs, gc.NodeID(w))); n > best {
+					best = n
+				}
+			}
+			if got != best {
+				t.Fatalf("GC(%d,2^%d) kill %d: rule picked %d covering %d, exhaustive best %d",
+					na[0], na[1], origin, ns, got, best)
+			}
+
+			rep, err := r.BroadcastPlan(origin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.ReRooted || rep.Root != ns {
+				t.Fatalf("plan not re-rooted to %d: %+v", ns, rep)
+			}
+			for _, st := range rep.Dests {
+				if st.Outcome == OutcomeDelivered {
+					t.Fatalf("root re-rooting must degrade every delivery; %d delivered clean", st.Dest)
+				}
+			}
+			// Every node the oracle reaches from the new source is a
+			// degraded delivery (the new source itself included — it
+			// is a destination of the original broadcast).
+			if rep.Delivered != 0 || rep.Degraded != got {
+				t.Fatalf("counts: delivered=%d degraded=%d, want 0/%d", rep.Delivered, rep.Degraded, got)
+			}
+		}
+	}
+}
+
+// expectedSubtreeMarks recomputes, independently of classAnalysis, the
+// classes whose tree path from rootClass crosses an edge with at least
+// one dead realization (degraded) or with none surviving (severed).
+func expectedSubtreeMarks(c *gc.Cube, fs *fault.Set, rootClass gtree.Node) (deg, sev map[gtree.Node]bool) {
+	tr := c.Tree()
+	deg = map[gtree.Node]bool{}
+	sev = map[gtree.Node]bool{}
+	var walk func(k, parent gtree.Node, d, s bool)
+	walk = func(k, parent gtree.Node, d, s bool) {
+		if d {
+			deg[k] = true
+		}
+		if s {
+			sev[k] = true
+		}
+		for _, w := range tr.Neighbors(k) {
+			if w == parent {
+				continue
+			}
+			dim := tr.EdgeDim(k, w)
+			dead, total := 0, 0
+			for _, q := range c.ClassMembers(k) {
+				total++
+				if fs.LinkFaulty(q, dim) {
+					dead++
+				}
+			}
+			walk(w, k, d || dead > 0, s || dead == total)
+		}
+	}
+	walk(rootClass, rootClass, false, false)
+	return deg, sev
+}
+
+// TestSubtreeReRootDegradedMarking kills, one at a time, every single
+// crossing link of every small cube and checks that the degraded
+// marking matches the re-rooted subtree exactly: reached destinations
+// below the hit edge are DeliveredDegraded, everything else delivered
+// clean, and when the kill severs the edge (single-frame cubes) the
+// subtree is proven partitioned instead.
+func TestSubtreeReRootDegradedMarking(t *testing.T) {
+	for _, na := range rerootCubes {
+		c := gc.New(na[0], na[1])
+		tr := c.Tree()
+		origin := gc.NodeID(0)
+		rootClass := c.EndingClass(origin)
+		for _, e := range tr.Edges() {
+			u, _ := e.Ends()
+			dim := e.Dim
+			for _, q := range c.ClassMembers(u) {
+				fs := fault.NewSet(c)
+				fs.AddLink(q, dim)
+				r := NewRouter(c, WithFaults(fs))
+				rep, err := r.BroadcastPlan(origin)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.ReRooted {
+					t.Fatal("healthy origin must not re-root")
+				}
+				deg, sev := expectedSubtreeMarks(c, fs, rootClass)
+				oracle := oracleReachable(c, fs, origin)
+				for _, st := range rep.Dests {
+					k := c.EndingClass(st.Dest)
+					delivered := st.Outcome == OutcomeDelivered || st.Outcome == OutcomeDeliveredDegraded
+					if delivered != oracle[st.Dest] {
+						t.Fatalf("delivery claim for %d disagrees with BFS oracle", st.Dest)
+					}
+					if sev[k] && delivered {
+						t.Fatalf("GC(%d,2^%d) link (%d,dim %d): dest %d delivered beyond severed edge",
+							na[0], na[1], q, dim, st.Dest)
+					}
+					switch {
+					case !oracle[st.Dest]:
+						// A single link fault never kills a node: the
+						// unreached rest is a proven partition.
+						if st.Outcome != OutcomeUndeliverablePartitioned {
+							t.Fatalf("GC(%d,2^%d) link (%d,dim %d): unreached dest %d got %v",
+								na[0], na[1], q, dim, st.Dest, st.Outcome)
+						}
+					case deg[k]:
+						if st.Outcome != OutcomeDeliveredDegraded {
+							t.Fatalf("GC(%d,2^%d) link (%d,dim %d): dest %d in re-rooted subtree got %v",
+								na[0], na[1], q, dim, st.Dest, st.Outcome)
+						}
+					default:
+						if st.Outcome != OutcomeDelivered {
+							t.Fatalf("GC(%d,2^%d) link (%d,dim %d): clean dest %d got %v",
+								na[0], na[1], q, dim, st.Dest, st.Outcome)
+						}
+					}
+				}
+				// The coverage claim: re-rooted coverage equals
+				// exhaustive-search best from the (healthy) origin —
+				// BFS reachability is an upper bound and the plan
+				// meets it.
+				if got := rep.Delivered + rep.Degraded; got != len(oracle)-1 {
+					t.Fatalf("coverage %d, oracle %d", got, len(oracle)-1)
+				}
+				// ReRootedClasses are exactly the subtree roots whose
+				// entering edge was hit but not severed.
+				for _, k := range rep.ReRootedClasses {
+					if !deg[k] || sev[k] {
+						t.Fatalf("class %d wrongly listed as re-rooted", k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNewSourceImpossible surrounds a node with faults: re-rooting
+// must be refused and the plan must claim nothing.
+func TestNewSourceImpossible(t *testing.T) {
+	c := gc.New(4, 2)
+	origin := gc.NodeID(3)
+	fs := fault.NewSet(c)
+	fs.AddNode(origin)
+	for _, d := range c.LinkDims(origin) {
+		fs.AddNode(origin ^ (1 << d))
+	}
+	r := NewRouter(c, WithFaults(fs))
+	if _, ok := r.NewSource(origin); ok {
+		t.Fatal("NewSource succeeded with all neighbors dead")
+	}
+	rep, err := r.BroadcastPlan(origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tree != nil || rep.Delivered+rep.Degraded != 0 || rep.Unreached != len(rep.Dests) {
+		t.Fatalf("impossible re-root still delivered: %+v", rep)
+	}
+	for _, st := range rep.Dests {
+		if st.Outcome != OutcomeUndeliverable || st.Hops != -1 {
+			t.Fatalf("dest %d: %+v", st.Dest, st)
+		}
+	}
+}

@@ -77,6 +77,11 @@ type Router struct {
 	// checks one out for its lifetime, which is what keeps the
 	// fault-free hot path allocation-free without a per-call lock.
 	scratch sync.Pool
+	// Re-rooting tables (reroot.go), built lazily on the first
+	// NewSource probe of a faulted origin.
+	rerootOnce   sync.Once
+	bridgeBelow  []int32
+	totalBridges int32
 }
 
 // Option configures a Router.

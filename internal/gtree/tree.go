@@ -47,6 +47,8 @@ type Tree struct {
 	// without per-call Neighbors allocations.
 	childStart []int32
 	childList  []Node
+	// subSize[v] is the size of v's subtree under the rooting at 0.
+	subSize []int32
 
 	// trav pools the scratch used by the allocation-light walk
 	// algorithms (AppendPC composition inside AppendCT).
@@ -182,6 +184,32 @@ func (t *Tree) buildRooting() {
 		t.childList[t.childStart[p]+fill[p]] = Node(v)
 		fill[p]++
 	}
+	// Subtree sizes, accumulated leaves-first along the reversed BFS
+	// order (every vertex appears after its parent in queue).
+	t.subSize = make([]int32, n)
+	for i := range t.subSize {
+		t.subSize[i] = 1
+	}
+	for head := len(queue) - 1; head > 0; head-- {
+		v := queue[head]
+		t.subSize[t.parent[v]] += t.subSize[v]
+	}
+}
+
+// SubtreeSize returns the number of vertices in v's subtree under the
+// rooting at 0 (v included) — a table lookup, precomputed with the
+// rooting. SubtreeSize(0) is the whole tree.
+func (t *Tree) SubtreeSize(v Node) int { return int(t.subSize[v]) }
+
+// ComponentAcross returns the number of vertices on w's side when the
+// tree edge {v, w} is cut: w's subtree when w is v's child, everything
+// above otherwise. It is the coverage bound re-rooting onto w can
+// achieve after v dies in a single-frame cube, in O(1).
+func (t *Tree) ComponentAcross(v, w Node) int {
+	if Node(t.parent[w]) == v && w != 0 {
+		return int(t.subSize[w])
+	}
+	return t.Nodes() - int(t.subSize[v])
 }
 
 // Parent returns the parent of v in the tree rooted at 0, and false for

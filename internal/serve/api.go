@@ -126,8 +126,19 @@ type ShardSnapshot struct {
 	Errors       int64              `json:"errors"`
 	Outcomes     map[string]int64   `json:"outcomes"`
 	Queue        int                `json:"queue"`
+	Collectives  int64              `json:"collectives,omitempty"`
 	Latency      *metrics.Histogram `json:"latency_us"`
 	Hops         *metrics.Histogram `json:"hops"`
+}
+
+// CollectiveTotals is the collective slice of the metrics scrape: the
+// served request count and the per-destination outcome partition summed
+// over every successfully planned collective.
+type CollectiveTotals struct {
+	Served    int64 `json:"served"`
+	Delivered int64 `json:"delivered"`
+	Degraded  int64 `json:"degraded"`
+	Unreached int64 `json:"unreached"`
 }
 
 // MetricsSnapshot is the GET /metrics document: totals plus the
@@ -149,6 +160,10 @@ type MetricsSnapshot struct {
 	// their own.
 	FastPathHits int64 `json:"fast_path_hits"`
 	Coalesced    int64 `json:"coalesced"`
+
+	// Collectives aggregates broadcast/multicast serving (nil until the
+	// first collective is served).
+	Collectives *CollectiveTotals `json:"collectives,omitempty"`
 
 	Outcomes map[string]int64 `json:"outcomes"`
 	// Latency is the merged end-to-end service latency in microseconds
@@ -203,6 +218,7 @@ func (s *Server) Metrics() *MetricsSnapshot {
 			Errors:       sh.errored.Value(),
 			Outcomes:     make(map[string]int64),
 			Queue:        len(sh.ch),
+			Collectives:  sh.collectives.Value(),
 			Latency:      sh.latency.Snapshot(),
 			Hops:         sh.hops.Snapshot(),
 		}
@@ -215,6 +231,15 @@ func (s *Server) Metrics() *MetricsSnapshot {
 		m.Errors += ss.Errors
 		m.FastPathHits += ss.FastPathHits
 		m.Coalesced += ss.Coalesced
+		if ss.Collectives > 0 {
+			if m.Collectives == nil {
+				m.Collectives = &CollectiveTotals{}
+			}
+			m.Collectives.Served += ss.Collectives
+			m.Collectives.Delivered += sh.collDelivered.Value()
+			m.Collectives.Degraded += sh.collDegraded.Value()
+			m.Collectives.Unreached += sh.collUnreached.Value()
+		}
 		for k, v := range ss.Outcomes {
 			m.Outcomes[k] += v
 		}

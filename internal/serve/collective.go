@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gaussiancube/internal/core"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/trace"
+)
+
+// Collective serving: broadcast and multicast as first-class request
+// types riding the same sharded pipeline as unicast routes. A
+// collective is one queued task — it shares the shard's bounded queue
+// (so backpressure applies), is planned against the worker's epoch
+// snapshot (so a fault swap mid-flight is invisible), and is accounted
+// exactly once in the accepted == served conservation law. The
+// per-destination outcome ladder lives inside the CollectiveReport;
+// the response-level outcome the metrics tally is the summary rung.
+
+// CollectiveResponse is the served verdict for one broadcast or
+// multicast request.
+type CollectiveResponse struct {
+	// Report is the per-destination delivery plan (nil when Err is set).
+	Report *core.CollectiveReport
+	// Err is a request-level failure (out-of-range nodes). Delivery
+	// failures are per-destination outcomes inside Report.
+	Err error
+	// Epoch is the fault epoch the plan was computed against.
+	Epoch uint64
+	// Degraded marks a verdict served under a known-behind fault view
+	// (journal replay window, stale gossip frontier, cluster
+	// fallback); Reason says why. Delivered destinations are demoted
+	// to DeliveredDegraded when set.
+	Degraded bool
+	// Reason carries the degrade reason when Degraded is set.
+	Reason string
+}
+
+// CollectiveForwarder is the cluster hook SubmitBroadcast and
+// SubmitMulticast consult: when installed, the cluster node fans the
+// request out to the owners of the destination ending-class ranges and
+// merges the per-destination results. Installed by cluster.Node via
+// SetCollectiveForwarder.
+type CollectiveForwarder interface {
+	// ForwardCollective serves the collective cluster-wide. dests is
+	// nil for a broadcast; multicast distinguishes an explicit empty
+	// list. The returned response accounts every destination exactly
+	// once across the cluster.
+	ForwardCollective(ctx context.Context, origin gc.NodeID, dests []gc.NodeID, multicast bool) (*CollectiveResponse, error)
+}
+
+// collectiveForwarderBox wraps the interface for atomic storage.
+type collectiveForwarderBox struct{ f CollectiveForwarder }
+
+// SetCollectiveForwarder installs (or, with nil, removes) the cluster
+// collective fan-out hook. Safe to call while serving.
+func (s *Server) SetCollectiveForwarder(f CollectiveForwarder) {
+	if f == nil {
+		s.cfwd.Store(nil)
+		return
+	}
+	s.cfwd.Store(&collectiveForwarderBox{f: f})
+}
+
+// SubmitBroadcast serves one broadcast: a delivery plan reaching every
+// node of the cube from root, re-rooted when root is faulted. With a
+// cluster forwarder installed the request fans out to the owners of
+// the destination class ranges; SubmitBroadcastLocal pins it here.
+func (s *Server) SubmitBroadcast(ctx context.Context, root gc.NodeID) (*CollectiveResponse, error) {
+	if box := s.cfwd.Load(); box != nil && int(root) < s.cube.Nodes() {
+		return box.f.ForwardCollective(ctx, root, nil, false)
+	}
+	return s.SubmitBroadcastLocal(ctx, root)
+}
+
+// SubmitMulticast serves one multicast to an explicit destination
+// list, answered in request order (duplicates answered consistently).
+func (s *Server) SubmitMulticast(ctx context.Context, root gc.NodeID, dests []gc.NodeID) (*CollectiveResponse, error) {
+	if box := s.cfwd.Load(); box != nil && int(root) < s.cube.Nodes() {
+		return box.f.ForwardCollective(ctx, root, dests, true)
+	}
+	return s.SubmitMulticastLocal(ctx, root, dests)
+}
+
+// SubmitBroadcastLocal serves a broadcast on this instance regardless
+// of cluster ownership — the landing path for fanned-out subsets
+// (wire.RouteFlagNoForward).
+func (s *Server) SubmitBroadcastLocal(ctx context.Context, root gc.NodeID) (*CollectiveResponse, error) {
+	return s.submitCollectiveLocal(ctx, root, nil, false)
+}
+
+// SubmitMulticastLocal serves a multicast on this instance regardless
+// of cluster ownership.
+func (s *Server) SubmitMulticastLocal(ctx context.Context, root gc.NodeID, dests []gc.NodeID) (*CollectiveResponse, error) {
+	return s.submitCollectiveLocal(ctx, root, dests, true)
+}
+
+// submitCollectiveLocal queues one collective and applies the same
+// replay-window and stale-frontier degrade marking SubmitLocal gives
+// unicast responses.
+func (s *Server) submitCollectiveLocal(ctx context.Context, root gc.NodeID, dests []gc.NodeID, multicast bool) (*CollectiveResponse, error) {
+	resp, err := s.submitCollective(ctx, root, dests, multicast)
+	if resp != nil {
+		if s.Replaying() {
+			resp = degradeCollective(resp, "journal replay in progress; verdict from seed fault state")
+		} else if m := s.stale.Load(); m != nil {
+			if d, marked := degradeCollectiveIf(resp, m.reason); marked {
+				s.degradedStale.Inc()
+				resp = d
+			}
+		}
+	}
+	return resp, err
+}
+
+// submitCollective validates, queues, and waits. Out-of-range nodes
+// are submission errors (the HTTP 400 class), checked before anything
+// is enqueued so a bad request never costs a queue slot.
+func (s *Server) submitCollective(ctx context.Context, root gc.NodeID, dests []gc.NodeID, multicast bool) (*CollectiveResponse, error) {
+	if int(root) >= s.cube.Nodes() {
+		return nil, fmt.Errorf("serve: node out of range for GC(%d,2^%d)", s.cube.N(), s.cube.Alpha())
+	}
+	for _, d := range dests {
+		if int(d) >= s.cube.Nodes() {
+			return nil, fmt.Errorf("serve: destination %d out of range for GC(%d,2^%d)", d, s.cube.N(), s.cube.Alpha())
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if _, has := ctx.Deadline(); !has && s.cfg.DefaultDeadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		defer cancel()
+	}
+	t := &task{
+		ctx: ctx, src: root, enq: time.Now(),
+		dests: dests, multicast: multicast,
+		cresp: make(chan CollectiveResponse, 1),
+	}
+	sh := s.shardFor(root)
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case sh.ch <- t:
+		s.accepted.Inc()
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Inc()
+		return nil, ErrBackpressure
+	}
+	r := <-t.cresp
+	return &r, nil
+}
+
+// processCollective serves one queued collective on its shard worker.
+func (s *Server) processCollective(sh *shard, rs *shardRouters, t *task) {
+	if err := t.ctx.Err(); err != nil {
+		s.finishCollective(sh, t, CollectiveResponse{Report: s.canceledCollective(t), Epoch: rs.es.epoch})
+		return
+	}
+	n := sh.seq.Add(1)
+	r := rs.coll
+	if sh.ring != nil && s.cfg.TraceEvery > 0 && n%uint64(s.cfg.TraceEvery) == 0 {
+		sh.sampled.Inc()
+		sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(t.src), To: uint32(t.src), Arg: int32(n)})
+		r = rs.collTraced
+	}
+	var rep *core.CollectiveReport
+	var err error
+	if t.multicast {
+		rep, err = r.MulticastPlan(t.src, t.dests)
+	} else {
+		rep, err = r.BroadcastPlan(t.src)
+	}
+	if err != nil {
+		s.finishCollective(sh, t, CollectiveResponse{Err: err, Epoch: rs.es.epoch})
+		return
+	}
+	s.finishCollective(sh, t, CollectiveResponse{Report: rep, Epoch: rs.es.epoch})
+}
+
+// canceledCollective builds the all-canceled report for a collective
+// whose deadline died in the queue: every requested destination is
+// answered OutcomeCanceled — answered, counted, never dropped. The
+// canceled destinations tally as Unreached, keeping the partition law
+// (delivered + degraded + unreached == requested) intact.
+func (s *Server) canceledCollective(t *task) *core.CollectiveReport {
+	rep := &core.CollectiveReport{Origin: t.src, Root: t.src}
+	defer func() { rep.Unreached = len(rep.Dests) }()
+	if t.multicast {
+		rep.Dests = make([]core.DestStatus, len(t.dests))
+		for i, d := range t.dests {
+			rep.Dests[i] = core.DestStatus{Dest: d, Outcome: core.OutcomeCanceled, Hops: -1}
+		}
+	} else {
+		rep.Dests = make([]core.DestStatus, 0, s.cube.Nodes()-1)
+		for v := 0; v < s.cube.Nodes(); v++ {
+			if gc.NodeID(v) != t.src {
+				rep.Dests = append(rep.Dests, core.DestStatus{Dest: gc.NodeID(v), Outcome: core.OutcomeCanceled, Hops: -1})
+			}
+		}
+	}
+	return rep
+}
+
+// finishCollective records one served collective and answers it —
+// once through here per accepted collective, the same conservation
+// law finish enforces for unicast tasks.
+func (s *Server) finishCollective(sh *shard, t *task, r CollectiveResponse) {
+	sh.served.Inc()
+	sh.collectives.Inc()
+	sh.latency.Add(float64(time.Since(t.enq).Microseconds()))
+	if r.Err != nil {
+		sh.errored.Inc()
+	} else {
+		sh.outcomes[int(collectiveSummaryOutcome(r.Report))].Inc()
+		sh.collDelivered.Add(int64(r.Report.Delivered))
+		sh.collDegraded.Add(int64(r.Report.Degraded))
+		sh.collUnreached.Add(int64(r.Report.Unreached))
+	}
+	t.cresp <- r
+}
+
+// collectiveSummaryOutcome folds a per-destination ladder into the one
+// response-level rung the shard outcome counters tally.
+func collectiveSummaryOutcome(rep *core.CollectiveReport) core.Outcome {
+	switch {
+	case len(rep.Dests) > 0 && rep.Dests[0].Outcome == core.OutcomeCanceled:
+		return core.OutcomeCanceled
+	case rep.Delivered+rep.Degraded == 0:
+		return core.OutcomeUndeliverable
+	case rep.Degraded > 0 || rep.Unreached > 0 || rep.ReRooted:
+		return core.OutcomeDeliveredDegraded
+	default:
+		return core.OutcomeDelivered
+	}
+}
+
+// DegradeCollective marks a collective verdict served under a weaker
+// guarantee (cluster fallback, epoch skew): delivered destinations are
+// demoted to DeliveredDegraded and the response carries reason. The
+// exported twin of the stale-epoch marking, for cluster.Node.
+func DegradeCollective(r *CollectiveResponse, reason string) *CollectiveResponse {
+	return degradeCollective(r, reason)
+}
+
+// degradeCollective returns r with every delivered destination demoted
+// to DeliveredDegraded and the response marked, preserving per-
+// destination conservation (the counts move between rungs, their sum
+// is untouched).
+func degradeCollective(r *CollectiveResponse, reason string) *CollectiveResponse {
+	out, _ := degradeCollectiveIf(r, reason)
+	return out
+}
+
+// degradeCollectiveIf is degradeCollective reporting whether a marked
+// copy was made (nothing to demote leaves r untouched).
+func degradeCollectiveIf(r *CollectiveResponse, reason string) (*CollectiveResponse, bool) {
+	if r.Err != nil || r.Report == nil || r.Degraded {
+		return r, false
+	}
+	rep := *r.Report
+	if rep.Delivered > 0 {
+		rep.Dests = append([]core.DestStatus(nil), rep.Dests...)
+		for i := range rep.Dests {
+			if rep.Dests[i].Outcome == core.OutcomeDelivered {
+				rep.Dests[i].Outcome = core.OutcomeDeliveredDegraded
+			}
+		}
+		rep.Degraded += rep.Delivered
+		rep.Delivered = 0
+	}
+	cp := *r
+	cp.Report = &rep
+	cp.Degraded = true
+	cp.Reason = reason
+	return &cp, true
+}
+
+// ---------------------------------------------------------------------
+// JSON surface (the /broadcast and /multicast documents).
+
+// CollectiveRequest is the body of POST /broadcast and POST /multicast
+// (the latter requires Dests).
+type CollectiveRequest struct {
+	Root gc.NodeID `json:"root"`
+	// Dests is the multicast destination list (ignored by /broadcast).
+	Dests []gc.NodeID `json:"dests,omitempty"`
+	// DeadlineMS optionally bounds this request in milliseconds.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// DestOutcome is one destination's slice of a collective reply.
+type DestOutcome struct {
+	Dest    gc.NodeID `json:"dest"`
+	Outcome string    `json:"outcome"`
+	Hops    int       `json:"hops"`
+}
+
+// CollectiveReply is the JSON verdict for one collective request. The
+// three counters always sum to len(Dests) — per-destination
+// conservation, checkable from the document alone.
+type CollectiveReply struct {
+	Origin gc.NodeID `json:"origin"`
+	// Root is the effective source: Origin, unless re-rooting moved
+	// the injection point.
+	Root     gc.NodeID `json:"root"`
+	ReRooted bool      `json:"re_rooted,omitempty"`
+	// Degraded marks a verdict served under a known-behind fault view;
+	// Reason says why.
+	Degraded  bool          `json:"degraded,omitempty"`
+	Reason    string        `json:"reason,omitempty"`
+	Epoch     uint64        `json:"epoch"`
+	Delivered int           `json:"delivered"`
+	DegradedN int           `json:"degraded_dests"`
+	Unreached int           `json:"unreached"`
+	Dests     []DestOutcome `json:"dests"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// BuildCollectiveReply flattens a served CollectiveResponse onto the
+// JSON wire.
+func BuildCollectiveReply(origin gc.NodeID, r *CollectiveResponse) CollectiveReply {
+	out := CollectiveReply{Origin: origin, Root: origin, Epoch: r.Epoch, Degraded: r.Degraded, Reason: r.Reason}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+		return out
+	}
+	rep := r.Report
+	out.Root = rep.Root
+	out.ReRooted = rep.ReRooted
+	out.Delivered = rep.Delivered
+	out.DegradedN = rep.Degraded
+	out.Unreached = rep.Unreached
+	out.Dests = make([]DestOutcome, len(rep.Dests))
+	for i, st := range rep.Dests {
+		out.Dests[i] = DestOutcome{Dest: st.Dest, Outcome: st.Outcome.String(), Hops: int(st.Hops)}
+	}
+	return out
+}

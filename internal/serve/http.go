@@ -49,6 +49,22 @@ func NewHandler(s *Server) http.Handler {
 		}
 		handleRoute(s, w, r, req)
 	})
+	mux.HandleFunc("POST /broadcast", func(w http.ResponseWriter, r *http.Request) {
+		var req CollectiveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		handleCollective(s, w, r, req, false)
+	})
+	mux.HandleFunc("POST /multicast", func(w http.ResponseWriter, r *http.Request) {
+		var req CollectiveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		handleCollective(s, w, r, req, true)
+	})
 	mux.HandleFunc("GET /faults", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, FaultsResponse{Epoch: s.Epoch(), Faults: s.FaultSet().Count()})
 	})
@@ -183,6 +199,44 @@ func handleRoute(s *Server, w http.ResponseWriter, r *http.Request, req RouteReq
 		return
 	}
 	writeJSON(w, http.StatusOK, buildRouteResponse(req.Src, req.Dst, resp))
+}
+
+// handleCollective serves POST /broadcast and POST /multicast with the
+// same submission-error status mapping as /route. Delivery outcomes —
+// including partially unreached collectives — are 200s: the verdict is
+// the per-destination ladder in the body.
+func handleCollective(s *Server, w http.ResponseWriter, r *http.Request, req CollectiveRequest, multicast bool) {
+	ctx := r.Context()
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	var resp *CollectiveResponse
+	var err error
+	if multicast {
+		resp, err = s.SubmitMulticast(ctx, req.Root, req.Dests)
+	} else {
+		resp, err = s.SubmitBroadcast(ctx, req.Root)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBackpressure):
+		w.Header().Set("Retry-After", strconv.Itoa(int(RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	status := http.StatusOK
+	if resp.Err != nil {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, BuildCollectiveReply(req.Root, resp))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

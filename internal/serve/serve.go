@@ -153,12 +153,19 @@ type Response struct {
 	CacheHit bool
 }
 
-// task is one queued request.
+// task is one queued request. A task with cresp non-nil is a
+// collective (src is the root; dests is the multicast list, nil with
+// multicast unset for a broadcast) and is answered on cresp; otherwise
+// it is a unicast route answered on resp.
 type task struct {
 	ctx      context.Context
 	src, dst gc.NodeID
 	enq      time.Time
 	resp     chan Response
+
+	dests     []gc.NodeID
+	multicast bool
+	cresp     chan CollectiveResponse
 }
 
 // epochState is the immutable fault state of one epoch, shared by all
@@ -176,6 +183,11 @@ type shardRouters struct {
 	es     *epochState
 	plain  core.Routing // the serving router
 	traced core.Routing // twin with the shard ring attached
+	// coll is the collective planner — always a whole-plan *core.Router
+	// even in adaptive mode, because a broadcast tree is inherently a
+	// global plan. In planner mode it aliases plain.
+	coll       *core.Router
+	collTraced *core.Router
 }
 
 // shard is one worker's private world.
@@ -202,6 +214,14 @@ type shard struct {
 	errored     metrics.Counter
 	// outcomes tallies ladder rungs; index core.Outcome.
 	outcomes [int(core.OutcomeCanceled) + 1]metrics.Counter
+
+	// Collective tallies: requests served, and their per-destination
+	// outcome partition (delivered + degraded + unreached sums to the
+	// destinations of every successfully planned collective).
+	collectives   metrics.Counter
+	collDelivered metrics.Counter
+	collDegraded  metrics.Counter
+	collUnreached metrics.Counter
 }
 
 // coalesceKey identifies one logical in-flight plan. The epoch
@@ -272,6 +292,7 @@ type Server struct {
 	// frontier; clusterFn provides the /metrics cluster section;
 	// degradedStale tallies responses stale-marked.
 	fwd           atomic.Pointer[forwarderBox]
+	cfwd          atomic.Pointer[collectiveForwarderBox]
 	stale         atomic.Pointer[staleMark]
 	clusterFn     atomic.Pointer[func() *ClusterSnapshot]
 	degradedStale metrics.Counter
@@ -378,11 +399,35 @@ func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
 		}
 		return core.NewRouter(s.cube, opts...)
 	}
+	buildColl := func(t trace.Tracer) *core.Router {
+		opts := []core.Option{core.WithSubstrate(s.cfg.Substrate)}
+		if fs != nil {
+			opts = append(opts, core.WithFaults(fs))
+		}
+		if s.cfg.Repair && fs != nil {
+			opts = append(opts, core.WithRepair(es.health))
+		}
+		if t != nil {
+			opts = append(opts, core.WithTracer(t))
+		}
+		return core.NewRouter(s.cube, opts...)
+	}
 	rs := &shardRouters{es: es, plain: build(nil)}
+	if r, ok := rs.plain.(*core.Router); ok {
+		rs.coll = r
+	} else {
+		rs.coll = buildColl(nil)
+	}
 	if sh.ring != nil {
 		rs.traced = build(sh.ring)
+		if r, ok := rs.traced.(*core.Router); ok {
+			rs.collTraced = r
+		} else {
+			rs.collTraced = buildColl(sh.ring)
+		}
 	} else {
 		rs.traced = rs.plain
+		rs.collTraced = rs.coll
 	}
 	return rs
 }
@@ -694,6 +739,10 @@ var testHookProcess func()
 func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 	if testHookProcess != nil {
 		testHookProcess()
+	}
+	if t.cresp != nil {
+		s.processCollective(sh, rs, t)
+		return
 	}
 	if err := t.ctx.Err(); err != nil {
 		// Deadline died in the queue: still answered, still counted.

@@ -178,6 +178,23 @@ read:
 				break
 			}
 			ws.routeMiss(wc, h.ID, req)
+		case wire.TypeBroadcastReq:
+			var breq wire.BroadcastReq
+			if err := wire.DecodeBroadcastReq(payload, &breq); err != nil {
+				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
+				break
+			}
+			ws.collectiveMiss(wc, h.ID, breq.Root, nil, false, breq.DeadlineMS, breq.Flags)
+		case wire.TypeMulticastReq:
+			var mreq wire.MulticastReq
+			if err := wire.DecodeMulticastReq(payload, &mreq); err != nil {
+				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
+				break
+			}
+			// The decoded list aliases the reused payload buffer; the miss
+			// goroutine outlives this read loop iteration, so copy.
+			dests := append([]gc.NodeID(nil), mreq.Dests...)
+			ws.collectiveMiss(wc, h.ID, mreq.Root, dests, true, mreq.DeadlineMS, mreq.Flags)
 		case wire.TypeFaultsReq:
 			if err := wire.DecodeFaultsReq(payload, &ops); err != nil {
 				wbuf = wire.AppendError(wbuf, h.ID, wire.CodeBadRequest, err.Error())
@@ -287,6 +304,81 @@ func (ws *WireServer) routeMiss(wc *wireConn, id uint64, req wire.RouteReq) {
 		_, _ = wc.c.Write(out)
 		wc.wmu.Unlock()
 	}()
+}
+
+// collectiveMiss serves a broadcast/multicast request off the reader
+// goroutine — a collective is always a whole-plan computation, never a
+// cache hit — and writes its own CollectiveResult frame. NoForward pins
+// the request to this instance, exactly as for unicast misses.
+func (ws *WireServer) collectiveMiss(wc *wireConn, id uint64, root gc.NodeID, dests []gc.NodeID, multicast bool, deadlineMS uint32, flags uint8) {
+	wc.inflight.Add(1)
+	go func() {
+		defer wc.inflight.Done()
+		ctx := context.Background()
+		if deadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS)*time.Millisecond)
+			defer cancel()
+		}
+		var resp *CollectiveResponse
+		var err error
+		switch {
+		case flags&wire.RouteFlagNoForward != 0 && multicast:
+			resp, err = ws.srv.SubmitMulticastLocal(ctx, root, dests)
+		case flags&wire.RouteFlagNoForward != 0:
+			resp, err = ws.srv.SubmitBroadcastLocal(ctx, root)
+		case multicast:
+			resp, err = ws.srv.SubmitMulticast(ctx, root, dests)
+		default:
+			resp, err = ws.srv.SubmitBroadcast(ctx, root)
+		}
+		var out []byte
+		switch {
+		case errors.Is(err, ErrBackpressure):
+			out = wire.AppendError(nil, id, wire.CodeBackpressure, err.Error())
+		case errors.Is(err, ErrDraining):
+			out = wire.AppendError(nil, id, wire.CodeDraining, err.Error())
+		case err != nil:
+			out = wire.AppendError(nil, id, wire.CodeBadRequest, err.Error())
+		case resp.Err != nil:
+			out = wire.AppendError(nil, id, wire.CodeBadRequest, resp.Err.Error())
+		default:
+			res := collectiveWireResult(resp)
+			out = wire.AppendCollectiveResult(nil, id, &res)
+		}
+		wc.wmu.Lock()
+		_, _ = wc.c.Write(out)
+		wc.wmu.Unlock()
+	}()
+}
+
+// collectiveWireResult flattens a served collective onto the binary
+// frame, clamping hop counts into the record's i16.
+func collectiveWireResult(resp *CollectiveResponse) wire.CollectiveResult {
+	rep := resp.Report
+	res := wire.CollectiveResult{
+		Root:      rep.Root,
+		Origin:    rep.Origin,
+		Delivered: uint32(rep.Delivered),
+		Degraded:  uint32(rep.Degraded),
+		Unreached: uint32(rep.Unreached),
+		Epoch:     resp.Epoch,
+		Dests:     make([]wire.DestRecord, len(rep.Dests)),
+	}
+	if rep.ReRooted {
+		res.Flags |= wire.CollectiveFlagReRooted
+	}
+	if resp.Degraded {
+		res.Flags |= wire.CollectiveFlagDegradedEpoch
+	}
+	for i, st := range rep.Dests {
+		hops := st.Hops
+		if hops > 32767 {
+			hops = 32767
+		}
+		res.Dests[i] = wire.DestRecord{Dest: st.Dest, Outcome: uint8(st.Outcome), Hops: int16(hops)}
+	}
+	return res
 }
 
 // applyFaults translates a binary mutation batch onto ApplyFaults and

@@ -459,6 +459,105 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 	return nil
 }
 
+// BroadcastRaw serves one broadcast into a caller-reused result (its
+// Dests capacity is recycled). flags carries wire.RouteFlagNoForward to
+// pin the request to the receiving instance — the cluster fan-out's hop
+// primitive. A server error frame surfaces as *WireStatusError.
+func (w *WireClient) BroadcastRaw(root gc.NodeID, deadlineMS uint32, flags uint8, into *wire.CollectiveResult) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return err
+	}
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendBroadcastReq(w.wbuf[:0], id, wire.BroadcastReq{Root: root, DeadlineMS: deadlineMS, Flags: flags})
+	return w.readCollective(id, into)
+}
+
+// MulticastRaw serves one multicast into a caller-reused result; the
+// reply's records answer dests in request order.
+func (w *WireClient) MulticastRaw(root gc.NodeID, dests []gc.NodeID, deadlineMS uint32, flags uint8, into *wire.CollectiveResult) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.begin(); err != nil {
+		return err
+	}
+	id := w.nextID
+	w.nextID++
+	w.wbuf = wire.AppendMulticastReq(w.wbuf[:0], id, &wire.MulticastReq{Root: root, DeadlineMS: deadlineMS, Flags: flags, Dests: dests})
+	return w.readCollective(id, into)
+}
+
+// readCollective writes the prepared frame and decodes the correlated
+// CollectiveResult reply. Caller holds mu with w.wbuf loaded.
+func (w *WireClient) readCollective(id uint64, into *wire.CollectiveResult) error {
+	if _, err := w.c.Write(w.wbuf); err != nil {
+		return w.fail(err)
+	}
+	h, p, err := w.readFrame()
+	if err != nil {
+		return w.fail(err)
+	}
+	if h.ID != id {
+		return w.fail(fmt.Errorf("response id %d for request %d", h.ID, id))
+	}
+	switch h.Type {
+	case wire.TypeError:
+		var ef wire.ErrorFrame
+		if err := wire.DecodeError(p, &ef); err != nil {
+			return w.fail(err)
+		}
+		return &WireStatusError{Code: ef.Code, Msg: string(ef.Msg)}
+	case wire.TypeCollectiveResult:
+		if err := wire.DecodeCollectiveResult(p, into); err != nil {
+			return w.fail(err)
+		}
+		return nil
+	default:
+		return w.fail(fmt.Errorf("unexpected reply type %d", h.Type))
+	}
+}
+
+// Broadcast serves one broadcast and returns the JSON-shaped verdict,
+// exactly like the HTTP client's Broadcast.
+func (w *WireClient) Broadcast(root gc.NodeID) (*CollectiveReply, error) {
+	var res wire.CollectiveResult
+	if err := w.BroadcastRaw(root, 0, 0, &res); err != nil {
+		return nil, err
+	}
+	return collectiveReplyFromWire(&res), nil
+}
+
+// Multicast serves one multicast and returns the JSON-shaped verdict.
+func (w *WireClient) Multicast(root gc.NodeID, dests []gc.NodeID) (*CollectiveReply, error) {
+	var res wire.CollectiveResult
+	if err := w.MulticastRaw(root, dests, 0, 0, &res); err != nil {
+		return nil, err
+	}
+	return collectiveReplyFromWire(&res), nil
+}
+
+// collectiveReplyFromWire lifts a binary result into the JSON document
+// shape shared with the HTTP surface.
+func collectiveReplyFromWire(res *wire.CollectiveResult) *CollectiveReply {
+	out := &CollectiveReply{
+		Origin:    res.Origin,
+		Root:      res.Root,
+		ReRooted:  res.Flags&wire.CollectiveFlagReRooted != 0,
+		Degraded:  res.Flags&wire.CollectiveFlagDegradedEpoch != 0,
+		Epoch:     res.Epoch,
+		Delivered: int(res.Delivered),
+		DegradedN: int(res.Degraded),
+		Unreached: int(res.Unreached),
+		Dests:     make([]DestOutcome, len(res.Dests)),
+	}
+	for i, d := range res.Dests {
+		out.Dests[i] = DestOutcome{Dest: d.Dest, Outcome: core.Outcome(d.Outcome).String(), Hops: int(d.Hops)}
+	}
+	return out
+}
+
 // ApplyFaults applies a mutation batch atomically, exactly like the
 // HTTP client's ApplyFaults. Op/Kind strings are the JSON verbs.
 func (w *WireClient) ApplyFaults(ops []FaultOp) (*FaultsResponse, error) {

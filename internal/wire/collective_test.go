@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gaussiancube/internal/gc"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden frame bytes")
+
+func TestBroadcastReqRoundTrip(t *testing.T) {
+	in := BroadcastReq{Root: 42, DeadlineMS: 1500, Flags: RouteFlagNoForward}
+	frame := AppendBroadcastReq(nil, 77, in)
+	h, err := ParseHeader(frame)
+	if err != nil || h.Type != TypeBroadcastReq || h.ID != 77 || int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	var out BroadcastReq
+	if err := DecodeBroadcastReq(frame[HeaderSize:], &out); err != nil || out != in {
+		t.Fatalf("round trip %+v != %+v (%v)", out, in, err)
+	}
+	if err := DecodeBroadcastReq(frame[HeaderSize:HeaderSize+5], &out); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestMulticastReqRoundTrip(t *testing.T) {
+	in := MulticastReq{Root: 3, DeadlineMS: 250, Flags: 0, Dests: []gc.NodeID{9, 1, 9, 500}}
+	frame := AppendMulticastReq(nil, 8, &in)
+	h, err := ParseHeader(frame)
+	if err != nil || h.Type != TypeMulticastReq || int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	var out MulticastReq
+	if err := DecodeMulticastReq(frame[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Root != in.Root || out.DeadlineMS != in.DeadlineMS || out.Flags != in.Flags ||
+		len(out.Dests) != len(in.Dests) {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	for i := range in.Dests {
+		if out.Dests[i] != in.Dests[i] {
+			t.Fatalf("dest %d: %d != %d", i, out.Dests[i], in.Dests[i])
+		}
+	}
+	// Empty destination list is a valid frame.
+	frame = AppendMulticastReq(frame[:0], 9, &MulticastReq{Root: 1})
+	if err := DecodeMulticastReq(frame[HeaderSize:], &out); err != nil || len(out.Dests) != 0 {
+		t.Fatalf("empty multicast: %v, %d dests", err, len(out.Dests))
+	}
+	// A count that disagrees with the payload length must be rejected.
+	bad := AppendMulticastReq(nil, 1, &in)[HeaderSize:]
+	bad[12]++ // bump count without bytes
+	if err := DecodeMulticastReq(bad, &out); err == nil {
+		t.Fatal("inconsistent count accepted")
+	}
+}
+
+func TestCollectiveResultRoundTrip(t *testing.T) {
+	in := CollectiveResult{
+		Flags:     CollectiveFlagReRooted,
+		Root:      7,
+		Origin:    3,
+		Delivered: 2,
+		Degraded:  1,
+		Unreached: 1,
+		Epoch:     99,
+		Dests: []DestRecord{
+			{Dest: 1, Outcome: 1, Hops: 2},
+			{Dest: 2, Outcome: 2, Hops: 5},
+			{Dest: 4, Outcome: 1, Hops: 1},
+			{Dest: 6, Outcome: 4, Hops: -1},
+		},
+	}
+	frame := AppendCollectiveResult(nil, 5, &in)
+	h, err := ParseHeader(frame)
+	if err != nil || h.Type != TypeCollectiveResult || int(h.Len) != len(frame)-HeaderSize {
+		t.Fatalf("header %+v err %v", h, err)
+	}
+	out := CollectiveResult{Dests: make([]DestRecord, 0, 8)}
+	if err := DecodeCollectiveResult(frame[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != in.Flags || out.Root != in.Root || out.Origin != in.Origin ||
+		out.Delivered != in.Delivered || out.Degraded != in.Degraded ||
+		out.Unreached != in.Unreached || out.Epoch != in.Epoch || len(out.Dests) != len(in.Dests) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", out, in)
+	}
+	for i := range in.Dests {
+		if out.Dests[i] != in.Dests[i] {
+			t.Fatalf("record %d: %+v != %+v", i, out.Dests[i], in.Dests[i])
+		}
+	}
+	// Negative hops survive the i16 crossing.
+	if out.Dests[3].Hops != -1 {
+		t.Fatalf("hops -1 decoded as %d", out.Dests[3].Hops)
+	}
+	// Truncated record tail must be rejected.
+	if err := DecodeCollectiveResult(frame[HeaderSize:len(frame)-3], &out); err == nil {
+		t.Fatal("truncated records accepted")
+	}
+}
+
+// TestCollectiveGoldenFrames pins the golden-v1 byte layout of all
+// three collective frames, then parses the pinned bytes back and
+// replays the result's conservation invariant — a frozen on-disk
+// corpus a future protocol revision must still decode.
+func TestCollectiveGoldenFrames(t *testing.T) {
+	frames := [][]byte{
+		AppendBroadcastReq(nil, 0x1122334455667788, BroadcastReq{Root: 5, DeadlineMS: 2000, Flags: RouteFlagNoForward}),
+		AppendMulticastReq(nil, 0xdeadbeef, &MulticastReq{Root: 0, DeadlineMS: 0, Dests: []gc.NodeID{7, 3, 12}}),
+		AppendCollectiveResult(nil, 0xdeadbeef, &CollectiveResult{
+			Flags: CollectiveFlagReRooted, Root: 9, Origin: 0, Delivered: 0, Degraded: 2, Unreached: 1, Epoch: 4,
+			Dests: []DestRecord{{Dest: 7, Outcome: 2, Hops: 3}, {Dest: 3, Outcome: 2, Hops: 1}, {Dest: 12, Outcome: 4, Hops: -1}},
+		}),
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		buf.WriteString(hex.EncodeToString(f))
+		buf.WriteByte('\n')
+	}
+	path := filepath.Join("testdata", "collective_frames_v1.hex")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to write)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("golden frame bytes changed:\n got %s\nwant %s", buf.Bytes(), want)
+	}
+
+	// Parse-and-replay: the pinned result frame must decode and carry
+	// its own conservation proof.
+	lines := bytes.Split(bytes.TrimSpace(want), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("golden corpus has %d frames", len(lines))
+	}
+	raw, err := hex.DecodeString(string(lines[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(raw)
+	if err != nil || h.Type != TypeCollectiveResult {
+		t.Fatalf("golden result header %+v err %v", h, err)
+	}
+	var res CollectiveResult
+	if err := DecodeCollectiveResult(raw[HeaderSize:], &res); err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Delivered+res.Degraded+res.Unreached) != len(res.Dests) {
+		t.Fatalf("golden result violates conservation: %d+%d+%d != %d",
+			res.Delivered, res.Degraded, res.Unreached, len(res.Dests))
+	}
+	if res.Flags&CollectiveFlagReRooted == 0 || res.Root != 9 {
+		t.Fatalf("golden result lost re-rooting: %+v", res)
+	}
+}

@@ -128,6 +128,53 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			sresp.Batches = append(sresp.Batches, b)
 		}
+		// Collective frames.
+		breq := BroadcastReq{Root: gc.NodeID(u32()), DeadlineMS: u32(), Flags: next(1)[0]}
+		frame = AppendBroadcastReq(frame[:0], id, breq)
+		var breqOut BroadcastReq
+		if err := DecodeBroadcastReq(frame[HeaderSize:], &breqOut); err != nil || breqOut != breq {
+			t.Fatalf("broadcast req round trip %+v != %+v (%v)", breqOut, breq, err)
+		}
+		mreq := MulticastReq{Root: gc.NodeID(u32()), DeadlineMS: u32(), Flags: next(1)[0]}
+		for i := int(u16() % 128); i > 0; i-- {
+			mreq.Dests = append(mreq.Dests, gc.NodeID(u32()))
+		}
+		frame = AppendMulticastReq(frame[:0], id, &mreq)
+		var mreqOut MulticastReq
+		if err := DecodeMulticastReq(frame[HeaderSize:], &mreqOut); err != nil || len(mreqOut.Dests) != len(mreq.Dests) {
+			t.Fatalf("multicast req round trip: %v (%d dests)", err, len(mreqOut.Dests))
+		}
+		for i := range mreq.Dests {
+			if mreqOut.Dests[i] != mreq.Dests[i] {
+				t.Fatalf("multicast dest %d: %d != %d", i, mreqOut.Dests[i], mreq.Dests[i])
+			}
+		}
+		cres := CollectiveResult{
+			Flags: next(1)[0], Root: gc.NodeID(u32()), Origin: gc.NodeID(u32()),
+			Delivered: u32(), Degraded: u32(), Unreached: u32(), Epoch: u64(),
+		}
+		for i := int(u16() % 128); i > 0; i-- {
+			cres.Dests = append(cres.Dests, DestRecord{
+				Dest: gc.NodeID(u32()), Outcome: next(1)[0], Hops: int16(u16()),
+			})
+		}
+		frame = AppendCollectiveResult(frame[:0], id, &cres)
+		var cresOut CollectiveResult
+		if err := DecodeCollectiveResult(frame[HeaderSize:], &cresOut); err != nil {
+			t.Fatalf("collective result decode: %v", err)
+		}
+		if cresOut.Flags != cres.Flags || cresOut.Root != cres.Root || cresOut.Origin != cres.Origin ||
+			cresOut.Delivered != cres.Delivered || cresOut.Degraded != cres.Degraded ||
+			cresOut.Unreached != cres.Unreached || cresOut.Epoch != cres.Epoch ||
+			len(cresOut.Dests) != len(cres.Dests) {
+			t.Fatalf("collective result round trip diverged:\n%+v\n%+v", cresOut, cres)
+		}
+		for i := range cres.Dests {
+			if cresOut.Dests[i] != cres.Dests[i] {
+				t.Fatalf("record %d: %+v != %+v", i, cresOut.Dests[i], cres.Dests[i])
+			}
+		}
+
 		frame = AppendEpochSyncResp(frame[:0], id, &sresp)
 		var srespOut EpochSyncResp
 		if err := DecodeEpochSyncResp(frame[HeaderSize:], &srespOut); err != nil {
@@ -162,6 +209,11 @@ func FuzzDecodeNoPanic(f *testing.F) {
 	f.Add(AppendEpochSyncResp(nil, 4, &EpochSyncResp{Epoch: 2, FP: 3, Batches: []SyncBatch{
 		{Epoch: 1, FP: 9, Events: []SyncEvent{{Time: 1, Op: OpInject, Kind: KindNode, Node: 5}}},
 	}}))
+	f.Add(AppendBroadcastReq(nil, 5, BroadcastReq{Root: 2, DeadlineMS: 100}))
+	f.Add(AppendMulticastReq(nil, 6, &MulticastReq{Root: 1, Dests: []gc.NodeID{2, 3}}))
+	f.Add(AppendCollectiveResult(nil, 7, &CollectiveResult{
+		Root: 1, Delivered: 1, Dests: []DestRecord{{Dest: 2, Outcome: 1, Hops: 1}},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if h, err := ParseHeader(data); err == nil {
 			_ = h
@@ -182,6 +234,12 @@ func FuzzDecodeNoPanic(f *testing.F) {
 				_ = DecodeEpochSyncReq(payload, &sr)
 				var sresp EpochSyncResp
 				_ = DecodeEpochSyncResp(payload, &sresp)
+				var br BroadcastReq
+				_ = DecodeBroadcastReq(payload, &br)
+				var mr MulticastReq
+				_ = DecodeMulticastReq(payload, &mr)
+				var cr CollectiveResult
+				_ = DecodeCollectiveResult(payload, &cr)
 			}
 		}
 	})

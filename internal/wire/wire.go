@@ -80,8 +80,17 @@ const (
 	// responder's frontier and the batch suffix (or a snapshot) that
 	// carries the requester up to it (EpochSyncResp payload).
 	TypeEpochSyncResp
+	// TypeBroadcastReq asks for a broadcast to every node
+	// (BroadcastReq payload).
+	TypeBroadcastReq
+	// TypeMulticastReq asks for a multicast to an explicit destination
+	// list (MulticastReq payload).
+	TypeMulticastReq
+	// TypeCollectiveResult answers a broadcast or multicast request
+	// with per-destination outcomes (CollectiveResult payload).
+	TypeCollectiveResult
 
-	maxType = TypeEpochSyncResp
+	maxType = TypeCollectiveResult
 )
 
 // Error codes carried by TypeError frames. The values mirror the HTTP

@@ -95,6 +95,29 @@ func (c *Client) Route(ctx context.Context, src, dst NodeID) (*RouteResponse, er
 	return &out, nil
 }
 
+// Broadcast plans a one-to-all broadcast rooted at root. A faulty
+// root re-roots via the closed-form NewSource rule; the reply carries
+// one per-destination verdict for every node but the root.
+func (c *Client) Broadcast(ctx context.Context, root NodeID) (*CollectiveReply, error) {
+	var out CollectiveReply
+	err := c.do(ctx, http.MethodPost, "/broadcast", CollectiveRequest{Root: root}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Multicast plans a one-to-many multicast from root to dests; verdicts
+// come back in request order (duplicates answered consistently).
+func (c *Client) Multicast(ctx context.Context, root NodeID, dests []NodeID) (*CollectiveReply, error) {
+	var out CollectiveReply
+	err := c.do(ctx, http.MethodPost, "/multicast", CollectiveRequest{Root: root, Dests: dests}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // ApplyFaults applies a batch of fault mutations atomically and
 // returns the new epoch.
 func (c *Client) ApplyFaults(ctx context.Context, ops []FaultOp) (*FaultsResponse, error) {

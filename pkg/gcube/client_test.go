@@ -138,3 +138,83 @@ func TestWireClientRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestClientCollectives drives the facade's broadcast/multicast
+// methods over both transports: HTTP/JSON round trip, re-rooting on a
+// faulted root, and the binary wire twin — the conservation law
+// checked at the public boundary.
+func TestClientCollectives(t *testing.T) {
+	cube := gcube.NewCube(6, 2)
+	srv, err := gcube.NewServer(gcube.ServerConfig{Cube: cube, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gcube.NewHTTPHandler(srv))
+	defer ts.Close()
+	cl := gcube.NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	br, err := cl.Broadcast(ctx, 5)
+	if err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if br.Delivered != cube.Nodes()-1 || br.ReRooted || br.Root != 5 {
+		t.Fatalf("fault-free broadcast: %+v", br)
+	}
+	if br.Delivered+br.DegradedN+br.Unreached != len(br.Dests) {
+		t.Fatalf("conservation broken: %+v", br)
+	}
+
+	mr, err := cl.Multicast(ctx, 0, []gcube.NodeID{9, 9, 41})
+	if err != nil {
+		t.Fatalf("multicast: %v", err)
+	}
+	if len(mr.Dests) != 3 || mr.Dests[0].Dest != 9 || mr.Dests[1].Dest != 9 || mr.Dests[2].Dest != 41 {
+		t.Fatalf("multicast order: %+v", mr.Dests)
+	}
+
+	// Fault the root: the next broadcast must re-root away from it.
+	if _, err := cl.ApplyFaults(ctx, []gcube.FaultOp{
+		{Op: gcube.OpInject, Kind: gcube.KindNode, Node: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := cl.Broadcast(ctx, 5)
+	if err != nil {
+		t.Fatalf("re-rooted broadcast: %v", err)
+	}
+	if !rr.ReRooted || rr.Root == 5 || rr.Delivered != 0 {
+		t.Fatalf("re-rooting: %+v", rr)
+	}
+
+	// Same verbs over the binary wire.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := gcube.NewWireServer(srv, ln)
+	go ws.Serve()
+	defer ws.Close()
+	wc, err := gcube.DialWire(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	wbr, err := wc.Broadcast(5)
+	if err != nil {
+		t.Fatalf("wire broadcast: %v", err)
+	}
+	if !wbr.ReRooted || wbr.Delivered+wbr.DegradedN+wbr.Unreached != len(wbr.Dests) {
+		t.Fatalf("wire broadcast: %+v", wbr)
+	}
+	wmr, err := wc.Multicast(0, []gcube.NodeID{9, 41})
+	if err != nil || len(wmr.Dests) != 2 {
+		t.Fatalf("wire multicast: %+v, %v", wmr, err)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -157,6 +157,32 @@ type (
 	MetricsSnapshot = serve.MetricsSnapshot
 )
 
+// Collectives: one-to-all broadcast and one-to-many multicast planned
+// on the Gaussian tree, with closed-form re-rooting when the origin is
+// faulty (DESIGN.md §14). Server.SubmitBroadcast/SubmitMulticast serve
+// them through the same sharded queues as unicast; the per-destination
+// verdicts ride the same Outcome ladder.
+type (
+	// CollectiveReport is the planner's verdict: effective root,
+	// re-rooting flag, and one DestStatus per destination with the
+	// delivered + degraded + unreached == destinations conservation law.
+	CollectiveReport = core.CollectiveReport
+	// DestStatus is one destination's outcome and tree depth (hops).
+	DestStatus = core.DestStatus
+	// BroadcastTree is the delivery tree a collective plan realizes.
+	BroadcastTree = core.BroadcastTree
+	// CollectiveResponse is the served envelope: report, epoch, and the
+	// degraded-view marking.
+	CollectiveResponse = serve.CollectiveResponse
+	// CollectiveRequest is the HTTP/JSON request of POST /broadcast and
+	// POST /multicast (Dests empty for broadcast).
+	CollectiveRequest = serve.CollectiveRequest
+	// CollectiveReply is the HTTP/JSON reply envelope.
+	CollectiveReply = serve.CollectiveReply
+	// CollectiveTotals is the collectives section of MetricsSnapshot.
+	CollectiveTotals = serve.CollectiveTotals
+)
+
 // Durability: the append-only fault journal of internal/journal,
 // attached via ServerConfig.Journal. Every ApplyFaults batch is made
 // durable (checksummed, hash-chained, fsynced) before it is
