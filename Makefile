@@ -23,13 +23,14 @@ bench:
 # BENCH_OUT names the output document; committed snapshots are
 # BENCH_<pr>.json and are never removed by `make clean`.
 BENCHTIME ?= 1s
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 bench-json:
 	$(GO) test -run XXX -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 fuzz:
 	$(GO) test -fuzz=FuzzRoute$$ -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzRouteAgainstOracle -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzMultipathAgainstOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzCollectiveAgainstOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzPC -fuzztime=30s ./internal/gtree/
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/wire/

@@ -121,6 +121,30 @@ func BenchmarkFig8FaultThroughput(b *testing.B) {
 	b.ReportMetric(faulty, "thr_1fault")
 }
 
+// BenchmarkMultipathSaturation runs the DESIGN.md §15 multipath
+// campaign — GC(9, 4), 16-tree stripe, four hot source frames with
+// every tree-edge link faulted — and reports each arm's saturation
+// throughput and committed fault-detour total. The striped arm's
+// headline claim (higher saturation, fewer detours) ships in
+// BENCH_10.json through these metrics.
+func BenchmarkMultipathSaturation(b *testing.B) {
+	var baseThr, stripedThr float64
+	var baseDet, stripedDet int
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Multipath(9, 2, 16, 4,
+			[]float64{0.3, 0.6, 1.0}, 200, []int64{1, 2}, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseThr, stripedThr = rep.SaturationThroughput()
+		baseDet, stripedDet = rep.TotalDetours()
+	}
+	b.ReportMetric(baseThr, "thr_1tree")
+	b.ReportMetric(stripedThr, "thr_16tree")
+	b.ReportMetric(float64(baseDet), "detours_1tree")
+	b.ReportMetric(float64(stripedDet), "detours_16tree")
+}
+
 // --- Ablation benches (design choices from DESIGN.md) ---
 
 // BenchmarkAblationPC compares the paper's PC path construction with

@@ -23,6 +23,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/serve"
 	"gaussiancube/internal/trace"
 )
@@ -49,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		traceOn     = fs.Bool("trace", false, "print the route's event narrative: hops, detours with cause category, repair crossings, outcome")
 		broadcast   = fs.Bool("broadcast", false, "plan a one-to-all broadcast from -from and print the collective report as JSON")
 		multicast   = fs.String("multicast", "", "plan a multicast from -from to this comma-separated destination list and print the report as JSON")
+		trees       = fs.Int("trees", 0, "stripe routes over this many multipath trees (power of two; 0 = single-tree)")
+		tree        = fs.Int("tree", -1, "pin the route to one tree of -trees (default: per-flow stripe)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,6 +106,24 @@ func run(args []string, out io.Writer) error {
 		opts = append(opts, core.WithTracer(ring))
 	}
 
+	if *tree >= 0 && *trees == 0 {
+		return fmt.Errorf("-tree requires -trees")
+	}
+	if *trees > 0 {
+		ts, err := mtree.New(c, *trees)
+		if err != nil {
+			return err
+		}
+		if *tree >= 0 {
+			if *tree >= ts.K() {
+				return fmt.Errorf("-tree %d out of range [0,%d)", *tree, ts.K())
+			}
+			opts = append(opts, core.WithTree(ts, *tree))
+		} else {
+			opts = append(opts, core.WithTrees(ts))
+		}
+	}
+
 	r := core.NewRouter(c, opts...)
 	if collective {
 		if *broadcast && *multicast != "" {
@@ -129,6 +150,9 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "route %d -> %d in GC(%d, %d): %d hops (fault-free optimal %d, +%d detour)\n",
 		*from, *to, *n, c.M(), res.Hops(), res.Optimal, res.Extra())
+	if res.Tree >= 0 {
+		fmt.Fprintf(out, "multipath: planned on tree %d of %d\n", res.Tree, *trees)
+	}
 	if res.UsedFallback {
 		fmt.Fprintln(out, "note: strategy exceeded; BFS fallback produced this route")
 	}

@@ -107,6 +107,7 @@ func run(args []string, out io.Writer) error {
 		churn       = fs.Int("churn", 24, "selftest: fault mutations applied during the run")
 		wireTest    = fs.Bool("wire", false, "selftest: drive the load through the gcwire binary client instead of HTTP")
 		collEvery   = fs.Int("collectives", 16, "selftest: every Nth request per client is a collective (alternating broadcast/multicast); 0 disables")
+		trees       = fs.Int("trees", 0, "stripe served routes over this many multipath trees (power of two; 0 = single-tree)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -166,6 +167,7 @@ func run(args []string, out io.Writer) error {
 		Adaptive:        *adaptive,
 		Repair:          *repairOn,
 		DefaultDeadline: *deadline,
+		Trees:           *trees,
 	}
 	if *journalDir != "" {
 		cfg.Journal = &gcube.JournalConfig{
@@ -208,6 +210,9 @@ func run(args []string, out io.Writer) error {
 	httpSrv := &http.Server{Handler: gcube.NewHTTPHandler(srv)}
 	fmt.Fprintf(out, "gcserved: GC(%d,2^%d), %d nodes, listening on %s\n",
 		*n, *alpha, cube.Nodes(), ln.Addr())
+	if ts := srv.Trees(); ts != nil {
+		fmt.Fprintf(out, "gcserved: multipath striping over %d trees\n", ts.K())
+	}
 
 	var wireSrv *gcube.WireServer
 	errc := make(chan error, 2)

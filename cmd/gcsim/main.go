@@ -65,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		category = fs.String("fault-category", "node", "random fault flavor: node (A/B/C mix), tree-links (B: class-crossing links), sever (kill whole tree edges)")
 		sample   = fs.Int("trace-sample", 0, "trace every Nth packet and print the sampled route narratives (eager mode)")
 		pprofOn  = fs.String("pprof", "", "serve net/http/pprof and expvar run metrics on this address, e.g. localhost:6060 (\":0\" picks a port)")
+		multipath = fs.Int("multipath", 0, "stripe traffic over this many multipath trees (power of two; eager mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,6 +164,9 @@ func run(args []string, out io.Writer) error {
 	if *sample > 0 && *mode != "eager" {
 		return fmt.Errorf("-trace-sample is only supported in eager mode")
 	}
+	if *multipath > 0 && *mode != "eager" {
+		return fmt.Errorf("-multipath is only supported in eager mode")
+	}
 	if *pprofOn != "" {
 		srv, addr, err := startDebugServer(*pprofOn)
 		if err != nil {
@@ -174,7 +178,7 @@ func run(args []string, out io.Writer) error {
 
 	switch *mode {
 	case "eager":
-		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *repairOn, *savePath, *sample)
+		return runEager(out, scn, pat, faultSet, dyn, *adaptive, *repairOn, *savePath, *sample, *multipath)
 	case "stepped":
 		return runStepped(out, scn, pat, faultSet, *buffers, *vcs)
 	case "wormhole":
@@ -184,7 +188,7 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive, repairOn bool, savePath string, sample int) error {
+func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, faultSet *fault.Set, dyn *fault.Dynamic, adaptive, repairOn bool, savePath string, sample, multipath int) error {
 	cfg := simnet.Config{
 		N: scn.N, Alpha: scn.Alpha,
 		Arrival: scn.Arrival, GenCycles: scn.GenCycles, Seed: scn.Seed,
@@ -192,6 +196,7 @@ func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, fault
 		Dynamic: dyn, Adaptive: adaptive, Repair: repairOn,
 		CacheRoutes: dyn != nil && !adaptive,
 		HistBuckets: 64,
+		Trees:       multipath,
 	}
 	var ring *trace.Ring
 	if sample > 0 {
@@ -211,6 +216,9 @@ func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, fault
 	if repairOn {
 		label += ", tree repair"
 	}
+	if multipath > 1 {
+		label += fmt.Sprintf(", %d-tree multipath", multipath)
+	}
 	fmt.Fprintf(out, "GC(%d, %d), arrival %.4f, %d generation cycles, %s traffic%s\n",
 		scn.N, 1<<scn.Alpha, scn.Arrival, scn.GenCycles, pat.Name(), label)
 	fmt.Fprintf(out, "  generated:       %d packets\n", stats.Generated)
@@ -220,6 +228,9 @@ func runEager(out io.Writer, scn *snapshot.Scenario, pat workload.Pattern, fault
 		fmt.Fprintf(out, "  partitioned:     %d (proven unreachable)\n", stats.Partitioned)
 	}
 	fmt.Fprintf(out, "  fallback routes: %d\n", stats.FallbackRoutes)
+	if len(stats.TreeRoutes) > 0 {
+		fmt.Fprintf(out, "  tree routes:     %v\n", stats.TreeRoutes)
+	}
 	if dyn != nil {
 		fmt.Fprintf(out, "  fault epochs:    %d (cache invalidations: %d)\n",
 			stats.Epochs, stats.CacheInvalidations)

@@ -177,10 +177,17 @@ func (n *Node) Owns(src gc.NodeID) bool { return n.topo.OwnerOf(src) == n.self }
 // Forward proxies (src, dst) to the owner of src's ending class, with
 // one failover retry on the ring successor and a degraded local
 // fallback when no replica answers. The request carries NoForward so
-// the receiver computes instead of proxying on — one hop, no loops.
-func (n *Node) Forward(ctx context.Context, src, dst gc.NodeID) (*serve.Response, error) {
+// the receiver computes instead of proxying on — one hop, no loops. A
+// multipath tree pin (tree >= 0) rides along on the wire.
+func (n *Node) Forward(ctx context.Context, src, dst gc.NodeID, tree int) (*serve.Response, error) {
 	n.forwarded.Inc()
 	deadlineMS := uint32(n.cfg.ForwardTimeout / time.Millisecond)
+	flags := wire.RouteFlagNoForward
+	treeByte := uint8(0)
+	if tree >= 0 && tree <= 255 {
+		flags |= wire.RouteFlagTree
+		treeByte = uint8(tree)
+	}
 	target := n.topo.OwnerOf(src)
 	for attempt := 0; attempt < 2; attempt++ {
 		if target == n.self {
@@ -191,7 +198,7 @@ func (n *Node) Forward(ctx context.Context, src, dst gc.NodeID) (*serve.Response
 		}
 		p := n.peers[target]
 		var out serve.WireRoute
-		if err := p.fwd.RouteRaw(src, dst, deadlineMS, wire.RouteFlagNoForward, &out); err == nil {
+		if err := p.fwd.RouteRawTree(src, dst, deadlineMS, flags, treeByte, &out); err == nil {
 			return wireResponse(n.srv, &out)
 		}
 		if err := ctx.Err(); err != nil {
@@ -202,10 +209,10 @@ func (n *Node) Forward(ctx context.Context, src, dst gc.NodeID) (*serve.Response
 	if target == n.self {
 		// The successor chain reached us: we are the legitimate
 		// replica, nothing degraded about serving it.
-		return n.srv.SubmitLocal(ctx, src, dst)
+		return n.srv.SubmitLocalTree(ctx, src, dst, tree)
 	}
 	n.forwardFallbacks.Inc()
-	resp, err := n.srv.SubmitLocal(ctx, src, dst)
+	resp, err := n.srv.SubmitLocalTree(ctx, src, dst, tree)
 	if err != nil || resp == nil {
 		return resp, err
 	}
@@ -239,6 +246,7 @@ func wireResponse(s *serve.Server, w *serve.WireRoute) (*serve.Response, error) 
 		WaitCycles:   int(w.WaitCycles),
 		DetourHops:   w.Detour,
 		UsedFallback: w.Flags&wire.FlagUsedFallback != 0,
+		TreeID:       w.Tree, // -1 when the reply carried no tree byte
 	}
 	if len(w.Path) > 0 {
 		rep.Path = append([]gc.NodeID(nil), w.Path...)

@@ -40,6 +40,7 @@ import (
 	"gaussiancube/internal/bitutil"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/repair"
 	"gaussiancube/internal/trace"
 )
@@ -152,6 +153,15 @@ type AdaptiveConfig struct {
 	// replays to exactly Flight.Path — adaptive flights never roll hops
 	// back. nil keeps tracing disabled at zero cost.
 	Tracer trace.Tracer
+	// Trees, when set, activates multipath routing: each flight plans
+	// over one tree of the set and, on discovering a faulted tree-edge
+	// crossing, fails over to a sibling tree before leaning on repair
+	// detours or the BFS last resort.
+	Trees *mtree.TreeSet
+	// Tree pins every flight to one tree of Trees ([0, Trees.K())); any
+	// other value — use TreeAuto — stripes flights per flow. Note the
+	// zero value pins tree 0; striping must be requested explicitly.
+	Tree int
 }
 
 func (cfg *AdaptiveConfig) fill(n uint) {
@@ -250,6 +260,12 @@ type Flight struct {
 	// openDetours counts traced discovery events awaiting the balancing
 	// detour-exit a successful replan emits.
 	openDetours int
+	// tree is the multipath tree the flight currently plans over (-1
+	// when the router has no tree set); treeSwitches counts sibling
+	// failovers, bounded by K-1 so a flight visits each tree at most
+	// once before the deeper rungs of the ladder take over.
+	tree         int
+	treeSwitches int
 	// tracer receives this flight's event narrative; defaults to the
 	// router's cfg.Tracer, overridable per flight (StartTraced) so a
 	// carrier interleaving many flights can keep each stream contiguous.
@@ -298,24 +314,41 @@ func (r *AdaptiveRouter) start(s, d gc.NodeID, known *fault.Set) (*Flight, error
 	if known != nil {
 		bl = known.Clone()
 	}
-	opts := []Option{WithFaults(bl), WithSubstrate(r.cfg.Substrate)}
-	if r.cfg.DisableFallback {
-		opts = append(opts, WithoutFallback())
+	tree := -1
+	if r.cfg.Trees != nil {
+		if r.cfg.Tree >= 0 && r.cfg.Tree < r.cfg.Trees.K() {
+			tree = r.cfg.Tree
+		} else {
+			tree = r.cfg.Trees.TreeForFlow(s, d)
+		}
 	}
-	if r.cfg.Repair != nil {
-		opts = append(opts, WithRepair(r.cfg.Repair))
-	}
+	o := r.plannerOptions(bl)
+	o.Tree = tree
 	f := &Flight{
 		r:         r,
-		planner:   NewRouter(r.cube, opts...),
+		planner:   NewRouterWith(r.cube, o),
 		blacklist: bl,
 		cur:       s,
 		dst:       d,
 		path:      []gc.NodeID{s},
 		visits:    map[gc.NodeID]int{s: 1},
 		tracer:    r.cfg.Tracer,
+		tree:      tree,
 	}
 	return f, nil
+}
+
+// plannerOptions is the planner configuration shared by a flight's
+// initial planner and its tree-failover rebuilds.
+func (r *AdaptiveRouter) plannerOptions(bl *fault.Set) Options {
+	return Options{
+		Faults:          bl,
+		Substrate:       r.cfg.Substrate,
+		DisableFallback: r.cfg.DisableFallback,
+		Repair:          r.cfg.Repair,
+		Trees:           r.cfg.Trees,
+		Tree:            TreeAuto,
+	}
 }
 
 // Step makes the next per-hop decision from the flight's current node.
@@ -374,9 +407,31 @@ func (f *Flight) Step() Step {
 			return f.backoff()
 		}
 		f.record(f.cur, dim, next)
+		if f.tree >= 0 && dim < f.r.cube.Alpha() && f.treeSwitches < f.r.cfg.Trees.K()-1 {
+			// A faulted tree-edge crossing on a multipath flight: fail
+			// over to a sibling tree before the replan, so the new plan
+			// steers its crossings through a stripe where this fault is,
+			// by link-disjointness, a different physical link.
+			f.failoverTree()
+		}
 		f.plan = f.plan[:0] // force a replan over the grown blacklist
 		f.planIdx = 0
 		f.attempt = 0
+	}
+}
+
+// failoverTree rotates the flight to the next sibling tree and rebuilds
+// its planner pinned there. The blacklist carries over — failover adds
+// knowledge, it never forgets any.
+func (f *Flight) failoverTree() {
+	f.treeSwitches++
+	f.tree = (f.tree + 1) % f.r.cfg.Trees.K()
+	o := f.r.plannerOptions(f.blacklist)
+	o.Tree = f.tree
+	f.planner = NewRouterWith(f.r.cube, o)
+	f.degraded = true
+	if t := f.tracer; t != nil {
+		t.Emit(trace.Event{Kind: trace.KindTreeFailover, From: uint32(f.cur), Arg: int32(f.tree)})
 	}
 }
 
@@ -597,6 +652,13 @@ func (f *Flight) Reason() string { return f.reason }
 // order (transient knowledge flushed by a backoff is dropped).
 func (f *Flight) Discovered() []DiscoveredFault { return f.found }
 
+// Tree returns the multipath tree the flight currently plans over (-1
+// on a single-tree router).
+func (f *Flight) Tree() int { return f.tree }
+
+// TreeSwitches returns how many sibling-tree failovers the flight took.
+func (f *Flight) TreeSwitches() int { return f.treeSwitches }
+
 // DetourHops returns the hops taken beyond the fault-free optimum of
 // the full source/destination pair.
 func (f *Flight) DetourHops() int {
@@ -618,6 +680,11 @@ type AdaptiveResult struct {
 	DetourHops   int
 	UsedFallback bool
 	Discovered   []DiscoveredFault
+	// TreeID is the multipath tree the route was (last) planned over;
+	// -1 on a single-tree router.
+	TreeID int
+	// TreeSwitches counts sibling-tree failovers (adaptive flights).
+	TreeSwitches int
 }
 
 // Route drives a flight from s to d to completion without a carrier.

@@ -36,6 +36,9 @@ type routeScratch struct {
 	plan   routePlan
 	path   []gc.NodeID
 	hcWalk []hypercube.Node
+	// tree is the multipath tree this route is planned for (-1 when
+	// single-tree), resolved once per route by the entry points.
+	tree int
 }
 
 // planInto computes the FFGCR tree-level plan for the pair (s, d) into
@@ -115,7 +118,7 @@ func (r *Router) execute(ctx context.Context, sc *routeScratch, path []gc.NodeID
 		if i+1 < len(p.walk) {
 			var err error
 			var done bool
-			path, cur, done, err = r.crossTreeEdge(ctx, path, cur, k, p.walk[i+1], d, depth)
+			path, cur, done, err = r.crossTreeEdge(ctx, path, cur, k, p.walk[i+1], d, depth, sc.tree)
 			if err != nil {
 				return path, err
 			}
@@ -199,10 +202,19 @@ func (r *Router) fixClassDims(sc *routeScratch, path []gc.NodeID, cur gc.NodeID,
 // current node. When the local crossing is dead in every theorem-backed
 // way and a health map is attached, a tree-repair detour to a surviving
 // realization of the edge is spliced in instead; a successful detour
-// completes the whole route to d and reports done == true.
-func (r *Router) crossTreeEdge(ctx context.Context, path []gc.NodeID, cur gc.NodeID, from, to gtree.Node, d gc.NodeID, depth int) ([]gc.NodeID, gc.NodeID, bool, error) {
+// completes the whole route to d and reports done == true. On a
+// multipath router (tree >= 0) a top-level crossing outside the tree's
+// frame stripe first tries to steer into the stripe (multipath.go),
+// which likewise completes the route; steering failures fall through
+// to this single-tree ladder.
+func (r *Router) crossTreeEdge(ctx context.Context, path []gc.NodeID, cur gc.NodeID, from, to gtree.Node, d gc.NodeID, depth, tree int) ([]gc.NodeID, gc.NodeID, bool, error) {
 	c := r.cube
 	dim := c.Tree().EdgeDim(from, to)
+	if tree >= 0 && depth == 0 && !r.trees.OwnsFrame(tree, r.trees.FrameOf(cur)) {
+		if full, done := r.steerCrossing(ctx, path, cur, dim, d, depth, tree); done {
+			return full, cur, true, nil
+		}
+	}
 	tgt := cur ^ (1 << dim)
 	if r.faults == nil || (!r.faults.LinkFaulty(cur, dim) && !r.faults.NodeFaulty(tgt)) {
 		if r.tracer != nil {
@@ -241,6 +253,6 @@ func (r *Router) crossTreeEdge(ctx context.Context, path []gc.NodeID, cur gc.Nod
 	if r.repair == nil {
 		return path, cur, false, ErrUnreachable
 	}
-	path, done, err := r.repairDetour(ctx, path, cur, to, dim, d, depth)
+	path, done, err := r.repairDetour(ctx, path, cur, to, dim, d, depth, tree)
 	return path, cur, done, err
 }

@@ -38,6 +38,7 @@ import (
 	"gaussiancube/internal/graph"
 	"gaussiancube/internal/gtree"
 	"gaussiancube/internal/hypercube"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/repair"
 	"gaussiancube/internal/trace"
 )
@@ -73,6 +74,12 @@ type Router struct {
 	// costs nothing (the hot path's zero-allocation property is
 	// enforced by the alloc regression tests).
 	tracer trace.Tracer
+	// trees, when non-nil, activates multipath routing: each route is
+	// planned for one tree of the set (tree, or per-flow when tree is
+	// TreeAuto) and steers its class crossings through that tree's
+	// frame stripe. nil is the paper's single-tree router, bit for bit.
+	trees *mtree.TreeSet
+	tree  int
 	// scratch pools routeScratch values; every Route/RouteInto call
 	// checks one out for its lifetime, which is what keeps the
 	// fault-free hot path allocation-free without a per-call lock.
@@ -84,41 +91,14 @@ type Router struct {
 	totalBridges int32
 }
 
-// Option configures a Router.
-type Option func(*Router)
-
-// WithFaults supplies the fault set the router must avoid.
-func WithFaults(s *fault.Set) Option { return func(r *Router) { r.faults = s } }
-
-// WithSubstrate selects the intra-class fault-tolerant hypercube router.
-func WithSubstrate(s Substrate) Option { return func(r *Router) { r.substrate = s } }
-
-// WithRepair supplies a tree-edge health map the router consults before
-// committing to a tree edge: severed edges yield detour class-paths
-// through surviving realizations, and a provably cut-off destination
-// class returns ErrPartitioned without burning a BFS. The map must
-// describe the same fault state as WithFaults — the partition verdict
-// is only as sound as that agreement.
-func WithRepair(h *repair.Health) Option { return func(r *Router) { r.repair = h } }
-
-// WithoutFallback disables the BFS fallback, exposing the bare strategy.
-func WithoutFallback() Option { return func(r *Router) { r.fallback = false } }
-
-// WithTracer attaches a trace sink: the router emits one structured
-// event per hop, detour, repair crossing, rollback and terminal
-// outcome (the taxonomy of internal/trace). The event stream of a
-// successful route replays to exactly the returned path — see
-// trace.Replay. A nil tracer keeps tracing disabled.
-func WithTracer(t trace.Tracer) Option { return func(r *Router) { r.tracer = t } }
-
-// NewRouter builds a router over cube c.
+// NewRouter builds a router over cube c. It is the functional-option
+// form of NewRouterWith (options.go), which new code should prefer.
 func NewRouter(c *gc.Cube, opts ...Option) *Router {
-	r := &Router{cube: c, fallback: true}
-	r.scratch.New = func() any { return new(routeScratch) }
-	for _, o := range opts {
-		o(r)
+	o := Options{Tree: TreeAuto}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return r
+	return NewRouterWith(c, o)
 }
 
 // Cube returns the cube this router operates on.
@@ -152,6 +132,9 @@ type Result struct {
 	// UsedFallback reports that the strategy could not complete against
 	// the fault pattern and a BFS fallback produced the path.
 	UsedFallback bool
+	// Tree is the multipath tree this route was planned for; -1 on a
+	// single-tree router.
+	Tree int
 }
 
 // Hops returns the path length in hops.
@@ -203,6 +186,7 @@ func (r *Router) RouteCtx(ctx context.Context, s, d gc.NodeID) (*Result, error) 
 		return nil, ErrFaultyEndpoint
 	}
 	sc := r.scratch.Get().(*routeScratch)
+	sc.tree = r.resolveTree(s, d)
 	r.planInto(&sc.plan, s, d)
 	if r.repair != nil {
 		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {
@@ -218,6 +202,7 @@ func (r *Router) RouteCtx(ctx context.Context, s, d gc.NodeID) (*Result, error) 
 		Dest:     d,
 		TreeWalk: append([]gtree.Node(nil), sc.plan.walk...),
 		Optimal:  sc.plan.optimal(),
+		Tree:     sc.tree,
 	}
 	path, err := r.execute(ctx, sc, sc.path[:0], s, d, 0)
 	if err == nil {
@@ -295,6 +280,7 @@ func (r *Router) RouteIntoCtx(ctx context.Context, dst []gc.NodeID, s, d gc.Node
 		return dst, ErrFaultyEndpoint
 	}
 	sc := r.scratch.Get().(*routeScratch)
+	sc.tree = r.resolveTree(s, d)
 	r.planInto(&sc.plan, s, d)
 	if r.repair != nil {
 		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {

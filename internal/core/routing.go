@@ -60,6 +60,7 @@ func (r *Router) RouteContext(ctx context.Context, s, d gc.NodeID) (*RouteReport
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tree := r.resolveTree(s, d)
 	res, err := r.RouteCtx(ctx, s, d)
 	switch {
 	case err == nil:
@@ -69,6 +70,7 @@ func (r *Router) RouteContext(ctx context.Context, s, d gc.NodeID) (*RouteReport
 			Hops:         res.Hops(),
 			DetourHops:   res.Extra(),
 			UsedFallback: res.UsedFallback,
+			TreeID:       res.Tree,
 		}
 		if res.UsedFallback {
 			rep.Outcome = OutcomeDeliveredDegraded
@@ -76,16 +78,18 @@ func (r *Router) RouteContext(ctx context.Context, s, d gc.NodeID) (*RouteReport
 		}
 		return rep, nil
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		return &RouteReport{Outcome: OutcomeCanceled, Reason: err.Error()}, nil
+		return &RouteReport{Outcome: OutcomeCanceled, Reason: err.Error(), TreeID: tree}, nil
 	case errors.Is(err, ErrPartitioned):
 		return &RouteReport{
 			Outcome: OutcomeUndeliverablePartitioned,
 			Reason:  "destination class severed from source component",
+			TreeID:  tree,
 		}, nil
 	case errors.Is(err, ErrUnreachable):
 		return &RouteReport{
 			Outcome: OutcomeUndeliverable,
 			Reason:  "no route around faults",
+			TreeID:  tree,
 		}, nil
 	default:
 		// Caller mistakes: node out of range, faulty endpoint.
@@ -136,5 +140,7 @@ func (f *Flight) report(st Step) *RouteReport {
 		DetourHops:   f.DetourHops(),
 		UsedFallback: f.UsedFallback(),
 		Discovered:   f.Discovered(),
+		TreeID:       f.Tree(),
+		TreeSwitches: f.TreeSwitches(),
 	}
 }

@@ -41,19 +41,29 @@ const (
 // realization, then completes the route to d from the landing node.
 // On success the full remaining route is appended onto path and done
 // is true; on failure path is returned unchanged.
-func (r *Router) repairDetour(ctx context.Context, path []gc.NodeID, cur gc.NodeID, to gtree.Node, dim uint, d gc.NodeID, depth int) ([]gc.NodeID, bool, error) {
+// On a multipath router (tree >= 0) candidates inside the tree's own
+// frame stripe are tried before sibling stripes — the middle rungs of
+// the failover ladder.
+func (r *Router) repairDetour(ctx context.Context, path []gc.NodeID, cur gc.NodeID, to gtree.Node, dim uint, d gc.NodeID, depth, tree int) ([]gc.NodeID, bool, error) {
 	if depth >= maxRepairDepth {
 		return path, false, ErrUnreachable
 	}
+	var cands []gc.NodeID
+	if tree >= 0 {
+		cands = r.repair.SurvivingCrossingsPrefer(cur, to, maxDetourCandidates,
+			func(f uint32) bool { return r.trees.OwnsFrame(tree, f) })
+	} else {
+		cands = r.repair.SurvivingCrossings(cur, to, maxDetourCandidates)
+	}
 	mark := len(path)
-	for _, w := range r.repair.SurvivingCrossings(cur, to, maxDetourCandidates) {
+	for _, w := range cands {
 		land := w ^ (1 << dim)
 		// The map said this realization survives; distrust it against
 		// the authoritative fault set anyway.
 		if r.faults.LinkFaulty(w, dim) || r.faults.NodeFaulty(land) {
 			continue
 		}
-		leg, err := r.routeNested(ctx, path, cur, w, depth+1)
+		leg, err := r.routeNested(ctx, path, cur, w, depth+1, tree)
 		if err != nil {
 			if r.tracer != nil {
 				r.traceAbandoned(len(leg) - mark)
@@ -76,7 +86,7 @@ func (r *Router) repairDetour(ctx context.Context, path []gc.NodeID, cur gc.Node
 			r.emitHop(w, land, dim)
 		}
 		leg = append(leg, land)
-		full, err := r.routeNested(ctx, leg, land, d, depth+1)
+		full, err := r.routeNested(ctx, leg, land, d, depth+1, tree)
 		if err != nil {
 			if r.tracer != nil {
 				r.traceAbandoned(len(full) - mark)
@@ -95,12 +105,13 @@ func (r *Router) repairDetour(ctx context.Context, path []gc.NodeID, cur gc.Node
 // is rolled back by the caller, which tries the next candidate — but
 // they do get the partition pre-check and further detours (bounded by
 // depth).
-func (r *Router) routeNested(ctx context.Context, path []gc.NodeID, s, d gc.NodeID, depth int) ([]gc.NodeID, error) {
+func (r *Router) routeNested(ctx context.Context, path []gc.NodeID, s, d gc.NodeID, depth, tree int) ([]gc.NodeID, error) {
 	if s == d {
 		return path, nil
 	}
 	sc := r.scratch.Get().(*routeScratch)
 	defer r.scratch.Put(sc)
+	sc.tree = tree
 	r.planInto(&sc.plan, s, d)
 	if r.repair != nil {
 		if _, ok := r.repair.CheckWalk(s, d, sc.plan.classes); !ok {

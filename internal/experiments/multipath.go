@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gaussiancube/internal/fault"
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/simnet"
+	"gaussiancube/internal/trace"
+)
+
+// The multipath campaign (DESIGN.md §15): the same offered load and the
+// same fault pattern simulated twice — single-tree baseline versus
+// k-tree striping — so every measured gap is the striping, not
+// sampling noise.
+//
+// The workload is the one the striping design targets: traffic
+// sourced on a few hot frames whose tree-edge links are all faulted,
+// destinations uniform over the cube. Baseline routes make their
+// first class crossing at the frame they start in, so every hot-frame
+// flow lands on a faulted tree link and pays the FREH pair detour —
+// and the detour legs of every flow serialize on the same handful of
+// surviving links. Striped routes greedily steer the first crossing
+// toward their tree's stripe (each class flips the stripe bits its
+// own cube links reach), so flows on different trees cross at
+// different frames: most never touch the faulted links at all. Two
+// claims are under test:
+//
+//   - Saturation throughput. The baseline saturates where the faulted
+//     hot frames' detour traffic serializes; steering spreads those
+//     crossings over nearby fault-free frames, so the striped arm
+//     keeps climbing after the baseline plateaus.
+//   - Repair detours. Baseline flows keep landing on the faulted
+//     links and pay a detour every time; striped flows steered off
+//     the hot frames cross on healthy physical links and never need
+//     one. Only detours that survive to the committed walk are
+//     counted — abandoned exploration is netted out, rollback by
+//     rollback.
+
+// MultipathPoint is one load level of one arm of the campaign.
+type MultipathPoint struct {
+	Arrival float64 `json:"arrival"`
+	// Throughput is delivered packets per cycle of makespan, averaged
+	// over the seeds.
+	Throughput float64 `json:"throughput"`
+	// AvgLatency is the mean delivery latency in cycles.
+	AvgLatency float64 `json:"avg_latency"`
+	// RepairCrossings counts committed repair-detour crossings
+	// (trace.KindRepairCrossing), summed over the seeds.
+	RepairCrossings int `json:"repair_crossings"`
+	// Detours counts routes that left the fault-free plan
+	// (trace.KindDetourEnter), summed over the seeds.
+	Detours int `json:"detours"`
+}
+
+// MultipathReport is the full campaign: the baseline and striped arms
+// point by point over the arrival grid.
+type MultipathReport struct {
+	N          uint             `json:"n"`
+	Alpha      uint             `json:"alpha"`
+	Trees      int              `json:"trees"`
+	HotFrames  int              `json:"hot_frames"`
+	LinkFaults int              `json:"link_faults"`
+	Baseline   []MultipathPoint `json:"baseline"`
+	Striped    []MultipathPoint `json:"striped"`
+}
+
+// detourCounter tallies the detour-shaped trace events that survive to
+// a committed walk. The router explores repair candidates and rolls
+// abandoned legs back (trace.KindRollback), so raw event counts would
+// charge a route for exploration it never shipped; the counter mirrors
+// trace.Replay's walk arithmetic — hops extend, rollbacks truncate —
+// and drops every mark the truncation strands. simnet runs are
+// single-goroutine, so plain increments suffice.
+type detourCounter struct {
+	repairs int
+	detours int
+
+	walkLen int
+	marks   []detourMark
+}
+
+type detourMark struct {
+	pos    int
+	repair bool
+}
+
+func (c *detourCounter) Enabled() bool { return true }
+
+func (c *detourCounter) Emit(e trace.Event) {
+	switch e.Kind {
+	case trace.KindPacket:
+		c.flush()
+	case trace.KindHop, trace.KindFlip:
+		c.walkLen++
+	case trace.KindRollback:
+		c.walkLen -= int(e.Arg)
+		if c.walkLen < 0 {
+			c.walkLen = 0
+		}
+		// Marks sit in ascending position order; a detour event
+		// precedes its hops, so a walk truncated to the mark's
+		// position (or below) abandoned it.
+		for len(c.marks) > 0 && c.marks[len(c.marks)-1].pos >= c.walkLen {
+			c.marks = c.marks[:len(c.marks)-1]
+		}
+	case trace.KindRepairCrossing:
+		c.marks = append(c.marks, detourMark{pos: c.walkLen, repair: true})
+	case trace.KindDetourEnter:
+		c.marks = append(c.marks, detourMark{pos: c.walkLen, repair: false})
+	}
+}
+
+// flush commits the surviving marks of the current packet; call it
+// after the run so the final packet is counted too.
+func (c *detourCounter) flush() {
+	for _, m := range c.marks {
+		if m.repair {
+			c.repairs++
+		} else {
+			c.detours++
+		}
+	}
+	c.marks = c.marks[:0]
+	c.walkLen = 0
+}
+
+// hotFrames returns the campaign's hot frame labels: `count` frames,
+// every one owned by tree 0 of a `trees`-way stripe (frame % trees == 0).
+func hotFrames(count, trees int) []uint32 {
+	stride := trees
+	if stride < 1 {
+		stride = 1
+	}
+	frames := make([]uint32, count)
+	for i := range frames {
+		frames[i] = uint32(i * stride)
+	}
+	return frames
+}
+
+// hotSourceTrace builds the offered load: a Bernoulli(arrival) trial
+// per hot-frame node per cycle, each packet addressed to a uniformly
+// random node elsewhere in the cube. Both arms replay the identical
+// trace.
+func hotSourceTrace(rng *rand.Rand, cube *gc.Cube, frames []uint32, arrival float64, genCycles int) []simnet.Packet {
+	m := int(cube.M())
+	nodes := cube.Nodes()
+	var pkts []simnet.Packet
+	for t := 0; t < genCycles; t++ {
+		for _, h := range frames {
+			for class := 0; class < m; class++ {
+				if rng.Float64() >= arrival {
+					continue
+				}
+				src := gc.NodeID(h)<<cube.Alpha() | gc.NodeID(class)
+				dst := gc.NodeID(rng.Intn(nodes))
+				if dst == src {
+					continue
+				}
+				pkts = append(pkts, simnet.Packet{Src: src, Dst: dst, Time: t})
+			}
+		}
+	}
+	return pkts
+}
+
+// hotFrameFaults marks up to `count` tree-edge links faulty, all inside
+// the hot frames, round-robin over frames and crossing dimensions. The
+// class edges stay alive at every other frame, so repair detours exist
+// and nothing partitions.
+func hotFrameFaults(cube *gc.Cube, frames []uint32, count int) *fault.Set {
+	fs := fault.NewSet(cube)
+	if count <= 0 {
+		return fs
+	}
+	added := 0
+	m := int(cube.M())
+	for class := 0; class < m && added < count; class++ {
+		for dim := uint(0); dim < cube.Alpha() && added < count; dim++ {
+			for _, h := range frames {
+				v := gc.NodeID(h)<<cube.Alpha() | gc.NodeID(class)
+				if !cube.HasLinkDim(v, dim) || fs.LinkFaulty(v, dim) {
+					continue
+				}
+				fs.AddLink(v, dim)
+				if added++; added >= count {
+					break
+				}
+			}
+		}
+	}
+	return fs
+}
+
+// Multipath runs the paired campaign on GC(n, 2^alpha): for every
+// arrival rate and seed, one baseline run and one trees-striped run
+// over the identical hot-frame trace and fault set (tree repair
+// enabled). Every route is traced so the detour counters are exact,
+// not sampled.
+func Multipath(n, alpha uint, trees, hot int, arrivals []float64, genCycles int, seeds []int64, linkFaults int) (*MultipathReport, error) {
+	cube := gc.New(n, alpha)
+	frames := hotFrames(hot, trees)
+	totalFrames := 1 << (n - alpha)
+	if last := frames[len(frames)-1]; int(last) >= totalFrames {
+		return nil, fmt.Errorf("multipath campaign: %d hot frames need %d frames, GC(%d,2^%d) has %d",
+			hot, last+1, n, alpha, totalFrames)
+	}
+	rep := &MultipathReport{N: n, Alpha: alpha, Trees: trees, HotFrames: hot, LinkFaults: linkFaults}
+	for _, a := range arrivals {
+		var base, multi MultipathPoint
+		base.Arrival, multi.Arrival = a, a
+		for _, seed := range seeds {
+			fs := hotFrameFaults(cube, frames, linkFaults)
+			pkts := hotSourceTrace(rand.New(rand.NewSource(seed*7919)), cube, frames, a, genCycles)
+			for _, striped := range []bool{false, true} {
+				counter := &detourCounter{}
+				cfg := simnet.Config{
+					N: n, Alpha: alpha,
+					Arrival: a, GenCycles: genCycles, Seed: seed,
+					Trace:  pkts,
+					Faults: fs, Repair: fs.Count() > 0,
+					Tracer: counter, TraceEvery: 1,
+				}
+				if striped {
+					cfg.Trees = trees
+				}
+				stats, err := simnet.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("multipath campaign (arrival %v, seed %d, striped %v): %w", a, seed, striped, err)
+				}
+				counter.flush()
+				pt := &base
+				if striped {
+					pt = &multi
+				}
+				pt.Throughput += stats.Throughput()
+				pt.AvgLatency += stats.AvgLatency()
+				pt.RepairCrossings += counter.repairs
+				pt.Detours += counter.detours
+			}
+		}
+		k := float64(len(seeds))
+		base.Throughput /= k
+		base.AvgLatency /= k
+		multi.Throughput /= k
+		multi.AvgLatency /= k
+		rep.Baseline = append(rep.Baseline, base)
+		rep.Striped = append(rep.Striped, multi)
+	}
+	return rep, nil
+}
+
+// SaturationThroughput returns each arm's highest observed throughput —
+// the saturation plateau of the sweep.
+func (r *MultipathReport) SaturationThroughput() (baseline, striped float64) {
+	for i := range r.Baseline {
+		if r.Baseline[i].Throughput > baseline {
+			baseline = r.Baseline[i].Throughput
+		}
+		if r.Striped[i].Throughput > striped {
+			striped = r.Striped[i].Throughput
+		}
+	}
+	return baseline, striped
+}
+
+// TotalDetours returns each arm's committed fault-detour total over
+// the sweep — FREH pair detours plus repair crossings.
+func (r *MultipathReport) TotalDetours() (baseline, striped int) {
+	for i := range r.Baseline {
+		baseline += r.Baseline[i].RepairCrossings + r.Baseline[i].Detours
+		striped += r.Striped[i].RepairCrossings + r.Striped[i].Detours
+	}
+	return baseline, striped
+}
+
+// Figure renders the campaign as throughput versus offered load, one
+// series per arm.
+func (r *MultipathReport) Figure() Figure {
+	f := Figure{
+		ID:     "multipath",
+		Title:  fmt.Sprintf("Throughput versus offered load, GC(%d, %d): single-tree vs %d-tree striping", r.N, 1<<r.Alpha, r.Trees),
+		XLabel: "arrival",
+		YLabel: "throughput (packets/cycle)",
+	}
+	base := Series{Name: "single-tree"}
+	multi := Series{Name: fmt.Sprintf("%d trees", r.Trees)}
+	for i := range r.Baseline {
+		base.Points = append(base.Points, Point{X: r.Baseline[i].Arrival, Y: r.Baseline[i].Throughput})
+		multi.Points = append(multi.Points, Point{X: r.Striped[i].Arrival, Y: r.Striped[i].Throughput})
+	}
+	f.Series = []Series{base, multi}
+	return f
+}

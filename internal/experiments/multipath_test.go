@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"testing"
+
+	"gaussiancube/internal/trace"
+)
+
+// The campaign's reference configuration: GC(9, 4) with a 16-tree
+// stripe, four hot source frames, and every tree-edge link of those
+// frames faulted. Kept in one place so the test and the benchmark
+// measure the same experiment that lands in BENCH_10.json.
+const (
+	mpN          = 9
+	mpAlpha      = 2
+	mpTrees      = 16
+	mpHot        = 4
+	mpGenCycles  = 200
+	mpLinkFaults = 12
+)
+
+var (
+	mpArrivals = []float64{0.3, 0.6, 1.0}
+	mpSeeds    = []int64{1, 2}
+)
+
+// TestMultipathCampaign runs the full paired campaign and asserts the
+// two claims BENCH_10.json ships: the striped arm saturates at a
+// measurably higher throughput than the single-tree baseline, and it
+// commits measurably fewer fault detours.
+func TestMultipathCampaign(t *testing.T) {
+	rep, err := Multipath(mpN, mpAlpha, mpTrees, mpHot, mpArrivals, mpGenCycles, mpSeeds, mpLinkFaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Baseline) != len(mpArrivals) || len(rep.Striped) != len(mpArrivals) {
+		t.Fatalf("report has %d/%d points, want %d per arm", len(rep.Baseline), len(rep.Striped), len(mpArrivals))
+	}
+	for i, a := range mpArrivals {
+		if rep.Baseline[i].Arrival != a || rep.Striped[i].Arrival != a {
+			t.Fatalf("point %d arrivals %v/%v, want %v", i, rep.Baseline[i].Arrival, rep.Striped[i].Arrival, a)
+		}
+		if rep.Baseline[i].Throughput <= 0 || rep.Striped[i].Throughput <= 0 {
+			t.Fatalf("point %d has non-positive throughput: %+v / %+v", i, rep.Baseline[i], rep.Striped[i])
+		}
+	}
+
+	base, striped := rep.SaturationThroughput()
+	if striped <= base*1.05 {
+		t.Errorf("striped saturation throughput %.3f not measurably above baseline %.3f", striped, base)
+	}
+	bd, sd := rep.TotalDetours()
+	if bd == 0 {
+		t.Fatal("baseline committed no detours — the faults never bit and the campaign measures nothing")
+	}
+	if sd >= bd*9/10 {
+		t.Errorf("striped detours %d not measurably below baseline %d", sd, bd)
+	}
+
+	fig := rep.Figure()
+	if len(fig.Series) != 2 {
+		t.Fatalf("figure has %d series, want 2", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(mpArrivals) {
+			t.Fatalf("series %q has %d points, want %d", s.Name, len(s.Points), len(mpArrivals))
+		}
+	}
+}
+
+// TestDetourCounterNetsRollbacks pins the counter's walk arithmetic: a
+// detour mark stranded by a rollback must not be counted, marks below
+// the truncation survive, and the packet boundary flushes.
+func TestDetourCounterNetsRollbacks(t *testing.T) {
+	c := &detourCounter{}
+	emit := func(kind trace.Kind, arg int32) {
+		c.Emit(trace.Event{Kind: kind, Arg: arg})
+	}
+
+	// Packet 1: two hops, a committed detour, two more hops.
+	emit(trace.KindPacket, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindDetourEnter, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindHop, 0)
+
+	// Packet 2: one hop, then an abandoned repair leg — the crossing
+	// mark sits at walk position 3 and the rollback truncates to 1.
+	emit(trace.KindPacket, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindRepairCrossing, 0)
+	emit(trace.KindHop, 0)
+	emit(trace.KindRollback, 3)
+	// A second candidate commits.
+	emit(trace.KindHop, 0)
+	emit(trace.KindRepairCrossing, 0)
+	emit(trace.KindHop, 0)
+
+	c.flush()
+	if c.detours != 1 {
+		t.Errorf("detours = %d, want 1", c.detours)
+	}
+	if c.repairs != 1 {
+		t.Errorf("repairs = %d, want 1 (the rolled-back candidate must not count)", c.repairs)
+	}
+}

@@ -1,0 +1,222 @@
+package mtree
+
+import (
+	"testing"
+
+	"gaussiancube/internal/gc"
+	"gaussiancube/internal/graph"
+)
+
+// smallCubes enumerates every cube the exhaustive suites cover:
+// n in [1, 8], alpha in [0, min(n, 3)].
+func smallCubes(t *testing.T, f func(c *gc.Cube)) {
+	t.Helper()
+	for n := uint(1); n <= 8; n++ {
+		for alpha := uint(0); alpha <= n && alpha <= 3; alpha++ {
+			f(gc.New(n, alpha))
+		}
+	}
+}
+
+// powersOfTwoUpTo yields 1, 2, 4, ... <= max.
+func powersOfTwoUpTo(max int) []int {
+	var out []int
+	for k := 1; k <= max; k *= 2 {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestVerifyExhaustive runs the mechanical verification on every tree
+// set of every small cube: all claims (link-disjointness, partition
+// coverage, per-tree class spanning, CIST non-admissibility) hold for
+// every admissible k.
+func TestVerifyExhaustive(t *testing.T) {
+	smallCubes(t, func(c *gc.Cube) {
+		frames := 1 << (c.N() - c.Alpha())
+		for _, k := range powersOfTwoUpTo(frames) {
+			ts, err := New(c, k)
+			if err != nil {
+				t.Fatalf("GC(%d,%d) k=%d: %v", c.N(), c.M(), k, err)
+			}
+			rep, err := ts.Verify()
+			if err != nil {
+				t.Fatalf("GC(%d,%d) k=%d: Verify: %v", c.N(), c.M(), k, err)
+			}
+			if !rep.LinkDisjoint || !rep.Covered || !rep.Spanning {
+				t.Fatalf("GC(%d,%d) k=%d: report %+v", c.N(), c.M(), k, rep)
+			}
+			if c.M() > 1 && rep.ClassEdgeCut != 1 {
+				t.Fatalf("GC(%d,%d): class graph edge cut %d, want 1 (it is a tree)",
+					c.N(), c.M(), rep.ClassEdgeCut)
+			}
+			if k > 1 && c.M() > 1 && rep.CISTAdmissible {
+				t.Fatalf("GC(%d,%d) k=%d: CIST reported admissible over a tree class graph",
+					c.N(), c.M(), k)
+			}
+			want := rep.ClassEdges * frames / k
+			for i, got := range rep.LinksPerTree {
+				if got != want {
+					t.Fatalf("GC(%d,%d) k=%d: tree %d owns %d links, want %d",
+						c.N(), c.M(), k, i, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestPairwiseLinkDisjointExplicit re-proves disjointness without
+// Verify: materialize every tree's link set and intersect them pair by
+// pair, then cross-check each link against the cube's own adjacency.
+func TestPairwiseLinkDisjointExplicit(t *testing.T) {
+	smallCubes(t, func(c *gc.Cube) {
+		frames := 1 << (c.N() - c.Alpha())
+		for _, k := range powersOfTwoUpTo(frames) {
+			ts, err := New(c, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets := make([]map[graph.Edge]bool, k)
+			for i := 0; i < k; i++ {
+				sets[i] = make(map[graph.Edge]bool)
+				for _, l := range ts.Links(i) {
+					if !graph.Adjacent(c, l.U, l.V) {
+						t.Fatalf("GC(%d,%d) tree %d: %d--%d is not a cube link",
+							c.N(), c.M(), i, l.U, l.V)
+					}
+					sets[i][l] = true
+				}
+			}
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					for l := range sets[i] {
+						if sets[j][l] {
+							t.Fatalf("GC(%d,%d) k=%d: trees %d and %d share link %d--%d",
+								c.N(), c.M(), k, i, j, l.U, l.V)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestClassEdgeCutMatchesMenger cross-checks the report's edge cut
+// against graph.EdgeDisjointPaths for every class pair on every small
+// cube: the number of edge-disjoint class paths equals the cut (Menger)
+// and is exactly 1, so no k > 1 class-level edge-disjoint spanning
+// trees exist.
+func TestClassEdgeCutMatchesMenger(t *testing.T) {
+	smallCubes(t, func(c *gc.Cube) {
+		tr := c.Tree()
+		m := tr.Nodes()
+		for u := graph.NodeID(0); int(u) < m; u++ {
+			for v := u + 1; int(v) < m; v++ {
+				paths := graph.EdgeDisjointPaths(tr, u, v, 0)
+				if len(paths) != 1 {
+					t.Fatalf("GC(%d,%d): classes %d,%d have %d edge-disjoint paths, want 1",
+						c.N(), c.M(), u, v, len(paths))
+				}
+				if cut := graph.MinEdgeCut(tr, u, v); cut != len(paths) {
+					t.Fatalf("GC(%d,%d): MinEdgeCut(%d,%d)=%d, Menger paths=%d",
+						c.N(), c.M(), u, v, cut, len(paths))
+				}
+			}
+		}
+	})
+}
+
+// TestStripeGeometry pins the stripe helpers: ownership is a partition
+// of frames, HomeFrame is the Hamming-nearest stripe member, and
+// HomeNode stays inside the ending class.
+func TestStripeGeometry(t *testing.T) {
+	smallCubes(t, func(c *gc.Cube) {
+		frames := 1 << (c.N() - c.Alpha())
+		for _, k := range powersOfTwoUpTo(frames) {
+			ts, err := New(c, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for h := uint32(0); h < uint32(frames); h++ {
+				owners := 0
+				for i := 0; i < k; i++ {
+					if ts.OwnsFrame(i, h) {
+						owners++
+						if ts.TreeOf(h) != i {
+							t.Fatalf("TreeOf(%d)=%d but tree %d owns it", h, ts.TreeOf(h), i)
+						}
+					}
+					home := ts.HomeFrame(i, h)
+					if !ts.OwnsFrame(i, home) {
+						t.Fatalf("HomeFrame(%d,%d)=%d not in stripe", i, h, home)
+					}
+					// Nearest: no stripe member is Hamming-closer.
+					best := popcount32(home ^ h)
+					for f := uint32(i); f < uint32(frames); f += uint32(k) {
+						if popcount32(f^h) < best {
+							t.Fatalf("HomeFrame(%d,%d)=%d misses nearer stripe frame %d", i, h, home, f)
+						}
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("frame %d owned by %d trees", h, owners)
+				}
+			}
+			for v := 0; v < c.Nodes(); v++ {
+				for i := 0; i < k; i++ {
+					hn := ts.HomeNode(i, gc.NodeID(v))
+					if c.EndingClass(hn) != c.EndingClass(gc.NodeID(v)) {
+						t.Fatalf("HomeNode(%d,%d)=%d left class %d", i, v, hn, c.EndingClass(gc.NodeID(v)))
+					}
+					if !ts.OwnsFrame(i, ts.FrameOf(hn)) {
+						t.Fatalf("HomeNode(%d,%d)=%d frame not owned", i, v, hn)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestTreeForFlowInRange pins the flow striping to the tree range and
+// checks it actually uses the whole set on a moderate cube.
+func TestTreeForFlowInRange(t *testing.T) {
+	c := gc.New(8, 2)
+	ts, err := New(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[int]bool)
+	for s := 0; s < c.Nodes(); s += 3 {
+		for d := 1; d < c.Nodes(); d += 7 {
+			tr := ts.TreeForFlow(gc.NodeID(s), gc.NodeID(d))
+			if tr < 0 || tr >= ts.K() {
+				t.Fatalf("TreeForFlow(%d,%d)=%d out of range", s, d, tr)
+			}
+			used[tr] = true
+		}
+	}
+	if len(used) != ts.K() {
+		t.Fatalf("flow striping used %d of %d trees", len(used), ts.K())
+	}
+}
+
+// TestNewRejectsBadK pins the constructor contract.
+func TestNewRejectsBadK(t *testing.T) {
+	c := gc.New(6, 2)
+	for _, k := range []int{0, -1, 3, 5, 6, 32, 1 << 10} {
+		if _, err := New(c, k); err == nil {
+			t.Fatalf("New(GC(6,4), k=%d) accepted", k)
+		}
+	}
+	if _, err := New(c, 16); err != nil { // frames = 2^4
+		t.Fatalf("New(GC(6,4), k=16): %v", err)
+	}
+}
+
+func popcount32(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -305,6 +305,17 @@ func (h *Health) CheckWalk(s, d gc.NodeID, classes []gtree.Node) (blocked gtree.
 // caller asks only after observing that crossing there failed. An
 // empty result means the edge is severed (or max <= 0).
 func (h *Health) SurvivingCrossings(cur gc.NodeID, to gtree.Node, max int) []gc.NodeID {
+	return h.SurvivingCrossingsPrefer(cur, to, max, nil)
+}
+
+// SurvivingCrossingsPrefer is SurvivingCrossings with a stripe bias:
+// frames satisfying prefer order ahead of frames that do not, each
+// group still nearest-first. Multipath routing passes its tree's
+// stripe membership as prefer, so a repair detour crosses inside the
+// selected tree whenever any of its realizations survive and only
+// then fails over to sibling trees' frames — the middle rungs of the
+// failover ladder. A nil prefer is the unbiased ordering.
+func (h *Health) SurvivingCrossingsPrefer(cur gc.NodeID, to gtree.Node, max int, prefer func(frame uint32) bool) []gc.NodeID {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	alpha := h.cube.Alpha()
@@ -326,6 +337,11 @@ func (h *Health) SurvivingCrossings(cur gc.NodeID, to gtree.Node, max int) []gc.
 			continue
 		}
 		cost := bitutil.OnesCount(uint64(f ^ curFrame))
+		if prefer != nil && !prefer(uint32(f)) {
+			// Dispreferred frames sort after every preferred one: the
+			// penalty exceeds any Hamming distance between frames.
+			cost += h.frames
+		}
 		// Insertion sort into the bounded best list.
 		pos := len(best)
 		for pos > 0 && best[pos-1].cost > cost {

@@ -58,6 +58,9 @@ type RouteRequest struct {
 	// DeadlineMS optionally bounds this request in milliseconds,
 	// overriding the server's default deadline.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Tree optionally pins the request to one multipath tree; absent
+	// means the server's per-flow striping (or single-tree serving).
+	Tree *int `json:"tree,omitempty"`
 }
 
 // RouteResponse is the JSON verdict for one routed request.
@@ -80,7 +83,10 @@ type RouteResponse struct {
 	Discovered int    `json:"discovered,omitempty"`
 	Epoch      uint64 `json:"epoch"`
 	CacheHit   bool   `json:"cache_hit,omitempty"`
-	Error      string `json:"error,omitempty"`
+	// Tree is the multipath tree the route was planned on (absent on
+	// single-tree servers).
+	Tree  *int   `json:"tree,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // buildRouteResponse flattens a served Response onto the wire.
@@ -103,6 +109,10 @@ func buildRouteResponse(src, dst gc.NodeID, r *Response) RouteResponse {
 	out.WaitCycles = rep.WaitCycles
 	out.UsedFallback = rep.UsedFallback
 	out.Discovered = len(rep.Discovered)
+	if rep.TreeID >= 0 {
+		tree := rep.TreeID
+		out.Tree = &tree
+	}
 	return out
 }
 
@@ -161,6 +171,11 @@ type MetricsSnapshot struct {
 	FastPathHits int64 `json:"fast_path_hits"`
 	Coalesced    int64 `json:"coalesced"`
 
+	// Trees is the multipath tree count (0 single-tree); TreeRoutes is
+	// the per-tree verdict tally — the balance view of flow striping.
+	Trees      int     `json:"trees,omitempty"`
+	TreeRoutes []int64 `json:"tree_routes,omitempty"`
+
 	// Collectives aggregates broadcast/multicast serving (nil until the
 	// first collective is served).
 	Collectives *CollectiveTotals `json:"collectives,omitempty"`
@@ -205,6 +220,13 @@ func (s *Server) Metrics() *MetricsSnapshot {
 		Journal:  s.JournalStatus(),
 		Cluster:  s.clusterSnapshot(),
 		PerShard: make([]ShardSnapshot, 0, len(s.shards)),
+	}
+	if s.trees != nil {
+		m.Trees = s.trees.K()
+		m.TreeRoutes = make([]int64, s.trees.K())
+		for i := range s.treeServed {
+			m.TreeRoutes[i] = s.treeServed[i].Value()
+		}
 	}
 	for _, sh := range s.shards {
 		ss := ShardSnapshot{

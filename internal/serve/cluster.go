@@ -35,9 +35,10 @@ var ErrSyncDiverged = errors.New("serve: epoch sync diverged")
 type Forwarder interface {
 	// Owns reports whether this instance owns src's ending class.
 	Owns(src gc.NodeID) bool
-	// Forward serves (src, dst) at the owning instance. The returned
-	// Response is fully accounted wherever it was computed.
-	Forward(ctx context.Context, src, dst gc.NodeID) (*Response, error)
+	// Forward serves (src, dst) at the owning instance, carrying the
+	// request's multipath tree pin (core.TreeAuto when unpinned). The
+	// returned Response is fully accounted wherever it was computed.
+	Forward(ctx context.Context, src, dst gc.NodeID, tree int) (*Response, error)
 }
 
 // forwarderBox wraps the interface for atomic.Pointer storage.

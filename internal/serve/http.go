@@ -165,6 +165,13 @@ func parseRouteQuery(r *http.Request) (RouteRequest, error) {
 		}
 		req.DeadlineMS = d
 	}
+	if ts := q.Get("tree"); ts != "" {
+		t, err := strconv.Atoi(ts)
+		if err != nil || t < 0 {
+			return req, fmt.Errorf("bad tree %q", ts)
+		}
+		req.Tree = &t
+	}
 	return req, nil
 }
 
@@ -175,7 +182,11 @@ func handleRoute(s *Server, w http.ResponseWriter, r *http.Request, req RouteReq
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 		defer cancel()
 	}
-	resp, err := s.Submit(ctx, req.Src, req.Dst)
+	tree := core.TreeAuto
+	if req.Tree != nil {
+		tree = *req.Tree
+	}
+	resp, err := s.SubmitTree(ctx, req.Src, req.Dst, tree)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrBackpressure):

@@ -50,6 +50,7 @@ import (
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/journal"
 	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/repair"
 	"gaussiancube/internal/simnet"
 	"gaussiancube/internal/trace"
@@ -101,6 +102,13 @@ type Config struct {
 	// Repair maintains a tree-edge health map per epoch, enabling
 	// repair detours and partition proofs (core.WithRepair).
 	Repair bool
+	// Trees activates multipath serving over that many frame-striped
+	// spanning trees (internal/mtree): flows stripe across trees by the
+	// deterministic flow hash, and a request may pin one tree explicitly
+	// (SubmitTree, wire.RouteFlagTree, HTTP tree=). Must be a power of
+	// two no larger than the cube's frame count; 0 or 1 keeps
+	// single-tree serving byte for byte.
+	Trees int
 	// DefaultDeadline bounds each request when the submitter's context
 	// carries no earlier deadline (0 means none).
 	DefaultDeadline time.Duration
@@ -160,8 +168,12 @@ type Response struct {
 type task struct {
 	ctx      context.Context
 	src, dst gc.NodeID
-	enq      time.Time
-	resp     chan Response
+	// tree is the requested multipath tree: an explicit pin in
+	// [0, Trees.K()), or TreeAuto (-1) for per-flow striping (and for
+	// single-tree servers, where it is ignored).
+	tree int
+	enq  time.Time
+	resp chan Response
 
 	dests     []gc.NodeID
 	multicast bool
@@ -188,6 +200,10 @@ type shardRouters struct {
 	// global plan. In planner mode it aliases plain.
 	coll       *core.Router
 	collTraced *core.Router
+	// pinned holds one router per multipath tree for requests that pin a
+	// tree explicitly (nil for single-tree servers); plain stripes
+	// per-flow and serves everything else.
+	pinned []core.Routing
 }
 
 // shard is one worker's private world.
@@ -230,8 +246,13 @@ type shard struct {
 // a plan, while any fault swap that changes the content forces
 // post-swap arrivals into a fresh group instead of piggybacking on a
 // plan computed against a network that no longer exists.
+// tree is the RESOLVED tree (the flow hash already applied), so an
+// auto-striped request and an explicit pin that land on the same tree
+// share one flight — their plans are identical — while requests pinned
+// to sibling trees never share, because their plans are not.
 type coalesceKey struct {
 	src, dst gc.NodeID
+	tree     int16
 	fp       uint64
 }
 
@@ -255,6 +276,11 @@ type coalescer struct {
 type Server struct {
 	cfg  Config
 	cube *gc.Cube
+	// trees is the multipath tree set (nil for single-tree serving).
+	trees *mtree.TreeSet
+	// treeServed tallies non-error verdicts per tree (len K; nil when
+	// single-tree) — the balance view of the flow striping.
+	treeServed []metrics.Counter
 
 	// mu guards draining against the enqueue fast path (RLock) so
 	// Shutdown can close the shard channels without racing a send.
@@ -304,6 +330,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, cube: cfg.Cube, started: time.Now()}
+	if cfg.Trees > 1 {
+		ts, err := mtree.New(cfg.Cube, cfg.Trees)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.trees = ts
+		s.treeServed = make([]metrics.Counter, ts.K())
+	}
 
 	seed := fault.NewSet(s.cube)
 	if cfg.Faults != nil {
@@ -350,6 +384,46 @@ func New(cfg Config) (*Server, error) {
 // Cube returns the served topology.
 func (s *Server) Cube() *gc.Cube { return s.cube }
 
+// Trees returns the multipath tree set requests stripe over (nil for a
+// single-tree server).
+func (s *Server) Trees() *mtree.TreeSet { return s.trees }
+
+// resolveTree maps a requested tree onto the tree the route is planned
+// for: -1 on a single-tree server, the explicit pin when valid, or the
+// per-flow stripe otherwise — exactly the resolution the shard's
+// striping router applies internally, so cache keys and coalescing
+// groups always agree with the plan.
+func (s *Server) resolveTree(src, dst gc.NodeID, tree int) int {
+	if s.trees == nil {
+		return -1
+	}
+	if tree >= 0 && tree < s.trees.K() {
+		return tree
+	}
+	return s.trees.TreeForFlow(src, dst)
+}
+
+// validateTree rejects an explicit pin the server cannot honor.
+func (s *Server) validateTree(tree int) error {
+	if tree < 0 {
+		return nil
+	}
+	if s.trees == nil {
+		return fmt.Errorf("serve: tree %d requested on a single-tree server", tree)
+	}
+	if tree >= s.trees.K() {
+		return fmt.Errorf("serve: tree %d out of range [0,%d)", tree, s.trees.K())
+	}
+	return nil
+}
+
+// countTree tallies the tree a verdict was planned on.
+func (s *Server) countTree(tree int) {
+	if tree >= 0 && tree < len(s.treeServed) {
+		s.treeServed[tree].Inc()
+	}
+}
+
 // Epoch returns the current fault epoch.
 func (s *Server) Epoch() uint64 { return s.state.Load().epoch }
 
@@ -375,7 +449,7 @@ func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
 	if es.faults.Count() > 0 {
 		fs = es.faults
 	}
-	build := func(t trace.Tracer) core.Routing {
+	build := func(t trace.Tracer, tree int) core.Routing {
 		if s.cfg.Adaptive {
 			var oracle core.Oracle
 			if fs != nil {
@@ -384,6 +458,10 @@ func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
 			acfg := core.AdaptiveConfig{Substrate: s.cfg.Substrate, Tracer: t}
 			if s.cfg.Repair {
 				acfg.Repair = es.health
+			}
+			if s.trees != nil {
+				acfg.Trees = s.trees
+				acfg.Tree = tree
 			}
 			return core.NewAdaptiveRouter(s.cube, oracle, acfg)
 		}
@@ -396,6 +474,13 @@ func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
 		}
 		if t != nil {
 			opts = append(opts, core.WithTracer(t))
+		}
+		if s.trees != nil {
+			if tree >= 0 {
+				opts = append(opts, core.WithTree(s.trees, tree))
+			} else {
+				opts = append(opts, core.WithTrees(s.trees))
+			}
 		}
 		return core.NewRouter(s.cube, opts...)
 	}
@@ -412,14 +497,14 @@ func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
 		}
 		return core.NewRouter(s.cube, opts...)
 	}
-	rs := &shardRouters{es: es, plain: build(nil)}
+	rs := &shardRouters{es: es, plain: build(nil, core.TreeAuto)}
 	if r, ok := rs.plain.(*core.Router); ok {
 		rs.coll = r
 	} else {
 		rs.coll = buildColl(nil)
 	}
 	if sh.ring != nil {
-		rs.traced = build(sh.ring)
+		rs.traced = build(sh.ring, core.TreeAuto)
 		if r, ok := rs.traced.(*core.Router); ok {
 			rs.collTraced = r
 		} else {
@@ -428,6 +513,12 @@ func (s *Server) buildShardRouters(sh *shard, es *epochState) *shardRouters {
 	} else {
 		rs.traced = rs.plain
 		rs.collTraced = rs.coll
+	}
+	if s.trees != nil {
+		rs.pinned = make([]core.Routing, s.trees.K())
+		for i := range rs.pinned {
+			rs.pinned[i] = build(nil, i)
+		}
 	}
 	return rs
 }
@@ -455,11 +546,18 @@ func (s *Server) shardFor(src gc.NodeID) *shard {
 // source ending class belongs to another instance is proxied to its
 // owner instead; SubmitLocal pins a request to this instance.
 func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
+	return s.SubmitTree(ctx, src, dst, core.TreeAuto)
+}
+
+// SubmitTree is Submit with an explicit multipath tree pin: tree in
+// [0, Trees().K()) plans the route on that tree instead of the per-flow
+// stripe; core.TreeAuto (-1) is Submit exactly.
+func (s *Server) SubmitTree(ctx context.Context, src, dst gc.NodeID, tree int) (*Response, error) {
 	if box := s.fwd.Load(); box != nil &&
 		int(src) < s.cube.Nodes() && int(dst) < s.cube.Nodes() && !box.f.Owns(src) {
-		return box.f.Forward(ctx, src, dst)
+		return box.f.Forward(ctx, src, dst, tree)
 	}
-	return s.SubmitLocal(ctx, src, dst)
+	return s.SubmitLocalTree(ctx, src, dst, tree)
 }
 
 // SubmitLocal serves one request on this instance regardless of
@@ -468,7 +566,12 @@ func (s *Server) Submit(ctx context.Context, src, dst gc.NodeID) (*Response, err
 // fallback. Responses served while the journal replays or while the
 // instance trails the gossip frontier are degrade-marked.
 func (s *Server) SubmitLocal(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
-	resp, err := s.submit(ctx, src, dst)
+	return s.SubmitLocalTree(ctx, src, dst, core.TreeAuto)
+}
+
+// SubmitLocalTree is SubmitLocal with an explicit multipath tree pin.
+func (s *Server) SubmitLocalTree(ctx context.Context, src, dst gc.NodeID, tree int) (*Response, error) {
+	resp, err := s.submit(ctx, src, dst, tree)
 	if resp != nil {
 		if s.Replaying() {
 			// Served during the startup journal replay: the verdict was
@@ -489,9 +592,12 @@ func (s *Server) SubmitLocal(ctx context.Context, src, dst gc.NodeID) (*Response
 }
 
 // submit is Submit without the replay-window degrade marking.
-func (s *Server) submit(ctx context.Context, src, dst gc.NodeID) (*Response, error) {
+func (s *Server) submit(ctx context.Context, src, dst gc.NodeID, tree int) (*Response, error) {
 	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
 		return nil, fmt.Errorf("serve: node out of range for GC(%d,2^%d)", s.cube.N(), s.cube.Alpha())
+	}
+	if err := s.validateTree(tree); err != nil {
+		return nil, err
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -504,14 +610,14 @@ func (s *Server) submit(ctx context.Context, src, dst gc.NodeID) (*Response, err
 	enq := time.Now()
 	sh := s.shardFor(src)
 	for attempt := 0; ; attempt++ {
-		if ans, ok := s.FastRoute(src, dst); ok {
+		if ans, ok := s.FastRouteTree(src, dst, tree); ok {
 			return responseFromCached(&ans), nil
 		}
 		if s.cfg.Adaptive {
-			return s.enqueueWait(ctx, sh, src, dst, enq)
+			return s.enqueueWait(ctx, sh, src, dst, tree, enq)
 		}
 
-		key := coalesceKey{src: src, dst: dst, fp: sh.state.Load().es.fp}
+		key := coalesceKey{src: src, dst: dst, tree: int16(s.resolveTree(src, dst, tree)), fp: sh.state.Load().es.fp}
 		sh.co.mu.Lock()
 		if g, ok := sh.co.m[key]; ok {
 			sh.co.mu.Unlock()
@@ -527,7 +633,7 @@ func (s *Server) submit(ctx context.Context, src, dst gc.NodeID) (*Response, err
 		sh.co.m[key] = g
 		sh.co.mu.Unlock()
 
-		resp, err := s.enqueueWait(ctx, sh, src, dst, enq)
+		resp, err := s.enqueueWait(ctx, sh, src, dst, tree, enq)
 		g.resp, g.err = resp, err
 		sh.co.mu.Lock()
 		delete(sh.co.m, key)
@@ -539,8 +645,8 @@ func (s *Server) submit(ctx context.Context, src, dst gc.NodeID) (*Response, err
 
 // enqueueWait pushes one task onto its shard queue and blocks for the
 // worker's answer — the queue tier of Submit.
-func (s *Server) enqueueWait(ctx context.Context, sh *shard, src, dst gc.NodeID, enq time.Time) (*Response, error) {
-	t := &task{ctx: ctx, src: src, dst: dst, enq: enq, resp: make(chan Response, 1)}
+func (s *Server) enqueueWait(ctx context.Context, sh *shard, src, dst gc.NodeID, tree int, enq time.Time) (*Response, error) {
+	t := &task{ctx: ctx, src: src, dst: dst, tree: tree, enq: enq, resp: make(chan Response, 1)}
 	s.mu.RLock()
 	if s.draining {
 		s.mu.RUnlock()
@@ -577,7 +683,7 @@ func (s *Server) waitCoalesced(ctx context.Context, sh *shard, g *flightGroup, e
 	case <-ctx.Done():
 		// Our deadline died first. Answer canceled ourselves — counted
 		// exactly like a worker-answered cancellation.
-		rep := &core.RouteReport{Outcome: core.OutcomeCanceled, Reason: ctx.Err().Error()}
+		rep := &core.RouteReport{Outcome: core.OutcomeCanceled, Reason: ctx.Err().Error(), TreeID: -1}
 		r := &Response{Report: rep, Epoch: s.state.Load().epoch}
 		s.accepted.Inc()
 		s.accountDirect(sh, r, enq)
@@ -608,6 +714,7 @@ func (s *Server) accountDirect(sh *shard, r *Response, enq time.Time) {
 		sh.errored.Inc()
 	} else {
 		sh.outcomes[int(r.Report.Outcome)].Inc()
+		s.countTree(r.Report.TreeID)
 		if !r.Report.Outcome.Undeliverable() && r.Report.Outcome != core.OutcomeCanceled {
 			sh.hops.Add(float64(r.Report.Hops))
 		}
@@ -623,6 +730,9 @@ type CachedAnswer struct {
 	Path       []gc.NodeID
 	Epoch      uint64
 	DetourHops int
+	// Tree is the multipath tree the path was planned on (-1 on a
+	// single-tree server).
+	Tree int
 }
 
 // FastRoute answers (src, dst) from the shard's route cache without
@@ -635,6 +745,14 @@ type CachedAnswer struct {
 // under. A hit is fully accounted (accepted, served, outcomes, hops,
 // latency, sampling) exactly like a worker-served request.
 func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
+	return s.FastRouteTree(src, dst, core.TreeAuto)
+}
+
+// FastRouteTree is FastRoute scoped to one multipath tree: an explicit
+// pin looks up only paths planned on that tree; core.TreeAuto resolves
+// the flow's stripe first (a no-op on single-tree servers). An invalid
+// pin reports ok=false and lets the submission path raise the error.
+func (s *Server) FastRouteTree(src, dst gc.NodeID, tree int) (CachedAnswer, bool) {
 	if s.cfg.Adaptive || s.drain.Load() {
 		return CachedAnswer{}, false
 	}
@@ -655,12 +773,16 @@ func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
 	if int(src) >= s.cube.Nodes() || int(dst) >= s.cube.Nodes() {
 		return CachedAnswer{}, false
 	}
+	if s.validateTree(tree) != nil {
+		return CachedAnswer{}, false
+	}
 	sh := s.shardFor(src)
 	if sh.cache == nil {
 		return CachedAnswer{}, false
 	}
+	rt := s.resolveTree(src, dst, tree)
 	rs := sh.state.Load()
-	path, tag, ok := sh.cache.GetTagged(src, dst, rs.es.fp)
+	path, tag, ok := sh.cache.GetTagged(src, dst, rt, rs.es.fp)
 	if !ok || len(path) == 0 {
 		// Not counted as a shard cache miss: the request falls through to
 		// the worker, whose own lookup tallies the miss once. The cache
@@ -687,15 +809,16 @@ func (s *Server) FastRoute(src, dst gc.NodeID) (CachedAnswer, bool) {
 		out = core.OutcomeDeliveredDegraded
 	}
 	sh.outcomes[int(out)].Inc()
+	s.countTree(rt)
 	sh.hops.Add(float64(len(path) - 1))
-	return CachedAnswer{Path: path, Epoch: rs.es.epoch, DetourHops: int(tag)}, true
+	return CachedAnswer{Path: path, Epoch: rs.es.epoch, DetourHops: int(tag), Tree: rt}, true
 }
 
 // responseFromCached lifts a fast-path verdict into the Response
 // envelope Submit returns — byte-for-byte what the worker's cache-hit
 // branch would have produced.
 func responseFromCached(a *CachedAnswer) *Response {
-	return &Response{Report: cachedReport(a.Path, uint32(a.DetourHops)), Epoch: a.Epoch, CacheHit: true}
+	return &Response{Report: cachedReport(a.Path, uint32(a.DetourHops), a.Tree), Epoch: a.Epoch, CacheHit: true}
 }
 
 // worker drains one shard's queue in batches until the channel closes.
@@ -746,37 +869,44 @@ func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 	}
 	if err := t.ctx.Err(); err != nil {
 		// Deadline died in the queue: still answered, still counted.
-		rep := &core.RouteReport{Outcome: core.OutcomeCanceled, Reason: err.Error()}
+		rep := &core.RouteReport{Outcome: core.OutcomeCanceled, Reason: err.Error(), TreeID: -1}
 		s.finish(sh, t, Response{Report: rep, Epoch: rs.es.epoch})
 		return
 	}
 	n := sh.seq.Add(1)
 	sampled := sh.ring != nil && s.cfg.TraceEvery > 0 && n%uint64(s.cfg.TraceEvery) == 0
 
+	// rt is the tree the plan lives under — the explicit pin, or the
+	// flow stripe the auto routers resolve internally (same hash).
+	rt := s.resolveTree(t.src, t.dst, t.tree)
 	if sh.cache != nil && !s.cfg.Adaptive {
 		// len(path) > 0 mirrors FastRoute's guard: only delivered paths
 		// are ever stored, but an empty one must not reach cachedReport.
-		if path, tag, ok := sh.cache.GetTagged(t.src, t.dst, rs.es.fp); ok && len(path) > 0 {
+		if path, tag, ok := sh.cache.GetTagged(t.src, t.dst, rt, rs.es.fp); ok && len(path) > 0 {
 			sh.cacheHits.Inc()
 			if sampled {
 				sh.sampled.Inc()
 				sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(t.src), To: uint32(t.dst), Arg: int32(n)})
 				sh.ring.Emit(trace.Event{Kind: trace.KindCacheHit, From: uint32(t.src), To: uint32(t.dst)})
 			}
-			s.finish(sh, t, Response{Report: cachedReport(path, tag), Epoch: rs.es.epoch, CacheHit: true})
+			s.finish(sh, t, Response{Report: cachedReport(path, tag, rt), Epoch: rs.es.epoch, CacheHit: true})
 			return
 		}
 		sh.cacheMisses.Inc()
 	}
 
 	router := rs.plain
+	if t.tree >= 0 && rs.pinned != nil && t.tree < len(rs.pinned) {
+		router = rs.pinned[t.tree]
+	} else if sampled {
+		router = rs.traced
+	}
 	if sampled {
 		sh.sampled.Inc()
 		sh.ring.Emit(trace.Event{Kind: trace.KindPacket, From: uint32(t.src), To: uint32(t.dst), Arg: int32(n)})
 		if sh.cache != nil && !s.cfg.Adaptive {
 			sh.ring.Emit(trace.Event{Kind: trace.KindCacheMiss, From: uint32(t.src), To: uint32(t.dst)})
 		}
-		router = rs.traced
 	}
 	rep, err := router.RouteContext(t.ctx, t.src, t.dst)
 	if err != nil {
@@ -794,7 +924,7 @@ func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 		if extra < 0 {
 			extra = 0
 		}
-		sh.cache.PutTagged(t.src, t.dst, rep.Path, uint32(extra), rs.es.fp)
+		sh.cache.PutTagged(t.src, t.dst, rt, rep.Path, uint32(extra), rs.es.fp)
 	}
 	s.finish(sh, t, Response{Report: rep, Epoch: rs.es.epoch})
 }
@@ -802,9 +932,10 @@ func (s *Server) process(sh *shard, rs *shardRouters, t *task) {
 // cachedReport rebuilds a routing envelope from a cached path and its
 // insertion-time detour tag. A path longer than the pair's distance
 // was planned around faults, so it reports the degraded rung exactly
-// like its original route did.
-func cachedReport(path []gc.NodeID, tag uint32) *core.RouteReport {
-	rep := &core.RouteReport{Outcome: core.OutcomeDelivered, Path: path, Hops: len(path) - 1, DetourHops: int(tag)}
+// like its original route did. tree is the multipath tree the entry is
+// keyed under (-1 single-tree).
+func cachedReport(path []gc.NodeID, tag uint32, tree int) *core.RouteReport {
+	rep := &core.RouteReport{Outcome: core.OutcomeDelivered, Path: path, Hops: len(path) - 1, DetourHops: int(tag), TreeID: tree}
 	if tag > 0 {
 		rep.Outcome = core.OutcomeDeliveredDegraded
 		rep.Reason = "cached detour"
@@ -822,6 +953,7 @@ func (s *Server) finish(sh *shard, t *task, r Response) {
 		sh.errored.Inc()
 	} else {
 		sh.outcomes[int(r.Report.Outcome)].Inc()
+		s.countTree(r.Report.TreeID)
 		if !r.Report.Outcome.Undeliverable() && r.Report.Outcome != core.OutcomeCanceled {
 			sh.hops.Add(float64(r.Report.Hops))
 		}

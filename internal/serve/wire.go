@@ -160,7 +160,11 @@ read:
 				ws.routeMiss(wc, h.ID, req)
 				break
 			}
-			if ans, ok := ws.srv.FastRoute(req.Src, req.Dst); ok {
+			tree := core.TreeAuto
+			if req.Flags&wire.RouteFlagTree != 0 {
+				tree = int(req.Tree)
+			}
+			if ans, ok := ws.srv.FastRouteTree(req.Src, req.Dst, tree); ok {
 				res.Outcome = uint8(core.OutcomeDelivered)
 				res.Flags = wire.FlagCacheHit
 				res.Reason = res.Reason[:0]
@@ -168,6 +172,11 @@ read:
 					res.Outcome = uint8(core.OutcomeDeliveredDegraded)
 					res.Flags |= wire.FlagDegraded
 					res.Reason = cachedDetourReason
+				}
+				res.Tree = 0
+				if ans.Tree >= 0 && ans.Tree <= 255 {
+					res.Flags |= wire.FlagHasTree
+					res.Tree = uint8(ans.Tree)
 				}
 				res.Hops = uint16(len(ans.Path) - 1)
 				res.Detour = uint16(ans.DetourHops)
@@ -256,12 +265,16 @@ func (ws *WireServer) routeMiss(wc *wireConn, id uint64, req wire.RouteReq) {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 			defer cancel()
 		}
-		submit := ws.srv.Submit
+		tree := core.TreeAuto
+		if req.Flags&wire.RouteFlagTree != 0 {
+			tree = int(req.Tree)
+		}
+		submit := ws.srv.SubmitTree
 		if req.Flags&wire.RouteFlagNoForward != 0 {
-			submit = ws.srv.SubmitLocal
+			submit = ws.srv.SubmitLocalTree
 		}
 		var out []byte
-		resp, err := submit(ctx, req.Src, req.Dst)
+		resp, err := submit(ctx, req.Src, req.Dst, tree)
 		switch {
 		case errors.Is(err, ErrBackpressure):
 			out = wire.AppendError(nil, id, wire.CodeBackpressure, err.Error())
@@ -297,6 +310,10 @@ func (ws *WireServer) routeMiss(wc *wireConn, id uint64, req wire.RouteReq) {
 			}
 			if rep.UsedFallback {
 				res.Flags |= wire.FlagUsedFallback
+			}
+			if rep.TreeID >= 0 && rep.TreeID <= 255 {
+				res.Flags |= wire.FlagHasTree
+				res.Tree = uint8(rep.TreeID)
 			}
 			out = wire.AppendRouteResult(nil, id, &res)
 		}

@@ -250,8 +250,18 @@ func (w *WireClient) readFrame() (wire.Header, []byte, error) {
 // like the HTTP client's Route. Error frames surface as
 // *WireStatusError.
 func (w *WireClient) Route(src, dst gc.NodeID) (*RouteResponse, error) {
+	return w.RouteTree(src, dst, -1)
+}
+
+// RouteTree is Route with an explicit multipath tree pin; tree < 0
+// leaves the server's per-flow striping in charge.
+func (w *WireClient) RouteTree(src, dst gc.NodeID, tree int) (*RouteResponse, error) {
 	var raw WireRoute
-	if err := w.RouteRaw(src, dst, 0, 0, &raw); err != nil {
+	var flags, treeByte uint8
+	if tree >= 0 && tree <= 255 {
+		flags, treeByte = wire.RouteFlagTree, uint8(tree)
+	}
+	if err := w.RouteRawTree(src, dst, 0, flags, treeByte, &raw); err != nil {
 		return nil, err
 	}
 	if raw.ErrCode != 0 {
@@ -273,6 +283,10 @@ func (w *WireClient) Route(src, dst gc.NodeID) (*RouteResponse, error) {
 		Epoch:        raw.Epoch,
 		CacheHit:     raw.Flags&wire.FlagCacheHit != 0,
 	}
+	if raw.Tree >= 0 {
+		t := raw.Tree
+		out.Tree = &t
+	}
 	if len(raw.Path) > 0 {
 		out.Path = append([]gc.NodeID(nil), raw.Path...)
 	}
@@ -293,6 +307,9 @@ type WireRoute struct {
 	Discovered uint16
 	WaitCycles uint32
 	Epoch      uint64
+	// Tree is the multipath tree the route was planned on, or -1 when
+	// the reply carried no tree byte (single-tree server or v1 peer).
+	Tree int
 	// ErrCode is nonzero when the server answered this request with an
 	// error frame (faulty endpoint, backpressure, drain); ErrMsg holds
 	// its message.
@@ -321,6 +338,12 @@ func (r *WireRoute) Degraded() bool { return r.Flags&wire.FlagDegraded != 0 }
 // out.ErrCode/ErrMsg, not in the returned error, which reports only
 // connection-level failures (wrapped in ErrConnClosed).
 func (w *WireClient) RouteRaw(src, dst gc.NodeID, deadlineMS uint32, flags uint8, out *WireRoute) error {
+	return w.RouteRawTree(src, dst, deadlineMS, flags, 0, out)
+}
+
+// RouteRawTree is RouteRaw with the request's multipath tree byte; set
+// wire.RouteFlagTree in flags for the server to honor it.
+func (w *WireClient) RouteRawTree(src, dst gc.NodeID, deadlineMS uint32, flags, tree uint8, out *WireRoute) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.begin(); err != nil {
@@ -328,7 +351,7 @@ func (w *WireClient) RouteRaw(src, dst gc.NodeID, deadlineMS uint32, flags uint8
 	}
 	id := w.nextID
 	w.nextID++
-	w.wbuf = wire.AppendRouteReq(w.wbuf[:0], id, wire.RouteReq{Src: src, Dst: dst, DeadlineMS: deadlineMS, Flags: flags})
+	w.wbuf = wire.AppendRouteReq(w.wbuf[:0], id, wire.RouteReq{Src: src, Dst: dst, DeadlineMS: deadlineMS, Flags: flags, Tree: tree})
 	if _, err := w.c.Write(w.wbuf); err != nil {
 		return w.fail(err)
 	}
@@ -366,6 +389,10 @@ func (w *WireClient) RouteRaw(src, dst gc.NodeID, deadlineMS uint32, flags uint8
 		out.Discovered = res.Discovered
 		out.WaitCycles = res.WaitCycles
 		out.Epoch = res.Epoch
+		out.Tree = -1
+		if res.Flags&wire.FlagHasTree != 0 {
+			out.Tree = int(res.Tree)
+		}
 		out.Reason = res.Reason
 		out.Path = res.Path
 		return nil
@@ -450,6 +477,10 @@ func (w *WireClient) RouteBatch(pairs [][2]gc.NodeID, out []WireRoute) error {
 			o.Discovered = res.Discovered
 			o.WaitCycles = res.WaitCycles
 			o.Epoch = res.Epoch
+			o.Tree = -1
+			if res.Flags&wire.FlagHasTree != 0 {
+				o.Tree = int(res.Tree)
+			}
 			o.Reason = res.Reason
 			o.Path = res.Path
 		default:

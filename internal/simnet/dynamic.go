@@ -10,6 +10,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/repair"
 	"gaussiancube/internal/trace"
 	"gaussiancube/internal/workload"
@@ -27,7 +28,7 @@ import (
 // (generation iterates cycles in ascending order) and one inside the
 // event loop (which also visits times in ascending order). The
 // caller's Dynamic instance is never mutated.
-func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service int) (*Stats, error) {
+func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service int, trees *mtree.TreeSet) (*Stats, error) {
 	var loopDyn, admission *fault.Dynamic
 	if cfg.Dynamic != nil {
 		loopDyn = cfg.Dynamic.Fork()
@@ -41,6 +42,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	stats := &Stats{DropReasons: make(map[string]int)}
 	initHists(stats, &cfg)
+	if trees != nil {
+		stats.TreeRoutes = make([]int, trees.K())
+	}
 
 	// Ground truth for local discovery in adaptive mode.
 	var oracle core.Oracle
@@ -64,7 +68,12 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 	}
 	var adaptive *core.AdaptiveRouter
 	if cfg.Adaptive {
-		adaptive = core.NewAdaptiveRouter(cube, oracle, core.AdaptiveConfig{Substrate: cfg.Substrate, Repair: health})
+		ac := core.AdaptiveConfig{Substrate: cfg.Substrate, Repair: health}
+		if trees != nil {
+			ac.Trees = trees
+			ac.Tree = core.TreeAuto // stripe per flow; failover rotates
+		}
+		adaptive = core.NewAdaptiveRouter(cube, oracle, ac)
 	}
 
 	// The static planner routes whole paths against a frozen snapshot
@@ -81,6 +90,9 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 		}
 		if health != nil {
 			opts = append(opts, core.WithRepair(health))
+		}
+		if trees != nil {
+			opts = append(opts, core.WithTrees(trees))
 		}
 		planner = core.NewRouter(cube, opts...)
 		if cfg.TraceEvery > 0 {
@@ -116,8 +128,16 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 		if sampled {
 			r = tracedPlanner
 		}
+		// Same striping hash as the planner, so cached paths never cross
+		// tree boundaries (a reroute re-hashes from the packet's current
+		// node, a genuinely different flow).
+		tree := -1
+		if trees != nil {
+			tree = trees.TreeForFlow(src, dst)
+			stats.TreeRoutes[tree]++
+		}
 		if cache != nil {
-			if p, ok := cache.Get(src, dst); ok {
+			if p, ok := cache.GetTree(src, dst, tree); ok {
 				stats.RouteCacheHits++
 				if sampled {
 					narrateCached(cfg.Tracer, cube, src, dst, p)
@@ -136,7 +156,7 @@ func runTimeline(cfg Config, cube *gc.Cube, pattern workload.Pattern, service in
 			stats.FallbackRoutes++
 		}
 		if cache != nil {
-			cache.Put(src, dst, res.Path)
+			cache.PutTree(src, dst, tree, res.Path)
 		}
 		return res.Path, nil
 	}
@@ -362,6 +382,9 @@ func stepAdaptive(e *event, p *packet, ar *core.AdaptiveRouter, tr trace.Tracer,
 			stats.Undeliverable++
 			flushFlightTrace(tr, p)
 			return
+		}
+		if stats.TreeRoutes != nil && fl.Tree() >= 0 {
+			stats.TreeRoutes[fl.Tree()]++
 		}
 		p.flight = fl
 	}

@@ -38,7 +38,15 @@ const cacheShards = 16
 // Config.CacheRoutes is set without an explicit RouteCache.
 const DefaultRouteCacheCapacity = 1 << 16
 
-type routeKey struct{ s, d gc.NodeID }
+// routeKey identifies a cached plan. tree is the multipath spanning
+// tree the path was planned on (-1 for a single-tree router): two
+// routers striping the same flow over different trees plan genuinely
+// different paths, so a sibling-tree failover must never be served a
+// path cached by another tree under the same (src, dst, epoch).
+type routeKey struct {
+	s, d gc.NodeID
+	tree int16
+}
 
 type cacheEntry struct {
 	key        routeKey
@@ -124,10 +132,18 @@ func (c *RouteCache) shard(k routeKey) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
-// Get returns the cached path for (s, d) and marks it most recently
-// used. The returned slice is shared; callers must not modify it.
+// Get returns the single-tree cached path for (s, d) and marks it most
+// recently used. The returned slice is shared; callers must not modify
+// it. Multipath consumers use GetTree.
 func (c *RouteCache) Get(s, d gc.NodeID) ([]gc.NodeID, bool) {
-	k := routeKey{s, d}
+	return c.GetTree(s, d, -1)
+}
+
+// GetTree is Get for a path planned on a specific multipath tree
+// (-1 means single-tree). Paths cached under one tree are invisible to
+// every other tree.
+func (c *RouteCache) GetTree(s, d gc.NodeID, tree int) ([]gc.NodeID, bool) {
+	k := routeKey{s, d, int16(tree)}
 	sh := c.shard(k)
 	sh.mu.Lock()
 	e, ok := sh.table[k]
@@ -142,11 +158,17 @@ func (c *RouteCache) Get(s, d gc.NodeID) ([]gc.NodeID, bool) {
 	return path, ok
 }
 
-// Put stores the path for (s, d), evicting the least recently used
-// entry of the shard when it is full. The cache takes ownership of path
-// as a shared read-only slice.
+// Put stores the single-tree path for (s, d), evicting the least
+// recently used entry of the shard when it is full. The cache takes
+// ownership of path as a shared read-only slice.
 func (c *RouteCache) Put(s, d gc.NodeID, path []gc.NodeID) {
-	k := routeKey{s, d}
+	c.PutTree(s, d, -1, path)
+}
+
+// PutTree is Put for a path planned on a specific multipath tree
+// (-1 means single-tree).
+func (c *RouteCache) PutTree(s, d gc.NodeID, tree int, path []gc.NodeID) {
+	k := routeKey{s, d, int16(tree)}
 	sh := c.shard(k)
 	sh.mu.Lock()
 	if e, ok := sh.table[k]; ok {
@@ -176,9 +198,10 @@ func (c *RouteCache) Put(s, d gc.NodeID, path []gc.NodeID) {
 // currently stamped with token, so a hit is guaranteed to have been
 // planned against exactly the fault state the caller loaded. The token
 // comparison happens inside the shard lock, pairing with InvalidateTo's
-// stamp-before-clear ordering.
-func (c *RouteCache) GetTagged(s, d gc.NodeID, token uint64) ([]gc.NodeID, uint32, bool) {
-	k := routeKey{s, d}
+// stamp-before-clear ordering. tree scopes the lookup to one multipath
+// tree (-1 single-tree), exactly as in GetTree.
+func (c *RouteCache) GetTagged(s, d gc.NodeID, tree int, token uint64) ([]gc.NodeID, uint32, bool) {
+	k := routeKey{s, d, int16(tree)}
 	sh := c.shard(k)
 	sh.mu.Lock()
 	if c.epoch.Load() != token {
@@ -201,9 +224,10 @@ func (c *RouteCache) GetTagged(s, d gc.NodeID, token uint64) ([]gc.NodeID, uint3
 // layer packs precomputed detour metadata there so hits never recompute
 // it), but only when the cache is still stamped with token — a write
 // racing a fault-epoch swap is dropped rather than poisoning the new
-// epoch with a stale plan.
-func (c *RouteCache) PutTagged(s, d gc.NodeID, path []gc.NodeID, tag uint32, token uint64) {
-	k := routeKey{s, d}
+// epoch with a stale plan. tree scopes the entry to one multipath tree
+// (-1 single-tree).
+func (c *RouteCache) PutTagged(s, d gc.NodeID, tree int, path []gc.NodeID, tag uint32, token uint64) {
+	k := routeKey{s, d, int16(tree)}
 	sh := c.shard(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

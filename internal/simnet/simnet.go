@@ -38,6 +38,7 @@ import (
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
 	"gaussiancube/internal/metrics"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/repair"
 	"gaussiancube/internal/trace"
 	"gaussiancube/internal/workload"
@@ -108,6 +109,14 @@ type Config struct {
 	// ladder. Route caching does not apply (there is no source plan to
 	// cache).
 	Adaptive bool
+
+	// Trees, when greater than one, stripes traffic over that many
+	// frame-striped multipath spanning trees (internal/mtree): every
+	// planner gets the tree set, each flow is hashed onto a tree
+	// (mtree.TreeForFlow), and the route cache keys entries per tree.
+	// Must be a power of two no larger than 2^(N-Alpha). Zero or one
+	// means single-tree routing, bit-for-bit the pre-multipath behavior.
+	Trees int
 
 	// Repair enables the tree-repair subsystem: a tree-edge health map
 	// (internal/repair) aggregated from the run's fault state is handed
@@ -220,6 +229,10 @@ type Stats struct {
 	// Traced counts the packets sampled for route tracing
 	// (Config.TraceEvery).
 	Traced int
+	// TreeRoutes counts the route lookups striped onto each multipath
+	// tree (Config.Trees > 1 only; nil otherwise). A roughly flat
+	// profile is the load-balance check for the flow hash.
+	TreeRoutes []int
 }
 
 // AvgLatency returns LP/DP, the paper's average latency metric.
@@ -316,9 +329,17 @@ func Run(cfg Config) (*Stats, error) {
 	if pattern == nil {
 		pattern = workload.Uniform{Bits: cfg.N}
 	}
+	var trees *mtree.TreeSet
+	if cfg.Trees > 1 {
+		var err error
+		trees, err = mtree.New(cube, cfg.Trees)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Dynamic != nil || cfg.Adaptive || (cfg.FaultAtCycle > 0 && cfg.Faults != nil) {
 		// Evolving fault state or per-hop routing: the timeline engine.
-		return runTimeline(cfg, cube, pattern, service)
+		return runTimeline(cfg, cube, pattern, service, trees)
 	}
 	opts := []core.Option{core.WithSubstrate(cfg.Substrate)}
 	if cfg.Faults != nil {
@@ -328,6 +349,9 @@ func Run(cfg Config) (*Stats, error) {
 		health := repair.NewHealth(cube)
 		health.Rebuild(cfg.Faults)
 		opts = append(opts, core.WithRepair(health))
+	}
+	if trees != nil {
+		opts = append(opts, core.WithTrees(trees))
 	}
 	router := core.NewRouter(cube, opts...)
 	// Sampled packets route through a second, tracer-attached router so
@@ -340,6 +364,9 @@ func Run(cfg Config) (*Stats, error) {
 
 	stats := &Stats{}
 	initHists(stats, &cfg)
+	if trees != nil {
+		stats.TreeRoutes = make([]int, trees.K())
+	}
 	var queue eventQueue
 	seq := 0
 
@@ -363,8 +390,16 @@ func Run(cfg Config) (*Stats, error) {
 		if sampled {
 			r = tracedRouter
 		}
+		// The cache key carries the flow's tree: the hash below is the
+		// same striping the router applies, so a hit always replays a
+		// path planned on the tree that would plan it now.
+		tree := -1
+		if trees != nil {
+			tree = trees.TreeForFlow(src, dst)
+			stats.TreeRoutes[tree]++
+		}
 		if cache != nil {
-			if p, ok := cache.Get(src, dst); ok {
+			if p, ok := cache.GetTree(src, dst, tree); ok {
 				stats.RouteCacheHits++
 				if sampled {
 					narrateCached(cfg.Tracer, cube, src, dst, p)
@@ -383,7 +418,7 @@ func Run(cfg Config) (*Stats, error) {
 			stats.FallbackRoutes++
 		}
 		if cache != nil {
-			cache.Put(src, dst, res.Path)
+			cache.PutTree(src, dst, tree, res.Path)
 		}
 		return res.Path, nil
 	}

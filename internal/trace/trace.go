@@ -70,6 +70,15 @@ const (
 	// ring. From/To are the packet's endpoints, Arg its sequence
 	// number.
 	KindPacket
+	// KindTreeSteer: a multipath route left its source frame to cross a
+	// tree edge at its own tree's stripe. From is the crossing node in
+	// the stripe, To its landing node, Dim the tree dimension, Arg the
+	// tree index.
+	KindTreeSteer
+	// KindTreeFailover: an adaptive flight abandoned its tree for a
+	// sibling after discovering a faulted crossing. From is the node
+	// where the discovery happened, Arg the new tree index.
+	KindTreeFailover
 )
 
 // String implements fmt.Stringer.
@@ -99,6 +108,10 @@ func (k Kind) String() string {
 		return "outcome"
 	case KindPacket:
 		return "packet"
+	case KindTreeSteer:
+		return "tree-steer"
+	case KindTreeFailover:
+		return "tree-failover"
 	default:
 		return "unknown"
 	}

@@ -33,8 +33,12 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		u32 := func() uint32 { return binary.LittleEndian.Uint32(next(4)) }
 		u64 := func() uint64 { return binary.LittleEndian.Uint64(next(8)) }
 
-		// Route request.
-		req := RouteReq{Src: gc.NodeID(u32()), Dst: gc.NodeID(u32()), DeadlineMS: u32(), Flags: next(1)[0]}
+		// Route request. Tree is carried only under RouteFlagTree, so a
+		// coherent input zeroes it when the flag is clear.
+		req := RouteReq{Src: gc.NodeID(u32()), Dst: gc.NodeID(u32()), DeadlineMS: u32(), Flags: next(1)[0], Tree: next(1)[0]}
+		if req.Flags&RouteFlagTree == 0 {
+			req.Tree = 0
+		}
 		id := u64()
 		frame := AppendRouteReq(nil, id, req)
 		h, err := ParseHeader(frame)
@@ -58,7 +62,11 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			Discovered: u16(),
 			WaitCycles: u32(),
 			Epoch:      u64(),
+			Tree:       next(1)[0],
 			Reason:     next(int(u16() % 512)),
+		}
+		if res.Flags&FlagHasTree == 0 {
+			res.Tree = 0
 		}
 		for i := int(u16() % 256); i > 0; i-- {
 			res.Path = append(res.Path, gc.NodeID(u32()))
@@ -72,6 +80,7 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			t.Fatalf("result decode: %v", err)
 		}
 		same := resOut.Outcome == res.Outcome && resOut.Flags == res.Flags &&
+			resOut.Tree == res.Tree &&
 			resOut.Hops == res.Hops && resOut.Detour == res.Detour &&
 			resOut.Retries == res.Retries && resOut.Replans == res.Replans &&
 			resOut.Discovered == res.Discovered && resOut.WaitCycles == res.WaitCycles &&

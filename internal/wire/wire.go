@@ -161,10 +161,15 @@ const (
 	// which is what bounds a forwarded route to one proxy hop even when
 	// two instances hold momentarily different ownership views.
 	RouteFlagNoForward uint8 = 1 << 0
+	// RouteFlagTree marks the Tree byte as meaningful: the request pins
+	// routing to one multipath spanning tree instead of the server's
+	// per-flow striping. Requests without the flag are byte-identical
+	// to protocol v1 frames.
+	RouteFlagTree uint8 = 1 << 1
 )
 
 // RouteReq is the payload of TypeRouteReq: fixed 16 bytes (the last
-// three are reserved padding, written as zero).
+// two are reserved padding, written as zero).
 type RouteReq struct {
 	Src, Dst gc.NodeID
 	// DeadlineMS optionally bounds the request server-side, in
@@ -172,6 +177,10 @@ type RouteReq struct {
 	DeadlineMS uint32
 	// Flags carries RouteFlag bits.
 	Flags uint8
+	// Tree pins the request to one multipath spanning tree; it is
+	// written and read only when RouteFlagTree is set (the byte is
+	// reserved padding otherwise, preserving v1 frames bit-for-bit).
+	Tree uint8
 }
 
 const routeReqSize = 16
@@ -182,7 +191,11 @@ func AppendRouteReq(buf []byte, id uint64, r RouteReq) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Src))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Dst))
 	buf = binary.LittleEndian.AppendUint32(buf, r.DeadlineMS)
-	return append(buf, r.Flags, 0, 0, 0)
+	tree := uint8(0)
+	if r.Flags&RouteFlagTree != 0 {
+		tree = r.Tree
+	}
+	return append(buf, r.Flags, tree, 0, 0)
 }
 
 // DecodeRouteReq decodes a TypeRouteReq payload.
@@ -194,6 +207,10 @@ func DecodeRouteReq(p []byte, into *RouteReq) error {
 	into.Dst = gc.NodeID(binary.LittleEndian.Uint32(p[4:8]))
 	into.DeadlineMS = binary.LittleEndian.Uint32(p[8:12])
 	into.Flags = p[12]
+	into.Tree = 0
+	if into.Flags&RouteFlagTree != 0 {
+		into.Tree = p[13]
+	}
 	return nil
 }
 
@@ -202,6 +219,10 @@ const (
 	FlagCacheHit     uint8 = 1 << 0
 	FlagDegraded     uint8 = 1 << 1
 	FlagUsedFallback uint8 = 1 << 2
+	// FlagHasTree marks the optional trailing tree byte: the multipath
+	// spanning tree the route was planned on. Results without the flag
+	// are byte-identical to protocol v1 frames.
+	FlagHasTree uint8 = 1 << 3
 )
 
 // RouteResult is the payload of TypeRouteResult: a 28-byte fixed part
@@ -219,6 +240,7 @@ const (
 //	24  u16  reason length (bytes)
 //	26  u16  path length (nodes)
 //	28  ...  reason bytes, then path uint32s
+//	        [+1 u8 tree — only when FlagHasTree is set]
 type RouteResult struct {
 	Outcome    uint8
 	Flags      uint8
@@ -229,8 +251,12 @@ type RouteResult struct {
 	Discovered uint16
 	WaitCycles uint32
 	Epoch      uint64
-	Reason     []byte      // reused by Decode; copy to keep past the next call
-	Path       []gc.NodeID // reused by Decode; copy to keep past the next call
+	// Tree is the multipath spanning tree the route was planned on;
+	// carried as a trailing byte only when Flags&FlagHasTree is set,
+	// so single-tree results stay byte-identical to protocol v1.
+	Tree   uint8
+	Reason []byte      // reused by Decode; copy to keep past the next call
+	Path   []gc.NodeID // reused by Decode; copy to keep past the next call
 }
 
 const routeResultFixed = 28
@@ -254,6 +280,9 @@ func AppendRouteResult(buf []byte, id uint64, r *RouteResult) []byte {
 		path = path[:maxFieldLen]
 	}
 	plen := routeResultFixed + len(reason) + 4*len(path)
+	if r.Flags&FlagHasTree != 0 {
+		plen++
+	}
 	buf = AppendHeader(buf, TypeRouteResult, id, plen)
 	buf = append(buf, r.Outcome, r.Flags)
 	buf = binary.LittleEndian.AppendUint16(buf, r.Hops)
@@ -268,6 +297,9 @@ func AppendRouteResult(buf []byte, id uint64, r *RouteResult) []byte {
 	buf = append(buf, reason...)
 	for _, v := range path {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+	}
+	if r.Flags&FlagHasTree != 0 {
+		buf = append(buf, r.Tree)
 	}
 	return buf
 }
@@ -289,12 +321,21 @@ func DecodeRouteResult(p []byte, into *RouteResult) error {
 	into.Epoch = binary.LittleEndian.Uint64(p[16:24])
 	rlen := int(binary.LittleEndian.Uint16(p[24:26]))
 	plen := int(binary.LittleEndian.Uint16(p[26:28]))
-	if len(p) != routeResultFixed+rlen+4*plen {
+	want := routeResultFixed + rlen + 4*plen
+	into.Tree = 0
+	if into.Flags&FlagHasTree != 0 {
+		want++
+	}
+	if len(p) != want {
 		return ErrBadPayload
+	}
+	if into.Flags&FlagHasTree != 0 {
+		into.Tree = p[len(p)-1]
 	}
 	into.Reason = append(into.Reason[:0], p[routeResultFixed:routeResultFixed+rlen]...)
 	into.Path = into.Path[:0]
-	for off := routeResultFixed + rlen; off < len(p); off += 4 {
+	end := routeResultFixed + rlen + 4*plen
+	for off := routeResultFixed + rlen; off < end; off += 4 {
 		into.Path = append(into.Path, gc.NodeID(binary.LittleEndian.Uint32(p[off:off+4])))
 	}
 	return nil

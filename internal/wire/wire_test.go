@@ -74,6 +74,62 @@ func TestRouteReqRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRouteReqTreeExtension: the tree byte round-trips when
+// RouteFlagTree is set, and a flag-unset request is byte-identical to
+// a v1 frame regardless of the struct's Tree value.
+func TestRouteReqTreeExtension(t *testing.T) {
+	in := RouteReq{Src: 1, Dst: 2, DeadlineMS: 9, Flags: RouteFlagTree | RouteFlagNoForward, Tree: 3}
+	frame := AppendRouteReq(nil, 1, in)
+	var out RouteReq
+	if err := DecodeRouteReq(frame[HeaderSize:], &out); err != nil || out != in {
+		t.Fatalf("tree round trip %+v != %+v (%v)", out, in, err)
+	}
+
+	v1 := AppendRouteReq(nil, 2, RouteReq{Src: 1, Dst: 2, DeadlineMS: 9})
+	dirty := AppendRouteReq(nil, 2, RouteReq{Src: 1, Dst: 2, DeadlineMS: 9, Tree: 200})
+	if !bytes.Equal(v1, dirty) {
+		t.Fatalf("flag-unset frame not v1-identical:\n% x\n% x", v1, dirty)
+	}
+	if v1[HeaderSize+13] != 0 {
+		t.Fatalf("reserved tree byte written without flag: % x", v1[HeaderSize:])
+	}
+}
+
+// TestRouteResultTreeExtension: FlagHasTree appends exactly one
+// trailing byte after the path, flag-unset frames keep the v1 layout,
+// and a frame whose length disagrees with the flag is rejected.
+func TestRouteResultTreeExtension(t *testing.T) {
+	in := RouteResult{
+		Outcome: 1, Flags: FlagHasTree | FlagCacheHit, Hops: 2, Tree: 5,
+		Reason: []byte("ok"), Path: []gc.NodeID{1, 3, 2},
+	}
+	frame := AppendRouteResult(nil, 1, &in)
+	var out RouteResult
+	if err := DecodeRouteResult(frame[HeaderSize:], &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tree != 5 || out.Flags != in.Flags || len(out.Path) != 3 || !bytes.Equal(out.Reason, in.Reason) {
+		t.Fatalf("tree result round trip: %+v", out)
+	}
+
+	v1In := in
+	v1In.Flags &^= FlagHasTree
+	v1 := AppendRouteResult(nil, 1, &v1In)
+	if len(v1) != len(frame)-1 {
+		t.Fatalf("tree byte is not exactly one trailing byte: %d vs %d", len(v1), len(frame))
+	}
+	v1In.Tree = 0
+	var v1Out RouteResult
+	if err := DecodeRouteResult(v1[HeaderSize:], &v1Out); err != nil || v1Out.Tree != 0 {
+		t.Fatalf("v1 frame decode: %+v (%v)", v1Out, err)
+	}
+
+	// Truncate the tree byte off a flagged frame: length check fires.
+	if err := DecodeRouteResult(frame[HeaderSize:len(frame)-1], &out); err != ErrBadPayload {
+		t.Fatalf("flagged frame without tree byte: %v", err)
+	}
+}
+
 // TestEpochSyncRoundTrip: the gossip frame pair survives intact —
 // request frontier, response frontier + flags, and every batch's
 // (epoch, fp, events) triple.

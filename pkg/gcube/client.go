@@ -95,6 +95,22 @@ func (c *Client) Route(ctx context.Context, src, dst NodeID) (*RouteResponse, er
 	return &out, nil
 }
 
+// RouteTree is Route pinned to one multipath tree of the server's
+// TreeSet; the reply's Tree field echoes the tree the path was
+// planned on. Use Route for the per-flow default.
+func (c *Client) RouteTree(ctx context.Context, src, dst NodeID, tree int) (*RouteResponse, error) {
+	var out RouteResponse
+	req := RouteRequest{Src: src, Dst: dst}
+	if tree >= 0 {
+		req.Tree = &tree
+	}
+	err := c.do(ctx, http.MethodPost, "/route", req, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Broadcast plans a one-to-all broadcast rooted at root. A faulty
 // root re-roots via the closed-form NewSource rule; the reply carries
 // one per-destination verdict for every node but the root.

@@ -32,6 +32,7 @@ import (
 	"gaussiancube/internal/core"
 	"gaussiancube/internal/fault"
 	"gaussiancube/internal/gc"
+	"gaussiancube/internal/mtree"
 	"gaussiancube/internal/serve"
 	"gaussiancube/internal/trace"
 )
@@ -112,8 +113,17 @@ const (
 	SubstrateVector   = core.SubstrateVector
 )
 
-// Option configures NewRouter.
+// Option configures NewRouter. Options are the canonical constructor
+// surface: every router knob — faults, substrate, tracing, multipath
+// trees — is an Option (or a field of RouterOptions for the struct
+// form); the With* helpers below compose freely and unset knobs keep
+// their zero-value defaults.
 type Option = core.Option
+
+// RouterOptions is the struct form of the functional options: fill the
+// fields directly and build with NewRouterWith when the call site
+// assembles configuration programmatically (e.g. from flags).
+type RouterOptions = core.Options
 
 // WithFaults routes around the given (frozen) fault set.
 func WithFaults(s *FaultSet) Option { return core.WithFaults(s) }
@@ -126,6 +136,30 @@ func WithTracer(t Tracer) Option { return core.WithTracer(t) }
 
 // NewRouter builds the FFGCR planner over cube c.
 func NewRouter(c *Cube, opts ...Option) *Router { return core.NewRouter(c, opts...) }
+
+// NewRouterWith builds the planner from the struct form of the options.
+func NewRouterWith(c *Cube, o RouterOptions) *Router { return core.NewRouterWith(c, o) }
+
+// Multipath: k edge-disjoint spanning realizations over the cube's
+// frames (DESIGN.md §15). A TreeSet stripes flows across trees; a
+// router holding one plans every route on the tree the request
+// resolves to, and the adaptive router fails over to a sibling tree
+// when it discovers a fault on a crossing.
+type TreeSet = mtree.TreeSet
+
+// TreeAuto asks the router (or server) to pick the tree per flow by
+// hashing source and destination — the default for unpinned requests.
+const TreeAuto = core.TreeAuto
+
+// NewTreeSet partitions cube c's frames into k striped trees; k must
+// be a power of two no larger than the frame count.
+func NewTreeSet(c *Cube, k int) (*TreeSet, error) { return mtree.New(c, k) }
+
+// WithTrees stripes the router's plans across ts per flow (TreeAuto).
+func WithTrees(ts *TreeSet) Option { return core.WithTrees(ts) }
+
+// WithTree pins every plan to one tree of ts.
+func WithTree(ts *TreeSet, tree int) Option { return core.WithTree(ts, tree) }
 
 // NewAdaptiveRouter builds a per-hop adaptive router over cube c with
 // ground truth oracle (nil means fault-free).
